@@ -1,0 +1,116 @@
+// Ablation (DESIGN.md §5.5): the LiveVideoComments hot-video strategy
+// switch (§3.4).
+//
+// Under extreme comment volume the WAS pre-ranks: low-quality comments are
+// discarded before Pylon, ordinary ones move to per-author topics (reaching
+// only the author's friends), and only exceptional comments stay on the
+// broadcast topic. This bench runs the same hot burst with the switch on
+// and off and compares the event volume Pylon and the BRASSes must absorb.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+namespace {
+
+struct Result {
+  int64_t publishes = 0;
+  int64_t fanout_sends = 0;
+  int64_t brass_events = 0;
+  int64_t decisions = 0;
+  int64_t deliveries = 0;
+  int64_t discarded = 0;
+};
+
+Result RunHotBurst(bool hot_strategy, uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.was.lvc_hot_strategy = hot_strategy;
+  // Simulation-scale bursts are far below 1M/s; lower the per-partition
+  // capacity so the index heats at bench scale.
+  config.tao.hot_index_writes_per_sec = 0.4;
+  BladerunnerCluster cluster(config, Topology::OneRegion());
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 90;
+  graph_config.mean_friends = 10.0;
+  graph_config.num_videos = 1;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  ObjectId video = graph.videos[0];
+  cluster.sim().RunFor(Seconds(2));
+
+  std::vector<std::unique_ptr<DeviceAgent>> viewers;
+  for (int i = 0; i < 25; ++i) {
+    viewers.push_back(std::make_unique<DeviceAgent>(
+        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+    viewers.back()->SubscribeLvc(video);
+  }
+  cluster.sim().RunFor(Seconds(5));
+
+  std::vector<std::unique_ptr<DeviceAgent>> commenters;
+  for (int i = 40; i < 80; ++i) {
+    commenters.push_back(std::make_unique<DeviceAgent>(
+        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+  }
+  for (int s = 0; s < 40; ++s) {
+    for (int k = 0; k < 10; ++k) {
+      DeviceAgent& c = *commenters[cluster.sim().rng().Index(commenters.size())];
+      c.PostComment(video, "burst comment", "en");
+    }
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(25));
+
+  MetricsRegistry& m = cluster.metrics();
+  Result result;
+  result.publishes = m.GetCounter("pylon.publishes").value();
+  result.fanout_sends = m.GetCounter("pylon.fanout_sends").value();
+  result.brass_events = m.GetCounter("brass.events_received").value();
+  result.decisions = m.GetCounter("brass.decisions").value();
+  result.deliveries = m.GetCounter("brass.deliveries").value();
+  result.discarded = m.GetCounter("was.lvc_hot_discarded").value();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation 5", "LVC hot-video strategy switch (§3.4)");
+
+  Result nominal = RunHotBurst(/*hot_strategy=*/false, 51);
+  Result hot = RunHotBurst(/*hot_strategy=*/true, 51);
+
+  PrintSection("the same 40s x 10 comments/s hot burst, 25 viewers");
+  PrintRow("%-32s %-12s %s", "", "nominal", "strategy switch");
+  PrintRow("%-32s %-12lld %lld", "Pylon publishes",
+           static_cast<long long>(nominal.publishes), static_cast<long long>(hot.publishes));
+  PrintRow("%-32s %-12lld %lld", "Pylon fanout sends",
+           static_cast<long long>(nominal.fanout_sends),
+           static_cast<long long>(hot.fanout_sends));
+  PrintRow("%-32s %-12lld %lld", "events at BRASS hosts",
+           static_cast<long long>(nominal.brass_events),
+           static_cast<long long>(hot.brass_events));
+  PrintRow("%-32s %-12lld %lld", "per-viewer decisions",
+           static_cast<long long>(nominal.decisions), static_cast<long long>(hot.decisions));
+  PrintRow("%-32s %-12lld %lld", "deliveries",
+           static_cast<long long>(nominal.deliveries), static_cast<long long>(hot.deliveries));
+  PrintRow("%-32s %-12lld %lld", "comments discarded at the WAS",
+           static_cast<long long>(nominal.discarded), static_cast<long long>(hot.discarded));
+
+  PrintSection("paper vs measured");
+  Recap("per-stream decision load under heat", "\"does not scale\" without the switch (§3.4)",
+        Fmt("%.1fx fewer decisions with the switch",
+            static_cast<double>(nominal.decisions) / std::max<int64_t>(1, hot.decisions)));
+  Recap("WAS pre-ranking discards junk early", "low-ranked comments never reach Pylon",
+        Fmt("%lld discarded before publish", static_cast<long long>(hot.discarded)));
+  Recap("viewers still get comments", "relevance preserved",
+        Fmt("%lld deliveries (vs %lld nominal)", static_cast<long long>(hot.deliveries),
+            static_cast<long long>(nominal.deliveries)));
+  return 0;
+}

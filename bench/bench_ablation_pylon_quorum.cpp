@@ -1,0 +1,106 @@
+// Ablation (DESIGN.md §5.3): Pylon's forward-on-first-replica-response vs
+// waiting for a quorum of replica views before forwarding.
+//
+// §3.1: "For improved response time, Pylon initiates the forwarding of a
+// published message when it receives the topic's subscriber list from the
+// first-responding storage replica (typically in the local region)."
+// Waiting for a quorum adds the remote-replica round trip to *every*
+// delivery; first-response forwarding risks only a brief window in which a
+// just-subscribed BRASS known solely to remote replicas is served late —
+// which the straggler patch closes.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/rpc.h"
+#include "src/pylon/cluster.h"
+#include "src/pylon/messages.h"
+#include "src/sim/simulator.h"
+
+using namespace bladerunner;
+
+namespace {
+
+struct Result {
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t delivered = 0;
+};
+
+Result MeasureFanout(bool forward_on_first, uint64_t seed) {
+  Simulator sim(seed);
+  Topology topology = Topology::ThreeRegions();
+  MetricsRegistry metrics;
+  PylonConfig config;
+  config.servers_per_region = 2;
+  config.kv_nodes_per_region = 2;
+  config.forward_on_first_response = forward_on_first;
+  PylonCluster pylon(&sim, &topology, config, &metrics);
+
+  Topic topic = "/bench/quorum";
+  Histogram arrival;
+  SimTime published_at = 0;
+  std::vector<std::unique_ptr<RpcServer>> sinks;
+  const int kSubscribers = 60;
+  for (int i = 0; i < kSubscribers; ++i) {
+    auto sink = std::make_unique<RpcServer>();
+    sink->RegisterMethod("brass.event",
+                         [&arrival, &sim, &published_at](MessagePtr, RpcServer::Respond respond) {
+                           arrival.Record(static_cast<double>(sim.Now() - published_at));
+                           respond(std::make_shared<PylonAck>());
+                         });
+    pylon.RegisterSubscriberHost(3000 + i, static_cast<RegionId>(i % 3), sink.get());
+    sinks.push_back(std::move(sink));
+  }
+  PylonServer* server = pylon.RouteServer(topic);
+  RpcChannel channel(&sim, server->rpc(), LatencyModel::IntraRegion());
+  for (int i = 0; i < kSubscribers; ++i) {
+    auto request = std::make_shared<PylonSubscribeRequest>();
+    request->topic = topic;
+    request->host_id = 3000 + i;
+    channel.Call("pylon.subscribe", request, [](RpcStatus, MessagePtr) {});
+  }
+  sim.RunFor(Seconds(10));
+
+  for (int p = 0; p < 20; ++p) {
+    auto event = std::make_shared<UpdateEvent>();
+    event->topic = topic;
+    event->event_id = static_cast<uint64_t>(p) + 1;
+    event->published_at = sim.Now();
+    published_at = sim.Now();
+    auto request = std::make_shared<PylonPublishRequest>();
+    request->event = std::move(event);
+    channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
+    sim.RunFor(Seconds(3));
+  }
+  Result result;
+  result.mean_ms = arrival.Mean() / 1000.0;
+  result.p99_ms = arrival.Quantile(0.99) / 1000.0;
+  result.delivered = arrival.count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation 3", "Pylon delivery: forward-on-first-response vs quorum-wait");
+
+  Result first = MeasureFanout(/*forward_on_first=*/true, 31);
+  Result quorum = MeasureFanout(/*forward_on_first=*/false, 31);
+
+  PrintSection("publish -> BRASS delivery latency (60 subscribers, 3 regions)");
+  PrintRow("forward on first response: mean=%.1fms p99=%.1fms (n=%llu)", first.mean_ms,
+           first.p99_ms, static_cast<unsigned long long>(first.delivered));
+  PrintRow("wait for quorum of views:  mean=%.1fms p99=%.1fms (n=%llu)", quorum.mean_ms,
+           quorum.p99_ms, static_cast<unsigned long long>(quorum.delivered));
+
+  PrintSection("paper vs measured");
+  Recap("first-response forwarding is faster", "the design rationale of §3.1",
+        Fmt("%.0fms saved per delivery (%.1f -> %.1f)", quorum.mean_ms - first.mean_ms,
+            quorum.mean_ms, first.mean_ms));
+  Recap("no deliveries lost either way", "straggler views are patched in",
+        Fmt("%llu vs %llu delivered", static_cast<unsigned long long>(first.delivered),
+            static_cast<unsigned long long>(quorum.delivered)));
+  return 0;
+}

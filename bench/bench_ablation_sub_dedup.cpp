@@ -1,0 +1,72 @@
+// Ablation (DESIGN.md §5.2): per-host Pylon subscription dedup.
+//
+// Each BRASS host runs a subscription manager that forwards a topic
+// registration to Pylon only if no instance on the host already holds it
+// (§3.3 footnote 10). This bench runs a popular-video audience and
+// compares the Pylon subscription operations actually issued against the
+// counterfactual without host-level dedup (one op per stream-topic attach).
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+int main() {
+  PrintHeader("Ablation 2", "host-level Pylon subscription dedup");
+
+  ClusterConfig config;
+  config.seed = 22;
+  config.brass_hosts_per_region = 2;
+  config.routing_policies["LVC"] = BrassRoutingPolicy::kByTopic;  // concentrate topics
+  BladerunnerCluster cluster(config, Topology::OneRegion());
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 120;
+  graph_config.num_videos = 3;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  cluster.sim().RunFor(Seconds(2));
+
+  // A popular video: 80 viewers, all subscribing to the same topic family.
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  for (int i = 0; i < 80; ++i) {
+    devices.push_back(std::make_unique<DeviceAgent>(
+        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+    devices.back()->SubscribeLvc(graph.videos[static_cast<size_t>(i % 3)]);
+  }
+  cluster.sim().RunFor(Seconds(10));
+
+  MetricsRegistry& m = cluster.metrics();
+  int64_t attaches = m.GetCounter("brass.topic_attaches").value();
+  int64_t pylon_ops = m.GetCounter("brass.pylon_subscribes").value();
+  int64_t kv_adds = m.GetCounter("pylon.kv_adds").value();
+
+  size_t pylon_list_entries = 0;
+  for (size_t i = 0; i < cluster.pylon()->NumKvNodes(); ++i) {
+    pylon_list_entries += cluster.pylon()->KvNodeAt(i)->TopicCount();
+  }
+
+  PrintSection("measured");
+  PrintRow("stream-topic attaches (counterfactual subscription ops): %lld",
+           static_cast<long long>(attaches));
+  PrintRow("Pylon subscription ops actually issued (with dedup):     %lld",
+           static_cast<long long>(pylon_ops));
+  PrintRow("KV quorum writes those ops cost:                         %lld",
+           static_cast<long long>(kv_adds));
+  PrintRow("topics tracked across KV nodes:                          %zu", pylon_list_entries);
+
+  PrintSection("paper vs measured");
+  Recap("Pylon subscribe ops saved by host dedup",
+        "large for topic-concentrated apps (§3.2)",
+        Fmt("%.1fx fewer ops (%lld -> %lld)",
+            static_cast<double>(attaches) / std::max<int64_t>(1, pylon_ops),
+            static_cast<long long>(attaches), static_cast<long long>(pylon_ops)));
+  Recap("each saved op avoids a CP quorum write", "3 replicas per topic",
+        Fmt("%lld quorum writes avoided",
+            static_cast<long long>((attaches - pylon_ops) * 3)));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Fig. 10: failure handling over a day.
+//
+//   top:    last-mile connections unintentionally dropped per minute
+//           (diurnal, 18-33M/min in production — per-online-device: one
+//           drop every ~10-60 minutes depending on connectivity class)
+//   bottom: stream reconnections per minute initiated by proxies — the
+//           overwhelming majority caused by BRASS software upgrades and
+//           load rebalancing, not outright failures
+//   plus:   Pylon quorum-loss events are rare (33 in the paper's week)
+//
+// The scenario runs a day with last-mile churn on, a rolling BRASS upgrade
+// process (drain + revive), and two brief KV-node outages.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/daily.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+int main() {
+  PrintHeader("Fig. 10", "connection drops and proxy-induced stream reconnects");
+
+  ClusterConfig cluster_config;
+  cluster_config.seed = 1010;
+  cluster_config.brass_hosts_per_region = 4;  // headroom for rolling drains
+  BladerunnerCluster cluster(cluster_config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 110;
+  graph_config.num_videos = 140;
+  graph_config.num_threads = 70;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  cluster.sim().RunFor(Seconds(3));
+
+  // Two short subscriber-KV outages during the day: with one replica down,
+  // quorum still holds; the second outage overlaps two replicas in some
+  // placements and produces a handful of quorum losses (the paper saw 33
+  // quorum-breakage events in a week).
+  cluster.sim().Schedule(Hours(7), [&cluster]() {
+    cluster.pylon()->KvNodeAt(0)->SetAvailable(false);
+    cluster.pylon()->KvNodeAt(1)->SetAvailable(false);
+  });
+  cluster.sim().Schedule(Hours(7) + Minutes(6), [&cluster]() {
+    cluster.pylon()->KvNodeAt(0)->SetAvailable(true);
+    cluster.pylon()->KvNodeAt(1)->SetAvailable(true);
+  });
+  cluster.sim().Schedule(Hours(18), [&cluster]() {
+    cluster.pylon()->KvNodeAt(2)->SetAvailable(false);
+    cluster.pylon()->KvNodeAt(3)->SetAvailable(false);
+  });
+  cluster.sim().Schedule(Hours(18) + Minutes(5), [&cluster]() {
+    cluster.pylon()->KvNodeAt(2)->SetAvailable(true);
+    cluster.pylon()->KvNodeAt(3)->SetAvailable(true);
+  });
+
+  DailyScenarioConfig daily;
+  daily.duration = Hours(24);
+  daily.connectivity_churn = true;
+  daily.host_upgrade_interval = Minutes(60);  // rolling BRASS upgrades
+  DailyScenario scenario(&cluster, &graph, daily);
+  scenario.Run();
+
+  const double users = static_cast<double>(scenario.num_users());
+  const TimeSeries& drops = scenario.Series("daily.drops");
+  const TimeSeries& reconnects = scenario.Series("daily.proxy_reconnects");
+
+  PrintSection("per 15-minute bucket (every 2 hours shown; rates per 1000 users)");
+  PrintRow("%-7s %-22s %s", "time", "drops/min/1k-users", "proxy-reconnects/min/1k-users");
+  double drops_total = 0.0;
+  double reconnects_total = 0.0;
+  size_t buckets = drops.BucketCount();
+  for (size_t b = 0; b + 1 < buckets; ++b) {
+    drops_total += drops.Sum(b);
+    reconnects_total += reconnects.Sum(b);
+    if (b % 8 == 0) {
+      PrintRow("%-7s %-22.2f %.2f", FormatTimeOfDay(drops.BucketStart(b)).c_str(),
+               drops.RatePerMinute(b) / users * 1000.0,
+               reconnects.RatePerMinute(b) / users * 1000.0);
+    }
+  }
+
+  int64_t quorum_failures = cluster.metrics().GetCounter("pylon.quorum_failures").value();
+  int64_t host_drains = cluster.metrics().GetCounter("brass.host_drains").value();
+
+  PrintSection("paper vs measured");
+  // The paper's absolute magnitudes are fleet-scale (18-33M drops/min over
+  // ~1.5-2B devices ~= 9-22 drops/min per 1000 online-or-not users); we
+  // compare the normalized rate and the *shape*: diurnal drops; reconnect
+  // bursts tied to upgrades; drops >> proxy reconnects.
+  Recap("drops/min per 1k users", "~9 - 22 (fleet-normalized)",
+        Fmt("%.1f avg", drops_total / (24.0 * 60.0) / users * 1000.0));
+  Recap("proxy reconnects driven by upgrades", "majority of reconnect events",
+        Fmt("%lld reconnects across %lld drains", static_cast<long long>(reconnects_total),
+            static_cast<long long>(host_drains)));
+  // NOTE: the paper's 15x drops-vs-reconnects gap reflects its fleet shape
+  // (~10^9 devices per ~10^3 BRASS hosts, so one drained host touches a
+  // tiny share of streams); at simulation scale one drain touches a much
+  // larger share, so this ratio is not scale-invariant — we report both
+  // series and check that drops dominate.
+  Recap("drops dominate proxy reconnects", ">1x (15x at fleet scale)",
+        Fmt("%.1fx", drops_total / std::max(1.0, reconnects_total)));
+  Recap("Pylon quorum-loss incidents", "rare (33 events/week)",
+        Fmt("2 injected outages; %lld failed subscribe ops signalled to clients",
+            static_cast<long long>(quorum_failures)));
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Reproduces Fig. 6: "Latency distribution for LiveVideoComments" — from
+// comment posted to available at the edge, polling vs Bladerunner stream.
+//
+//   paper: polling has a long tail (mean 4.8s, p75 6s, p95 14s);
+//          streaming does not (mean 3.4s, p75 4s, p95 6s).
+//
+// The same comment workload runs against (a) a polling fleet with
+// bandwidth-appropriate intervals per connectivity class, and (b) a
+// Bladerunner stream fleet. Polling clients page through backlogs; stream
+// clients are rate-limited and buffer at most 10s (§5).
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/polling.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+namespace {
+
+struct RunResult {
+  Histogram latency;
+};
+
+RunResult RunWorkload(bool use_polling, uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  BladerunnerCluster cluster(config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 120;
+  graph_config.num_videos = 1;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  ObjectId video = graph.videos[0];
+  cluster.sim().RunFor(Seconds(2));
+
+  const int kViewers = 40;
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  std::vector<std::unique_ptr<LvcPollingClient>> pollers;
+  for (int i = 0; i < kViewers; ++i) {
+    UserId user = graph.users[static_cast<size_t>(i)];
+    RegionId region = cluster.topology().SampleRegion(cluster.sim().rng());
+    DeviceProfile profile = cluster.topology().SampleProfile(cluster.sim().rng());
+    if (use_polling) {
+      // Poll interval regulated by bandwidth class (§1: "bandwidth and
+      // battery usage can be managed by regulating the polling frequency").
+      SimTime interval = profile == DeviceProfile::kWifi      ? Seconds(2)
+                         : profile == DeviceProfile::kMobile4g ? Seconds(4)
+                                                               : Seconds(10);
+      pollers.push_back(std::make_unique<LvcPollingClient>(&cluster, user, region, profile,
+                                                           video, interval));
+      pollers.back()->Start();
+    } else {
+      devices.push_back(std::make_unique<DeviceAgent>(&cluster, user, region, profile));
+      devices.back()->SubscribeLvc(video);
+    }
+  }
+  cluster.sim().RunFor(Seconds(6));
+
+  std::vector<std::unique_ptr<DeviceAgent>> commenters;
+  for (int i = 60; i < 90; ++i) {
+    commenters.push_back(std::make_unique<DeviceAgent>(
+        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+  }
+  auto post = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      DeviceAgent& commenter = *commenters[cluster.sim().rng().Index(commenters.size())];
+      commenter.PostComment(video, "c", "en");
+    }
+  };
+  // Steady trickle with two bursts (the live-event moments).
+  for (int s = 0; s < 150; ++s) {
+    if ((s >= 40 && s < 50) || (s >= 100 && s < 112)) {
+      post(18);
+    } else if (cluster.sim().rng().Bernoulli(0.55)) {
+      post(1);
+    }
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(30));
+
+  RunResult result;
+  const Histogram* h = cluster.metrics().FindHistogram(use_polling ? "poll.lvc_latency_us"
+                                                                   : "e2e.total_us.LVC");
+  if (h != nullptr) {
+    result.latency.Merge(*h);
+  }
+  return result;
+}
+
+void PrintDistribution(const char* label, const Histogram& h) {
+  // The figure's x-axis: share of deliveries landing in each 1s bin.
+  std::printf("%-8s", label);
+  double prev = 0.0;
+  for (int s = 1; s <= 20; ++s) {
+    double cdf = h.CdfAt(static_cast<double>(Seconds(s)));
+    std::printf(" %4.1f%%", (cdf - prev) * 100.0);
+    prev = cdf;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 6", "LVC comment-to-edge latency: polling vs Bladerunner stream");
+
+  RunResult poll = RunWorkload(/*use_polling=*/true, 606);
+  RunResult stream = RunWorkload(/*use_polling=*/false, 606);
+
+  PrintSection("distribution (share of deliveries per 1-second bin, 1..20s)");
+  std::printf("%-8s", "bin:");
+  for (int s = 1; s <= 20; ++s) {
+    std::printf(" %4ds", s);
+  }
+  std::printf("\n");
+  PrintDistribution("poll", poll.latency);
+  PrintDistribution("stream", stream.latency);
+
+  PrintSection("summary");
+  PrintRow("  poll:   %s", poll.latency.Summary(1e6, "s").c_str());
+  PrintRow("  stream: %s", stream.latency.Summary(1e6, "s").c_str());
+
+  PrintSection("paper vs measured");
+  Recap("poll mean", "4.8s", Fmt("%.1fs", poll.latency.Mean() / 1e6));
+  Recap("stream mean", "3.4s", Fmt("%.1fs", stream.latency.Mean() / 1e6));
+  Recap("poll p75", "6s", Fmt("%.1fs", poll.latency.Quantile(0.75) / 1e6));
+  Recap("stream p75", "4s", Fmt("%.1fs", stream.latency.Quantile(0.75) / 1e6));
+  Recap("poll p95 (the long tail)", "14s", Fmt("%.1fs", poll.latency.Quantile(0.95) / 1e6));
+  Recap("stream p95", "6s", Fmt("%.1fs", stream.latency.Quantile(0.95) / 1e6));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 7: "Percentage of request-stream subscriptions with 0,
+// 1-9, 10-99, and over 100 publications."
+//
+//   paper: ~75% zero | ~19% 1-9 | ~5.5% 10-99 | ~0.6% 100+  (stable across
+//   twelve sample points two hours apart)
+//
+// Methodology mirrors the paper: run a day of traffic, pick twelve instants
+// two hours apart, take the request-streams active at each instant, and
+// count the update events that targeted each stream's subscription over
+// the stream's *entire lifetime*.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/daily.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+int main() {
+  PrintHeader("Fig. 7", "publications per request-stream subscription");
+
+  ClusterConfig cluster_config;
+  cluster_config.seed = 707;
+  BladerunnerCluster cluster(cluster_config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 110;
+  graph_config.num_videos = 400;
+  graph_config.num_threads = 70;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  cluster.sim().RunFor(Seconds(3));
+
+  DailyScenarioConfig daily;
+  daily.duration = Hours(24);
+  DailyScenario scenario(&cluster, &graph, daily);
+  scenario.Run();
+
+  std::vector<StreamRecord> records = scenario.CollectStreamRecords();
+
+  // Twelve sample instants, two hours apart (01:00, 03:00, ..., 23:00).
+  PrintSection("per sample instant: share of active subscriptions by lifetime publications");
+  PrintRow("%-7s %8s %8s %8s %8s  (active)", "time", "0", "1-9", "10-99", "100+");
+  int64_t totals[4] = {0, 0, 0, 0};
+  int64_t grand_total = 0;
+  for (int hour = 1; hour < 24; hour += 2) {
+    SimTime sample = Hours(hour) + Seconds(3);
+    int64_t buckets[4] = {0, 0, 0, 0};
+    int64_t active = 0;
+    for (const StreamRecord& record : records) {
+      if (record.started_at <= sample && sample < record.closed_at) {
+        size_t b = record.events_targeted == 0     ? 0
+                   : record.events_targeted < 10   ? 1
+                   : record.events_targeted < 100  ? 2
+                                                   : 3;
+        buckets[b] += 1;
+        ++active;
+      }
+    }
+    if (active == 0) {
+      continue;
+    }
+    for (size_t b = 0; b < 4; ++b) {
+      totals[b] += buckets[b];
+    }
+    grand_total += active;
+    PrintRow("%-7s %7.1f%% %7.1f%% %7.1f%% %7.2f%%  (%lld)",
+             FormatTimeOfDay(sample).c_str(), 100.0 * buckets[0] / active,
+             100.0 * buckets[1] / active, 100.0 * buckets[2] / active,
+             100.0 * buckets[3] / active, static_cast<long long>(active));
+  }
+
+  PrintSection("paper vs measured (aggregate over the 12 sample points)");
+  auto pct = [&](size_t b) {
+    return Fmt("%.1f%%", 100.0 * static_cast<double>(totals[b]) /
+                             std::max<int64_t>(1, grand_total));
+  };
+  Recap("subscriptions with 0 publications", "~75%", pct(0));
+  Recap("subscriptions with 1-9 publications", "~19%", pct(1));
+  Recap("subscriptions with 10-99 publications", "~5.5%", pct(2));
+  Recap("subscriptions with 100+ publications", "~0.6%", pct(3));
+  return 0;
+}

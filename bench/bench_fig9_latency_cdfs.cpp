@@ -1,0 +1,112 @@
+// Reproduces Fig. 9: cumulative distributions of update latencies for
+// TypingIndicator and LiveVideoComments, broken into the paper's spans:
+//
+//   (i)   publish: edge -> Web Application Server
+//   (ii)  BRASS host processing (incl. Pylon + backend calls + batching)
+//   (iii) BRASS to device
+//   (iv)  total publish time
+//
+//   paper (shape): TI is fast and tight; LVC is slower at every leg
+//   (ranking at the WAS, rate limiting at the BRASS, video-competing edge
+//   bandwidth) with multi-second totals; everything is heavy-tailed.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+int main() {
+  PrintHeader("Fig. 9", "update latency CDFs: TypingIndicator vs LiveVideoComments");
+
+  ClusterConfig config;
+  config.seed = 909;
+  BladerunnerCluster cluster(config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 160;
+  graph_config.num_videos = 1;
+  graph_config.num_threads = 40;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  ObjectId video = graph.videos[0];
+  cluster.sim().RunFor(Seconds(2));
+
+  // Clients located around the world (paper: "clients located around the
+  // world"), on the full mix of connectivity profiles.
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  auto make_device = [&](UserId user) -> DeviceAgent* {
+    RegionId region = cluster.topology().SampleRegion(cluster.sim().rng());
+    DeviceProfile profile = cluster.topology().SampleProfile(cluster.sim().rng());
+    devices.push_back(std::make_unique<DeviceAgent>(&cluster, user, region, profile));
+    return devices.back().get();
+  };
+
+  for (int i = 0; i < 25; ++i) {
+    make_device(graph.users[static_cast<size_t>(i)])->SubscribeLvc(video);
+  }
+  std::vector<std::pair<DeviceAgent*, ObjectId>> typists;
+  for (int t = 0; t < 30; ++t) {
+    ObjectId thread = graph.threads[static_cast<size_t>(t)];
+    const auto& members = graph.thread_members[thread];
+    make_device(members[0])->SubscribeTyping(thread);
+    typists.emplace_back(make_device(members[1]), thread);
+  }
+  std::vector<DeviceAgent*> commenters;
+  for (int i = 100; i < 130; ++i) {
+    commenters.push_back(make_device(graph.users[static_cast<size_t>(i)]));
+  }
+  cluster.sim().RunFor(Seconds(6));
+
+  // Drive both applications for a few simulated minutes.
+  for (int s = 0; s < 240; ++s) {
+    if (cluster.sim().rng().Bernoulli(0.7)) {
+      DeviceAgent* commenter = commenters[cluster.sim().rng().Index(commenters.size())];
+      commenter->PostComment(video, "c", graph.language[commenter->user()]);
+    }
+    if (cluster.sim().rng().Bernoulli(0.8)) {
+      auto& [typist, thread] = typists[cluster.sim().rng().Index(typists.size())];
+      typist->SetTyping(thread, s % 2 == 0);
+    }
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(30));
+
+  MetricsRegistry& m = cluster.metrics();
+  auto get = [&m](const std::string& name) -> const Histogram& {
+    static Histogram empty;
+    const Histogram* h = m.FindHistogram(name);
+    return h != nullptr ? *h : empty;
+  };
+
+  PrintSection("publish: edge -> WAS (ms)");
+  PrintCdfMillis("TypingIndicator", get("was.publish_delay_us.other"));
+  PrintCdfMillis("LiveVideoComments", get("was.publish_delay_us.ranked"));
+
+  PrintSection("BRASS host processing (ms, log-scale in the paper)");
+  PrintCdfMillis("TypingIndicator", get("brass.event_to_push_us"));
+  PrintCdfMillis("LiveVideoComments", get("lvc.brass_processing_us"));
+
+  PrintSection("BRASS to device (ms)");
+  PrintCdfMillis("TypingIndicator", get("e2e.brass_to_device_us.TI"));
+  PrintCdfMillis("LiveVideoComments", get("e2e.brass_to_device_us.LVC"));
+
+  PrintSection("total publish time (s)");
+  PrintCdfSeconds("TypingIndicator", get("e2e.total_us.TI"));
+  PrintCdfSeconds("LiveVideoComments", get("e2e.total_us.LVC"));
+
+  PrintSection("paper vs measured (shape checks)");
+  Recap("TI total p50 vs LVC total p50", "TI ~0.5-1s << LVC ~3-5s",
+        Fmt("TI %.2fs vs LVC %.2fs", get("e2e.total_us.TI").Quantile(0.5) / 1e6,
+            get("e2e.total_us.LVC").Quantile(0.5) / 1e6));
+  Recap("edge->WAS: TI ~x10 faster than LVC", "240ms vs 2000ms",
+        Fmt("%.0fms vs %.0fms", get("was.publish_delay_us.other").Mean() / 1e3,
+            get("was.publish_delay_us.ranked").Mean() / 1e3));
+  Recap("BRASS->device heavy tail (p99/p50)", ">5x",
+        Fmt("TI %.1fx", get("e2e.brass_to_device_us.TI").Quantile(0.99) /
+                            std::max(1.0, get("e2e.brass_to_device_us.TI").Quantile(0.5))));
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Component microbenchmarks (google-benchmark): the hot paths of the
+// simulated infrastructure itself — rendezvous hashing, topic ops, BURST
+// framing, the LVC ranked buffer, histograms, the event queue, and the
+// query-language front end.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/burst/frames.h"
+#include "src/graphql/parser.h"
+#include "src/graphql/value.h"
+#include "src/pylon/rendezvous.h"
+#include "src/pylon/topic.h"
+#include "src/sim/histogram.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+namespace {
+
+void BM_TopicHash(benchmark::State& state) {
+  Topic topic = LvcTopic(1234567);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopicHash(topic));
+  }
+}
+BENCHMARK(BM_TopicHash);
+
+void BM_TopicSplit(benchmark::State& state) {
+  Topic topic = "/TI/123456/7890";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitTopic(topic));
+  }
+}
+BENCHMARK(BM_TopicSplit);
+
+void BM_RendezvousTopK(benchmark::State& state) {
+  std::vector<uint64_t> nodes;
+  for (uint64_t i = 1; i <= static_cast<uint64_t>(state.range(0)); ++i) {
+    nodes.push_back(i);
+  }
+  int64_t topic_id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RendezvousTopK(LvcTopic(topic_id++), nodes, 3));
+  }
+}
+BENCHMARK(BM_RendezvousTopK)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Zipf(1000000, 1.1));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(2);
+  for (auto _ : state) {
+    h.Record(rng.LogNormal(5000.0, 0.8));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.LogNormal(5000.0, 0.8));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Quantile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(Micros(i * 7 % 997), []() {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_GraphqlParseQuery(benchmark::State& state) {
+  std::string text =
+      "query { comments(video: 123456, after: 98765, first: 25) "
+      "{ id text author time indexTime suppressed } }";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Parse(text));
+  }
+}
+BENCHMARK(BM_GraphqlParseQuery);
+
+void BM_ValueToJson(benchmark::State& state) {
+  Value v;
+  v.Set("id", 123456789);
+  v.Set("text", "a typical comment body with some length to it");
+  v.Set("author", 424242);
+  v.Set("quality", 0.87);
+  ValueList tags;
+  for (int i = 0; i < 5; ++i) {
+    tags.push_back(Value("tag" + std::to_string(i)));
+  }
+  v.Set("tags", Value(std::move(tags)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.ToJson());
+  }
+}
+BENCHMARK(BM_ValueToJson);
+
+void BM_BurstFrameWireSize(benchmark::State& state) {
+  ResponseFrame frame;
+  frame.key = StreamKey{42, 7};
+  for (int i = 0; i < 4; ++i) {
+    Value payload;
+    payload.Set("id", 1000 + i);
+    payload.Set("text", "delta payload body");
+    frame.batch.push_back(Delta::Data(std::move(payload), static_cast<uint64_t>(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.WireSize());
+  }
+}
+BENCHMARK(BM_BurstFrameWireSize);
+
+void BM_StreamKeyHash(benchmark::State& state) {
+  StreamKeyHash hasher;
+  StreamKey key{123456789, 42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher(key));
+    key.sid += 1;
+  }
+}
+BENCHMARK(BM_StreamKeyHash);
+
+}  // namespace
+}  // namespace bladerunner
+
+BENCHMARK_MAIN();

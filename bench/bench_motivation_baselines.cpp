@@ -1,0 +1,169 @@
+// Reproduces §2's motivation: the same LiveVideoComments workload run
+// against each architecture the paper deployed or experimented with before
+// building Bladerunner — client-side polling, server-side polling,
+// pub/sub-triggered polling (Thialfi-style) — and Bladerunner itself.
+//
+//   paper: "polling in the above approaches is generally wasteful at the
+//   backend since the majority of polls come up empty"; Messenger on
+//   polling "needed eight times the hardware"; triggering eliminates empty
+//   polls but still pays range/intersect query costs per hit.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/polling.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+namespace {
+
+enum class Arch { kClientPoll, kServerPoll, kTrigger, kBladerunner };
+
+struct Result {
+  int64_t backend_queries = 0;  // WAS queries (the poll load)
+  int64_t tao_range_reads = 0;  // index pressure
+  int64_t tao_shards = 0;
+  int64_t was_cpu_us = 0;
+  double mean_latency_s = 0.0;
+  int64_t items = 0;
+};
+
+Result RunArch(Arch arch, uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  BladerunnerCluster cluster(config, Topology::OneRegion());
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 80;
+  graph_config.num_videos = 1;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  ObjectId video = graph.videos[0];
+  cluster.sim().RunFor(Seconds(2));
+
+  const int kViewers = 25;
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  std::vector<std::unique_ptr<LvcPollingClient>> pollers;
+  std::vector<std::unique_ptr<LvcServerPollAgent>> agents;
+  std::vector<std::unique_ptr<LvcTriggerClient>> triggers;
+  for (int i = 0; i < kViewers; ++i) {
+    UserId user = graph.users[static_cast<size_t>(i)];
+    switch (arch) {
+      case Arch::kClientPoll:
+        pollers.push_back(std::make_unique<LvcPollingClient>(&cluster, user, 0,
+                                                             DeviceProfile::kWifi, video,
+                                                             Seconds(2)));
+        pollers.back()->Start();
+        break;
+      case Arch::kServerPoll:
+        agents.push_back(std::make_unique<LvcServerPollAgent>(&cluster, user, 0,
+                                                              DeviceProfile::kWifi, video,
+                                                              Seconds(2)));
+        agents.back()->Start();
+        break;
+      case Arch::kTrigger:
+        triggers.push_back(std::make_unique<LvcTriggerClient>(&cluster, user, 0,
+                                                              DeviceProfile::kWifi, video,
+                                                              90000 + i));
+        triggers.back()->Start();
+        break;
+      case Arch::kBladerunner:
+        devices.push_back(std::make_unique<DeviceAgent>(&cluster, user, 0, DeviceProfile::kWifi));
+        devices.back()->SubscribeLvc(video);
+        break;
+    }
+  }
+  cluster.sim().RunFor(Seconds(5));
+  MetricsRegistry& m = cluster.metrics();
+  m.GetCounter("was.queries").Reset();
+  m.GetCounter("was.fetches").Reset();
+  m.GetCounter("tao.range_reads").Reset();
+  m.GetCounter("tao.shards_touched").Reset();
+  m.GetCounter("was.cpu_us").Reset();
+
+  std::vector<std::unique_ptr<DeviceAgent>> commenters;
+  for (int i = 40; i < 60; ++i) {
+    commenters.push_back(std::make_unique<DeviceAgent>(
+        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+  }
+  // Mostly quiet (the Table 1 regime) with one short burst.
+  for (int s = 0; s < 150; ++s) {
+    if (s >= 70 && s < 78) {
+      for (int k = 0; k < 6; ++k) {
+        DeviceAgent& c = *commenters[cluster.sim().rng().Index(commenters.size())];
+        c.PostComment(video, "c", "en");
+      }
+    } else if (cluster.sim().rng().Bernoulli(0.05)) {
+      DeviceAgent& c = *commenters[cluster.sim().rng().Index(commenters.size())];
+      c.PostComment(video, "c", "en");
+    }
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(25));
+
+  Result result;
+  // Backend request load: blind/triggered GraphQL polls for the polling
+  // architectures; privacy-checked point fetches for Bladerunner.
+  result.backend_queries =
+      m.GetCounter("was.queries").value() + m.GetCounter("was.fetches").value();
+  result.tao_range_reads = m.GetCounter("tao.range_reads").value();
+  result.tao_shards = m.GetCounter("tao.shards_touched").value();
+  result.was_cpu_us = m.GetCounter("was.cpu_us").value();
+  const char* histogram = arch == Arch::kClientPoll    ? "poll.lvc_latency_us"
+                          : arch == Arch::kServerPoll  ? "server_poll.lvc_latency_us"
+                          : arch == Arch::kTrigger     ? "trigger.lvc_latency_us"
+                                                       : "e2e.total_us.LVC";
+  const Histogram* h = m.FindHistogram(histogram);
+  if (h != nullptr && h->count() > 0) {
+    result.mean_latency_s = h->Mean() / 1e6;
+    result.items = static_cast<int64_t>(h->count());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Motivation (§2)", "the same LVC workload on each candidate architecture");
+
+  Result client = RunArch(Arch::kClientPoll, 77);
+  Result server = RunArch(Arch::kServerPoll, 77);
+  Result trigger = RunArch(Arch::kTrigger, 77);
+  Result stream = RunArch(Arch::kBladerunner, 77);
+
+  PrintSection("backend load (25 viewers, 150s, quiet-with-a-burst workload)");
+  PrintRow("%-22s %-14s %-14s %-12s %-12s %s", "architecture", "WAS requests", "range reads",
+           "shards", "WAS CPU ms", "mean latency");
+  auto row = [](const char* name, const Result& r) {
+    PrintRow("%-22s %-14lld %-14lld %-12lld %-12lld %.1fs (n=%lld)", name,
+             static_cast<long long>(r.backend_queries),
+             static_cast<long long>(r.tao_range_reads), static_cast<long long>(r.tao_shards),
+             static_cast<long long>(r.was_cpu_us / 1000), r.mean_latency_s,
+             static_cast<long long>(r.items));
+  };
+  row("client-side polling", client);
+  row("server-side polling", server);
+  row("pub/sub triggering", trigger);
+  row("Bladerunner", stream);
+
+  PrintSection("paper vs measured");
+  Recap("client & server polling waste the backend", "majority of polls empty",
+        Fmt("%.0fx / %.0fx more WAS requests than Bladerunner",
+            static_cast<double>(client.backend_queries) /
+                std::max<int64_t>(1, stream.backend_queries),
+            static_cast<double>(server.backend_queries) /
+                std::max<int64_t>(1, stream.backend_queries)));
+  Recap("polling needs ~8x the hardware (Messenger)", "8x",
+        Fmt("%.1fx WAS CPU (client polling vs Bladerunner)",
+            static_cast<double>(client.was_cpu_us) / std::max<int64_t>(1, stream.was_cpu_us)));
+  Recap("triggering removes empty polls", "poll count collapses",
+        Fmt("%lld triggered queries vs %lld blind polls", trigger.backend_queries,
+            client.backend_queries));
+  Recap("but triggered polls still pay index costs", "range/intersect per hit",
+        Fmt("%lld range reads (Bladerunner: %lld)", trigger.tao_range_reads,
+            stream.tao_range_reads));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Table 1: "Distribution of number of updates within a 24h
+// period to targetted areas of interest in the social graph."
+//
+//   paper: 83% zero | 16% <10 | 0.95% <100 | 0.049% >1M | 0.0001% >100M
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/random.h"
+#include "src/workload/popularity.h"
+
+using namespace bladerunner;
+
+int main() {
+  PrintHeader("Table 1", "updates per area of interest within 24h");
+
+  Rng rng(1);
+  AreaPopularityModel model;
+  const int64_t kAreas = 4000000;  // areas of interest sampled
+  std::vector<int64_t> buckets(6, 0);
+  int64_t max_updates = 0;
+  for (int64_t i = 0; i < kAreas; ++i) {
+    int64_t updates = model.SampleDailyUpdates(rng);
+    buckets[AreaPopularityModel::BucketOf(updates)] += 1;
+    max_updates = std::max(max_updates, updates);
+  }
+
+  PrintSection("measured distribution");
+  PrintRow("%-10s %-14s %s", "updates", "areas", "fraction");
+  const auto& labels = AreaPopularityModel::BucketLabels();
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (b == 3) {
+      continue;  // Table 1 has no 100..1M bucket; it is empty by design
+    }
+    PrintRow("%-10s %-14lld %.5f%%", labels[b].c_str(), static_cast<long long>(buckets[b]),
+             100.0 * static_cast<double>(buckets[b]) / static_cast<double>(kAreas));
+  }
+  PrintRow("hottest sampled area: %lld updates/day", static_cast<long long>(max_updates));
+
+  PrintSection("paper vs measured");
+  auto pct = [&](size_t b) {
+    return Fmt("%.4f%%", 100.0 * static_cast<double>(buckets[b]) / static_cast<double>(kAreas));
+  };
+  Recap("areas with 0 updates", "83%", pct(0));
+  Recap("areas with <10 updates", "16%", pct(1));
+  Recap("areas with <100 updates", "0.95%", pct(2));
+  Recap("areas with >1M updates", "0.049%", pct(4));
+  Recap("areas with >100M updates", "0.0001%", pct(5));
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Reproduces Table 3: "Latency of Bladerunner sub-operations."
+//
+//   paper rows (averages):
+//     WAS receives update -> sent to Pylon:  LVC ~2,000ms / other ~240ms
+//     Pylon publish -> sent to n BRASSes:    <10k subs ~100ms / >=10k ~109ms
+//     BRASS receives update -> sent to dev:  ~76ms (60ms of it WAS query)
+//     Subscription at gateway -> replicated: ~73ms
+//     (plus device-side subscribe: ~490ms NA/EU, ~970ms all countries)
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/pylon/messages.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+using namespace bladerunner;
+
+namespace {
+
+// Measures Pylon publish->delivery with a controlled number of subscriber
+// sinks, isolating the fanout cost (the <10k vs >=10k split).
+double MeasureFanoutMs(int num_subscribers, uint64_t seed) {
+  Simulator sim(seed);
+  Topology topology = Topology::ThreeRegions();
+  MetricsRegistry metrics;
+  PylonConfig config;
+  config.servers_per_region = 2;
+  config.kv_nodes_per_region = 2;
+  PylonCluster pylon(&sim, &topology, config, &metrics);
+
+  Topic topic = "/bench/fanout";
+  Histogram arrival;
+  std::vector<std::unique_ptr<RpcServer>> sinks;
+  SimTime published_at = 0;
+  for (int i = 0; i < num_subscribers; ++i) {
+    auto sink = std::make_unique<RpcServer>();
+    sink->RegisterMethod("brass.event",
+                         [&arrival, &sim, &published_at](MessagePtr, RpcServer::Respond respond) {
+                           arrival.Record(static_cast<double>(sim.Now() - published_at));
+                           respond(std::make_shared<PylonAck>());
+                         });
+    RegionId region = static_cast<RegionId>(i % topology.num_regions());
+    pylon.RegisterSubscriberHost(1000 + i, region, sink.get());
+    sinks.push_back(std::move(sink));
+  }
+  // Subscribe all sinks (quorum writes).
+  PylonServer* server = pylon.RouteServer(topic);
+  RpcChannel channel(&sim, server->rpc(), LatencyModel::IntraRegion());
+  for (int i = 0; i < num_subscribers; ++i) {
+    auto request = std::make_shared<PylonSubscribeRequest>();
+    request->topic = topic;
+    request->host_id = 1000 + i;
+    channel.Call("pylon.subscribe", request, [](RpcStatus, MessagePtr) {});
+  }
+  sim.RunFor(Seconds(10));
+
+  // Publish a handful of events; measure mean delivery delay.
+  for (int p = 0; p < 5; ++p) {
+    auto event = std::make_shared<UpdateEvent>();
+    event->topic = topic;
+    event->event_id = static_cast<uint64_t>(p) + 1;
+    event->published_at = sim.Now();
+    published_at = sim.Now();
+    auto request = std::make_shared<PylonPublishRequest>();
+    request->event = std::move(event);
+    channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
+    sim.RunFor(Seconds(5));
+  }
+  return arrival.Mean() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3", "latency of Bladerunner sub-operations");
+
+  ClusterConfig config;
+  config.seed = 33;
+  BladerunnerCluster cluster(config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 120;
+  graph_config.num_videos = 2;
+  graph_config.num_threads = 30;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  cluster.sim().RunFor(Seconds(2));
+
+  // Stream-connected devices: LVC viewers, typing watchers, and the
+  // corresponding mutation sources, spread over regions and profiles.
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  auto make_device = [&](UserId user) -> DeviceAgent* {
+    RegionId region = cluster.topology().SampleRegion(cluster.sim().rng());
+    DeviceProfile profile = cluster.topology().SampleProfile(cluster.sim().rng());
+    devices.push_back(std::make_unique<DeviceAgent>(&cluster, user, region, profile));
+    return devices.back().get();
+  };
+
+  for (int i = 0; i < 20; ++i) {
+    make_device(graph.users[static_cast<size_t>(i)])->SubscribeLvc(graph.videos[0]);
+  }
+  std::vector<std::pair<DeviceAgent*, ObjectId>> typists;
+  for (int t = 0; t < 15; ++t) {
+    ObjectId thread = graph.threads[static_cast<size_t>(t)];
+    const auto& members = graph.thread_members[thread];
+    make_device(members[0])->SubscribeTyping(thread);
+    typists.emplace_back(make_device(members[1]), thread);
+  }
+  cluster.sim().RunFor(Seconds(5));
+
+  // Drive mutations: comments (ranked publishes) + typing (other).
+  std::vector<DeviceAgent*> commenters;
+  for (int i = 50; i < 70; ++i) {
+    commenters.push_back(make_device(graph.users[static_cast<size_t>(i)]));
+  }
+  for (int round = 0; round < 40; ++round) {
+    DeviceAgent* commenter = commenters[cluster.sim().rng().Index(commenters.size())];
+    commenter->PostComment(graph.videos[0], "c", graph.language[commenter->user()]);
+    auto& [typist, thread] = typists[cluster.sim().rng().Index(typists.size())];
+    typist->SetTyping(thread, round % 2 == 0);
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(20));
+
+  MetricsRegistry& m = cluster.metrics();
+  const Histogram* ranked = m.FindHistogram("was.publish_delay_us.ranked");
+  const Histogram* other = m.FindHistogram("was.publish_delay_us.other");
+  const Histogram* brass_push = m.FindHistogram("brass.event_to_push_us");
+  const Histogram* was_fetch = m.FindHistogram("brass.was_fetch_us");
+  const Histogram* sub_repl = m.FindHistogram("pylon.subscribe_replication_us");
+  const Histogram* sub_setup = m.FindHistogram("e2e.subscribe_setup_us");
+  const Histogram* fanout = m.FindHistogram("pylon.fanout_latency_us");
+
+  PrintSection("WAS receives update request -> request sent to Pylon");
+  PrintRow("  LVC (ranked):  mean=%.0fms  (n=%llu)", ranked ? ranked->Mean() / 1000.0 : 0.0,
+           ranked ? static_cast<unsigned long long>(ranked->count()) : 0ULL);
+  PrintRow("  other:         mean=%.0fms  (n=%llu)", other ? other->Mean() / 1000.0 : 0.0,
+           other ? static_cast<unsigned long long>(other->count()) : 0ULL);
+
+  PrintSection("Pylon receives publish -> update sent to n BRASSes");
+  double fanout_small = MeasureFanoutMs(500, 42);
+  double fanout_large = MeasureFanoutMs(12000, 43);
+  PrintRow("  %d subscribers:   mean=%.1fms", 500, fanout_small);
+  PrintRow("  %d subscribers: mean=%.1fms  (marginal per-subscriber send cost)", 12000,
+           fanout_large);
+  if (fanout != nullptr && fanout->count() > 0) {
+    PrintRow("  in-scenario fanout latency: mean=%.1fms p90=%.1fms (n=%llu)",
+             fanout->Mean() / 1000.0, fanout->Quantile(0.9) / 1000.0,
+             static_cast<unsigned long long>(fanout->count()));
+  }
+
+  PrintSection("BRASS receives update -> sent to devices (non-buffering app)");
+  PrintRow("  total:         mean=%.0fms  (n=%llu)",
+           brass_push ? brass_push->Mean() / 1000.0 : 0.0,
+           brass_push ? static_cast<unsigned long long>(brass_push->count()) : 0ULL);
+  PrintRow("  of which WAS query: mean=%.0fms",
+           was_fetch ? was_fetch->Mean() / 1000.0 : 0.0);
+
+  PrintSection("Subscription request -> replicated onto Pylon");
+  PrintRow("  backend replication: mean=%.0fms  (n=%llu)",
+           sub_repl ? sub_repl->Mean() / 1000.0 : 0.0,
+           sub_repl ? static_cast<unsigned long long>(sub_repl->count()) : 0ULL);
+  PrintRow("  device-observed setup (all countries/profiles): mean=%.0fms p90=%.0fms",
+           sub_setup ? sub_setup->Mean() / 1000.0 : 0.0,
+           sub_setup ? sub_setup->Quantile(0.9) / 1000.0 : 0.0);
+
+  PrintSection("paper vs measured");
+  Recap("WAS update->Pylon (LVC)", "2,000ms",
+        Fmt("%.0fms", ranked ? ranked->Mean() / 1000.0 : 0.0));
+  Recap("WAS update->Pylon (other)", "240ms",
+        Fmt("%.0fms", other ? other->Mean() / 1000.0 : 0.0));
+  Recap("Pylon publish->BRASSes (<10k subs)", "100ms", Fmt("%.0fms", fanout_small));
+  Recap("Pylon publish->BRASSes (>=10k subs)", "109ms", Fmt("%.0fms", fanout_large));
+  Recap("BRASS update->device", "76ms (60 WAS)",
+        Fmt("%.0fms (%.0f WAS)", brass_push ? brass_push->Mean() / 1000.0 : 0.0,
+            was_fetch ? was_fetch->Mean() / 1000.0 : 0.0));
+  Recap("subscription->replicated on Pylon", "73ms",
+        Fmt("%.0fms", sub_repl ? sub_repl->Mean() / 1000.0 : 0.0));
+  Recap("device subscribe setup (worldwide)", "~970ms avg",
+        Fmt("%.0fms", sub_setup ? sub_setup->Mean() / 1000.0 : 0.0));
+  return 0;
+}

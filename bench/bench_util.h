@@ -1,0 +1,69 @@
+// Shared output helpers for the paper-reproduction benchmarks. Every bench
+// prints (i) the rows/series of the table or figure it regenerates and
+// (ii) a "paper vs measured" recap so EXPERIMENTS.md can be filled by
+// reading the output.
+
+#ifndef BLADERUNNER_BENCH_BENCH_UTIL_H_
+#define BLADERUNNER_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/histogram.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintSection(const std::string& name) { std::printf("\n-- %s --\n", name.c_str()); }
+
+inline void PrintRow(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Prints a CDF as "p  value_seconds" pairs at the given quantiles.
+inline void PrintCdfSeconds(const std::string& label, const Histogram& histogram) {
+  std::printf("%-28s", label.c_str());
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    std::printf("  p%02.0f=%.3fs", q * 100.0, histogram.Quantile(q) / 1e6);
+  }
+  std::printf("  (n=%llu)\n", static_cast<unsigned long long>(histogram.count()));
+}
+
+inline void PrintCdfMillis(const std::string& label, const Histogram& histogram) {
+  std::printf("%-28s", label.c_str());
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    std::printf("  p%02.0f=%.0fms", q * 100.0, histogram.Quantile(q) / 1e3);
+  }
+  std::printf("  (n=%llu)\n", static_cast<unsigned long long>(histogram.count()));
+}
+
+// One "paper vs measured" recap line.
+inline void Recap(const std::string& what, const std::string& paper, const std::string& measured) {
+  std::printf("  %-44s paper: %-22s measured: %s\n", what.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string Fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,208 @@
+#include "src/apps/lvc.h"
+
+#include <algorithm>
+
+namespace bladerunner {
+
+LiveVideoCommentsApp::LiveVideoCommentsApp(BrassRuntime& runtime, LvcConfig config)
+    : BrassApplication(runtime), config_(config) {}
+
+LiveVideoCommentsApp::~LiveVideoCommentsApp() {
+  for (auto& [key, viewer] : viewers_) {
+    if (viewer.push_timer != kInvalidTimerId) {
+      runtime().CancelTimer(viewer.push_timer);
+    }
+  }
+}
+
+BrassAppFactory LiveVideoCommentsApp::Factory(LvcConfig config) {
+  return [config](BrassRuntime& runtime) {
+    return std::make_unique<LiveVideoCommentsApp>(runtime, config);
+  };
+}
+
+void LiveVideoCommentsApp::OnStreamStarted(BrassStream& stream) {
+  ViewerState viewer;
+  viewer.stream = &stream;
+  viewer.language = stream.context.Get("language").AsString();
+  if (viewer.language.empty()) {
+    viewer.language = "en";
+  }
+  for (const Value& f : stream.context.Get("friends").AsList()) {
+    viewer.friends.push_back(f.AsInt(0));
+  }
+  viewers_[stream.key] = std::move(viewer);
+  SchedulePush(stream.key);
+}
+
+void LiveVideoCommentsApp::OnStreamClosed(const StreamKey& key) {
+  auto it = viewers_.find(key);
+  if (it == viewers_.end()) {
+    return;
+  }
+  if (it->second.push_timer != kInvalidTimerId) {
+    runtime().CancelTimer(it->second.push_timer);
+  }
+  viewers_.erase(it);
+}
+
+bool LiveVideoCommentsApp::FilterForViewer(const ViewerState& viewer, const UpdateEvent& event,
+                                           const BrassStream& stream) const {
+  double quality = event.metadata.Get("quality").AsDouble(0.0);
+  if (quality < config_.min_quality) {
+    return false;  // spam / low quality, filtered for all users
+  }
+  UserId author = event.metadata.Get("author").AsInt(0);
+  if (author == stream.viewer) {
+    return false;  // the viewer's own comment is already on screen
+  }
+  // A stranger's comment needs to be exceptional to be shown (§2).
+  bool is_friend = std::find(viewer.friends.begin(), viewer.friends.end(), author) !=
+                   viewer.friends.end();
+  if (!is_friend && quality < config_.non_friend_quality) {
+    return false;
+  }
+  if (config_.filter_language) {
+    const std::string& language = event.metadata.Get("language").AsString();
+    if (!language.empty() && language != viewer.language) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LiveVideoCommentsApp::InsertCandidate(ViewerState& viewer, const UpdateEvent& event) {
+  Candidate candidate;
+  candidate.quality = event.metadata.Get("quality").AsDouble(0.0);
+  candidate.created_at = event.created_at;
+  candidate.received_at = runtime().Now();
+  candidate.metadata = event.metadata;
+  auto pos = std::lower_bound(
+      viewer.buffer.begin(), viewer.buffer.end(), candidate,
+      [](const Candidate& a, const Candidate& b) { return a.quality > b.quality; });
+  viewer.buffer.insert(pos, std::move(candidate));
+  if (viewer.buffer.size() > config_.buffer_capacity) {
+    viewer.buffer.pop_back();  // evict the lowest-ranked candidate
+  }
+}
+
+void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
+                                   const std::vector<BrassStream*>& streams) {
+  (void)topic;
+  for (BrassStream* stream : streams) {
+    auto it = viewers_.find(stream->key);
+    if (it == viewers_.end()) {
+      continue;
+    }
+    it->second.stream = stream;
+    if (!config_.filter_at_brass) {
+      // Ablation: firehose mode — push everything, let the device decide.
+      runtime().CountDecision(true);
+      StreamKey key = stream->key;
+      SimTime created_at = event.created_at;
+      runtime().FetchPayload(event.metadata, stream->viewer,
+                             [this, key, created_at](bool allowed, Value payload) {
+                               if (!allowed) {
+                                 return;
+                               }
+                               auto it2 = viewers_.find(key);
+                               if (it2 == viewers_.end() || it2->second.stream == nullptr) {
+                                 return;
+                               }
+                               runtime().DeliverData(*it2->second.stream, std::move(payload), 0,
+                                                     created_at);
+                             });
+      continue;
+    }
+    if (!FilterForViewer(it->second, event, *stream)) {
+      runtime().CountDecision(false);
+      continue;
+    }
+    InsertCandidate(it->second, event);
+    // Buffering is not yet a delivery decision; the decision happens at
+    // push time. But an insert that evicts a candidate *was* a decision
+    // against the evicted one — accounted there via the age filter.
+  }
+}
+
+void LiveVideoCommentsApp::SchedulePush(const StreamKey& key) {
+  auto it = viewers_.find(key);
+  if (it == viewers_.end()) {
+    return;
+  }
+  it->second.push_timer = runtime().ScheduleTimer(config_.push_interval, [this, key]() {
+    PushBest(key);
+    SchedulePush(key);
+  });
+}
+
+void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
+  auto it = viewers_.find(key);
+  if (it == viewers_.end()) {
+    return;
+  }
+  ViewerState& viewer = it->second;
+  SimTime now = runtime().Now();
+
+  // Age out stale candidates first; each expiry is a negative decision.
+  while (!viewer.buffer.empty() &&
+         now - viewer.buffer.back().created_at > config_.max_comment_age) {
+    viewer.buffer.pop_back();
+    runtime().CountDecision(false);
+  }
+  // (Aging is quality-ordered from the back; sweep remaining entries too.)
+  for (size_t i = viewer.buffer.size(); i > 0; --i) {
+    if (now - viewer.buffer[i - 1].created_at > config_.max_comment_age) {
+      viewer.buffer.erase(viewer.buffer.begin() + static_cast<ptrdiff_t>(i - 1));
+      runtime().CountDecision(false);
+    }
+  }
+  if (viewer.buffer.empty() || viewer.stream == nullptr || !viewer.stream->attached()) {
+    return;
+  }
+  // Pick by freshness-weighted rank: a live-video comment loses relevance
+  // as it ages, so effective rank decays over the buffering window.
+  size_t best_index = 0;
+  double best_rank = -1e9;
+  for (size_t i = 0; i < viewer.buffer.size(); ++i) {
+    double age_fraction = static_cast<double>(now - viewer.buffer[i].created_at) /
+                          static_cast<double>(config_.max_comment_age);
+    double rank = viewer.buffer[i].quality - config_.age_penalty * age_fraction;
+    if (rank > best_rank) {
+      best_rank = rank;
+      best_index = i;
+    }
+  }
+  Candidate best = std::move(viewer.buffer[best_index]);
+  viewer.buffer.erase(viewer.buffer.begin() + static_cast<ptrdiff_t>(best_index));
+  runtime().CountDecision(true);
+
+  // Fetch the comment payload from the WAS (privacy-checked point query,
+  // Fig. 5 steps 8-10), then push to the device.
+  StreamKey stream_key = key;
+  SimTime created_at = best.created_at;
+  SimTime received_at = best.received_at;
+  UserId viewer_id = viewer.stream->viewer;
+  runtime().FetchPayload(best.metadata, viewer_id,
+                         [this, stream_key, created_at, received_at](bool allowed,
+                                                                     Value payload) {
+                           if (!allowed) {
+                             runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
+                             return;
+                           }
+                           auto it2 = viewers_.find(stream_key);
+                           if (it2 == viewers_.end() || it2->second.stream == nullptr) {
+                             return;
+                           }
+                           // Fig. 9's "BRASS host processing" leg for LVC:
+                           // buffering + rate limiting + the payload fetch.
+                           runtime()
+                               .metrics()
+                               .GetHistogram("lvc.brass_processing_us")
+                               .Record(static_cast<double>(runtime().Now() - received_at));
+                           runtime().DeliverData(*it2->second.stream, std::move(payload),
+                                                 /*seq=*/0, created_at);
+                         });
+}
+
+}  // namespace bladerunner

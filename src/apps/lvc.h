@@ -1,0 +1,105 @@
+// LiveVideoComments: the application that drove Bladerunner's design (§2).
+//
+// Each stream-connected viewer has a ranked buffer of candidate comments.
+// Incoming update events are filtered per viewer (spam/quality, age,
+// language, self-comments), buffered, and the highest-ranked comment is
+// pushed at a prescribed maximum rate (one comment every ~2 s, buffered at
+// most 10 s). Under very high comment volume the WAS/BRASS strategy
+// switches: the WAS pre-ranks, discards low-quality comments, publishes
+// only extremely high-ranked ones to /LVC/<vid>, and routes the rest via
+// /LVC/<vid>/<uid> per-author topics that BRASSes subscribe to for each
+// viewer's friends (§3.4).
+
+#ifndef BLADERUNNER_SRC_APPS_LVC_H_
+#define BLADERUNNER_SRC_APPS_LVC_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/brass/application.h"
+#include "src/brass/runtime.h"
+
+namespace bladerunner {
+
+struct LvcConfig {
+  // Max one pushed comment per stream per this interval (paper: one message
+  // every two seconds for LVC, §5).
+  SimTime push_interval = Seconds(2);
+
+  // Comments older than this are irrelevant and dropped (§5: "buffering
+  // comments up to a maximum of 10 seconds").
+  SimTime max_comment_age = Seconds(10);
+
+  // Ranked-buffer capacity per stream (paper holds ranking fixed at 5).
+  size_t buffer_capacity = 5;
+
+  // Quality floor below which a comment is filtered for everyone.
+  double min_quality = 0.35;
+
+  // Comments by users the viewer does not know are less meaningful (§2):
+  // they pass only above this (much higher) quality bar — "unless perhaps
+  // the commenter is a celebrity".
+  double non_friend_quality = 0.88;
+
+  // Freshness weighting at push time: effective rank = quality -
+  // age_penalty * (age / max_comment_age). Comments to a live video lose
+  // relevance quickly (§1), so a fresh decent comment beats a stale great
+  // one.
+  double age_penalty = 0.45;
+
+  // Filter comments whose language differs from the viewer's.
+  bool filter_language = true;
+
+  // The DESIGN.md §5.4 ablation: when false, the BRASS neither filters nor
+  // rate-limits — every event is fetched and pushed, and the *device* has
+  // to make the relevance decisions (the firehose the paper's design
+  // avoids, §2 "Pub/sub data distribution").
+  bool filter_at_brass = true;
+};
+
+class LiveVideoCommentsApp : public BrassApplication {
+ public:
+  LiveVideoCommentsApp(BrassRuntime& runtime, LvcConfig config);
+  ~LiveVideoCommentsApp() override;
+
+  void OnStreamStarted(BrassStream& stream) override;
+  void OnStreamClosed(const StreamKey& key) override;
+  void OnEvent(const Topic& topic, const UpdateEvent& event,
+               const std::vector<BrassStream*>& streams) override;
+
+  static BrassAppFactory Factory(LvcConfig config = {});
+
+ private:
+  struct Candidate {
+    double quality = 0.0;
+    SimTime created_at = 0;   // comment creation (origin side)
+    SimTime received_at = 0;  // event arrival at this BRASS instance
+    Value metadata;
+  };
+
+  struct ViewerState {
+    BrassStream* stream = nullptr;
+    std::string language;
+    std::vector<UserId> friends;
+    std::vector<Candidate> buffer;  // kept sorted by quality, best first
+    TimerId push_timer = kInvalidTimerId;
+  };
+
+  // Per-viewer filtering: returns true if the comment survives for this
+  // viewer (quality, age, language, own comment).
+  bool FilterForViewer(const ViewerState& viewer, const UpdateEvent& event,
+                       const BrassStream& stream) const;
+
+  void InsertCandidate(ViewerState& viewer, const UpdateEvent& event);
+  void SchedulePush(const StreamKey& key);
+  void PushBest(const StreamKey& key);
+
+  LvcConfig config_;
+  std::unordered_map<StreamKey, ViewerState, StreamKeyHash> viewers_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_LVC_H_

@@ -1,0 +1,63 @@
+// Messenger content delivery: reliable, in-order message delivery built on
+// Bladerunner's best-effort substrate (§4).
+//
+// Every mailbox message carries a consecutive per-mailbox sequence number.
+// The BRASS tracks the next expected sequence per stream; gaps (dropped
+// publishes) are detected and recovered by polling the mailbox through the
+// WAS. Deliveries carry their sequence number; the device acks, and the
+// BRASS persists the last-delivered sequence into the stream header via a
+// rewrite, so a resubscribe after any failure resumes exactly where the
+// device left off — the paper's "Resumption" use of rewrites (§3.5).
+
+#ifndef BLADERUNNER_SRC_APPS_MESSENGER_H_
+#define BLADERUNNER_SRC_APPS_MESSENGER_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/brass/application.h"
+#include "src/brass/runtime.h"
+
+namespace bladerunner {
+
+struct MessengerConfig {
+  // How many delivered-but-unacked messages to retain for redelivery.
+  size_t redelivery_buffer = 64;
+};
+
+class MessengerApp : public BrassApplication {
+ public:
+  MessengerApp(BrassRuntime& runtime, MessengerConfig config);
+
+  void OnStreamStarted(BrassStream& stream) override;
+  void OnStreamResumed(BrassStream& stream) override;
+  void OnStreamClosed(const StreamKey& key) override;
+  void OnEvent(const Topic& topic, const UpdateEvent& event,
+               const std::vector<BrassStream*>& streams) override;
+  void OnAck(BrassStream& stream, uint64_t seq) override;
+
+  static BrassAppFactory Factory(MessengerConfig config = {});
+
+ private:
+  struct MailboxState {
+    BrassStream* stream = nullptr;
+    uint64_t next_seq = 1;                 // next sequence to deliver
+    std::map<uint64_t, Value> pending;     // fetched, waiting for their turn
+    std::map<uint64_t, Value> unacked;     // delivered, awaiting device ack
+    bool recovering = false;               // gap poll in flight
+  };
+
+  void FetchAndQueue(const StreamKey& key, const Value& metadata, uint64_t seq,
+                     SimTime created_at);
+  void DrainPending(const StreamKey& key);
+  void RecoverGap(const StreamKey& key);
+  void PersistProgress(MailboxState& state);
+
+  MessengerConfig config_;
+  std::unordered_map<StreamKey, MailboxState, StreamKeyHash> mailboxes_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_MESSENGER_H_

@@ -1,0 +1,15 @@
+#include "src/apps/registry.h"
+
+namespace bladerunner {
+
+BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config) {
+  BrassAppRegistry registry;
+  registry["LVC"] = LiveVideoCommentsApp::Factory(config.lvc);
+  registry["AS"] = ActiveStatusApp::Factory(config.active_status);
+  registry["TI"] = TypingIndicatorApp::Factory(config.typing);
+  registry["Stories"] = StoriesApp::Factory(config.stories);
+  registry["Messenger"] = MessengerApp::Factory(config.messenger);
+  return registry;
+}
+
+}  // namespace bladerunner

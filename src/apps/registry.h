@@ -1,0 +1,29 @@
+// Builds the standard application registry all BRASS hosts share.
+
+#ifndef BLADERUNNER_SRC_APPS_REGISTRY_H_
+#define BLADERUNNER_SRC_APPS_REGISTRY_H_
+
+#include "src/apps/active_status.h"
+#include "src/apps/lvc.h"
+#include "src/apps/messenger.h"
+#include "src/apps/stories.h"
+#include "src/apps/typing.h"
+#include "src/brass/host.h"
+
+namespace bladerunner {
+
+struct AppsConfig {
+  LvcConfig lvc;
+  ActiveStatusConfig active_status;
+  TypingConfig typing;
+  StoriesConfig stories;
+  MessengerConfig messenger;
+};
+
+// Registers LVC, AS, TI, Stories, and Messenger under their app names
+// (the names clients put into the BURST header's "app" field).
+BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config = {});
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_REGISTRY_H_

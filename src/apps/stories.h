@@ -1,0 +1,55 @@
+// Stories: the BRASS manages the device's displayed tray of the n
+// highest-ranked story containers of the viewer's friends (§3.4). It pushes
+// (i) new stories for displayed containers, (ii) containers that became
+// ranked high enough to display, and (iii) container deletion requests —
+// replacing what would otherwise be two intersect polls per refresh.
+
+#ifndef BLADERUNNER_SRC_APPS_STORIES_H_
+#define BLADERUNNER_SRC_APPS_STORIES_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/brass/application.h"
+#include "src/brass/runtime.h"
+
+namespace bladerunner {
+
+struct StoriesConfig {
+  size_t tray_size = 10;        // n highest-ranked containers displayed
+  SimTime story_ttl = Hours(24);  // stories expire after a day
+};
+
+class StoriesApp : public BrassApplication {
+ public:
+  StoriesApp(BrassRuntime& runtime, StoriesConfig config);
+
+  void OnStreamStarted(BrassStream& stream) override;
+  void OnStreamClosed(const StreamKey& key) override;
+  void OnEvent(const Topic& topic, const UpdateEvent& event,
+               const std::vector<BrassStream*>& streams) override;
+
+  static BrassAppFactory Factory(StoriesConfig config = {});
+
+ private:
+  struct ContainerInfo {
+    double rank = 0.0;
+    SimTime freshest = 0;
+    bool displayed = false;
+  };
+
+  struct ViewerState {
+    BrassStream* stream = nullptr;
+    std::map<UserId, ContainerInfo> containers;  // friend -> container state
+  };
+
+  // Recomputes the top-n display set and pushes the add/remove deltas.
+  void ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger);
+
+  StoriesConfig config_;
+  std::unordered_map<StreamKey, ViewerState, StreamKeyHash> viewers_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_STORIES_H_

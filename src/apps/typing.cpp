@@ -1,0 +1,64 @@
+#include "src/apps/typing.h"
+
+namespace bladerunner {
+
+TypingIndicatorApp::TypingIndicatorApp(BrassRuntime& runtime, TypingConfig config)
+    : BrassApplication(runtime), config_(config) {}
+
+BrassAppFactory TypingIndicatorApp::Factory(TypingConfig config) {
+  return [config](BrassRuntime& runtime) {
+    return std::make_unique<TypingIndicatorApp>(runtime, config);
+  };
+}
+
+void TypingIndicatorApp::OnStreamStarted(BrassStream& stream) {
+  streams_[stream.key] = &stream;
+}
+
+void TypingIndicatorApp::OnStreamClosed(const StreamKey& key) { streams_.erase(key); }
+
+void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
+                                 const std::vector<BrassStream*>& streams) {
+  (void)topic;
+  for (BrassStream* stream : streams) {
+    streams_[stream->key] = stream;
+    runtime().CountDecision(true);
+    if (config_.backend_check) {
+      StreamKey key = stream->key;
+      SimTime created_at = event.created_at;
+      SimTime received_at = runtime().Now();
+      runtime().FetchPayload(
+          event.metadata, stream->viewer,
+          [this, key, created_at, received_at](bool allowed, Value payload) {
+            if (!allowed) {
+              return;
+            }
+            // Device-specific transformation happens after the backend
+            // check, on the app's event loop.
+            LatencyModel transform{config_.transform_ms, 0.3, config_.transform_ms / 4.0};
+            runtime().ScheduleTimer(
+                transform.Sample(runtime().rng()),
+                [this, key, created_at, received_at, payload = std::move(payload)]() mutable {
+                  auto it = streams_.find(key);
+                  if (it == streams_.end() || it->second == nullptr) {
+                    return;
+                  }
+                  // Table 3's "BRASS receives update -> sent to devices"
+                  // span for non-buffering apps.
+                  runtime()
+                      .metrics()
+                      .GetHistogram("brass.event_to_push_us")
+                      .Record(static_cast<double>(runtime().Now() - received_at));
+                  payload.Set("__type", "TypingIndicator");
+                  runtime().DeliverData(*it->second, std::move(payload), 0, created_at);
+                });
+          });
+    } else {
+      Value payload = event.metadata;
+      payload.Set("__type", "TypingIndicator");
+      runtime().DeliverData(*stream, std::move(payload), 0, event.created_at);
+    }
+  }
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,305 @@
+#include "src/baseline/polling.h"
+
+#include "src/was/messages.h"
+
+namespace bladerunner {
+
+namespace {
+
+constexpr size_t kPollPageSize = 25;
+
+std::string LvcPollQuery(ObjectId video, SimTime after) {
+  return "query { comments(video: " + std::to_string(video) + ", after: " +
+         std::to_string(after) + ", first: " + std::to_string(kPollPageSize) +
+         ") { id text author time indexTime suppressed } }";
+}
+
+// Processes a poll result: updates the watermark/seen-set, records the
+// per-comment discovery latency into `histogram`.
+struct PollBookkeeping {
+  SimTime* watermark;
+  std::set<ObjectId>* seen;
+  uint64_t* counter;
+
+  size_t fresh = 0;      // new, displayable comments in this page
+  size_t page_size = 0;  // total entries in this page (incl. suppressed)
+
+  void Apply(const Value& data, Simulator& sim, Histogram& histogram) {
+    for (const Value& comment : data.Get("comments").AsList()) {
+      ++page_size;
+      SimTime index_time = comment.Get("indexTime").AsInt(0);
+      if (index_time > *watermark) {
+        *watermark = index_time;
+      }
+      if (comment.Get("suppressed").AsBool(false)) {
+        continue;
+      }
+      ObjectId id = comment.Get("id").AsInt(0);
+      SimTime created = comment.Get("time").AsInt(0);
+      if (id == 0 || !seen->insert(id).second) {
+        continue;
+      }
+      ++fresh;
+      *counter += 1;
+      if (created > 0) {
+        histogram.Record(static_cast<double>(sim.Now() - created));
+      }
+    }
+  }
+
+  // A full page means a backlog remains; the client pages again now.
+  bool HasMore() const { return page_size >= kPollPageSize; }
+};
+
+}  // namespace
+
+// ---- LvcPollingClient ----
+
+LvcPollingClient::LvcPollingClient(BladerunnerCluster* cluster, UserId user, RegionId region,
+                                   DeviceProfile profile, ObjectId video, SimTime interval)
+    : cluster_(cluster), user_(user), video_(video), interval_(interval) {
+  channel_ = cluster_->DeviceWasChannel(region, profile);
+}
+
+LvcPollingClient::~LvcPollingClient() { Stop(); }
+
+void LvcPollingClient::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  // De-synchronize pollers: first poll after a random fraction of the
+  // interval, as real clients start at random phases.
+  timer_ = cluster_->sim().Schedule(
+      static_cast<SimTime>(cluster_->sim().rng().Uniform(0.0, static_cast<double>(interval_))),
+      [this]() { PollOnce(); });
+}
+
+void LvcPollingClient::Stop() {
+  running_ = false;
+  if (timer_ != kInvalidTimerId) {
+    cluster_->sim().Cancel(timer_);
+    timer_ = kInvalidTimerId;
+  }
+}
+
+void LvcPollingClient::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  timer_ = cluster_->sim().Schedule(interval_, [this]() { PollOnce(); });
+}
+
+void LvcPollingClient::PollOnce() {
+  timer_ = kInvalidTimerId;
+  if (!running_) {
+    return;
+  }
+  polls_ += 1;
+  cluster_->metrics().GetCounter("poll.client_polls").Increment();
+  auto request = std::make_shared<WasQueryRequest>();
+  request->query = LvcPollQuery(video_, watermark_);
+  request->viewer = user_;
+  channel_->Call("was.query", request, [this](RpcStatus status, MessagePtr response) {
+    if (status == RpcStatus::kOk) {
+      auto result = std::static_pointer_cast<WasQueryResponse>(response);
+      PollBookkeeping book{&watermark_, &seen_, &comments_seen_};
+      book.Apply(result->data, cluster_->sim(),
+                 cluster_->metrics().GetHistogram("poll.lvc_latency_us"));
+      if (book.fresh == 0) {
+        empty_polls_ += 1;
+        cluster_->metrics().GetCounter("poll.empty_polls").Increment();
+      }
+      if (book.HasMore() && running_) {
+        // Backlog: page again immediately instead of waiting the interval.
+        timer_ = cluster_->sim().Schedule(Millis(50), [this]() { PollOnce(); });
+        return;
+      }
+    }
+    ScheduleNext();
+  });
+}
+
+// ---- LvcServerPollAgent ----
+
+LvcServerPollAgent::LvcServerPollAgent(BladerunnerCluster* cluster, UserId user, RegionId region,
+                                       DeviceProfile profile, ObjectId video, SimTime interval)
+    : cluster_(cluster),
+      user_(user),
+      video_(video),
+      interval_(interval),
+      last_mile_(cluster->topology().LastMileModel(profile)) {
+  channel_ = cluster_->BackendWasChannel(region);
+}
+
+LvcServerPollAgent::~LvcServerPollAgent() { Stop(); }
+
+void LvcServerPollAgent::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  timer_ = cluster_->sim().Schedule(
+      static_cast<SimTime>(cluster_->sim().rng().Uniform(0.0, static_cast<double>(interval_))),
+      [this]() { PollOnce(); });
+}
+
+void LvcServerPollAgent::Stop() {
+  running_ = false;
+  if (timer_ != kInvalidTimerId) {
+    cluster_->sim().Cancel(timer_);
+    timer_ = kInvalidTimerId;
+  }
+}
+
+void LvcServerPollAgent::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  timer_ = cluster_->sim().Schedule(interval_, [this]() { PollOnce(); });
+}
+
+void LvcServerPollAgent::PollOnce() {
+  timer_ = kInvalidTimerId;
+  if (!running_) {
+    return;
+  }
+  polls_ += 1;
+  cluster_->metrics().GetCounter("server_poll.polls").Increment();
+  auto request = std::make_shared<WasQueryRequest>();
+  request->query = LvcPollQuery(video_, watermark_);
+  request->viewer = user_;
+  channel_->Call("was.query", request, [this](RpcStatus status, MessagePtr response) {
+    if (status == RpcStatus::kOk) {
+      auto result = std::static_pointer_cast<WasQueryResponse>(response);
+      size_t fresh = 0;
+      size_t page_size = 0;
+      for (const Value& comment : result->data.Get("comments").AsList()) {
+        ++page_size;
+        SimTime index_time = comment.Get("indexTime").AsInt(0);
+        if (index_time > watermark_) {
+          watermark_ = index_time;
+        }
+        if (comment.Get("suppressed").AsBool(false)) {
+          continue;
+        }
+        ObjectId id = comment.Get("id").AsInt(0);
+        SimTime created = comment.Get("time").AsInt(0);
+        if (id == 0 || !seen_.insert(id).second) {
+          continue;
+        }
+        ++fresh;
+        // Push to the device over the persistent connection: one last-mile
+        // delivery delay from *now*.
+        SimTime delivery = last_mile_.Sample(cluster_->sim().rng());
+        cluster_->sim().Schedule(delivery, [this, created]() {
+          comments_pushed_ += 1;
+          cluster_->metrics().GetCounter("server_poll.pushed").Increment();
+          if (created > 0) {
+            cluster_->metrics()
+                .GetHistogram("server_poll.lvc_latency_us")
+                .Record(static_cast<double>(cluster_->sim().Now() - created));
+          }
+        });
+      }
+      if (fresh == 0) {
+        empty_polls_ += 1;
+        cluster_->metrics().GetCounter("server_poll.empty_polls").Increment();
+      }
+      if (page_size >= kPollPageSize && running_) {
+        timer_ = cluster_->sim().Schedule(Millis(50), [this]() { PollOnce(); });
+        return;
+      }
+    }
+    ScheduleNext();
+  });
+}
+
+// ---- LvcTriggerClient ----
+
+LvcTriggerClient::LvcTriggerClient(BladerunnerCluster* cluster, UserId user, RegionId region,
+                                   DeviceProfile profile, ObjectId video,
+                                   int64_t notifier_host_id)
+    : cluster_(cluster),
+      user_(user),
+      video_(video),
+      last_mile_(cluster->topology().LastMileModel(profile)),
+      notifier_host_id_(notifier_host_id) {
+  poll_channel_ = cluster_->DeviceWasChannel(region, profile);
+  notify_rpc_.RegisterMethod("brass.event", [this](MessagePtr request,
+                                                   RpcServer::Respond respond) {
+    respond(std::make_shared<PylonAck>());
+    (void)request;
+    if (!running_) {
+      return;
+    }
+    // Notify the device over the last mile; the device then polls.
+    cluster_->sim().Schedule(last_mile_.Sample(cluster_->sim().rng()), [this]() { OnNotified(); });
+  });
+  if (cluster_->pylon() != nullptr) {
+    cluster_->pylon()->RegisterSubscriberHost(notifier_host_id_, region, &notify_rpc_);
+  }
+}
+
+LvcTriggerClient::~LvcTriggerClient() {
+  Stop();
+  if (cluster_->pylon() != nullptr) {
+    cluster_->pylon()->UnregisterSubscriberHost(notifier_host_id_);
+  }
+}
+
+void LvcTriggerClient::Start() {
+  if (running_ || cluster_->pylon() == nullptr) {
+    return;
+  }
+  running_ = true;
+  // Subscribe the notifier to the video's topic.
+  Topic topic = LvcTopic(video_);
+  PylonServer* server = cluster_->pylon()->RouteServer(topic);
+  auto channel = std::make_shared<RpcChannel>(
+      &cluster_->sim(), server->rpc(), LatencyModel::IntraRegion());
+  auto request = std::make_shared<PylonSubscribeRequest>();
+  request->topic = topic;
+  request->host_id = notifier_host_id_;
+  request->subscribe = true;
+  channel->Call("pylon.subscribe", request, [channel](RpcStatus, MessagePtr) {});
+}
+
+void LvcTriggerClient::Stop() { running_ = false; }
+
+void LvcTriggerClient::OnNotified() {
+  notifications_ += 1;
+  cluster_->metrics().GetCounter("trigger.notifications").Increment();
+  if (poll_in_flight_) {
+    poll_again_ = true;  // coalesce
+    return;
+  }
+  PollOnce();
+}
+
+void LvcTriggerClient::PollOnce() {
+  poll_in_flight_ = true;
+  polls_ += 1;
+  cluster_->metrics().GetCounter("trigger.polls").Increment();
+  auto request = std::make_shared<WasQueryRequest>();
+  request->query = LvcPollQuery(video_, watermark_);
+  request->viewer = user_;
+  poll_channel_->Call("was.query", request, [this](RpcStatus status, MessagePtr response) {
+    poll_in_flight_ = false;
+    if (status == RpcStatus::kOk) {
+      auto result = std::static_pointer_cast<WasQueryResponse>(response);
+      PollBookkeeping book{&watermark_, &seen_, &comments_seen_};
+      book.Apply(result->data, cluster_->sim(),
+                 cluster_->metrics().GetHistogram("trigger.lvc_latency_us"));
+      if (book.HasMore()) {
+        poll_again_ = true;
+      }
+    }
+    if (poll_again_ && running_) {
+      poll_again_ = false;
+      PollOnce();
+    }
+  });
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,34 @@
+// BRASS host configuration.
+
+#ifndef BLADERUNNER_SRC_BRASS_CONFIG_H_
+#define BLADERUNNER_SRC_BRASS_CONFIG_H_
+
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+// How the proxies route new streams of an application to hosts (§3.2).
+enum class BrassRoutingPolicy {
+  kByLoad,   // least-loaded host (high-fanout applications)
+  kByTopic,  // hash of the topic (low-fanout: curtails Pylon subscriptions)
+};
+
+struct BrassConfig {
+  // Event-loop processing time charged when a Pylon event is dispatched to
+  // an application instance (the JS-VM callback cost).
+  double event_dispatch_ms = 1.4;
+
+  // Processing time charged for a new stream subscribe at the host.
+  double subscribe_dispatch_ms = 2.0;
+
+  // Timeout for WAS calls issued by BRASS applications.
+  SimTime was_call_timeout = Seconds(5);
+
+  // Cap of BRASS instances (VMs) per host: "the number of BRASSes per host
+  // is limited to two per core" (§3.2); our hosts model 18 cores.
+  int max_apps_per_host = 36;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BRASS_CONFIG_H_

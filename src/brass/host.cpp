@@ -1,0 +1,507 @@
+#include "src/brass/host.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "src/pylon/messages.h"
+#include "src/was/messages.h"
+
+namespace bladerunner {
+
+BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppServer* was,
+                     PylonCluster* pylon, const BrassAppRegistry* registry, BrassConfig config,
+                     BurstConfig burst_config, MetricsRegistry* metrics)
+    : sim_(sim),
+      host_id_(host_id),
+      region_(region),
+      was_(was),
+      pylon_(pylon),
+      registry_(registry),
+      config_(config),
+      burst_config_(burst_config),
+      metrics_(metrics) {
+  assert(sim_ != nullptr && was_ != nullptr && registry_ != nullptr && metrics_ != nullptr);
+  burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
+  event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandlePylonEvent(std::move(request), std::move(respond));
+  });
+  was_channel_ = std::make_unique<RpcChannel>(
+      sim_, was_->rpc(),
+      pylon_ != nullptr ? pylon_->topology()->LinkModel(region_, was_->region())
+                        : LatencyModel::IntraRegion());
+  if (pylon_ != nullptr) {
+    pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
+  }
+}
+
+BrassHost::~BrassHost() {
+  if (pylon_ != nullptr) {
+    pylon_->UnregisterSubscriberHost(host_id_);
+  }
+}
+
+BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
+  auto it = apps_.find(name);
+  if (it != apps_.end()) {
+    return &it->second;
+  }
+  auto factory = registry_->find(name);
+  if (factory == registry_->end()) {
+    return nullptr;
+  }
+  if (static_cast<int>(apps_.size()) >= config_.max_apps_per_host) {
+    metrics_->GetCounter("brass.vm_cap_rejections").Increment();
+    return nullptr;
+  }
+  // Serverless spawn: the first stream for an application arriving at this
+  // host spools up a fresh instance (§1).
+  AppInstance instance;
+  instance.runtime = std::make_unique<BrassRuntime>(this, name);
+  instance.app = factory->second(*instance.runtime);
+  metrics_->GetCounter("brass.app_spawns").Increment();
+  auto [ins, ok] = apps_.emplace(name, std::move(instance));
+  assert(ok);
+  return &ins->second;
+}
+
+void BrassHost::OnStreamStarted(ServerStream& stream) {
+  metrics_->GetCounter("brass.streams_started").Increment();
+  const std::string& app_name = stream.header().Get(kHeaderApp).AsString();
+  AppInstance* app = GetOrSpawnApp(app_name);
+  if (app == nullptr) {
+    stream.Terminate(TerminateReason::kError, "no BRASS implementation for '" + app_name + "'");
+    return;
+  }
+  StreamKey key = stream.key();
+  UserId viewer = stream.header().Get(kHeaderViewer).AsInt(0);
+
+  // Resolve the GraphQL subscription into concrete Pylon topics by calling
+  // the WAS (Fig. 3 step 5).
+  auto resolve = std::make_shared<WasResolveSubRequest>();
+  resolve->subscription = stream.header().Get(kHeaderSubscription).AsString();
+  resolve->viewer = viewer;
+  LatencyModel dispatch{config_.subscribe_dispatch_ms, 0.3, config_.subscribe_dispatch_ms / 4.0};
+  sim_->Schedule(dispatch.Sample(sim_->rng()), [this, key, app_name, resolve]() {
+    was_channel_->Call(
+        "was.resolve_subscription", resolve,
+        [this, key, app_name](RpcStatus status, MessagePtr response) {
+          if (status != RpcStatus::kOk) {
+            ServerStream* s = burst_->FindStream(key);
+            if (s != nullptr) {
+              s->Terminate(TerminateReason::kError, "subscription resolution failed");
+            }
+            return;
+          }
+          CompleteSubscription(key, app_name, std::move(response));
+        },
+        config_.was_call_timeout);
+  });
+}
+
+void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& app,
+                                     MessagePtr resolve_response) {
+  ServerStream* stream = burst_->FindStream(key);
+  if (stream == nullptr) {
+    return;  // cancelled or detached-and-GCed while resolving
+  }
+  auto resolution = std::static_pointer_cast<WasResolveSubResponse>(resolve_response);
+  if (!resolution->ok) {
+    stream->Terminate(TerminateReason::kError, resolution->error);
+    return;
+  }
+  AppInstance* instance = GetOrSpawnApp(app);
+  if (instance == nullptr) {
+    stream->Terminate(TerminateReason::kError, "application unavailable");
+    return;
+  }
+
+  // Device-observed subscription setup span (Table 3's device-side
+  // subscription latency): device send -> topic resolution complete.
+  SimTime sent_at = stream->header().Get("_sentAt").AsInt(0);
+  if (sent_at > 0) {
+    metrics_->GetHistogram("e2e.subscribe_setup_us")
+        .Record(static_cast<double>(sim_->Now() - sent_at));
+  }
+
+  HostStream host_stream;
+  host_stream.app = app;
+  host_stream.state.stream = stream;
+  host_stream.state.key = key;
+  host_stream.state.viewer = stream->header().Get(kHeaderViewer).AsInt(0);
+  host_stream.state.topics = resolution->topics;
+  host_stream.state.context = resolution->context;
+  host_stream.state.started_at = sim_->Now();
+  auto [it, inserted] = streams_.insert_or_assign(key, std::move(host_stream));
+  (void)inserted;
+
+  // Sticky routing (§3.5): patch the stream's stored request everywhere
+  // along the path with this host's identity, so a resubscribe after a
+  // failure lands back here.
+  Value header = stream->header();
+  header.Set(kHeaderBrassHost, host_id_);
+  stream->Rewrite(std::move(header));
+
+  for (const Topic& topic : it->second.state.topics) {
+    SubscribeTopic(topic, key);
+  }
+  instance->app->OnStreamStarted(it->second.state);
+}
+
+void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key) {
+  TopicEntry& entry = topics_[topic];
+  entry.streams.insert(key);
+  // Counterfactual for the subscription-manager ablation: without host-
+  // level dedup, every (stream, topic) attach would be a Pylon operation.
+  metrics_->GetCounter("brass.topic_attaches").Increment();
+  if (entry.subscribed || entry.in_flight || pylon_ == nullptr) {
+    return;  // host-level dedup: one Pylon subscription per (host, topic)
+  }
+  entry.in_flight = true;
+  metrics_->GetCounter("brass.pylon_subscribes").Increment();
+  PylonServer* server = pylon_->RouteServer(topic);
+  auto channel = std::make_shared<RpcChannel>(sim_, server->rpc(),
+                                              pylon_->topology()->LinkModel(region_, server->region()));
+  auto request = std::make_shared<PylonSubscribeRequest>();
+  request->topic = topic;
+  request->host_id = host_id_;
+  request->subscribe = true;
+  channel->Call(
+      "pylon.subscribe", request,
+      [this, topic, channel](RpcStatus status, MessagePtr response) {
+        auto it = topics_.find(topic);
+        if (it == topics_.end()) {
+          return;  // all streams left while subscribing
+        }
+        it->second.in_flight = false;
+        bool ok = status == RpcStatus::kOk &&
+                  std::static_pointer_cast<PylonAck>(response)->ok;
+        if (ok) {
+          it->second.subscribed = true;
+          return;
+        }
+        // Pylon quorum unreachable: reliably inform the affected clients
+        // (§4) — their streams terminate, and devices fall back to polling
+        // and resubscribing.
+        metrics_->GetCounter("brass.pylon_subscribe_failures").Increment();
+        TerminateStreamsOnTopic(topic, "pylon subscription failed");
+      },
+      Seconds(3));
+}
+
+void BrassHost::TerminateStreamsOnTopic(const Topic& topic, const std::string& detail) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return;
+  }
+  std::vector<StreamKey> keys(it->second.streams.begin(), it->second.streams.end());
+  for (const StreamKey& key : keys) {
+    ServerStream* stream = burst_->FindStream(key);
+    if (stream != nullptr) {
+      // Terminate() notifies OnStreamClosed, which releases all host state.
+      stream->Terminate(TerminateReason::kError, detail);
+      continue;
+    }
+    // No transport stream (already GCed): release host state directly.
+    UnsubscribeStreamTopics(key);
+    auto hs = streams_.find(key);
+    if (hs != streams_.end()) {
+      closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
+                                                    hs->second.state.started_at, sim_->Now(),
+                                                    hs->second.events_targeted});
+      auto app = apps_.find(hs->second.app);
+      if (app != apps_.end()) {
+        app->second.app->OnStreamClosed(key);
+      }
+      streams_.erase(hs);
+    }
+  }
+}
+
+void BrassHost::UnsubscribeStreamTopics(const StreamKey& key) {
+  auto hs = streams_.find(key);
+  if (hs == streams_.end()) {
+    return;
+  }
+  for (const Topic& topic : hs->second.state.topics) {
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) {
+      continue;
+    }
+    it->second.streams.erase(key);
+    if (!it->second.streams.empty()) {
+      continue;
+    }
+    bool was_subscribed = it->second.subscribed;
+    topics_.erase(it);
+    if (was_subscribed && pylon_ != nullptr) {
+      metrics_->GetCounter("brass.pylon_unsubscribes").Increment();
+      PylonServer* server = pylon_->RouteServer(topic);
+      auto channel = std::make_shared<RpcChannel>(
+          sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+      auto request = std::make_shared<PylonSubscribeRequest>();
+      request->topic = topic;
+      request->host_id = host_id_;
+      request->subscribe = false;
+      channel->Call("pylon.subscribe", request,
+                    [channel](RpcStatus, MessagePtr) { /* best effort */ });
+    }
+  }
+}
+
+void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond) {
+  auto delivery = std::static_pointer_cast<BrassEventDelivery>(request);
+  respond(std::make_shared<PylonAck>());
+  if (!alive_) {
+    return;
+  }
+  auto event = delivery->event;
+  metrics_->GetCounter("brass.events_received").Increment();
+  // Table 3's "Pylon receives publish -> update sent to n BRASSes" span.
+  SimTime fanout_base =
+      event->pylon_received_at > 0 ? event->pylon_received_at : event->published_at;
+  metrics_->GetHistogram("pylon.fanout_latency_us")
+      .Record(static_cast<double>(sim_->Now() - fanout_base));
+
+  auto topic_it = topics_.find(event->topic);
+  if (topic_it == topics_.end()) {
+    metrics_->GetCounter("brass.events_unsubscribed_topic").Increment();
+    return;
+  }
+  // Group the topic's streams by application, then dispatch on the event
+  // loop (one VM callback per application instance).
+  std::map<std::string, std::vector<StreamKey>> by_app;
+  for (const StreamKey& key : topic_it->second.streams) {
+    auto hs = streams_.find(key);
+    if (hs != streams_.end()) {
+      hs->second.events_targeted += 1;  // Fig. 7 accounting
+      by_app[hs->second.app].push_back(key);
+    }
+  }
+  for (auto& [app_name, keys] : by_app) {
+    LatencyModel dispatch{config_.event_dispatch_ms, 0.4, config_.event_dispatch_ms / 5.0};
+    sim_->Schedule(dispatch.Sample(sim_->rng()),
+                   [this, app_name, keys = std::move(keys), event]() {
+                     auto app = apps_.find(app_name);
+                     if (app == apps_.end()) {
+                       return;
+                     }
+                     std::vector<BrassStream*> live;
+                     live.reserve(keys.size());
+                     for (const StreamKey& key : keys) {
+                       auto hs = streams_.find(key);
+                       if (hs != streams_.end()) {
+                         live.push_back(&hs->second.state);
+                       }
+                     }
+                     if (!live.empty()) {
+                       app->second.app->OnEvent(event->topic, *event, live);
+                     }
+                   });
+  }
+}
+
+void BrassHost::OnStreamResumed(ServerStream& stream) {
+  auto hs = streams_.find(stream.key());
+  if (hs == streams_.end()) {
+    // Shouldn't happen (resume implies retained state), but be safe:
+    OnStreamStarted(stream);
+    return;
+  }
+  hs->second.state.stream = &stream;
+  auto app = apps_.find(hs->second.app);
+  if (app != apps_.end()) {
+    app->second.app->OnStreamResumed(hs->second.state);
+  }
+}
+
+void BrassHost::OnStreamDetached(ServerStream& stream, const std::string& reason) {
+  (void)stream;
+  (void)reason;
+  // State is retained (BurstServer holds it for the keep timeout); nothing
+  // application-visible happens until resume or GC.
+}
+
+void BrassHost::OnStreamClosed(const StreamKey& key, TerminateReason reason) {
+  (void)reason;
+  auto hs = streams_.find(key);
+  if (hs == streams_.end()) {
+    return;
+  }
+  closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
+                                                hs->second.state.started_at, sim_->Now(),
+                                                hs->second.events_targeted});
+  UnsubscribeStreamTopics(key);
+  auto app = apps_.find(hs->second.app);
+  if (app != apps_.end()) {
+    app->second.app->OnStreamClosed(key);
+  }
+  streams_.erase(hs);
+}
+
+std::vector<StreamRecord> BrassHost::OpenStreamRecords() const {
+  std::vector<StreamRecord> records;
+  records.reserve(streams_.size());
+  for (const auto& [key, hs] : streams_) {
+    records.push_back(StreamRecord{key, hs.app, hs.state.started_at, 0, hs.events_targeted});
+  }
+  return records;
+}
+
+void BrassHost::OnAck(ServerStream& stream, uint64_t seq) {
+  auto hs = streams_.find(stream.key());
+  if (hs == streams_.end()) {
+    return;
+  }
+  auto app = apps_.find(hs->second.app);
+  if (app != apps_.end()) {
+    app->second.app->OnAck(hs->second.state, seq);
+  }
+}
+
+void BrassHost::FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
+                             std::function<void(bool, Value)> callback) {
+  metrics_->GetCounter("brass.was_fetches").Increment();
+  auto request = std::make_shared<WasFetchRequest>();
+  request->app = app;
+  request->metadata = metadata;
+  request->viewer = viewer;
+  SimTime started = sim_->Now();
+  auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
+  was_channel_->Call(
+      "was.fetch", request,
+      [this, cb, started](RpcStatus status, MessagePtr response) {
+        metrics_->GetHistogram("brass.was_fetch_us")
+            .Record(static_cast<double>(sim_->Now() - started));
+        if (status != RpcStatus::kOk) {
+          (*cb)(false, Value(nullptr));
+          return;
+        }
+        auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
+        (*cb)(fetch->allowed, fetch->payload);
+      },
+      config_.was_call_timeout);
+}
+
+void BrassHost::WasQuery(const std::string& query, UserId viewer,
+                         std::function<void(bool, Value)> callback) {
+  auto request = std::make_shared<WasQueryRequest>();
+  request->query = query;
+  request->viewer = viewer;
+  auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
+  was_channel_->Call(
+      "was.query", request,
+      [cb](RpcStatus status, MessagePtr response) {
+        if (status != RpcStatus::kOk) {
+          (*cb)(false, Value(nullptr));
+          return;
+        }
+        auto result = std::static_pointer_cast<WasQueryResponse>(response);
+        (*cb)(result->errors.empty(), result->data);
+      },
+      config_.was_call_timeout);
+}
+
+void BrassHost::CountDecision(const std::string& app, bool delivered) {
+  // A decision is one examine-and-decide on (event, stream); Fig. 8's
+  // "decisions on updates" series. Positive decisions lead to deliveries
+  // (possibly batched: several positive decisions can share one push).
+  metrics_->GetCounter("brass.decisions").Increment();
+  metrics_->GetCounter("brass.decisions." + app).Increment();
+  if (delivered) {
+    metrics_->GetCounter("brass.decisions_positive").Increment();
+  } else {
+    metrics_->GetCounter("brass.filtered").Increment();
+  }
+}
+
+void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value payload,
+                            uint64_t seq, SimTime event_created_at) {
+  if (stream.stream == nullptr) {
+    metrics_->GetCounter("brass.deliveries_dropped").Increment();
+    return;
+  }
+  // Fig. 8's "update deliveries" series: actual pushes toward devices.
+  metrics_->GetCounter("brass.deliveries").Increment();
+  metrics_->GetCounter("brass.deliveries." + app).Increment();
+  // Last-mile bandwidth accounting (the filter-location ablation).
+  metrics_->GetCounter("brass.delivered_bytes")
+      .Increment(static_cast<int64_t>(payload.WireSize()));
+  // Stamp timing metadata so the device side can record Fig. 9's legs.
+  if (event_created_at > 0) {
+    payload.Set("_createdAt", event_created_at);
+  }
+  payload.Set("_sentAt", sim_->Now());
+  payload.Set("_app", app);
+  stream.stream->PushData(std::move(payload), seq);
+  if (event_created_at > 0) {
+    metrics_->GetHistogram("brass.push_delay_us." + app)
+        .Record(static_cast<double>(sim_->Now() - event_created_at));
+  }
+}
+
+void BrassHost::WithdrawAllPylonSubscriptions() {
+  if (pylon_ == nullptr) {
+    return;
+  }
+  for (const auto& [topic, entry] : topics_) {
+    if (!entry.subscribed) {
+      continue;
+    }
+    PylonServer* server = pylon_->RouteServer(topic);
+    auto channel = std::make_shared<RpcChannel>(
+        sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+    auto request = std::make_shared<PylonSubscribeRequest>();
+    request->topic = topic;
+    request->host_id = host_id_;
+    request->subscribe = false;
+    channel->Call("pylon.subscribe", request, [channel](RpcStatus, MessagePtr) {});
+  }
+  topics_.clear();
+}
+
+void BrassHost::Drain() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  metrics_->GetCounter("brass.host_drains").Increment();
+  burst_->Drain();
+  WithdrawAllPylonSubscriptions();
+  streams_.clear();
+  apps_.clear();
+  if (pylon_ != nullptr) {
+    pylon_->UnregisterSubscriberHost(host_id_);
+  }
+}
+
+void BrassHost::FailHost() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  metrics_->GetCounter("brass.host_failures").Increment();
+  burst_->FailHost();
+  // "Pylon also detects this and removes all subscriptions from that host"
+  // (§4): modeled as the withdrawal happening shortly after the crash.
+  sim_->Schedule(Millis(800), [this]() { WithdrawAllPylonSubscriptions(); });
+  streams_.clear();
+  apps_.clear();
+  if (pylon_ != nullptr) {
+    pylon_->UnregisterSubscriberHost(host_id_);
+  }
+}
+
+void BrassHost::Revive() {
+  if (alive_) {
+    return;
+  }
+  alive_ = true;
+  burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
+  if (pylon_ != nullptr) {
+    pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
+  }
+  metrics_->GetCounter("brass.host_revives").Increment();
+}
+
+}  // namespace bladerunner

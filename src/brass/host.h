@@ -1,0 +1,160 @@
+// A BRASS host: the multi-tenant machine that runs BRASS application
+// instances (§3.2).
+//
+// The host owns (i) the BURST server endpoint its streams terminate at,
+// (ii) the Pylon *subscription manager* that deduplicates topic
+// subscriptions across all instances on the host (§3.3 footnote 10), and
+// (iii) the per-application instances, spawned serverlessly when the first
+// stream for an application arrives.
+
+#ifndef BLADERUNNER_SRC_BRASS_HOST_H_
+#define BLADERUNNER_SRC_BRASS_HOST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/brass/application.h"
+#include "src/brass/config.h"
+#include "src/brass/runtime.h"
+#include "src/burst/config.h"
+#include "src/burst/server.h"
+#include "src/net/rpc.h"
+#include "src/pylon/cluster.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/was/server.h"
+
+namespace bladerunner {
+
+// The factories available to all hosts: app name -> factory.
+using BrassAppRegistry = std::map<std::string, BrassAppFactory>;
+
+// Per-stream lifecycle record, used by the Fig. 7 analysis ("number of
+// update events targeting each request-stream's subscription during the
+// stream's entire lifetime").
+struct StreamRecord {
+  StreamKey key;
+  std::string app;
+  SimTime started_at = 0;
+  SimTime closed_at = 0;  // 0: still open
+  uint64_t events_targeted = 0;
+};
+
+class BrassHost : public BurstServerHandler {
+ public:
+  BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppServer* was,
+            PylonCluster* pylon, const BrassAppRegistry* registry, BrassConfig config,
+            BurstConfig burst_config, MetricsRegistry* metrics);
+  ~BrassHost() override;
+
+  int64_t host_id() const { return host_id_; }
+  RegionId region() const { return region_; }
+  bool alive() const { return alive_; }
+  Simulator* sim() { return sim_; }
+  MetricsRegistry* metrics() { return metrics_; }
+  const BrassConfig& config() const { return config_; }
+
+  BurstServer* burst() { return burst_.get(); }
+  RpcServer* event_rpc() { return &event_rpc_; }
+
+  size_t StreamCount() const { return streams_.size(); }
+  size_t AppInstanceCount() const { return apps_.size(); }
+  size_t PylonSubscriptionCount() const { return topics_.size(); }
+
+  // ---- Fig. 7 stream records ----
+
+  // Records of streams that have closed (with their lifetime event counts).
+  const std::vector<StreamRecord>& closed_stream_records() const {
+    return closed_stream_records_;
+  }
+  void ClearClosedStreamRecords() { closed_stream_records_.clear(); }
+
+  // Snapshot of still-open streams as records (closed_at == 0).
+  std::vector<StreamRecord> OpenStreamRecords() const;
+
+  // Graceful drain for upgrades/rebalancing: streams move to other hosts
+  // (the proxies repair them); Pylon subscriptions are withdrawn.
+  void Drain();
+
+  // Crash: all state (streams, app instances, buffers) is lost; Pylon
+  // detects the failure and withdraws the host's subscriptions (§4).
+  void FailHost();
+
+  // Brings a drained/crashed host back into service with a fresh BURST
+  // endpoint and no state (a replacement host in the paper's terms).
+  void Revive();
+
+  // ---- services used by BrassRuntime ----
+  void FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
+                    std::function<void(bool, Value)> callback);
+  void WasQuery(const std::string& query, UserId viewer,
+                std::function<void(bool, Value)> callback);
+  void CountDecision(const std::string& app, bool delivered);
+  void DeliverData(const std::string& app, BrassStream& stream, Value payload, uint64_t seq,
+                   SimTime event_created_at);
+
+  // ---- BurstServerHandler ----
+  void OnStreamStarted(ServerStream& stream) override;
+  void OnStreamResumed(ServerStream& stream) override;
+  void OnStreamDetached(ServerStream& stream, const std::string& reason) override;
+  void OnStreamClosed(const StreamKey& key, TerminateReason reason) override;
+  void OnAck(ServerStream& stream, uint64_t seq) override;
+
+ private:
+  struct AppInstance {
+    std::unique_ptr<BrassRuntime> runtime;
+    std::unique_ptr<BrassApplication> app;
+  };
+
+  struct TopicEntry {
+    std::set<StreamKey> streams;
+    bool subscribed = false;   // Pylon ack received
+    bool in_flight = false;    // subscribe RPC outstanding
+  };
+
+  struct HostStream {
+    BrassStream state;
+    std::string app;
+    uint64_t events_targeted = 0;  // update events routed at this stream
+  };
+
+  // Spawns the instance if needed ("serverless" spawn); nullptr if the app
+  // is unknown or the host is at its VM cap.
+  AppInstance* GetOrSpawnApp(const std::string& name);
+
+  void HandlePylonEvent(MessagePtr request, RpcServer::Respond respond);
+  void CompleteSubscription(const StreamKey& key, const std::string& app,
+                            MessagePtr resolve_response);
+  void SubscribeTopic(const Topic& topic, const StreamKey& key);
+  void UnsubscribeStreamTopics(const StreamKey& key);
+  void TerminateStreamsOnTopic(const Topic& topic, const std::string& detail);
+  void WithdrawAllPylonSubscriptions();
+
+  Simulator* sim_;
+  int64_t host_id_;
+  RegionId region_;
+  WebAppServer* was_;
+  PylonCluster* pylon_;
+  const BrassAppRegistry* registry_;
+  BrassConfig config_;
+  BurstConfig burst_config_;
+  MetricsRegistry* metrics_;
+  bool alive_ = true;
+
+  std::unique_ptr<BurstServer> burst_;
+  RpcServer event_rpc_;
+  std::unique_ptr<RpcChannel> was_channel_;
+  std::map<std::string, AppInstance> apps_;
+  std::unordered_map<StreamKey, HostStream, StreamKeyHash> streams_;
+  std::map<Topic, TopicEntry> topics_;
+  std::vector<StreamRecord> closed_stream_records_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BRASS_HOST_H_

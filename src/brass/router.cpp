@@ -1,0 +1,98 @@
+#include "src/brass/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+
+BrassRouter::BrassRouter(Simulator* sim, const Topology* topology, BurstConfig burst_config,
+                         MetricsRegistry* metrics)
+    : sim_(sim), topology_(topology), burst_config_(burst_config), metrics_(metrics) {
+  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+}
+
+void BrassRouter::RegisterHost(BrassHost* host) {
+  hosts_.push_back(host);
+  by_id_[host->host_id()] = host;
+}
+
+void BrassRouter::SetAppPolicy(const std::string& app, BrassRoutingPolicy policy) {
+  policies_[app] = policy;
+}
+
+BrassHost* BrassRouter::FindHost(int64_t host_id) const {
+  auto it = by_id_.find(host_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+int64_t BrassRouter::PickHost(const Value& header) {
+  const std::string& app = header.Get(kHeaderApp).AsString();
+  RegionId preferred = static_cast<RegionId>(header.Get(kHeaderRegion).AsInt(-1));
+
+  // Candidate set: alive hosts, preferring the stream's target region.
+  std::vector<BrassHost*> candidates;
+  for (BrassHost* host : hosts_) {
+    if (host->alive() && (preferred < 0 || host->region() == preferred)) {
+      candidates.push_back(host);
+    }
+  }
+  if (candidates.empty()) {
+    for (BrassHost* host : hosts_) {
+      if (host->alive()) {
+        candidates.push_back(host);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return 0;
+  }
+
+  BrassRoutingPolicy policy = BrassRoutingPolicy::kByLoad;
+  auto it = policies_.find(app);
+  if (it != policies_.end()) {
+    policy = it->second;
+  }
+  if (policy == BrassRoutingPolicy::kByTopic) {
+    // Topic-based routing keeps all streams of one topic on one host,
+    // curtailing the number of Pylon subscriptions (§3.2).
+    const std::string& topic = header.Get(kHeaderSubscription).AsString();
+    uint64_t h = TopicHash(app + "|" + topic);
+    return candidates[h % candidates.size()]->host_id();
+  }
+  // Load-based: least streams. Stream counts only update once a subscribe
+  // reaches its host, so a burst of picks in one instant would all see the
+  // same counts and pile onto one host; rotate among the tied minimum to
+  // spread such bursts.
+  size_t min_load = SIZE_MAX;
+  for (BrassHost* host : candidates) {
+    min_load = std::min(min_load, host->StreamCount());
+  }
+  std::vector<BrassHost*> tied;
+  for (BrassHost* host : candidates) {
+    if (host->StreamCount() == min_load) {
+      tied.push_back(host);
+    }
+  }
+  return tied[round_robin_++ % tied.size()]->host_id();
+}
+
+bool BrassRouter::IsHostAlive(int64_t host_id) const {
+  BrassHost* host = FindHost(host_id);
+  return host != nullptr && host->alive();
+}
+
+std::shared_ptr<ConnectionEnd> BrassRouter::ConnectToHost(ReverseProxy* proxy, int64_t host_id) {
+  BrassHost* host = FindHost(host_id);
+  if (host == nullptr || !host->alive()) {
+    return nullptr;
+  }
+  auto [proxy_end, host_end] = CreateConnection(
+      sim_, topology_->LinkModel(proxy->region(), host->region()),
+      burst_config_.failure_detection_delay);
+  host->burst()->AttachProxyConnection(std::move(host_end));
+  return proxy_end;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,49 @@
+#include "src/brass/runtime.h"
+
+#include "src/brass/host.h"
+
+namespace bladerunner {
+
+BrassRuntime::BrassRuntime(BrassHost* host, std::string app_name)
+    : host_(host), app_name_(std::move(app_name)) {}
+
+BrassRuntime::~BrassRuntime() { *alive_ = false; }
+
+int64_t BrassRuntime::host_id() const { return host_->host_id(); }
+
+RegionId BrassRuntime::region() const { return host_->region(); }
+
+Simulator& BrassRuntime::sim() { return *host_->sim(); }
+
+Rng& BrassRuntime::rng() { return host_->sim()->rng(); }
+
+MetricsRegistry& BrassRuntime::metrics() { return *host_->metrics(); }
+
+SimTime BrassRuntime::Now() { return host_->sim()->Now(); }
+
+TimerId BrassRuntime::ScheduleTimer(SimTime delay, std::function<void()> fn) {
+  return host_->sim()->Schedule(delay, GuardAlive(std::move(fn)));
+}
+
+bool BrassRuntime::CancelTimer(TimerId id) { return host_->sim()->Cancel(id); }
+
+void BrassRuntime::FetchPayload(const Value& metadata, UserId viewer,
+                                std::function<void(bool, Value)> callback) {
+  host_->FetchPayload(app_name_, metadata, viewer, GuardAlive(std::move(callback)));
+}
+
+void BrassRuntime::WasQuery(const std::string& query, UserId viewer,
+                            std::function<void(bool, Value)> callback) {
+  host_->WasQuery(query, viewer, GuardAlive(std::move(callback)));
+}
+
+void BrassRuntime::CountDecision(bool delivered) {
+  host_->CountDecision(app_name_, delivered);
+}
+
+void BrassRuntime::DeliverData(BrassStream& stream, Value payload, uint64_t seq,
+                               SimTime event_created_at) {
+  host_->DeliverData(app_name_, stream, std::move(payload), seq, event_created_at);
+}
+
+}  // namespace bladerunner

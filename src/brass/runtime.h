@@ -1,0 +1,82 @@
+// Services a BRASS host exposes to the application instances it runs: the
+// asynchronous event loop (timers), WAS calls, delivery accounting, and
+// push helpers. This is the analogue of the JS framework the paper's BRASS
+// applications are authored against (§3.2).
+
+#ifndef BLADERUNNER_SRC_BRASS_RUNTIME_H_
+#define BLADERUNNER_SRC_BRASS_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/brass/application.h"
+#include "src/graphql/value.h"
+#include "src/net/topology.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class BrassHost;
+
+class BrassRuntime {
+ public:
+  BrassRuntime(BrassHost* host, std::string app_name);
+  ~BrassRuntime();
+
+  const std::string& app_name() const { return app_name_; }
+  int64_t host_id() const;
+  RegionId region() const;
+  Simulator& sim();
+  Rng& rng();
+  MetricsRegistry& metrics();
+  SimTime Now();
+
+  // ---- event loop ----
+  TimerId ScheduleTimer(SimTime delay, std::function<void()> fn);
+  bool CancelTimer(TimerId id);
+
+  // ---- backend calls ----
+
+  // Fetches (and privacy-checks) the payload for an update event on behalf
+  // of `viewer` (Fig. 5 step 8). `callback(allowed, payload)`.
+  void FetchPayload(const Value& metadata, UserId viewer,
+                    std::function<void(bool, Value)> callback);
+
+  // Arbitrary GraphQL query against the WAS (e.g. Messenger gap recovery).
+  void WasQuery(const std::string& query, UserId viewer,
+                std::function<void(bool, Value)> callback);
+
+  // ---- delivery accounting (feeds Fig. 8's decisions/deliveries rates) ----
+
+  // Every examine-and-decide on (event, stream) counts as one decision.
+  void CountDecision(bool delivered);
+
+  // Pushes one data payload on the stream, with accounting and the
+  // end-to-end latency sample for Fig. 9 ("created_at" comes from the
+  // update event).
+  void DeliverData(BrassStream& stream, Value payload, uint64_t seq, SimTime event_created_at);
+
+ private:
+  // Wraps a callback so it becomes a no-op once this runtime (and the
+  // application instance that owns it) has been destroyed — a host Drain()
+  // or FailHost() tears instances down while their backend calls and
+  // timers are still in flight.
+  template <typename Fn>
+  auto GuardAlive(Fn fn) {
+    return [alive = alive_, fn = std::move(fn)](auto&&... args) {
+      if (*alive) {
+        fn(std::forward<decltype(args)>(args)...);
+      }
+    };
+  }
+
+  BrassHost* host_;
+  std::string app_name_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BRASS_RUNTIME_H_

@@ -1,0 +1,252 @@
+#include "src/burst/client.h"
+
+#include <cassert>
+
+namespace bladerunner {
+
+BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
+                         Observer* observer, BurstConfig config, MetricsRegistry* metrics)
+    : sim_(sim),
+      device_id_(device_id),
+      connector_(std::move(connector)),
+      observer_(observer),
+      config_(config),
+      metrics_(metrics) {
+  assert(sim_ != nullptr && observer_ != nullptr && metrics_ != nullptr);
+}
+
+BurstClient::~BurstClient() {
+  if (reconnect_timer_ != kInvalidTimerId) {
+    sim_->Cancel(reconnect_timer_);
+  }
+  if (conn_ != nullptr) {
+    conn_->set_handler(nullptr);
+  }
+}
+
+void BurstClient::Connect() {
+  if (connected()) {
+    return;
+  }
+  conn_ = connector_(device_id_);
+  if (conn_ == nullptr) {
+    // No POP reachable; retry from the backoff loop.
+    if (auto_reconnect_) {
+      ScheduleReconnect();
+    }
+    return;
+  }
+  conn_->set_handler(this);
+  observer_->OnConnectionStateChanged(true);
+  ResubscribeAll();
+}
+
+void BurstClient::Disconnect() {
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_->set_handler(nullptr);
+    conn_ = nullptr;
+  }
+  for (auto& [sid, stream] : streams_) {
+    stream.subscribed_on_current_conn = false;
+  }
+  observer_->OnConnectionStateChanged(false);
+}
+
+void BurstClient::SimulateConnectionDrop() {
+  if (conn_ != nullptr) {
+    // Fail() notifies *this side's peer* (the POP). The device-side half of
+    // the drop is observed locally and immediately: the radio is gone.
+    conn_->Fail();
+    conn_->set_handler(nullptr);
+    conn_ = nullptr;
+    metrics_->GetCounter("burst.device_connection_drops").Increment();
+    for (auto& [sid, stream] : streams_) {
+      stream.subscribed_on_current_conn = false;
+      observer_->OnStreamFlowStatus(sid, FlowStatus::kDegraded, "connection dropped");
+    }
+    observer_->OnConnectionStateChanged(false);
+    if (auto_reconnect_) {
+      ScheduleReconnect();
+    }
+  }
+}
+
+uint64_t BurstClient::Subscribe(Value header, std::string body) {
+  uint64_t sid = next_sid_++;
+  ClientStream stream;
+  stream.header = std::move(header);
+  stream.body = std::move(body);
+  auto [it, inserted] = streams_.emplace(sid, std::move(stream));
+  assert(inserted);
+  metrics_->GetCounter("burst.client_subscribes").Increment();
+  if (connected()) {
+    SendSubscribe(sid, it->second, /*resubscribe=*/false);
+  } else if (auto_reconnect_) {
+    Connect();
+  }
+  return sid;
+}
+
+void BurstClient::Cancel(uint64_t sid) {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) {
+    return;
+  }
+  if (connected() && it->second.subscribed_on_current_conn) {
+    auto cancel = std::make_shared<CancelFrame>();
+    cancel->key = StreamKey{device_id_, sid};
+    SendFromDevice(std::move(cancel));
+  }
+  streams_.erase(it);
+  metrics_->GetCounter("burst.client_cancels").Increment();
+}
+
+void BurstClient::Ack(uint64_t sid, uint64_t seq) {
+  auto it = streams_.find(sid);
+  if (it == streams_.end() || !connected()) {
+    return;
+  }
+  auto ack = std::make_shared<AckFrame>();
+  ack->key = StreamKey{device_id_, sid};
+  ack->seq = seq;
+  SendFromDevice(std::move(ack));
+}
+
+const Value* BurstClient::StreamHeader(uint64_t sid) const {
+  auto it = streams_.find(sid);
+  return it == streams_.end() ? nullptr : &it->second.header;
+}
+
+void BurstClient::SendFromDevice(MessagePtr frame) {
+  SimTime now = sim_->Now();
+  SimTime idle_for = now - last_uplink_activity_;
+  last_uplink_activity_ = now;
+  if (idle_for <= config_.radio_idle_threshold || config_.radio_promotion_ms <= 0.0) {
+    conn_->Send(std::move(frame));
+    return;
+  }
+  // The radio was idle: pay the promotion delay before the frame leaves
+  // the device. The connection may drop in the meantime; the send is then
+  // silently lost, exactly like a real wedged uplink.
+  LatencyModel promotion{config_.radio_promotion_ms, config_.radio_promotion_sigma,
+                         config_.radio_promotion_ms / 4.0};
+  metrics_->GetCounter("burst.radio_promotions").Increment();
+  std::shared_ptr<ConnectionEnd> conn = conn_;
+  sim_->Schedule(promotion.Sample(sim_->rng()), [conn, frame = std::move(frame)]() {
+    conn->Send(frame);
+  });
+}
+
+void BurstClient::SendSubscribe(uint64_t sid, ClientStream& stream, bool resubscribe) {
+  auto subscribe = std::make_shared<SubscribeFrame>();
+  subscribe->key = StreamKey{device_id_, sid};
+  subscribe->header = stream.header;
+  subscribe->body = stream.body;
+  subscribe->resubscribe = resubscribe;
+  SendFromDevice(std::move(subscribe));
+  stream.subscribed_on_current_conn = true;
+  if (resubscribe) {
+    metrics_->GetCounter("burst.client_resubscribes").Increment();
+  }
+}
+
+void BurstClient::ResubscribeAll() {
+  for (auto& [sid, stream] : streams_) {
+    // Streams created before this connection resubscribe with their stored
+    // (possibly rewritten) request — this is what makes sticky routing and
+    // resumption tokens work with zero per-feature client logic (§3.5).
+    SendSubscribe(sid, stream, /*resubscribe=*/true);
+  }
+}
+
+void BurstClient::ScheduleReconnect() {
+  if (reconnect_scheduled_) {
+    return;
+  }
+  reconnect_scheduled_ = true;
+  SimTime backoff = static_cast<SimTime>(
+      sim_->rng().Uniform(static_cast<double>(config_.reconnect_backoff_min),
+                          static_cast<double>(config_.reconnect_backoff_max)));
+  reconnect_timer_ = sim_->Schedule(backoff, [this]() {
+    reconnect_scheduled_ = false;
+    reconnect_timer_ = kInvalidTimerId;
+    if (!connected() && auto_reconnect_) {
+      metrics_->GetCounter("burst.device_reconnect_attempts").Increment();
+      Connect();
+    }
+  });
+}
+
+void BurstClient::HandleResponse(const ResponseFrame& response) {
+  uint64_t sid = response.key.sid;
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) {
+    return;  // stream cancelled locally while the response was in flight
+  }
+  // The batch is applied atomically: all deltas take effect before any
+  // observer callback can re-enter the client.
+  bool terminated = false;
+  TerminateReason reason = TerminateReason::kComplete;
+  std::string term_detail;
+  for (const Delta& delta : response.batch) {
+    if (delta.kind == DeltaKind::kRewrite) {
+      it->second.header = delta.new_header;
+    } else if (delta.kind == DeltaKind::kTermination) {
+      terminated = true;
+      reason = delta.reason;
+      term_detail = delta.detail;
+    }
+  }
+  for (const Delta& delta : response.batch) {
+    switch (delta.kind) {
+      case DeltaKind::kData:
+        metrics_->GetCounter("burst.client_data_deltas").Increment();
+        observer_->OnStreamData(sid, delta.payload, delta.seq);
+        break;
+      case DeltaKind::kFlowStatus:
+        observer_->OnStreamFlowStatus(sid, delta.status, delta.detail);
+        break;
+      case DeltaKind::kRewrite:
+      case DeltaKind::kTermination:
+        break;  // already applied above
+    }
+  }
+  if (terminated) {
+    if (reason == TerminateReason::kRedirect && connected()) {
+      // Redirect (§3.5): re-issue the subscription using the just-rewritten
+      // header; the proxies route it to the new target.
+      metrics_->GetCounter("burst.client_redirects").Increment();
+      SendSubscribe(sid, it->second, /*resubscribe=*/true);
+    } else {
+      observer_->OnStreamTerminated(sid, reason, term_detail);
+      streams_.erase(it);
+    }
+  }
+}
+
+void BurstClient::OnMessage(ConnectionEnd& on, MessagePtr message) {
+  (void)on;
+  last_uplink_activity_ = sim_->Now();  // downlink traffic keeps the radio hot
+  if (auto response = std::dynamic_pointer_cast<ResponseFrame>(message)) {
+    HandleResponse(*response);
+  }
+}
+
+void BurstClient::OnDisconnect(ConnectionEnd& on, DisconnectReason reason) {
+  (void)on;
+  (void)reason;
+  conn_->set_handler(nullptr);
+  conn_ = nullptr;
+  metrics_->GetCounter("burst.device_observed_disconnects").Increment();
+  for (auto& [sid, stream] : streams_) {
+    stream.subscribed_on_current_conn = false;
+    observer_->OnStreamFlowStatus(sid, FlowStatus::kDegraded, "pop connection lost");
+  }
+  observer_->OnConnectionStateChanged(false);
+  if (auto_reconnect_) {
+    ScheduleReconnect();
+  }
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,131 @@
+// Device-side BURST endpoint.
+//
+// One BurstClient lives on each simulated device. It multiplexes all the
+// device's request-streams (typically 10+ concurrent, §3) over a single
+// connection to a POP, keeps the current (possibly rewritten) subscription
+// request of every stream, and transparently reconnects + resubscribes
+// after connection drops — the client half of §4's recovery axioms.
+
+#ifndef BLADERUNNER_SRC_BURST_CLIENT_H_
+#define BLADERUNNER_SRC_BURST_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/burst/config.h"
+#include "src/burst/frames.h"
+#include "src/net/connection.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class BurstClient : public ConnectionHandler {
+ public:
+  // Application-facing events. All callbacks refer to streams by sid.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void OnStreamData(uint64_t sid, const Value& payload, uint64_t seq) {
+      (void)sid;
+      (void)payload;
+      (void)seq;
+    }
+    virtual void OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std::string& detail) {
+      (void)sid;
+      (void)status;
+      (void)detail;
+    }
+    virtual void OnStreamTerminated(uint64_t sid, TerminateReason reason,
+                                    const std::string& detail) {
+      (void)sid;
+      (void)reason;
+      (void)detail;
+    }
+    virtual void OnConnectionStateChanged(bool connected) { (void)connected; }
+  };
+
+  // Asks the infrastructure for a fresh device->POP connection and returns
+  // the device-side end (already attached at a POP), or nullptr when no POP
+  // is reachable right now.
+  using Connector = std::function<std::shared_ptr<ConnectionEnd>(int64_t device_id)>;
+
+  BurstClient(Simulator* sim, int64_t device_id, Connector connector, Observer* observer,
+              BurstConfig config, MetricsRegistry* metrics);
+  ~BurstClient() override;
+
+  int64_t device_id() const { return device_id_; }
+  bool connected() const { return conn_ != nullptr && conn_->open(); }
+
+  // Establishes the POP connection (idempotent).
+  void Connect();
+
+  // Graceful shutdown: closes the connection; streams stay subscribed
+  // client-side and will resubscribe on the next Connect().
+  void Disconnect();
+
+  // Abrupt last-mile loss (radio drop). The client notices via its own
+  // connection-failure detection and enters the reconnect loop.
+  void SimulateConnectionDrop();
+
+  // Opens a request-stream described by `header` (+ optional opaque body).
+  // Returns the client-chosen sid. Subscribes lazily once connected.
+  uint64_t Subscribe(Value header, std::string body = "");
+
+  // Terminates a stream.
+  void Cancel(uint64_t sid);
+
+  // Acknowledges data deltas up to `seq` on the stream.
+  void Ack(uint64_t sid, uint64_t seq);
+
+  // The stream's current header (reflecting server rewrites); nullptr if
+  // the sid is unknown.
+  const Value* StreamHeader(uint64_t sid) const;
+
+  size_t ActiveStreamCount() const { return streams_.size(); }
+
+  // Stops reconnecting (e.g. app backgrounded / user went offline).
+  void SetAutoReconnect(bool enabled) { auto_reconnect_ = enabled; }
+
+  // ConnectionHandler:
+  void OnMessage(ConnectionEnd& on, MessagePtr message) override;
+  void OnDisconnect(ConnectionEnd& on, DisconnectReason reason) override;
+
+ private:
+  struct ClientStream {
+    Value header;
+    std::string body;
+    bool subscribed_on_current_conn = false;
+  };
+
+  // Sends a client-originated frame, paying the radio-promotion delay if
+  // the uplink radio has gone idle.
+  void SendFromDevice(MessagePtr frame);
+
+  void SendSubscribe(uint64_t sid, ClientStream& stream, bool resubscribe);
+  void ResubscribeAll();
+  void ScheduleReconnect();
+  void HandleResponse(const ResponseFrame& response);
+
+  Simulator* sim_;
+  int64_t device_id_;
+  Connector connector_;
+  Observer* observer_;
+  BurstConfig config_;
+  MetricsRegistry* metrics_;
+
+  std::shared_ptr<ConnectionEnd> conn_;
+  uint64_t next_sid_ = 1;
+  std::map<uint64_t, ClientStream> streams_;
+  bool auto_reconnect_ = true;
+  bool reconnect_scheduled_ = false;
+  TimerId reconnect_timer_ = kInvalidTimerId;
+  SimTime last_uplink_activity_ = -Days(365);  // long ago: radio starts idle
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BURST_CLIENT_H_

@@ -1,0 +1,96 @@
+#include "src/burst/frames.h"
+
+namespace bladerunner {
+
+const char* ToString(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kData:
+      return "data";
+    case DeltaKind::kFlowStatus:
+      return "flow_status";
+    case DeltaKind::kRewrite:
+      return "rewrite_request";
+    case DeltaKind::kTermination:
+      return "termination";
+  }
+  return "unknown";
+}
+
+const char* ToString(FlowStatus status) {
+  switch (status) {
+    case FlowStatus::kDegraded:
+      return "degraded";
+    case FlowStatus::kRecovered:
+      return "recovered";
+  }
+  return "unknown";
+}
+
+const char* ToString(TerminateReason reason) {
+  switch (reason) {
+    case TerminateReason::kComplete:
+      return "complete";
+    case TerminateReason::kCancelled:
+      return "cancelled";
+    case TerminateReason::kRedirect:
+      return "redirect";
+    case TerminateReason::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Delta Delta::Data(Value payload, uint64_t seq) {
+  Delta d;
+  d.kind = DeltaKind::kData;
+  d.payload = std::move(payload);
+  d.seq = seq;
+  return d;
+}
+
+Delta Delta::Flow(FlowStatus status, std::string detail) {
+  Delta d;
+  d.kind = DeltaKind::kFlowStatus;
+  d.status = status;
+  d.detail = std::move(detail);
+  return d;
+}
+
+Delta Delta::Rewrite(Value new_header) {
+  Delta d;
+  d.kind = DeltaKind::kRewrite;
+  d.new_header = std::move(new_header);
+  return d;
+}
+
+Delta Delta::Terminate(TerminateReason reason, std::string detail) {
+  Delta d;
+  d.kind = DeltaKind::kTermination;
+  d.reason = reason;
+  d.detail = std::move(detail);
+  return d;
+}
+
+uint64_t Delta::WireSize() const {
+  switch (kind) {
+    case DeltaKind::kData:
+      return 16 + payload.WireSize();
+    case DeltaKind::kFlowStatus:
+      return 8 + detail.size();
+    case DeltaKind::kRewrite:
+      return 8 + new_header.WireSize();
+    case DeltaKind::kTermination:
+      return 8 + detail.size();
+  }
+  return 8;
+}
+
+uint64_t ResponseFrame::WireSize() const {
+  uint64_t total = 24;
+  for (const Delta& d : batch) {
+    total += d.WireSize();
+  }
+  return total;
+}
+
+}  // namespace bladerunner

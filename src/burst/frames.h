@@ -1,0 +1,166 @@
+// BURST (Bladerunner Unified Request Stream Transport) wire model (§3.5).
+//
+// A request-stream is identified end-to-end by a StreamKey and is routed
+// independently across the hops device -> POP -> reverse proxy -> BRASS
+// host. Client-originated frames are Subscribe / Cancel / Ack; the server
+// side emits Response frames, each carrying a batch of *deltas* that is
+// applied atomically by the client. Deltas carry data, flow-status (failure
+// and recovery signalling), header rewrites (the mechanism behind sticky
+// routing, resumption tokens, and redirects), and stream termination.
+
+#ifndef BLADERUNNER_SRC_BURST_FRAMES_H_
+#define BLADERUNNER_SRC_BURST_FRAMES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graphql/value.h"
+#include "src/net/message.h"
+
+namespace bladerunner {
+
+// Globally unique stream identity: the sid is client-generated (§3.5), so
+// it is only unique per device; the pair is unique across the system.
+struct StreamKey {
+  int64_t device_id = 0;
+  uint64_t sid = 0;
+
+  bool operator==(const StreamKey& other) const {
+    return device_id == other.device_id && sid == other.sid;
+  }
+  bool operator<(const StreamKey& other) const {
+    if (device_id != other.device_id) {
+      return device_id < other.device_id;
+    }
+    return sid < other.sid;
+  }
+  std::string ToString() const {
+    return std::to_string(device_id) + ":" + std::to_string(sid);
+  }
+};
+
+struct StreamKeyHash {
+  size_t operator()(const StreamKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.device_id) * 0x9e3779b97f4a7c15ULL;
+    h ^= k.sid + 0x9e3779b9ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+// ---- Well-known header fields ----
+// The header is a JSON-ish map visible to (and interpreted by) the proxies
+// for routing (§3.5); BRASS rewrites persist new versions of it everywhere
+// along the path.
+inline constexpr char kHeaderApp[] = "app";                 // application name
+inline constexpr char kHeaderTopic[] = "topic";             // resolved Pylon topic
+inline constexpr char kHeaderSubscription[] = "subscription";  // GraphQL text
+inline constexpr char kHeaderViewer[] = "viewer";           // authenticated uid
+inline constexpr char kHeaderBrassHost[] = "brass_host";    // sticky-routing target
+inline constexpr char kHeaderResumeToken[] = "resume";      // app-defined sync state
+inline constexpr char kHeaderRegion[] = "region";           // preferred DC region
+
+// ---- Deltas ----
+
+enum class DeltaKind {
+  kData,        // a GraphQL payload (one update)
+  kFlowStatus,  // failure / recovery signalling
+  kRewrite,     // replace the stored subscription header
+  kTermination, // the stream is over
+};
+
+enum class FlowStatus {
+  kDegraded,   // a failure affecting this stream was detected
+  kRecovered,  // the stream has been repaired / re-established
+};
+
+enum class TerminateReason {
+  kComplete,   // server finished the stream normally
+  kCancelled,  // client cancelled
+  kRedirect,   // reconnect using the (rewritten) header (§3.5 "Redirects")
+  kError,      // unrecoverable server-side error
+};
+
+const char* ToString(DeltaKind kind);
+const char* ToString(FlowStatus status);
+const char* ToString(TerminateReason reason);
+
+struct Delta {
+  DeltaKind kind = DeltaKind::kData;
+  // kData
+  Value payload;
+  uint64_t seq = 0;
+  // kFlowStatus
+  FlowStatus status = FlowStatus::kDegraded;
+  // kRewrite
+  Value new_header;
+  // kTermination
+  TerminateReason reason = TerminateReason::kComplete;
+  // free-form detail for logs/UX
+  std::string detail;
+
+  static Delta Data(Value payload, uint64_t seq);
+  static Delta Flow(FlowStatus status, std::string detail = "");
+  static Delta Rewrite(Value new_header);
+  static Delta Terminate(TerminateReason reason, std::string detail = "");
+
+  uint64_t WireSize() const;
+};
+
+// ---- Frames ----
+
+// Client -> server: open a stream (or re-attach one after a failure).
+struct SubscribeFrame : Message {
+  StreamKey key;
+  Value header;
+  std::string body;        // opaque blob only the target BRASS understands
+  bool resubscribe = false;  // true when re-attaching after a failure
+
+  std::string Describe() const override {
+    return std::string(resubscribe ? "Resubscribe(" : "Subscribe(") + key.ToString() + ")";
+  }
+  uint64_t WireSize() const override { return 32 + header.WireSize() + body.size(); }
+};
+
+// Client -> server: tear down a stream.
+struct CancelFrame : Message {
+  StreamKey key;
+
+  std::string Describe() const override { return "Cancel(" + key.ToString() + ")"; }
+};
+
+// Client -> server: acknowledge deltas up to `seq` (used by applications
+// that implement reliable delivery on top of BURST, e.g. Messenger).
+struct AckFrame : Message {
+  StreamKey key;
+  uint64_t seq = 0;
+
+  std::string Describe() const override {
+    return "Ack(" + key.ToString() + ", " + std::to_string(seq) + ")";
+  }
+};
+
+// Server -> client: an atomically applied batch of deltas.
+struct ResponseFrame : Message {
+  StreamKey key;
+  std::vector<Delta> batch;
+
+  std::string Describe() const override {
+    return "Response(" + key.ToString() + ", " + std::to_string(batch.size()) + " deltas)";
+  }
+  uint64_t WireSize() const override;
+};
+
+// Inter-node control (not seen by devices): the downstream path of a stream
+// was lost; propagated hop-by-hop toward the BRASS (§4 axiom 1, upstream
+// direction).
+struct StreamDetachedFrame : Message {
+  StreamKey key;
+  std::string reason;
+
+  std::string Describe() const override { return "StreamDetached(" + key.ToString() + ")"; }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BURST_FRAMES_H_

@@ -1,0 +1,293 @@
+#include "src/burst/pop.h"
+
+#include <cassert>
+#include <vector>
+
+namespace bladerunner {
+
+Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
+         BurstConfig config, MetricsRegistry* metrics)
+    : sim_(sim),
+      pop_id_(pop_id),
+      region_(region),
+      connector_(std::move(connector)),
+      config_(config),
+      metrics_(metrics) {
+  assert(sim_ != nullptr && metrics_ != nullptr);
+}
+
+void Pop::AttachDeviceConnection(std::shared_ptr<ConnectionEnd> end) {
+  assert(alive_);
+  end->set_handler(this);
+  uint64_t conn_id = end->connection_id();
+  device_conns_[conn_id] = DeviceConn{std::move(end), {}};
+}
+
+void Pop::FailPop() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  metrics_->GetCounter("burst.pop_failures").Increment();
+  for (auto& [conn_id, dev] : device_conns_) {
+    dev.end->set_handler(nullptr);
+    dev.end->Fail();
+  }
+  device_conns_.clear();
+  for (auto& [r, uplink] : uplinks_) {
+    uplink.end->set_handler(nullptr);
+    uplink.end->Fail();
+  }
+  uplinks_.clear();
+  uplink_by_conn_.clear();
+  streams_.clear();
+}
+
+Pop::UplinkState* Pop::EnsureUplink(RegionId target_region, uint64_t exclude_proxy_id) {
+  auto it = uplinks_.find(target_region);
+  if (it != uplinks_.end() && it->second.end->open()) {
+    return &it->second;
+  }
+  Uplink fresh = connector_(this, target_region, exclude_proxy_id);
+  if (fresh.end == nullptr) {
+    return nullptr;
+  }
+  fresh.end->set_handler(this);
+  UplinkState state;
+  state.end = std::move(fresh.end);
+  state.proxy_id = fresh.proxy_id;
+  if (it != uplinks_.end()) {
+    state.streams = std::move(it->second.streams);
+    uplink_by_conn_.erase(it->second.end->connection_id());
+    uplinks_.erase(it);
+  }
+  auto [ins, ok] = uplinks_.emplace(target_region, std::move(state));
+  assert(ok);
+  uplink_by_conn_[ins->second.end->connection_id()] = target_region;
+  return &ins->second;
+}
+
+void Pop::OnMessage(ConnectionEnd& on, MessagePtr message) {
+  uint64_t conn_id = on.connection_id();
+  if (device_conns_.find(conn_id) != device_conns_.end()) {
+    HandleDeviceFrame(on, message);
+  } else if (uplink_by_conn_.find(conn_id) != uplink_by_conn_.end()) {
+    HandleUplinkFrame(on, message);
+  }
+}
+
+void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
+  uint64_t conn_id = on.connection_id();
+  if (auto subscribe = std::dynamic_pointer_cast<SubscribeFrame>(message)) {
+    StreamState state;
+    state.header = subscribe->header;
+    state.body = subscribe->body;
+    state.device_conn = conn_id;
+    state.up_region = static_cast<RegionId>(subscribe->header.Get(kHeaderRegion).AsInt(0));
+    device_conns_[conn_id].streams.insert(subscribe->key);
+    auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
+    (void)inserted;
+    ForwardSubscribeUp(subscribe->key, it->second, subscribe->resubscribe);
+    return;
+  }
+  if (auto cancel = std::dynamic_pointer_cast<CancelFrame>(message)) {
+    auto it = streams_.find(cancel->key);
+    if (it != streams_.end()) {
+      auto up = uplinks_.find(it->second.up_region);
+      if (up != uplinks_.end()) {
+        up->second.end->Send(cancel);
+        up->second.streams.erase(cancel->key);
+      }
+      device_conns_[conn_id].streams.erase(cancel->key);
+      streams_.erase(it);
+    }
+    return;
+  }
+  if (auto ack = std::dynamic_pointer_cast<AckFrame>(message)) {
+    auto it = streams_.find(ack->key);
+    if (it != streams_.end()) {
+      auto up = uplinks_.find(it->second.up_region);
+      if (up != uplinks_.end()) {
+        up->second.end->Send(ack);
+      }
+    }
+    return;
+  }
+}
+
+void Pop::HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message) {
+  (void)on;
+  auto response = std::dynamic_pointer_cast<ResponseFrame>(message);
+  if (response == nullptr) {
+    return;
+  }
+  auto it = streams_.find(response->key);
+  if (it == streams_.end()) {
+    return;  // stream was cancelled / GCed while the response was in flight
+  }
+  bool terminated = false;
+  for (const Delta& delta : response->batch) {
+    if (delta.kind == DeltaKind::kRewrite) {
+      // Proxies keep the current header so they can repair streams (§3.5);
+      // rewrites update the stored copy as they pass through.
+      it->second.header = delta.new_header;
+    } else if (delta.kind == DeltaKind::kTermination) {
+      terminated = true;
+    }
+  }
+  auto dev = device_conns_.find(it->second.device_conn);
+  if (dev != device_conns_.end()) {
+    dev->second.end->Send(response);
+  }
+  if (terminated) {
+    RemoveStream(response->key);
+  }
+}
+
+void Pop::ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resubscribe) {
+  UplinkState* uplink = EnsureUplink(state.up_region);
+  if (uplink == nullptr) {
+    // No proxy reachable: tell the device so the app can fall back to
+    // polling (§4) — signalled as a terminated stream.
+    auto response = std::make_shared<ResponseFrame>();
+    response->key = key;
+    response->batch.push_back(Delta::Terminate(TerminateReason::kError, "no proxy available"));
+    auto dev = device_conns_.find(state.device_conn);
+    if (dev != device_conns_.end()) {
+      dev->second.end->Send(response);
+    }
+    RemoveStream(key);
+    return;
+  }
+  uplink->streams.insert(key);
+  auto subscribe = std::make_shared<SubscribeFrame>();
+  subscribe->key = key;
+  subscribe->header = state.header;
+  subscribe->body = state.body;
+  subscribe->resubscribe = resubscribe;
+  uplink->end->Send(subscribe);
+}
+
+void Pop::RemoveStream(const StreamKey& key) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return;
+  }
+  auto dev = device_conns_.find(it->second.device_conn);
+  if (dev != device_conns_.end()) {
+    dev->second.streams.erase(key);
+  }
+  auto up = uplinks_.find(it->second.up_region);
+  if (up != uplinks_.end()) {
+    up->second.streams.erase(key);
+  }
+  streams_.erase(it);
+}
+
+void Pop::OnDisconnect(ConnectionEnd& on, DisconnectReason reason) {
+  (void)reason;
+  uint64_t conn_id = on.connection_id();
+  auto up_it = uplink_by_conn_.find(conn_id);
+  if (up_it != uplink_by_conn_.end()) {
+    HandleUplinkDisconnect(up_it->second);
+    return;
+  }
+  if (device_conns_.find(conn_id) != device_conns_.end()) {
+    HandleDeviceDisconnect(conn_id);
+  }
+}
+
+void Pop::HandleDeviceDisconnect(uint64_t conn_id) {
+  // §4 axiom 1: the POP detects the device loss and informs all BRASSes
+  // servicing streams instantiated by the device. Stream state is GCed
+  // immediately (§3.5): the device will subscribe afresh elsewhere.
+  metrics_->GetCounter("burst.pop_device_disconnects").Increment();
+  auto dev = device_conns_.find(conn_id);
+  if (dev == device_conns_.end()) {
+    return;
+  }
+  std::vector<StreamKey> keys(dev->second.streams.begin(), dev->second.streams.end());
+  for (const StreamKey& key : keys) {
+    auto it = streams_.find(key);
+    if (it == streams_.end() || it->second.device_conn != conn_id) {
+      // The device already resubscribed over a new connection before the
+      // old one's failure was detected; the stream is healthy — a stale
+      // detach here would wrongly kill the resumed stream upstream.
+      continue;
+    }
+    auto up = uplinks_.find(it->second.up_region);
+    if (up != uplinks_.end()) {
+      auto detached = std::make_shared<StreamDetachedFrame>();
+      detached->key = key;
+      detached->reason = "device connection lost";
+      up->second.end->Send(detached);
+      up->second.streams.erase(key);
+    }
+    streams_.erase(it);
+  }
+  dev->second.end->set_handler(nullptr);
+  device_conns_.erase(dev);
+}
+
+void Pop::HandleUplinkDisconnect(RegionId up_region) {
+  // §4 axiom 2: the POP is the closest surviving component downstream of
+  // the failed proxy; it repairs every affected stream by resubscribing
+  // through an alternate proxy, using the stored (rewritten) requests.
+  auto it = uplinks_.find(up_region);
+  if (it == uplinks_.end()) {
+    return;
+  }
+  metrics_->GetCounter("burst.pop_uplink_failures").Increment();
+  uint64_t failed_proxy = it->second.proxy_id;
+  std::vector<StreamKey> affected(it->second.streams.begin(), it->second.streams.end());
+  uplink_by_conn_.erase(it->second.end->connection_id());
+  it->second.end->set_handler(nullptr);
+  uplinks_.erase(it);
+
+  // Tell each affected device the stream is degraded (§4 axiom 1,
+  // downstream direction).
+  for (const StreamKey& key : affected) {
+    auto stream = streams_.find(key);
+    if (stream == streams_.end()) {
+      continue;
+    }
+    auto dev = device_conns_.find(stream->second.device_conn);
+    if (dev != device_conns_.end()) {
+      auto response = std::make_shared<ResponseFrame>();
+      response->key = key;
+      response->batch.push_back(Delta::Flow(FlowStatus::kDegraded, "proxy path lost"));
+      dev->second.end->Send(response);
+    }
+  }
+
+  UplinkState* fresh = EnsureUplink(up_region, failed_proxy);
+  if (fresh == nullptr) {
+    // Nothing to repair over; terminate the affected streams.
+    for (const StreamKey& key : affected) {
+      auto stream = streams_.find(key);
+      if (stream == streams_.end()) {
+        continue;
+      }
+      auto dev = device_conns_.find(stream->second.device_conn);
+      if (dev != device_conns_.end()) {
+        auto response = std::make_shared<ResponseFrame>();
+        response->key = key;
+        response->batch.push_back(
+            Delta::Terminate(TerminateReason::kError, "no alternate proxy"));
+        dev->second.end->Send(response);
+      }
+      RemoveStream(key);
+    }
+    return;
+  }
+  for (const StreamKey& key : affected) {
+    auto stream = streams_.find(key);
+    if (stream == streams_.end()) {
+      continue;
+    }
+    metrics_->GetCounter("burst.pop_initiated_reconnects").Increment();
+    ForwardSubscribeUp(key, stream->second, /*resubscribe=*/true);
+  }
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,113 @@
+// Point of Presence (POP): the edge hop between devices and the reverse
+// proxies at the datacenters.
+//
+// A POP terminates device connections, keeps a copy of each stream's
+// current subscription request (header + body, §3.5), and multiplexes
+// streams onto per-datacenter uplinks to reverse proxies. When an uplink
+// fails, the POP is the component immediately downstream of the failure and
+// repairs each affected stream by resubscribing through an alternate proxy
+// (§4 axiom 2); when a device connection fails, the POP notifies the
+// upstream BRASSes and garbage-collects its stream state (§4 axiom 1).
+
+#ifndef BLADERUNNER_SRC_BURST_POP_H_
+#define BLADERUNNER_SRC_BURST_POP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/burst/config.h"
+#include "src/burst/frames.h"
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class Pop : public ConnectionHandler {
+ public:
+  // A newly established uplink to some reverse proxy.
+  struct Uplink {
+    std::shared_ptr<ConnectionEnd> end;
+    uint64_t proxy_id = 0;
+  };
+
+  // Asks the infrastructure for an uplink to a reverse proxy serving
+  // `target_region`, excluding `exclude_proxy_id` (the proxy that just
+  // failed; 0 to exclude none). Returns an empty Uplink if none available.
+  using ProxyConnector = std::function<Uplink(Pop* pop, RegionId target_region,
+                                              uint64_t exclude_proxy_id)>;
+
+  Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
+      BurstConfig config, MetricsRegistry* metrics);
+
+  uint64_t pop_id() const { return pop_id_; }
+  RegionId region() const { return region_; }
+  bool alive() const { return alive_; }
+
+  // The infrastructure attaches the POP-side end of a new device
+  // connection here (the device holds the other end).
+  void AttachDeviceConnection(std::shared_ptr<ConnectionEnd> end);
+
+  // Catastrophic POP failure: every device connection and uplink fails
+  // abruptly. Devices reconnect elsewhere; proxies notify the BRASSes.
+  void FailPop();
+
+  size_t StreamCount() const { return streams_.size(); }
+  size_t DeviceConnectionCount() const { return device_conns_.size(); }
+
+  // ConnectionHandler:
+  void OnMessage(ConnectionEnd& on, MessagePtr message) override;
+  void OnDisconnect(ConnectionEnd& on, DisconnectReason reason) override;
+
+ private:
+  struct StreamState {
+    Value header;       // most recent, including BRASS rewrites
+    std::string body;
+    uint64_t device_conn = 0;  // connection id of the device side
+    RegionId up_region = 0;    // which uplink the stream runs over
+  };
+
+  struct DeviceConn {
+    std::shared_ptr<ConnectionEnd> end;
+    std::set<StreamKey> streams;
+  };
+
+  struct UplinkState {
+    std::shared_ptr<ConnectionEnd> end;
+    uint64_t proxy_id = 0;
+    std::set<StreamKey> streams;
+  };
+
+  // Returns (establishing if needed) the uplink toward `target_region`.
+  UplinkState* EnsureUplink(RegionId target_region, uint64_t exclude_proxy_id = 0);
+
+  void HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message);
+  void HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message);
+  void HandleDeviceDisconnect(uint64_t conn_id);
+  void HandleUplinkDisconnect(RegionId up_region);
+  void ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resubscribe);
+  void RemoveStream(const StreamKey& key);
+
+  Simulator* sim_;
+  uint64_t pop_id_;
+  RegionId region_;
+  ProxyConnector connector_;
+  BurstConfig config_;
+  MetricsRegistry* metrics_;
+  bool alive_ = true;
+
+  std::unordered_map<StreamKey, StreamState, StreamKeyHash> streams_;
+  std::map<uint64_t, DeviceConn> device_conns_;    // by connection id
+  std::map<RegionId, UplinkState> uplinks_;        // one uplink per DC region
+  std::map<uint64_t, RegionId> uplink_by_conn_;    // connection id -> region
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BURST_POP_H_

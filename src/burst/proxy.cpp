@@ -1,0 +1,308 @@
+#include "src/burst/proxy.h"
+
+#include <cassert>
+#include <vector>
+
+namespace bladerunner {
+
+ReverseProxy::ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
+                           BurstServerDirectory* directory, BurstConfig config,
+                           MetricsRegistry* metrics)
+    : sim_(sim),
+      proxy_id_(proxy_id),
+      region_(region),
+      directory_(directory),
+      config_(config),
+      metrics_(metrics) {
+  assert(sim_ != nullptr && directory_ != nullptr && metrics_ != nullptr);
+}
+
+void ReverseProxy::AttachPopConnection(std::shared_ptr<ConnectionEnd> end) {
+  assert(alive_);
+  end->set_handler(this);
+  uint64_t conn_id = end->connection_id();
+  pop_conns_[conn_id] = PopConn{std::move(end), {}};
+}
+
+void ReverseProxy::FailProxy() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  metrics_->GetCounter("burst.proxy_failures").Increment();
+  for (auto& [conn_id, pop] : pop_conns_) {
+    pop.end->set_handler(nullptr);
+    pop.end->Fail();
+  }
+  pop_conns_.clear();
+  for (auto& [host_id, host] : host_conns_) {
+    host.end->set_handler(nullptr);
+    host.end->Fail();
+  }
+  host_conns_.clear();
+  host_by_conn_.clear();
+  streams_.clear();
+}
+
+ReverseProxy::HostConn* ReverseProxy::EnsureHostConn(int64_t host_id) {
+  auto it = host_conns_.find(host_id);
+  if (it != host_conns_.end() && it->second.end->open()) {
+    return &it->second;
+  }
+  std::shared_ptr<ConnectionEnd> end = directory_->ConnectToHost(this, host_id);
+  if (end == nullptr) {
+    return nullptr;
+  }
+  end->set_handler(this);
+  HostConn conn;
+  conn.end = std::move(end);
+  conn.host_id = host_id;
+  if (it != host_conns_.end()) {
+    conn.streams = std::move(it->second.streams);
+    host_by_conn_.erase(it->second.end->connection_id());
+    host_conns_.erase(it);
+  }
+  auto [ins, ok] = host_conns_.emplace(host_id, std::move(conn));
+  assert(ok);
+  host_by_conn_[ins->second.end->connection_id()] = host_id;
+  return &ins->second;
+}
+
+int64_t ReverseProxy::RouteHost(const Value& header) const {
+  // Sticky routing first (§3.5): a BRASS-rewritten header names the host
+  // that previously serviced the stream; honor it while the host lives.
+  int64_t sticky = header.Get(kHeaderBrassHost).AsInt(0);
+  if (sticky != 0 && directory_->IsHostAlive(sticky)) {
+    return sticky;
+  }
+  return directory_->PickHost(header);
+}
+
+void ReverseProxy::OnMessage(ConnectionEnd& on, MessagePtr message) {
+  uint64_t conn_id = on.connection_id();
+  if (pop_conns_.find(conn_id) != pop_conns_.end()) {
+    HandlePopFrame(on, message);
+  } else if (host_by_conn_.find(conn_id) != host_by_conn_.end()) {
+    HandleHostFrame(on, message);
+  }
+}
+
+void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) {
+  uint64_t conn_id = on.connection_id();
+  if (auto subscribe = std::dynamic_pointer_cast<SubscribeFrame>(message)) {
+    StreamState state;
+    state.header = subscribe->header;
+    state.body = subscribe->body;
+    state.pop_conn = conn_id;
+    state.host_id = RouteHost(subscribe->header);
+    pop_conns_[conn_id].streams.insert(subscribe->key);
+    auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
+    (void)inserted;
+    if (it->second.host_id == 0) {
+      TerminateDownstream(subscribe->key, TerminateReason::kError, "no BRASS host available");
+      RemoveStream(subscribe->key);
+      return;
+    }
+    ForwardSubscribeToHost(subscribe->key, it->second, subscribe->resubscribe);
+    return;
+  }
+  if (auto cancel = std::dynamic_pointer_cast<CancelFrame>(message)) {
+    auto it = streams_.find(cancel->key);
+    if (it != streams_.end()) {
+      auto host = host_conns_.find(it->second.host_id);
+      if (host != host_conns_.end()) {
+        host->second.end->Send(cancel);
+      }
+      RemoveStream(cancel->key);
+    }
+    return;
+  }
+  if (auto ack = std::dynamic_pointer_cast<AckFrame>(message)) {
+    auto it = streams_.find(ack->key);
+    if (it != streams_.end()) {
+      auto host = host_conns_.find(it->second.host_id);
+      if (host != host_conns_.end()) {
+        host->second.end->Send(ack);
+      }
+    }
+    return;
+  }
+  if (auto detached = std::dynamic_pointer_cast<StreamDetachedFrame>(message)) {
+    // Upstream propagation of a device-side loss (§4 axiom 1).
+    auto it = streams_.find(detached->key);
+    if (it != streams_.end()) {
+      auto host = host_conns_.find(it->second.host_id);
+      if (host != host_conns_.end()) {
+        host->second.end->Send(detached);
+      }
+      RemoveStream(detached->key);
+    }
+    return;
+  }
+}
+
+void ReverseProxy::HandleHostFrame(ConnectionEnd& on, const MessagePtr& message) {
+  (void)on;
+  auto response = std::dynamic_pointer_cast<ResponseFrame>(message);
+  if (response == nullptr) {
+    return;
+  }
+  auto it = streams_.find(response->key);
+  if (it == streams_.end()) {
+    return;
+  }
+  bool terminated = false;
+  for (const Delta& delta : response->batch) {
+    if (delta.kind == DeltaKind::kRewrite) {
+      it->second.header = delta.new_header;
+    } else if (delta.kind == DeltaKind::kTermination) {
+      terminated = true;
+    }
+  }
+  auto pop = pop_conns_.find(it->second.pop_conn);
+  if (pop != pop_conns_.end()) {
+    pop->second.end->Send(response);
+  }
+  if (terminated) {
+    RemoveStream(response->key);
+  }
+}
+
+void ReverseProxy::ForwardSubscribeToHost(const StreamKey& key, StreamState& state,
+                                          bool resubscribe) {
+  HostConn* host = EnsureHostConn(state.host_id);
+  if (host == nullptr) {
+    TerminateDownstream(key, TerminateReason::kError, "BRASS host unreachable");
+    RemoveStream(key);
+    return;
+  }
+  host->streams.insert(key);
+  auto subscribe = std::make_shared<SubscribeFrame>();
+  subscribe->key = key;
+  subscribe->header = state.header;
+  subscribe->body = state.body;
+  subscribe->resubscribe = resubscribe;
+  host->end->Send(subscribe);
+}
+
+void ReverseProxy::TerminateDownstream(const StreamKey& key, TerminateReason reason,
+                                       const std::string& detail) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return;
+  }
+  auto pop = pop_conns_.find(it->second.pop_conn);
+  if (pop != pop_conns_.end()) {
+    auto response = std::make_shared<ResponseFrame>();
+    response->key = key;
+    response->batch.push_back(Delta::Terminate(reason, detail));
+    pop->second.end->Send(response);
+  }
+}
+
+void ReverseProxy::RemoveStream(const StreamKey& key) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return;
+  }
+  auto pop = pop_conns_.find(it->second.pop_conn);
+  if (pop != pop_conns_.end()) {
+    pop->second.streams.erase(key);
+  }
+  auto host = host_conns_.find(it->second.host_id);
+  if (host != host_conns_.end()) {
+    host->second.streams.erase(key);
+  }
+  streams_.erase(it);
+}
+
+void ReverseProxy::OnDisconnect(ConnectionEnd& on, DisconnectReason reason) {
+  (void)reason;
+  uint64_t conn_id = on.connection_id();
+  auto host_it = host_by_conn_.find(conn_id);
+  if (host_it != host_by_conn_.end()) {
+    HandleHostDisconnect(conn_id);
+    return;
+  }
+  if (pop_conns_.find(conn_id) != pop_conns_.end()) {
+    HandlePopDisconnect(conn_id);
+  }
+}
+
+void ReverseProxy::HandlePopDisconnect(uint64_t conn_id) {
+  // The POP (or the link to it) failed. Inform the BRASSes of each affected
+  // stream (§4 axiom 1); the POP side repairs through an alternate proxy,
+  // which creates fresh state at *that* proxy, so this one GCs.
+  metrics_->GetCounter("burst.proxy_pop_disconnects").Increment();
+  auto pop = pop_conns_.find(conn_id);
+  if (pop == pop_conns_.end()) {
+    return;
+  }
+  std::vector<StreamKey> keys(pop->second.streams.begin(), pop->second.streams.end());
+  for (const StreamKey& key : keys) {
+    auto it = streams_.find(key);
+    if (it == streams_.end() || it->second.pop_conn != conn_id) {
+      continue;  // stream already re-routed over a newer POP connection
+    }
+    auto host = host_conns_.find(it->second.host_id);
+    if (host != host_conns_.end()) {
+      auto detached = std::make_shared<StreamDetachedFrame>();
+      detached->key = key;
+      detached->reason = "pop connection lost";
+      host->second.end->Send(detached);
+      host->second.streams.erase(key);
+    }
+    streams_.erase(it);
+  }
+  pop->second.end->set_handler(nullptr);
+  pop_conns_.erase(pop);
+}
+
+void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
+  // A BRASS host went away (crash, upgrade, drain). The proxy is the
+  // component immediately downstream: repair each stream by resubscribing
+  // to an alternate host using the stored request (§4 axiom 2). These are
+  // the "proxy-induced stream reconnects" of Fig. 10.
+  auto host_it = host_by_conn_.find(conn_id);
+  if (host_it == host_by_conn_.end()) {
+    return;
+  }
+  int64_t dead_host = host_it->second;
+  auto conn = host_conns_.find(dead_host);
+  if (conn == host_conns_.end()) {
+    return;
+  }
+  metrics_->GetCounter("burst.proxy_host_disconnects").Increment();
+  std::vector<StreamKey> affected(conn->second.streams.begin(), conn->second.streams.end());
+  conn->second.end->set_handler(nullptr);
+  host_by_conn_.erase(conn_id);
+  host_conns_.erase(conn);
+
+  for (const StreamKey& key : affected) {
+    auto it = streams_.find(key);
+    if (it == streams_.end()) {
+      continue;
+    }
+    // Downstream notification (§4 axiom 1).
+    auto pop = pop_conns_.find(it->second.pop_conn);
+    if (pop != pop_conns_.end()) {
+      auto response = std::make_shared<ResponseFrame>();
+      response->key = key;
+      response->batch.push_back(Delta::Flow(FlowStatus::kDegraded, "brass host lost"));
+      pop->second.end->Send(response);
+    }
+    // Repair: re-route. The stored header may still name the dead host for
+    // stickiness; RouteHost overrides stickiness for dead hosts.
+    int64_t new_host = RouteHost(it->second.header);
+    if (new_host == 0 || new_host == dead_host) {
+      TerminateDownstream(key, TerminateReason::kError, "no alternate BRASS host");
+      RemoveStream(key);
+      continue;
+    }
+    it->second.host_id = new_host;
+    metrics_->GetCounter("burst.proxy_induced_reconnects").Increment();
+    ForwardSubscribeToHost(key, it->second, /*resubscribe=*/true);
+  }
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,117 @@
+// Reverse proxy at the edge of a BRASS datacenter.
+//
+// The proxy terminates POP connections, routes each stream to a BRASS host
+// (by stickiness, topic, or load — §3.2 "Proxies determine which BRASS host
+// to route device subscription requests to"), stores each stream's current
+// subscription request, and repairs streams when a BRASS host fails or is
+// drained (§4 axiom 2 — the reconnects counted in Fig. 10's bottom graph).
+
+#ifndef BLADERUNNER_SRC_BURST_PROXY_H_
+#define BLADERUNNER_SRC_BURST_PROXY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/burst/config.h"
+#include "src/burst/frames.h"
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class ReverseProxy;
+
+// How the proxy finds and reaches BRASS hosts; implemented by the BRASS
+// router (src/brass/router.h) so the burst layer stays app-agnostic.
+class BurstServerDirectory {
+ public:
+  virtual ~BurstServerDirectory() = default;
+
+  // Picks a host for a stream with this header (honoring the application's
+  // topic- or load-based routing policy). Returns 0 if none available.
+  virtual int64_t PickHost(const Value& header) = 0;
+
+  // True if the host is currently alive (sticky routing must be overridden
+  // when the remembered host is gone).
+  virtual bool IsHostAlive(int64_t host_id) const = 0;
+
+  // Establishes a connection to the host and returns the proxy-side end
+  // (the host holds the other end), or nullptr.
+  virtual std::shared_ptr<ConnectionEnd> ConnectToHost(ReverseProxy* proxy,
+                                                       int64_t host_id) = 0;
+};
+
+class ReverseProxy : public ConnectionHandler {
+ public:
+  ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
+               BurstServerDirectory* directory, BurstConfig config, MetricsRegistry* metrics);
+
+  uint64_t proxy_id() const { return proxy_id_; }
+  RegionId region() const { return region_; }
+  bool alive() const { return alive_; }
+
+  // The infrastructure attaches the proxy-side end of a new POP uplink.
+  void AttachPopConnection(std::shared_ptr<ConnectionEnd> end);
+
+  // Abrupt proxy failure; POPs repair through alternates, hosts are told.
+  void FailProxy();
+
+  size_t StreamCount() const { return streams_.size(); }
+
+  // ConnectionHandler:
+  void OnMessage(ConnectionEnd& on, MessagePtr message) override;
+  void OnDisconnect(ConnectionEnd& on, DisconnectReason reason) override;
+
+ private:
+  struct StreamState {
+    Value header;
+    std::string body;
+    uint64_t pop_conn = 0;   // downstream connection id
+    int64_t host_id = 0;     // upstream BRASS host
+  };
+
+  struct PopConn {
+    std::shared_ptr<ConnectionEnd> end;
+    std::set<StreamKey> streams;
+  };
+
+  struct HostConn {
+    std::shared_ptr<ConnectionEnd> end;
+    int64_t host_id = 0;
+    std::set<StreamKey> streams;
+  };
+
+  HostConn* EnsureHostConn(int64_t host_id);
+  int64_t RouteHost(const Value& header) const;
+  void HandlePopFrame(ConnectionEnd& on, const MessagePtr& message);
+  void HandleHostFrame(ConnectionEnd& on, const MessagePtr& message);
+  void HandlePopDisconnect(uint64_t conn_id);
+  void HandleHostDisconnect(uint64_t conn_id);
+  void ForwardSubscribeToHost(const StreamKey& key, StreamState& state, bool resubscribe);
+  void TerminateDownstream(const StreamKey& key, TerminateReason reason,
+                           const std::string& detail);
+  void RemoveStream(const StreamKey& key);
+
+  Simulator* sim_;
+  uint64_t proxy_id_;
+  RegionId region_;
+  BurstServerDirectory* directory_;
+  BurstConfig config_;
+  MetricsRegistry* metrics_;
+  bool alive_ = true;
+
+  std::unordered_map<StreamKey, StreamState, StreamKeyHash> streams_;
+  std::map<uint64_t, PopConn> pop_conns_;          // by connection id
+  std::map<int64_t, HostConn> host_conns_;         // by host id
+  std::map<uint64_t, int64_t> host_by_conn_;       // connection id -> host id
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BURST_PROXY_H_

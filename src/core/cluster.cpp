@@ -1,0 +1,146 @@
+#include "src/core/cluster.h"
+
+#include <cassert>
+
+#include "src/was/resolvers.h"
+
+namespace bladerunner {
+
+namespace {
+
+// Approximates the composition of two one-way latency models (device ->
+// POP -> datacenter) as a single lognormal.
+LatencyModel Compose(const LatencyModel& a, const LatencyModel& b) {
+  LatencyModel out;
+  out.median_ms = a.median_ms + b.median_ms;
+  out.sigma = std::max(a.sigma, b.sigma);
+  out.min_ms = a.min_ms + b.min_ms;
+  return out;
+}
+
+}  // namespace
+
+BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
+    : config_(std::move(config)), topology_(std::move(topology)), sim_(config_.seed) {
+  app_registry_ = BuildStandardAppRegistry(config_.apps);
+
+  tao_ = std::make_unique<TaoStore>(&sim_, &topology_, config_.tao, &metrics_);
+  if (config_.enable_pylon) {
+    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, config_.pylon, &metrics_);
+  }
+  for (RegionId r = 0; r < topology_.num_regions(); ++r) {
+    auto was = std::make_unique<WebAppServer>(&sim_, r, tao_.get(), pylon_.get(), config_.was,
+                                              &metrics_);
+    InstallSocialSchema(*was);
+    wases_.push_back(std::move(was));
+  }
+
+  router_ = std::make_unique<BrassRouter>(&sim_, &topology_, config_.burst, &metrics_);
+  for (const auto& [app, policy] : config_.routing_policies) {
+    router_->SetAppPolicy(app, policy);
+  }
+  int64_t next_host_id = 1;
+  for (RegionId r = 0; r < topology_.num_regions(); ++r) {
+    for (int i = 0; i < config_.brass_hosts_per_region; ++i) {
+      auto host = std::make_unique<BrassHost>(&sim_, next_host_id++, r,
+                                              wases_[static_cast<size_t>(r)].get(), pylon_.get(),
+                                              &app_registry_, config_.brass, config_.burst,
+                                              &metrics_);
+      router_->RegisterHost(host.get());
+      hosts_.push_back(std::move(host));
+    }
+  }
+
+  uint64_t next_proxy_id = 1;
+  for (RegionId r = 0; r < topology_.num_regions(); ++r) {
+    for (int i = 0; i < config_.proxies_per_region; ++i) {
+      proxies_.push_back(std::make_unique<ReverseProxy>(&sim_, next_proxy_id++, r, router_.get(),
+                                                        config_.burst, &metrics_));
+    }
+  }
+
+  uint64_t next_pop_id = 1;
+  Pop::ProxyConnector connector = MakeProxyConnector();
+  for (RegionId r = 0; r < topology_.num_regions(); ++r) {
+    for (int i = 0; i < config_.pops_per_region; ++i) {
+      pops_.push_back(
+          std::make_unique<Pop>(&sim_, next_pop_id++, r, connector, config_.burst, &metrics_));
+    }
+  }
+}
+
+BladerunnerCluster::~BladerunnerCluster() = default;
+
+Pop::ProxyConnector BladerunnerCluster::MakeProxyConnector() {
+  return [this](Pop* pop, RegionId target_region, uint64_t exclude_proxy_id) -> Pop::Uplink {
+    // Prefer an alive proxy in the target region; fall back to any region.
+    ReverseProxy* chosen = nullptr;
+    for (auto& proxy : proxies_) {
+      if (!proxy->alive() || proxy->proxy_id() == exclude_proxy_id) {
+        continue;
+      }
+      if (proxy->region() == target_region) {
+        chosen = proxy.get();
+        break;
+      }
+      if (chosen == nullptr) {
+        chosen = proxy.get();
+      }
+    }
+    if (chosen == nullptr) {
+      return {};
+    }
+    LatencyModel link = Compose(LatencyModel::PopToDatacenter(),
+                                topology_.LinkModel(pop->region(), chosen->region()));
+    auto [pop_end, proxy_end] =
+        CreateConnection(&sim_, link, config_.burst.failure_detection_delay);
+    chosen->AttachPopConnection(std::move(proxy_end));
+    Pop::Uplink uplink;
+    uplink.end = std::move(pop_end);
+    uplink.proxy_id = chosen->proxy_id();
+    return uplink;
+  };
+}
+
+BurstClient::Connector BladerunnerCluster::DeviceConnector(RegionId device_region,
+                                                           DeviceProfile profile) {
+  return [this, device_region, profile](int64_t device_id) -> std::shared_ptr<ConnectionEnd> {
+    (void)device_id;
+    Pop* chosen = nullptr;
+    for (auto& pop : pops_) {
+      if (!pop->alive()) {
+        continue;
+      }
+      if (pop->region() == device_region) {
+        chosen = pop.get();
+        break;
+      }
+      if (chosen == nullptr) {
+        chosen = pop.get();
+      }
+    }
+    if (chosen == nullptr) {
+      return nullptr;
+    }
+    auto [device_end, pop_end] =
+        CreateConnection(&sim_, topology_.LastMileModel(profile),
+                         config_.burst.failure_detection_delay);
+    chosen->AttachDeviceConnection(std::move(pop_end));
+    return device_end;
+  };
+}
+
+std::unique_ptr<RpcChannel> BladerunnerCluster::DeviceWasChannel(RegionId device_region,
+                                                                 DeviceProfile profile) {
+  LatencyModel link =
+      Compose(topology_.LastMileModel(profile), LatencyModel::PopToDatacenter());
+  return std::make_unique<RpcChannel>(&sim_, wases_[static_cast<size_t>(device_region)]->rpc(),
+                                      link);
+}
+
+std::unique_ptr<RpcChannel> BladerunnerCluster::BackendWasChannel(RegionId region) {
+  return std::make_unique<RpcChannel>(&sim_, wases_[static_cast<size_t>(region)]->rpc(),
+                                      LatencyModel::IntraRegion());
+}
+
+}  // namespace bladerunner

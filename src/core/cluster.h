@@ -1,0 +1,103 @@
+// BladerunnerCluster: constructs and owns the entire simulated deployment —
+// regions, TAO, WASes, Pylon, BRASS hosts + router, reverse proxies, POPs —
+// and hands out device connections. This is the library's main entry point;
+// see examples/quickstart.cpp.
+
+#ifndef BLADERUNNER_SRC_CORE_CLUSTER_H_
+#define BLADERUNNER_SRC_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/registry.h"
+#include "src/brass/host.h"
+#include "src/brass/router.h"
+#include "src/burst/client.h"
+#include "src/burst/pop.h"
+#include "src/burst/proxy.h"
+#include "src/net/topology.h"
+#include "src/pylon/cluster.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/tao/store.h"
+#include "src/was/server.h"
+
+namespace bladerunner {
+
+struct ClusterConfig {
+  uint64_t seed = 42;
+  int pops_per_region = 2;
+  int proxies_per_region = 2;
+  int brass_hosts_per_region = 3;
+  bool enable_pylon = true;  // false: polling-only deployment (baselines)
+
+  TaoConfig tao;
+  PylonConfig pylon;
+  WasConfig was;
+  BrassConfig brass;
+  BurstConfig burst;
+  AppsConfig apps;
+  // Per-application routing policy overrides (default: by load; the paper
+  // routes low-fanout apps by topic, §3.2).
+  std::map<std::string, BrassRoutingPolicy> routing_policies;
+};
+
+class BladerunnerCluster {
+ public:
+  explicit BladerunnerCluster(ClusterConfig config, Topology topology = Topology::ThreeRegions());
+  ~BladerunnerCluster();
+
+  BladerunnerCluster(const BladerunnerCluster&) = delete;
+  BladerunnerCluster& operator=(const BladerunnerCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const Topology& topology() const { return topology_; }
+  const ClusterConfig& config() const { return config_; }
+
+  TaoStore& tao() { return *tao_; }
+  PylonCluster* pylon() { return pylon_.get(); }
+  BrassRouter& router() { return *router_; }
+
+  WebAppServer& was(RegionId region) { return *wases_[static_cast<size_t>(region)]; }
+  size_t NumPops() const { return pops_.size(); }
+  Pop& pop(size_t i) { return *pops_[i]; }
+  size_t NumProxies() const { return proxies_.size(); }
+  ReverseProxy& proxy(size_t i) { return *proxies_[i]; }
+  size_t NumBrassHosts() const { return hosts_.size(); }
+  BrassHost& brass_host(size_t i) { return *hosts_[i]; }
+
+  // A connector for BurstClient: picks an alive POP in the device's region
+  // (falling back to any region) and returns the device-side end.
+  BurstClient::Connector DeviceConnector(RegionId device_region, DeviceProfile profile);
+
+  // An RPC channel from a device to its nearest WAS (for polls/mutations).
+  // Latency compounds last-mile + POP-to-DC.
+  std::unique_ptr<RpcChannel> DeviceWasChannel(RegionId device_region, DeviceProfile profile);
+
+  // Backend-side channel to a WAS (e.g. for server-side polling agents).
+  std::unique_ptr<RpcChannel> BackendWasChannel(RegionId region);
+
+ private:
+  Pop::ProxyConnector MakeProxyConnector();
+
+  ClusterConfig config_;
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  BrassAppRegistry app_registry_;
+
+  std::unique_ptr<TaoStore> tao_;
+  std::unique_ptr<PylonCluster> pylon_;
+  std::vector<std::unique_ptr<WebAppServer>> wases_;  // one per region
+  std::unique_ptr<BrassRouter> router_;
+  std::vector<std::unique_ptr<BrassHost>> hosts_;
+  std::vector<std::unique_ptr<ReverseProxy>> proxies_;
+  std::vector<std::unique_ptr<Pop>> pops_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_CORE_CLUSTER_H_

@@ -1,0 +1,354 @@
+#include "src/core/daily.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bladerunner {
+
+DailyScenario::DailyScenario(BladerunnerCluster* cluster, const SocialGraph* graph,
+                             DailyScenarioConfig config)
+    : cluster_(cluster),
+      graph_(graph),
+      config_(config),
+      online_curve_(config.online_trough, config.online_peak, config.peak_hour) {
+  assert(cluster_ != nullptr && graph_ != nullptr);
+  users_.resize(graph_->users.size());
+  for (size_t i = 0; i < graph_->users.size(); ++i) {
+    UserState& state = users_[i];
+    state.user = graph_->users[i];
+    RegionId region = cluster_->topology().SampleRegion(cluster_->sim().rng());
+    DeviceProfile profile = cluster_->topology().SampleProfile(cluster_->sim().rng());
+    state.device = std::make_unique<DeviceAgent>(cluster_, state.user, region, profile);
+    state.device->burst().SetAutoReconnect(false);  // managed by the session model
+    state.as_enabled = cluster_->sim().rng().Bernoulli(config_.as_enabled_fraction);
+  }
+  for (const auto& [thread, members] : graph_->thread_members) {
+    for (UserId member : members) {
+      for (UserState& state : users_) {
+        if (state.user == member) {
+          state.threads.push_back(thread);
+        }
+      }
+    }
+  }
+}
+
+DailyScenario::~DailyScenario() = default;
+
+double DailyScenario::OnlineFraction(SimTime t) const { return online_curve_.At(t); }
+
+void DailyScenario::Run() {
+  started_at_ = cluster_->sim().Now();
+  // Seed initial online population and session processes.
+  for (size_t i = 0; i < users_.size(); ++i) {
+    if (cluster_->sim().rng().Bernoulli(OnlineFraction(started_at_))) {
+      GoOnline(i);
+    } else {
+      ScheduleSessionTransition(i);
+    }
+  }
+  // Per-minute sampler.
+  SimTime end = started_at_ + config_.duration;
+  for (SimTime t = started_at_ + config_.sample_interval; t <= end;
+       t += config_.sample_interval) {
+    cluster_->sim().ScheduleAt(t, [this]() { SamplerTick(); });
+  }
+  if (config_.host_upgrade_interval > 0) {
+    cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
+  }
+  cluster_->sim().RunUntil(end);
+  // Tear down cleanly so open-stream records have final event counts.
+  for (size_t i = 0; i < users_.size(); ++i) {
+    if (users_[i].online) {
+      GoOffline(i);
+    }
+  }
+}
+
+void DailyScenario::ScheduleSessionTransition(size_t idx) {
+  UserState& state = users_[idx];
+  Rng& rng = cluster_->sim().rng();
+  SimTime wait;
+  if (state.online) {
+    wait = SecondsF(rng.Exponential(ToSeconds(config_.mean_online_session)));
+  } else {
+    // Offline durations chosen so the steady-state online fraction tracks
+    // the diurnal curve: p = on / (on + off)  =>  off = on * (1-p) / p.
+    double p = std::clamp(OnlineFraction(cluster_->sim().Now()), 0.03, 0.97);
+    double off_mean = ToSeconds(config_.mean_online_session) * (1.0 - p) / p;
+    wait = SecondsF(rng.Exponential(off_mean));
+  }
+  state.session_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+    users_[idx].session_timer = kInvalidTimerId;
+    if (cluster_->sim().Now() >= started_at_ + config_.duration) {
+      return;
+    }
+    if (users_[idx].online) {
+      GoOffline(idx);
+      ScheduleSessionTransition(idx);
+    } else {
+      GoOnline(idx);
+    }
+  });
+}
+
+void DailyScenario::GoOnline(size_t idx) {
+  UserState& state = users_[idx];
+  state.online = true;
+  // One conversation is active per session; typing and messages happen
+  // there. Other threads stay dormant — which is why most TypingIndicator
+  // and Messenger subscriptions see no updates at all (Fig. 7).
+  if (!state.threads.empty()) {
+    state.conversation_thread =
+        state.threads[cluster_->sim().rng().Index(state.threads.size())];
+  }
+  state.device->burst().SetAutoReconnect(true);
+  state.device->burst().Connect();
+  if (config_.heartbeats) {
+    state.device->StartHeartbeat();
+  }
+  if (config_.connectivity_churn) {
+    state.device->StartConnectivityChurn();
+  }
+  ScheduleStreamOpen(idx);
+  ScheduleActivity(idx);
+  ScheduleSessionTransition(idx);
+}
+
+void DailyScenario::GoOffline(size_t idx) {
+  UserState& state = users_[idx];
+  state.online = false;
+  if (state.open_stream_timer != kInvalidTimerId) {
+    cluster_->sim().Cancel(state.open_stream_timer);
+    state.open_stream_timer = kInvalidTimerId;
+  }
+  if (state.activity_timer != kInvalidTimerId) {
+    cluster_->sim().Cancel(state.activity_timer);
+    state.activity_timer = kInvalidTimerId;
+  }
+  state.device->StopHeartbeat();
+  state.device->StopConnectivityChurn();
+  for (uint64_t sid : state.open_streams) {
+    state.device->CancelStream(sid);
+  }
+  state.open_streams.clear();
+  state.has_messenger_stream = false;
+  state.has_as_stream = false;
+  state.has_stories_stream = false;
+  state.device->burst().SetAutoReconnect(false);
+  state.device->burst().Disconnect();
+}
+
+void DailyScenario::ScheduleStreamOpen(size_t idx) {
+  UserState& state = users_[idx];
+  if (!state.online || config_.streams_per_minute <= 0.0) {
+    return;
+  }
+  double mean_seconds = 60.0 / config_.streams_per_minute;
+  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(mean_seconds));
+  state.open_stream_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+    users_[idx].open_stream_timer = kInvalidTimerId;
+    if (!users_[idx].online) {
+      return;
+    }
+    OpenRandomStream(idx);
+    ScheduleStreamOpen(idx);
+  });
+}
+
+ObjectId DailyScenario::PickVideo() {
+  if (graph_->videos.empty()) {
+    return kInvalidObjectId;
+  }
+  int64_t rank = cluster_->sim().rng().Zipf(static_cast<int64_t>(graph_->videos.size()),
+                                            config_.zipf_s);
+  return graph_->videos[static_cast<size_t>(rank)];
+}
+
+void DailyScenario::OpenRandomStream(size_t idx) {
+  UserState& state = users_[idx];
+  if (state.open_streams.size() >= config_.max_streams_per_device) {
+    return;
+  }
+  Rng& rng = cluster_->sim().rng();
+  double total = config_.mix_typing + config_.mix_lvc + config_.mix_stories +
+                 config_.mix_messenger + config_.mix_active_status;
+  double u = rng.Uniform() * total;
+
+  // Ambient singletons (presence, story tray, mailbox) stay open for the
+  // whole session; content streams (TI, LVC) live Table-2 lifetimes.
+  bool session_long = false;
+  uint64_t sid = 0;
+  if ((u -= config_.mix_typing) < 0.0 && !state.threads.empty()) {
+    sid = state.device->SubscribeTyping(state.threads[rng.Index(state.threads.size())]);
+  } else if ((u -= config_.mix_lvc) < 0.0) {
+    ObjectId video = rng.Bernoulli(config_.lvc_cold_fraction) && !graph_->videos.empty()
+                         ? graph_->videos[rng.Index(graph_->videos.size())]
+                         : PickVideo();
+    sid = state.device->SubscribeLvc(video);
+  } else if ((u -= config_.mix_stories) < 0.0 && !state.has_stories_stream) {
+    sid = state.device->SubscribeStories();
+    state.has_stories_stream = true;
+    session_long = true;
+  } else if ((u -= config_.mix_messenger) < 0.0 && !state.has_messenger_stream) {
+    sid = state.device->SubscribeMailbox(state.device->last_messenger_seq());
+    state.has_messenger_stream = true;
+    session_long = true;
+  } else if (!state.has_as_stream && state.as_enabled) {
+    sid = state.device->SubscribeActiveStatus();
+    state.has_as_stream = true;
+    session_long = true;
+  } else {
+    // Singleton already open; fall back to a fresh LVC stream on a
+    // uniformly chosen (usually quiet) video.
+    sid = state.device->SubscribeLvc(graph_->videos.empty()
+                                         ? kInvalidObjectId
+                                         : graph_->videos[rng.Index(graph_->videos.size())]);
+  }
+  if (sid == 0) {
+    return;
+  }
+  state.open_streams.push_back(sid);
+  if (session_long) {
+    return;  // closed by GoOffline at session end
+  }
+  SimTime lifetime = lifetimes_.SampleUnbiased(rng);
+  cluster_->sim().Schedule(lifetime, [this, idx, sid]() {
+    UserState& s = users_[idx];
+    auto it = std::find(s.open_streams.begin(), s.open_streams.end(), sid);
+    if (it == s.open_streams.end()) {
+      return;  // session ended first
+    }
+    s.open_streams.erase(it);
+    s.device->CancelStream(sid);
+  });
+}
+
+void DailyScenario::ScheduleActivity(size_t idx) {
+  UserState& state = users_[idx];
+  if (!state.online) {
+    return;
+  }
+  double per_minute = config_.typing_toggles_per_minute + config_.comments_per_minute +
+                      config_.messages_per_minute + config_.stories_per_minute;
+  if (per_minute <= 0.0) {
+    return;
+  }
+  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(60.0 / per_minute));
+  state.activity_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+    users_[idx].activity_timer = kInvalidTimerId;
+    if (!users_[idx].online) {
+      return;
+    }
+    DoRandomActivity(idx);
+    ScheduleActivity(idx);
+  });
+}
+
+void DailyScenario::DoRandomActivity(size_t idx) {
+  UserState& state = users_[idx];
+  Rng& rng = cluster_->sim().rng();
+  double total = config_.typing_toggles_per_minute + config_.comments_per_minute +
+                 config_.messages_per_minute + config_.stories_per_minute;
+  double u = rng.Uniform() * total;
+  if ((u -= config_.typing_toggles_per_minute) < 0.0) {
+    if (state.conversation_thread != kInvalidObjectId) {
+      state.device->SetTyping(state.conversation_thread, rng.Bernoulli(0.5));
+    }
+  } else if ((u -= config_.comments_per_minute) < 0.0) {
+    ObjectId video = PickVideo();
+    if (video != kInvalidObjectId) {
+      state.device->PostComment(video, "c", graph_->language.at(state.user));
+    }
+  } else if ((u -= config_.messages_per_minute) < 0.0) {
+    if (state.conversation_thread != kInvalidObjectId) {
+      state.device->SendMessage(state.conversation_thread, "m");
+    }
+  } else {
+    state.device->PostStory("s");
+  }
+}
+
+int64_t DailyScenario::CounterDelta(const std::string& name, int64_t* last) {
+  const Counter* counter = cluster_->metrics().FindCounter(name);
+  int64_t now = counter != nullptr ? counter->value() : 0;
+  int64_t delta = now - *last;
+  *last = now;
+  return delta;
+}
+
+void DailyScenario::SamplerTick() {
+  SimTime now = cluster_->sim().Now() - started_at_;
+  MetricsRegistry& m = cluster_->metrics();
+
+  size_t active_streams = 0;
+  for (UserState& state : users_) {
+    active_streams += state.device->burst().ActiveStreamCount();
+  }
+  m.GetTimeSeries("daily.active_streams_per_user", Minutes(15))
+      .Sample(now, static_cast<double>(active_streams) / static_cast<double>(users_.size()));
+
+  struct RateMetric {
+    const char* series;
+    const char* counter;
+  };
+  static const RateMetric kRates[] = {
+      {"daily.subscriptions", "device.subscriptions"},
+      {"daily.publications", "pylon.publishes"},
+      {"daily.fanout", "pylon.fanout_sends"},
+      {"daily.decisions", "brass.decisions"},
+      {"daily.deliveries", "brass.deliveries"},
+      {"daily.drops", "burst.device_connection_drops"},
+      {"daily.proxy_reconnects", "burst.proxy_induced_reconnects"},
+      {"daily.pop_reconnects", "burst.pop_initiated_reconnects"},
+  };
+  for (const RateMetric& rate : kRates) {
+    int64_t delta = CounterDelta(rate.counter, &last_counter_values_[rate.counter]);
+    m.GetTimeSeries(rate.series, Minutes(15)).Add(now, static_cast<double>(delta));
+  }
+}
+
+void DailyScenario::UpgradeTick() {
+  // Drain one random alive host (software upgrade / rebalancing), revive
+  // it two minutes later; reschedule the next upgrade.
+  std::vector<size_t> alive;
+  for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+    if (cluster_->brass_host(i).alive()) {
+      alive.push_back(i);
+    }
+  }
+  if (alive.size() > 1) {
+    size_t victim = alive[cluster_->sim().rng().Index(alive.size())];
+    cluster_->brass_host(victim).Drain();
+    cluster_->sim().Schedule(Minutes(2), [this, victim]() {
+      cluster_->brass_host(victim).Revive();
+    });
+  }
+  if (cluster_->sim().Now() < started_at_ + config_.duration) {
+    cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
+  }
+}
+
+const TimeSeries& DailyScenario::Series(const std::string& name) const {
+  const TimeSeries* series = cluster_->metrics().FindTimeSeries(name);
+  static const TimeSeries kEmpty(Minutes(15));
+  return series != nullptr ? *series : kEmpty;
+}
+
+std::vector<StreamRecord> DailyScenario::CollectStreamRecords() const {
+  std::vector<StreamRecord> records;
+  SimTime end = cluster_->sim().Now();
+  for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+    const BrassHost& host = const_cast<BladerunnerCluster*>(cluster_)->brass_host(i);
+    for (const StreamRecord& record : host.closed_stream_records()) {
+      records.push_back(record);
+    }
+    for (StreamRecord record : host.OpenStreamRecords()) {
+      record.closed_at = end;
+      records.push_back(record);
+    }
+  }
+  return records;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,254 @@
+#include "src/core/device.h"
+
+#include <cassert>
+
+#include "src/was/messages.h"
+
+namespace bladerunner {
+
+namespace {
+
+// Device ids share the user-id space; each user has one device in the
+// standard scenarios. Multi-device users can construct extra agents with
+// distinct synthetic ids.
+int64_t DeviceIdFor(UserId user) { return user; }
+
+}  // namespace
+
+DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId region,
+                         DeviceProfile profile)
+    : cluster_(cluster), user_(user), region_(region), profile_(profile) {
+  assert(cluster_ != nullptr);
+  // Radio promotion is a cellular phenomenon: wifi devices wake cheaply,
+  // 2G radios take seconds to promote to a data-capable state.
+  BurstConfig burst_config = cluster_->config().burst;
+  switch (profile) {
+    case DeviceProfile::kWifi:
+      burst_config.radio_promotion_ms *= 0.55;
+      break;
+    case DeviceProfile::kMobile4g:
+      break;  // the configured default models a typical LTE radio
+    case DeviceProfile::kMobile2g:
+      burst_config.radio_promotion_ms *= 5.0;
+      burst_config.radio_promotion_sigma = 0.6;
+      break;
+  }
+  burst_ = std::make_unique<BurstClient>(&cluster_->sim(), DeviceIdFor(user),
+                                         cluster_->DeviceConnector(region, profile), this,
+                                         burst_config, &cluster_->metrics());
+  was_channel_ = cluster_->DeviceWasChannel(region, profile);
+}
+
+DeviceAgent::~DeviceAgent() {
+  StopHeartbeat();
+  StopConnectivityChurn();
+}
+
+void DeviceAgent::Query(const std::string& text, std::function<void(bool, Value)> callback) {
+  auto request = std::make_shared<WasQueryRequest>();
+  request->query = text;
+  request->viewer = user_;
+  cluster_->metrics().GetCounter("device.was_queries").Increment();
+  auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
+  was_channel_->Call("was.query", request, [cb](RpcStatus status, MessagePtr response) {
+    if (status != RpcStatus::kOk) {
+      (*cb)(false, Value(nullptr));
+      return;
+    }
+    auto result = std::static_pointer_cast<WasQueryResponse>(response);
+    (*cb)(result->errors.empty(), result->data);
+  });
+}
+
+void DeviceAgent::Mutate(const std::string& text, std::function<void(bool, Value)> callback) {
+  auto request = std::make_shared<WasMutateRequest>();
+  request->mutation = text;
+  request->viewer = user_;
+  request->created_at = cluster_->sim().Now();
+  cluster_->metrics().GetCounter("device.was_mutations").Increment();
+  auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
+  was_channel_->Call("was.mutate", request, [cb](RpcStatus status, MessagePtr response) {
+    if (*cb == nullptr) {
+      return;
+    }
+    if (status != RpcStatus::kOk) {
+      (*cb)(false, Value(nullptr));
+      return;
+    }
+    auto result = std::static_pointer_cast<WasMutateResponse>(response);
+    (*cb)(result->ok, result->data);
+  });
+}
+
+uint64_t DeviceAgent::SubscribeRaw(const std::string& app, const std::string& subscription) {
+  Value header;
+  header.Set(kHeaderApp, app);
+  header.Set(kHeaderSubscription, subscription);
+  header.Set(kHeaderViewer, user_);
+  header.Set(kHeaderRegion, static_cast<int64_t>(region_));
+  header.Set("_sentAt", cluster_->sim().Now());  // setup-latency measurement
+  cluster_->metrics().GetCounter("device.subscriptions").Increment();
+  return burst_->Subscribe(std::move(header));
+}
+
+uint64_t DeviceAgent::SubscribeLvc(ObjectId video) {
+  return SubscribeRaw("LVC", "subscription { liveVideoComments(videoId: " +
+                                 std::to_string(video) + ") { id text author } }");
+}
+
+uint64_t DeviceAgent::SubscribeActiveStatus() {
+  return SubscribeRaw("AS", "subscription { activeStatus { online offline } }");
+}
+
+uint64_t DeviceAgent::SubscribeTyping(ObjectId thread) {
+  return SubscribeRaw("TI", "subscription { typingIndicator(threadId: " +
+                                std::to_string(thread) + ") { user typing } }");
+}
+
+uint64_t DeviceAgent::SubscribeStories() {
+  return SubscribeRaw("Stories", "subscription { storiesTray { owner rank } }");
+}
+
+uint64_t DeviceAgent::SubscribeMailbox(uint64_t last_seq) {
+  Value header;
+  header.Set(kHeaderApp, "Messenger");
+  header.Set(kHeaderSubscription, "subscription { mailbox { id seq text } }");
+  header.Set(kHeaderViewer, user_);
+  header.Set(kHeaderRegion, static_cast<int64_t>(region_));
+  header.Set("_sentAt", cluster_->sim().Now());
+  if (last_seq > 0) {
+    header.Set(kHeaderResumeToken, static_cast<int64_t>(last_seq));
+    last_messenger_seq_ = last_seq;
+  }
+  cluster_->metrics().GetCounter("device.subscriptions").Increment();
+  return burst_->Subscribe(std::move(header));
+}
+
+void DeviceAgent::PostComment(ObjectId video, const std::string& text,
+                              const std::string& language) {
+  Mutate("mutation { postComment(video: " + std::to_string(video) + ", text: \"" + text +
+         "\", language: \"" + language + "\") { id } }");
+}
+
+void DeviceAgent::SendMessage(ObjectId thread, const std::string& text) {
+  Mutate("mutation { sendMessage(thread: " + std::to_string(thread) + ", text: \"" + text +
+         "\") { id } }");
+}
+
+void DeviceAgent::SetTyping(ObjectId thread, bool typing) {
+  Mutate("mutation { setTyping(thread: " + std::to_string(thread) +
+         ", typing: " + (typing ? "true" : "false") + ") }");
+}
+
+void DeviceAgent::PostStory(const std::string& text) {
+  Mutate("mutation { postStory(text: \"" + text + "\") { id } }");
+}
+
+void DeviceAgent::StartHeartbeat(SimTime interval) {
+  heartbeat_enabled_ = true;
+  heartbeat_interval_ = interval;
+  ScheduleNextHeartbeat();
+}
+
+void DeviceAgent::StopHeartbeat() {
+  heartbeat_enabled_ = false;
+  if (heartbeat_timer_ != kInvalidTimerId) {
+    cluster_->sim().Cancel(heartbeat_timer_);
+    heartbeat_timer_ = kInvalidTimerId;
+  }
+}
+
+void DeviceAgent::ScheduleNextHeartbeat() {
+  if (!heartbeat_enabled_) {
+    return;
+  }
+  Mutate("mutation { heartbeatOnline }");
+  heartbeat_timer_ = cluster_->sim().Schedule(heartbeat_interval_, [this]() {
+    heartbeat_timer_ = kInvalidTimerId;
+    ScheduleNextHeartbeat();
+  });
+}
+
+void DeviceAgent::StartConnectivityChurn() {
+  churn_enabled_ = true;
+  ScheduleNextDrop();
+}
+
+void DeviceAgent::StopConnectivityChurn() {
+  churn_enabled_ = false;
+  if (churn_timer_ != kInvalidTimerId) {
+    cluster_->sim().Cancel(churn_timer_);
+    churn_timer_ = kInvalidTimerId;
+  }
+}
+
+void DeviceAgent::ScheduleNextDrop() {
+  if (!churn_enabled_) {
+    return;
+  }
+  SimTime mtbf = cluster_->topology().LastMileMtbf(profile_);
+  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(ToSeconds(mtbf)));
+  churn_timer_ = cluster_->sim().Schedule(wait, [this]() {
+    churn_timer_ = kInvalidTimerId;
+    if (burst_->connected()) {
+      cluster_->metrics()
+          .GetTimeSeries("device.drops_per_bucket", Minutes(15))
+          .Add(cluster_->sim().Now(), 1.0);
+      burst_->SimulateConnectionDrop();
+    }
+    ScheduleNextDrop();
+  });
+}
+
+void DeviceAgent::OnStreamData(uint64_t sid, const Value& payload, uint64_t seq) {
+  payloads_received_ += 1;
+  MetricsRegistry& metrics = cluster_->metrics();
+  metrics.GetCounter("device.payloads_received").Increment();
+
+  const std::string& app = payload.Get("_app").AsString();
+  SimTime now = cluster_->sim().Now();
+  SimTime created_at = payload.Get("_createdAt").AsInt(0);
+  SimTime sent_at = payload.Get("_sentAt").AsInt(0);
+  if (created_at > 0) {
+    metrics.GetHistogram("e2e.total_us." + app).Record(static_cast<double>(now - created_at));
+  }
+  if (sent_at > 0) {
+    metrics.GetHistogram("e2e.brass_to_device_us." + app)
+        .Record(static_cast<double>(now - sent_at));
+  }
+  if (app == "Messenger" && seq > 0) {
+    if (seq <= last_messenger_seq_) {
+      // Redelivery of something we already have — fine, idempotent.
+    } else if (seq != last_messenger_seq_ + 1) {
+      messenger_order_violations_ += 1;
+      metrics.GetCounter("device.messenger_order_violations").Increment();
+      last_messenger_seq_ = seq;
+    } else {
+      last_messenger_seq_ = seq;
+    }
+    burst_->Ack(sid, last_messenger_seq_);
+  }
+  if (payload_hook_) {
+    payload_hook_(sid, payload);
+  }
+}
+
+void DeviceAgent::OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std::string& detail) {
+  (void)sid;
+  (void)detail;
+  if (status == FlowStatus::kDegraded) {
+    flow_degraded_count_ += 1;
+  } else {
+    flow_recovered_count_ += 1;
+  }
+}
+
+void DeviceAgent::OnStreamTerminated(uint64_t sid, TerminateReason reason,
+                                     const std::string& detail) {
+  (void)sid;
+  (void)reason;
+  (void)detail;
+  cluster_->metrics().GetCounter("device.streams_terminated").Increment();
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,109 @@
+// DeviceAgent: one simulated end-user device (mobile app or browser tab).
+//
+// Owns the BURST client, an RPC channel to the nearest WAS for polls and
+// mutations, the per-application client logic (applying deltas, acking
+// Messenger messages), last-mile connectivity churn, and the device-side
+// measurement points for the paper's latency figures.
+
+#ifndef BLADERUNNER_SRC_CORE_DEVICE_H_
+#define BLADERUNNER_SRC_CORE_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/burst/client.h"
+#include "src/core/cluster.h"
+#include "src/net/topology.h"
+#include "src/tao/types.h"
+
+namespace bladerunner {
+
+class DeviceAgent : public BurstClient::Observer {
+ public:
+  DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId region, DeviceProfile profile);
+  ~DeviceAgent() override;
+
+  UserId user() const { return user_; }
+  RegionId region() const { return region_; }
+  DeviceProfile profile() const { return profile_; }
+  BurstClient& burst() { return *burst_; }
+
+  // ---- WAS access (request/response over the last mile) ----
+  void Query(const std::string& text, std::function<void(bool, Value)> callback);
+  void Mutate(const std::string& text, std::function<void(bool, Value)> callback = nullptr);
+
+  // ---- subscriptions (each returns the stream sid) ----
+  uint64_t SubscribeLvc(ObjectId video);
+  uint64_t SubscribeActiveStatus();
+  uint64_t SubscribeTyping(ObjectId thread);
+  uint64_t SubscribeStories();
+  uint64_t SubscribeMailbox(uint64_t last_seq);
+
+  // Generic subscription with an explicit app + GraphQL text.
+  uint64_t SubscribeRaw(const std::string& app, const std::string& subscription);
+
+  void CancelStream(uint64_t sid) { burst_->Cancel(sid); }
+
+  // ---- user activity helpers ----
+  void PostComment(ObjectId video, const std::string& text, const std::string& language);
+  void SendMessage(ObjectId thread, const std::string& text);
+  void SetTyping(ObjectId thread, bool typing);
+  void PostStory(const std::string& text);
+
+  // Heartbeats ONLINE every `interval` (ActiveStatus, §3.4).
+  void StartHeartbeat(SimTime interval = Seconds(30));
+  void StopHeartbeat();
+
+  // Schedules random last-mile connection drops at the profile's MTBF
+  // (feeds Fig. 10's top curve).
+  void StartConnectivityChurn();
+  void StopConnectivityChurn();
+
+  // ---- device-side counters ----
+  uint64_t payloads_received() const { return payloads_received_; }
+  uint64_t messenger_order_violations() const { return messenger_order_violations_; }
+  uint64_t last_messenger_seq() const { return last_messenger_seq_; }
+  uint64_t flow_degraded_count() const { return flow_degraded_count_; }
+  uint64_t flow_recovered_count() const { return flow_recovered_count_; }
+
+  // Optional hook invoked on every data payload (after accounting).
+  using PayloadHook = std::function<void(uint64_t sid, const Value& payload)>;
+  void set_payload_hook(PayloadHook hook) { payload_hook_ = std::move(hook); }
+
+  // BurstClient::Observer:
+  void OnStreamData(uint64_t sid, const Value& payload, uint64_t seq) override;
+  void OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std::string& detail) override;
+  void OnStreamTerminated(uint64_t sid, TerminateReason reason,
+                          const std::string& detail) override;
+
+ private:
+  void ScheduleNextDrop();
+  void ScheduleNextHeartbeat();
+
+  BladerunnerCluster* cluster_;
+  UserId user_;
+  RegionId region_;
+  DeviceProfile profile_;
+  std::unique_ptr<BurstClient> burst_;
+  std::unique_ptr<RpcChannel> was_channel_;
+
+  bool churn_enabled_ = false;
+  TimerId churn_timer_ = kInvalidTimerId;
+  bool heartbeat_enabled_ = false;
+  SimTime heartbeat_interval_ = Seconds(30);
+  TimerId heartbeat_timer_ = kInvalidTimerId;
+
+  uint64_t payloads_received_ = 0;
+  uint64_t messenger_order_violations_ = 0;
+  uint64_t last_messenger_seq_ = 0;
+  uint64_t flow_degraded_count_ = 0;
+  uint64_t flow_recovered_count_ = 0;
+  PayloadHook payload_hook_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_CORE_DEVICE_H_

@@ -1,0 +1,34 @@
+#include "src/graphql/ast.h"
+
+namespace bladerunner {
+
+const char* ToString(OperationType type) {
+  switch (type) {
+    case OperationType::kQuery:
+      return "query";
+    case OperationType::kMutation:
+      return "mutation";
+    case OperationType::kSubscription:
+      return "subscription";
+  }
+  return "unknown";
+}
+
+const Field* SelectionSet::FindField(const std::string& name) const {
+  for (const Field& f : fields) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const Value& Field::Arg(const std::string& key) const {
+  auto it = arguments.find(key);
+  if (it != arguments.end()) {
+    return it->second;
+  }
+  return NullValue();
+}
+
+}  // namespace bladerunner

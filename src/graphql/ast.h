@@ -1,0 +1,66 @@
+// Abstract syntax tree for the query language.
+//
+// The grammar is the GraphQL subset Bladerunner exercises: named operations
+// (query / mutation / subscription), nested selection sets, field aliases,
+// and literal arguments (int, float, string, bool, enum-as-string, list,
+// object). Variables and fragments are out of scope — the paper's flows
+// never require them.
+
+#ifndef BLADERUNNER_SRC_GRAPHQL_AST_H_
+#define BLADERUNNER_SRC_GRAPHQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graphql/value.h"
+
+namespace bladerunner {
+
+enum class OperationType {
+  kQuery,
+  kMutation,
+  kSubscription,
+};
+
+const char* ToString(OperationType type);
+
+struct Field;
+
+// A `{ field field ... }` block.
+struct SelectionSet {
+  std::vector<Field> fields;
+
+  bool empty() const { return fields.empty(); }
+
+  // First field with the given name, or nullptr.
+  const Field* FindField(const std::string& name) const;
+};
+
+struct Field {
+  std::string alias;  // empty unless `alias: name` was written
+  std::string name;
+  ValueMap arguments;
+  SelectionSet selections;  // empty for leaf fields
+
+  const std::string& ResponseKey() const { return alias.empty() ? name : alias; }
+  const Value& Arg(const std::string& key) const;
+  bool HasArg(const std::string& key) const { return arguments.find(key) != arguments.end(); }
+};
+
+struct Operation {
+  OperationType type = OperationType::kQuery;
+  std::string name;  // optional operation name
+  SelectionSet selections;
+};
+
+struct Document {
+  std::vector<Operation> operations;
+
+  // The sole operation of a single-operation document (the common case).
+  const Operation& Sole() const { return operations.front(); }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_GRAPHQL_AST_H_

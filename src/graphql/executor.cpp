@@ -1,0 +1,107 @@
+#include "src/graphql/executor.h"
+
+namespace bladerunner {
+
+void QueryCost::Add(const QueryCost& other) {
+  point_reads += other.point_reads;
+  range_reads += other.range_reads;
+  intersect_reads += other.intersect_reads;
+  writes += other.writes;
+  shards_touched += other.shards_touched;
+}
+
+void Schema::AddResolver(const std::string& type_name, const std::string& field_name,
+                         Resolver resolver) {
+  resolvers_[type_name][field_name] = std::move(resolver);
+}
+
+bool Schema::HasResolver(const std::string& type_name, const std::string& field_name) const {
+  auto it = resolvers_.find(type_name);
+  if (it == resolvers_.end()) {
+    return false;
+  }
+  return it->second.find(field_name) != it->second.end();
+}
+
+ExecResult Schema::Execute(const Document& document, ExecContext& ctx) const {
+  return ExecuteOperation(document.Sole(), ctx);
+}
+
+ExecResult Schema::ExecuteOperation(const Operation& op, ExecContext& ctx) const {
+  std::string root_type;
+  switch (op.type) {
+    case OperationType::kQuery:
+      root_type = "Query";
+      break;
+    case OperationType::kMutation:
+      root_type = "Mutation";
+      break;
+    case OperationType::kSubscription:
+      root_type = "Subscription";
+      break;
+  }
+  ExecResult result;
+  result.data = ExecuteSelections(op.selections, root_type, NullValue(), ctx);
+  result.errors = ctx.errors;
+  result.cost = ctx.cost;
+  return result;
+}
+
+Value Schema::ExecuteSelections(const SelectionSet& selections, const std::string& type_name,
+                                const Value& parent, ExecContext& ctx) const {
+  ValueMap out;
+  auto type_it = resolvers_.find(type_name);
+  for (const Field& field : selections.fields) {
+    Value resolved;
+    bool have_resolver = false;
+    if (type_it != resolvers_.end()) {
+      auto field_it = type_it->second.find(field.name);
+      if (field_it != type_it->second.end()) {
+        resolved = field_it->second(ResolveInfo{parent, field, ctx});
+        have_resolver = true;
+      }
+    }
+    if (!have_resolver) {
+      // Default resolution: read the property off the parent object. This
+      // is how plain data fields ("id", "text", ...) resolve.
+      if (parent.is_map() && parent.Has(field.name)) {
+        resolved = parent.Get(field.name);
+      } else {
+        ctx.AddError("no resolver and no parent property for " + type_name + "." + field.name);
+        resolved = Value(nullptr);
+      }
+    }
+    out[field.ResponseKey()] = CompleteValue(field, std::move(resolved), ctx);
+  }
+  return Value(std::move(out));
+}
+
+Value Schema::CompleteValue(const Field& field, Value resolved, ExecContext& ctx) const {
+  if (field.selections.empty()) {
+    return resolved;  // leaf: return as-is
+  }
+  if (resolved.is_null()) {
+    return resolved;
+  }
+  if (resolved.is_list()) {
+    ValueList completed;
+    completed.reserve(resolved.AsList().size());
+    for (const Value& element : resolved.AsList()) {
+      Value copy = element;
+      completed.push_back(CompleteValue(field, std::move(copy), ctx));
+    }
+    return Value(std::move(completed));
+  }
+  if (!resolved.is_map()) {
+    ctx.AddError("field " + field.name + " has a selection set but resolved to a scalar");
+    return Value(nullptr);
+  }
+  const std::string& object_type = resolved.Get("__type").AsString();
+  if (object_type.empty()) {
+    // Untyped object: resolve selections purely from its properties.
+    return ExecuteSelections(field.selections, "", resolved, ctx);
+  }
+  return ExecuteSelections(field.selections, object_type, resolved, ctx);
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,90 @@
+// Schema + resolver-based executor.
+//
+// The WAS binds resolvers against TAO (src/was/resolvers.cpp). Execution is
+// synchronous over the in-memory simulated datastore; the *latency* of a
+// query is modeled separately by the WAS from the query cost that resolvers
+// record into ExecContext (TAO point/range/intersect operations performed,
+// shards touched). This mirrors how the paper reasons about query cost:
+// polls are expensive because of the TAO operations they induce.
+
+#ifndef BLADERUNNER_SRC_GRAPHQL_EXECUTOR_H_
+#define BLADERUNNER_SRC_GRAPHQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/graphql/ast.h"
+#include "src/graphql/value.h"
+
+namespace bladerunner {
+
+// Accumulated cost of executing one operation, in TAO-level operations.
+struct QueryCost {
+  uint64_t point_reads = 0;
+  uint64_t range_reads = 0;
+  uint64_t intersect_reads = 0;
+  uint64_t writes = 0;
+  uint64_t shards_touched = 0;
+
+  void Add(const QueryCost& other);
+  uint64_t TotalReads() const { return point_reads + range_reads + intersect_reads; }
+};
+
+// Per-execution context handed to every resolver.
+struct ExecContext {
+  int64_t viewer_id = 0;      // authenticated user on whose behalf we run
+  void* backend = nullptr;    // module-specific (the WAS sets its TaoStore)
+  QueryCost cost;             // resolvers account their TAO usage here
+  std::vector<std::string> errors;
+
+  void AddError(std::string message) { errors.push_back(std::move(message)); }
+};
+
+// A resolver computes the value of one field given the parent value.
+// For object-typed results, the returned Value must be a map containing
+// "__type" naming the schema type of the result (or a list of such maps);
+// the executor uses it to resolve nested selections.
+struct ResolveInfo {
+  const Value& parent;
+  const Field& field;
+  ExecContext& ctx;
+};
+using Resolver = std::function<Value(const ResolveInfo&)>;
+
+struct ExecResult {
+  Value data;
+  std::vector<std::string> errors;
+  QueryCost cost;
+
+  bool ok() const { return errors.empty(); }
+};
+
+class Schema {
+ public:
+  // Registers the resolver for `type_name.field_name`. Root types are
+  // "Query", "Mutation", and "Subscription".
+  void AddResolver(const std::string& type_name, const std::string& field_name,
+                   Resolver resolver);
+
+  bool HasResolver(const std::string& type_name, const std::string& field_name) const;
+
+  // Executes the document's sole operation with the given context.
+  ExecResult Execute(const Document& document, ExecContext& ctx) const;
+
+  // Executes a specific operation.
+  ExecResult ExecuteOperation(const Operation& op, ExecContext& ctx) const;
+
+ private:
+  Value ExecuteSelections(const SelectionSet& selections, const std::string& type_name,
+                          const Value& parent, ExecContext& ctx) const;
+  Value CompleteValue(const Field& field, Value resolved, ExecContext& ctx) const;
+
+  std::map<std::string, std::map<std::string, Resolver>> resolvers_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_GRAPHQL_EXECUTOR_H_

@@ -1,0 +1,160 @@
+#include "src/graphql/lexer.h"
+
+#include <cctype>
+
+namespace bladerunner {
+
+namespace {
+
+bool IsNameStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsNameChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto error = [&](const std::string& message, size_t at) {
+    tokens.push_back(Token{TokenType::kError, message, at});
+    tokens.push_back(Token{TokenType::kEndOfInput, "", n});
+  };
+
+  while (i < n) {
+    char c = source[i];
+    // Whitespace and commas are insignificant (GraphQL treats ',' as such,
+    // but we keep ',' as punctuation for argument lists; skip only spaces).
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (IsNameStart(c)) {
+      size_t start = i;
+      while (i < n && IsNameChar(source[i])) {
+        ++i;
+      }
+      tokens.push_back(Token{TokenType::kName, std::string(source.substr(start, i - start)), start});
+      continue;
+    }
+    if (IsDigit(c) || (c == '-' && i + 1 < n && IsDigit(source[i + 1]))) {
+      size_t start = i;
+      if (c == '-') {
+        ++i;
+      }
+      while (i < n && IsDigit(source[i])) {
+        ++i;
+      }
+      bool is_float = false;
+      if (i < n && source[i] == '.') {
+        is_float = true;
+        ++i;
+        if (i >= n || !IsDigit(source[i])) {
+          error("expected digit after decimal point", i);
+          return tokens;
+        }
+        while (i < n && IsDigit(source[i])) {
+          ++i;
+        }
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) {
+          ++i;
+        }
+        if (i >= n || !IsDigit(source[i])) {
+          error("expected digit in exponent", i);
+          return tokens;
+        }
+        while (i < n && IsDigit(source[i])) {
+          ++i;
+        }
+      }
+      tokens.push_back(Token{is_float ? TokenType::kFloat : TokenType::kInt,
+                             std::string(source.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        char sc = source[i];
+        if (sc == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (sc == '\\') {
+          ++i;
+          if (i >= n) {
+            break;
+          }
+          char esc = source[i];
+          switch (esc) {
+            case 'n':
+              value.push_back('\n');
+              break;
+            case 't':
+              value.push_back('\t');
+              break;
+            case 'r':
+              value.push_back('\r');
+              break;
+            case '"':
+            case '\\':
+            case '/':
+              value.push_back(esc);
+              break;
+            default:
+              error(std::string("unsupported escape \\") + esc, i);
+              return tokens;
+          }
+          ++i;
+          continue;
+        }
+        value.push_back(sc);
+        ++i;
+      }
+      if (!closed) {
+        error("unterminated string", start);
+        return tokens;
+      }
+      tokens.push_back(Token{TokenType::kString, std::move(value), start});
+      continue;
+    }
+    switch (c) {
+      case '{':
+      case '}':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case ':':
+      case ',':
+      case '!':
+      case '=':
+      case '@':
+      case '$':
+        tokens.push_back(Token{TokenType::kPunct, std::string(1, c), i});
+        ++i;
+        continue;
+      default:
+        error(std::string("unexpected character '") + c + "'", i);
+        return tokens;
+    }
+  }
+  tokens.push_back(Token{TokenType::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace bladerunner

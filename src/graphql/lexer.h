@@ -1,0 +1,38 @@
+// Tokenizer for the query language.
+
+#ifndef BLADERUNNER_SRC_GRAPHQL_LEXER_H_
+#define BLADERUNNER_SRC_GRAPHQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bladerunner {
+
+enum class TokenType {
+  kName,       // identifiers and keywords
+  kInt,        // integer literal
+  kFloat,      // floating literal
+  kString,     // quoted string (value holds the unescaped contents)
+  kPunct,      // one of { } ( ) [ ] : , ! = @ $
+  kEndOfInput,
+  kError,      // lexing error; value holds the message
+};
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string value;
+  size_t position = 0;  // byte offset into the source, for error messages
+
+  bool IsPunct(char c) const { return type == TokenType::kPunct && value.size() == 1 && value[0] == c; }
+  bool IsName(std::string_view n) const { return type == TokenType::kName && value == n; }
+};
+
+// Tokenizes `source`. The result always ends with kEndOfInput, or with a
+// single kError token (followed by kEndOfInput) at the offending position.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_GRAPHQL_LEXER_H_

@@ -1,0 +1,273 @@
+#include "src/graphql/parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/graphql/lexer.h"
+
+namespace bladerunner {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult Run() {
+    Document doc;
+    for (const Token& t : tokens_) {
+      if (t.type == TokenType::kError) {
+        error_position_ = t.position;
+        return Fail(t.value);
+      }
+    }
+    while (Peek().type != TokenType::kEndOfInput) {
+      Operation op;
+      if (!ParseOperation(op)) {
+        return Fail(error_);
+      }
+      doc.operations.push_back(std::move(op));
+    }
+    if (doc.operations.empty()) {
+      return Fail("empty document");
+    }
+    ParseResult result;
+    result.document = std::move(doc);
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Error(const std::string& message) {
+    error_ = message;
+    error_position_ = Peek().position;
+    return false;
+  }
+
+  ParseResult Fail(const std::string& message) {
+    ParseResult result;
+    result.error = message;
+    result.error_position = error_position_ != 0 ? error_position_ : Peek().position;
+    return result;
+  }
+
+  bool ParseOperation(Operation& op) {
+    const Token& t = Peek();
+    if (t.IsPunct('{')) {
+      // Anonymous query shorthand.
+      op.type = OperationType::kQuery;
+      return ParseSelectionSet(op.selections);
+    }
+    if (t.type != TokenType::kName) {
+      return Error("expected operation type or '{'");
+    }
+    if (t.value == "query") {
+      op.type = OperationType::kQuery;
+    } else if (t.value == "mutation") {
+      op.type = OperationType::kMutation;
+    } else if (t.value == "subscription") {
+      op.type = OperationType::kSubscription;
+    } else {
+      return Error("unknown operation type '" + t.value + "'");
+    }
+    Advance();
+    if (Peek().type == TokenType::kName) {
+      op.name = Advance().value;
+    }
+    return ParseSelectionSet(op.selections);
+  }
+
+  bool ParseSelectionSet(SelectionSet& set) {
+    if (!Peek().IsPunct('{')) {
+      return Error("expected '{'");
+    }
+    Advance();
+    while (!Peek().IsPunct('}')) {
+      if (Peek().type == TokenType::kEndOfInput) {
+        return Error("unterminated selection set");
+      }
+      Field field;
+      if (!ParseField(field)) {
+        return false;
+      }
+      set.fields.push_back(std::move(field));
+      if (Peek().IsPunct(',')) {  // optional separators between fields
+        Advance();
+      }
+    }
+    Advance();  // consume '}'
+    return true;
+  }
+
+  bool ParseField(Field& field) {
+    if (Peek().type != TokenType::kName) {
+      return Error("expected field name");
+    }
+    std::string first = Advance().value;
+    if (Peek().IsPunct(':')) {
+      Advance();
+      if (Peek().type != TokenType::kName) {
+        return Error("expected field name after alias");
+      }
+      field.alias = std::move(first);
+      field.name = Advance().value;
+    } else {
+      field.name = std::move(first);
+    }
+    if (Peek().IsPunct('(')) {
+      if (!ParseArguments(field.arguments)) {
+        return false;
+      }
+    }
+    if (Peek().IsPunct('{')) {
+      if (!ParseSelectionSet(field.selections)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseArguments(ValueMap& args) {
+    Advance();  // consume '('
+    while (!Peek().IsPunct(')')) {
+      if (Peek().type == TokenType::kEndOfInput) {
+        return Error("unterminated argument list");
+      }
+      if (Peek().type != TokenType::kName) {
+        return Error("expected argument name");
+      }
+      std::string name = Advance().value;
+      if (!Peek().IsPunct(':')) {
+        return Error("expected ':' after argument name");
+      }
+      Advance();
+      Value value;
+      if (!ParseValue(value)) {
+        return false;
+      }
+      args[std::move(name)] = std::move(value);
+      if (Peek().IsPunct(',')) {
+        Advance();
+      }
+    }
+    Advance();  // consume ')'
+    return true;
+  }
+
+  bool ParseValue(Value& out) {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        out = Value(static_cast<int64_t>(std::strtoll(t.value.c_str(), nullptr, 10)));
+        Advance();
+        return true;
+      case TokenType::kFloat:
+        out = Value(std::strtod(t.value.c_str(), nullptr));
+        Advance();
+        return true;
+      case TokenType::kString:
+        out = Value(t.value);
+        Advance();
+        return true;
+      case TokenType::kName:
+        if (t.value == "true") {
+          out = Value(true);
+        } else if (t.value == "false") {
+          out = Value(false);
+        } else if (t.value == "null") {
+          out = Value(nullptr);
+        } else {
+          out = Value(t.value);  // enum literal, kept as a string
+        }
+        Advance();
+        return true;
+      case TokenType::kPunct:
+        if (t.IsPunct('[')) {
+          return ParseListValue(out);
+        }
+        if (t.IsPunct('{')) {
+          return ParseObjectValue(out);
+        }
+        return Error("unexpected punctuation in value");
+      default:
+        return Error("expected a value");
+    }
+  }
+
+  bool ParseListValue(Value& out) {
+    Advance();  // consume '['
+    ValueList list;
+    while (!Peek().IsPunct(']')) {
+      if (Peek().type == TokenType::kEndOfInput) {
+        return Error("unterminated list value");
+      }
+      Value element;
+      if (!ParseValue(element)) {
+        return false;
+      }
+      list.push_back(std::move(element));
+      if (Peek().IsPunct(',')) {
+        Advance();
+      }
+    }
+    Advance();  // consume ']'
+    out = Value(std::move(list));
+    return true;
+  }
+
+  bool ParseObjectValue(Value& out) {
+    Advance();  // consume '{'
+    ValueMap map;
+    while (!Peek().IsPunct('}')) {
+      if (Peek().type == TokenType::kEndOfInput) {
+        return Error("unterminated object value");
+      }
+      if (Peek().type != TokenType::kName && Peek().type != TokenType::kString) {
+        return Error("expected object field name");
+      }
+      std::string key = Advance().value;
+      if (!Peek().IsPunct(':')) {
+        return Error("expected ':' in object value");
+      }
+      Advance();
+      Value value;
+      if (!ParseValue(value)) {
+        return false;
+      }
+      map[std::move(key)] = std::move(value);
+      if (Peek().IsPunct(',')) {
+        Advance();
+      }
+    }
+    Advance();  // consume '}'
+    out = Value(std::move(map));
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string error_;
+  size_t error_position_ = 0;
+};
+
+}  // namespace
+
+ParseResult Parse(std::string_view source) {
+  Parser parser(Tokenize(source));
+  return parser.Run();
+}
+
+Document MustParse(std::string_view source) {
+  ParseResult result = Parse(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParse failed at offset %zu: %s\nsource: %.*s\n",
+                 result.error_position, result.error.c_str(), static_cast<int>(source.size()),
+                 source.data());
+    std::abort();
+  }
+  return std::move(*result.document);
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,32 @@
+// Recursive-descent parser producing a Document from query text.
+
+#ifndef BLADERUNNER_SRC_GRAPHQL_PARSER_H_
+#define BLADERUNNER_SRC_GRAPHQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/graphql/ast.h"
+
+namespace bladerunner {
+
+struct ParseResult {
+  std::optional<Document> document;  // engaged on success
+  std::string error;                 // non-empty on failure
+  size_t error_position = 0;
+
+  bool ok() const { return document.has_value(); }
+};
+
+// Parses one or more operations. A bare `{ ... }` selection set is treated
+// as an anonymous query, per GraphQL shorthand.
+ParseResult Parse(std::string_view source);
+
+// Convenience for tests and internal callers that know the text is valid.
+// Aborts on parse failure.
+Document MustParse(std::string_view source);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_GRAPHQL_PARSER_H_

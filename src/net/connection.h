@@ -1,0 +1,99 @@
+// Simulated bidirectional, ordered, failable connections.
+//
+// A Connection models one transport link (TCP/QUIC equivalent) between two
+// simulated nodes, e.g. device <-> POP or POP <-> reverse proxy. Messages
+// are delivered in order after a sampled one-way latency. A connection can
+// be closed gracefully or failed abruptly; in the abrupt case, in-flight
+// messages are dropped and each surviving side learns of the disconnect
+// only after a propagation delay — which is exactly the window in which
+// Bladerunner can lose updates, so modeling it faithfully matters.
+
+#ifndef BLADERUNNER_SRC_NET_CONNECTION_H_
+#define BLADERUNNER_SRC_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/net/latency.h"
+#include "src/net/message.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class ConnectionEnd;
+
+enum class DisconnectReason {
+  kLocalClose,   // this side called Close()
+  kPeerClose,    // the peer closed gracefully
+  kPeerFailure,  // the peer (or the link) failed abruptly
+};
+
+const char* ToString(DisconnectReason reason);
+
+// Receiver interface for one side of a connection. Both callbacks pass the
+// *local* end the event arrived on, so a node holding many connections can
+// tell them apart.
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+  virtual void OnMessage(ConnectionEnd& on, MessagePtr message) = 0;
+  virtual void OnDisconnect(ConnectionEnd& on, DisconnectReason reason) = 0;
+};
+
+// One side of a connection. Obtain pairs via CreateConnection().
+class ConnectionEnd : public std::enable_shared_from_this<ConnectionEnd> {
+ public:
+  ~ConnectionEnd() = default;
+  ConnectionEnd(const ConnectionEnd&) = delete;
+  ConnectionEnd& operator=(const ConnectionEnd&) = delete;
+
+  // Must be set before the first message can be delivered to this side.
+  void set_handler(ConnectionHandler* handler) { handler_ = handler; }
+
+  // Sends a message to the peer; delivered in order after sampled latency.
+  // Silently dropped if the connection is no longer open (as on a real
+  // socket that has failed but whose failure we have not yet observed).
+  void Send(MessagePtr message);
+
+  // Graceful close: the peer receives OnDisconnect(kPeerClose) after all
+  // in-flight messages have drained.
+  void Close();
+
+  // Abrupt failure (process crash, radio loss): in-flight messages are
+  // dropped and the peer receives OnDisconnect(kPeerFailure) after a
+  // detection delay (heartbeat timeout).
+  void Fail();
+
+  bool open() const;
+
+  // Sequence number of connection, unique per simulation; handy as map key.
+  uint64_t connection_id() const;
+
+  std::shared_ptr<ConnectionEnd> peer() const { return peer_.lock(); }
+
+ private:
+  friend std::pair<std::shared_ptr<ConnectionEnd>, std::shared_ptr<ConnectionEnd>>
+  CreateConnection(Simulator* sim, const LatencyModel& latency, SimTime failure_detection_delay);
+
+  struct Shared;  // state common to both ends
+  ConnectionEnd() = default;
+
+  void Deliver(MessagePtr message, uint64_t epoch);
+  void NotifyDisconnect(DisconnectReason reason, uint64_t epoch);
+
+  ConnectionHandler* handler_ = nullptr;
+  std::weak_ptr<ConnectionEnd> peer_;
+  std::shared_ptr<Shared> shared_;
+  SimTime last_scheduled_delivery_ = 0;  // enforces in-order delivery to peer
+};
+
+// Creates a connected pair of ends. `failure_detection_delay` is how long a
+// surviving side takes to notice an abrupt peer failure (heartbeat timeout;
+// the paper notes TCP's own detection "may take too long", §4 footnote).
+std::pair<std::shared_ptr<ConnectionEnd>, std::shared_ptr<ConnectionEnd>> CreateConnection(
+    Simulator* sim, const LatencyModel& latency, SimTime failure_detection_delay = Millis(500));
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_NET_CONNECTION_H_

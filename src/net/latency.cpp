@@ -1,0 +1,31 @@
+#include "src/net/latency.h"
+
+#include <algorithm>
+
+namespace bladerunner {
+
+SimTime LatencyModel::Sample(Rng& rng) const {
+  if (sigma <= 0.0) {
+    return MillisF(std::max(median_ms, min_ms));
+  }
+  double ms = rng.LogNormal(median_ms, sigma);
+  return MillisF(std::max(ms, min_ms));
+}
+
+LatencyModel LatencyModel::Fixed(double ms) { return LatencyModel{ms, 0.0, ms}; }
+
+LatencyModel LatencyModel::IntraRegion() { return LatencyModel{0.35, 0.25, 0.05}; }
+
+LatencyModel LatencyModel::CrossRegion(double rtt_ms) {
+  return LatencyModel{rtt_ms / 2.0, 0.10, rtt_ms / 2.5};
+}
+
+LatencyModel LatencyModel::PopToDatacenter() { return LatencyModel{18.0, 0.25, 5.0}; }
+
+LatencyModel LatencyModel::LastMileWifi() { return LatencyModel{22.0, 0.40, 5.0}; }
+
+LatencyModel LatencyModel::LastMile4g() { return LatencyModel{55.0, 0.55, 15.0}; }
+
+LatencyModel LatencyModel::LastMile2g() { return LatencyModel{680.0, 0.85, 150.0}; }
+
+}  // namespace bladerunner

@@ -1,0 +1,36 @@
+// Latency models for simulated links and RPCs.
+//
+// One-way delays are drawn from a lognormal around a configured median with
+// a floor, which matches the heavy-tailed shape of the paper's measured
+// distributions (Fig. 9) while staying simple to calibrate.
+
+#ifndef BLADERUNNER_SRC_NET_LATENCY_H_
+#define BLADERUNNER_SRC_NET_LATENCY_H_
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+struct LatencyModel {
+  double median_ms = 1.0;  // median one-way delay
+  double sigma = 0.3;      // lognormal shape (log-space stddev)
+  double min_ms = 0.1;     // hard floor (propagation delay)
+
+  SimTime Sample(Rng& rng) const;
+
+  // A degenerate model that always returns exactly `ms`.
+  static LatencyModel Fixed(double ms);
+
+  // Presets, calibrated so the end-to-end figures land in the paper's bands.
+  static LatencyModel IntraRegion();            // same-datacenter RPC
+  static LatencyModel CrossRegion(double rtt_ms);  // between datacenters
+  static LatencyModel PopToDatacenter();        // POP <-> reverse proxy
+  static LatencyModel LastMileWifi();           // good broadband / wifi
+  static LatencyModel LastMile4g();             // typical mobile
+  static LatencyModel LastMile2g();             // legacy mobile (high, variable)
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_NET_LATENCY_H_

@@ -1,0 +1,32 @@
+// Base type for everything sent over simulated connections and RPCs.
+
+#ifndef BLADERUNNER_SRC_NET_MESSAGE_H_
+#define BLADERUNNER_SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bladerunner {
+
+// Polymorphic message base. Protocol layers (BURST frames, TAO requests,
+// Pylon publishes, ...) subclass this; receivers downcast on a type they
+// negotiated by construction, so the casts are checked by design rather
+// than at runtime.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Human-readable one-liner for logs and test failure messages.
+  virtual std::string Describe() const { return "<message>"; }
+
+  // Approximate serialized size in bytes; used for bandwidth accounting
+  // (cross-region bytes, last-mile bytes). Default is a small frame.
+  virtual uint64_t WireSize() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<Message>;
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_NET_MESSAGE_H_

@@ -1,0 +1,87 @@
+#include "src/net/rpc.h"
+
+#include <cassert>
+
+namespace bladerunner {
+
+const char* ToString(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk:
+      return "ok";
+    case RpcStatus::kUnavailable:
+      return "unavailable";
+    case RpcStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+void RpcServer::RegisterMethod(const std::string& name, Method method) {
+  methods_[name] = std::move(method);
+}
+
+bool RpcServer::HasMethod(const std::string& name) const {
+  return methods_.find(name) != methods_.end();
+}
+
+void RpcServer::Dispatch(const std::string& method, MessagePtr request, Respond respond) {
+  auto it = methods_.find(method);
+  assert(it != methods_.end() && "RPC method not registered");
+  it->second(std::move(request), std::move(respond));
+}
+
+RpcChannel::RpcChannel(Simulator* sim, RpcServer* server, LatencyModel one_way)
+    : sim_(sim), server_(server), one_way_(one_way) {
+  assert(sim != nullptr);
+}
+
+void RpcChannel::Call(const std::string& method, MessagePtr request,
+                      RpcResponseCallback callback, SimTime timeout) {
+  // One callback invocation, ever: the timeout and the response race and
+  // the loser observes `done`.
+  auto done = std::make_shared<bool>(false);
+  auto cb = std::make_shared<RpcResponseCallback>(std::move(callback));
+
+  if (timeout > 0) {
+    sim_->Schedule(timeout, [done, cb]() {
+      if (*done) {
+        return;
+      }
+      *done = true;
+      (*cb)(RpcStatus::kTimeout, nullptr);
+    });
+  }
+
+  RpcServer* server = server_;
+  Simulator* sim = sim_;
+  LatencyModel one_way = one_way_;
+  SimTime request_latency = one_way.Sample(sim->rng());
+  sim->Schedule(request_latency, [sim, server, one_way, method, request, done, cb]() {
+    if (!server->available()) {
+      // Unavailability is observed roughly one round trip after sending.
+      sim->Schedule(one_way.Sample(sim->rng()), [done, cb]() {
+        if (*done) {
+          return;
+        }
+        *done = true;
+        (*cb)(RpcStatus::kUnavailable, nullptr);
+      });
+      return;
+    }
+    server->Dispatch(method, request, [sim, server, one_way, done, cb](MessagePtr response) {
+      // A server that went down before responding never gets to respond.
+      if (!server->available()) {
+        return;
+      }
+      sim->Schedule(one_way.Sample(sim->rng()), [done, cb, response]() {
+        if (*done) {
+          return;
+        }
+        *done = true;
+        (*cb)(RpcStatus::kOk, response);
+      });
+    });
+  });
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,83 @@
+// Asynchronous RPC between backend components.
+//
+// Backend services (TAO, WAS, Pylon, BRASS hosts) talk over datacenter
+// networks whose transport reliability the paper treats as a baseline
+// assumption (§1, "backend communication and services exhibit a baseline of
+// reliability"). We therefore model backend calls as latency-sampled
+// request/response pairs with optional unavailability and timeouts, rather
+// than as full connections.
+
+#ifndef BLADERUNNER_SRC_NET_RPC_H_
+#define BLADERUNNER_SRC_NET_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/net/latency.h"
+#include "src/net/message.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+enum class RpcStatus {
+  kOk,
+  kUnavailable,  // server down or refused
+  kTimeout,      // no response within the deadline
+};
+
+const char* ToString(RpcStatus status);
+
+using RpcResponseCallback = std::function<void(RpcStatus, MessagePtr)>;
+
+// Server-side dispatch table. A service registers one handler per method;
+// the handler eventually calls `respond` exactly once (possibly after its
+// own downstream async calls).
+class RpcServer {
+ public:
+  using Respond = std::function<void(MessagePtr)>;
+  using Method = std::function<void(MessagePtr request, Respond respond)>;
+
+  void RegisterMethod(const std::string& name, Method method);
+  bool HasMethod(const std::string& name) const;
+
+  // Marks the server down/up. Calls to a down server fail kUnavailable
+  // (after the request latency, as in a connection refused / no route).
+  void SetAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+ private:
+  friend class RpcChannel;
+  void Dispatch(const std::string& method, MessagePtr request, Respond respond);
+
+  std::map<std::string, Method> methods_;
+  bool available_ = true;
+};
+
+// Client-side handle to one server over one link latency model.
+class RpcChannel {
+ public:
+  RpcChannel(Simulator* sim, RpcServer* server, LatencyModel one_way);
+
+  // Issues `method(request)`; `callback` runs exactly once with the result.
+  // `timeout` bounds the total round trip; 0 means no timeout.
+  void Call(const std::string& method, MessagePtr request, RpcResponseCallback callback,
+            SimTime timeout = 0);
+
+  // Points this channel at a different server (e.g. failover to another
+  // Pylon replica). In-flight calls still complete against the old server.
+  void Retarget(RpcServer* server) { server_ = server; }
+
+  RpcServer* server() const { return server_; }
+
+ private:
+  Simulator* sim_;
+  RpcServer* server_;
+  LatencyModel one_way_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_NET_RPC_H_

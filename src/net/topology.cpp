@@ -1,0 +1,93 @@
+#include "src/net/topology.h"
+
+#include <cassert>
+
+namespace bladerunner {
+
+const char* ToString(DeviceProfile profile) {
+  switch (profile) {
+    case DeviceProfile::kWifi:
+      return "wifi";
+    case DeviceProfile::kMobile4g:
+      return "4g";
+    case DeviceProfile::kMobile2g:
+      return "2g";
+  }
+  return "unknown";
+}
+
+Topology::Topology(std::vector<std::string> region_names,
+                   std::vector<std::vector<double>> rtt_ms)
+    : names_(std::move(region_names)), rtt_ms_(std::move(rtt_ms)) {
+  assert(!names_.empty());
+  assert(rtt_ms_.size() == names_.size());
+  for (const auto& row : rtt_ms_) {
+    assert(row.size() == names_.size());
+    (void)row;
+  }
+}
+
+Topology Topology::ThreeRegions() {
+  return Topology({"americas", "europe", "asia"},
+                  {
+                      {0.0, 70.0, 145.0},
+                      {70.0, 0.0, 165.0},
+                      {145.0, 165.0, 0.0},
+                  });
+}
+
+Topology Topology::OneRegion() { return Topology({"local"}, {{0.0}}); }
+
+LatencyModel Topology::LinkModel(RegionId a, RegionId b) const {
+  assert(a >= 0 && a < num_regions() && b >= 0 && b < num_regions());
+  if (a == b) {
+    return LatencyModel::IntraRegion();
+  }
+  return LatencyModel::CrossRegion(rtt_ms_[static_cast<size_t>(a)][static_cast<size_t>(b)]);
+}
+
+LatencyModel Topology::LastMileModel(DeviceProfile profile) const {
+  switch (profile) {
+    case DeviceProfile::kWifi:
+      return LatencyModel::LastMileWifi();
+    case DeviceProfile::kMobile4g:
+      return LatencyModel::LastMile4g();
+    case DeviceProfile::kMobile2g:
+      return LatencyModel::LastMile2g();
+  }
+  return LatencyModel::LastMileWifi();
+}
+
+SimTime Topology::LastMileMtbf(DeviceProfile profile) const {
+  // Calibrated so that an online population produces the paper's Fig. 10
+  // drop magnitude (tens of millions of drops per minute across hundreds of
+  // millions of devices, i.e. a per-device drop every ~10-60 minutes).
+  switch (profile) {
+    case DeviceProfile::kWifi:
+      return Minutes(55);
+    case DeviceProfile::kMobile4g:
+      return Minutes(22);
+    case DeviceProfile::kMobile2g:
+      return Minutes(7);
+  }
+  return Minutes(30);
+}
+
+DeviceProfile Topology::SampleProfile(Rng& rng) const {
+  // World-population-like mix; the paper stresses that in many parts of
+  // the world 50%+ of users are on 2G-class infrastructure (§1).
+  double u = rng.Uniform();
+  if (u < 0.38) {
+    return DeviceProfile::kWifi;
+  }
+  if (u < 0.76) {
+    return DeviceProfile::kMobile4g;
+  }
+  return DeviceProfile::kMobile2g;
+}
+
+RegionId Topology::SampleRegion(Rng& rng) const {
+  return static_cast<RegionId>(rng.Index(static_cast<size_t>(num_regions())));
+}
+
+}  // namespace bladerunner

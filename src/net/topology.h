@@ -1,0 +1,80 @@
+// Region and last-mile topology model.
+//
+// The paper's deployment spans multiple geographic regions (datacenters),
+// POPs at the edge, and a heterogeneous device population (§1 challenge 3:
+// "50%+ of the users [in many parts of the world] are limited to 2G").
+// This module owns the latency matrix between regions and the device
+// connectivity profiles used throughout the simulation.
+
+#ifndef BLADERUNNER_SRC_NET_TOPOLOGY_H_
+#define BLADERUNNER_SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/latency.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+using RegionId = int32_t;
+
+// Connectivity class of a device; decides last-mile latency and drop rate.
+enum class DeviceProfile {
+  kWifi,
+  kMobile4g,
+  kMobile2g,
+};
+
+const char* ToString(DeviceProfile profile);
+
+struct RegionSpec {
+  std::string name;
+  // Nominal RTTs in milliseconds to every region (including self).
+  std::vector<double> rtt_ms;
+};
+
+class Topology {
+ public:
+  // Builds a topology with the given per-pair region RTTs. rtt_ms is a
+  // square matrix; rtt_ms[i][j] is the round-trip between regions i and j.
+  Topology(std::vector<std::string> region_names, std::vector<std::vector<double>> rtt_ms);
+
+  // Standard three-region world (americas, europe, asia) used by most
+  // scenarios; RTTs approximate public inter-continental figures.
+  static Topology ThreeRegions();
+
+  // Single-region world for unit tests.
+  static Topology OneRegion();
+
+  int num_regions() const { return static_cast<int>(names_.size()); }
+  const std::string& region_name(RegionId r) const { return names_[static_cast<size_t>(r)]; }
+
+  // One-way latency model between two (possibly equal) regions.
+  LatencyModel LinkModel(RegionId a, RegionId b) const;
+
+  // Latency model between a device with `profile` and its POP.
+  LatencyModel LastMileModel(DeviceProfile profile) const;
+
+  // Mean time between unintentional last-mile connection drops for a
+  // profile; drives Fig. 10's top curve.
+  SimTime LastMileMtbf(DeviceProfile profile) const;
+
+  // Picks a device profile according to a world-population-like mix
+  // (wifi-heavy in practice, with a meaningful 2G tail).
+  DeviceProfile SampleProfile(Rng& rng) const;
+
+  // Region nearest to a randomly placed user (uniform over regions here;
+  // scenario configs can weight this).
+  RegionId SampleRegion(Rng& rng) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rtt_ms_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_NET_TOPOLOGY_H_

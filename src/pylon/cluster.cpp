@@ -1,0 +1,101 @@
+#include "src/pylon/cluster.h"
+
+#include <cassert>
+
+#include "src/pylon/rendezvous.h"
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+
+PylonCluster::PylonCluster(Simulator* sim, const Topology* topology, PylonConfig config,
+                           MetricsRegistry* metrics)
+    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
+  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  int regions = topology_->num_regions();
+  kv_ids_by_region_.resize(static_cast<size_t>(regions));
+  uint64_t next_server_id = 1;
+  uint64_t next_kv_id = 1;
+  for (RegionId r = 0; r < regions; ++r) {
+    for (int i = 0; i < config_.servers_per_region; ++i) {
+      servers_.push_back(std::make_unique<PylonServer>(sim_, this, next_server_id++, r));
+    }
+    for (int i = 0; i < config_.kv_nodes_per_region; ++i) {
+      auto node = std::make_unique<KvNode>(sim_, next_kv_id, r, &config_, metrics_);
+      kv_ids_by_region_[static_cast<size_t>(r)].push_back(next_kv_id);
+      kv_by_id_[next_kv_id] = node.get();
+      kv_nodes_.push_back(std::move(node));
+      ++next_kv_id;
+    }
+  }
+}
+
+PylonServer* PylonCluster::RouteServer(const Topic& topic) {
+  uint32_t shard = TopicShard(topic, config_.num_topic_shards);
+  return servers_[shard % servers_.size()].get();
+}
+
+std::vector<KvNode*> PylonCluster::ReplicasFor(const Topic& topic, RegionId home_region) {
+  std::vector<KvNode*> replicas;
+  int regions = topology_->num_regions();
+  int wanted = std::min(config_.replication_factor, regions);
+  for (int step = 0; step < regions && static_cast<int>(replicas.size()) < wanted; ++step) {
+    RegionId r = (home_region + step) % regions;
+    const auto& pool = kv_ids_by_region_[static_cast<size_t>(r)];
+    if (pool.empty()) {
+      continue;
+    }
+    std::vector<uint64_t> chosen = RendezvousTopK(topic, pool, 1);
+    replicas.push_back(kv_by_id_.at(chosen.front()));
+  }
+  return replicas;
+}
+
+void PylonCluster::RegisterSubscriberHost(int64_t host_id, RegionId region, RpcServer* rpc) {
+  subscriber_hosts_[host_id] = SubscriberHostRef{host_id, region, rpc};
+}
+
+void PylonCluster::UnregisterSubscriberHost(int64_t host_id) {
+  subscriber_hosts_.erase(host_id);
+  // Channels pointing at the host become stale; drop them so a reused id
+  // cannot reach the dead server object.
+  for (auto it = host_channels_.begin(); it != host_channels_.end();) {
+    if (it->first.second == host_id) {
+      it = host_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const SubscriberHostRef* PylonCluster::FindSubscriberHost(int64_t host_id) const {
+  auto it = subscriber_hosts_.find(host_id);
+  return it == subscriber_hosts_.end() ? nullptr : &it->second;
+}
+
+RpcChannel* PylonCluster::ChannelToKv(RegionId from, KvNode* node) {
+  auto key = std::make_pair(from, node->node_id());
+  auto it = kv_channels_.find(key);
+  if (it == kv_channels_.end()) {
+    auto channel = std::make_unique<RpcChannel>(sim_, node->rpc(),
+                                                topology_->LinkModel(from, node->region()));
+    it = kv_channels_.emplace(key, std::move(channel)).first;
+  }
+  return it->second.get();
+}
+
+RpcChannel* PylonCluster::ChannelToHost(RegionId from, int64_t host_id) {
+  const SubscriberHostRef* ref = FindSubscriberHost(host_id);
+  if (ref == nullptr) {
+    return nullptr;
+  }
+  auto key = std::make_pair(from, host_id);
+  auto it = host_channels_.find(key);
+  if (it == host_channels_.end()) {
+    auto channel =
+        std::make_unique<RpcChannel>(sim_, ref->rpc, topology_->LinkModel(from, ref->region));
+    it = host_channels_.emplace(key, std::move(channel)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace bladerunner

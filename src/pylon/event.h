@@ -1,0 +1,41 @@
+// The update event: what actually travels through Pylon.
+//
+// A key Bladerunner design decision (§1): the mutation's *data* is not
+// pushed through Pylon — only an event with metadata identifying the update
+// in TAO. BRASSes later fetch the payload from a WAS (point query + privacy
+// check) only for updates they decide to deliver.
+
+#ifndef BLADERUNNER_SRC_PYLON_EVENT_H_
+#define BLADERUNNER_SRC_PYLON_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graphql/value.h"
+#include "src/net/message.h"
+#include "src/net/topology.h"
+#include "src/pylon/topic.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+struct UpdateEvent : Message {
+  Topic topic;
+  uint64_t event_id = 0;      // unique per simulation
+  Value metadata;             // e.g. {"id": ..., "author": ..., "score": ...}
+  SimTime created_at = 0;     // when the mutation committed (origin-side)
+  SimTime published_at = 0;   // when the WAS handed it to Pylon
+  SimTime pylon_received_at = 0;  // stamped by the handling Pylon server
+  RegionId origin_region = 0;
+  uint64_t seq = 0;           // optional per-topic sequence (Messenger-style)
+
+  std::string Describe() const override {
+    return "UpdateEvent(" + topic + ", id=" + std::to_string(event_id) + ")";
+  }
+
+  uint64_t WireSize() const override { return 48 + topic.size() + metadata.WireSize(); }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_EVENT_H_

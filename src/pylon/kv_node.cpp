@@ -1,0 +1,66 @@
+#include "src/pylon/kv_node.h"
+
+#include <cassert>
+
+namespace bladerunner {
+
+KvNode::KvNode(Simulator* sim, uint64_t node_id, RegionId region, const PylonConfig* config,
+               MetricsRegistry* metrics)
+    : sim_(sim), node_id_(node_id), region_(region), config_(config), metrics_(metrics) {
+  rpc_.RegisterMethod("kv.op", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandleOp(std::move(request), std::move(respond));
+  });
+}
+
+const std::set<int64_t>* KvNode::Find(const Topic& topic) const {
+  auto it = table_.find(topic);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
+  auto op = std::static_pointer_cast<KvOpRequest>(request);
+  // Apply after the node's service time.
+  LatencyModel service{config_->kv_service_ms, 0.3, config_->kv_service_ms / 4.0};
+  sim_->Schedule(service.Sample(sim_->rng()), [this, op, respond = std::move(respond)]() {
+    auto response = std::make_shared<KvOpResponse>();
+    switch (op->op) {
+      case KvOpRequest::Op::kAdd: {
+        bool inserted = table_[op->topic].insert(op->subscriber).second;
+        metrics_->GetCounter("pylon.kv_adds").Increment();
+        (void)inserted;
+        break;
+      }
+      case KvOpRequest::Op::kRemove: {
+        auto it = table_.find(op->topic);
+        if (it != table_.end()) {
+          it->second.erase(op->subscriber);
+          if (it->second.empty()) {
+            table_.erase(it);
+          }
+        }
+        metrics_->GetCounter("pylon.kv_removes").Increment();
+        break;
+      }
+      case KvOpRequest::Op::kGet: {
+        auto it = table_.find(op->topic);
+        if (it != table_.end()) {
+          response->subscribers.assign(it->second.begin(), it->second.end());
+        }
+        metrics_->GetCounter("pylon.kv_gets").Increment();
+        break;
+      }
+      case KvOpRequest::Op::kPatch: {
+        if (op->replacement.empty()) {
+          table_.erase(op->topic);
+        } else {
+          table_[op->topic] = std::set<int64_t>(op->replacement.begin(), op->replacement.end());
+        }
+        metrics_->GetCounter("pylon.kv_patches").Increment();
+        break;
+      }
+    }
+    respond(response);
+  });
+}
+
+}  // namespace bladerunner

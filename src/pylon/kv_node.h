@@ -1,0 +1,52 @@
+// Replica node of the distributed in-memory KV store that holds per-topic
+// subscriber lists (§3.1).
+
+#ifndef BLADERUNNER_SRC_PYLON_KV_NODE_H_
+#define BLADERUNNER_SRC_PYLON_KV_NODE_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "src/net/rpc.h"
+#include "src/net/topology.h"
+#include "src/pylon/config.h"
+#include "src/pylon/messages.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+
+class KvNode {
+ public:
+  KvNode(Simulator* sim, uint64_t node_id, RegionId region, const PylonConfig* config,
+         MetricsRegistry* metrics);
+
+  uint64_t node_id() const { return node_id_; }
+  RegionId region() const { return region_; }
+  RpcServer* rpc() { return &rpc_; }
+
+  void SetAvailable(bool available) { rpc_.SetAvailable(available); }
+  bool available() const { return rpc_.available(); }
+
+  // Direct (test / anti-entropy) access to the stored subscriber set;
+  // nullptr when the topic has no entry.
+  const std::set<int64_t>* Find(const Topic& topic) const;
+
+  size_t TopicCount() const { return table_.size(); }
+
+ private:
+  void HandleOp(MessagePtr request, RpcServer::Respond respond);
+
+  Simulator* sim_;
+  uint64_t node_id_;
+  RegionId region_;
+  const PylonConfig* config_;
+  MetricsRegistry* metrics_;
+  RpcServer rpc_;
+  std::unordered_map<Topic, std::set<int64_t>> table_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_KV_NODE_H_

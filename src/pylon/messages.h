@@ -1,0 +1,68 @@
+// RPC message types used inside Pylon and on its edges.
+
+#ifndef BLADERUNNER_SRC_PYLON_MESSAGES_H_
+#define BLADERUNNER_SRC_PYLON_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/pylon/event.h"
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+
+// WAS -> Pylon server.
+struct PylonPublishRequest : Message {
+  std::shared_ptr<UpdateEvent> event;
+
+  std::string Describe() const override { return "PylonPublish(" + event->topic + ")"; }
+  uint64_t WireSize() const override { return event->WireSize() + 16; }
+};
+
+// BRASS host -> Pylon server.
+struct PylonSubscribeRequest : Message {
+  Topic topic;
+  int64_t host_id = 0;
+  bool subscribe = true;  // false == unsubscribe
+
+  std::string Describe() const override {
+    return std::string(subscribe ? "PylonSubscribe(" : "PylonUnsubscribe(") + topic + ")";
+  }
+};
+
+// Generic ok/error ack.
+struct PylonAck : Message {
+  bool ok = true;
+  std::string error;
+};
+
+// Pylon server -> KV node.
+struct KvOpRequest : Message {
+  enum class Op { kAdd, kRemove, kGet, kPatch };
+  Op op = Op::kGet;
+  Topic topic;
+  int64_t subscriber = 0;               // for kAdd / kRemove
+  std::vector<int64_t> replacement;     // for kPatch
+
+  std::string Describe() const override { return "KvOp(" + topic + ")"; }
+};
+
+struct KvOpResponse : Message {
+  bool ok = true;
+  std::vector<int64_t> subscribers;  // for kGet
+};
+
+// Pylon server -> BRASS host (the fanout edge).
+struct BrassEventDelivery : Message {
+  std::shared_ptr<UpdateEvent> event;
+
+  std::string Describe() const override { return "EventDelivery(" + event->topic + ")"; }
+  uint64_t WireSize() const override { return event->WireSize() + 8; }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_MESSAGES_H_

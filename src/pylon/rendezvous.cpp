@@ -1,0 +1,46 @@
+#include "src/pylon/rendezvous.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+
+uint64_t RendezvousWeight(uint64_t key_hash, uint64_t node_id) {
+  // xorshift-multiply mixer over the combined 128 bits of entropy.
+  uint64_t h = key_hash ^ (node_id * 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ULL;
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+std::vector<uint64_t> RendezvousTopK(std::string_view key, const std::vector<uint64_t>& node_ids,
+                                     size_t k) {
+  uint64_t key_hash = TopicHash(key);
+  std::vector<std::pair<uint64_t, uint64_t>> weighted;  // (weight, node)
+  weighted.reserve(node_ids.size());
+  for (uint64_t node : node_ids) {
+    weighted.emplace_back(RendezvousWeight(key_hash, node), node);
+  }
+  k = std::min(k, weighted.size());
+  std::partial_sort(weighted.begin(), weighted.begin() + static_cast<ptrdiff_t>(k),
+                    weighted.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) {
+                        return a.first > b.first;
+                      }
+                      return a.second < b.second;  // deterministic tie-break
+                    });
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.push_back(weighted[i].second);
+  }
+  return out;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,27 @@
+// Rendezvous (highest-random-weight) hashing.
+//
+// Pylon uses rendezvous hashing on the topic to identify the KV stores that
+// hold a topic's subscriber list (§3.1). HRW gives minimal disruption when
+// nodes join or leave: only keys whose top-k set included the changed node
+// move.
+
+#ifndef BLADERUNNER_SRC_PYLON_RENDEZVOUS_H_
+#define BLADERUNNER_SRC_PYLON_RENDEZVOUS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bladerunner {
+
+// Mixes a key hash with a node id into a rank weight.
+uint64_t RendezvousWeight(uint64_t key_hash, uint64_t node_id);
+
+// Returns the ids of the `k` highest-weight nodes for `key`, in descending
+// weight order. `node_ids` need not be sorted. k is clamped to the pool size.
+std::vector<uint64_t> RendezvousTopK(std::string_view key, const std::vector<uint64_t>& node_ids,
+                                     size_t k);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_RENDEZVOUS_H_

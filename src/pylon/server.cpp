@@ -1,0 +1,242 @@
+#include "src/pylon/server.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/pylon/cluster.h"
+
+namespace bladerunner {
+
+PylonServer::PylonServer(Simulator* sim, PylonCluster* cluster, uint64_t server_id,
+                         RegionId region)
+    : sim_(sim), cluster_(cluster), server_id_(server_id), region_(region) {
+  rpc_.RegisterMethod("pylon.publish", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandlePublish(std::move(request), std::move(respond));
+  });
+  rpc_.RegisterMethod("pylon.subscribe", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandleSubscribe(std::move(request), std::move(respond));
+  });
+}
+
+namespace {
+
+// Shared state of one publish fanout: which subscribers have already been
+// forwarded to, and the per-replica responses for the final patch check.
+struct FanoutState {
+  std::set<int64_t> forwarded;
+  std::vector<std::vector<int64_t>> replica_views;
+  size_t responses = 0;
+  size_t replicas = 0;
+};
+
+}  // namespace
+
+void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) {
+  auto publish = std::static_pointer_cast<PylonPublishRequest>(request);
+  auto event = publish->event;
+  event->pylon_received_at = sim_->Now();
+  MetricsRegistry* metrics = cluster_->metrics();
+  metrics->GetCounter("pylon.publishes").Increment();
+
+  const PylonConfig& config = cluster_->config();
+  LatencyModel processing{config.publish_processing_ms, 0.3, config.publish_processing_ms / 4.0};
+  SimTime processing_delay = processing.Sample(sim_->rng());
+
+  // Ack the publisher as soon as local processing is done; fanout is async.
+  sim_->Schedule(processing_delay, [respond = std::move(respond)]() {
+    respond(std::make_shared<PylonAck>());
+  });
+
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor(event->topic, region_);
+  auto state = std::make_shared<FanoutState>();
+  state->replicas = replicas.size();
+  SimTime received_at = sim_->Now();
+
+  const double send_us = config.per_subscriber_send_us;
+  const double pipeline_ms = config.fanout_pipeline_ms;
+  auto forward_new = [this, event, metrics, state, received_at, send_us,
+                      pipeline_ms](const std::vector<int64_t>& subscribers) {
+    // The fanout batch size informs the Table 3 small/large latency split;
+    // carried on each delivery so receivers can bucket their measurements.
+    std::vector<int64_t> fresh;
+    for (int64_t host : subscribers) {
+      if (state->forwarded.insert(host).second) {
+        fresh.push_back(host);
+      }
+    }
+    size_t i = 0;
+    for (int64_t host : fresh) {
+      RpcChannel* channel = cluster_->ChannelToHost(region_, host);
+      if (channel == nullptr) {
+        metrics->GetCounter("pylon.fanout_dead_hosts").Increment();
+        continue;
+      }
+      auto delivery = std::make_shared<BrassEventDelivery>();
+      delivery->event = event;
+      // Serialization/send cost per subscriber makes very large fanouts pay
+      // a measurable premium (the >=10k row of Table 3).
+      // The internal pipeline budget (queuing/batching) plus the marginal
+      // per-subscriber serialization cost.
+      LatencyModel pipeline{pipeline_ms, 0.35, pipeline_ms / 4.0};
+      SimTime send_cost = pipeline.Sample(sim_->rng()) +
+                          static_cast<SimTime>(static_cast<double>(i) * send_us);
+      ++i;
+      SimTime pylon_delay = sim_->Now() - received_at + send_cost;
+      // Re-resolve the channel at send time: the host may unregister (host
+      // drain/crash) while this send sits in the pipeline, which destroys
+      // the cached channel — a stale pointer here would be use-after-free.
+      PylonCluster* cluster = cluster_;
+      RegionId region = region_;
+      sim_->Schedule(send_cost, [cluster, region, host, delivery]() {
+        RpcChannel* live_channel = cluster->ChannelToHost(region, host);
+        if (live_channel == nullptr) {
+          return;  // host gone: the delivery is simply lost (§4)
+        }
+        live_channel->Call("brass.event", delivery, [](RpcStatus, MessagePtr) {
+          // Best-effort: a failed delivery is simply lost (§4).
+        });
+      });
+      metrics->GetCounter("pylon.fanout_sends").Increment();
+      metrics->GetHistogram("pylon.fanout_send_delay_us")
+          .Record(static_cast<double>(pylon_delay));
+      // Bandwidth accounting for the event-vs-payload ablation: bytes the
+      // fanout moves, split by whether the hop crosses regions (the scarce
+      // resource the metadata-only design protects, §1).
+      const SubscriberHostRef* ref = cluster_->FindSubscriberHost(host);
+      uint64_t bytes = delivery->WireSize();
+      metrics->GetCounter("pylon.fanout_bytes").Increment(static_cast<int64_t>(bytes));
+      if (ref != nullptr && ref->region != region_) {
+        metrics->GetCounter("pylon.fanout_bytes_cross_region")
+            .Increment(static_cast<int64_t>(bytes));
+        metrics->GetCounter("pylon.fanout_sends_cross_region").Increment();
+      }
+    }
+  };
+
+  for (KvNode* node : replicas) {
+    RpcChannel* channel = cluster_->ChannelToKv(region_, node);
+    auto get = std::make_shared<KvOpRequest>();
+    get->op = KvOpRequest::Op::kGet;
+    get->topic = event->topic;
+    sim_->Schedule(processing_delay, [this, channel, get, state, forward_new, event, metrics,
+                                      replicas]() {
+      channel->Call(
+          "kv.op", get,
+          [this, state, forward_new, event, metrics, replicas](RpcStatus status,
+                                                               MessagePtr response) {
+            state->responses += 1;
+            if (status == RpcStatus::kOk) {
+              auto kv = std::static_pointer_cast<KvOpResponse>(response);
+              if (cluster_->config().forward_on_first_response) {
+                // Forward-on-first-response: every replica's answer forwards
+                // whatever earlier replicas missed (§3.1).
+                forward_new(kv->subscribers);
+              }
+              state->replica_views.push_back(kv->subscribers);
+              if (!cluster_->config().forward_on_first_response &&
+                  static_cast<int>(state->replica_views.size()) >=
+                      std::min<int>(cluster_->config().write_quorum,
+                                    static_cast<int>(state->replicas))) {
+                // Quorum-wait ablation: forward only once a quorum of
+                // replica views agrees; stragglers still patch below.
+                for (const auto& view : state->replica_views) {
+                  forward_new(view);
+                }
+              }
+            } else {
+              metrics->GetCounter("pylon.kv_read_failures").Increment();
+            }
+            if (state->responses == state->replicas) {
+              // All replicas answered (or failed): repair divergence by
+              // patching stragglers to the union of observed views.
+              if (state->replica_views.size() >= 2) {
+                std::set<int64_t> unioned;
+                for (const auto& view : state->replica_views) {
+                  unioned.insert(view.begin(), view.end());
+                }
+                bool divergent = false;
+                for (const auto& view : state->replica_views) {
+                  if (view.size() != unioned.size()) {
+                    divergent = true;
+                    break;
+                  }
+                }
+                if (divergent) {
+                  metrics->GetCounter("pylon.kv_inconsistencies").Increment();
+                  auto patch = std::make_shared<KvOpRequest>();
+                  patch->op = KvOpRequest::Op::kPatch;
+                  patch->topic = event->topic;
+                  patch->replacement.assign(unioned.begin(), unioned.end());
+                  for (KvNode* node : replicas) {
+                    cluster_->ChannelToKv(region_, node)
+                        ->Call("kv.op", patch, [](RpcStatus, MessagePtr) {});
+                  }
+                }
+              }
+            }
+          },
+          cluster_->config().kv_timeout);
+    });
+  }
+}
+
+void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond) {
+  auto sub = std::static_pointer_cast<PylonSubscribeRequest>(request);
+  MetricsRegistry* metrics = cluster_->metrics();
+  metrics->GetCounter(sub->subscribe ? "pylon.subscribes" : "pylon.unsubscribes").Increment();
+
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor(sub->topic, region_);
+  const PylonConfig& config = cluster_->config();
+  int quorum = std::min<int>(config.write_quorum, static_cast<int>(replicas.size()));
+
+  struct QuorumState {
+    int acks = 0;
+    int responses = 0;
+    int total = 0;
+    bool decided = false;
+  };
+  auto state = std::make_shared<QuorumState>();
+  state->total = static_cast<int>(replicas.size());
+  SimTime started_at = sim_->Now();
+  auto shared_respond = std::make_shared<RpcServer::Respond>(std::move(respond));
+
+  auto op = std::make_shared<KvOpRequest>();
+  op->op = sub->subscribe ? KvOpRequest::Op::kAdd : KvOpRequest::Op::kRemove;
+  op->topic = sub->topic;
+  op->subscriber = sub->host_id;
+
+  for (KvNode* node : replicas) {
+    RpcChannel* channel = cluster_->ChannelToKv(region_, node);
+    channel->Call(
+        "kv.op", op,
+        [this, state, quorum, shared_respond, metrics, started_at](RpcStatus status,
+                                                                   MessagePtr) {
+          state->responses += 1;
+          if (status == RpcStatus::kOk) {
+            state->acks += 1;
+          }
+          if (!state->decided && state->acks >= quorum) {
+            // CP write reached its quorum: the subscription is durable.
+            state->decided = true;
+            metrics->GetHistogram("pylon.subscribe_replication_us")
+                .Record(static_cast<double>(sim_->Now() - started_at));
+            (*shared_respond)(std::make_shared<PylonAck>());
+          } else if (!state->decided && state->responses == state->total &&
+                     state->acks < quorum) {
+            // Quorum unreachable: the CP side fails closed, and the caller
+            // (a BRASS) is reliably informed (§4 axiom 1).
+            state->decided = true;
+            metrics->GetCounter("pylon.quorum_failures").Increment();
+            auto ack = std::make_shared<PylonAck>();
+            ack->ok = false;
+            ack->error = "subscription quorum unreachable";
+            (*shared_respond)(ack);
+          }
+        },
+        config.kv_timeout);
+  }
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,61 @@
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+
+uint64_t TopicHash(std::string_view topic) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : topic) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint32_t TopicShard(std::string_view topic, uint32_t num_shards) {
+  return static_cast<uint32_t>(TopicHash(topic) % num_shards);
+}
+
+Topic JoinTopic(const std::vector<std::string>& parts) {
+  Topic topic;
+  for (const std::string& part : parts) {
+    topic.push_back('/');
+    topic += part;
+  }
+  return topic;
+}
+
+std::vector<std::string> SplitTopic(std::string_view topic) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < topic.size()) {
+    if (topic[i] == '/') {
+      ++i;
+      continue;
+    }
+    size_t next = topic.find('/', i);
+    if (next == std::string_view::npos) {
+      next = topic.size();
+    }
+    parts.emplace_back(topic.substr(i, next - i));
+    i = next;
+  }
+  return parts;
+}
+
+Topic LvcTopic(int64_t video_id) { return "/LVC/" + std::to_string(video_id); }
+
+Topic LvcUserTopic(int64_t video_id, int64_t user_id) {
+  return "/LVC/" + std::to_string(video_id) + "/" + std::to_string(user_id);
+}
+
+Topic TypingTopic(int64_t thread_id, int64_t user_id) {
+  return "/TI/" + std::to_string(thread_id) + "/" + std::to_string(user_id);
+}
+
+Topic ActiveStatusTopic(int64_t user_id) { return "/AS/" + std::to_string(user_id); }
+
+Topic StoriesTopic(int64_t user_id) { return "/Stories/" + std::to_string(user_id); }
+
+Topic MailboxTopic(int64_t user_id) { return "/Mailbox/" + std::to_string(user_id); }
+
+}  // namespace bladerunner

@@ -1,0 +1,38 @@
+// Topics: slash-structured strings identifying areas of the social graph,
+// e.g. "/LVC/<videoId>", "/TI/<threadId>/<uid>", "/AS/<uid>" (§3).
+
+#ifndef BLADERUNNER_SRC_PYLON_TOPIC_H_
+#define BLADERUNNER_SRC_PYLON_TOPIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bladerunner {
+
+using Topic = std::string;
+
+// Stable 64-bit topic hash (FNV-1a); all topic placement derives from it.
+uint64_t TopicHash(std::string_view topic);
+
+// Maps a topic onto one of `num_shards` logical shards.
+uint32_t TopicShard(std::string_view topic, uint32_t num_shards);
+
+// Joins path components into a topic: JoinTopic({"LVC", "123"}) == "/LVC/123".
+Topic JoinTopic(const std::vector<std::string>& parts);
+
+// Splits "/LVC/123" into {"LVC", "123"}.
+std::vector<std::string> SplitTopic(std::string_view topic);
+
+// Convenience builders for the application topics used in the paper.
+Topic LvcTopic(int64_t video_id);
+Topic LvcUserTopic(int64_t video_id, int64_t user_id);
+Topic TypingTopic(int64_t thread_id, int64_t user_id);
+Topic ActiveStatusTopic(int64_t user_id);
+Topic StoriesTopic(int64_t user_id);
+Topic MailboxTopic(int64_t user_id);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_TOPIC_H_

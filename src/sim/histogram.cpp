@@ -1,0 +1,144 @@
+#include "src/sim/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bladerunner {
+
+Histogram::Histogram(double growth) : growth_(growth), log_growth_(std::log(growth)) {
+  assert(growth > 1.0);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // Bucket b covers (growth^b, growth^(b+1)]. Values <= 1 go to underflow.
+  double b = std::log(value) / log_growth_;
+  double floored = std::floor(b);
+  // Values exactly on a bucket boundary belong to the bucket below.
+  if (b == floored && floored > 0.0) {
+    floored -= 1.0;
+  }
+  return static_cast<size_t>(floored);
+}
+
+double Histogram::BucketLowerBound(size_t bucket) const {
+  return std::pow(growth_, static_cast<double>(bucket));
+}
+
+double Histogram::BucketUpperBound(size_t bucket) const {
+  return std::pow(growth_, static_cast<double>(bucket) + 1.0);
+}
+
+void Histogram::Record(double value) { RecordN(value, 1); }
+
+void Histogram::RecordN(double value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  if (value <= 1.0) {
+    underflow_ += n;
+    return;
+  }
+  size_t bucket = BucketFor(value);
+  if (bucket >= buckets_.size()) {
+    buckets_.resize(bucket + 1, 0);
+  }
+  buckets_[bucket] += n;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the desired sample (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank <= underflow_) {
+    // Underflow bucket: everything <= 1.0; report min as the best estimate.
+    return min_;
+  }
+  uint64_t seen = underflow_;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Midpoint (geometric) of the bucket, clamped to observed extremes.
+      double estimate = std::sqrt(BucketLowerBound(b) * BucketUpperBound(b));
+      return std::clamp(estimate, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::CdfAt(double value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (value < min_) {
+    return 0.0;
+  }
+  uint64_t below = underflow_;
+  if (value > 1.0) {
+    size_t bucket = BucketFor(value);
+    for (size_t b = 0; b < buckets_.size() && b <= bucket; ++b) {
+      below += buckets_[b];
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(growth_ == other.growth_);
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  underflow_ = 0;
+  buckets_.clear();
+}
+
+std::string Histogram::Summary(double scale, const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f%s p50=%.2f%s p75=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+                static_cast<unsigned long long>(count_), Mean() / scale, unit.c_str(),
+                Quantile(0.50) / scale, unit.c_str(), Quantile(0.75) / scale, unit.c_str(),
+                Quantile(0.95) / scale, unit.c_str(), Quantile(0.99) / scale, unit.c_str(),
+                max() / scale, unit.c_str());
+  return buf;
+}
+
+}  // namespace bladerunner

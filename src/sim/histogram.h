@@ -1,0 +1,65 @@
+// Log-bucketed histogram for latency/size distributions.
+//
+// Buckets grow geometrically so the histogram covers microseconds through
+// hours with bounded memory and ~2% relative quantile error. Used for every
+// latency metric the paper reports (Table 3, Fig. 6, Fig. 9).
+
+#ifndef BLADERUNNER_SRC_SIM_HISTOGRAM_H_
+#define BLADERUNNER_SRC_SIM_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bladerunner {
+
+class Histogram {
+ public:
+  // `growth` is the per-bucket geometric growth factor; 1.04 gives roughly
+  // 2% quantile resolution. Values <= 0 are recorded in an underflow bucket.
+  explicit Histogram(double growth = 1.04);
+
+  void Record(double value);
+  void RecordN(double value, uint64_t n);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Quantile in [0, 1]; e.g. Quantile(0.95) is p95. Returns 0 when empty.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  // Fraction of recorded values <= `value` (empirical CDF). Returns 0 when
+  // empty.
+  double CdfAt(double value) const;
+
+  // Merges another histogram with the same growth factor into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  // Renders "mean=… p50=… p75=… p95=… p99=…" with a unit scale divisor,
+  // e.g. Summary(1000.0, "ms") when values were recorded in microseconds.
+  std::string Summary(double scale, const std::string& unit) const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketLowerBound(size_t bucket) const;
+  double BucketUpperBound(size_t bucket) const;
+
+  double growth_;
+  double log_growth_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t underflow_ = 0;  // values <= 1.0 (including non-positive)
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_SIM_HISTOGRAM_H_

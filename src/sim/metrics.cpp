@@ -1,0 +1,102 @@
+#include "src/sim/metrics.h"
+
+#include <cassert>
+
+namespace bladerunner {
+
+TimeSeries::Bucket& TimeSeries::BucketAt(SimTime at) {
+  assert(at >= 0);
+  size_t i = static_cast<size_t>(at / bucket_width_);
+  if (i >= buckets_.size()) {
+    buckets_.resize(i + 1);
+  }
+  return buckets_[i];
+}
+
+void TimeSeries::Add(SimTime at, double value) { BucketAt(at).sum += value; }
+
+void TimeSeries::Sample(SimTime at, double value) {
+  Bucket& b = BucketAt(at);
+  b.sum += value;
+  b.samples += 1;
+}
+
+double TimeSeries::Sum(size_t i) const {
+  if (i >= buckets_.size()) {
+    return 0.0;
+  }
+  return buckets_[i].sum;
+}
+
+double TimeSeries::RatePerMinute(size_t i) const {
+  double minutes = ToMinutes(bucket_width_);
+  if (minutes <= 0.0) {
+    return 0.0;
+  }
+  return Sum(i) / minutes;
+}
+
+double TimeSeries::Mean(size_t i) const {
+  if (i >= buckets_.size() || buckets_[i].samples == 0) {
+    return 0.0;
+  }
+  return buckets_[i].sum / static_cast<double>(buckets_[i].samples);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+TimeSeries& MetricsRegistry::GetTimeSeries(const std::string& name, SimTime bucket_width) {
+  auto& slot = time_series_[name];
+  if (!slot) {
+    slot = std::make_unique<TimeSeries>(bucket_width);
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries* MetricsRegistry::FindTimeSeries(const std::string& name) const {
+  auto it = time_series_.find(name);
+  return it == time_series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,107 @@
+// Lightweight metrics: counters, gauges, time series, and a registry.
+//
+// Components register named metrics with the MetricsRegistry owned by the
+// cluster; benchmark harnesses read them back to print the paper's tables.
+// TimeSeries implements the paper's bucketing convention for Fig. 8 / Fig. 10
+// ("each data point represents a 15 minute interval and is shown as the
+// average of 15 measurements, one taken for each minute").
+
+#ifndef BLADERUNNER_SRC_SIM_METRICS_H_
+#define BLADERUNNER_SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/histogram.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+class Counter {
+ public:
+  void Increment(int64_t by = 1) { value_ += by; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double by) { value_ += by; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// A sequence of per-bucket aggregates over simulated time. Values recorded
+// within one bucket are summed; ReadRate() converts a bucket sum into a
+// per-minute rate, ReadMean() averages sampled values.
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime bucket_width) : bucket_width_(bucket_width) {}
+
+  // Adds `value` to the bucket containing time `at` (for event counts).
+  void Add(SimTime at, double value);
+
+  // Records a sampled instantaneous value (for gauge-like series); the
+  // bucket reports the mean of its samples.
+  void Sample(SimTime at, double value);
+
+  size_t BucketCount() const { return buckets_.size(); }
+  SimTime bucket_width() const { return bucket_width_; }
+  SimTime BucketStart(size_t i) const { return static_cast<SimTime>(i) * bucket_width_; }
+
+  // Sum of values added to bucket i.
+  double Sum(size_t i) const;
+
+  // Sum of bucket i expressed as a per-minute rate.
+  double RatePerMinute(size_t i) const;
+
+  // Mean of samples recorded in bucket i (0 if none).
+  double Mean(size_t i) const;
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    uint64_t samples = 0;
+  };
+  Bucket& BucketAt(SimTime at);
+
+  SimTime bucket_width_;
+  std::vector<Bucket> buckets_;
+};
+
+// Owns all named metrics for one simulation. Lookup lazily creates, so
+// components can share a metric by name.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+  TimeSeries& GetTimeSeries(const std::string& name, SimTime bucket_width);
+
+  // Returns nullptr when the metric does not exist (never creates).
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+  const TimeSeries* FindTimeSeries(const std::string& name) const;
+
+  // Names of all counters, sorted (handy for debug dumps).
+  std::vector<std::string> CounterNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> time_series_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_SIM_METRICS_H_

@@ -1,0 +1,122 @@
+#include "src/sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bladerunner {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::LogNormal(double median, double sigma) {
+  assert(median > 0.0);
+  std::lognormal_distribution<double> dist(std::log(median), sigma);
+  return dist(engine_);
+}
+
+double Rng::Pareto(double x_min, double alpha) {
+  assert(x_min > 0.0 && alpha > 0.0);
+  // Inverse-CDF sampling: x = x_min / U^(1/alpha).
+  double u = 1.0 - Uniform();  // in (0, 1]
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  std::poisson_distribution<int64_t> dist(mean);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  // Rejection-inversion sampling after W. Hormann & G. Derflinger,
+  // "Rejection-inversion to generate variates from monotone discrete
+  // distributions" (1996). Samples k in [1, n] with P(k) proportional to
+  // k^-s; we return k-1 so ranks are zero-based.
+  if (n == 1) {
+    return 0;
+  }
+  const double q = s;
+  auto h = [q](double x) {
+    // Integral of x^-q.
+    if (q == 1.0) {
+      return std::log(x);
+    }
+    return (std::pow(x, 1.0 - q) - 1.0) / (1.0 - q);
+  };
+  auto h_inv = [q](double x) {
+    if (q == 1.0) {
+      return std::exp(x);
+    }
+    return std::pow(1.0 + x * (1.0 - q), 1.0 / (1.0 - q));
+  };
+  const double h_x1 = h(1.5) - 1.0;
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    double u = h_x1 + Uniform() * (h_n - h_x1);
+    double x = h_inv(u);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n) {
+      k = n;
+    }
+    double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -q)) {
+      return k - 1;
+    }
+  }
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return weights.size();
+  }
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  // SplitMix64-style mixing of a fresh draw with the salt gives independent
+  // streams without correlating the parent and child sequences.
+  uint64_t z = NextU64() + salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace bladerunner

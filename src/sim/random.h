@@ -1,0 +1,83 @@
+// Deterministic random-number generation for the simulator.
+//
+// A single Rng instance is owned by the Simulator so that a fixed seed
+// reproduces an entire run bit-for-bit. All distributions used by the
+// workload models (exponential inter-arrival times, lognormal latencies,
+// Zipf/Pareto popularity) live here.
+
+#ifndef BLADERUNNER_SRC_SIM_RANDOM_H_
+#define BLADERUNNER_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bladerunner {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Exponential with the given mean (i.e. rate = 1/mean). Mean must be > 0.
+  double Exponential(double mean);
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Lognormal such that the *median* of the result is `median` and the
+  // underlying normal has standard deviation `sigma` (log-space). This is
+  // the natural parameterization for latency models.
+  double LogNormal(double median, double sigma);
+
+  // Pareto with scale x_m (minimum value) and shape alpha.
+  double Pareto(double x_min, double alpha);
+
+  // Poisson-distributed count with the given mean.
+  int64_t Poisson(double mean);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s=1 is classic Zipf).
+  // Uses rejection-inversion sampling; O(1) per draw.
+  int64_t Zipf(int64_t n, double s);
+
+  // Uniformly chosen index in [0, n).
+  size_t Index(size_t n);
+
+  // Picks an index according to the given (non-negative, not necessarily
+  // normalized) weights. Returns weights.size() if all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  // Derives an independent Rng (e.g. for a sub-component) whose sequence is
+  // a pure function of this Rng's state and `salt`.
+  Rng Fork(uint64_t salt);
+
+  // Raw 64-bit draw; exposed for hashing-style uses.
+  uint64_t NextU64() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_SIM_RANDOM_H_

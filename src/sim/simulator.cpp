@@ -1,0 +1,87 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace bladerunner {
+
+TimerId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  uint64_t seq = next_seq_++;
+  TimerId id = seq;  // seq doubles as a unique id
+  queue_.push(Event{at, seq, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(TimerId id) {
+  // Only a live (scheduled, not yet fired) event can be cancelled; this makes
+  // Cancel() on an already-fired timer a detectable no-op for callers.
+  if (pending_ids_.erase(id) == 0) {
+    return false;
+  }
+  // We cannot remove from the middle of a priority queue; record a tombstone
+  // and drop the event when it surfaces.
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulator::PurgeCancelledTop() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::Step() {
+  PurgeCancelledTop();
+  if (queue_.empty()) {
+    return false;
+  }
+  Event ev = queue_.top();
+  queue_.pop();
+  pending_ids_.erase(ev.id);
+  now_ = ev.at;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t n = 0;
+  while (Step()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  for (;;) {
+    PurgeCancelledTop();
+    if (queue_.empty() || queue_.top().at > deadline) {
+      break;
+    }
+    if (Step()) {
+      ++n;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,100 @@
+// The discrete-event simulation kernel.
+//
+// Every component in this repository (TAO shards, Pylon servers, BRASS
+// hosts, proxies, devices, links) runs on top of one Simulator instance.
+// The kernel is single-threaded and deterministic: events scheduled for the
+// same instant execute in scheduling order, and all randomness flows through
+// the simulator-owned Rng, so a fixed seed reproduces a run exactly.
+
+#ifndef BLADERUNNER_SRC_SIM_SIMULATOR_H_
+#define BLADERUNNER_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+// Opaque handle for a scheduled event; used to cancel timers.
+using TimerId = uint64_t;
+
+constexpr TimerId kInvalidTimerId = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  // Returns a handle that can be passed to Cancel().
+  TimerId Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at the absolute simulated time `at` (clamped to Now()).
+  TimerId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event had not yet fired.
+  bool Cancel(TimerId id);
+
+  // Runs until the event queue drains. Returns the number of events run.
+  uint64_t Run();
+
+  // Runs events with time <= `deadline`, then sets Now() to `deadline`
+  // (if the queue drained earlier). Returns the number of events run.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Convenience: RunUntil(Now() + duration).
+  uint64_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  // Number of live (scheduled, not yet fired or cancelled) events.
+  size_t PendingEvents() const { return pending_ids_.size(); }
+
+  Rng& rng() { return rng_; }
+
+  // Total events executed since construction.
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;  // tie-break so same-time events run in scheduling order
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next non-cancelled event. Returns false if drained.
+  bool Step();
+
+  // Drops cancelled events sitting at the head of the queue so that
+  // queue_.top() is always a live event (or the queue is empty).
+  void PurgeCancelledTop();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<TimerId> pending_ids_;
+  std::unordered_set<TimerId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,38 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace bladerunner {
+
+std::string FormatTimeOfDay(SimTime t) {
+  int64_t total_seconds = t / 1000000;
+  int64_t seconds_of_day = total_seconds % (24 * 3600);
+  if (seconds_of_day < 0) {
+    seconds_of_day += 24 * 3600;
+  }
+  int hours = static_cast<int>(seconds_of_day / 3600);
+  int minutes = static_cast<int>((seconds_of_day / 60) % 60);
+  int seconds = static_cast<int>(seconds_of_day % 60);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", hours, minutes, seconds);
+  return buf;
+}
+
+std::string FormatDuration(SimTime t) {
+  char buf[32];
+  double abs_t = static_cast<double>(t < 0 ? -t : t);
+  if (abs_t < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (abs_t < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(t) / 1000.0);
+  } else if (abs_t < 60e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(t) / 1e6);
+  } else if (abs_t < 3600e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", static_cast<double>(t) / 60e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", static_cast<double>(t) / 3600e6);
+  }
+  return buf;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,45 @@
+// Simulated-time primitives.
+//
+// All simulation time is expressed as a signed 64-bit count of microseconds
+// since the start of the simulation. Helper constructors below make call
+// sites read naturally, e.g. Schedule(Seconds(30), ...).
+
+#ifndef BLADERUNNER_SRC_SIM_TIME_H_
+#define BLADERUNNER_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bladerunner {
+
+// A point in (or duration of) simulated time, in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(int64_t s) { return s * 1000 * 1000; }
+constexpr SimTime Minutes(int64_t m) { return m * 60 * 1000 * 1000; }
+constexpr SimTime Hours(int64_t h) { return h * 60 * 60 * 1000 * 1000; }
+constexpr SimTime Days(int64_t d) { return d * 24 * 60 * 60 * 1000 * 1000; }
+
+// Fractional-unit variants for latency models that work in doubles.
+constexpr SimTime MillisF(double ms) { return static_cast<SimTime>(ms * 1000.0); }
+constexpr SimTime SecondsF(double s) { return static_cast<SimTime>(s * 1000.0 * 1000.0); }
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1000.0; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToMinutes(SimTime t) { return static_cast<double>(t) / 60e6; }
+constexpr double ToHours(SimTime t) { return static_cast<double>(t) / 3600e6; }
+
+// Renders a time as "HH:MM:SS" within a simulated day; used by the daily
+// benchmarks that bucket metrics into wall-clock-of-day intervals.
+std::string FormatTimeOfDay(SimTime t);
+
+// Renders a duration compactly, e.g. "1.5ms", "2.3s", "15m".
+std::string FormatDuration(SimTime t);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_SIM_TIME_H_

@@ -1,0 +1,46 @@
+// TAO cluster configuration.
+
+#ifndef BLADERUNNER_SRC_TAO_CONFIG_H_
+#define BLADERUNNER_SRC_TAO_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+struct TaoConfig {
+  // Number of logical shards objects/assoc-lists hash onto.
+  int num_shards = 4096;
+
+  // Cache-miss probability for point reads at a follower. Point queries for
+  // recently written single items have good caching characteristics (§5);
+  // range scans over churning indices do not.
+  double point_read_miss_rate = 0.03;
+  double range_read_miss_rate = 0.35;
+
+  // Per-operation latency building blocks (sampled lognormal around these
+  // medians in store.cpp).
+  double cache_read_ms = 0.25;     // served from follower cache
+  double storage_read_ms = 4.0;    // cache miss: storage node read
+  double per_shard_fanout_ms = 0.6;  // extra cost per additional shard touched
+  double write_ms = 1.8;           // leader write + local apply
+
+  // Replication delay multiplier: follower visibility = write time +
+  // cross-region one-way sample * this factor (replication pipelines add
+  // batching delay on top of raw propagation).
+  double replication_delay_factor = 1.8;
+
+  // Hot-index partitioning (§1 footnote 5): an association list whose
+  // write rate exceeds this threshold is split across more shards, and
+  // range queries must touch all of them.
+  double hot_index_writes_per_sec = 8.0;   // per-partition write capacity
+  int max_index_partitions = 64;
+
+  // Half-life of the per-list write-rate estimate.
+  SimTime write_rate_half_life = Seconds(20);
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TAO_CONFIG_H_

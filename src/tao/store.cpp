@@ -1,0 +1,372 @@
+#include "src/tao/store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bladerunner {
+
+const char* ToString(AssocType type) {
+  switch (type) {
+    case AssocType::kFriend:
+      return "friend";
+    case AssocType::kAuthored:
+      return "authored";
+    case AssocType::kComment:
+      return "comment";
+    case AssocType::kLike:
+      return "like";
+    case AssocType::kStory:
+      return "story";
+    case AssocType::kStoryContainer:
+      return "story_container";
+    case AssocType::kThreadMember:
+      return "thread_member";
+    case AssocType::kMessage:
+      return "message";
+    case AssocType::kBlocked:
+      return "blocked";
+    case AssocType::kFollows:
+      return "follows";
+  }
+  return "unknown";
+}
+
+TaoStore::TaoStore(Simulator* sim, const Topology* topology, TaoConfig config,
+                   MetricsRegistry* metrics)
+    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
+  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+}
+
+int TaoStore::ShardOf(ObjectId id) const {
+  uint64_t h = static_cast<uint64_t>(id) * 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<int>(h % static_cast<uint64_t>(config_.num_shards));
+}
+
+RegionId TaoStore::LeaderRegionOf(ObjectId id) const {
+  return static_cast<RegionId>(ShardOf(id) % topology_->num_regions());
+}
+
+TaoStore::Visibility TaoStore::MakeVisibility(RegionId leader) {
+  Visibility vis;
+  int regions = topology_->num_regions();
+  vis.visible_at.resize(static_cast<size_t>(regions));
+  SimTime now = sim_->Now();
+  for (RegionId r = 0; r < regions; ++r) {
+    if (r == leader) {
+      vis.visible_at[static_cast<size_t>(r)] = now;
+    } else {
+      SimTime delay = topology_->LinkModel(leader, r).Sample(sim_->rng());
+      vis.visible_at[static_cast<size_t>(r)] =
+          now + static_cast<SimTime>(static_cast<double>(delay) * config_.replication_delay_factor);
+    }
+  }
+  return vis;
+}
+
+void TaoStore::StampDelete(Visibility& vis, RegionId leader) {
+  int regions = topology_->num_regions();
+  vis.deleted_at.assign(static_cast<size_t>(regions), 0);
+  SimTime now = sim_->Now();
+  for (RegionId r = 0; r < regions; ++r) {
+    if (r == leader) {
+      vis.deleted_at[static_cast<size_t>(r)] = now;
+    } else {
+      SimTime delay = topology_->LinkModel(leader, r).Sample(sim_->rng());
+      vis.deleted_at[static_cast<size_t>(r)] =
+          now + static_cast<SimTime>(static_cast<double>(delay) * config_.replication_delay_factor);
+    }
+  }
+}
+
+ObjectId TaoStore::PutObject(Object object) {
+  if (object.id == kInvalidObjectId) {
+    object.id = NextId();
+  }
+  RegionId leader = LeaderRegionOf(object.id);
+  StoredObject stored{std::move(object), MakeVisibility(leader)};
+  ObjectId id = stored.object.id;
+  objects_[id] = std::move(stored);
+  metrics_->GetCounter("tao.object_writes").Increment();
+  return id;
+}
+
+void TaoStore::BumpWriteRate(AssocList& list) {
+  list.write_rate = DecayedWriteRate(list) + 1.0;
+  list.rate_updated_at = sim_->Now();
+}
+
+double TaoStore::DecayedWriteRate(const AssocList& list) const {
+  if (list.write_rate == 0.0) {
+    return 0.0;
+  }
+  double elapsed = ToSeconds(sim_->Now() - list.rate_updated_at);
+  double half_life = ToSeconds(config_.write_rate_half_life);
+  if (half_life <= 0.0) {
+    return list.write_rate;
+  }
+  return list.write_rate * std::exp2(-elapsed / half_life);
+}
+
+int TaoStore::PartitionsForRate(double rate) const {
+  // The decayed counter approximates (writes over ~1 half-life); convert to
+  // writes/sec and size the partition count to the per-partition capacity.
+  double per_sec = rate / std::max(1.0, ToSeconds(config_.write_rate_half_life));
+  int partitions = 1 + static_cast<int>(per_sec / config_.hot_index_writes_per_sec);
+  return std::min(partitions, config_.max_index_partitions);
+}
+
+int TaoStore::IndexPartitions(ObjectId id1, AssocType atype) const {
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return 1;
+  }
+  return PartitionsForRate(DecayedWriteRate(it->second));
+}
+
+void TaoStore::AddAssoc(Assoc assoc) {
+  if (assoc.time == 0) {
+    assoc.time = sim_->Now();
+  }
+  RegionId leader = LeaderRegionOf(assoc.id1);
+  AssocList& list = assocs_[AssocListKey{assoc.id1, assoc.atype}];
+  BumpWriteRate(list);
+  list.entries.push_back(StoredAssoc{std::move(assoc), MakeVisibility(leader)});
+  metrics_->GetCounter("tao.assoc_writes").Increment();
+}
+
+bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return false;
+  }
+  RegionId leader = LeaderRegionOf(id1);
+  for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
+    if (entry->assoc.id2 == id2 && entry->vis.deleted_at.empty()) {
+      StampDelete(entry->vis, leader);
+      metrics_->GetCounter("tao.assoc_deletes").Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime TaoStore::SampleWriteLatency(RegionId src, ObjectId id) {
+  RegionId leader = LeaderRegionOf(id);
+  SimTime routing = 0;
+  if (src != leader) {
+    // Round trip to the remote leader.
+    routing = topology_->LinkModel(src, leader).Sample(sim_->rng()) +
+              topology_->LinkModel(leader, src).Sample(sim_->rng());
+  }
+  LatencyModel write{config_.write_ms, 0.3, config_.write_ms / 3.0};
+  return routing + write.Sample(sim_->rng());
+}
+
+void TaoStore::ChargeShards(QueryCost* cost, uint64_t shards) const {
+  if (cost != nullptr) {
+    cost->shards_touched += shards;
+  }
+  metrics_->GetCounter("tao.shards_touched").Increment(static_cast<int64_t>(shards));
+}
+
+std::optional<Object> TaoStore::GetObject(RegionId region, ObjectId id, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->point_reads += 1;
+  }
+  metrics_->GetCounter("tao.point_reads").Increment();
+  ChargeShards(cost, 1);
+  auto it = objects_.find(id);
+  if (it == objects_.end() || !it->second.vis.VisibleIn(region, sim_->Now())) {
+    return std::nullopt;
+  }
+  return it->second.object;
+}
+
+std::vector<Assoc> TaoStore::AssocRange(RegionId region, ObjectId id1, AssocType atype,
+                                        SimTime time_lo, SimTime time_hi, size_t limit,
+                                        QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->range_reads += 1;
+  }
+  metrics_->GetCounter("tao.range_reads").Increment();
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  uint64_t partitions = 1;
+  std::vector<Assoc> out;
+  if (it != assocs_.end()) {
+    partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
+    SimTime now = sim_->Now();
+    const auto& entries = it->second.entries;
+    for (auto entry = entries.rbegin(); entry != entries.rend(); ++entry) {
+      if (out.size() >= limit) {
+        break;
+      }
+      if (entry->assoc.time <= time_lo) {
+        break;  // entries are time-ordered; everything further back is older
+      }
+      if (entry->assoc.time > time_hi) {
+        continue;
+      }
+      if (!entry->vis.VisibleIn(region, now)) {
+        continue;
+      }
+      out.push_back(entry->assoc);
+    }
+  }
+  ChargeShards(cost, partitions);
+  return out;
+}
+
+std::vector<Assoc> TaoStore::AssocRangeAscending(RegionId region, ObjectId id1, AssocType atype,
+                                                 SimTime time_lo, SimTime time_hi, size_t limit,
+                                                 QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->range_reads += 1;
+  }
+  metrics_->GetCounter("tao.range_reads").Increment();
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  uint64_t partitions = 1;
+  std::vector<Assoc> out;
+  if (it != assocs_.end()) {
+    partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
+    SimTime now = sim_->Now();
+    for (const StoredAssoc& entry : it->second.entries) {  // append order == time order
+      if (out.size() >= limit) {
+        break;
+      }
+      if (entry.assoc.time <= time_lo) {
+        continue;
+      }
+      if (entry.assoc.time > time_hi) {
+        break;
+      }
+      if (!entry.vis.VisibleIn(region, now)) {
+        continue;
+      }
+      out.push_back(entry.assoc);
+    }
+  }
+  ChargeShards(cost, partitions);
+  return out;
+}
+
+std::optional<Assoc> TaoStore::GetAssoc(RegionId region, ObjectId id1, AssocType atype,
+                                        ObjectId id2, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->point_reads += 1;
+  }
+  metrics_->GetCounter("tao.point_reads").Increment();
+  ChargeShards(cost, 1);
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return std::nullopt;
+  }
+  SimTime now = sim_->Now();
+  for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
+    if (entry->assoc.id2 == id2 && entry->vis.VisibleIn(region, now)) {
+      return entry->assoc;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t TaoStore::AssocCount(RegionId region, ObjectId id1, AssocType atype, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->point_reads += 1;
+  }
+  metrics_->GetCounter("tao.point_reads").Increment();
+  ChargeShards(cost, 1);
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return 0;
+  }
+  SimTime now = sim_->Now();
+  size_t n = 0;
+  for (const StoredAssoc& entry : it->second.entries) {
+    if (entry.vis.VisibleIn(region, now)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t TaoStore::AssocCountAtLeader(ObjectId id1, AssocType atype, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->point_reads += 1;
+  }
+  metrics_->GetCounter("tao.point_reads").Increment();
+  ChargeShards(cost, 1);
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const StoredAssoc& entry : it->second.entries) {
+    if (entry.vis.deleted_at.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<Assoc> TaoStore::AssocIntersect(RegionId region, ObjectId id1, AssocType atype,
+                                            const std::vector<ObjectId>& authors, SimTime time_lo,
+                                            size_t limit, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->intersect_reads += 1;
+  }
+  metrics_->GetCounter("tao.intersect_reads").Increment();
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  uint64_t partitions = 1;
+  std::vector<Assoc> out;
+  if (it != assocs_.end()) {
+    partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
+    SimTime now = sim_->Now();
+    for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
+      if (out.size() >= limit) {
+        break;
+      }
+      if (entry->assoc.time <= time_lo) {
+        break;
+      }
+      if (!entry->vis.VisibleIn(region, now)) {
+        continue;
+      }
+      ObjectId author = entry->assoc.data.Get("author").AsInt(kInvalidObjectId);
+      if (std::find(authors.begin(), authors.end(), author) != authors.end()) {
+        out.push_back(entry->assoc);
+      }
+    }
+  }
+  // The second leg of the intersect reads the author-side lists: roughly one
+  // shard per block of authors (their "authored" lists are id-sharded).
+  uint64_t author_shards = 1 + static_cast<uint64_t>(authors.size()) / 16;
+  ChargeShards(cost, partitions + author_shards);
+  return out;
+}
+
+SimTime TaoStore::SampleQueryLatency(const QueryCost& cost) {
+  Rng& rng = sim_->rng();
+  double total_ms = 0.0;
+  uint64_t reads = cost.TotalReads();
+  for (uint64_t i = 0; i < reads; ++i) {
+    bool is_range = i < cost.range_reads + cost.intersect_reads;
+    double miss_rate = is_range ? config_.range_read_miss_rate : config_.point_read_miss_rate;
+    if (rng.Bernoulli(miss_rate)) {
+      total_ms += rng.LogNormal(config_.storage_read_ms, 0.4);
+      metrics_->GetCounter("tao.storage_iops").Increment();
+    } else {
+      total_ms += rng.LogNormal(config_.cache_read_ms, 0.3);
+    }
+  }
+  // Multi-shard queries pay fanout: the extra shards are contacted in
+  // parallel, but stragglers dominate, modeled as a per-extra-shard charge.
+  uint64_t extra_shards = cost.shards_touched > reads ? cost.shards_touched - reads : 0;
+  if (extra_shards > 0) {
+    total_ms += rng.LogNormal(config_.per_shard_fanout_ms * static_cast<double>(extra_shards), 0.3);
+  }
+  return MillisF(total_ms);
+}
+
+}  // namespace bladerunner

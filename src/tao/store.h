@@ -1,0 +1,164 @@
+// Time-aware simulated TAO store.
+//
+// One TaoStore holds the whole social graph. Writes are applied through the
+// owning shard's leader region and become visible in each other region only
+// after a sampled replication delay; reads are always region-relative, so a
+// follower in Europe genuinely cannot see an America-committed write for a
+// few hundred milliseconds — the paper's consistency substrate, reproduced.
+//
+// The store also owns the *cost model* that the whole reproduction turns on:
+// point reads touch one shard; range reads touch every partition of a
+// (possibly hot, thus partitioned) index; intersect reads touch the union.
+// Query latency is derived from the accumulated cost, and global counters
+// (reads, IOPS) feed the paper's switchover results (§5).
+
+#ifndef BLADERUNNER_SRC_TAO_STORE_H_
+#define BLADERUNNER_SRC_TAO_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graphql/executor.h"
+#include "src/net/topology.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/tao/config.h"
+#include "src/tao/types.h"
+
+namespace bladerunner {
+
+class TaoStore {
+ public:
+  TaoStore(Simulator* sim, const Topology* topology, TaoConfig config,
+           MetricsRegistry* metrics);
+
+  // ---- Identity ----
+
+  // Allocates a fresh object id.
+  ObjectId NextId() { return next_id_++; }
+
+  // Shard an id belongs to, and that shard's leader region.
+  int ShardOf(ObjectId id) const;
+  RegionId LeaderRegionOf(ObjectId id) const;
+
+  // ---- Writes (routed through the leader; visibility is region-relative) ----
+
+  // Stores/overwrites an object. Returns the id (allocating if invalid).
+  ObjectId PutObject(Object object);
+
+  // Appends an association (id1 --atype--> id2) with creation time Now().
+  void AddAssoc(Assoc assoc);
+
+  // Tombstones an association; it disappears region-by-region as the
+  // delete replicates.
+  bool DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2);
+
+  // Latency of the synchronous part of a write issued from `src` (routing
+  // to the leader plus the leader apply); replication continues async.
+  SimTime SampleWriteLatency(RegionId src, ObjectId id);
+
+  // ---- Reads (region-relative visibility; cost-accounted) ----
+
+  std::optional<Object> GetObject(RegionId region, ObjectId id, QueryCost* cost);
+
+  // Associations of (id1, atype) with time in (time_lo, time_hi], newest
+  // first, at most `limit`. A hot, partitioned index charges one shard per
+  // partition.
+  std::vector<Assoc> AssocRange(RegionId region, ObjectId id1, AssocType atype, SimTime time_lo,
+                                SimTime time_hi, size_t limit, QueryCost* cost);
+
+  // Same range, but oldest-first — the pagination order "since timestamp
+  // X" polls need so a client can catch up through a backlog page by page.
+  std::vector<Assoc> AssocRangeAscending(RegionId region, ObjectId id1, AssocType atype,
+                                         SimTime time_lo, SimTime time_hi, size_t limit,
+                                         QueryCost* cost);
+
+  // Point lookup of a single association.
+  std::optional<Assoc> GetAssoc(RegionId region, ObjectId id1, AssocType atype, ObjectId id2,
+                                QueryCost* cost);
+
+  // Number of visible associations in the list.
+  size_t AssocCount(RegionId region, ObjectId id1, AssocType atype, QueryCost* cost);
+
+  // Leader-consistent count: every accepted (non-deleted) association,
+  // regardless of replication visibility. This is what sequence-number
+  // assignment must use — mailbox sequence numbers are allocated at the
+  // mailbox's leader (§4), never from a possibly-stale follower view.
+  size_t AssocCountAtLeader(ObjectId id1, AssocType atype, QueryCost* cost);
+
+  // Intersect query: visible (id1, atype) associations whose id2's *author*
+  // (the "by" edge payload key) is in `authors`, newest first. Models SQL
+  // INTERSECT-style polls ("comments on V by my friends"); charges the
+  // index partitions plus one shard per author-list block.
+  std::vector<Assoc> AssocIntersect(RegionId region, ObjectId id1, AssocType atype,
+                                    const std::vector<ObjectId>& authors, SimTime time_lo,
+                                    size_t limit, QueryCost* cost);
+
+  // ---- Cost model ----
+
+  // Samples the service latency of a query with the given accumulated cost,
+  // executed against region-local followers.
+  SimTime SampleQueryLatency(const QueryCost& cost);
+
+  // Current partition count of an index (1 unless hot).
+  int IndexPartitions(ObjectId id1, AssocType atype) const;
+
+  const TaoConfig& config() const { return config_; }
+
+ private:
+  struct Visibility {
+    // visible_at[r]: earliest time region r sees the entry; kSimTimeNever
+    // until replication lands. deleted_at[r] analogous for tombstones.
+    std::vector<SimTime> visible_at;
+    std::vector<SimTime> deleted_at;
+
+    bool VisibleIn(RegionId r, SimTime now) const {
+      size_t i = static_cast<size_t>(r);
+      if (visible_at[i] > now) {
+        return false;
+      }
+      return deleted_at.empty() || deleted_at[i] > now;
+    }
+  };
+
+  struct StoredObject {
+    Object object;
+    Visibility vis;
+  };
+
+  struct StoredAssoc {
+    Assoc assoc;
+    Visibility vis;
+  };
+
+  struct AssocList {
+    std::vector<StoredAssoc> entries;  // append order == time order
+    // Exponentially decayed write-rate estimate for hot-index detection.
+    double write_rate = 0.0;
+    SimTime rate_updated_at = 0;
+  };
+
+  // Builds the visibility vector for a write committed now at `leader`.
+  Visibility MakeVisibility(RegionId leader);
+  void StampDelete(Visibility& vis, RegionId leader);
+  void BumpWriteRate(AssocList& list);
+  double DecayedWriteRate(const AssocList& list) const;
+  int PartitionsForRate(double rate) const;
+
+  void ChargeShards(QueryCost* cost, uint64_t shards) const;
+
+  Simulator* sim_;
+  const Topology* topology_;
+  TaoConfig config_;
+  MetricsRegistry* metrics_;
+
+  ObjectId next_id_ = 1000000;
+  std::unordered_map<ObjectId, StoredObject> objects_;
+  std::unordered_map<AssocListKey, AssocList, AssocListKeyHash> assocs_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TAO_STORE_H_

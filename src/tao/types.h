@@ -1,0 +1,78 @@
+// Core TAO data model: objects (nodes) and associations (typed, time-ordered
+// edges), after Bronson et al., "TAO: Facebook's distributed data store for
+// the social graph" (USENIX ATC'13), which Bladerunner builds on.
+
+#ifndef BLADERUNNER_SRC_TAO_TYPES_H_
+#define BLADERUNNER_SRC_TAO_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/graphql/value.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+using ObjectId = int64_t;
+using UserId = ObjectId;
+
+constexpr ObjectId kInvalidObjectId = 0;
+
+// Lower bound for AssocRange/AssocIntersect that includes everything.
+// Range queries use an *exclusive* lower bound ("comments since timestamp
+// X"), so time-0 associations need a sentinel below zero.
+constexpr SimTime kBeginningOfTime = -1;
+
+// Association (edge) types used by the Bladerunner applications.
+enum class AssocType : int32_t {
+  kFriend = 1,        // user -> user (symmetric; both directions stored)
+  kAuthored = 2,      // user -> content
+  kComment = 3,       // video/post -> comment
+  kLike = 4,          // post -> user
+  kStory = 5,         // container -> story
+  kStoryContainer = 6,  // user -> their story container
+  kThreadMember = 7,  // thread -> user
+  kMessage = 8,       // mailbox -> message
+  kBlocked = 9,       // user -> user they blocked
+  kFollows = 10,      // user -> page/celebrity
+};
+
+const char* ToString(AssocType type);
+
+struct Object {
+  ObjectId id = kInvalidObjectId;
+  std::string otype;  // "user", "video", "comment", "story", "message", ...
+  Value data;         // map of properties
+};
+
+struct Assoc {
+  ObjectId id1 = kInvalidObjectId;
+  AssocType atype = AssocType::kFriend;
+  ObjectId id2 = kInvalidObjectId;
+  SimTime time = 0;  // creation time; assoc lists are ordered by this, desc
+  Value data;        // edge payload (e.g. comment metadata)
+};
+
+// Key of one association list.
+struct AssocListKey {
+  ObjectId id1;
+  AssocType atype;
+
+  bool operator==(const AssocListKey& other) const {
+    return id1 == other.id1 && atype == other.atype;
+  }
+};
+
+struct AssocListKeyHash {
+  size_t operator()(const AssocListKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.id1) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.atype) + 0x9e3779b9ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TAO_TYPES_H_

@@ -1,0 +1,85 @@
+// RPC messages on the WAS boundary (devices and BRASSes both call WASes).
+
+#ifndef BLADERUNNER_SRC_WAS_MESSAGES_H_
+#define BLADERUNNER_SRC_WAS_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graphql/executor.h"
+#include "src/graphql/value.h"
+#include "src/net/message.h"
+#include "src/pylon/topic.h"
+#include "src/sim/time.h"
+#include "src/tao/types.h"
+
+namespace bladerunner {
+
+// Device (poll) or BRASS (point fetch) GraphQL query.
+struct WasQueryRequest : Message {
+  std::string query;
+  UserId viewer = 0;
+
+  std::string Describe() const override { return "WasQuery(viewer=" + std::to_string(viewer) + ")"; }
+  uint64_t WireSize() const override { return 32 + query.size(); }
+};
+
+struct WasQueryResponse : Message {
+  Value data;
+  std::vector<std::string> errors;
+  QueryCost cost;
+
+  uint64_t WireSize() const override { return 16 + data.WireSize(); }
+};
+
+// Device GraphQL mutation.
+struct WasMutateRequest : Message {
+  std::string mutation;
+  UserId viewer = 0;
+  SimTime created_at = 0;  // device-side creation time (for latency metrics)
+
+  std::string Describe() const override {
+    return "WasMutate(viewer=" + std::to_string(viewer) + ")";
+  }
+  uint64_t WireSize() const override { return 32 + mutation.size(); }
+};
+
+struct WasMutateResponse : Message {
+  bool ok = true;
+  Value data;
+  std::vector<std::string> errors;
+};
+
+// BRASS -> WAS: resolve a GraphQL subscription into concrete topics
+// (Fig. 3 step 5).
+struct WasResolveSubRequest : Message {
+  std::string subscription;
+  UserId viewer = 0;
+};
+
+struct WasResolveSubResponse : Message {
+  bool ok = true;
+  std::string app;            // application the subscription belongs to
+  std::vector<Topic> topics;  // one or many (e.g. ActiveStatus: per friend)
+  Value context;              // app-specific extras (e.g. the friend list)
+  std::string error;
+};
+
+// BRASS -> WAS: fetch (and privacy-check) the payload for an update event
+// the BRASS has decided to deliver (Fig. 5 step 8).
+struct WasFetchRequest : Message {
+  std::string app;
+  Value metadata;  // the update event's metadata
+  UserId viewer = 0;
+};
+
+struct WasFetchResponse : Message {
+  bool allowed = true;  // false: privacy check rejected for this viewer
+  Value payload;
+
+  uint64_t WireSize() const override { return 8 + payload.WireSize(); }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WAS_MESSAGES_H_

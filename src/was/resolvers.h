@@ -1,0 +1,41 @@
+// Binds the social-graph domain schema (queries, mutations, subscription
+// resolution, payload fetch) onto a WebAppServer.
+//
+// Query fields (device polls / BRASS fetch building blocks):
+//   user(id) video(id) comments(video, after, first)
+//   commentsByFriends(video, after, first)   -- the expensive intersect poll
+//   activeFriends() storiesTray(first) thread(id) mailbox(afterSeq, first)
+//
+// Mutation fields:
+//   postComment(video, text, language) likePost(post) heartbeatOnline()
+//   setTyping(thread, typing) postStory(text) sendMessage(thread, text)
+//   addFriend(user) blockUser(user) createVideo(title) createThread(members)
+//
+// Subscription root fields resolve to (app, topics, context):
+//   liveVideoComments(videoId)  -> LVC,        [/LVC/<vid>]
+//   activeStatus()              -> AS,         [/AS/<friend> ...]
+//   typingIndicator(threadId)   -> TI,         [/TI/<thread>/<member> ...]
+//   storiesTray()               -> Stories,    [/Stories/<friend> ...]
+//   mailbox()                   -> Messenger,  [/Mailbox/<viewer>]
+
+#ifndef BLADERUNNER_SRC_WAS_RESOLVERS_H_
+#define BLADERUNNER_SRC_WAS_RESOLVERS_H_
+
+#include "src/was/server.h"
+
+namespace bladerunner {
+
+// Installs every resolver, subscription resolver, and fetch handler.
+void InstallSocialSchema(WebAppServer& was);
+
+// Direct (setup-time) graph construction helpers used by workload
+// generators; they bypass query latency modeling entirely.
+UserId CreateUser(TaoStore& tao, const std::string& name, const std::string& language);
+ObjectId CreateVideo(TaoStore& tao, UserId owner, const std::string& title);
+ObjectId CreateThread(TaoStore& tao, const std::vector<UserId>& members);
+void MakeFriends(TaoStore& tao, UserId a, UserId b);
+void BlockUser(TaoStore& tao, UserId blocker, UserId blocked);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WAS_RESOLVERS_H_

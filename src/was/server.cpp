@@ -1,0 +1,292 @@
+#include "src/was/server.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/pylon/messages.h"
+
+namespace bladerunner {
+
+WebAppServer::WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, PylonCluster* pylon,
+                           WasConfig config, MetricsRegistry* metrics)
+    : sim_(sim),
+      region_(region),
+      tao_(tao),
+      pylon_(pylon),
+      config_(config),
+      metrics_(metrics),
+      next_event_id_((static_cast<uint64_t>(region) << 48) + 1) {
+  assert(sim_ != nullptr && tao_ != nullptr && metrics_ != nullptr);
+  rpc_.RegisterMethod("was.query", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandleQuery(std::move(request), std::move(respond));
+  });
+  rpc_.RegisterMethod("was.mutate", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandleMutate(std::move(request), std::move(respond));
+  });
+  rpc_.RegisterMethod("was.resolve_subscription",
+                      [this](MessagePtr request, RpcServer::Respond respond) {
+                        HandleResolveSubscription(std::move(request), std::move(respond));
+                      });
+  rpc_.RegisterMethod("was.fetch", [this](MessagePtr request, RpcServer::Respond respond) {
+    HandleFetch(std::move(request), std::move(respond));
+  });
+}
+
+void WebAppServer::RegisterSubscriptionResolver(const std::string& field_name,
+                                                SubscriptionResolver resolver) {
+  subscription_resolvers_[field_name] = std::move(resolver);
+}
+
+void WebAppServer::RegisterFetchHandler(const std::string& app, FetchHandler handler) {
+  fetch_handlers_[app] = std::move(handler);
+}
+
+bool WebAppServer::PrivacyCheck(UserId viewer, UserId author, QueryCost* cost) {
+  if (viewer == author) {
+    return true;
+  }
+  metrics_->GetCounter("was.privacy_checks").Increment();
+  bool viewer_blocked_author =
+      tao_->GetAssoc(region_, viewer, AssocType::kBlocked, author, cost).has_value();
+  bool author_blocked_viewer =
+      tao_->GetAssoc(region_, author, AssocType::kBlocked, viewer, cost).has_value();
+  return !viewer_blocked_author && !author_blocked_viewer;
+}
+
+ExecResult WebAppServer::ExecuteNow(const std::string& text, UserId viewer) {
+  ParseResult parsed = Parse(text);
+  if (!parsed.ok()) {
+    ExecResult result;
+    result.errors.push_back("parse error: " + parsed.error);
+    return result;
+  }
+  WasContext was_ctx;
+  was_ctx.was = this;
+  was_ctx.tao = tao_;
+  was_ctx.region = region_;
+  was_ctx.created_at = sim_->Now();
+  ExecContext ctx;
+  ctx.viewer_id = viewer;
+  ctx.backend = &was_ctx;
+  ExecResult result = schema_.Execute(*parsed.document, ctx);
+  // Mutations executed through this path still publish.
+  if (!was_ctx.publishes.empty()) {
+    SchedulePublishes(std::move(was_ctx.publishes), was_ctx.created_at);
+  }
+  return result;
+}
+
+void WebAppServer::ChargeCpu(double ms) {
+  metrics_->GetCounter("was.cpu_us").Increment(static_cast<int64_t>(ms * 1000.0));
+}
+
+void WebAppServer::HandleQuery(MessagePtr request, RpcServer::Respond respond) {
+  auto query = std::static_pointer_cast<WasQueryRequest>(request);
+  metrics_->GetCounter("was.queries").Increment();
+
+  ParseResult parsed = Parse(query->query);
+  auto response = std::make_shared<WasQueryResponse>();
+  if (!parsed.ok()) {
+    response->errors.push_back("parse error: " + parsed.error);
+    sim_->Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
+    return;
+  }
+  WasContext was_ctx;
+  was_ctx.was = this;
+  was_ctx.tao = tao_;
+  was_ctx.region = region_;
+  ExecContext ctx;
+  ctx.viewer_id = query->viewer;
+  ctx.backend = &was_ctx;
+  ExecResult result = schema_.Execute(*parsed.document, ctx);
+  response->data = std::move(result.data);
+  response->errors = std::move(result.errors);
+  response->cost = result.cost;
+
+  SimTime tao_latency = tao_->SampleQueryLatency(result.cost);
+  SimTime total = MillisF(config_.query_base_ms) + tao_latency;
+  ChargeCpu(config_.query_base_ms + 0.15 * static_cast<double>(result.cost.TotalReads()) +
+            0.05 * static_cast<double>(result.cost.shards_touched));
+  sim_->Schedule(total, [respond, response]() { respond(response); });
+}
+
+void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) {
+  auto mutate = std::static_pointer_cast<WasMutateRequest>(request);
+  metrics_->GetCounter("was.mutations").Increment();
+
+  ParseResult parsed = Parse(mutate->mutation);
+  auto response = std::make_shared<WasMutateResponse>();
+  if (!parsed.ok()) {
+    response->ok = false;
+    response->errors.push_back("parse error: " + parsed.error);
+    sim_->Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
+    return;
+  }
+  WasContext was_ctx;
+  was_ctx.was = this;
+  was_ctx.tao = tao_;
+  was_ctx.region = region_;
+  was_ctx.created_at = mutate->created_at > 0 ? mutate->created_at : sim_->Now();
+  ExecContext ctx;
+  ctx.viewer_id = mutate->viewer;
+  ctx.backend = &was_ctx;
+  ExecResult result = schema_.Execute(*parsed.document, ctx);
+  response->ok = result.ok();
+  response->data = std::move(result.data);
+  response->errors = std::move(result.errors);
+
+  // The device's response waits for the TAO write; the event publication
+  // continues asynchronously (Fig. 4 steps 4-5 happen after step 3).
+  SimTime write_latency = MillisF(config_.query_base_ms);
+  for (uint64_t i = 0; i < result.cost.writes; ++i) {
+    write_latency += tao_->SampleWriteLatency(region_, mutate->viewer);
+  }
+  ChargeCpu(config_.query_base_ms + 0.4 * static_cast<double>(result.cost.writes));
+  sim_->Schedule(write_latency, [respond, response]() { respond(response); });
+
+  if (!was_ctx.publishes.empty()) {
+    SimTime created = was_ctx.created_at;
+    std::vector<PublishSpec> specs = std::move(was_ctx.publishes);
+    SimTime base = write_latency;
+    sim_->Schedule(base, [this, specs = std::move(specs), created]() mutable {
+      SchedulePublishes(std::move(specs), created);
+    });
+  }
+}
+
+void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Respond respond) {
+  auto resolve = std::static_pointer_cast<WasResolveSubRequest>(request);
+  metrics_->GetCounter("was.subscription_resolves").Increment();
+  auto response = std::make_shared<WasResolveSubResponse>();
+
+  ParseResult parsed = Parse(resolve->subscription);
+  QueryCost cost;
+  if (!parsed.ok() || parsed.document->Sole().type != OperationType::kSubscription ||
+      parsed.document->Sole().selections.fields.empty()) {
+    response->ok = false;
+    response->error = "invalid subscription document";
+  } else {
+    const Field& root = parsed.document->Sole().selections.fields.front();
+    auto it = subscription_resolvers_.find(root.name);
+    if (it == subscription_resolvers_.end()) {
+      response->ok = false;
+      response->error = "unknown subscription field '" + root.name + "'";
+    } else {
+      WasContext was_ctx;
+      was_ctx.was = this;
+      was_ctx.tao = tao_;
+      was_ctx.region = region_;
+      ExecContext ctx;
+      ctx.viewer_id = resolve->viewer;
+      ctx.backend = &was_ctx;
+      SubscriptionResolution resolution = it->second(root, resolve->viewer, ctx);
+      cost = ctx.cost;
+      response->ok = resolution.ok;
+      response->app = resolution.app;
+      response->topics = std::move(resolution.topics);
+      response->error = resolution.error;
+      response->context = std::move(resolution.context);
+    }
+  }
+  SimTime latency = MillisF(config_.query_base_ms) + tao_->SampleQueryLatency(cost);
+  ChargeCpu(config_.query_base_ms);
+  sim_->Schedule(latency, [respond, response]() { respond(response); });
+}
+
+void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
+  auto fetch = std::static_pointer_cast<WasFetchRequest>(request);
+  metrics_->GetCounter("was.fetches").Increment();
+  auto response = std::make_shared<WasFetchResponse>();
+
+  WasContext was_ctx;
+  was_ctx.was = this;
+  was_ctx.tao = tao_;
+  was_ctx.region = region_;
+  ExecContext ctx;
+  ctx.viewer_id = fetch->viewer;
+  ctx.backend = &was_ctx;
+
+  double processing_ms = config_.fetch_base_ms;
+  auto it = fetch_handlers_.find(fetch->app);
+  if (it == fetch_handlers_.end()) {
+    response->allowed = false;
+  } else {
+    // Privacy check first (§2: checking only messages selected for delivery).
+    UserId author = fetch->metadata.Get("author").AsInt(0);
+    bool allowed = author == 0 || PrivacyCheck(fetch->viewer, author, &ctx.cost);
+    processing_ms += config_.privacy_check_ms;
+    if (allowed) {
+      response->payload = it->second(fetch->metadata, fetch->viewer, ctx, &allowed);
+    }
+    response->allowed = allowed;
+    if (allowed) {
+      metrics_->GetHistogram("was.fetch_payload_bytes")
+          .Record(static_cast<double>(response->payload.WireSize()));
+    }
+  }
+  SimTime latency = MillisF(sim_->rng().LogNormal(processing_ms, 0.35)) +
+                    tao_->SampleQueryLatency(ctx.cost);
+  ChargeCpu(processing_ms * 0.12);  // fetch handling is mostly TAO/IO wait
+  sim_->Schedule(latency, [respond, response]() { respond(response); });
+}
+
+void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime created_at) {
+  for (PublishSpec& spec : specs) {
+    double logic_ms = sim_->rng().LogNormal(config_.publish_logic_ms, 0.25);
+    if (spec.requires_ranking) {
+      logic_ms += sim_->rng().LogNormal(config_.ranking_ms, 0.15);
+    }
+    ChargeCpu(logic_ms * 0.005);  // ranking runs on a separate ML tier; WAS mostly waits
+    bool ranked = spec.requires_ranking;
+    PublishSpec moved = std::move(spec);
+    // Table 3 measures this span "from the time the corresponding TAO
+    // mutation has completed to when the update has been sent to Pylon" —
+    // i.e. from the start of the publish pipeline, not from the device.
+    SimTime pipeline_start = sim_->Now();
+    sim_->Schedule(MillisF(logic_ms), [this, moved = std::move(moved), created_at, ranked,
+                                       pipeline_start]() {
+      SimTime delay = sim_->Now() - pipeline_start;
+      metrics_->GetHistogram(ranked ? "was.publish_delay_us.ranked" : "was.publish_delay_us.other")
+          .Record(static_cast<double>(delay));
+      if (moved.on_published) {
+        moved.on_published();
+      }
+      PublishNow(moved, created_at);
+    });
+  }
+}
+
+void WebAppServer::PublishNow(const PublishSpec& spec, SimTime created_at) {
+  if (pylon_ == nullptr || spec.topic.empty()) {
+    return;  // polling-only deployment, or a discarded (hot-mode) update
+  }
+  auto event = std::make_shared<UpdateEvent>();
+  event->topic = spec.topic;
+  event->event_id = next_event_id_++;
+  event->metadata = spec.metadata;
+  event->created_at = created_at;
+  event->published_at = sim_->Now();
+  event->origin_region = region_;
+  event->seq = spec.seq;
+
+  PylonServer* server = pylon_->RouteServer(spec.topic);
+  RpcChannel* channel = ChannelToPylon(server);
+  auto publish = std::make_shared<PylonPublishRequest>();
+  publish->event = std::move(event);
+  metrics_->GetCounter("was.publishes").Increment();
+  channel->Call("pylon.publish", publish, [](RpcStatus, MessagePtr) {
+    // Best-effort: a lost publish is recovered (if at all) by app logic.
+  });
+}
+
+RpcChannel* WebAppServer::ChannelToPylon(PylonServer* server) {
+  auto it = pylon_channels_.find(server->server_id());
+  if (it == pylon_channels_.end()) {
+    auto channel = std::make_unique<RpcChannel>(
+        sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+    it = pylon_channels_.emplace(server->server_id(), std::move(channel)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,16 @@
+#include "src/workload/diurnal.h"
+
+#include <cmath>
+
+namespace bladerunner {
+
+double DiurnalCurve::At(SimTime t) const {
+  double hour = ToHours(t);
+  double hour_of_day = hour - 24.0 * std::floor(hour / 24.0);
+  // Raised cosine peaking at peak_hour_.
+  double phase = (hour_of_day - peak_hour_) / 24.0 * 2.0 * M_PI;
+  double unit = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at peak+12h
+  return trough_ + (peak_ - trough_) * unit;
+}
+
+}  // namespace bladerunner

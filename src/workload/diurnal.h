@@ -1,0 +1,35 @@
+// Diurnal activity curve (the shape underlying Fig. 8 and Fig. 10).
+//
+// Global activity follows a smooth daily cycle; the paper's per-user
+// metrics vary by roughly 1.5-2x between trough and peak. We model the
+// multiplier as a raised cosine with configurable trough/peak and peak
+// hour.
+
+#ifndef BLADERUNNER_SRC_WORKLOAD_DIURNAL_H_
+#define BLADERUNNER_SRC_WORKLOAD_DIURNAL_H_
+
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+class DiurnalCurve {
+ public:
+  DiurnalCurve(double trough, double peak, double peak_hour)
+      : trough_(trough), peak_(peak), peak_hour_(peak_hour) {}
+
+  // Multiplier at simulated time `t` (by time of day).
+  double At(SimTime t) const;
+
+  // Fig. 8's active-streams curve runs ~6 (trough, ~05:00) to ~11 (peak,
+  // ~16:00) streams per user.
+  static DiurnalCurve PaperActivity() { return DiurnalCurve(0.55, 1.0, 16.0); }
+
+ private:
+  double trough_;
+  double peak_;
+  double peak_hour_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WORKLOAD_DIURNAL_H_

@@ -1,0 +1,95 @@
+#include "src/workload/lifetimes.h"
+
+#include <cmath>
+
+namespace bladerunner {
+
+namespace {
+
+// Bucket bounds (the >24h bucket is capped at a week).
+constexpr SimTime kBucketLo[4] = {Seconds(120), Minutes(15), Hours(1), Hours(24)};
+constexpr SimTime kBucketHi[4] = {Minutes(15), Hours(1), Hours(24), Hours(24 * 7)};
+
+// Mean of a log-uniform distribution on [lo, hi]: (hi - lo) / ln(hi/lo).
+double LogUniformMean(SimTime lo, SimTime hi) {
+  double l = static_cast<double>(lo);
+  double h = static_cast<double>(hi);
+  return (h - l) / std::log(h / l);
+}
+
+}  // namespace
+
+StreamLifetimeModel::StreamLifetimeModel(LifetimeConfig config) : config_(config) {
+  double biased[4] = {config_.p_under_15m, config_.p_15m_to_1h, config_.p_1h_to_24h,
+                      1.0 - config_.p_under_15m - config_.p_15m_to_1h - config_.p_1h_to_24h};
+  // Undo the length bias: a stream of length L is observed alive with
+  // probability proportional to L, so per-started-stream weights are the
+  // biased weights divided by the bucket's mean length.
+  double weights[4];
+  double total = 0.0;
+  for (size_t b = 0; b < 4; ++b) {
+    weights[b] = biased[b] / LogUniformMean(kBucketLo[b], kBucketHi[b]);
+    total += weights[b];
+  }
+  double acc = 0.0;
+  for (size_t b = 0; b < 4; ++b) {
+    acc += weights[b] / total;
+    unbiased_cdf_[b] = acc;
+  }
+}
+
+SimTime StreamLifetimeModel::LogUniform(Rng& rng, SimTime lo, SimTime hi) const {
+  double llo = std::log(static_cast<double>(lo));
+  double lhi = std::log(static_cast<double>(hi));
+  return static_cast<SimTime>(std::exp(rng.Uniform(llo, lhi)));
+}
+
+SimTime StreamLifetimeModel::SampleBucket(Rng& rng, size_t bucket) const {
+  return LogUniform(rng, kBucketLo[bucket], kBucketHi[bucket]);
+}
+
+SimTime StreamLifetimeModel::Sample(Rng& rng) const {
+  double u = rng.Uniform();
+  if (u < config_.p_under_15m) {
+    return SampleBucket(rng, 0);
+  }
+  if (u < config_.p_under_15m + config_.p_15m_to_1h) {
+    return SampleBucket(rng, 1);
+  }
+  if (u < config_.p_under_15m + config_.p_15m_to_1h + config_.p_1h_to_24h) {
+    return SampleBucket(rng, 2);
+  }
+  return SampleBucket(rng, 3);
+}
+
+SimTime StreamLifetimeModel::SampleUnbiased(Rng& rng) const {
+  double u = rng.Uniform();
+  for (size_t b = 0; b < 4; ++b) {
+    if (u < unbiased_cdf_[b]) {
+      return SampleBucket(rng, b);
+    }
+  }
+  return SampleBucket(rng, 3);
+}
+
+const std::vector<std::string>& StreamLifetimeModel::BucketLabels() {
+  static const std::vector<std::string> kLabels = {
+      "<15min", "15min-1hr", "1hr-24h", "24hr+",
+  };
+  return kLabels;
+}
+
+size_t StreamLifetimeModel::BucketOf(SimTime lifetime) {
+  if (lifetime < Minutes(15)) {
+    return 0;
+  }
+  if (lifetime < Hours(1)) {
+    return 1;
+  }
+  if (lifetime < Hours(24)) {
+    return 2;
+  }
+  return 3;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,52 @@
+#include "src/workload/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bladerunner {
+
+int64_t AreaPopularityModel::SampleDailyUpdates(Rng& rng) const {
+  double u = rng.Uniform();
+  if (u < config_.p_zero) {
+    return 0;
+  }
+  if (u < config_.p_zero + config_.p_low) {
+    return rng.UniformInt(1, 9);
+  }
+  if (u < config_.p_zero + config_.p_low + config_.p_mid) {
+    return rng.UniformInt(10, 99);
+  }
+  // Pareto tail from 1M upward: the paper's hottest areas (live videos
+  // with 1M+ comments within seconds).
+  double x = rng.Pareto(config_.tail_scale, config_.tail_alpha);
+  x = std::min(x, config_.tail_cap);
+  return static_cast<int64_t>(x);
+}
+
+const std::vector<std::string>& AreaPopularityModel::BucketLabels() {
+  static const std::vector<std::string> kLabels = {
+      "0", "<10", "<100", "<1M", ">1M", ">100M",
+  };
+  return kLabels;
+}
+
+size_t AreaPopularityModel::BucketOf(int64_t daily_updates) {
+  if (daily_updates == 0) {
+    return 0;
+  }
+  if (daily_updates < 10) {
+    return 1;
+  }
+  if (daily_updates < 100) {
+    return 2;
+  }
+  if (daily_updates < 1000000) {
+    return 3;
+  }
+  if (daily_updates < 100000000) {
+    return 4;
+  }
+  return 5;
+}
+
+}  // namespace bladerunner

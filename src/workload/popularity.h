@@ -1,0 +1,65 @@
+// Topic/area popularity model.
+//
+// Table 1 of the paper: within 24 h, ~83% of areas of interest receive zero
+// updates, ~16% fewer than 10, ~0.95% fewer than 100, 0.049% more than 1M,
+// and 0.0001% more than 100M — an extreme Pareto distribution. This module
+// samples per-area daily update counts with that shape (scaled), drives
+// which topics a simulated subscription lands on, and classifies counts
+// back into the paper's buckets for the Table 1 / Fig. 7 benches.
+
+#ifndef BLADERUNNER_SRC_WORKLOAD_POPULARITY_H_
+#define BLADERUNNER_SRC_WORKLOAD_POPULARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace bladerunner {
+
+struct PopularityConfig {
+  double p_zero = 0.83;     // areas with no updates in 24h
+  double p_low = 0.16;      // 1-9 updates
+  double p_mid = 0.0095;    // 10-99 updates
+  // The remaining ~0.05% of areas are the extreme hot spots: Table 1 jumps
+  // straight from "<100" to ">1M", so the tail starts at 1M updates/day.
+  // alpha = 1.35 gives P(>100M | >1M) ~= 0.002, matching the paper's
+  // 0.0001% / 0.049% bucket ratio.
+  double tail_alpha = 1.35;
+  double tail_scale = 1e6;  // tail starts at 1M updates/day
+  double tail_cap = 5e8;    // cap above the paper's top bucket (>100M)
+};
+
+class AreaPopularityModel {
+ public:
+  explicit AreaPopularityModel(PopularityConfig config = {}) : config_(config) {}
+
+  // Daily update count of one randomly drawn area of interest.
+  int64_t SampleDailyUpdates(Rng& rng) const;
+
+  // Bucket labels and classification matching Table 1.
+  static const std::vector<std::string>& BucketLabels();
+  static size_t BucketOf(int64_t daily_updates);
+
+  const PopularityConfig& config() const { return config_; }
+
+ private:
+  PopularityConfig config_;
+};
+
+// Zipf-weighted choice of which of `n` areas an update targets: update
+// traffic concentrates on a few hot areas.
+class ZipfTopicPicker {
+ public:
+  ZipfTopicPicker(int64_t n, double s) : n_(n), s_(s) {}
+  int64_t Pick(Rng& rng) const { return rng.Zipf(n_, s_); }
+
+ private:
+  int64_t n_;
+  double s_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WORKLOAD_POPULARITY_H_

@@ -1,0 +1,81 @@
+#include "src/workload/social_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/was/resolvers.h"
+
+namespace bladerunner {
+
+const std::vector<UserId>& SocialGraph::FriendsOf(UserId user) const {
+  static const std::vector<UserId> kEmpty;
+  auto it = friends.find(user);
+  return it == friends.end() ? kEmpty : it->second;
+}
+
+SocialGraph GenerateSocialGraph(TaoStore& tao, Rng& rng, const SocialGraphConfig& config) {
+  SocialGraph graph;
+
+  // Users.
+  for (int i = 0; i < config.num_users; ++i) {
+    const std::string& language = config.languages[rng.Index(config.languages.size())];
+    UserId user = CreateUser(tao, "user" + std::to_string(i), language);
+    graph.users.push_back(user);
+    graph.language[user] = language;
+  }
+
+  // Friendships: for each user, draw a target degree and befriend random
+  // peers; friendship is symmetric so realized degrees are ~2x draws/2.
+  std::map<UserId, std::set<UserId>> friend_sets;
+  for (UserId user : graph.users) {
+    int64_t wanted = std::max<int64_t>(1, rng.Poisson(config.mean_friends / 2.0));
+    for (int64_t k = 0; k < wanted; ++k) {
+      UserId other = graph.users[rng.Index(graph.users.size())];
+      if (other == user || friend_sets[user].count(other) != 0) {
+        continue;
+      }
+      friend_sets[user].insert(other);
+      friend_sets[other].insert(user);
+      MakeFriends(tao, user, other);
+    }
+  }
+  for (UserId user : graph.users) {
+    auto& list = graph.friends[user];
+    list.assign(friend_sets[user].begin(), friend_sets[user].end());
+  }
+
+  // Blocks.
+  for (UserId user : graph.users) {
+    if (rng.Bernoulli(config.block_probability * static_cast<double>(graph.users.size()) /
+                      100.0)) {
+      UserId other = graph.users[rng.Index(graph.users.size())];
+      if (other != user) {
+        BlockUser(tao, user, other);
+      }
+    }
+  }
+
+  // Videos.
+  for (int v = 0; v < config.num_videos; ++v) {
+    UserId owner = graph.users[rng.Index(graph.users.size())];
+    graph.videos.push_back(CreateVideo(tao, owner, "video" + std::to_string(v)));
+  }
+
+  // Threads.
+  for (int t = 0; t < config.num_threads; ++t) {
+    int size = static_cast<int>(
+        rng.UniformInt(config.thread_size_min, config.thread_size_max));
+    std::set<UserId> members;
+    while (static_cast<int>(members.size()) < size) {
+      members.insert(graph.users[rng.Index(graph.users.size())]);
+    }
+    std::vector<UserId> member_list(members.begin(), members.end());
+    ObjectId thread = CreateThread(tao, member_list);
+    graph.threads.push_back(thread);
+    graph.thread_members[thread] = std::move(member_list);
+  }
+
+  return graph;
+}
+
+}  // namespace bladerunner

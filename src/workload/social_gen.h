@@ -1,0 +1,43 @@
+// Synthetic social-graph generator: users, friendships, block lists,
+// videos, and message threads written into TAO at setup time.
+
+#ifndef BLADERUNNER_SRC_WORKLOAD_SOCIAL_GEN_H_
+#define BLADERUNNER_SRC_WORKLOAD_SOCIAL_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/sim/random.h"
+#include "src/tao/store.h"
+
+namespace bladerunner {
+
+struct SocialGraphConfig {
+  int num_users = 200;
+  double mean_friends = 12.0;       // mean friend-list size (Poisson-ish)
+  double block_probability = 0.02;  // chance a user blocks a random user
+  int num_videos = 4;
+  int num_threads = 40;             // message threads
+  int thread_size_min = 2;
+  int thread_size_max = 5;
+  std::vector<std::string> languages = {"en", "en", "en", "es", "pt", "hi", "ar"};
+};
+
+struct SocialGraph {
+  std::vector<UserId> users;
+  std::map<UserId, std::vector<UserId>> friends;
+  std::map<UserId, std::string> language;
+  std::vector<ObjectId> videos;
+  std::vector<ObjectId> threads;
+  std::map<ObjectId, std::vector<UserId>> thread_members;
+
+  const std::vector<UserId>& FriendsOf(UserId user) const;
+};
+
+SocialGraph GenerateSocialGraph(TaoStore& tao, Rng& rng, const SocialGraphConfig& config);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WORKLOAD_SOCIAL_GEN_H_

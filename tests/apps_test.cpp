@@ -1,0 +1,417 @@
+// Behavioral tests of the five BRASS applications through the full stack:
+// per-user filtering, rate limiting, batching, tray management, reliable
+// delivery, and the delivery-accounting invariants Fig. 8 relies on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild({}); }
+
+  void Rebuild(ClusterConfig config) {
+    config.seed = 4242;
+    cluster_ = std::make_unique<BladerunnerCluster>(config, Topology::OneRegion());
+    // Hand-built graph for precise control.
+    alice_ = CreateUser(cluster_->tao(), "alice", "en");
+    bob_ = CreateUser(cluster_->tao(), "bob", "en");
+    carol_ = CreateUser(cluster_->tao(), "carol", "es");
+    dave_ = CreateUser(cluster_->tao(), "dave", "en");
+    MakeFriends(cluster_->tao(), alice_, bob_);
+    MakeFriends(cluster_->tao(), alice_, carol_);
+    video_ = CreateVideo(cluster_->tao(), alice_, "v");
+    thread_ = CreateThread(cluster_->tao(), {alice_, bob_});
+    cluster_->sim().RunFor(Seconds(2));
+  }
+
+  std::unique_ptr<DeviceAgent> Device(UserId user) {
+    return std::make_unique<DeviceAgent>(cluster_.get(), user, 0, DeviceProfile::kWifi);
+  }
+
+  int64_t Counter(const std::string& name) {
+    return cluster_->metrics().GetCounter(name).value();
+  }
+
+  std::unique_ptr<BladerunnerCluster> cluster_;
+  UserId alice_ = 0;
+  UserId bob_ = 0;
+  UserId carol_ = 0;
+  UserId dave_ = 0;
+  ObjectId video_ = 0;
+  ObjectId thread_ = 0;
+};
+
+// ---- LiveVideoComments ----
+
+TEST_F(AppsTest, LvcRateLimitsToOnePushPerInterval) {
+  auto viewer = Device(alice_);
+  auto poster = Device(bob_);
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Burst of 30 comments within one second.
+  for (int i = 0; i < 30; ++i) {
+    poster->PostComment(video_, "burst" + std::to_string(i), "en");
+  }
+  // Comments take ~2s of ranking, then land in the buffer; pushes happen
+  // at most once per 2s per stream, and buffered comments expire at 10s.
+  cluster_->sim().RunFor(Seconds(20));
+
+  // With a 2s push interval and a 10s max age, at most ~6-7 of the 30 can
+  // ever be delivered.
+  EXPECT_GE(viewer->payloads_received(), 1u);
+  EXPECT_LE(viewer->payloads_received(), 8u);
+  // The rest were filtered/aged out: decisions > deliveries.
+  EXPECT_GT(Counter("brass.decisions"), static_cast<int64_t>(viewer->payloads_received()));
+}
+
+TEST_F(AppsTest, LvcFiltersForeignLanguageComments) {
+  auto viewer = Device(alice_);  // language en
+  auto poster = Device(dave_);
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+
+  for (int i = 0; i < 10; ++i) {
+    poster->PostComment(video_, "hola", "es");  // foreign to alice
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(viewer->payloads_received(), 0u);
+  EXPECT_GT(Counter("brass.filtered"), 0);
+}
+
+TEST_F(AppsTest, LvcDoesNotEchoOwnComments) {
+  auto viewer = Device(alice_);
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+  for (int i = 0; i < 5; ++i) {
+    viewer->PostComment(video_, "mine", "en");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(viewer->payloads_received(), 0u);
+}
+
+TEST_F(AppsTest, LvcViewerLanguageComesFromSubscriptionContext) {
+  // carol's language is Spanish (from her TAO profile, resolved into the
+  // subscription context): her friend alice's English comments are foreign
+  // and filtered; Spanish ones are delivered.
+  auto viewer = Device(carol_);
+  auto poster = Device(alice_);  // alice and carol are friends
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+  for (int i = 0; i < 8; ++i) {
+    poster->PostComment(video_, "hello", "en");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(viewer->payloads_received(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    poster->PostComment(video_, "hola", "es");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_GE(viewer->payloads_received(), 1u);
+}
+
+TEST_F(AppsTest, LvcPrivacyFilteredAtFetchTime) {
+  BlockUser(cluster_->tao(), alice_, bob_);
+  cluster_->sim().RunFor(Seconds(1));
+  auto viewer = Device(alice_);
+  auto poster = Device(bob_);
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+  for (int i = 0; i < 8; ++i) {
+    poster->PostComment(video_, "blocked author", "en");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(viewer->payloads_received(), 0u);
+  EXPECT_GT(Counter("lvc.privacy_filtered"), 0);
+}
+
+TEST_F(AppsTest, LvcHotVideoStrategySwitch) {
+  // Hammer the video until its comment index partitions past the hot
+  // threshold; the WAS then pre-ranks: ordinary comments publish to
+  // per-author topics (reaching only the author's friends via the
+  // /LVC/<vid>/<friend> subscriptions), and low-ranked ones are discarded
+  // before Pylon (§3.4).
+  // Simulation-scale bursts are orders of magnitude below production's
+  // 1M comments/sec; lower the per-partition write capacity so the index
+  // heats at bench scale.
+  ClusterConfig config;
+  config.tao.hot_index_writes_per_sec = 0.5;
+  Rebuild(config);
+
+  auto viewer = Device(alice_);
+  auto friend_poster = Device(bob_);     // alice's friend
+  auto stranger_poster = Device(dave_);  // not alice's friend
+  viewer->SubscribeLvc(video_);
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Heat the index: a sustained burst.
+  for (int s = 0; s < 12; ++s) {
+    for (int k = 0; k < 8; ++k) {
+      stranger_poster->PostComment(video_, "burst", "en");
+    }
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  EXPECT_GT(Counter("was.lvc_hot_comments"), 0);
+  EXPECT_GT(Counter("was.lvc_hot_discarded"), 0);
+
+  // While hot, a friend's ordinary comment goes to /LVC/<vid>/<bob> and
+  // still reaches alice (she subscribes to her friends' author topics).
+  uint64_t before = viewer->payloads_received();
+  for (int i = 0; i < 6; ++i) {
+    friend_poster->PostComment(video_, "from a friend", "en");
+    cluster_->sim().RunFor(Seconds(2));
+  }
+  cluster_->sim().RunFor(Seconds(15));
+  EXPECT_GT(viewer->payloads_received(), before);
+}
+
+// ---- ActiveStatus ----
+
+TEST_F(AppsTest, ActiveStatusPushesBatchedDiffsNotEveryHeartbeat) {
+  auto watcher = Device(alice_);
+  auto friend_device = Device(bob_);
+  watcher->SubscribeActiveStatus();
+  cluster_->sim().RunFor(Seconds(3));
+
+  friend_device->StartHeartbeat(Seconds(30));
+  cluster_->sim().RunFor(Minutes(3));  // 6 heartbeats
+  friend_device->StopHeartbeat();
+
+  // One "came online" batch, not one push per heartbeat.
+  EXPECT_GE(watcher->payloads_received(), 1u);
+  EXPECT_LE(watcher->payloads_received(), 3u);
+
+  // After the TTL lapses the app pushes the "went offline" diff.
+  uint64_t before = watcher->payloads_received();
+  cluster_->sim().RunFor(Minutes(2));
+  EXPECT_GT(watcher->payloads_received(), before);
+}
+
+TEST_F(AppsTest, ActiveStatusOnlyForFriends) {
+  auto watcher = Device(alice_);
+  auto stranger = Device(dave_);  // not a friend of alice
+  watcher->SubscribeActiveStatus();
+  cluster_->sim().RunFor(Seconds(3));
+  stranger->StartHeartbeat(Seconds(30));
+  cluster_->sim().RunFor(Minutes(2));
+  stranger->StopHeartbeat();
+  EXPECT_EQ(watcher->payloads_received(), 0u);
+}
+
+// ---- TypingIndicator ----
+
+TEST_F(AppsTest, TypingEventsPushImmediately) {
+  auto watcher = Device(alice_);
+  auto typist = Device(bob_);
+  watcher->SubscribeTyping(thread_);
+  cluster_->sim().RunFor(Seconds(3));
+
+  typist->SetTyping(thread_, true);
+  cluster_->sim().RunFor(Seconds(3));
+  EXPECT_EQ(watcher->payloads_received(), 1u);
+  typist->SetTyping(thread_, false);
+  cluster_->sim().RunFor(Seconds(3));
+  EXPECT_EQ(watcher->payloads_received(), 2u);
+}
+
+TEST_F(AppsTest, TypingNotDeliveredToNonMembers) {
+  auto outsider = Device(dave_);
+  auto typist = Device(bob_);
+  // dave isn't in the thread: resolution yields the other members' topics,
+  // none of which is dave's counterparty... he still subscribes to the
+  // thread; he gets alice's typing but not his own. Here bob types and
+  // dave IS subscribed to bob's typing topic (he subscribed to the
+  // thread), so instead verify a *wrong thread* yields nothing.
+  ObjectId other_thread = CreateThread(cluster_->tao(), {carol_, dave_});
+  cluster_->sim().RunFor(Seconds(1));
+  outsider->SubscribeTyping(other_thread);
+  cluster_->sim().RunFor(Seconds(3));
+  typist->SetTyping(thread_, true);
+  cluster_->sim().RunFor(Seconds(3));
+  EXPECT_EQ(outsider->payloads_received(), 0u);
+}
+
+// ---- Stories ----
+
+TEST_F(AppsTest, StoriesTrayAddAndRemove) {
+  StoriesConfig stories;
+  stories.tray_size = 1;  // tiny tray forces evictions
+  ClusterConfig config;
+  config.apps.stories = stories;
+  Rebuild(config);
+
+  auto watcher = Device(alice_);
+  auto friend1 = Device(bob_);
+  auto friend2 = Device(carol_);
+  watcher->SubscribeStories();
+  cluster_->sim().RunFor(Seconds(3));
+
+  std::vector<std::string> kinds;
+  watcher->set_payload_hook([&kinds](uint64_t, const Value& payload) {
+    kinds.push_back(payload.Get("__type").AsString());
+  });
+
+  friend1->PostStory("first");
+  cluster_->sim().RunFor(Seconds(5));
+  friend2->PostStory("second");
+  friend2->PostStory("third");
+  cluster_->sim().RunFor(Seconds(10));
+
+  // The watcher saw at least one container add; with tray_size=1 a
+  // higher-ranked second container evicts the first (a remove push).
+  ASSERT_FALSE(kinds.empty());
+  bool saw_add = false;
+  for (const std::string& k : kinds) {
+    if (k == "StoryTrayAddContainer" || k == "StoryTrayAddStory") {
+      saw_add = true;
+    }
+  }
+  EXPECT_TRUE(saw_add);
+}
+
+// ---- Messenger ----
+
+TEST_F(AppsTest, MessengerRecoversDroppedPublishViaGapPoll) {
+  auto receiver = Device(alice_);
+  auto sender = Device(bob_);
+  receiver->SubscribeMailbox(0);
+  cluster_->sim().RunFor(Seconds(3));
+
+  sender->SendMessage(thread_, "m1");
+  cluster_->sim().RunFor(Seconds(3));
+  ASSERT_EQ(receiver->last_messenger_seq(), 1u);
+
+  // Simulate a dropped publish: write the message through the WAS executor
+  // directly with Pylon publishing disabled for this one message — do it
+  // by sending while ALL pylon servers are down, so the publish is lost
+  // but the TAO write persists.
+  for (size_t i = 0; i < cluster_->pylon()->NumServers(); ++i) {
+    cluster_->pylon()->ServerAt(i)->SetAvailable(false);
+  }
+  sender->SendMessage(thread_, "m2-dropped");
+  cluster_->sim().RunFor(Seconds(3));
+  for (size_t i = 0; i < cluster_->pylon()->NumServers(); ++i) {
+    cluster_->pylon()->ServerAt(i)->SetAvailable(true);
+  }
+  EXPECT_EQ(receiver->last_messenger_seq(), 1u);  // m2 lost in transit
+
+  // The next successful publish carries seq 3; the BRASS detects the gap
+  // (expected 2) and polls the mailbox to recover m2.
+  sender->SendMessage(thread_, "m3");
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(receiver->last_messenger_seq(), 3u);
+  EXPECT_EQ(receiver->messenger_order_violations(), 0u);
+  EXPECT_GE(Counter("messenger.gaps_detected"), 1);
+  EXPECT_GE(Counter("messenger.gap_polls"), 1);
+}
+
+TEST_F(AppsTest, MessengerResumeTokenSkipsOldMessages) {
+  auto sender = Device(bob_);
+  // Three messages exist before the receiver ever connects.
+  for (int i = 0; i < 3; ++i) {
+    sender->SendMessage(thread_, "old" + std::to_string(i));
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Receiver connects claiming it has already seen seq 3 (initial poll).
+  auto receiver = Device(alice_);
+  receiver->SubscribeMailbox(3);
+  cluster_->sim().RunFor(Seconds(3));
+  EXPECT_EQ(receiver->payloads_received(), 0u);
+
+  sender->SendMessage(thread_, "new");
+  cluster_->sim().RunFor(Seconds(5));
+  EXPECT_EQ(receiver->last_messenger_seq(), 4u);
+  EXPECT_EQ(receiver->payloads_received(), 1u);
+}
+
+TEST_F(AppsTest, MessengerColdResumeAfterSubscribingLate) {
+  auto sender = Device(bob_);
+  sender->SendMessage(thread_, "m1");
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Receiver subscribes with resume token 0 => it wants everything.
+  auto receiver = Device(alice_);
+  receiver->SubscribeMailbox(0);
+  cluster_->sim().RunFor(Seconds(8));
+  // The BRASS's catch-up poll recovers the pre-subscription message? No:
+  // with token 0 the context maxSeq (=1 at resolve time) defines the
+  // resume point — the device polled its mailbox before subscribing.
+  EXPECT_EQ(receiver->payloads_received(), 0u);
+  sender->SendMessage(thread_, "m2");
+  cluster_->sim().RunFor(Seconds(5));
+  EXPECT_EQ(receiver->last_messenger_seq(), 2u);
+}
+
+TEST_F(AppsTest, MessengerStaleFetchCannotWedgeTheQueue) {
+  // Regression: when a gap poll recovers seq N while N's payload fetch is
+  // still in flight, the late fetch completion must not re-insert N into
+  // the pending queue — a stale head there blocks all later messages.
+  auto receiver = Device(alice_);
+  auto sender = Device(bob_);
+  receiver->SubscribeMailbox(0);
+  cluster_->sim().RunFor(Seconds(3));
+  sender->SendMessage(thread_, "m1");
+  cluster_->sim().RunFor(Seconds(5));
+
+  // Drop m2's publish, then send m3: the m3 event triggers both a fetch of
+  // m3 AND a gap poll that recovers m2+m3 (the overlap that used to wedge).
+  for (size_t i = 0; i < cluster_->pylon()->NumServers(); ++i) {
+    cluster_->pylon()->ServerAt(i)->SetAvailable(false);
+  }
+  sender->SendMessage(thread_, "m2");
+  cluster_->sim().RunFor(Seconds(3));
+  for (size_t i = 0; i < cluster_->pylon()->NumServers(); ++i) {
+    cluster_->pylon()->ServerAt(i)->SetAvailable(true);
+  }
+  sender->SendMessage(thread_, "m3");
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(receiver->last_messenger_seq(), 3u);
+
+  // The queue still drains afterwards.
+  sender->SendMessage(thread_, "m4");
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_EQ(receiver->last_messenger_seq(), 4u);
+  EXPECT_EQ(receiver->messenger_order_violations(), 0u);
+}
+
+// ---- cross-app accounting invariants ----
+
+TEST_F(AppsTest, DecisionAccountingInvariants) {
+  auto viewer = Device(alice_);
+  auto poster = Device(bob_);
+  viewer->SubscribeLvc(video_);
+  viewer->SubscribeActiveStatus();
+  cluster_->sim().RunFor(Seconds(3));
+  for (int i = 0; i < 10; ++i) {
+    poster->PostComment(video_, "c", "en");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(15));
+  // Every decision is either positive or filtered.
+  EXPECT_EQ(Counter("brass.decisions"),
+            Counter("brass.decisions_positive") + Counter("brass.filtered"));
+  // Deliveries are actual pushes; decisions dominate them.
+  EXPECT_GE(Counter("brass.decisions"), Counter("brass.deliveries"));
+  EXPECT_GT(Counter("brass.deliveries"), 0);
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,155 @@
+// Tests for the polling baselines (§2) and the core poll-vs-push contrasts
+// the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/polling.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+
+namespace bladerunner {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.seed = 909;
+    cluster_ = std::make_unique<BladerunnerCluster>(config, Topology::OneRegion());
+    alice_ = CreateUser(cluster_->tao(), "alice", "en");
+    bob_ = CreateUser(cluster_->tao(), "bob", "en");
+    MakeFriends(cluster_->tao(), alice_, bob_);
+    video_ = CreateVideo(cluster_->tao(), alice_, "v");
+    cluster_->sim().RunFor(Seconds(2));
+    poster_ = std::make_unique<DeviceAgent>(cluster_.get(), bob_, 0, DeviceProfile::kWifi);
+  }
+
+  std::unique_ptr<BladerunnerCluster> cluster_;
+  std::unique_ptr<DeviceAgent> poster_;
+  UserId alice_ = 0;
+  UserId bob_ = 0;
+  ObjectId video_ = 0;
+};
+
+TEST_F(BaselineTest, ClientPollingDiscoversComments) {
+  LvcPollingClient poller(cluster_.get(), alice_, 0, DeviceProfile::kWifi, video_, Seconds(2));
+  poller.Start();
+  cluster_->sim().RunFor(Seconds(5));
+
+  poster_->PostComment(video_, "hello", "en");
+  cluster_->sim().RunFor(Seconds(10));
+  poller.Stop();
+
+  EXPECT_EQ(poller.comments_seen(), 1u);
+  EXPECT_GT(poller.polls(), 3u);
+  // The vast majority of polls were empty (§1: ~80%+ in production).
+  EXPECT_GE(poller.empty_polls(), poller.polls() - 2);
+}
+
+TEST_F(BaselineTest, PollingLatencyBoundedByInterval) {
+  LvcPollingClient poller(cluster_.get(), alice_, 0, DeviceProfile::kWifi, video_, Seconds(4));
+  poller.Start();
+  cluster_->sim().RunFor(Seconds(5));
+  for (int i = 0; i < 10; ++i) {
+    poster_->PostComment(video_, "c", "en");
+    cluster_->sim().RunFor(Seconds(5));
+  }
+  poller.Stop();
+  const Histogram* latency = cluster_->metrics().FindHistogram("poll.lvc_latency_us");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_GE(latency->count(), 8u);
+  // Mean discovery latency ~ half the interval plus query time.
+  EXPECT_GT(latency->Mean(), static_cast<double>(Seconds(1)));
+  EXPECT_LT(latency->Mean(), static_cast<double>(Seconds(6)));
+}
+
+TEST_F(BaselineTest, PollingCausesRangeReadsPerPoll) {
+  int64_t before = cluster_->metrics().GetCounter("tao.range_reads").value();
+  LvcPollingClient poller(cluster_.get(), alice_, 0, DeviceProfile::kWifi, video_, Seconds(1));
+  poller.Start();
+  cluster_->sim().RunFor(Seconds(20));
+  poller.Stop();
+  int64_t range_reads = cluster_->metrics().GetCounter("tao.range_reads").value() - before;
+  EXPECT_GE(range_reads, 15);  // one per poll
+}
+
+TEST_F(BaselineTest, ServerPollAgentPushesWithLowerClientOverhead) {
+  LvcServerPollAgent agent(cluster_.get(), alice_, 0, DeviceProfile::kWifi, video_, Seconds(2));
+  agent.Start();
+  cluster_->sim().RunFor(Seconds(5));
+  poster_->PostComment(video_, "hi", "en");
+  cluster_->sim().RunFor(Seconds(10));
+  agent.Stop();
+  EXPECT_EQ(agent.comments_pushed(), 1u);
+  EXPECT_GT(agent.polls(), 3u);
+  // Server-side polling still hammers the backend with empty polls.
+  EXPECT_GE(agent.empty_polls(), agent.polls() - 2);
+}
+
+TEST_F(BaselineTest, TriggerClientPollsOnlyWhenNotified) {
+  LvcTriggerClient trigger(cluster_.get(), alice_, 0, DeviceProfile::kWifi, video_,
+                           /*notifier_host_id=*/90001);
+  trigger.Start();
+  cluster_->sim().RunFor(Seconds(5));
+  EXPECT_EQ(trigger.polls(), 0u);  // no update, no poll — that's the point
+
+  poster_->PostComment(video_, "hi", "en");
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_GE(trigger.notifications(), 1u);
+  EXPECT_GE(trigger.polls(), 1u);
+  EXPECT_EQ(trigger.comments_seen(), 1u);
+  trigger.Stop();
+}
+
+TEST_F(BaselineTest, PushBeatsPollingOnBackendQueryCost) {
+  // Same workload twice: polling fleet vs Bladerunner streams. Compare
+  // TAO range reads (the §5 "pressure on the graph index").
+  auto run_workload = [this](bool use_polling) -> int64_t {
+    ClusterConfig config;
+    config.seed = 505;
+    BladerunnerCluster cluster(config, Topology::OneRegion());
+    UserId poster_user = CreateUser(cluster.tao(), "p", "en");
+    ObjectId video = CreateVideo(cluster.tao(), poster_user, "v");
+    std::vector<UserId> viewers;
+    for (int i = 0; i < 10; ++i) {
+      viewers.push_back(CreateUser(cluster.tao(), "w" + std::to_string(i), "en"));
+    }
+    cluster.sim().RunFor(Seconds(2));
+
+    std::vector<std::unique_ptr<LvcPollingClient>> pollers;
+    std::vector<std::unique_ptr<DeviceAgent>> devices;
+    for (UserId viewer : viewers) {
+      if (use_polling) {
+        pollers.push_back(std::make_unique<LvcPollingClient>(&cluster, viewer, 0,
+                                                             DeviceProfile::kWifi, video,
+                                                             Seconds(2)));
+        pollers.back()->Start();
+      } else {
+        devices.push_back(
+            std::make_unique<DeviceAgent>(&cluster, viewer, 0, DeviceProfile::kWifi));
+        devices.back()->SubscribeLvc(video);
+      }
+    }
+    DeviceAgent poster(&cluster, poster_user, 0, DeviceProfile::kWifi);
+    cluster.sim().RunFor(Seconds(5));
+    int64_t before = cluster.metrics().GetCounter("tao.range_reads").value();
+    for (int i = 0; i < 5; ++i) {
+      poster.PostComment(video, "c", "en");
+      cluster.sim().RunFor(Seconds(12));
+    }
+    return cluster.metrics().GetCounter("tao.range_reads").value() - before;
+  };
+
+  int64_t polling_range_reads = run_workload(true);
+  int64_t bladerunner_range_reads = run_workload(false);
+  // 10 pollers x every 2s x 60s = ~300 range reads; Bladerunner: ~0.
+  EXPECT_GT(polling_range_reads, 200);
+  EXPECT_LE(bladerunner_range_reads, 5);
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,573 @@
+// Protocol-level tests for BURST: the full device -> POP -> proxy -> host
+// chain built with fake application handlers, exercising multiplexing,
+// rewrites, sticky routing, redirects, acks, batches, and the §4 failure
+// signalling / recovery axioms at the protocol layer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/burst/client.h"
+#include "src/burst/pop.h"
+#include "src/burst/proxy.h"
+#include "src/burst/server.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+namespace {
+
+// Records everything; echoes nothing by default.
+class FakeAppHandler : public BurstServerHandler {
+ public:
+  void OnStreamStarted(ServerStream& stream) override {
+    started.push_back(stream.key());
+    last_stream = &stream;
+  }
+  void OnStreamResumed(ServerStream& stream) override {
+    resumed.push_back(stream.key());
+    last_stream = &stream;
+  }
+  void OnStreamDetached(ServerStream& stream, const std::string& reason) override {
+    detached.push_back(stream.key());
+    (void)reason;
+  }
+  void OnStreamClosed(const StreamKey& key, TerminateReason reason) override {
+    closed.push_back(key);
+    close_reasons.push_back(reason);
+  }
+  void OnAck(ServerStream& stream, uint64_t seq) override {
+    acks.push_back({stream.key(), seq});
+  }
+
+  std::vector<StreamKey> started;
+  std::vector<StreamKey> resumed;
+  std::vector<StreamKey> detached;
+  std::vector<StreamKey> closed;
+  std::vector<TerminateReason> close_reasons;
+  std::vector<std::pair<StreamKey, uint64_t>> acks;
+  ServerStream* last_stream = nullptr;
+};
+
+class FakeObserver : public BurstClient::Observer {
+ public:
+  void OnStreamData(uint64_t sid, const Value& payload, uint64_t seq) override {
+    data.push_back({sid, payload, seq});
+  }
+  void OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std::string&) override {
+    flow.push_back({sid, status});
+  }
+  void OnStreamTerminated(uint64_t sid, TerminateReason reason, const std::string&) override {
+    terminated.push_back({sid, reason});
+  }
+  void OnConnectionStateChanged(bool connected) override {
+    connection_changes.push_back(connected);
+  }
+
+  struct DataEvent {
+    uint64_t sid;
+    Value payload;
+    uint64_t seq;
+  };
+  std::vector<DataEvent> data;
+  std::vector<std::pair<uint64_t, FlowStatus>> flow;
+  std::vector<std::pair<uint64_t, TerminateReason>> terminated;
+  std::vector<bool> connection_changes;
+};
+
+// Directory over a fixed set of hosts; load-based pick.
+class FakeDirectory : public BurstServerDirectory {
+ public:
+  explicit FakeDirectory(Simulator* sim) : sim_(sim) {}
+
+  void AddHost(int64_t id, BurstServer* server) { hosts_[id] = server; }
+
+  int64_t PickHost(const Value& header) override {
+    (void)header;
+    size_t min_load = SIZE_MAX;
+    for (auto& [id, server] : hosts_) {
+      if (server->alive()) {
+        min_load = std::min(min_load, server->StreamCount());
+      }
+    }
+    std::vector<int64_t> tied;
+    for (auto& [id, server] : hosts_) {
+      if (server->alive() && server->StreamCount() == min_load) {
+        tied.push_back(id);
+      }
+    }
+    if (tied.empty()) {
+      return 0;
+    }
+    return tied[round_robin_++ % tied.size()];
+  }
+  bool IsHostAlive(int64_t host_id) const override {
+    auto it = hosts_.find(host_id);
+    return it != hosts_.end() && it->second->alive();
+  }
+  std::shared_ptr<ConnectionEnd> ConnectToHost(ReverseProxy*, int64_t host_id) override {
+    auto it = hosts_.find(host_id);
+    if (it == hosts_.end() || !it->second->alive()) {
+      return nullptr;
+    }
+    auto [proxy_end, host_end] = CreateConnection(sim_, LatencyModel::Fixed(0.5), Millis(50));
+    it->second->AttachProxyConnection(std::move(host_end));
+    return proxy_end;
+  }
+
+ private:
+  Simulator* sim_;
+  std::map<int64_t, BurstServer*> hosts_;
+  size_t round_robin_ = 0;
+};
+
+class BurstTest : public ::testing::Test {
+ protected:
+  BurstTest() : sim_(21) {
+    config_.reconnect_backoff_min = Millis(50);
+    config_.reconnect_backoff_max = Millis(200);
+    config_.failure_detection_delay = Millis(50);
+    config_.server_stream_keep_timeout = Seconds(10);
+
+    directory_ = std::make_unique<FakeDirectory>(&sim_);
+    server1_ = std::make_unique<BurstServer>(&sim_, 1, &app1_, config_, &metrics_);
+    server2_ = std::make_unique<BurstServer>(&sim_, 2, &app2_, config_, &metrics_);
+    directory_->AddHost(1, server1_.get());
+    directory_->AddHost(2, server2_.get());
+
+    proxy_ = std::make_unique<ReverseProxy>(&sim_, 1, 0, directory_.get(), config_, &metrics_);
+    proxy2_ = std::make_unique<ReverseProxy>(&sim_, 2, 0, directory_.get(), config_, &metrics_);
+
+    pop_connector_ = [this](Pop*, RegionId, uint64_t exclude) -> Pop::Uplink {
+      ReverseProxy* target = nullptr;
+      if (proxy_->alive() && proxy_->proxy_id() != exclude) {
+        target = proxy_.get();
+      } else if (proxy2_->alive() && proxy2_->proxy_id() != exclude) {
+        target = proxy2_.get();
+      }
+      if (target == nullptr) {
+        return {};
+      }
+      auto [pop_end, proxy_end] = CreateConnection(&sim_, LatencyModel::Fixed(2.0), Millis(50));
+      target->AttachPopConnection(std::move(proxy_end));
+      Pop::Uplink uplink;
+      uplink.end = std::move(pop_end);
+      uplink.proxy_id = target->proxy_id();
+      return uplink;
+    };
+    pop_ = std::make_unique<Pop>(&sim_, 1, 0, pop_connector_, config_, &metrics_);
+
+    client_connector_ = [this](int64_t) -> std::shared_ptr<ConnectionEnd> {
+      if (!pop_->alive()) {
+        return nullptr;
+      }
+      auto [device_end, pop_end] = CreateConnection(&sim_, LatencyModel::Fixed(5.0), Millis(50));
+      pop_->AttachDeviceConnection(std::move(pop_end));
+      return device_end;
+    };
+    client_ = std::make_unique<BurstClient>(&sim_, 100, client_connector_, &observer_, config_,
+                                            &metrics_);
+  }
+
+  Value MakeHeader(const std::string& app) {
+    Value header;
+    header.Set(kHeaderApp, app);
+    header.Set(kHeaderViewer, 100);
+    return header;
+  }
+
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  BurstConfig config_;
+  FakeAppHandler app1_;
+  FakeAppHandler app2_;
+  std::unique_ptr<FakeDirectory> directory_;
+  std::unique_ptr<BurstServer> server1_;
+  std::unique_ptr<BurstServer> server2_;
+  std::unique_ptr<ReverseProxy> proxy_;
+  std::unique_ptr<ReverseProxy> proxy2_;
+  Pop::ProxyConnector pop_connector_;
+  std::unique_ptr<Pop> pop_;
+  BurstClient::Connector client_connector_;
+  FakeObserver observer_;
+  std::unique_ptr<BurstClient> client_;
+};
+
+TEST_F(BurstTest, SubscribeReachesAHost) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(app1_.started.size() + app2_.started.size(), 1u);
+  const StreamKey& key = app1_.started.empty() ? app2_.started[0] : app1_.started[0];
+  EXPECT_EQ(key.device_id, 100);
+  EXPECT_EQ(key.sid, sid);
+}
+
+TEST_F(BurstTest, DataFlowsDownstream) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  Value payload;
+  payload.Set("msg", "hello");
+  app.last_stream->PushData(payload, 5);
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(observer_.data.size(), 1u);
+  EXPECT_EQ(observer_.data[0].sid, sid);
+  EXPECT_EQ(observer_.data[0].seq, 5u);
+  EXPECT_EQ(observer_.data[0].payload.Get("msg").AsString(), "hello");
+}
+
+TEST_F(BurstTest, BatchesApplyAtomically) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  Value rewritten = app.last_stream->header();
+  rewritten.Set("extra", "state");
+  app.last_stream->Push({Delta::Rewrite(rewritten), Delta::Data(Value("d1"), 1),
+                         Delta::Data(Value("d2"), 2)});
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(observer_.data.size(), 2u);
+  // The rewrite applied before data callbacks fired: the client header
+  // already carries the new state.
+  const Value* header = client_->StreamHeader(observer_.data[0].sid);
+  ASSERT_NE(header, nullptr);
+  EXPECT_EQ(header->Get("extra").AsString(), "state");
+}
+
+TEST_F(BurstTest, MultipleStreamsMultiplexIndependently) {
+  uint64_t sid1 = client_->Subscribe(MakeHeader("app-a"));
+  uint64_t sid2 = client_->Subscribe(MakeHeader("app-b"));
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(client_->ActiveStreamCount(), 2u);
+  EXPECT_NE(sid1, sid2);
+  // Cancelling one leaves the other.
+  client_->Cancel(sid1);
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(client_->ActiveStreamCount(), 1u);
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 1u);
+}
+
+TEST_F(BurstTest, CancelNotifiesHost) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  client_->Cancel(sid);
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  ASSERT_EQ(app.closed.size(), 1u);
+  EXPECT_EQ(app.close_reasons[0], TerminateReason::kCancelled);
+}
+
+TEST_F(BurstTest, AcksReachTheHost) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  client_->Ack(sid, 42);
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  ASSERT_EQ(app.acks.size(), 1u);
+  EXPECT_EQ(app.acks[0].second, 42u);
+  EXPECT_EQ(app.last_stream->last_ack(), 42u);
+}
+
+TEST_F(BurstTest, ServerTerminationReachesClient) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  app.last_stream->Terminate(TerminateReason::kComplete, "done");
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(observer_.terminated.size(), 1u);
+  EXPECT_EQ(observer_.terminated[0].second, TerminateReason::kComplete);
+  EXPECT_EQ(client_->ActiveStreamCount(), 0u);
+  // Proxy and POP state must be GCed too.
+  EXPECT_EQ(proxy_->StreamCount() + proxy2_->StreamCount(), 0u);
+  EXPECT_EQ(pop_->StreamCount(), 0u);
+}
+
+TEST_F(BurstTest, RewritePropagatesToAllStoredCopies) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  Value header = app.last_stream->header();
+  header.Set(kHeaderResumeToken, 77);
+  app.last_stream->Rewrite(header);
+  sim_.RunFor(Seconds(1));
+  const Value* client_header = client_->StreamHeader(sid);
+  ASSERT_NE(client_header, nullptr);
+  EXPECT_EQ(client_header->Get(kHeaderResumeToken).AsInt(), 77);
+}
+
+TEST_F(BurstTest, ReconnectAfterDropResubscribesWithRewrittenHeader) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
+  Value header = app.last_stream->header();
+  header.Set(kHeaderBrassHost, serving->host_id());
+  header.Set(kHeaderResumeToken, 9);
+  app.last_stream->Rewrite(header);
+  sim_.RunFor(Seconds(1));
+
+  client_->SimulateConnectionDrop();
+  sim_.RunFor(Seconds(2));
+  ASSERT_TRUE(client_->connected());
+
+  // The host retained state -> resume (not a fresh start), and the client
+  // observed a recovery flow status.
+  EXPECT_EQ(app.resumed.size(), 1u);
+  bool saw_recovered = false;
+  for (auto& [s, status] : observer_.flow) {
+    if (s == sid && status == FlowStatus::kRecovered) {
+      saw_recovered = true;
+    }
+  }
+  EXPECT_TRUE(saw_recovered);
+  // The resubscribe carried the rewritten header.
+  EXPECT_EQ(app.last_stream->header().Get(kHeaderResumeToken).AsInt(), 9);
+}
+
+TEST_F(BurstTest, HostCrashRepairsOntoOtherHost) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
+  BurstServer* other = serving == server1_.get() ? server2_.get() : server1_.get();
+  FakeAppHandler& other_app = serving == server1_.get() ? app2_ : app1_;
+
+  serving->FailHost();
+  sim_.RunFor(Seconds(2));
+
+  // Proxy repaired the stream onto the other host; the client saw degraded
+  // then recovered.
+  EXPECT_EQ(other->StreamCount(), 1u);
+  EXPECT_EQ(other_app.started.size(), 1u);
+  bool saw_degraded = false;
+  bool saw_recovered = false;
+  for (auto& [s, status] : observer_.flow) {
+    saw_degraded |= status == FlowStatus::kDegraded;
+    saw_recovered |= status == FlowStatus::kRecovered;
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_TRUE(saw_recovered);
+  EXPECT_GE(metrics_.GetCounter("burst.proxy_induced_reconnects").value(), 1);
+}
+
+TEST_F(BurstTest, GracefulDrainAlsoRepairs) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
+  BurstServer* other = serving == server1_.get() ? server2_.get() : server1_.get();
+  serving->Drain();
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(other->StreamCount(), 1u);
+}
+
+TEST_F(BurstTest, ProxyFailureRepairedByPop) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(proxy_->StreamCount(), 1u);  // pop prefers proxy_
+  // Sticky rewrite (the real BRASS host does this on stream start, §3.5):
+  // ensures the repair resubscribe resumes on the same host instead of
+  // starting a duplicate stream elsewhere.
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
+  Value header = app.last_stream->header();
+  header.Set(kHeaderBrassHost, serving->host_id());
+  app.last_stream->Rewrite(header);
+  sim_.RunFor(Seconds(1));
+  proxy_->FailProxy();
+  sim_.RunFor(Seconds(2));
+  // POP reconnected through proxy2 and resubscribed; the stream is alive.
+  EXPECT_EQ(proxy2_->StreamCount(), 1u);
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 1u);
+  EXPECT_GE(metrics_.GetCounter("burst.pop_initiated_reconnects").value(), 1);
+}
+
+TEST_F(BurstTest, DeviceLossDetachesServerStreamThenGcExpires) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  client_->SetAutoReconnect(false);
+  client_->SimulateConnectionDrop();
+  sim_.RunFor(Seconds(1));
+  // §4 axiom 1 upstream: the host learned of the detach.
+  EXPECT_EQ(app.detached.size(), 1u);
+  // Pushes during the detach window are dropped, not crashing.
+  app.last_stream->PushData(Value("lost"), 1);
+  EXPECT_GE(metrics_.GetCounter("burst.server_pushes_dropped").value(), 1);
+  // After the keep timeout, the stream state is GCed.
+  sim_.RunFor(config_.server_stream_keep_timeout + Seconds(1));
+  EXPECT_EQ(app.closed.size(), 1u);
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 0u);
+}
+
+TEST_F(BurstTest, RedirectMovesStreamToRewrittenTarget) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
+  BurstServer* other = serving == server1_.get() ? server2_.get() : server1_.get();
+  FakeAppHandler& other_app = serving == server1_.get() ? app2_ : app1_;
+
+  // §3.5 Redirects: rewrite new routing info into the stored request, then
+  // terminate with kRedirect; the device retries with the new header.
+  Value header = app.last_stream->header();
+  header.Set(kHeaderBrassHost, other->host_id());
+  app.last_stream->Rewrite(header);
+  app.last_stream->Terminate(TerminateReason::kRedirect, "rebalance");
+  EXPECT_EQ(serving->StreamCount(), 0u);  // redirect released the old stream
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(other_app.started.size(), 1u);
+  EXPECT_EQ(other->StreamCount(), 1u);
+  EXPECT_EQ(client_->ActiveStreamCount(), 1u);  // stream survived the move
+}
+
+TEST_F(BurstTest, PopFailureForcesClientReconnect) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  pop_->FailPop();
+  sim_.RunFor(Millis(200));
+  EXPECT_FALSE(client_->connected());
+  // No alternate POP in this fixture: the connector returns nullptr and
+  // the client keeps backing off without crashing.
+  sim_.RunFor(Seconds(2));
+  EXPECT_FALSE(client_->connected());
+}
+
+TEST_F(BurstTest, SubscribeWhileDisconnectedConnectsLazily) {
+  // Fresh client that never called Connect().
+  FakeObserver observer2;
+  BurstClient client2(&sim_, 200, client_connector_, &observer2, config_, &metrics_);
+  EXPECT_FALSE(client2.connected());
+  client2.Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  EXPECT_TRUE(client2.connected());
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 1u);
+}
+
+TEST_F(BurstTest, LoadBalancedAcrossHosts) {
+  for (int i = 0; i < 10; ++i) {
+    client_->Subscribe(MakeHeader("test"));
+  }
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 10u);
+  EXPECT_GE(server1_->StreamCount(), 4u);
+  EXPECT_GE(server2_->StreamCount(), 4u);
+}
+
+TEST_F(BurstTest, SubscribeBodyReachesTheServerOpaquely) {
+  Value header = MakeHeader("test");
+  client_->Subscribe(header, "opaque-binary-blob\x01\x02");
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  ASSERT_NE(app.last_stream, nullptr);
+  EXPECT_EQ(app.last_stream->body(), "opaque-binary-blob\x01\x02");
+}
+
+TEST_F(BurstTest, AckAfterResumeStillReachesTheServer) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  client_->SimulateConnectionDrop();
+  sim_.RunFor(Seconds(2));
+  ASSERT_TRUE(client_->connected());
+  // Without a sticky rewrite (this fixture's handlers do none), the resume
+  // may have landed on either host; the ack must reach whichever one now
+  // serves the stream.
+  client_->Ack(sid, 99);
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(app1_.acks.size() + app2_.acks.size(), 1u);
+  uint64_t seq = app1_.acks.empty() ? app2_.acks.back().second : app1_.acks.back().second;
+  EXPECT_EQ(seq, 99u);
+}
+
+TEST_F(BurstTest, CancelWhileDetachedClosesServerStateViaGc) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  // Device drops and never comes back, then cancels locally while offline:
+  // the cancel frame has no connection to travel on; the server state must
+  // still be released by the detach GC (§3.5 garbage collection).
+  client_->SetAutoReconnect(false);
+  client_->SimulateConnectionDrop();
+  client_->Cancel(sid);
+  EXPECT_EQ(client_->ActiveStreamCount(), 0u);
+  sim_.RunFor(config_.server_stream_keep_timeout + Seconds(2));
+  EXPECT_EQ(app.closed.size(), 1u);
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), 0u);
+}
+
+TEST_F(BurstTest, TerminationIsAtomicWithFinalData) {
+  client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
+  // A final batch: last data delta and the termination travel together and
+  // apply atomically — the client must observe the data before the end.
+  app.last_stream->Push({Delta::Data(Value("final"), 7),
+                         Delta::Terminate(TerminateReason::kComplete, "eos")});
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(observer_.data.size(), 1u);
+  EXPECT_EQ(observer_.data[0].payload.AsString(), "final");
+  ASSERT_EQ(observer_.terminated.size(), 1u);
+  EXPECT_EQ(observer_.terminated[0].second, TerminateReason::kComplete);
+}
+
+TEST_F(BurstTest, RadioPromotionDelaysIdleUplinkSends) {
+  // The device has been idle well past the radio threshold; the subscribe
+  // pays the promotion delay before leaving the device.
+  BurstConfig config = config_;
+  config.radio_promotion_ms = 400.0;
+  config.radio_promotion_sigma = 0.0;
+  config.radio_idle_threshold = Seconds(5);
+  FakeObserver observer2;
+  BurstClient client2(&sim_, 300, client_connector_, &observer2, config, &metrics_);
+  client2.Connect();
+  sim_.RunFor(Seconds(10));  // idle: radio sleeps
+
+  int64_t promotions_before = metrics_.GetCounter("burst.radio_promotions").value();
+  client2.Subscribe(MakeHeader("test"));
+  sim_.RunFor(Millis(300));
+  // Not yet at the server: the radio is still waking up.
+  size_t streams_at_300ms = server1_->StreamCount() + server2_->StreamCount();
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(server1_->StreamCount() + server2_->StreamCount(), streams_at_300ms + 1);
+  EXPECT_GT(metrics_.GetCounter("burst.radio_promotions").value(), promotions_before);
+
+  // A second subscribe right after rides the hot radio: no promotion.
+  int64_t promotions_mid = metrics_.GetCounter("burst.radio_promotions").value();
+  client2.Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(metrics_.GetCounter("burst.radio_promotions").value(), promotions_mid);
+}
+
+TEST(FramesTest, DeltaFactories) {
+  Delta d = Delta::Data(Value(1), 3);
+  EXPECT_EQ(d.kind, DeltaKind::kData);
+  EXPECT_EQ(d.seq, 3u);
+  Delta f = Delta::Flow(FlowStatus::kRecovered, "x");
+  EXPECT_EQ(f.kind, DeltaKind::kFlowStatus);
+  EXPECT_EQ(f.status, FlowStatus::kRecovered);
+  Delta r = Delta::Rewrite(Value(ValueMap{}));
+  EXPECT_EQ(r.kind, DeltaKind::kRewrite);
+  Delta t = Delta::Terminate(TerminateReason::kRedirect, "go");
+  EXPECT_EQ(t.kind, DeltaKind::kTermination);
+  EXPECT_EQ(t.reason, TerminateReason::kRedirect);
+}
+
+TEST(FramesTest, StreamKeyComparisonAndHash) {
+  StreamKey a{1, 2};
+  StreamKey b{1, 2};
+  StreamKey c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+  StreamKeyHash hasher;
+  EXPECT_EQ(hasher(a), hasher(b));
+  EXPECT_NE(hasher(a), hasher(c));
+}
+
+TEST(FramesTest, ToStringCoverage) {
+  EXPECT_STREQ(ToString(DeltaKind::kRewrite), "rewrite_request");
+  EXPECT_STREQ(ToString(FlowStatus::kDegraded), "degraded");
+  EXPECT_STREQ(ToString(TerminateReason::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace bladerunner

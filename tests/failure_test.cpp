@@ -1,0 +1,257 @@
+// Failure-injection stress tests: the §4 machinery under sustained and
+// combined failures — rolling host drains with traffic in flight, KV-node
+// flapping, WAS outages, connectivity storms, and cascades.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.seed = 5150;
+    config.brass_hosts_per_region = 3;
+    cluster_ = std::make_unique<BladerunnerCluster>(config);
+    SocialGraphConfig graph_config;
+    graph_config.num_users = 50;
+    graph_config.num_videos = 2;
+    graph_config.num_threads = 10;
+    graph_ = GenerateSocialGraph(cluster_->tao(), cluster_->sim().rng(), graph_config);
+    cluster_->sim().RunFor(Seconds(2));
+  }
+
+  size_t TotalHostStreams() {
+    size_t n = 0;
+    for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+      n += cluster_->brass_host(i).StreamCount();
+    }
+    return n;
+  }
+
+  std::unique_ptr<BladerunnerCluster> cluster_;
+  SocialGraph graph_;
+};
+
+// Regression for the drain-during-fanout use-after-free: hosts drain and
+// revive continuously while publishes are in flight.
+TEST_F(FailureTest, RollingDrainsWithTrafficInFlight) {
+  std::vector<std::unique_ptr<DeviceAgent>> viewers;
+  for (int i = 0; i < 12; ++i) {
+    viewers.push_back(std::make_unique<DeviceAgent>(
+        cluster_.get(), graph_.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+    viewers.back()->SubscribeLvc(graph_.videos[0]);
+  }
+  DeviceAgent poster(cluster_.get(), graph_.users[20], 0, DeviceProfile::kWifi);
+  cluster_->sim().RunFor(Seconds(4));
+
+  size_t victim = 0;
+  for (int round = 0; round < 30; ++round) {
+    poster.PostComment(graph_.videos[0], "c", "en");
+    // Drain a host right as publishes are mid-pipeline, revive another.
+    if (round % 2 == 0) {
+      cluster_->brass_host(victim % cluster_->NumBrassHosts()).Drain();
+      cluster_->sim().Schedule(Seconds(3), [this, victim]() {
+        cluster_->brass_host(victim % cluster_->NumBrassHosts()).Revive();
+      });
+      ++victim;
+    }
+    cluster_->sim().RunFor(Millis(700));
+  }
+  cluster_->sim().RunFor(Seconds(30));
+
+  // The system survived and streams were repaired onto live hosts.
+  EXPECT_GE(cluster_->metrics().GetCounter("burst.proxy_induced_reconnects").value(), 10);
+  EXPECT_GE(TotalHostStreams(), viewers.size() - 2);
+  for (auto& viewer : viewers) {
+    EXPECT_TRUE(viewer->burst().connected());
+  }
+}
+
+TEST_F(FailureTest, KvNodeFlappingDoesNotCorruptSubscriptions) {
+  DeviceAgent viewer(cluster_.get(), graph_.users[0], 0, DeviceProfile::kWifi);
+  DeviceAgent poster(cluster_.get(), graph_.users[1], 0, DeviceProfile::kWifi);
+  viewer.SubscribeLvc(graph_.videos[0]);
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Flap one KV node repeatedly while publishes flow.
+  for (int round = 0; round < 10; ++round) {
+    cluster_->pylon()->KvNodeAt(static_cast<size_t>(round) % cluster_->pylon()->NumKvNodes())
+        ->SetAvailable(round % 2 == 0);
+    poster.PostComment(graph_.videos[0], "c", "en");
+    cluster_->sim().RunFor(Seconds(3));
+  }
+  for (size_t i = 0; i < cluster_->pylon()->NumKvNodes(); ++i) {
+    cluster_->pylon()->KvNodeAt(i)->SetAvailable(true);
+  }
+  cluster_->sim().RunFor(Seconds(10));
+
+  // Publishing still reaches the viewer afterwards.
+  uint64_t before = viewer.payloads_received();
+  for (int i = 0; i < 6; ++i) {
+    poster.PostComment(graph_.videos[0], "after", "en");
+    cluster_->sim().RunFor(Seconds(2));
+  }
+  cluster_->sim().RunFor(Seconds(15));
+  EXPECT_GT(viewer.payloads_received(), before);
+}
+
+TEST_F(FailureTest, WasOutageDuringFetchIsSurvivable) {
+  DeviceAgent viewer(cluster_.get(), graph_.users[0], 0, DeviceProfile::kWifi);
+  DeviceAgent poster(cluster_.get(), graph_.users[1], 0, DeviceProfile::kWifi);
+  MakeFriends(cluster_->tao(), viewer.user(), poster.user());
+  cluster_->sim().RunFor(Seconds(1));
+  viewer.SubscribeLvc(graph_.videos[0]);
+  cluster_->sim().RunFor(Seconds(3));
+
+  // Take every WAS down right after a burst of comments: payload fetches
+  // time out, deliveries are lost, nothing crashes, and the stream lives.
+  const std::string& lang = graph_.language[viewer.user()];
+  for (int i = 0; i < 5; ++i) {
+    poster.PostComment(graph_.videos[0], "pre-outage", lang);
+  }
+  cluster_->sim().RunFor(Seconds(3));
+  for (RegionId r = 0; r < cluster_->topology().num_regions(); ++r) {
+    cluster_->was(r).rpc()->SetAvailable(false);
+  }
+  cluster_->sim().RunFor(Seconds(15));
+  for (RegionId r = 0; r < cluster_->topology().num_regions(); ++r) {
+    cluster_->was(r).rpc()->SetAvailable(true);
+  }
+  cluster_->sim().RunFor(Seconds(5));
+
+  uint64_t before = viewer.payloads_received();
+  for (int i = 0; i < 8; ++i) {
+    poster.PostComment(graph_.videos[0], "post-outage", lang);
+    cluster_->sim().RunFor(Seconds(2));
+  }
+  cluster_->sim().RunFor(Seconds(15));
+  EXPECT_GT(viewer.payloads_received(), before);
+}
+
+TEST_F(FailureTest, ConnectivityStormAllDevicesRecover) {
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  for (int i = 0; i < 15; ++i) {
+    devices.push_back(std::make_unique<DeviceAgent>(
+        cluster_.get(), graph_.users[static_cast<size_t>(i)], 0, DeviceProfile::kMobile4g));
+    devices.back()->SubscribeLvc(graph_.videos[0]);
+  }
+  cluster_->sim().RunFor(Seconds(4));
+
+  // Everyone drops at once (cell tower hiccup), twice in a row.
+  for (int storm = 0; storm < 2; ++storm) {
+    for (auto& device : devices) {
+      device->burst().SimulateConnectionDrop();
+    }
+    cluster_->sim().RunFor(Seconds(6));
+  }
+  for (auto& device : devices) {
+    EXPECT_TRUE(device->burst().connected());
+    EXPECT_EQ(device->burst().ActiveStreamCount(), 1u);
+  }
+  // Sticky routing meant the server-side stream state was reused.
+  EXPECT_GE(cluster_->metrics().GetCounter("burst.server_stream_resumes").value(), 15);
+}
+
+TEST_F(FailureTest, CascadePopThenProxyThenHost) {
+  ObjectId thread = graph_.threads[0];
+  const auto& members = graph_.thread_members[thread];
+  DeviceAgent receiver(cluster_.get(), members[0], 0, DeviceProfile::kWifi);
+  DeviceAgent sender(cluster_.get(), members[1], 0, DeviceProfile::kWifi);
+  receiver.SubscribeMailbox(0);
+  cluster_->sim().RunFor(Seconds(3));
+  sender.SendMessage(thread, "m1");
+  cluster_->sim().RunFor(Seconds(4));
+  ASSERT_EQ(receiver.last_messenger_seq(), 1u);
+
+  // One infrastructure layer fails every few seconds.
+  for (size_t i = 0; i < cluster_->NumPops(); ++i) {
+    if (cluster_->pop(i).DeviceConnectionCount() > 0) {
+      cluster_->pop(i).FailPop();
+      break;
+    }
+  }
+  cluster_->sim().RunFor(Seconds(6));
+  for (size_t i = 0; i < cluster_->NumProxies(); ++i) {
+    if (cluster_->proxy(i).StreamCount() > 0) {
+      cluster_->proxy(i).FailProxy();
+      break;
+    }
+  }
+  cluster_->sim().RunFor(Seconds(6));
+  for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+    if (cluster_->brass_host(i).StreamCount() > 0) {
+      cluster_->brass_host(i).FailHost();
+      break;
+    }
+  }
+  cluster_->sim().RunFor(Seconds(8));
+
+  sender.SendMessage(thread, "m2");
+  sender.SendMessage(thread, "m3");
+  cluster_->sim().RunFor(Seconds(15));
+  EXPECT_EQ(receiver.last_messenger_seq(), 3u);
+  EXPECT_EQ(receiver.messenger_order_violations(), 0u);
+}
+
+TEST_F(FailureTest, DetachedStreamGcInformsApplication) {
+  DeviceAgent viewer(cluster_.get(), graph_.users[0], 0, DeviceProfile::kWifi);
+  viewer.SubscribeLvc(graph_.videos[0]);
+  cluster_->sim().RunFor(Seconds(3));
+  ASSERT_EQ(TotalHostStreams(), 1u);
+
+  // Device vanishes for good (no reconnect): the server keeps the stream
+  // for the grace period, then GCs it and unsubscribes the topic.
+  viewer.burst().SetAutoReconnect(false);
+  viewer.burst().SimulateConnectionDrop();
+  cluster_->sim().RunFor(cluster_->config().burst.server_stream_keep_timeout + Seconds(5));
+  EXPECT_EQ(TotalHostStreams(), 0u);
+  size_t subscriptions = 0;
+  for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+    subscriptions += cluster_->brass_host(i).PylonSubscriptionCount();
+  }
+  EXPECT_EQ(subscriptions, 0u);
+}
+
+TEST_F(FailureTest, RepeatedRedirectsKeepExactlyOneServerStream) {
+  DeviceAgent viewer(cluster_.get(), graph_.users[0], 0, DeviceProfile::kWifi);
+  viewer.SubscribeLvc(graph_.videos[0]);
+  cluster_->sim().RunFor(Seconds(3));
+
+  for (int round = 0; round < 4; ++round) {
+    // Find the serving host and redirect its stream to the next host.
+    for (size_t i = 0; i < cluster_->NumBrassHosts(); ++i) {
+      BrassHost& host = cluster_->brass_host(i);
+      if (host.StreamCount() == 0) {
+        continue;
+      }
+      int64_t target = cluster_->brass_host((i + 1) % cluster_->NumBrassHosts()).host_id();
+      // Issue the §3.5 redirect: rewrite routing info, then terminate.
+      std::vector<StreamRecord> open = host.OpenStreamRecords();
+      ASSERT_FALSE(open.empty());
+      ServerStream* stream = host.burst()->FindStream(open[0].key);
+      ASSERT_NE(stream, nullptr);
+      Value header = stream->header();
+      header.Set(kHeaderBrassHost, target);
+      stream->Rewrite(header);
+      stream->Terminate(TerminateReason::kRedirect, "load rebalancing");
+      break;
+    }
+    cluster_->sim().RunFor(Seconds(4));
+    EXPECT_EQ(TotalHostStreams(), 1u) << "round " << round;
+    EXPECT_EQ(viewer.burst().ActiveStreamCount(), 1u);
+  }
+  EXPECT_GE(cluster_->metrics().GetCounter("burst.client_redirects").value(), 4);
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,354 @@
+// Property-style parameterized sweeps (TEST_P): invariants that must hold
+// across seeds, latency models, distribution parameters, and pool sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/net/connection.h"
+#include "src/pylon/rendezvous.h"
+#include "src/sim/histogram.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/was/resolvers.h"
+#include "src/workload/lifetimes.h"
+#include "src/workload/popularity.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+// ---- histogram quantiles track exact quantiles across distributions ----
+
+enum class Dist { kUniform, kExponential, kLogNormal, kBimodal };
+
+class HistogramAccuracy : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(HistogramAccuracy, QuantilesWithinRelativeError) {
+  Rng rng(123);
+  Histogram h;
+  std::vector<double> samples;
+  const int n = 30000;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (GetParam()) {
+      case Dist::kUniform:
+        v = rng.Uniform(10.0, 100000.0);
+        break;
+      case Dist::kExponential:
+        v = rng.Exponential(5000.0) + 2.0;
+        break;
+      case Dist::kLogNormal:
+        v = rng.LogNormal(800.0, 1.0);
+        break;
+      case Dist::kBimodal:
+        v = rng.Bernoulli(0.5) ? rng.LogNormal(50.0, 0.2) : rng.LogNormal(50000.0, 0.2);
+        break;
+    }
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.10, 0.50, 0.90, 0.99}) {
+    double exact = samples[static_cast<size_t>(q * (n - 1))];
+    double estimated = h.Quantile(q);
+    EXPECT_NEAR(estimated, exact, exact * 0.06)
+        << "q=" << q << " dist=" << static_cast<int>(GetParam());
+  }
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramAccuracy,
+                         ::testing::Values(Dist::kUniform, Dist::kExponential, Dist::kLogNormal,
+                                           Dist::kBimodal));
+
+// ---- connections deliver in order under any latency model ----
+
+class ConnectionOrdering : public ::testing::TestWithParam<LatencyModel> {};
+
+namespace {
+struct SeqMessage : Message {
+  explicit SeqMessage(int i) : index(i) {}
+  int index;
+};
+
+class SeqRecorder : public ConnectionHandler {
+ public:
+  void OnMessage(ConnectionEnd&, MessagePtr message) override {
+    received.push_back(std::static_pointer_cast<SeqMessage>(message)->index);
+  }
+  void OnDisconnect(ConnectionEnd&, DisconnectReason) override {}
+  std::vector<int> received;
+};
+}  // namespace
+
+TEST_P(ConnectionOrdering, MessagesNeverReorder) {
+  Simulator sim(99);
+  auto [a, b] = CreateConnection(&sim, GetParam());
+  SeqRecorder recorder;
+  b->set_handler(&recorder);
+  const int kMessages = 300;
+  for (int i = 0; i < kMessages; ++i) {
+    // Interleave sends with time advancing, so latencies overlap heavily.
+    a->Send(std::make_shared<SeqMessage>(i));
+    sim.RunFor(Micros(sim.rng().UniformInt(0, 2000)));
+  }
+  sim.Run();
+  ASSERT_EQ(recorder.received.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(recorder.received[static_cast<size_t>(i)], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LatencyModels, ConnectionOrdering,
+                         ::testing::Values(LatencyModel::Fixed(1.0), LatencyModel::IntraRegion(),
+                                           LatencyModel::CrossRegion(150.0),
+                                           LatencyModel::LastMile2g(),
+                                           LatencyModel{10.0, 1.2, 0.5}));
+
+// ---- lifetime model: bucket shares follow any configured mixture ----
+
+class LifetimeMixture : public ::testing::TestWithParam<LifetimeConfig> {};
+
+TEST_P(LifetimeMixture, BiasedSharesMatchConfig) {
+  Rng rng(7);
+  StreamLifetimeModel model(GetParam());
+  const int n = 60000;
+  std::vector<int> buckets(4, 0);
+  for (int i = 0; i < n; ++i) {
+    buckets[StreamLifetimeModel::BucketOf(model.Sample(rng))] += 1;
+  }
+  const LifetimeConfig& config = GetParam();
+  EXPECT_NEAR(static_cast<double>(buckets[0]) / n, config.p_under_15m, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[1]) / n, config.p_15m_to_1h, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[2]) / n, config.p_1h_to_24h, 0.01);
+}
+
+TEST_P(LifetimeMixture, SnapshotOfUnbiasedStreamsReproducesBiasedShares) {
+  // The core Table 2 property: generate sessions from the unbiased
+  // distribution, observe the length-biased shares at snapshots.
+  Rng rng(8);
+  StreamLifetimeModel model(GetParam());
+  struct Session {
+    SimTime start, end;
+  };
+  std::vector<Session> sessions;
+  SimTime t = 0;
+  while (t < Days(5)) {
+    t += SecondsF(rng.Exponential(0.2));
+    SimTime l = model.SampleUnbiased(rng);
+    sessions.push_back({t, t + l});
+  }
+  std::vector<int64_t> buckets(4, 0);
+  int64_t total = 0;
+  for (SimTime sample = Days(1); sample < Days(4); sample += Hours(3)) {
+    for (const Session& s : sessions) {
+      if (s.start <= sample && sample < s.end) {
+        buckets[StreamLifetimeModel::BucketOf(s.end - s.start)] += 1;
+        ++total;
+      }
+    }
+  }
+  const LifetimeConfig& config = GetParam();
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(static_cast<double>(buckets[0]) / total, config.p_under_15m, 0.05);
+  EXPECT_NEAR(static_cast<double>(buckets[1]) / total, config.p_15m_to_1h, 0.05);
+  EXPECT_NEAR(static_cast<double>(buckets[2]) / total, config.p_1h_to_24h, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixtures, LifetimeMixture,
+                         ::testing::Values(LifetimeConfig{},                    // paper's Table 2
+                                           LifetimeConfig{0.60, 0.20, 0.15},    // shorter-lived
+                                           LifetimeConfig{0.25, 0.25, 0.40}));  // longer-lived
+
+// ---- popularity model across configurations ----
+
+class PopularityShares : public ::testing::TestWithParam<PopularityConfig> {};
+
+TEST_P(PopularityShares, BucketSharesMatchConfig) {
+  Rng rng(9);
+  AreaPopularityModel model(GetParam());
+  const int n = 300000;
+  std::vector<int64_t> buckets(6, 0);
+  for (int i = 0; i < n; ++i) {
+    buckets[AreaPopularityModel::BucketOf(model.SampleDailyUpdates(rng))] += 1;
+  }
+  const PopularityConfig& config = GetParam();
+  EXPECT_NEAR(static_cast<double>(buckets[0]) / n, config.p_zero, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[1]) / n, config.p_low, 0.01);
+  // The tail mass ends up beyond 1M (buckets 4+5).
+  double tail = 1.0 - config.p_zero - config.p_low - config.p_mid;
+  EXPECT_NEAR(static_cast<double>(buckets[4] + buckets[5]) / n, tail, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PopularityShares,
+                         ::testing::Values(PopularityConfig{},  // paper's Table 1
+                                           PopularityConfig{0.60, 0.35, 0.04},
+                                           PopularityConfig{0.90, 0.09, 0.005}));
+
+// ---- rendezvous hashing balance & stability across pool sizes ----
+
+class RendezvousPools : public ::testing::TestWithParam<int> {};
+
+TEST_P(RendezvousPools, BalancedWithinTwentyPercent) {
+  int pool = GetParam();
+  std::vector<uint64_t> nodes;
+  for (uint64_t i = 1; i <= static_cast<uint64_t>(pool); ++i) {
+    nodes.push_back(i * 7919);  // non-contiguous ids
+  }
+  std::vector<int> hits(static_cast<size_t>(pool), 0);
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    uint64_t chosen = RendezvousTopK("/k/" + std::to_string(i), nodes, 1).front();
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (nodes[j] == chosen) {
+        hits[j] += 1;
+      }
+    }
+  }
+  double expected = static_cast<double>(kKeys) / pool;
+  for (int h : hits) {
+    EXPECT_NEAR(h, expected, expected * 0.2);
+  }
+}
+
+TEST_P(RendezvousPools, TopKSetsAreDistinctNodes) {
+  int pool = GetParam();
+  std::vector<uint64_t> nodes;
+  for (uint64_t i = 1; i <= static_cast<uint64_t>(pool); ++i) {
+    nodes.push_back(i);
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto top = RendezvousTopK("/t/" + std::to_string(i), nodes, 3);
+    std::set<uint64_t> unique(top.begin(), top.end());
+    EXPECT_EQ(unique.size(), top.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, RendezvousPools, ::testing::Values(3, 8, 32, 128));
+
+// ---- Zipf skew increases with the exponent ----
+
+class ZipfSkew : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkew, RankZeroShareGrowsWithS) {
+  Rng rng(10);
+  const int64_t n = 500;
+  const int kDraws = 50000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(n, GetParam()) == 0) {
+      ++rank0;
+    }
+  }
+  // Harmonic-number approximation for P(rank 0) = 1 / H_{n,s}.
+  double h = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    h += 1.0 / std::pow(static_cast<double>(k), GetParam());
+  }
+  EXPECT_NEAR(static_cast<double>(rank0) / kDraws, 1.0 / h, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkew, ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+// ---- whole-stack invariants across seeds ----
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, EndToEndInvariantsHold) {
+  ClusterConfig config;
+  config.seed = GetParam();
+  BladerunnerCluster cluster(config);
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 30;
+  graph_config.num_videos = 2;
+  graph_config.num_threads = 6;
+  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
+  cluster.sim().RunFor(Seconds(2));
+
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  for (int i = 0; i < 8; ++i) {
+    RegionId region = cluster.topology().SampleRegion(cluster.sim().rng());
+    DeviceProfile profile = cluster.topology().SampleProfile(cluster.sim().rng());
+    devices.push_back(std::make_unique<DeviceAgent>(&cluster,
+                                                    graph.users[static_cast<size_t>(i)], region,
+                                                    profile));
+    devices.back()->SubscribeLvc(graph.videos[0]);
+  }
+  const auto& members = graph.thread_members[graph.threads[0]];
+  DeviceAgent receiver(&cluster, members[0], 0, DeviceProfile::kWifi);
+  DeviceAgent sender(&cluster, members[1], 0, DeviceProfile::kWifi);
+  receiver.SubscribeMailbox(0);
+  cluster.sim().RunFor(Seconds(4));
+
+  for (int s = 0; s < 20; ++s) {
+    devices[0]->PostComment(graph.videos[0], "c", "en");
+    if (s % 4 == 0) {
+      sender.SendMessage(graph.threads[0], "m");
+    }
+    if (s == 10) {
+      receiver.burst().SimulateConnectionDrop();
+    }
+    cluster.sim().RunFor(Seconds(1));
+  }
+  cluster.sim().RunFor(Seconds(20));
+
+  MetricsRegistry& m = cluster.metrics();
+  // Accounting invariants.
+  EXPECT_EQ(m.GetCounter("brass.decisions").value(),
+            m.GetCounter("brass.decisions_positive").value() +
+                m.GetCounter("brass.filtered").value());
+  EXPECT_GE(m.GetCounter("brass.decisions").value(), m.GetCounter("brass.deliveries").value());
+  // Reliable Messenger delivered everything in order despite the drop.
+  EXPECT_EQ(receiver.messenger_order_violations(), 0u);
+  EXPECT_EQ(receiver.last_messenger_seq(), 5u);
+  // Stream bookkeeping is consistent: every device stream is served by
+  // exactly one host stream (plus possibly a detached remnant mid-GC).
+  size_t device_streams = 0;
+  for (auto& device : devices) {
+    device_streams += device->burst().ActiveStreamCount();
+  }
+  device_streams += receiver.burst().ActiveStreamCount();
+  size_t host_streams = 0;
+  for (size_t i = 0; i < cluster.NumBrassHosts(); ++i) {
+    host_streams += cluster.brass_host(i).StreamCount();
+  }
+  EXPECT_GE(host_streams, device_streams);
+  EXPECT_LE(host_streams, device_streams + 2);
+}
+
+TEST_P(SeedSweep, IdenticalSeedsReplayIdentically) {
+  auto run = [&](uint64_t seed) {
+    ClusterConfig config;
+    config.seed = seed;
+    BladerunnerCluster cluster(config);
+    UserId u1 = CreateUser(cluster.tao(), "a", "en");
+    UserId u2 = CreateUser(cluster.tao(), "b", "en");
+    MakeFriends(cluster.tao(), u1, u2);
+    ObjectId video = CreateVideo(cluster.tao(), u1, "v");
+    cluster.sim().RunFor(Seconds(2));
+    DeviceAgent viewer(&cluster, u1, 0, DeviceProfile::kMobile4g);
+    DeviceAgent poster(&cluster, u2, 1, DeviceProfile::kWifi);
+    viewer.SubscribeLvc(video);
+    cluster.sim().RunFor(Seconds(3));
+    for (int i = 0; i < 6; ++i) {
+      poster.PostComment(video, "c", "en");
+      cluster.sim().RunFor(Seconds(2));
+    }
+    cluster.sim().RunFor(Seconds(15));
+    return std::make_tuple(viewer.payloads_received(), cluster.sim().events_executed(),
+                           cluster.metrics().GetCounter("brass.decisions").value());
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 17, 4242, 987654321));
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,297 @@
+// Unit tests for Pylon: topics, rendezvous hashing, subscriber KV quorum
+// semantics, publish fanout, replica inconsistency patching, quorum loss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/net/rpc.h"
+#include "src/pylon/cluster.h"
+#include "src/pylon/messages.h"
+#include "src/pylon/rendezvous.h"
+#include "src/pylon/topic.h"
+#include "src/sim/simulator.h"
+
+namespace bladerunner {
+namespace {
+
+// ---- topics ----
+
+TEST(TopicTest, JoinAndSplit) {
+  EXPECT_EQ(JoinTopic({"LVC", "123"}), "/LVC/123");
+  auto parts = SplitTopic("/TI/55/7");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "TI");
+  EXPECT_EQ(parts[2], "7");
+  EXPECT_TRUE(SplitTopic("///").empty());
+}
+
+TEST(TopicTest, Builders) {
+  EXPECT_EQ(LvcTopic(9), "/LVC/9");
+  EXPECT_EQ(LvcUserTopic(9, 4), "/LVC/9/4");
+  EXPECT_EQ(TypingTopic(5, 6), "/TI/5/6");
+  EXPECT_EQ(ActiveStatusTopic(2), "/AS/2");
+  EXPECT_EQ(StoriesTopic(3), "/Stories/3");
+  EXPECT_EQ(MailboxTopic(8), "/Mailbox/8");
+}
+
+TEST(TopicTest, HashIsStableAndSpreads) {
+  EXPECT_EQ(TopicHash("/LVC/1"), TopicHash("/LVC/1"));
+  EXPECT_NE(TopicHash("/LVC/1"), TopicHash("/LVC/2"));
+  // Shards spread: 1000 topics over 64 shards should hit most shards.
+  std::set<uint32_t> shards;
+  for (int i = 0; i < 1000; ++i) {
+    shards.insert(TopicShard(LvcTopic(i), 64));
+  }
+  EXPECT_GT(shards.size(), 55u);
+}
+
+// ---- rendezvous hashing ----
+
+TEST(RendezvousTest, Deterministic) {
+  std::vector<uint64_t> nodes = {1, 2, 3, 4, 5};
+  EXPECT_EQ(RendezvousTopK("/a/b", nodes, 3), RendezvousTopK("/a/b", nodes, 3));
+}
+
+TEST(RendezvousTest, KClampedToPoolSize) {
+  std::vector<uint64_t> nodes = {1, 2};
+  EXPECT_EQ(RendezvousTopK("/t", nodes, 5).size(), 2u);
+}
+
+TEST(RendezvousTest, MinimalDisruptionOnNodeRemoval) {
+  std::vector<uint64_t> nodes = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint64_t> without_8 = {1, 2, 3, 4, 5, 6, 7};
+  int moved = 0;
+  const int kTopics = 500;
+  for (int i = 0; i < kTopics; ++i) {
+    Topic t = "/topic/" + std::to_string(i);
+    uint64_t before = RendezvousTopK(t, nodes, 1).front();
+    uint64_t after = RendezvousTopK(t, without_8, 1).front();
+    if (before != 8) {
+      // Keys not mapped to the removed node must not move at all.
+      EXPECT_EQ(before, after);
+    } else {
+      ++moved;
+    }
+  }
+  // Roughly 1/8 of keys lived on node 8.
+  EXPECT_NEAR(static_cast<double>(moved) / kTopics, 1.0 / 8.0, 0.05);
+}
+
+TEST(RendezvousTest, BalancedPlacement) {
+  std::vector<uint64_t> nodes = {1, 2, 3, 4};
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    counts[RendezvousTopK("/t/" + std::to_string(i), nodes, 1).front()] += 1;
+  }
+  for (uint64_t n = 1; n <= 4; ++n) {
+    EXPECT_NEAR(counts[n], 1000, 200);
+  }
+}
+
+// ---- Pylon cluster ----
+
+class PylonTest : public ::testing::Test {
+ protected:
+  PylonTest() : topology_(Topology::ThreeRegions()), sim_(11) {
+    PylonConfig config;
+    config.servers_per_region = 2;
+    config.kv_nodes_per_region = 2;
+    cluster_ = std::make_unique<PylonCluster>(&sim_, &topology_, config, &metrics_);
+    // A fake BRASS host that records deliveries.
+    host_rpc_.RegisterMethod("brass.event",
+                             [this](MessagePtr request, RpcServer::Respond respond) {
+                               auto delivery = std::static_pointer_cast<BrassEventDelivery>(request);
+                               received_.push_back(delivery->event->topic);
+                               received_at_.push_back(sim_.Now());
+                               respond(std::make_shared<PylonAck>());
+                             });
+    cluster_->RegisterSubscriberHost(kHostId, 0, &host_rpc_);
+  }
+
+  // Issues a subscribe through the topic's home server and runs to ack.
+  bool Subscribe(const Topic& topic, int64_t host_id, bool subscribe = true) {
+    PylonServer* server = cluster_->RouteServer(topic);
+    RpcChannel channel(&sim_, server->rpc(), LatencyModel::IntraRegion());
+    auto request = std::make_shared<PylonSubscribeRequest>();
+    request->topic = topic;
+    request->host_id = host_id;
+    request->subscribe = subscribe;
+    bool ok = false;
+    bool done = false;
+    channel.Call("pylon.subscribe", request, [&](RpcStatus status, MessagePtr response) {
+      done = true;
+      ok = status == RpcStatus::kOk && std::static_pointer_cast<PylonAck>(response)->ok;
+    });
+    sim_.RunFor(Seconds(3));
+    EXPECT_TRUE(done);
+    return ok;
+  }
+
+  void Publish(const Topic& topic) {
+    PylonServer* server = cluster_->RouteServer(topic);
+    RpcChannel channel(&sim_, server->rpc(), LatencyModel::IntraRegion());
+    auto event = std::make_shared<UpdateEvent>();
+    event->topic = topic;
+    event->event_id = next_event_id_++;
+    event->created_at = sim_.Now();
+    event->published_at = sim_.Now();
+    auto request = std::make_shared<PylonPublishRequest>();
+    request->event = std::move(event);
+    channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
+  }
+
+  static constexpr int64_t kHostId = 501;
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<PylonCluster> cluster_;
+  RpcServer host_rpc_;
+  std::vector<Topic> received_;
+  std::vector<SimTime> received_at_;
+  uint64_t next_event_id_ = 1;
+};
+
+TEST_F(PylonTest, SubscribeThenPublishDelivers) {
+  ASSERT_TRUE(Subscribe("/LVC/1", kHostId));
+  Publish("/LVC/1");
+  sim_.RunFor(Seconds(2));
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0], "/LVC/1");
+}
+
+TEST_F(PylonTest, PublishWithoutSubscribersDeliversNothing) {
+  Publish("/LVC/2");
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(PylonTest, UnsubscribeStopsDelivery) {
+  ASSERT_TRUE(Subscribe("/LVC/3", kHostId));
+  ASSERT_TRUE(Subscribe("/LVC/3", kHostId, /*subscribe=*/false));
+  Publish("/LVC/3");
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(PylonTest, MultipleSubscribersAllReceive) {
+  RpcServer host2;
+  int host2_received = 0;
+  host2.RegisterMethod("brass.event", [&](MessagePtr, RpcServer::Respond respond) {
+    ++host2_received;
+    respond(std::make_shared<PylonAck>());
+  });
+  cluster_->RegisterSubscriberHost(502, 1, &host2);
+  ASSERT_TRUE(Subscribe("/LVC/4", kHostId));
+  ASSERT_TRUE(Subscribe("/LVC/4", 502));
+  Publish("/LVC/4");
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_EQ(host2_received, 1);
+}
+
+TEST_F(PylonTest, ReplicasPlacedInDistinctRegions) {
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor("/LVC/5", 0);
+  ASSERT_EQ(replicas.size(), 3u);
+  std::set<RegionId> regions;
+  for (KvNode* node : replicas) {
+    regions.insert(node->region());
+  }
+  EXPECT_EQ(regions.size(), 3u);  // one local + two distinct remote (§3.1)
+  EXPECT_EQ(replicas[0]->region(), 0);  // first replica is local
+}
+
+TEST_F(PylonTest, SubscriptionSurvivesOneReplicaDown) {
+  // CP with quorum 2 of 3: one dead replica must not block subscribes.
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor("/LVC/6", 0);
+  replicas[2]->SetAvailable(false);
+  EXPECT_TRUE(Subscribe("/LVC/6", kHostId));
+  Publish("/LVC/6");
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(PylonTest, QuorumLossFailsSubscriptionClosed) {
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor("/LVC/7", 0);
+  replicas[1]->SetAvailable(false);
+  replicas[2]->SetAvailable(false);
+  EXPECT_FALSE(Subscribe("/LVC/7", kHostId));
+  EXPECT_GE(metrics_.GetCounter("pylon.quorum_failures").value(), 1);
+}
+
+TEST_F(PylonTest, InconsistentReplicaGetsPatchedOnPublish) {
+  ASSERT_TRUE(Subscribe("/LVC/8", kHostId));
+  // Manually damage one replica to simulate divergence.
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor("/LVC/8", cluster_->RouteServer("/LVC/8")->region());
+  // Find a replica holding the topic and clear it via a patch op issued
+  // directly (simulating loss).
+  KvNode* damaged = nullptr;
+  for (KvNode* node : replicas) {
+    if (node->Find("/LVC/8") != nullptr) {
+      damaged = node;
+      break;
+    }
+  }
+  ASSERT_NE(damaged, nullptr);
+  RpcChannel channel(&sim_, damaged->rpc(), LatencyModel::IntraRegion());
+  auto wipe = std::make_shared<KvOpRequest>();
+  wipe->op = KvOpRequest::Op::kPatch;
+  wipe->topic = "/LVC/8";
+  wipe->replacement = {};  // empty -> erase
+  channel.Call("kv.op", wipe, [](RpcStatus, MessagePtr) {});
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(damaged->Find("/LVC/8"), nullptr);
+
+  // Publishing detects divergence among replica views and repairs it.
+  Publish("/LVC/8");
+  sim_.RunFor(Seconds(3));
+  EXPECT_GE(metrics_.GetCounter("pylon.kv_inconsistencies").value(), 1);
+  ASSERT_NE(damaged->Find("/LVC/8"), nullptr);
+  EXPECT_EQ(damaged->Find("/LVC/8")->count(kHostId), 1u);
+  // Delivery still happened (first-responder forwarding).
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(PylonTest, DeadHostSkippedDuringFanout) {
+  ASSERT_TRUE(Subscribe("/LVC/9", kHostId));
+  cluster_->UnregisterSubscriberHost(kHostId);
+  Publish("/LVC/9");
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(received_.empty());
+  EXPECT_GE(metrics_.GetCounter("pylon.fanout_dead_hosts").value(), 1);
+}
+
+TEST_F(PylonTest, HostUnregisteringMidFanoutIsSafe) {
+  // Regression: the fanout pipeline holds each send for ~50ms; a host that
+  // unregisters (drain/crash) in that window used to leave the scheduled
+  // send with a dangling channel pointer. The delivery must simply be lost.
+  ASSERT_TRUE(Subscribe("/LVC/12", kHostId));
+  Publish("/LVC/12");
+  // Unregister after the publish is in flight but before the pipeline
+  // delay elapses.
+  sim_.RunFor(Millis(10));
+  cluster_->UnregisterSubscriberHost(kHostId);
+  sim_.RunFor(Seconds(3));
+  EXPECT_TRUE(received_.empty());  // lost, not crashed (§4: best effort)
+}
+
+TEST_F(PylonTest, TopicRoutingIsStable) {
+  PylonServer* a = cluster_->RouteServer("/LVC/10");
+  PylonServer* b = cluster_->RouteServer("/LVC/10");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PylonTest, SubscribeReplicationLatencyIsRecorded) {
+  ASSERT_TRUE(Subscribe("/LVC/11", kHostId));
+  const Histogram* h = metrics_.FindHistogram("pylon.subscribe_replication_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count(), 1u);
+  // Quorum requires one remote region: tens of milliseconds, not seconds.
+  EXPECT_GT(h->Mean(), static_cast<double>(Millis(5)));
+  EXPECT_LT(h->Mean(), static_cast<double>(Millis(500)));
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,384 @@
+// Unit tests for the simulation kernel: event ordering, cancellation,
+// deterministic RNG distributions, histograms, metrics, time helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/histogram.h"
+#include "src/sim/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+namespace {
+
+TEST(TimeTest, UnitConstructors) {
+  EXPECT_EQ(Micros(7), 7);
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2000000);
+  EXPECT_EQ(Minutes(1), 60000000);
+  EXPECT_EQ(Hours(1), Minutes(60));
+  EXPECT_EQ(Days(1), Hours(24));
+}
+
+TEST(TimeTest, FractionalConstructors) {
+  EXPECT_EQ(MillisF(1.5), 1500);
+  EXPECT_EQ(SecondsF(0.25), 250000);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(9)), 9.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(Minutes(4)), 4.0);
+  EXPECT_DOUBLE_EQ(ToHours(Hours(3)), 3.0);
+}
+
+TEST(TimeTest, FormatTimeOfDay) {
+  EXPECT_EQ(FormatTimeOfDay(0), "00:00:00");
+  EXPECT_EQ(FormatTimeOfDay(Hours(1) + Minutes(30) + Seconds(15)), "01:30:15");
+  EXPECT_EQ(FormatTimeOfDay(Days(2) + Hours(23)), "23:00:00");
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(Micros(500)), "500us");
+  EXPECT_EQ(FormatDuration(Millis(2)), "2.00ms");
+  EXPECT_EQ(FormatDuration(Seconds(3)), "3.00s");
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&]() { order.push_back(3); });
+  sim.Schedule(Millis(10), [&]() { order.push_back(1); });
+  sim.Schedule(Millis(20), [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(1), [&]() {
+    sim.Schedule(Millis(1), [&]() {
+      fired += 1;
+      sim.Schedule(Millis(1), [&]() { fired += 1; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Millis(3));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  TimerId id = sim.Schedule(Millis(10), [&]() { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  TimerId id = sim.Schedule(Millis(1), []() {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  TimerId id = sim.Schedule(Millis(1), []() {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(10), [&]() { fired += 1; });
+  sim.Schedule(Millis(30), [&]() { fired += 1; });
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Millis(20));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(Seconds(1));
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(sim.Now(), Seconds(2));
+}
+
+TEST(SimulatorTest, RunUntilWithCancelledHead) {
+  Simulator sim;
+  bool late_fired = false;
+  TimerId early = sim.Schedule(Millis(1), []() {});
+  sim.Schedule(Millis(100), [&]() { late_fired = true; });
+  sim.Cancel(early);
+  sim.RunUntil(Millis(10));
+  EXPECT_FALSE(late_fired);  // the cancelled head must not pull in later events
+  EXPECT_EQ(sim.Now(), Millis(10));
+}
+
+TEST(SimulatorTest, PendingEventsTracksLiveEvents) {
+  Simulator sim;
+  TimerId a = sim.Schedule(Millis(1), []() {});
+  sim.Schedule(Millis(2), []() {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(Seconds(1));
+  SimTime fired_at = -1;
+  sim.Schedule(-Millis(100), [&]() { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, Seconds(1));
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(MillisF(sim.rng().Exponential(5.0)), [&total, &sim]() {
+        total += static_cast<double>(sim.Now());
+      });
+    }
+    sim.Run();
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.4);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(4);
+  std::vector<double> samples;
+  const int n = 20001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.LogNormal(50.0, 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 50.0, 3.0);
+}
+
+TEST(RngTest, ParetoIsBoundedBelow) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(7.0, 1.2), 7.0);
+  }
+}
+
+TEST(RngTest, ZipfRanksAreSkewed) {
+  Rng rng(6);
+  const int64_t n = 100;
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  for (int i = 0; i < 50000; ++i) {
+    int64_t r = rng.Zipf(n, 1.1);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    counts[static_cast<size_t>(r)] += 1;
+  }
+  // Rank 0 must dominate rank 50 heavily.
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(7);
+  int64_t total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.Poisson(4.0);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 4.0, 0.15);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(8);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    size_t idx = rng.WeightedIndex(weights);
+    ASSERT_LT(idx, 3u);
+    counts[idx] += 1;
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), weights.size());
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng a(10);
+  Rng b = a.Fork(1);
+  Rng c = a.Fork(1);
+  // Different fork points of the same parent differ.
+  EXPECT_NE(b.NextU64(), c.NextU64());
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MeanMinMax) {
+  Histogram h;
+  h.Record(10.0);
+  h.Record(20.0);
+  h.Record(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(HistogramTest, QuantileAccuracy) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  // Log-bucketed: ~4% relative error is within spec (2 growth steps).
+  EXPECT_NEAR(h.Quantile(0.5), 5000.0, 5000.0 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.95), 9500.0, 9500.0 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.99), 9900.0, 9900.0 * 0.05);
+}
+
+TEST(HistogramTest, CdfAt) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.CdfAt(500.0), 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(2000.0), 1.0);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(10.0);
+    b.Record(1000.0);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.Quantile(0.25), 10.0, 2.0);
+  EXPECT_NEAR(a.Quantile(0.75), 1000.0, 100.0);
+}
+
+TEST(HistogramTest, RecordNAndReset) {
+  Histogram h;
+  h.RecordN(5.0, 10);
+  EXPECT_EQ(h.count(), 10u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsTest, CounterBasics) {
+  MetricsRegistry registry;
+  registry.GetCounter("a").Increment();
+  registry.GetCounter("a").Increment(4);
+  EXPECT_EQ(registry.GetCounter("a").value(), 5);
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  ASSERT_NE(registry.FindCounter("a"), nullptr);
+}
+
+TEST(MetricsTest, SharedByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, TimeSeriesBucketsAndRates) {
+  TimeSeries series(Minutes(15));
+  series.Add(Minutes(1), 30.0);
+  series.Add(Minutes(14), 30.0);
+  series.Add(Minutes(16), 15.0);
+  EXPECT_DOUBLE_EQ(series.Sum(0), 60.0);
+  EXPECT_DOUBLE_EQ(series.Sum(1), 15.0);
+  EXPECT_DOUBLE_EQ(series.RatePerMinute(0), 4.0);
+  EXPECT_DOUBLE_EQ(series.RatePerMinute(1), 1.0);
+  EXPECT_DOUBLE_EQ(series.Sum(5), 0.0);
+}
+
+TEST(MetricsTest, TimeSeriesSampledMean) {
+  TimeSeries series(Minutes(15));
+  series.Sample(Minutes(0), 10.0);
+  series.Sample(Minutes(5), 20.0);
+  EXPECT_DOUBLE_EQ(series.Mean(0), 15.0);
+  EXPECT_DOUBLE_EQ(series.Mean(3), 0.0);
+}
+
+}  // namespace
+}  // namespace bladerunner

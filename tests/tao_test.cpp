@@ -1,0 +1,331 @@
+// Unit tests for the TAO store: visibility/replication semantics, assoc
+// lists, deletes, hot-index partitioning, the query cost model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/tao/store.h"
+
+namespace bladerunner {
+namespace {
+
+class TaoTest : public ::testing::Test {
+ protected:
+  TaoTest() : topology_(Topology::ThreeRegions()), sim_(7) {
+    store_ = std::make_unique<TaoStore>(&sim_, &topology_, TaoConfig{}, &metrics_);
+  }
+
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TaoStore> store_;
+};
+
+TEST_F(TaoTest, PutAndGetObject) {
+  Object user;
+  user.otype = "user";
+  user.data.Set("name", "bob");
+  ObjectId id = store_->PutObject(std::move(user));
+  EXPECT_NE(id, kInvalidObjectId);
+
+  RegionId leader = store_->LeaderRegionOf(id);
+  QueryCost cost;
+  auto got = store_->GetObject(leader, id, &cost);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.Get("name").AsString(), "bob");
+  EXPECT_EQ(cost.point_reads, 1u);
+  EXPECT_EQ(cost.shards_touched, 1u);
+}
+
+TEST_F(TaoTest, MissingObjectReturnsNullopt) {
+  QueryCost cost;
+  EXPECT_FALSE(store_->GetObject(0, 999999999, &cost).has_value());
+  // A miss still costs a point read.
+  EXPECT_EQ(cost.point_reads, 1u);
+}
+
+TEST_F(TaoTest, ReplicationDelaysVisibilityInRemoteRegions) {
+  Object obj;
+  obj.otype = "x";
+  ObjectId id = store_->PutObject(std::move(obj));
+  RegionId leader = store_->LeaderRegionOf(id);
+  RegionId remote = (leader + 1) % topology_.num_regions();
+
+  // Immediately: visible at the leader, not yet remotely.
+  QueryCost cost;
+  EXPECT_TRUE(store_->GetObject(leader, id, &cost).has_value());
+  EXPECT_FALSE(store_->GetObject(remote, id, &cost).has_value());
+
+  // After cross-region replication lag, visible everywhere.
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(store_->GetObject(remote, id, &cost).has_value());
+}
+
+TEST_F(TaoTest, AssocRangeNewestFirstWithLimit) {
+  ObjectId id1 = store_->NextId();
+  for (int i = 0; i < 10; ++i) {
+    sim_.RunFor(Millis(10));
+    Assoc a;
+    a.id1 = id1;
+    a.atype = AssocType::kComment;
+    a.id2 = 1000 + i;
+    store_->AddAssoc(std::move(a));
+  }
+  sim_.RunFor(Seconds(2));  // replicate
+  QueryCost cost;
+  auto got = store_->AssocRange(0, id1, AssocType::kComment, kBeginningOfTime, kSimTimeNever, 3,
+                                &cost);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].id2, 1009);  // newest first
+  EXPECT_EQ(got[2].id2, 1007);
+  EXPECT_EQ(cost.range_reads, 1u);
+}
+
+TEST_F(TaoTest, AssocRangeLowerBoundIsExclusive) {
+  ObjectId id1 = store_->NextId();
+  sim_.RunFor(Millis(100));
+  SimTime first_time = sim_.Now();
+  Assoc a;
+  a.id1 = id1;
+  a.atype = AssocType::kComment;
+  a.id2 = 1;
+  store_->AddAssoc(std::move(a));
+  sim_.RunFor(Millis(100));
+  Assoc b;
+  b.id1 = id1;
+  b.atype = AssocType::kComment;
+  b.id2 = 2;
+  store_->AddAssoc(std::move(b));
+  sim_.RunFor(Seconds(2));
+
+  QueryCost cost;
+  auto got = store_->AssocRange(store_->LeaderRegionOf(id1), id1, AssocType::kComment,
+                                first_time, kSimTimeNever, 10, &cost);
+  ASSERT_EQ(got.size(), 1u);  // the entry *at* first_time is excluded
+  EXPECT_EQ(got[0].id2, 2);
+}
+
+TEST_F(TaoTest, GetAssocPointLookup) {
+  ObjectId id1 = store_->NextId();
+  Assoc a;
+  a.id1 = id1;
+  a.atype = AssocType::kFriend;
+  a.id2 = 42;
+  a.data.Set("w", 1);
+  store_->AddAssoc(std::move(a));
+  QueryCost cost;
+  RegionId leader = store_->LeaderRegionOf(id1);
+  auto got = store_->GetAssoc(leader, id1, AssocType::kFriend, 42, &cost);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.Get("w").AsInt(), 1);
+  EXPECT_FALSE(store_->GetAssoc(leader, id1, AssocType::kFriend, 43, &cost).has_value());
+}
+
+TEST_F(TaoTest, DeleteAssocTombstonesWithReplication) {
+  ObjectId id1 = store_->NextId();
+  Assoc a;
+  a.id1 = id1;
+  a.atype = AssocType::kFriend;
+  a.id2 = 42;
+  store_->AddAssoc(std::move(a));
+  sim_.RunFor(Seconds(2));
+
+  RegionId leader = store_->LeaderRegionOf(id1);
+  RegionId remote = (leader + 1) % topology_.num_regions();
+  EXPECT_TRUE(store_->DeleteAssoc(id1, AssocType::kFriend, 42));
+
+  QueryCost cost;
+  // Gone at the leader immediately; the remote region still sees it until
+  // the tombstone replicates.
+  EXPECT_FALSE(store_->GetAssoc(leader, id1, AssocType::kFriend, 42, &cost).has_value());
+  EXPECT_TRUE(store_->GetAssoc(remote, id1, AssocType::kFriend, 42, &cost).has_value());
+  sim_.RunFor(Seconds(2));
+  EXPECT_FALSE(store_->GetAssoc(remote, id1, AssocType::kFriend, 42, &cost).has_value());
+}
+
+TEST_F(TaoTest, DeleteUnknownAssocReturnsFalse) {
+  EXPECT_FALSE(store_->DeleteAssoc(123, AssocType::kFriend, 456));
+}
+
+TEST_F(TaoTest, AssocCount) {
+  ObjectId id1 = store_->NextId();
+  for (int i = 0; i < 5; ++i) {
+    Assoc a;
+    a.id1 = id1;
+    a.atype = AssocType::kMessage;
+    a.id2 = i + 1;
+    store_->AddAssoc(std::move(a));
+  }
+  QueryCost cost;
+  EXPECT_EQ(store_->AssocCount(store_->LeaderRegionOf(id1), id1, AssocType::kMessage, &cost), 5u);
+}
+
+TEST_F(TaoTest, AssocIntersectFiltersByAuthor) {
+  ObjectId video = store_->NextId();
+  for (int i = 0; i < 6; ++i) {
+    sim_.RunFor(Millis(5));
+    Assoc a;
+    a.id1 = video;
+    a.atype = AssocType::kComment;
+    a.id2 = 100 + i;
+    a.data.Set("author", static_cast<int64_t>(i % 2 == 0 ? 7 : 8));
+    store_->AddAssoc(std::move(a));
+  }
+  QueryCost cost;
+  auto got = store_->AssocIntersect(store_->LeaderRegionOf(video), video, AssocType::kComment,
+                                    {7}, kBeginningOfTime, 10, &cost);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(cost.intersect_reads, 1u);
+  EXPECT_GE(cost.shards_touched, 2u);  // index partitions + author shards
+}
+
+TEST_F(TaoTest, HotIndexPartitionsGrowWithWriteRate) {
+  ObjectId cold = store_->NextId();
+  ObjectId hot = store_->NextId();
+  Assoc a;
+  a.id1 = cold;
+  a.atype = AssocType::kComment;
+  a.id2 = 1;
+  store_->AddAssoc(std::move(a));
+  EXPECT_EQ(store_->IndexPartitions(cold, AssocType::kComment), 1);
+
+  // Hammer the hot list: thousands of writes in a few seconds.
+  for (int i = 0; i < 4000; ++i) {
+    sim_.RunFor(Millis(1));
+    Assoc h;
+    h.id1 = hot;
+    h.atype = AssocType::kComment;
+    h.id2 = 10 + i;
+    store_->AddAssoc(std::move(h));
+  }
+  EXPECT_GT(store_->IndexPartitions(hot, AssocType::kComment), 4);
+
+  // Range queries on the hot index touch all partitions.
+  QueryCost cost;
+  store_->AssocRange(store_->LeaderRegionOf(hot), hot, AssocType::kComment, kBeginningOfTime,
+                     kSimTimeNever, 10, &cost);
+  EXPECT_GT(cost.shards_touched, 4u);
+
+  // And the heat decays once writes stop.
+  sim_.RunFor(Minutes(5));
+  EXPECT_EQ(store_->IndexPartitions(hot, AssocType::kComment), 1);
+}
+
+TEST_F(TaoTest, AssocCountAtLeaderIgnoresReplicationLag) {
+  ObjectId mailbox = store_->NextId();
+  for (int i = 0; i < 4; ++i) {
+    Assoc a;
+    a.id1 = mailbox;
+    a.atype = AssocType::kMessage;
+    a.id2 = 100 + i;
+    store_->AddAssoc(std::move(a));
+  }
+  // A remote region's *visible* count lags; the leader-consistent count —
+  // what sequence-number assignment must use — does not.
+  RegionId leader = store_->LeaderRegionOf(mailbox);
+  RegionId remote = (leader + 1) % topology_.num_regions();
+  QueryCost cost;
+  EXPECT_EQ(store_->AssocCountAtLeader(mailbox, AssocType::kMessage, &cost), 4u);
+  EXPECT_LE(store_->AssocCount(remote, mailbox, AssocType::kMessage, &cost), 4u);
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(store_->AssocCount(remote, mailbox, AssocType::kMessage, &cost), 4u);
+  // Deletes reduce the leader count immediately.
+  EXPECT_TRUE(store_->DeleteAssoc(mailbox, AssocType::kMessage, 101));
+  EXPECT_EQ(store_->AssocCountAtLeader(mailbox, AssocType::kMessage, &cost), 3u);
+}
+
+TEST_F(TaoTest, AssocRangeAscendingPaginates) {
+  ObjectId id1 = store_->NextId();
+  for (int i = 0; i < 9; ++i) {
+    sim_.RunFor(Millis(10));
+    Assoc a;
+    a.id1 = id1;
+    a.atype = AssocType::kComment;
+    a.id2 = 100 + i;
+    store_->AddAssoc(std::move(a));
+  }
+  sim_.RunFor(Seconds(2));
+  RegionId leader = store_->LeaderRegionOf(id1);
+  QueryCost cost;
+  // Page through oldest-first, 4 at a time, using the time watermark.
+  std::vector<ObjectId> seen;
+  SimTime watermark = kBeginningOfTime;
+  for (int page = 0; page < 3; ++page) {
+    auto batch = store_->AssocRangeAscending(leader, id1, AssocType::kComment, watermark,
+                                             kSimTimeNever, 4, &cost);
+    for (const Assoc& a : batch) {
+      seen.push_back(a.id2);
+      watermark = a.time;
+    }
+  }
+  ASSERT_EQ(seen.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], 100 + i);  // oldest first, no gaps
+  }
+}
+
+TEST_F(TaoTest, QueryLatencyScalesWithCost) {
+  QueryCost cheap;
+  cheap.point_reads = 1;
+  cheap.shards_touched = 1;
+  QueryCost expensive;
+  expensive.range_reads = 4;
+  expensive.intersect_reads = 2;
+  expensive.shards_touched = 60;
+
+  double cheap_total = 0.0;
+  double expensive_total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    cheap_total += static_cast<double>(store_->SampleQueryLatency(cheap));
+    expensive_total += static_cast<double>(store_->SampleQueryLatency(expensive));
+  }
+  EXPECT_GT(expensive_total, cheap_total * 3.0);
+}
+
+TEST_F(TaoTest, WriteLatencyHigherForRemoteLeader) {
+  // Find an id whose leader is region 0 and one whose leader is region 2.
+  ObjectId local_id = 0;
+  ObjectId remote_id = 0;
+  for (ObjectId id = 1; id < 4000 && (local_id == 0 || remote_id == 0); ++id) {
+    if (store_->LeaderRegionOf(id) == 0 && local_id == 0) {
+      local_id = id;
+    }
+    if (store_->LeaderRegionOf(id) == 2 && remote_id == 0) {
+      remote_id = id;
+    }
+  }
+  ASSERT_NE(local_id, 0);
+  ASSERT_NE(remote_id, 0);
+  double local_total = 0.0;
+  double remote_total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    local_total += static_cast<double>(store_->SampleWriteLatency(0, local_id));
+    remote_total += static_cast<double>(store_->SampleWriteLatency(0, remote_id));
+  }
+  EXPECT_GT(remote_total, local_total * 5.0);
+}
+
+TEST_F(TaoTest, ShardingIsStableAndBounded) {
+  for (ObjectId id = 1; id < 1000; ++id) {
+    int shard = store_->ShardOf(id);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, store_->config().num_shards);
+    EXPECT_EQ(shard, store_->ShardOf(id));
+  }
+}
+
+TEST_F(TaoTest, MetricsCountersTrackOperations) {
+  Object obj;
+  obj.otype = "x";
+  ObjectId id = store_->PutObject(std::move(obj));
+  QueryCost cost;
+  store_->GetObject(0, id, &cost);
+  EXPECT_EQ(metrics_.GetCounter("tao.object_writes").value(), 1);
+  EXPECT_EQ(metrics_.GetCounter("tao.point_reads").value(), 1);
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,324 @@
+// Unit tests for the WAS: schema resolvers against TAO, mutations +
+// publish specs, privacy checks, subscription resolution, payload fetch.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/pylon/cluster.h"
+#include "src/was/messages.h"
+#include "src/was/resolvers.h"
+#include "src/was/server.h"
+
+namespace bladerunner {
+namespace {
+
+class WasTest : public ::testing::Test {
+ protected:
+  WasTest() : topology_(Topology::OneRegion()), sim_(31) {
+    tao_ = std::make_unique<TaoStore>(&sim_, &topology_, TaoConfig{}, &metrics_);
+    PylonConfig pylon_config;
+    pylon_config.servers_per_region = 1;
+    pylon_config.kv_nodes_per_region = 3;
+    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, pylon_config, &metrics_);
+    was_ = std::make_unique<WebAppServer>(&sim_, 0, tao_.get(), pylon_.get(), WasConfig{},
+                                          &metrics_);
+    InstallSocialSchema(*was_);
+
+    alice_ = CreateUser(*tao_, "alice", "en");
+    bob_ = CreateUser(*tao_, "bob", "en");
+    carol_ = CreateUser(*tao_, "carol", "es");
+    MakeFriends(*tao_, alice_, bob_);
+    video_ = CreateVideo(*tao_, alice_, "the video");
+    thread_ = CreateThread(*tao_, {alice_, bob_});
+    sim_.RunFor(Seconds(1));
+  }
+
+  // Synchronous RPC helper against the WAS.
+  template <typename Response, typename Request>
+  std::shared_ptr<Response> Call(const std::string& method, std::shared_ptr<Request> request) {
+    RpcChannel channel(&sim_, was_->rpc(), LatencyModel::Fixed(0.1));
+    std::shared_ptr<Response> out;
+    channel.Call(method, request, [&out](RpcStatus status, MessagePtr response) {
+      ASSERT_EQ(status, RpcStatus::kOk);
+      out = std::static_pointer_cast<Response>(response);
+    });
+    sim_.RunFor(Seconds(30));
+    return out;
+  }
+
+  std::shared_ptr<WasQueryResponse> Query(const std::string& text, UserId viewer) {
+    auto request = std::make_shared<WasQueryRequest>();
+    request->query = text;
+    request->viewer = viewer;
+    return Call<WasQueryResponse>("was.query", request);
+  }
+
+  std::shared_ptr<WasMutateResponse> Mutate(const std::string& text, UserId viewer) {
+    auto request = std::make_shared<WasMutateRequest>();
+    request->mutation = text;
+    request->viewer = viewer;
+    request->created_at = sim_.Now();
+    return Call<WasMutateResponse>("was.mutate", request);
+  }
+
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TaoStore> tao_;
+  std::unique_ptr<PylonCluster> pylon_;
+  std::unique_ptr<WebAppServer> was_;
+  UserId alice_ = 0;
+  UserId bob_ = 0;
+  UserId carol_ = 0;
+  ObjectId video_ = 0;
+  ObjectId thread_ = 0;
+};
+
+TEST_F(WasTest, UserQuery) {
+  auto response = Query("{ user(id: " + std::to_string(alice_) + ") { name language } }", bob_);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->errors.empty());
+  EXPECT_EQ(response->data.Get("user").Get("name").AsString(), "alice");
+}
+
+TEST_F(WasTest, PostCommentThenPollSeesIt) {
+  auto post = Mutate("mutation { postComment(video: " + std::to_string(video_) +
+                         ", text: \"nice\", language: \"en\") { id } }",
+                     bob_);
+  ASSERT_NE(post, nullptr);
+  EXPECT_TRUE(post->ok);
+  ObjectId comment_id = post->data.Get("postComment").Get("id").AsInt(0);
+  EXPECT_NE(comment_id, 0);
+
+  auto poll = Query("{ comments(video: " + std::to_string(video_) +
+                        ", after: 0, first: 10) { id text author } }",
+                    alice_);
+  ASSERT_NE(poll, nullptr);
+  ASSERT_EQ(poll->data.Get("comments").Size(), 1u);
+  EXPECT_EQ(poll->data.Get("comments").AsList()[0].Get("text").AsString(), "nice");
+  EXPECT_EQ(poll->data.Get("comments").AsList()[0].Get("author").AsInt(), bob_);
+}
+
+TEST_F(WasTest, CommentPollCostIncludesRangeAndPointReads) {
+  Mutate("mutation { postComment(video: " + std::to_string(video_) +
+             ", text: \"a\", language: \"en\") { id } }",
+         bob_);
+  auto poll = Query("{ comments(video: " + std::to_string(video_) +
+                        ", after: 0, first: 10) { id } }",
+                    alice_);
+  ASSERT_NE(poll, nullptr);
+  EXPECT_GE(poll->cost.range_reads, 1u);
+  EXPECT_GE(poll->cost.point_reads, 1u);  // per-comment object read
+}
+
+TEST_F(WasTest, BlockedAuthorsCommentsAreFilteredFromPolls) {
+  BlockUser(*tao_, alice_, carol_);
+  sim_.RunFor(Seconds(1));
+  Mutate("mutation { postComment(video: " + std::to_string(video_) +
+             ", text: \"spam\", language: \"es\") { id } }",
+         carol_);
+  auto poll = Query("{ comments(video: " + std::to_string(video_) +
+                        ", after: 0, first: 10) { id suppressed } }",
+                    alice_);
+  ASSERT_NE(poll, nullptr);
+  // The blocked author's comment surfaces only as a contentless tombstone
+  // (so pagination watermarks can advance), never as content.
+  ASSERT_EQ(poll->data.Get("comments").Size(), 1u);
+  const Value& entry = poll->data.Get("comments").AsList()[0];
+  EXPECT_TRUE(entry.Get("suppressed").AsBool(false));
+  EXPECT_FALSE(entry.Has("text"));
+  // But a non-blocking viewer sees the real comment.
+  auto poll2 = Query("{ comments(video: " + std::to_string(video_) +
+                         ", after: 0, first: 10) { id text suppressed } }",
+                     bob_);
+  ASSERT_EQ(poll2->data.Get("comments").Size(), 1u);
+  EXPECT_FALSE(poll2->data.Get("comments").AsList()[0].Get("suppressed").AsBool(false));
+}
+
+TEST_F(WasTest, MutationPublishesToPylonWithRankingDelay) {
+  SimTime before = sim_.Now();
+  Mutate("mutation { postComment(video: " + std::to_string(video_) +
+             ", text: \"x\", language: \"en\") { id } }",
+         bob_);
+  EXPECT_EQ(metrics_.GetCounter("was.publishes").value(), 1);
+  const Histogram* ranked = metrics_.FindHistogram("was.publish_delay_us.ranked");
+  ASSERT_NE(ranked, nullptr);
+  ASSERT_EQ(ranked->count(), 1u);
+  // Table 3: ~2s for LVC updates (ranking ~1.8s).
+  EXPECT_GT(ranked->Mean(), static_cast<double>(Seconds(1)));
+  EXPECT_LT(ranked->Mean(), static_cast<double>(Seconds(5)));
+  (void)before;
+}
+
+TEST_F(WasTest, NonRankedMutationPublishesFaster) {
+  Mutate("mutation { setTyping(thread: " + std::to_string(thread_) + ", typing: true) }", bob_);
+  const Histogram* other = metrics_.FindHistogram("was.publish_delay_us.other");
+  ASSERT_NE(other, nullptr);
+  ASSERT_GE(other->count(), 1u);
+  // Table 3: ~240ms for non-ranked updates.
+  EXPECT_GT(other->Mean(), static_cast<double>(Millis(100)));
+  EXPECT_LT(other->Mean(), static_cast<double>(Millis(800)));
+}
+
+TEST_F(WasTest, SendMessageAssignsConsecutiveSeqPerMailbox) {
+  for (int i = 0; i < 3; ++i) {
+    Mutate("mutation { sendMessage(thread: " + std::to_string(thread_) +
+               ", text: \"m\") { id } }",
+           alice_);
+  }
+  auto mailbox = Query("{ mailbox(afterSeq: 0, first: 10) { id seq } }", bob_);
+  ASSERT_NE(mailbox, nullptr);
+  const ValueList& messages = mailbox->data.Get("mailbox").AsList();
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(messages[0].Get("seq").AsInt(), 1);
+  EXPECT_EQ(messages[1].Get("seq").AsInt(), 2);
+  EXPECT_EQ(messages[2].Get("seq").AsInt(), 3);
+}
+
+TEST_F(WasTest, MailboxAfterSeqSkipsDelivered) {
+  for (int i = 0; i < 3; ++i) {
+    Mutate("mutation { sendMessage(thread: " + std::to_string(thread_) +
+               ", text: \"m\") { id } }",
+           alice_);
+  }
+  auto mailbox = Query("{ mailbox(afterSeq: 2, first: 10) { seq } }", bob_);
+  ASSERT_EQ(mailbox->data.Get("mailbox").Size(), 1u);
+  EXPECT_EQ(mailbox->data.Get("mailbox").AsList()[0].Get("seq").AsInt(), 3);
+}
+
+TEST_F(WasTest, SubscriptionResolutionLvc) {
+  auto request = std::make_shared<WasResolveSubRequest>();
+  request->subscription =
+      "subscription { liveVideoComments(videoId: " + std::to_string(video_) + ") { id } }";
+  request->viewer = alice_;
+  auto response = Call<WasResolveSubResponse>("was.resolve_subscription", request);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->app, "LVC");
+  // Main topic plus one per-author topic per friend (alice's one friend is
+  // bob), so hot-mode per-author publishes reach her (§3.4).
+  ASSERT_EQ(response->topics.size(), 2u);
+  EXPECT_EQ(response->topics[0], LvcTopic(video_));
+  EXPECT_EQ(response->topics[1], LvcUserTopic(video_, bob_));
+}
+
+TEST_F(WasTest, SubscriptionResolutionActiveStatusFansToFriends) {
+  auto request = std::make_shared<WasResolveSubRequest>();
+  request->subscription = "subscription { activeStatus { online } }";
+  request->viewer = alice_;
+  auto response = Call<WasResolveSubResponse>("was.resolve_subscription", request);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->app, "AS");
+  ASSERT_EQ(response->topics.size(), 1u);  // alice has one friend: bob
+  EXPECT_EQ(response->topics[0], ActiveStatusTopic(bob_));
+  EXPECT_EQ(response->context.Get("friends").Size(), 1u);
+}
+
+TEST_F(WasTest, SubscriptionResolutionTypingExcludesViewer) {
+  auto request = std::make_shared<WasResolveSubRequest>();
+  request->subscription =
+      "subscription { typingIndicator(threadId: " + std::to_string(thread_) + ") { user } }";
+  request->viewer = alice_;
+  auto response = Call<WasResolveSubResponse>("was.resolve_subscription", request);
+  ASSERT_NE(response, nullptr);
+  ASSERT_EQ(response->topics.size(), 1u);
+  EXPECT_EQ(response->topics[0], TypingTopic(thread_, bob_));
+}
+
+TEST_F(WasTest, SubscriptionResolutionUnknownFieldFails) {
+  auto request = std::make_shared<WasResolveSubRequest>();
+  request->subscription = "subscription { nonsense { x } }";
+  request->viewer = alice_;
+  auto response = Call<WasResolveSubResponse>("was.resolve_subscription", request);
+  ASSERT_NE(response, nullptr);
+  EXPECT_FALSE(response->ok);
+}
+
+TEST_F(WasTest, FetchReturnsPayloadWithPrivacyCheck) {
+  auto post = Mutate("mutation { postComment(video: " + std::to_string(video_) +
+                         ", text: \"hi\", language: \"en\") { id } }",
+                     bob_);
+  ObjectId comment_id = post->data.Get("postComment").Get("id").AsInt(0);
+
+  auto fetch = std::make_shared<WasFetchRequest>();
+  fetch->app = "LVC";
+  fetch->metadata.Set("id", comment_id);
+  fetch->metadata.Set("author", bob_);
+  fetch->viewer = alice_;
+  auto response = Call<WasFetchResponse>("was.fetch", fetch);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->allowed);
+  EXPECT_EQ(response->payload.Get("text").AsString(), "hi");
+}
+
+TEST_F(WasTest, FetchDeniedForBlockedViewer) {
+  BlockUser(*tao_, alice_, bob_);
+  sim_.RunFor(Seconds(1));
+  auto post = Mutate("mutation { postComment(video: " + std::to_string(video_) +
+                         ", text: \"hi\", language: \"en\") { id } }",
+                     bob_);
+  ObjectId comment_id = post->data.Get("postComment").Get("id").AsInt(0);
+
+  auto fetch = std::make_shared<WasFetchRequest>();
+  fetch->app = "LVC";
+  fetch->metadata.Set("id", comment_id);
+  fetch->metadata.Set("author", bob_);
+  fetch->viewer = alice_;
+  auto response = Call<WasFetchResponse>("was.fetch", fetch);
+  ASSERT_NE(response, nullptr);
+  EXPECT_FALSE(response->allowed);
+}
+
+TEST_F(WasTest, ActiveFriendsReflectsHeartbeatTtl) {
+  Mutate("mutation { heartbeatOnline }", bob_);
+  auto active = Query("{ activeFriends { id } }", alice_);
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->data.Get("activeFriends").Size(), 1u);
+
+  sim_.RunFor(Minutes(2));  // TTL expires
+  active = Query("{ activeFriends { id } }", alice_);
+  EXPECT_EQ(active->data.Get("activeFriends").Size(), 0u);
+}
+
+TEST_F(WasTest, StoriesTrayRanksContainers) {
+  Mutate("mutation { postStory(text: \"s1\") { id } }", bob_);
+  auto tray = Query("{ storiesTray(first: 5) { owner rank } }", alice_);
+  ASSERT_NE(tray, nullptr);
+  ASSERT_EQ(tray->data.Get("storiesTray").Size(), 1u);
+  EXPECT_EQ(tray->data.Get("storiesTray").AsList()[0].Get("owner").AsInt(), bob_);
+  // And the poll paid intersect-class costs (§3.4).
+  EXPECT_GE(tray->cost.intersect_reads, 2u);
+}
+
+TEST_F(WasTest, ParseErrorSurfacesInResponse) {
+  auto response = Query("{ unbalanced", alice_);
+  ASSERT_NE(response, nullptr);
+  ASSERT_FALSE(response->errors.empty());
+}
+
+TEST_F(WasTest, CommentsByFriendsIntersect) {
+  Mutate("mutation { postComment(video: " + std::to_string(video_) +
+             ", text: \"friend comment\", language: \"en\") { id } }",
+         bob_);
+  Mutate("mutation { postComment(video: " + std::to_string(video_) +
+             ", text: \"stranger comment\", language: \"es\") { id } }",
+         carol_);
+  auto result = Query("{ commentsByFriends(video: " + std::to_string(video_) +
+                          ", after: 0, first: 10) { id author } }",
+                      alice_);
+  ASSERT_NE(result, nullptr);
+  ASSERT_EQ(result->data.Get("commentsByFriends").Size(), 1u);
+  EXPECT_EQ(result->data.Get("commentsByFriends").AsList()[0].Get("author").AsInt(), bob_);
+  EXPECT_GE(result->cost.intersect_reads, 1u);
+}
+
+TEST_F(WasTest, CpuAccountingAccumulates) {
+  Query("{ user(id: " + std::to_string(alice_) + ") { name } }", bob_);
+  EXPECT_GT(metrics_.GetCounter("was.cpu_us").value(), 0);
+}
+
+}  // namespace
+}  // namespace bladerunner

@@ -1,0 +1,180 @@
+// Unit tests for the workload models: Table 1 popularity shape, Table 2
+// lifetime shape, diurnal curve, social-graph generation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/metrics.h"
+#include "src/workload/diurnal.h"
+#include "src/workload/lifetimes.h"
+#include "src/workload/popularity.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+TEST(PopularityTest, BucketClassification) {
+  EXPECT_EQ(AreaPopularityModel::BucketOf(0), 0u);
+  EXPECT_EQ(AreaPopularityModel::BucketOf(5), 1u);
+  EXPECT_EQ(AreaPopularityModel::BucketOf(42), 2u);
+  EXPECT_EQ(AreaPopularityModel::BucketOf(500000), 3u);
+  EXPECT_EQ(AreaPopularityModel::BucketOf(2000000), 4u);
+  EXPECT_EQ(AreaPopularityModel::BucketOf(200000000), 5u);
+  EXPECT_EQ(AreaPopularityModel::BucketLabels().size(), 6u);
+}
+
+TEST(PopularityTest, SampledDistributionMatchesTable1Shape) {
+  Rng rng(5);
+  AreaPopularityModel model;
+  const int n = 200000;
+  std::vector<int> buckets(6, 0);
+  for (int i = 0; i < n; ++i) {
+    buckets[AreaPopularityModel::BucketOf(model.SampleDailyUpdates(rng))] += 1;
+  }
+  // Table 1: 83% zero, 16% <10, ~1% <100, ~0.05% beyond 1M.
+  EXPECT_NEAR(static_cast<double>(buckets[0]) / n, 0.83, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[1]) / n, 0.16, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[2]) / n, 0.0095, 0.003);
+  // Table 1 has no 100..1M bucket: the tail jumps straight to >1M.
+  EXPECT_EQ(buckets[3], 0);
+  EXPECT_NEAR(static_cast<double>(buckets[4] + buckets[5]) / n, 0.0005, 0.0004);
+}
+
+TEST(PopularityTest, ZipfPickerConcentratesTraffic) {
+  Rng rng(6);
+  ZipfTopicPicker picker(1000, 1.05);
+  std::vector<int> hits(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    hits[static_cast<size_t>(picker.Pick(rng))] += 1;
+  }
+  // Top area gets orders of magnitude more than the median area.
+  EXPECT_GT(hits[0], hits[500] * 50);
+}
+
+TEST(LifetimeTest, BucketClassification) {
+  EXPECT_EQ(StreamLifetimeModel::BucketOf(Minutes(5)), 0u);
+  EXPECT_EQ(StreamLifetimeModel::BucketOf(Minutes(30)), 1u);
+  EXPECT_EQ(StreamLifetimeModel::BucketOf(Hours(5)), 2u);
+  EXPECT_EQ(StreamLifetimeModel::BucketOf(Hours(30)), 3u);
+}
+
+TEST(LifetimeTest, SampledDistributionMatchesTable2) {
+  Rng rng(7);
+  StreamLifetimeModel model;
+  const int n = 100000;
+  std::vector<int> buckets(4, 0);
+  for (int i = 0; i < n; ++i) {
+    buckets[StreamLifetimeModel::BucketOf(model.Sample(rng))] += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(buckets[0]) / n, 0.45, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[1]) / n, 0.26, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[2]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(buckets[3]) / n, 0.04, 0.01);
+}
+
+TEST(DiurnalTest, PeakAndTrough) {
+  DiurnalCurve curve(0.5, 1.0, 16.0);
+  EXPECT_NEAR(curve.At(Hours(16)), 1.0, 1e-9);
+  EXPECT_NEAR(curve.At(Hours(4)), 0.5, 1e-9);  // 12h away from peak
+  // Same time next day gives the same multiplier.
+  EXPECT_NEAR(curve.At(Hours(16)), curve.At(Hours(40)), 1e-9);
+}
+
+TEST(DiurnalTest, AlwaysWithinBand) {
+  DiurnalCurve curve = DiurnalCurve::PaperActivity();
+  for (int m = 0; m < 24 * 60; m += 7) {
+    double v = curve.At(Minutes(m));
+    EXPECT_GE(v, 0.55 - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+class SocialGenTest : public ::testing::Test {
+ protected:
+  SocialGenTest() : topology_(Topology::OneRegion()), sim_(9) {
+    tao_ = std::make_unique<TaoStore>(&sim_, &topology_, TaoConfig{}, &metrics_);
+  }
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TaoStore> tao_;
+};
+
+TEST_F(SocialGenTest, GeneratesRequestedCounts) {
+  SocialGraphConfig config;
+  config.num_users = 100;
+  config.num_videos = 3;
+  config.num_threads = 10;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  EXPECT_EQ(graph.users.size(), 100u);
+  EXPECT_EQ(graph.videos.size(), 3u);
+  EXPECT_EQ(graph.threads.size(), 10u);
+}
+
+TEST_F(SocialGenTest, FriendshipsAreSymmetric) {
+  SocialGraphConfig config;
+  config.num_users = 50;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  for (UserId user : graph.users) {
+    for (UserId f : graph.FriendsOf(user)) {
+      const auto& back = graph.FriendsOf(f);
+      EXPECT_NE(std::find(back.begin(), back.end(), user), back.end());
+    }
+  }
+}
+
+TEST_F(SocialGenTest, FriendshipsAreInTao) {
+  SocialGraphConfig config;
+  config.num_users = 30;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  sim_.RunFor(Seconds(1));
+  for (UserId user : graph.users) {
+    QueryCost cost;
+    auto assocs = tao_->AssocRange(0, user, AssocType::kFriend, kBeginningOfTime, kSimTimeNever,
+                                   1000, &cost);
+    EXPECT_EQ(assocs.size(), graph.FriendsOf(user).size());
+  }
+}
+
+TEST_F(SocialGenTest, MeanDegreeRoughlyMatchesConfig) {
+  SocialGraphConfig config;
+  config.num_users = 400;
+  config.mean_friends = 12.0;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  double total = 0.0;
+  for (UserId user : graph.users) {
+    total += static_cast<double>(graph.FriendsOf(user).size());
+  }
+  EXPECT_NEAR(total / static_cast<double>(graph.users.size()), 12.0, 2.5);
+}
+
+TEST_F(SocialGenTest, ThreadMembersRecorded) {
+  SocialGraphConfig config;
+  config.num_users = 30;
+  config.num_threads = 5;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  for (ObjectId thread : graph.threads) {
+    const auto& members = graph.thread_members.at(thread);
+    EXPECT_GE(members.size(), static_cast<size_t>(config.thread_size_min));
+    EXPECT_LE(members.size(), static_cast<size_t>(config.thread_size_max));
+    QueryCost cost;
+    auto obj = tao_->GetObject(0, thread, &cost);
+    ASSERT_TRUE(obj.has_value());
+    EXPECT_EQ(obj->data.Get("members").Size(), members.size());
+  }
+}
+
+TEST_F(SocialGenTest, LanguagesAssigned) {
+  SocialGraphConfig config;
+  config.num_users = 50;
+  SocialGraph graph = GenerateSocialGraph(*tao_, sim_.rng(), config);
+  for (UserId user : graph.users) {
+    EXPECT_FALSE(graph.language.at(user).empty());
+  }
+}
+
+}  // namespace
+}  // namespace bladerunner
