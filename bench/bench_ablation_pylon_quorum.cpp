@@ -17,6 +17,7 @@
 #include "src/pylon/cluster.h"
 #include "src/pylon/messages.h"
 #include "src/sim/simulator.h"
+#include "src/trace/analysis.h"
 
 using namespace bladerunner;
 
@@ -36,18 +37,19 @@ Result MeasureFanout(bool forward_on_first, uint64_t seed) {
   config.servers_per_region = 2;
   config.kv_nodes_per_region = 2;
   config.forward_on_first_response = forward_on_first;
-  PylonCluster pylon(&sim, &topology, config, &metrics);
+  TraceCollector trace;
+  PylonCluster pylon(&sim, &topology, config, &metrics, &trace);
 
   Topic topic = "/bench/quorum";
-  Histogram arrival;
-  SimTime published_at = 0;
   std::vector<std::unique_ptr<RpcServer>> sinks;
   const int kSubscribers = 60;
   for (int i = 0; i < kSubscribers; ++i) {
     auto sink = std::make_unique<RpcServer>();
+    // Per-delivery latency is the "pylon.deliver" span, opened at publish
+    // ingest and closed here on receipt.
     sink->RegisterMethod("brass.event",
-                         [&arrival, &sim, &published_at](MessagePtr, RpcServer::Respond respond) {
-                           arrival.Record(static_cast<double>(sim.Now() - published_at));
+                         [&trace, &sim](MessagePtr request, RpcServer::Respond respond) {
+                           trace.EndSpan(request->trace, sim.Now());
                            respond(std::make_shared<PylonAck>());
                          });
     pylon.RegisterSubscriberHost(3000 + i, static_cast<RegionId>(i % 3), sink.get());
@@ -67,13 +69,15 @@ Result MeasureFanout(bool forward_on_first, uint64_t seed) {
     auto event = std::make_shared<UpdateEvent>();
     event->topic = topic;
     event->event_id = static_cast<uint64_t>(p) + 1;
-    event->published_at = sim.Now();
-    published_at = sim.Now();
+    event->created_at = sim.Now();
     auto request = std::make_shared<PylonPublishRequest>();
     request->event = std::move(event);
     channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
     sim.RunFor(Seconds(3));
   }
+  SpanQuery deliver;
+  deliver.name = "pylon.deliver";
+  Histogram arrival = SpanDurationHistogram(trace, deliver);
   Result result;
   result.mean_ms = arrival.Mean() / 1000.0;
   result.p99_ms = arrival.Quantile(0.99) / 1000.0;

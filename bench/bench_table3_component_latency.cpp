@@ -6,6 +6,10 @@
 //     BRASS receives update -> sent to dev:  ~76ms (60ms of it WAS query)
 //     Subscription at gateway -> replicated: ~73ms
 //     (plus device-side subscribe: ~490ms NA/EU, ~970ms all countries)
+//
+// Every row is derived from trace spans (src/trace): the scenario runs with
+// tracing at sample rate 1.0 and the component latencies are span-duration
+// histograms rather than ad-hoc timestamp plumbing.
 
 #include <memory>
 #include <vector>
@@ -14,6 +18,7 @@
 #include "src/core/cluster.h"
 #include "src/core/device.h"
 #include "src/pylon/messages.h"
+#include "src/trace/analysis.h"
 #include "src/was/resolvers.h"
 #include "src/workload/social_gen.h"
 
@@ -22,25 +27,29 @@ using namespace bladerunner;
 namespace {
 
 // Measures Pylon publish->delivery with a controlled number of subscriber
-// sinks, isolating the fanout cost (the <10k vs >=10k split).
+// sinks, isolating the fanout cost (the <10k vs >=10k split). Each delivery
+// carries a "pylon.deliver" span opened when the Pylon ingests the publish;
+// the sink closes it on receipt, so per-delivery latency comes from the
+// span's own start/end rather than a shared timestamp captured by
+// reference (which silently mis-attributed stragglers from one publish to
+// the next publish's start time).
 double MeasureFanoutMs(int num_subscribers, uint64_t seed) {
   Simulator sim(seed);
   Topology topology = Topology::ThreeRegions();
   MetricsRegistry metrics;
+  TraceCollector trace;  // defaults: enabled, sample everything
   PylonConfig config;
   config.servers_per_region = 2;
   config.kv_nodes_per_region = 2;
-  PylonCluster pylon(&sim, &topology, config, &metrics);
+  PylonCluster pylon(&sim, &topology, config, &metrics, &trace);
 
   Topic topic = "/bench/fanout";
-  Histogram arrival;
   std::vector<std::unique_ptr<RpcServer>> sinks;
-  SimTime published_at = 0;
   for (int i = 0; i < num_subscribers; ++i) {
     auto sink = std::make_unique<RpcServer>();
     sink->RegisterMethod("brass.event",
-                         [&arrival, &sim, &published_at](MessagePtr, RpcServer::Respond respond) {
-                           arrival.Record(static_cast<double>(sim.Now() - published_at));
+                         [&trace, &sim](MessagePtr request, RpcServer::Respond respond) {
+                           trace.EndSpan(request->trace, sim.Now());
                            respond(std::make_shared<PylonAck>());
                          });
     RegionId region = static_cast<RegionId>(i % topology.num_regions());
@@ -58,19 +67,27 @@ double MeasureFanoutMs(int num_subscribers, uint64_t seed) {
   }
   sim.RunFor(Seconds(10));
 
-  // Publish a handful of events; measure mean delivery delay.
+  // Publish a handful of events; the Pylon roots a trace per publish.
   for (int p = 0; p < 5; ++p) {
     auto event = std::make_shared<UpdateEvent>();
     event->topic = topic;
     event->event_id = static_cast<uint64_t>(p) + 1;
-    event->published_at = sim.Now();
-    published_at = sim.Now();
+    event->created_at = sim.Now();
     auto request = std::make_shared<PylonPublishRequest>();
     request->event = std::move(event);
     channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
     sim.RunFor(Seconds(5));
   }
+  SpanQuery deliver;
+  deliver.name = "pylon.deliver";
+  Histogram arrival = SpanDurationHistogram(trace, deliver);
   return arrival.Mean() / 1000.0;
+}
+
+Histogram Durations(const TraceCollector& trace, const std::string& name) {
+  SpanQuery query;
+  query.name = name;
+  return SpanDurationHistogram(trace, query);
 }
 
 }  // namespace
@@ -124,20 +141,39 @@ int main() {
   }
   cluster.sim().RunFor(Seconds(20));
 
-  MetricsRegistry& m = cluster.metrics();
-  const Histogram* ranked = m.FindHistogram("was.publish_delay_us.ranked");
-  const Histogram* other = m.FindHistogram("was.publish_delay_us.other");
-  const Histogram* brass_push = m.FindHistogram("brass.event_to_push_us");
-  const Histogram* was_fetch = m.FindHistogram("brass.was_fetch_us");
-  const Histogram* sub_repl = m.FindHistogram("pylon.subscribe_replication_us");
-  const Histogram* sub_setup = m.FindHistogram("e2e.subscribe_setup_us");
-  const Histogram* fanout = m.FindHistogram("pylon.fanout_latency_us");
+  // Every row below comes out of the trace collector: span durations for
+  // the component stages, end-since-root for the device-observed setup.
+  const TraceCollector& trace = cluster.trace();
+  SpanQuery ranked_query;
+  ranked_query.name = "was.publish";
+  ranked_query.annotation_key = "ranked";
+  ranked_query.annotation_value = Value(true);
+  Histogram ranked = SpanDurationHistogram(trace, ranked_query);
+  SpanQuery other_query = ranked_query;
+  other_query.annotation_value = Value(false);
+  Histogram other = SpanDurationHistogram(trace, other_query);
+
+  // "BRASS receives update -> sent to device" is the non-buffering app's
+  // "brass.process" span (typing indicator; LVC buffers in its candidate
+  // queue so its spans include ranking holds).
+  SpanQuery push_query;
+  push_query.name = "brass.process";
+  push_query.annotation_key = "app";
+  push_query.annotation_value = Value(std::string("TI"));
+  Histogram brass_push = SpanDurationHistogram(trace, push_query);
+  Histogram was_fetch = Durations(trace, "brass.fetch");
+  Histogram sub_repl = Durations(trace, "pylon.subscribe");
+  Histogram fanout = Durations(trace, "pylon.deliver");
+
+  SpanQuery setup_query;
+  setup_query.name = "brass.subscribe";
+  Histogram sub_setup = SpanEndSinceRootHistogram(trace, setup_query);
 
   PrintSection("WAS receives update request -> request sent to Pylon");
-  PrintRow("  LVC (ranked):  mean=%.0fms  (n=%llu)", ranked ? ranked->Mean() / 1000.0 : 0.0,
-           ranked ? static_cast<unsigned long long>(ranked->count()) : 0ULL);
-  PrintRow("  other:         mean=%.0fms  (n=%llu)", other ? other->Mean() / 1000.0 : 0.0,
-           other ? static_cast<unsigned long long>(other->count()) : 0ULL);
+  PrintRow("  LVC (ranked):  mean=%.0fms  (n=%llu)", ranked.Mean() / 1000.0,
+           static_cast<unsigned long long>(ranked.count()));
+  PrintRow("  other:         mean=%.0fms  (n=%llu)", other.Mean() / 1000.0,
+           static_cast<unsigned long long>(other.count()));
 
   PrintSection("Pylon receives publish -> update sent to n BRASSes");
   double fanout_small = MeasureFanoutMs(500, 42);
@@ -145,40 +181,32 @@ int main() {
   PrintRow("  %d subscribers:   mean=%.1fms", 500, fanout_small);
   PrintRow("  %d subscribers: mean=%.1fms  (marginal per-subscriber send cost)", 12000,
            fanout_large);
-  if (fanout != nullptr && fanout->count() > 0) {
+  if (fanout.count() > 0) {
     PrintRow("  in-scenario fanout latency: mean=%.1fms p90=%.1fms (n=%llu)",
-             fanout->Mean() / 1000.0, fanout->Quantile(0.9) / 1000.0,
-             static_cast<unsigned long long>(fanout->count()));
+             fanout.Mean() / 1000.0, fanout.Quantile(0.9) / 1000.0,
+             static_cast<unsigned long long>(fanout.count()));
   }
 
   PrintSection("BRASS receives update -> sent to devices (non-buffering app)");
-  PrintRow("  total:         mean=%.0fms  (n=%llu)",
-           brass_push ? brass_push->Mean() / 1000.0 : 0.0,
-           brass_push ? static_cast<unsigned long long>(brass_push->count()) : 0ULL);
-  PrintRow("  of which WAS query: mean=%.0fms",
-           was_fetch ? was_fetch->Mean() / 1000.0 : 0.0);
+  PrintRow("  total:         mean=%.0fms  (n=%llu)", brass_push.Mean() / 1000.0,
+           static_cast<unsigned long long>(brass_push.count()));
+  PrintRow("  of which WAS query: mean=%.0fms", was_fetch.Mean() / 1000.0);
 
   PrintSection("Subscription request -> replicated onto Pylon");
-  PrintRow("  backend replication: mean=%.0fms  (n=%llu)",
-           sub_repl ? sub_repl->Mean() / 1000.0 : 0.0,
-           sub_repl ? static_cast<unsigned long long>(sub_repl->count()) : 0ULL);
+  PrintRow("  backend replication: mean=%.0fms  (n=%llu)", sub_repl.Mean() / 1000.0,
+           static_cast<unsigned long long>(sub_repl.count()));
   PrintRow("  device-observed setup (all countries/profiles): mean=%.0fms p90=%.0fms",
-           sub_setup ? sub_setup->Mean() / 1000.0 : 0.0,
-           sub_setup ? sub_setup->Quantile(0.9) / 1000.0 : 0.0);
+           sub_setup.Mean() / 1000.0, sub_setup.Quantile(0.9) / 1000.0);
 
   PrintSection("paper vs measured");
-  Recap("WAS update->Pylon (LVC)", "2,000ms",
-        Fmt("%.0fms", ranked ? ranked->Mean() / 1000.0 : 0.0));
-  Recap("WAS update->Pylon (other)", "240ms",
-        Fmt("%.0fms", other ? other->Mean() / 1000.0 : 0.0));
+  Recap("WAS update->Pylon (LVC)", "2,000ms", Fmt("%.0fms", ranked.Mean() / 1000.0));
+  Recap("WAS update->Pylon (other)", "240ms", Fmt("%.0fms", other.Mean() / 1000.0));
   Recap("Pylon publish->BRASSes (<10k subs)", "100ms", Fmt("%.0fms", fanout_small));
   Recap("Pylon publish->BRASSes (>=10k subs)", "109ms", Fmt("%.0fms", fanout_large));
   Recap("BRASS update->device", "76ms (60 WAS)",
-        Fmt("%.0fms (%.0f WAS)", brass_push ? brass_push->Mean() / 1000.0 : 0.0,
-            was_fetch ? was_fetch->Mean() / 1000.0 : 0.0));
-  Recap("subscription->replicated on Pylon", "73ms",
-        Fmt("%.0fms", sub_repl ? sub_repl->Mean() / 1000.0 : 0.0));
+        Fmt("%.0fms (%.0f WAS)", brass_push.Mean() / 1000.0, was_fetch.Mean() / 1000.0));
+  Recap("subscription->replicated on Pylon", "73ms", Fmt("%.0fms", sub_repl.Mean() / 1000.0));
   Recap("device subscribe setup (worldwide)", "~970ms avg",
-        Fmt("%.0fms", sub_setup ? sub_setup->Mean() / 1000.0 : 0.0));
+        Fmt("%.0fms", sub_setup.Mean() / 1000.0));
   return 0;
 }

@@ -67,6 +67,7 @@ void ActiveStatusApp::OnEvent(const Topic& topic, const UpdateEvent& event,
                       now - seen->second <= config_.online_ttl;
     runtime().CountDecision(!was_online);
     it->second.last_seen[user] = event.created_at;
+    it->second.last_trace[user] = event.trace;
   }
 }
 
@@ -94,6 +95,10 @@ void ActiveStatusApp::PushBatch(const StreamKey& key) {
   ValueList came_online;
   ValueList went_offline;
   SimTime oldest_transition = 0;
+  // The batch aggregates many heartbeats; attribute it to the trace of the
+  // oldest came-online transition (the one whose end-to-end latency the
+  // delivery's created_at already measures).
+  TraceContext oldest_trace;
   for (auto& [uid, last] : viewer.last_seen) {
     bool online = now - last <= config_.online_ttl;
     bool pushed_online = false;
@@ -106,6 +111,8 @@ void ActiveStatusApp::PushBatch(const StreamKey& key) {
         came_online.push_back(Value(uid));
         if (oldest_transition == 0 || last < oldest_transition) {
           oldest_transition = last;
+          auto trace_it = viewer.last_trace.find(uid);
+          oldest_trace = trace_it != viewer.last_trace.end() ? trace_it->second : TraceContext();
         }
       } else {
         went_offline.push_back(Value(uid));
@@ -123,7 +130,8 @@ void ActiveStatusApp::PushBatch(const StreamKey& key) {
   payload.Set("__type", "ActiveStatusBatch");
   payload.Set("online", Value(std::move(came_online)));
   payload.Set("offline", Value(std::move(went_offline)));
-  runtime().DeliverData(*viewer.stream, std::move(payload), /*seq=*/0, oldest_transition);
+  runtime().DeliverData(*viewer.stream, std::move(payload), /*seq=*/0, oldest_transition,
+                        oldest_trace);
 }
 
 }  // namespace bladerunner

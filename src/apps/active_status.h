@@ -38,6 +38,7 @@ class ActiveStatusApp : public BrassApplication {
   struct ViewerState {
     BrassStream* stream = nullptr;
     std::map<UserId, SimTime> last_seen;   // friend -> last heartbeat
+    std::map<UserId, TraceContext> last_trace;  // friend -> heartbeat's trace
     std::map<UserId, bool> last_pushed;    // friend -> online as last told
     TimerId batch_timer = kInvalidTimerId;
   };

@@ -43,6 +43,10 @@ void LiveVideoCommentsApp::OnStreamClosed(const StreamKey& key) {
   if (it->second.push_timer != kInvalidTimerId) {
     runtime().CancelTimer(it->second.push_timer);
   }
+  for (Candidate& candidate : it->second.buffer) {
+    runtime().AnnotateSpan(candidate.span, "outcome", Value("stream_closed"));
+    runtime().EndSpan(candidate.span);
+  }
   viewers_.erase(it);
 }
 
@@ -77,12 +81,17 @@ void LiveVideoCommentsApp::InsertCandidate(ViewerState& viewer, const UpdateEven
   candidate.created_at = event.created_at;
   candidate.received_at = runtime().Now();
   candidate.metadata = event.metadata;
+  candidate.span = runtime().StartSpan(event.trace, "brass.process");
   auto pos = std::lower_bound(
       viewer.buffer.begin(), viewer.buffer.end(), candidate,
       [](const Candidate& a, const Candidate& b) { return a.quality > b.quality; });
   viewer.buffer.insert(pos, std::move(candidate));
   if (viewer.buffer.size() > config_.buffer_capacity) {
-    viewer.buffer.pop_back();  // evict the lowest-ranked candidate
+    // Evict the lowest-ranked candidate; its update never reaches the
+    // device, which the trace records as an annotated end.
+    runtime().AnnotateSpan(viewer.buffer.back().span, "outcome", Value("evicted"));
+    runtime().EndSpan(viewer.buffer.back().span);
+    viewer.buffer.pop_back();
   }
 }
 
@@ -100,18 +109,25 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       runtime().CountDecision(true);
       StreamKey key = stream->key;
       SimTime created_at = event.created_at;
-      runtime().FetchPayload(event.metadata, stream->viewer,
-                             [this, key, created_at](bool allowed, Value payload) {
-                               if (!allowed) {
-                                 return;
-                               }
-                               auto it2 = viewers_.find(key);
-                               if (it2 == viewers_.end() || it2->second.stream == nullptr) {
-                                 return;
-                               }
-                               runtime().DeliverData(*it2->second.stream, std::move(payload), 0,
-                                                     created_at);
-                             });
+      TraceContext span = runtime().StartSpan(event.trace, "brass.process");
+      runtime().FetchPayload(
+          event.metadata, stream->viewer,
+          [this, key, created_at, span](bool allowed, Value payload) {
+            if (!allowed) {
+              runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
+              runtime().EndSpan(span);
+              return;
+            }
+            auto it2 = viewers_.find(key);
+            if (it2 == viewers_.end() || it2->second.stream == nullptr) {
+              runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+              runtime().EndSpan(span);
+              return;
+            }
+            runtime().DeliverData(*it2->second.stream, std::move(payload), 0, created_at, span);
+            runtime().EndSpan(span);
+          },
+          span);
       continue;
     }
     if (!FilterForViewer(it->second, event, *stream)) {
@@ -147,12 +163,16 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
   // Age out stale candidates first; each expiry is a negative decision.
   while (!viewer.buffer.empty() &&
          now - viewer.buffer.back().created_at > config_.max_comment_age) {
+    runtime().AnnotateSpan(viewer.buffer.back().span, "outcome", Value("expired"));
+    runtime().EndSpan(viewer.buffer.back().span);
     viewer.buffer.pop_back();
     runtime().CountDecision(false);
   }
   // (Aging is quality-ordered from the back; sweep remaining entries too.)
   for (size_t i = viewer.buffer.size(); i > 0; --i) {
     if (now - viewer.buffer[i - 1].created_at > config_.max_comment_age) {
+      runtime().AnnotateSpan(viewer.buffer[i - 1].span, "outcome", Value("expired"));
+      runtime().EndSpan(viewer.buffer[i - 1].span);
       viewer.buffer.erase(viewer.buffer.begin() + static_cast<ptrdiff_t>(i - 1));
       runtime().CountDecision(false);
     }
@@ -178,31 +198,35 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
   runtime().CountDecision(true);
 
   // Fetch the comment payload from the WAS (privacy-checked point query,
-  // Fig. 5 steps 8-10), then push to the device.
+  // Fig. 5 steps 8-10), then push to the device. The candidate's
+  // "brass.process" span (opened at event receipt) covers buffering, rate
+  // limiting, and the fetch — Fig. 9's "BRASS host processing" leg — and
+  // ends when the push is handed to BURST.
   StreamKey stream_key = key;
   SimTime created_at = best.created_at;
-  SimTime received_at = best.received_at;
+  TraceContext span = best.span;
   UserId viewer_id = viewer.stream->viewer;
-  runtime().FetchPayload(best.metadata, viewer_id,
-                         [this, stream_key, created_at, received_at](bool allowed,
-                                                                     Value payload) {
-                           if (!allowed) {
-                             runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
-                             return;
-                           }
-                           auto it2 = viewers_.find(stream_key);
-                           if (it2 == viewers_.end() || it2->second.stream == nullptr) {
-                             return;
-                           }
-                           // Fig. 9's "BRASS host processing" leg for LVC:
-                           // buffering + rate limiting + the payload fetch.
-                           runtime()
-                               .metrics()
-                               .GetHistogram("lvc.brass_processing_us")
-                               .Record(static_cast<double>(runtime().Now() - received_at));
-                           runtime().DeliverData(*it2->second.stream, std::move(payload),
-                                                 /*seq=*/0, created_at);
-                         });
+  runtime().FetchPayload(
+      best.metadata, viewer_id,
+      [this, stream_key, created_at, span](bool allowed, Value payload) {
+        if (!allowed) {
+          runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
+          runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
+          runtime().EndSpan(span);
+          return;
+        }
+        auto it2 = viewers_.find(stream_key);
+        if (it2 == viewers_.end() || it2->second.stream == nullptr) {
+          runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+          runtime().EndSpan(span);
+          return;
+        }
+        runtime().AnnotateSpan(span, "outcome", Value("delivered"));
+        runtime().DeliverData(*it2->second.stream, std::move(payload),
+                              /*seq=*/0, created_at, span);
+        runtime().EndSpan(span);
+      },
+      span);
 }
 
 }  // namespace bladerunner

@@ -77,6 +77,9 @@ class LiveVideoCommentsApp : public BrassApplication {
     SimTime created_at = 0;   // comment creation (origin side)
     SimTime received_at = 0;  // event arrival at this BRASS instance
     Value metadata;
+    // "brass.process" span: event receipt -> push decision (delivered,
+    // evicted, or aged out). Fig. 9's "BRASS host processing" leg.
+    TraceContext span;
   };
 
   struct ViewerState {

@@ -55,7 +55,17 @@ void MessengerApp::OnStreamResumed(BrassStream& stream) {
   RecoverGap(stream.key);
 }
 
-void MessengerApp::OnStreamClosed(const StreamKey& key) { mailboxes_.erase(key); }
+void MessengerApp::OnStreamClosed(const StreamKey& key) {
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end()) {
+    return;
+  }
+  for (auto& [seq, pending] : it->second.pending) {
+    runtime().AnnotateSpan(pending.span, "outcome", Value("stream_closed"));
+    runtime().EndSpan(pending.span);
+  }
+  mailboxes_.erase(it);
+}
 
 void MessengerApp::OnEvent(const Topic& topic, const UpdateEvent& event,
                            const std::vector<BrassStream*>& streams) {
@@ -81,40 +91,49 @@ void MessengerApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       runtime().metrics().GetCounter("messenger.gaps_detected").Increment();
       RecoverGap(stream->key);
     }
-    FetchAndQueue(stream->key, event.metadata, seq, event.created_at);
+    FetchAndQueue(stream->key, event.metadata, seq, event.created_at,
+                  runtime().StartSpan(event.trace, "brass.process"));
   }
 }
 
 void MessengerApp::FetchAndQueue(const StreamKey& key, const Value& metadata, uint64_t seq,
-                                 SimTime created_at) {
+                                 SimTime created_at, TraceContext span) {
   auto it = mailboxes_.find(key);
   if (it == mailboxes_.end() || it->second.stream == nullptr) {
+    runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+    runtime().EndSpan(span);
     return;
   }
   UserId viewer = it->second.stream->viewer;
-  runtime().FetchPayload(metadata, viewer,
-                         [this, key, seq, created_at](bool allowed, Value payload) {
-                           auto it2 = mailboxes_.find(key);
-                           if (it2 == mailboxes_.end()) {
-                             return;
-                           }
-                           if (seq < it2->second.next_seq) {
-                             // A concurrent gap poll recovered and delivered
-                             // this sequence while the fetch was in flight; a
-                             // stale insert would wedge the drain queue.
-                             return;
-                           }
-                           if (!allowed) {
-                             // Privacy-suppressed content still consumes its
-                             // sequence slot (the mailbox entry exists).
-                             payload = Value(ValueMap{});
-                             payload.Set("__type", "Message");
-                             payload.Set("suppressed", true);
-                           }
-                           payload.Set("_createdAtEvent", created_at);
-                           it2->second.pending[seq] = std::move(payload);
-                           DrainPending(key);
-                         });
+  runtime().FetchPayload(
+      metadata, viewer,
+      [this, key, seq, created_at, span](bool allowed, Value payload) {
+        auto it2 = mailboxes_.find(key);
+        if (it2 == mailboxes_.end()) {
+          runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+          runtime().EndSpan(span);
+          return;
+        }
+        if (seq < it2->second.next_seq) {
+          // A concurrent gap poll recovered and delivered
+          // this sequence while the fetch was in flight; a
+          // stale insert would wedge the drain queue.
+          runtime().AnnotateSpan(span, "outcome", Value("superseded"));
+          runtime().EndSpan(span);
+          return;
+        }
+        if (!allowed) {
+          // Privacy-suppressed content still consumes its
+          // sequence slot (the mailbox entry exists).
+          payload = Value(ValueMap{});
+          payload.Set("__type", "Message");
+          payload.Set("suppressed", true);
+        }
+        payload.Set("_createdAtEvent", created_at);
+        it2->second.pending[seq] = PendingMessage{std::move(payload), span};
+        DrainPending(key);
+      },
+      span);
 }
 
 void MessengerApp::DrainPending(const StreamKey& key) {
@@ -126,17 +145,21 @@ void MessengerApp::DrainPending(const StreamKey& key) {
   // Defensively drop stale heads (sequences another recovery path already
   // delivered); they must never block newer pending messages.
   while (!state.pending.empty() && state.pending.begin()->first < state.next_seq) {
+    runtime().AnnotateSpan(state.pending.begin()->second.span, "outcome", Value("superseded"));
+    runtime().EndSpan(state.pending.begin()->second.span);
     state.pending.erase(state.pending.begin());
   }
   while (!state.pending.empty() && state.pending.begin()->first == state.next_seq) {
     uint64_t seq = state.pending.begin()->first;
-    Value payload = std::move(state.pending.begin()->second);
+    Value payload = std::move(state.pending.begin()->second.payload);
+    TraceContext span = state.pending.begin()->second.span;
     state.pending.erase(state.pending.begin());
     SimTime created_at = payload.Get("_createdAtEvent").AsInt(0);
     state.next_seq = seq + 1;
     if (state.stream != nullptr) {
-      runtime().DeliverData(*state.stream, payload, seq, created_at);
+      runtime().DeliverData(*state.stream, payload, seq, created_at, span);
     }
+    runtime().EndSpan(span);
     state.unacked[seq] = std::move(payload);
     if (state.unacked.size() > config_.redelivery_buffer) {
       state.unacked.erase(state.unacked.begin());
@@ -171,7 +194,8 @@ void MessengerApp::RecoverGap(const StreamKey& key) {
           it2->second.pending.find(seq) == it2->second.pending.end()) {
         Value payload = message;
         payload.Set("__type", "Message");
-        it2->second.pending[seq] = std::move(payload);
+        // Gap-recovered messages have no originating event trace.
+        it2->second.pending[seq] = PendingMessage{std::move(payload), TraceContext()};
       }
     }
     DrainPending(key);

@@ -40,16 +40,23 @@ class MessengerApp : public BrassApplication {
   static BrassAppFactory Factory(MessengerConfig config = {});
 
  private:
+  struct PendingMessage {
+    Value payload;
+    // "brass.process" span, open since the update event arrived; invalid
+    // for messages recovered via gap polls (no originating event trace).
+    TraceContext span;
+  };
+
   struct MailboxState {
     BrassStream* stream = nullptr;
     uint64_t next_seq = 1;                 // next sequence to deliver
-    std::map<uint64_t, Value> pending;     // fetched, waiting for their turn
+    std::map<uint64_t, PendingMessage> pending;  // fetched, waiting for their turn
     std::map<uint64_t, Value> unacked;     // delivered, awaiting device ack
     bool recovering = false;               // gap poll in flight
   };
 
   void FetchAndQueue(const StreamKey& key, const Value& metadata, uint64_t seq,
-                     SimTime created_at);
+                     SimTime created_at, TraceContext span);
   void DrainPending(const StreamKey& key);
   void RecoverGap(const StreamKey& key);
   void PersistProgress(MailboxState& state);

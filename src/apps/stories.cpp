@@ -87,19 +87,27 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
         if (viewer.stream != nullptr && viewer.stream->attached()) {
           StreamKey key = viewer.stream->key;
           SimTime created_at = trigger.created_at;
-          runtime().FetchPayload(trigger.metadata, viewer.stream->viewer,
-                                 [this, key, created_at](bool allowed, Value payload) {
-                                   if (!allowed) {
-                                     return;
-                                   }
-                                   auto it = viewers_.find(key);
-                                   if (it == viewers_.end() || it->second.stream == nullptr) {
-                                     return;
-                                   }
-                                   payload.Set("__type", "StoryTrayAddStory");
-                                   runtime().DeliverData(*it->second.stream, std::move(payload),
-                                                         0, created_at);
-                                 });
+          TraceContext span = runtime().StartSpan(trigger.trace, "brass.process");
+          runtime().FetchPayload(
+              trigger.metadata, viewer.stream->viewer,
+              [this, key, created_at, span](bool allowed, Value payload) {
+                if (!allowed) {
+                  runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
+                  runtime().EndSpan(span);
+                  return;
+                }
+                auto it = viewers_.find(key);
+                if (it == viewers_.end() || it->second.stream == nullptr) {
+                  runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+                  runtime().EndSpan(span);
+                  return;
+                }
+                payload.Set("__type", "StoryTrayAddStory");
+                runtime().DeliverData(*it->second.stream, std::move(payload), 0, created_at,
+                                      span);
+                runtime().EndSpan(span);
+              },
+              span);
         }
       } else if (!should_display && uid == trigger_author) {
         runtime().CountDecision(false);  // examined, container not displayed
@@ -116,7 +124,8 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
     delta.Set("rank", info->rank);
     if (should_display) {
       delta.Set("__type", "StoryTrayAddContainer");
-      runtime().DeliverData(*viewer.stream, std::move(delta), 0, trigger.created_at);
+      runtime().DeliverData(*viewer.stream, std::move(delta), 0, trigger.created_at,
+                            trigger.trace);
     } else {
       delta.Set("__type", "StoryTrayRemove");
       runtime().DeliverData(*viewer.stream, std::move(delta), 0, 0);

@@ -23,14 +23,19 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
   for (BrassStream* stream : streams) {
     streams_[stream->key] = stream;
     runtime().CountDecision(true);
+    // "brass.process": event receipt -> push handed to BURST. Table 3's
+    // "BRASS receives update -> sent to devices" span for non-buffering
+    // apps comes from this span's duration.
+    TraceContext span = runtime().StartSpan(event.trace, "brass.process");
     if (config_.backend_check) {
       StreamKey key = stream->key;
       SimTime created_at = event.created_at;
-      SimTime received_at = runtime().Now();
       runtime().FetchPayload(
           event.metadata, stream->viewer,
-          [this, key, created_at, received_at](bool allowed, Value payload) {
+          [this, key, created_at, span](bool allowed, Value payload) {
             if (!allowed) {
+              runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
+              runtime().EndSpan(span);
               return;
             }
             // Device-specific transformation happens after the backend
@@ -38,25 +43,24 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
             LatencyModel transform{config_.transform_ms, 0.3, config_.transform_ms / 4.0};
             runtime().ScheduleTimer(
                 transform.Sample(runtime().rng()),
-                [this, key, created_at, received_at, payload = std::move(payload)]() mutable {
+                [this, key, created_at, span, payload = std::move(payload)]() mutable {
                   auto it = streams_.find(key);
                   if (it == streams_.end() || it->second == nullptr) {
+                    runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
+                    runtime().EndSpan(span);
                     return;
                   }
-                  // Table 3's "BRASS receives update -> sent to devices"
-                  // span for non-buffering apps.
-                  runtime()
-                      .metrics()
-                      .GetHistogram("brass.event_to_push_us")
-                      .Record(static_cast<double>(runtime().Now() - received_at));
                   payload.Set("__type", "TypingIndicator");
-                  runtime().DeliverData(*it->second, std::move(payload), 0, created_at);
+                  runtime().DeliverData(*it->second, std::move(payload), 0, created_at, span);
+                  runtime().EndSpan(span);
                 });
-          });
+          },
+          span);
     } else {
       Value payload = event.metadata;
       payload.Set("__type", "TypingIndicator");
-      runtime().DeliverData(*stream, std::move(payload), 0, event.created_at);
+      runtime().DeliverData(*stream, std::move(payload), 0, event.created_at, span);
+      runtime().EndSpan(span);
     }
   }
 }

@@ -11,7 +11,8 @@ namespace bladerunner {
 
 BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppServer* was,
                      PylonCluster* pylon, const BrassAppRegistry* registry, BrassConfig config,
-                     BurstConfig burst_config, MetricsRegistry* metrics)
+                     BurstConfig burst_config, MetricsRegistry* metrics,
+                     TraceCollector* trace)
     : sim_(sim),
       host_id_(host_id),
       region_(region),
@@ -20,7 +21,8 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
       registry_(registry),
       config_(config),
       burst_config_(burst_config),
-      metrics_(metrics) {
+      metrics_(metrics),
+      trace_(trace) {
   assert(sim_ != nullptr && was_ != nullptr && registry_ != nullptr && metrics_ != nullptr);
   burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
   event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
@@ -68,25 +70,48 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
 void BrassHost::OnStreamStarted(ServerStream& stream) {
   metrics_->GetCounter("brass.streams_started").Increment();
   const std::string& app_name = stream.header().Get(kHeaderApp).AsString();
+  StreamKey key = stream.key();
+  UserId viewer = stream.header().Get(kHeaderViewer).AsInt(0);
+
+  // Continue the device's "subscribe" trace (ids in the header) or, for
+  // streams opened without one (direct transport tests), root a fresh
+  // trace here. "brass.subscribe" covers stream arrival -> subscription
+  // complete — the device-observed setup latency of Table 3.
+  TraceContext sub_span;
+  if (trace_ != nullptr) {
+    TraceContext root = ContextFromValue(stream.header());
+    if (!root.decided()) {
+      root = trace_->StartTrace("subscribe", "brass", region_, sim_->Now());
+    }
+    sub_span = trace_->StartSpan(root, "brass.subscribe", "brass", region_, sim_->Now());
+    trace_->Annotate(sub_span, "app", Value(app_name));
+    trace_->Annotate(sub_span, "viewer", Value(viewer));
+  }
+
   AppInstance* app = GetOrSpawnApp(app_name);
   if (app == nullptr) {
+    if (trace_ != nullptr) {
+      trace_->MarkError(sub_span, "no BRASS implementation", sim_->Now());
+    }
     stream.Terminate(TerminateReason::kError, "no BRASS implementation for '" + app_name + "'");
     return;
   }
-  StreamKey key = stream.key();
-  UserId viewer = stream.header().Get(kHeaderViewer).AsInt(0);
 
   // Resolve the GraphQL subscription into concrete Pylon topics by calling
   // the WAS (Fig. 3 step 5).
   auto resolve = std::make_shared<WasResolveSubRequest>();
   resolve->subscription = stream.header().Get(kHeaderSubscription).AsString();
   resolve->viewer = viewer;
+  resolve->trace = sub_span;
   LatencyModel dispatch{config_.subscribe_dispatch_ms, 0.3, config_.subscribe_dispatch_ms / 4.0};
-  sim_->Schedule(dispatch.Sample(sim_->rng()), [this, key, app_name, resolve]() {
+  sim_->Schedule(dispatch.Sample(sim_->rng()), [this, key, app_name, resolve, sub_span]() {
     was_channel_->Call(
         "was.resolve_subscription", resolve,
-        [this, key, app_name](RpcStatus status, MessagePtr response) {
+        [this, key, app_name, sub_span](RpcStatus status, MessagePtr response) {
           if (status != RpcStatus::kOk) {
+            if (trace_ != nullptr) {
+              trace_->MarkError(sub_span, "subscription resolution failed", sim_->Now());
+            }
             ServerStream* s = burst_->FindStream(key);
             if (s != nullptr) {
               s->Terminate(TerminateReason::kError, "subscription resolution failed");
@@ -101,28 +126,34 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
 
 void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& app,
                                      MessagePtr resolve_response) {
+  // The resolve response carried the "brass.subscribe" span's context back
+  // (responses inherit the request's trace).
+  TraceContext sub_span = resolve_response->trace;
   ServerStream* stream = burst_->FindStream(key);
   if (stream == nullptr) {
+    if (trace_ != nullptr) {
+      trace_->Annotate(sub_span, "cancelled", Value(true));
+      trace_->EndSpan(sub_span, sim_->Now());
+    }
     return;  // cancelled or detached-and-GCed while resolving
   }
   auto resolution = std::static_pointer_cast<WasResolveSubResponse>(resolve_response);
   if (!resolution->ok) {
+    if (trace_ != nullptr) trace_->MarkError(sub_span, resolution->error, sim_->Now());
     stream->Terminate(TerminateReason::kError, resolution->error);
     return;
   }
   AppInstance* instance = GetOrSpawnApp(app);
   if (instance == nullptr) {
+    if (trace_ != nullptr) trace_->MarkError(sub_span, "application unavailable", sim_->Now());
     stream->Terminate(TerminateReason::kError, "application unavailable");
     return;
   }
 
-  // Device-observed subscription setup span (Table 3's device-side
-  // subscription latency): device send -> topic resolution complete.
-  SimTime sent_at = stream->header().Get("_sentAt").AsInt(0);
-  if (sent_at > 0) {
-    metrics_->GetHistogram("e2e.subscribe_setup_us")
-        .Record(static_cast<double>(sim_->Now() - sent_at));
-  }
+  // Device-observed subscription setup (Table 3's device-side subscription
+  // latency) is the "brass.subscribe" span's end relative to the trace
+  // root the device opened before sending the subscribe frame.
+  if (trace_ != nullptr) trace_->EndSpan(sub_span, sim_->Now());
 
   HostStream host_stream;
   host_stream.app = app;
@@ -132,6 +163,11 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   host_stream.state.topics = resolution->topics;
   host_stream.state.context = resolution->context;
   host_stream.state.started_at = sim_->Now();
+  if (trace_ != nullptr && sub_span.valid()) {
+    host_stream.stream_span =
+        trace_->StartSpan(sub_span, "brass.stream", "brass", region_, sim_->Now());
+    trace_->Annotate(host_stream.stream_span, "app", Value(app));
+  }
   auto [it, inserted] = streams_.insert_or_assign(key, std::move(host_stream));
   (void)inserted;
 
@@ -143,12 +179,12 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   stream->Rewrite(std::move(header));
 
   for (const Topic& topic : it->second.state.topics) {
-    SubscribeTopic(topic, key);
+    SubscribeTopic(topic, key, sub_span);
   }
   instance->app->OnStreamStarted(it->second.state);
 }
 
-void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key) {
+void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key, TraceContext parent) {
   TopicEntry& entry = topics_[topic];
   entry.streams.insert(key);
   // Counterfactual for the subscription-manager ablation: without host-
@@ -166,6 +202,9 @@ void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key) {
   request->topic = topic;
   request->host_id = host_id_;
   request->subscribe = true;
+  // The quorum write's "pylon.subscribe" span nests under the stream that
+  // triggered this host-level (deduplicated) subscription.
+  request->trace = parent;
   channel->Call(
       "pylon.subscribe", request,
       [this, topic, channel](RpcStatus status, MessagePtr response) {
@@ -206,6 +245,9 @@ void BrassHost::TerminateStreamsOnTopic(const Topic& topic, const std::string& d
     UnsubscribeStreamTopics(key);
     auto hs = streams_.find(key);
     if (hs != streams_.end()) {
+      if (trace_ != nullptr) {
+        trace_->MarkError(hs->second.stream_span, detail, sim_->Now());
+      }
       closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
                                                     hs->second.state.started_at, sim_->Now(),
                                                     hs->second.events_targeted});
@@ -257,11 +299,16 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
   }
   auto event = delivery->event;
   metrics_->GetCounter("brass.events_received").Increment();
-  // Table 3's "Pylon receives publish -> update sent to n BRASSes" span.
-  SimTime fanout_base =
-      event->pylon_received_at > 0 ? event->pylon_received_at : event->published_at;
-  metrics_->GetHistogram("pylon.fanout_latency_us")
-      .Record(static_cast<double>(sim_->Now() - fanout_base));
+  // Table 3's "Pylon receives publish -> update sent to n BRASSes" span:
+  // close the "pylon.deliver" span Pylon opened for this host, and have
+  // the copy of the event the apps see continue from it (the shared event
+  // itself is delivered to many hosts and must stay immutable here).
+  if (trace_ != nullptr && delivery->trace.valid()) {
+    trace_->EndSpan(delivery->trace, sim_->Now());
+    auto traced = std::make_shared<UpdateEvent>(*event);
+    traced->trace = delivery->trace;
+    event = traced;
+  }
 
   auto topic_it = topics_.find(event->topic);
   if (topic_it == topics_.end()) {
@@ -316,17 +363,27 @@ void BrassHost::OnStreamResumed(ServerStream& stream) {
 }
 
 void BrassHost::OnStreamDetached(ServerStream& stream, const std::string& reason) {
-  (void)stream;
-  (void)reason;
   // State is retained (BurstServer holds it for the keep timeout); nothing
-  // application-visible happens until resume or GC.
+  // application-visible happens until resume or GC. The stream span keeps
+  // running but records the detach so a later error close is explicable.
+  auto hs = streams_.find(stream.key());
+  if (trace_ != nullptr && hs != streams_.end()) {
+    trace_->Annotate(hs->second.stream_span, "detached", Value(reason));
+  }
 }
 
 void BrassHost::OnStreamClosed(const StreamKey& key, TerminateReason reason) {
-  (void)reason;
   auto hs = streams_.find(key);
   if (hs == streams_.end()) {
     return;
+  }
+  if (trace_ != nullptr) {
+    if (reason == TerminateReason::kError) {
+      trace_->MarkError(hs->second.stream_span, "stream error", sim_->Now());
+    } else {
+      trace_->Annotate(hs->second.stream_span, "close_reason", Value(ToString(reason)));
+      trace_->EndSpan(hs->second.stream_span, sim_->Now());
+    }
   }
   closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
                                                 hs->second.state.started_at, sim_->Now(),
@@ -360,23 +417,31 @@ void BrassHost::OnAck(ServerStream& stream, uint64_t seq) {
 }
 
 void BrassHost::FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
-                             std::function<void(bool, Value)> callback) {
+                             std::function<void(bool, Value)> callback, TraceContext parent) {
   metrics_->GetCounter("brass.was_fetches").Increment();
   auto request = std::make_shared<WasFetchRequest>();
   request->app = app;
   request->metadata = metadata;
   request->viewer = viewer;
-  SimTime started = sim_->Now();
+  // "brass.fetch" covers the whole WAS round trip (Table 3's "of which WAS
+  // point query + privacy check"); the WAS nests its processing span in it.
+  TraceContext fetch_span;
+  if (trace_ != nullptr && parent.valid()) {
+    fetch_span = trace_->StartSpan(parent, "brass.fetch", "brass", region_, sim_->Now());
+  }
+  request->trace = fetch_span;
   auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
   was_channel_->Call(
       "was.fetch", request,
-      [this, cb, started](RpcStatus status, MessagePtr response) {
-        metrics_->GetHistogram("brass.was_fetch_us")
-            .Record(static_cast<double>(sim_->Now() - started));
+      [this, cb, fetch_span](RpcStatus status, MessagePtr response) {
         if (status != RpcStatus::kOk) {
+          if (trace_ != nullptr) {
+            trace_->MarkError(fetch_span, ToString(status), sim_->Now());
+          }
           (*cb)(false, Value(nullptr));
           return;
         }
+        if (trace_ != nullptr) trace_->EndSpan(fetch_span, sim_->Now());
         auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
         (*cb)(fetch->allowed, fetch->payload);
       },
@@ -416,7 +481,7 @@ void BrassHost::CountDecision(const std::string& app, bool delivered) {
 }
 
 void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value payload,
-                            uint64_t seq, SimTime event_created_at) {
+                            uint64_t seq, SimTime event_created_at, TraceContext parent) {
   if (stream.stream == nullptr) {
     metrics_->GetCounter("brass.deliveries_dropped").Increment();
     return;
@@ -427,16 +492,35 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
   // Last-mile bandwidth accounting (the filter-location ablation).
   metrics_->GetCounter("brass.delivered_bytes")
       .Increment(static_cast<int64_t>(payload.WireSize()));
+  // "burst.deliver": push leaves BRASS -> device receives it. The span's
+  // context rides on the data delta; the device's BURST client ends it.
+  TraceContext deliver_span;
+  if (trace_ != nullptr && parent.valid()) {
+    deliver_span = trace_->StartSpan(parent, "burst.deliver", "burst", region_, sim_->Now());
+    trace_->Annotate(deliver_span, "app", Value(app));
+  }
   // Stamp timing metadata so the device side can record Fig. 9's legs.
   if (event_created_at > 0) {
     payload.Set("_createdAt", event_created_at);
   }
   payload.Set("_sentAt", sim_->Now());
   payload.Set("_app", app);
-  stream.stream->PushData(std::move(payload), seq);
+  stream.stream->PushData(std::move(payload), seq, deliver_span);
   if (event_created_at > 0) {
     metrics_->GetHistogram("brass.push_delay_us." + app)
         .Record(static_cast<double>(sim_->Now() - event_created_at));
+  }
+}
+
+void BrassHost::CloseAllStreamSpans(const std::string& reason) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  for (auto& [key, hs] : streams_) {
+    const Span* span = trace_->FindSpan(hs.stream_span);
+    if (span != nullptr && span->open()) {
+      trace_->MarkError(hs.stream_span, reason, sim_->Now());
+    }
   }
 }
 
@@ -468,6 +552,7 @@ void BrassHost::Drain() {
   metrics_->GetCounter("brass.host_drains").Increment();
   burst_->Drain();
   WithdrawAllPylonSubscriptions();
+  CloseAllStreamSpans("host drain");
   streams_.clear();
   apps_.clear();
   if (pylon_ != nullptr) {
@@ -485,6 +570,7 @@ void BrassHost::FailHost() {
   // "Pylon also detects this and removes all subscriptions from that host"
   // (§4): modeled as the withdrawal happening shortly after the crash.
   sim_->Schedule(Millis(800), [this]() { WithdrawAllPylonSubscriptions(); });
+  CloseAllStreamSpans("host failure");
   streams_.clear();
   apps_.clear();
   if (pylon_ != nullptr) {

@@ -27,6 +27,7 @@
 #include "src/pylon/cluster.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 #include "src/was/server.h"
 
 namespace bladerunner {
@@ -49,7 +50,8 @@ class BrassHost : public BurstServerHandler {
  public:
   BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppServer* was,
             PylonCluster* pylon, const BrassAppRegistry* registry, BrassConfig config,
-            BurstConfig burst_config, MetricsRegistry* metrics);
+            BurstConfig burst_config, MetricsRegistry* metrics,
+            TraceCollector* trace = nullptr);
   ~BrassHost() override;
 
   int64_t host_id() const { return host_id_; }
@@ -57,6 +59,7 @@ class BrassHost : public BurstServerHandler {
   bool alive() const { return alive_; }
   Simulator* sim() { return sim_; }
   MetricsRegistry* metrics() { return metrics_; }
+  TraceCollector* trace() { return trace_; }
   const BrassConfig& config() const { return config_; }
 
   BurstServer* burst() { return burst_.get(); }
@@ -90,13 +93,16 @@ class BrassHost : public BurstServerHandler {
   void Revive();
 
   // ---- services used by BrassRuntime ----
+  // `parent` (when valid) nests the fetch's "brass.fetch" span / the
+  // delivery's "burst.deliver" span under the caller's span.
   void FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
-                    std::function<void(bool, Value)> callback);
+                    std::function<void(bool, Value)> callback,
+                    TraceContext parent = TraceContext());
   void WasQuery(const std::string& query, UserId viewer,
                 std::function<void(bool, Value)> callback);
   void CountDecision(const std::string& app, bool delivered);
   void DeliverData(const std::string& app, BrassStream& stream, Value payload, uint64_t seq,
-                   SimTime event_created_at);
+                   SimTime event_created_at, TraceContext parent = TraceContext());
 
   // ---- BurstServerHandler ----
   void OnStreamStarted(ServerStream& stream) override;
@@ -121,6 +127,9 @@ class BrassHost : public BurstServerHandler {
     BrassStream state;
     std::string app;
     uint64_t events_targeted = 0;  // update events routed at this stream
+    // Span covering the stream's lifetime on this host; closed with an
+    // error annotation when the stream fails or the host dies.
+    TraceContext stream_span;
   };
 
   // Spawns the instance if needed ("serverless" spawn); nullptr if the app
@@ -130,7 +139,11 @@ class BrassHost : public BurstServerHandler {
   void HandlePylonEvent(MessagePtr request, RpcServer::Respond respond);
   void CompleteSubscription(const StreamKey& key, const std::string& app,
                             MessagePtr resolve_response);
-  void SubscribeTopic(const Topic& topic, const StreamKey& key);
+  void SubscribeTopic(const Topic& topic, const StreamKey& key,
+                      TraceContext parent = TraceContext());
+  // Closes every live stream's span with an error annotation; used by
+  // Drain/FailHost before stream state is dropped.
+  void CloseAllStreamSpans(const std::string& reason);
   void UnsubscribeStreamTopics(const StreamKey& key);
   void TerminateStreamsOnTopic(const Topic& topic, const std::string& detail);
   void WithdrawAllPylonSubscriptions();
@@ -144,6 +157,7 @@ class BrassHost : public BurstServerHandler {
   BrassConfig config_;
   BurstConfig burst_config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
   bool alive_ = true;
 
   std::unique_ptr<BurstServer> burst_;

@@ -28,8 +28,8 @@ TimerId BrassRuntime::ScheduleTimer(SimTime delay, std::function<void()> fn) {
 bool BrassRuntime::CancelTimer(TimerId id) { return host_->sim()->Cancel(id); }
 
 void BrassRuntime::FetchPayload(const Value& metadata, UserId viewer,
-                                std::function<void(bool, Value)> callback) {
-  host_->FetchPayload(app_name_, metadata, viewer, GuardAlive(std::move(callback)));
+                                std::function<void(bool, Value)> callback, TraceContext parent) {
+  host_->FetchPayload(app_name_, metadata, viewer, GuardAlive(std::move(callback)), parent);
 }
 
 void BrassRuntime::WasQuery(const std::string& query, UserId viewer,
@@ -42,8 +42,36 @@ void BrassRuntime::CountDecision(bool delivered) {
 }
 
 void BrassRuntime::DeliverData(BrassStream& stream, Value payload, uint64_t seq,
-                               SimTime event_created_at) {
-  host_->DeliverData(app_name_, stream, std::move(payload), seq, event_created_at);
+                               SimTime event_created_at, TraceContext parent) {
+  host_->DeliverData(app_name_, stream, std::move(payload), seq, event_created_at, parent);
+}
+
+TraceContext BrassRuntime::StartSpan(const TraceContext& parent, const std::string& name) {
+  TraceCollector* trace = host_->trace();
+  if (trace == nullptr) {
+    return TraceContext();
+  }
+  TraceContext span = trace->StartSpan(parent, name, "brass", host_->region(), Now());
+  trace->Annotate(span, "app", Value(app_name_));
+  return span;
+}
+
+void BrassRuntime::EndSpan(const TraceContext& ctx) {
+  if (host_->trace() != nullptr) {
+    host_->trace()->EndSpan(ctx, Now());
+  }
+}
+
+void BrassRuntime::AnnotateSpan(const TraceContext& ctx, const std::string& key, Value v) {
+  if (host_->trace() != nullptr) {
+    host_->trace()->Annotate(ctx, key, std::move(v));
+  }
+}
+
+void BrassRuntime::MarkSpanError(const TraceContext& ctx, const std::string& message) {
+  if (host_->trace() != nullptr) {
+    host_->trace()->MarkError(ctx, message, Now());
+  }
 }
 
 }  // namespace bladerunner

@@ -15,6 +15,7 @@
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 
 namespace bladerunner {
 
@@ -40,9 +41,12 @@ class BrassRuntime {
   // ---- backend calls ----
 
   // Fetches (and privacy-checks) the payload for an update event on behalf
-  // of `viewer` (Fig. 5 step 8). `callback(allowed, payload)`.
+  // of `viewer` (Fig. 5 step 8). `callback(allowed, payload)`. `parent`
+  // (when valid) nests the WAS round trip's span under the caller's span —
+  // applications typically pass the event's or their processing span.
   void FetchPayload(const Value& metadata, UserId viewer,
-                    std::function<void(bool, Value)> callback);
+                    std::function<void(bool, Value)> callback,
+                    TraceContext parent = TraceContext());
 
   // Arbitrary GraphQL query against the WAS (e.g. Messenger gap recovery).
   void WasQuery(const std::string& query, UserId viewer,
@@ -55,8 +59,18 @@ class BrassRuntime {
 
   // Pushes one data payload on the stream, with accounting and the
   // end-to-end latency sample for Fig. 9 ("created_at" comes from the
-  // update event).
-  void DeliverData(BrassStream& stream, Value payload, uint64_t seq, SimTime event_created_at);
+  // update event). `parent` (when valid) nests the "burst.deliver" span.
+  void DeliverData(BrassStream& stream, Value payload, uint64_t seq, SimTime event_created_at,
+                   TraceContext parent = TraceContext());
+
+  // ---- tracing ----
+  // Span helpers for application-level processing spans ("brass.process").
+  // All no-op (returning invalid contexts) when tracing is off or the
+  // parent was not sampled.
+  TraceContext StartSpan(const TraceContext& parent, const std::string& name);
+  void EndSpan(const TraceContext& ctx);
+  void AnnotateSpan(const TraceContext& ctx, const std::string& key, Value v);
+  void MarkSpanError(const TraceContext& ctx, const std::string& message);
 
  private:
   // Wraps a callback so it becomes a no-op once this runtime (and the

@@ -5,13 +5,15 @@
 namespace bladerunner {
 
 BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
-                         Observer* observer, BurstConfig config, MetricsRegistry* metrics)
+                         Observer* observer, BurstConfig config, MetricsRegistry* metrics,
+                         TraceCollector* trace)
     : sim_(sim),
       device_id_(device_id),
       connector_(std::move(connector)),
       observer_(observer),
       config_(config),
-      metrics_(metrics) {
+      metrics_(metrics),
+      trace_(trace) {
   assert(sim_ != nullptr && observer_ != nullptr && metrics_ != nullptr);
 }
 
@@ -202,6 +204,11 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
     switch (delta.kind) {
       case DeltaKind::kData:
         metrics_->GetCounter("burst.client_data_deltas").Increment();
+        // The update has reached the device: close its "burst.deliver" span
+        // (opened by the BRASS host when the push left the backend).
+        if (trace_ != nullptr && delta.trace.valid()) {
+          trace_->EndSpan(delta.trace, sim_->Now());
+        }
         observer_->OnStreamData(sid, delta.payload, delta.seq);
         break;
       case DeltaKind::kFlowStatus:

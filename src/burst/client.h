@@ -20,6 +20,7 @@
 #include "src/net/connection.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 
 namespace bladerunner {
 
@@ -53,8 +54,10 @@ class BurstClient : public ConnectionHandler {
   // is reachable right now.
   using Connector = std::function<std::shared_ptr<ConnectionEnd>(int64_t device_id)>;
 
+  // `trace` (optional) lets the client close the "burst.deliver" span of
+  // each traced data delta at the moment the device receives it.
   BurstClient(Simulator* sim, int64_t device_id, Connector connector, Observer* observer,
-              BurstConfig config, MetricsRegistry* metrics);
+              BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace = nullptr);
   ~BurstClient() override;
 
   int64_t device_id() const { return device_id_; }
@@ -116,6 +119,7 @@ class BurstClient : public ConnectionHandler {
   Observer* observer_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
 
   std::shared_ptr<ConnectionEnd> conn_;
   uint64_t next_sid_ = 1;

@@ -74,7 +74,7 @@ Delta Delta::Terminate(TerminateReason reason, std::string detail) {
 uint64_t Delta::WireSize() const {
   switch (kind) {
     case DeltaKind::kData:
-      return 16 + payload.WireSize();
+      return 16 + payload.WireSize() + trace.WireBytes();
     case DeltaKind::kFlowStatus:
       return 8 + detail.size();
     case DeltaKind::kRewrite:

@@ -17,6 +17,7 @@
 
 #include "src/graphql/value.h"
 #include "src/net/message.h"
+#include "src/trace/context.h"
 
 namespace bladerunner {
 
@@ -98,6 +99,9 @@ struct Delta {
   TerminateReason reason = TerminateReason::kComplete;
   // free-form detail for logs/UX
   std::string detail;
+  // kData: the update's trace context, carried to the device so the
+  // last-mile hops (proxy, POP, client receipt) join the trace.
+  TraceContext trace;
 
   static Delta Data(Value payload, uint64_t seq);
   static Delta Flow(FlowStatus status, std::string detail = "");

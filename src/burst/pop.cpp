@@ -6,13 +6,14 @@
 namespace bladerunner {
 
 Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
-         BurstConfig config, MetricsRegistry* metrics)
+         BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace)
     : sim_(sim),
       pop_id_(pop_id),
       region_(region),
       connector_(std::move(connector)),
       config_(config),
-      metrics_(metrics) {
+      metrics_(metrics),
+      trace_(trace) {
   assert(sim_ != nullptr && metrics_ != nullptr);
 }
 
@@ -79,6 +80,15 @@ void Pop::OnMessage(ConnectionEnd& on, MessagePtr message) {
 void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
   uint64_t conn_id = on.connection_id();
   if (auto subscribe = std::dynamic_pointer_cast<SubscribeFrame>(message)) {
+    // Instant hop marker: the subscribe entered the edge at this POP.
+    if (trace_ != nullptr) {
+      TraceContext ctx = ContextFromValue(subscribe->header);
+      if (ctx.valid()) {
+        TraceContext hop =
+            trace_->RecordSpan(ctx, "burst.pop", "burst", region_, sim_->Now(), sim_->Now());
+        trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
+      }
+    }
     StreamState state;
     state.header = subscribe->header;
     state.body = subscribe->body;
@@ -133,6 +143,11 @@ void Pop::HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message) {
       it->second.header = delta.new_header;
     } else if (delta.kind == DeltaKind::kTermination) {
       terminated = true;
+    } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
+      // Instant hop marker: the update left the backbone at this POP.
+      TraceContext hop = trace_->RecordSpan(delta.trace, "burst.pop", "burst", region_,
+                                            sim_->Now(), sim_->Now());
+      trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
     }
   }
   auto dev = device_conns_.find(it->second.device_conn);

@@ -26,6 +26,7 @@
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 
 namespace bladerunner {
 
@@ -44,7 +45,7 @@ class Pop : public ConnectionHandler {
                                               uint64_t exclude_proxy_id)>;
 
   Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
-      BurstConfig config, MetricsRegistry* metrics);
+      BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
   uint64_t pop_id() const { return pop_id_; }
   RegionId region() const { return region_; }
@@ -100,6 +101,7 @@ class Pop : public ConnectionHandler {
   ProxyConnector connector_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
   bool alive_ = true;
 
   std::unordered_map<StreamKey, StreamState, StreamKeyHash> streams_;

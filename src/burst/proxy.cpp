@@ -7,13 +7,14 @@ namespace bladerunner {
 
 ReverseProxy::ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
                            BurstServerDirectory* directory, BurstConfig config,
-                           MetricsRegistry* metrics)
+                           MetricsRegistry* metrics, TraceCollector* trace)
     : sim_(sim),
       proxy_id_(proxy_id),
       region_(region),
       directory_(directory),
       config_(config),
-      metrics_(metrics) {
+      metrics_(metrics),
+      trace_(trace) {
   assert(sim_ != nullptr && directory_ != nullptr && metrics_ != nullptr);
 }
 
@@ -90,6 +91,16 @@ void ReverseProxy::OnMessage(ConnectionEnd& on, MessagePtr message) {
 void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) {
   uint64_t conn_id = on.connection_id();
   if (auto subscribe = std::dynamic_pointer_cast<SubscribeFrame>(message)) {
+    // Instant hop marker: the subscribe passed through this proxy. The
+    // context rides in the header the device (or a repairing POP) sent.
+    if (trace_ != nullptr) {
+      TraceContext ctx = ContextFromValue(subscribe->header);
+      if (ctx.valid()) {
+        TraceContext hop =
+            trace_->RecordSpan(ctx, "burst.proxy", "burst", region_, sim_->Now(), sim_->Now());
+        trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
+      }
+    }
     StreamState state;
     state.header = subscribe->header;
     state.body = subscribe->body;
@@ -157,6 +168,11 @@ void ReverseProxy::HandleHostFrame(ConnectionEnd& on, const MessagePtr& message)
       it->second.header = delta.new_header;
     } else if (delta.kind == DeltaKind::kTermination) {
       terminated = true;
+    } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
+      // Instant hop marker on the data path (child of "burst.deliver").
+      TraceContext hop = trace_->RecordSpan(delta.trace, "burst.proxy", "burst", region_,
+                                            sim_->Now(), sim_->Now());
+      trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
     }
   }
   auto pop = pop_conns_.find(it->second.pop_conn);

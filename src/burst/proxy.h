@@ -22,6 +22,7 @@
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 
 namespace bladerunner {
 
@@ -50,7 +51,8 @@ class BurstServerDirectory {
 class ReverseProxy : public ConnectionHandler {
  public:
   ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
-               BurstServerDirectory* directory, BurstConfig config, MetricsRegistry* metrics);
+               BurstServerDirectory* directory, BurstConfig config, MetricsRegistry* metrics,
+               TraceCollector* trace = nullptr);
 
   uint64_t proxy_id() const { return proxy_id_; }
   RegionId region() const { return region_; }
@@ -104,6 +106,7 @@ class ReverseProxy : public ConnectionHandler {
   BurstServerDirectory* directory_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
   bool alive_ = true;
 
   std::unordered_map<StreamKey, StreamState, StreamKeyHash> streams_;

@@ -6,8 +6,10 @@ namespace bladerunner {
 
 void ServerStream::Push(std::vector<Delta> batch) { server_->SendBatch(*this, std::move(batch)); }
 
-void ServerStream::PushData(Value payload, uint64_t seq) {
-  Push({Delta::Data(std::move(payload), seq)});
+void ServerStream::PushData(Value payload, uint64_t seq, TraceContext trace) {
+  Delta delta = Delta::Data(std::move(payload), seq);
+  delta.trace = trace;
+  Push({std::move(delta)});
 }
 
 void ServerStream::PushFlow(FlowStatus status, std::string detail) {

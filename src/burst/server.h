@@ -39,8 +39,9 @@ class ServerStream {
   // Sends a batch of deltas (applied atomically client-side).
   void Push(std::vector<Delta> batch);
 
-  // Convenience single-delta pushes.
-  void PushData(Value payload, uint64_t seq = 0);
+  // Convenience single-delta pushes. `trace` (if valid) rides on the data
+  // delta so downstream hops and the device can join the update's trace.
+  void PushData(Value payload, uint64_t seq = 0, TraceContext trace = TraceContext());
   void PushFlow(FlowStatus status, std::string detail = "");
 
   // Replaces the subscription header everywhere along the path (§3.5).

@@ -18,19 +18,31 @@ LatencyModel Compose(const LatencyModel& a, const LatencyModel& b) {
   return out;
 }
 
+// Derives the trace-id seed from the cluster seed when not set explicitly,
+// so identical cluster seeds yield byte-identical trace exports.
+TraceConfig ResolveTraceConfig(TraceConfig trace, uint64_t cluster_seed) {
+  if (trace.seed == 0) {
+    trace.seed = TraceMix64(cluster_seed ^ 0x7472616365ULL);  // "trace"
+  }
+  return trace;
+}
+
 }  // namespace
 
 BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
-    : config_(std::move(config)), topology_(std::move(topology)), sim_(config_.seed) {
+    : config_(std::move(config)),
+      topology_(std::move(topology)),
+      sim_(config_.seed),
+      trace_(ResolveTraceConfig(config_.trace, config_.seed)) {
   app_registry_ = BuildStandardAppRegistry(config_.apps);
 
   tao_ = std::make_unique<TaoStore>(&sim_, &topology_, config_.tao, &metrics_);
   if (config_.enable_pylon) {
-    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, config_.pylon, &metrics_);
+    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, config_.pylon, &metrics_, &trace_);
   }
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     auto was = std::make_unique<WebAppServer>(&sim_, r, tao_.get(), pylon_.get(), config_.was,
-                                              &metrics_);
+                                              &metrics_, &trace_);
     InstallSocialSchema(*was);
     wases_.push_back(std::move(was));
   }
@@ -45,7 +57,7 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
       auto host = std::make_unique<BrassHost>(&sim_, next_host_id++, r,
                                               wases_[static_cast<size_t>(r)].get(), pylon_.get(),
                                               &app_registry_, config_.brass, config_.burst,
-                                              &metrics_);
+                                              &metrics_, &trace_);
       router_->RegisterHost(host.get());
       hosts_.push_back(std::move(host));
     }
@@ -55,7 +67,7 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.proxies_per_region; ++i) {
       proxies_.push_back(std::make_unique<ReverseProxy>(&sim_, next_proxy_id++, r, router_.get(),
-                                                        config_.burst, &metrics_));
+                                                        config_.burst, &metrics_, &trace_));
     }
   }
 
@@ -63,8 +75,8 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
   Pop::ProxyConnector connector = MakeProxyConnector();
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.pops_per_region; ++i) {
-      pops_.push_back(
-          std::make_unique<Pop>(&sim_, next_pop_id++, r, connector, config_.burst, &metrics_));
+      pops_.push_back(std::make_unique<Pop>(&sim_, next_pop_id++, r, connector, config_.burst,
+                                            &metrics_, &trace_));
     }
   }
 }

@@ -22,6 +22,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/tao/store.h"
+#include "src/trace/collector.h"
 #include "src/was/server.h"
 
 namespace bladerunner {
@@ -39,6 +40,9 @@ struct ClusterConfig {
   BrassConfig brass;
   BurstConfig burst;
   AppsConfig apps;
+  // Distributed tracing (src/trace). trace.seed == 0 derives the id seed
+  // from the cluster seed, so same-seed runs export identical traces.
+  TraceConfig trace;
   // Per-application routing policy overrides (default: by load; the paper
   // routes low-fanout apps by topic, §3.2).
   std::map<std::string, BrassRoutingPolicy> routing_policies;
@@ -54,6 +58,7 @@ class BladerunnerCluster {
 
   Simulator& sim() { return sim_; }
   MetricsRegistry& metrics() { return metrics_; }
+  TraceCollector& trace() { return trace_; }
   const Topology& topology() const { return topology_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -87,6 +92,7 @@ class BladerunnerCluster {
   Topology topology_;
   Simulator sim_;
   MetricsRegistry metrics_;
+  TraceCollector trace_;
   BrassAppRegistry app_registry_;
 
   std::unique_ptr<TaoStore> tao_;

@@ -35,7 +35,7 @@ DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId regi
   }
   burst_ = std::make_unique<BurstClient>(&cluster_->sim(), DeviceIdFor(user),
                                          cluster_->DeviceConnector(region, profile), this,
-                                         burst_config, &cluster_->metrics());
+                                         burst_config, &cluster_->metrics(), &cluster_->trace());
   was_channel_ = cluster_->DeviceWasChannel(region, profile);
 }
 
@@ -86,9 +86,22 @@ uint64_t DeviceAgent::SubscribeRaw(const std::string& app, const std::string& su
   header.Set(kHeaderSubscription, subscription);
   header.Set(kHeaderViewer, user_);
   header.Set(kHeaderRegion, static_cast<int64_t>(region_));
-  header.Set("_sentAt", cluster_->sim().Now());  // setup-latency measurement
+  StartSubscribeTrace(&header);
   cluster_->metrics().GetCounter("device.subscriptions").Increment();
   return burst_->Subscribe(std::move(header));
+}
+
+void DeviceAgent::StartSubscribeTrace(Value* header) {
+  // Root the subscription's trace at the device, before the subscribe frame
+  // leaves: every later span's end minus this root's start is a
+  // device-observed setup latency. The context rides in the header (and is
+  // re-sent verbatim on resubscribes, keeping repaired streams joined).
+  TraceContext root = cluster_->trace().StartTrace("subscribe", "device",
+                                                   static_cast<int>(region_),
+                                                   cluster_->sim().Now());
+  cluster_->trace().Annotate(root, "viewer", Value(user_));
+  cluster_->trace().Annotate(root, "profile", Value(static_cast<int64_t>(profile_)));
+  WriteContext(root, header);
 }
 
 uint64_t DeviceAgent::SubscribeLvc(ObjectId video) {
@@ -115,7 +128,7 @@ uint64_t DeviceAgent::SubscribeMailbox(uint64_t last_seq) {
   header.Set(kHeaderSubscription, "subscription { mailbox { id seq text } }");
   header.Set(kHeaderViewer, user_);
   header.Set(kHeaderRegion, static_cast<int64_t>(region_));
-  header.Set("_sentAt", cluster_->sim().Now());
+  StartSubscribeTrace(&header);
   if (last_seq > 0) {
     header.Set(kHeaderResumeToken, static_cast<int64_t>(last_seq));
     last_messenger_seq_ = last_seq;

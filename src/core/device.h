@@ -82,6 +82,9 @@ class DeviceAgent : public BurstClient::Observer {
  private:
   void ScheduleNextDrop();
   void ScheduleNextHeartbeat();
+  // Roots a "subscribe" trace at the device and writes its context into the
+  // subscription header (no-op ids when tracing is off/unsampled).
+  void StartSubscribeTrace(Value* header);
 
   BladerunnerCluster* cluster_;
   UserId user_;

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include "src/trace/context.h"
+
 namespace bladerunner {
 
 // Polymorphic message base. Protocol layers (BURST frames, TAO requests,
@@ -22,7 +24,13 @@ class Message {
 
   // Approximate serialized size in bytes; used for bandwidth accounting
   // (cross-region bytes, last-mile bytes). Default is a small frame.
-  virtual uint64_t WireSize() const { return 64; }
+  // Subclasses that carry a trace context should include trace.WireBytes().
+  virtual uint64_t WireSize() const { return 64 + trace.WireBytes(); }
+
+  // Causal trace context. Senders stamp it before handing the message to a
+  // connection or RPC channel; receivers open child spans under it. An
+  // invalid (default) context means "not sampled".
+  TraceContext trace;
 };
 
 using MessagePtr = std::shared_ptr<Message>;

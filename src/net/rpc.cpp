@@ -68,10 +68,17 @@ void RpcChannel::Call(const std::string& method, MessagePtr request,
       });
       return;
     }
-    server->Dispatch(method, request, [sim, server, one_way, done, cb](MessagePtr response) {
+    TraceContext request_trace = request->trace;
+    server->Dispatch(method, request, [sim, server, one_way, done, cb,
+                                       request_trace](MessagePtr response) {
       // A server that went down before responding never gets to respond.
       if (!server->available()) {
         return;
+      }
+      // Responses inherit the request's trace context unless the handler
+      // stamped one explicitly, so callers can keep annotating their span.
+      if (response != nullptr && !response->trace.valid()) {
+        response->trace = request_trace;
       }
       sim->Schedule(one_way.Sample(sim->rng()), [done, cb, response]() {
         if (*done) {

@@ -8,8 +8,9 @@
 namespace bladerunner {
 
 PylonCluster::PylonCluster(Simulator* sim, const Topology* topology, PylonConfig config,
-                           MetricsRegistry* metrics)
-    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
+                           MetricsRegistry* metrics, TraceCollector* trace)
+    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics),
+      trace_(trace) {
   assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
   int regions = topology_->num_regions();
   kv_ids_by_region_.resize(static_cast<size_t>(regions));

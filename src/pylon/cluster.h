@@ -18,6 +18,7 @@
 #include "src/pylon/server.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/collector.h"
 
 namespace bladerunner {
 
@@ -31,7 +32,7 @@ struct SubscriberHostRef {
 class PylonCluster {
  public:
   PylonCluster(Simulator* sim, const Topology* topology, PylonConfig config,
-               MetricsRegistry* metrics);
+               MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
   // ---- Topology / routing ----
 
@@ -65,12 +66,14 @@ class PylonCluster {
   const Topology* topology() const { return topology_; }
   const PylonConfig& config() const { return config_; }
   MetricsRegistry* metrics() { return metrics_; }
+  TraceCollector* trace() { return trace_; }
 
  private:
   Simulator* sim_;
   const Topology* topology_;
   PylonConfig config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
 
   std::vector<std::unique_ptr<PylonServer>> servers_;
   std::vector<std::unique_ptr<KvNode>> kv_nodes_;

@@ -23,17 +23,22 @@ struct UpdateEvent : Message {
   Topic topic;
   uint64_t event_id = 0;      // unique per simulation
   Value metadata;             // e.g. {"id": ..., "author": ..., "score": ...}
-  SimTime created_at = 0;     // when the mutation committed (origin-side)
-  SimTime published_at = 0;   // when the WAS handed it to Pylon
-  SimTime pylon_received_at = 0;  // stamped by the handling Pylon server
+  SimTime created_at = 0;     // when the mutation committed (origin-side);
+                              // protocol-relevant: LVC ranking ages by it and
+                              // Active Status derives last-seen from it
   RegionId origin_region = 0;
   uint64_t seq = 0;           // optional per-topic sequence (Messenger-style)
+
+  // Hop timing (formerly published_at / pylon_received_at fields) now lives
+  // on trace spans; `trace` (from Message) carries the causal context.
 
   std::string Describe() const override {
     return "UpdateEvent(" + topic + ", id=" + std::to_string(event_id) + ")";
   }
 
-  uint64_t WireSize() const override { return 48 + topic.size() + metadata.WireSize(); }
+  uint64_t WireSize() const override {
+    return 32 + topic.size() + metadata.WireSize() + trace.WireBytes();
+  }
 };
 
 }  // namespace bladerunner

@@ -36,16 +36,31 @@ struct FanoutState {
 void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) {
   auto publish = std::static_pointer_cast<PylonPublishRequest>(request);
   auto event = publish->event;
-  event->pylon_received_at = sim_->Now();
   MetricsRegistry* metrics = cluster_->metrics();
   metrics->GetCounter("pylon.publishes").Increment();
+
+  // Span covering receive -> ack; the per-subscriber deliver spans below
+  // are its children. A publish arriving without context (e.g. a bench
+  // driving Pylon directly) roots a fresh trace here.
+  TraceCollector* tracer = cluster_->trace();
+  TraceContext publish_span;
+  if (tracer != nullptr) {
+    publish_span = event->trace.decided()
+                       ? tracer->StartSpan(event->trace, "pylon.publish", "pylon",
+                                           region_, sim_->Now())
+                       : tracer->StartTrace("pylon.publish", "pylon", region_,
+                                            sim_->Now());
+    tracer->Annotate(publish_span, "topic", Value(event->topic));
+  }
 
   const PylonConfig& config = cluster_->config();
   LatencyModel processing{config.publish_processing_ms, 0.3, config.publish_processing_ms / 4.0};
   SimTime processing_delay = processing.Sample(sim_->rng());
 
   // Ack the publisher as soon as local processing is done; fanout is async.
-  sim_->Schedule(processing_delay, [respond = std::move(respond)]() {
+  sim_->Schedule(processing_delay, [this, tracer, publish_span,
+                                    respond = std::move(respond)]() {
+    if (tracer != nullptr) tracer->EndSpan(publish_span, sim_->Now());
     respond(std::make_shared<PylonAck>());
   });
 
@@ -56,8 +71,8 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
 
   const double send_us = config.per_subscriber_send_us;
   const double pipeline_ms = config.fanout_pipeline_ms;
-  auto forward_new = [this, event, metrics, state, received_at, send_us,
-                      pipeline_ms](const std::vector<int64_t>& subscribers) {
+  auto forward_new = [this, event, metrics, state, received_at, send_us, pipeline_ms,
+                      tracer, publish_span](const std::vector<int64_t>& subscribers) {
     // The fanout batch size informs the Table 3 small/large latency split;
     // carried on each delivery so receivers can bucket their measurements.
     std::vector<int64_t> fresh;
@@ -75,6 +90,14 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
       }
       auto delivery = std::make_shared<BrassEventDelivery>();
       delivery->event = event;
+      // One "pylon.deliver" span per subscriber, from the moment the
+      // publish arrived until the BRASS host receives it (the host ends the
+      // span) — the fanout latency Table 3 reports.
+      if (tracer != nullptr && publish_span.valid()) {
+        delivery->trace = tracer->StartSpan(publish_span, "pylon.deliver", "pylon",
+                                            region_, received_at);
+        tracer->Annotate(delivery->trace, "host", Value(host));
+      }
       // Serialization/send cost per subscriber makes very large fanouts pay
       // a measurable premium (the >=10k row of Table 3).
       // The internal pipeline budget (queuing/batching) plus the marginal
@@ -187,6 +210,21 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
   MetricsRegistry* metrics = cluster_->metrics();
   metrics->GetCounter(sub->subscribe ? "pylon.subscribes" : "pylon.unsubscribes").Increment();
 
+  // Span covering the quorum replication of this subscription; ends when
+  // the quorum is reached (the latency formerly recorded as
+  // pylon.subscribe_replication_us) or errors when it cannot be.
+  TraceCollector* tracer = cluster_->trace();
+  TraceContext sub_span;
+  if (tracer != nullptr) {
+    sub_span = request->trace.decided()
+                   ? tracer->StartSpan(request->trace, "pylon.subscribe", "pylon",
+                                       region_, sim_->Now())
+                   : tracer->StartTrace("pylon.subscribe", "pylon", region_,
+                                        sim_->Now());
+    tracer->Annotate(sub_span, "topic", Value(sub->topic));
+    if (!sub->subscribe) tracer->Annotate(sub_span, "unsubscribe", Value(true));
+  }
+
   std::vector<KvNode*> replicas = cluster_->ReplicasFor(sub->topic, region_);
   const PylonConfig& config = cluster_->config();
   int quorum = std::min<int>(config.write_quorum, static_cast<int>(replicas.size()));
@@ -199,7 +237,6 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
   };
   auto state = std::make_shared<QuorumState>();
   state->total = static_cast<int>(replicas.size());
-  SimTime started_at = sim_->Now();
   auto shared_respond = std::make_shared<RpcServer::Respond>(std::move(respond));
 
   auto op = std::make_shared<KvOpRequest>();
@@ -211,8 +248,8 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
     RpcChannel* channel = cluster_->ChannelToKv(region_, node);
     channel->Call(
         "kv.op", op,
-        [this, state, quorum, shared_respond, metrics, started_at](RpcStatus status,
-                                                                   MessagePtr) {
+        [this, state, quorum, shared_respond, metrics, tracer, sub_span](
+            RpcStatus status, MessagePtr) {
           state->responses += 1;
           if (status == RpcStatus::kOk) {
             state->acks += 1;
@@ -220,8 +257,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
           if (!state->decided && state->acks >= quorum) {
             // CP write reached its quorum: the subscription is durable.
             state->decided = true;
-            metrics->GetHistogram("pylon.subscribe_replication_us")
-                .Record(static_cast<double>(sim_->Now() - started_at));
+            if (tracer != nullptr) tracer->EndSpan(sub_span, sim_->Now());
             (*shared_respond)(std::make_shared<PylonAck>());
           } else if (!state->decided && state->responses == state->total &&
                      state->acks < quorum) {
@@ -229,6 +265,9 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
             // (a BRASS) is reliably informed (§4 axiom 1).
             state->decided = true;
             metrics->GetCounter("pylon.quorum_failures").Increment();
+            if (tracer != nullptr) {
+              tracer->MarkError(sub_span, "subscription quorum unreachable", sim_->Now());
+            }
             auto ack = std::make_shared<PylonAck>();
             ack->ok = false;
             ack->error = "subscription quorum unreachable";

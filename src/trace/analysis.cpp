@@ -1,0 +1,150 @@
+#include "src/trace/analysis.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bladerunner {
+
+namespace {
+
+// Children of `parent_id` in span-id order. Span count per trace is small
+// (tens), so linear scans beat building adjacency structures.
+std::vector<const Span*> ChildrenOf(const TraceRecord& trace, SpanId parent_id) {
+  std::vector<const Span*> out;
+  for (const Span& s : trace.spans) {
+    if (s.parent_span_id == parent_id) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace
+
+SimTime EffectiveEnd(const TraceRecord& trace, const Span& span) {
+  if (!span.open()) return span.end;
+  SimTime latest = span.start;
+  for (const Span* child : ChildrenOf(trace, span.span_id)) {
+    latest = std::max(latest, EffectiveEnd(trace, *child));
+  }
+  return latest;
+}
+
+SimTime TraceDuration(const TraceRecord& trace) {
+  const Span* root = trace.root();
+  if (root == nullptr) return 0;
+  return std::max<SimTime>(0, EffectiveEnd(trace, *root) - root->start);
+}
+
+std::map<std::string, ComponentStat> ComponentBreakdown(const TraceRecord& trace) {
+  std::map<std::string, ComponentStat> out;
+  for (const Span& span : trace.spans) {
+    SimTime end = EffectiveEnd(trace, span);
+    SimTime inclusive = std::max<SimTime>(0, end - span.start);
+    ComponentStat& stat = out[span.component];
+    stat.inclusive += inclusive;
+    ++stat.span_count;
+
+    // Exclusive = inclusive minus the union of child intervals clipped to
+    // this span's interval (children may overlap, e.g. a parallel fanout).
+    std::vector<std::pair<SimTime, SimTime>> intervals;
+    for (const Span* child : ChildrenOf(trace, span.span_id)) {
+      SimTime lo = std::max(span.start, child->start);
+      SimTime hi = std::min(end, EffectiveEnd(trace, *child));
+      if (hi > lo) intervals.emplace_back(lo, hi);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    SimTime covered = 0;
+    SimTime cursor = span.start;
+    for (const auto& [lo, hi] : intervals) {
+      SimTime from = std::max(cursor, lo);
+      if (hi > from) {
+        covered += hi - from;
+        cursor = hi;
+      }
+    }
+    stat.exclusive += inclusive - covered;
+  }
+  return out;
+}
+
+std::vector<CriticalPathSegment> CriticalPath(const TraceRecord& trace) {
+  std::vector<CriticalPathSegment> path;
+  const Span* current = trace.root();
+  if (current == nullptr) return path;
+  while (true) {
+    std::vector<const Span*> children = ChildrenOf(trace, current->span_id);
+    const Span* pick = nullptr;
+    SimTime pick_end = 0;
+    for (const Span* child : children) {
+      SimTime e = EffectiveEnd(trace, *child);
+      if (pick == nullptr || e > pick_end) {
+        pick = child;
+        pick_end = e;
+      }
+    }
+    SimTime cur_end = EffectiveEnd(trace, *current);
+    if (pick == nullptr) {
+      path.push_back({current->span_id, std::max<SimTime>(0, cur_end - current->start)});
+      return path;
+    }
+    // Time this span explains itself: before the chosen child starts, plus
+    // any tail after the child ends.
+    SimTime before = std::max<SimTime>(0, pick->start - current->start);
+    SimTime after = std::max<SimTime>(0, cur_end - pick_end);
+    path.push_back({current->span_id, before + after});
+    current = pick;
+  }
+}
+
+SimTime CriticalPathDuration(const TraceRecord& trace) {
+  SimTime total = 0;
+  for (const CriticalPathSegment& seg : CriticalPath(trace)) {
+    total += seg.contribution;
+  }
+  return total;
+}
+
+bool Matches(const Span& span, const SpanQuery& query) {
+  if (!query.name.empty() && span.name != query.name) return false;
+  if (!query.component.empty() && span.component != query.component) return false;
+  if (!query.annotation_key.empty()) {
+    const Value* v = span.FindAnnotation(query.annotation_key);
+    if (v == nullptr || *v != query.annotation_value) return false;
+  }
+  return true;
+}
+
+Histogram SpanDurationHistogram(const TraceCollector& collector, const SpanQuery& query) {
+  Histogram hist;
+  for (const TraceRecord& trace : collector.Traces()) {
+    for (const Span& span : trace.spans) {
+      if (span.open() || !Matches(span, query)) continue;
+      hist.Record(static_cast<double>(span.duration()));
+    }
+  }
+  return hist;
+}
+
+Histogram SpanEndSinceRootHistogram(const TraceCollector& collector, const SpanQuery& query) {
+  Histogram hist;
+  for (const TraceRecord& trace : collector.Traces()) {
+    const Span* root = trace.root();
+    if (root == nullptr) continue;
+    for (const Span& span : trace.spans) {
+      if (span.open() || !Matches(span, query)) continue;
+      hist.Record(static_cast<double>(span.end - root->start));
+    }
+  }
+  return hist;
+}
+
+std::vector<const Span*> FindSpans(const TraceCollector& collector, const SpanQuery& query) {
+  std::vector<const Span*> out;
+  for (const TraceRecord& trace : collector.Traces()) {
+    for (const Span& span : trace.spans) {
+      if (Matches(span, query)) out.push_back(&span);
+    }
+  }
+  return out;
+}
+
+}  // namespace bladerunner

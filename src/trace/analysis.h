@@ -1,0 +1,80 @@
+// Analysis passes over collected traces: per-component latency attribution
+// (inclusive vs. exclusive time), critical-path extraction, and span queries
+// that aggregate matching spans into histograms (the mechanism bench_table3
+// and bench_fig9 derive their rows/CDFs from).
+
+#ifndef BLADERUNNER_SRC_TRACE_ANALYSIS_H_
+#define BLADERUNNER_SRC_TRACE_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/histogram.h"
+#include "src/trace/collector.h"
+#include "src/trace/span.h"
+
+namespace bladerunner {
+
+// End time used for attribution: a closed span's own end, or for an open
+// span the latest effective end among its descendants (at least `start`).
+SimTime EffectiveEnd(const TraceRecord& trace, const Span& span);
+
+// Root effective end minus root start (0 for an empty trace).
+SimTime TraceDuration(const TraceRecord& trace);
+
+struct ComponentStat {
+  // Sum of span durations for the component (children included), so nested
+  // same-component spans are counted once per span.
+  SimTime inclusive = 0;
+  // Time inside the component's spans not covered by any child span —
+  // "where the time actually went".
+  SimTime exclusive = 0;
+  int span_count = 0;
+};
+
+// Attribution keyed by component name.
+std::map<std::string, ComponentStat> ComponentBreakdown(const TraceRecord& trace);
+
+// One hop of the critical path: the span plus the share of the trace's
+// duration attributed to it (its time not explained by the next hop down).
+struct CriticalPathSegment {
+  SpanId span_id = 0;
+  SimTime contribution = 0;
+};
+
+// Walks from the root, at each level descending into the child whose
+// effective end is latest (ties: lower span id). Each segment's
+// contribution is the parent's time before the chosen child starts plus
+// its time after the child ends; on a linear fully-nested trace the
+// contributions telescope so their sum equals the root duration exactly.
+std::vector<CriticalPathSegment> CriticalPath(const TraceRecord& trace);
+
+// Sum of critical-path contributions.
+SimTime CriticalPathDuration(const TraceRecord& trace);
+
+// Matches spans by name / component / one annotation. Empty fields match
+// anything; the annotation check requires `annotation_key` non-empty and
+// compares with Value::operator==.
+struct SpanQuery {
+  std::string name;
+  std::string component;
+  std::string annotation_key;
+  Value annotation_value;
+};
+
+bool Matches(const Span& span, const SpanQuery& query);
+
+// Histogram of closed matching spans' durations, in microseconds.
+Histogram SpanDurationHistogram(const TraceCollector& collector, const SpanQuery& query);
+
+// Histogram of (span end - root start) for closed matching spans: latency
+// from the start of the journey to the end of this hop.
+Histogram SpanEndSinceRootHistogram(const TraceCollector& collector, const SpanQuery& query);
+
+// All matching spans across retained traces, in trace insertion order.
+std::vector<const Span*> FindSpans(const TraceCollector& collector, const SpanQuery& query);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TRACE_ANALYSIS_H_

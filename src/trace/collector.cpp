@@ -1,0 +1,145 @@
+#include "src/trace/collector.h"
+
+#include <utility>
+
+namespace bladerunner {
+
+namespace {
+// Salt separating the sampling hash from the id-generation hash so the
+// sampled subset is not simply "the numerically small ids".
+constexpr uint64_t kSampleSalt = 0x5ca1ab1e0ddba11ULL;
+}  // namespace
+
+TraceCollector::TraceCollector(TraceConfig config) : config_(std::move(config)) {
+  // Seed 0 means the owner (cluster) did not override it; fall back to a
+  // fixed constant so standalone collectors are still deterministic.
+  if (config_.seed == 0) config_.seed = 0xb1adeb1adeULL;
+}
+
+bool TraceCollector::Sampled(TraceId id) const {
+  if (config_.sample_rate >= 1.0) return true;
+  if (config_.sample_rate <= 0.0) return false;
+  double u = static_cast<double>(TraceMix64(id ^ kSampleSalt)) /
+             18446744073709551616.0;  // 2^64
+  return u < config_.sample_rate;
+}
+
+TraceContext TraceCollector::StartTrace(const std::string& name,
+                                        const std::string& component, int region,
+                                        SimTime start) {
+  if (!config_.enabled) return TraceContext{kSampledOutTraceId, 0};
+  TraceId id = TraceMix64(config_.seed ^ TraceMix64(++id_counter_));
+  if (id == 0 || id == kSampledOutTraceId) {
+    id = TraceMix64(id_counter_);  // never hand out the sentinels
+  }
+  // Sampled-out journeys still get a decided (sentinel) context so no
+  // downstream component roots a replacement trace for them.
+  if (!Sampled(id)) return TraceContext{kSampledOutTraceId, 0};
+
+  ++traces_started_;
+  TraceRecord record;
+  record.trace_id = id;
+  Span root;
+  root.span_id = 1;
+  root.parent_span_id = 0;
+  root.name = name;
+  root.component = component;
+  root.region = region;
+  root.start = start;
+  record.spans.push_back(std::move(root));
+
+  index_[id] = traces_evicted_ + traces_.size();
+  traces_.push_back(std::move(record));
+  if (config_.max_traces > 0 && traces_.size() > config_.max_traces) {
+    index_.erase(traces_.front().trace_id);
+    traces_.pop_front();
+    ++traces_evicted_;
+  }
+  return TraceContext{id, 1};
+}
+
+TraceContext TraceCollector::StartSpan(const TraceContext& parent,
+                                       const std::string& name,
+                                       const std::string& component, int region,
+                                       SimTime start) {
+  // Children of a sampled-out trace inherit the sentinel so the decision
+  // keeps propagating hop to hop.
+  if (parent.sampled_out()) return TraceContext{kSampledOutTraceId, 0};
+  if (!parent.valid()) return TraceContext();
+  TraceRecord* trace = MutableTrace(parent.trace_id);
+  if (trace == nullptr) return TraceContext();  // evicted
+  Span span;
+  span.span_id = trace->spans.size() + 1;
+  span.parent_span_id = parent.span_id;
+  span.name = name;
+  span.component = component;
+  span.region = region;
+  span.start = start;
+  trace->spans.push_back(std::move(span));
+  return TraceContext{parent.trace_id, trace->spans.back().span_id};
+}
+
+TraceContext TraceCollector::RecordSpan(const TraceContext& parent,
+                                        const std::string& name,
+                                        const std::string& component, int region,
+                                        SimTime start, SimTime end) {
+  TraceContext ctx = StartSpan(parent, name, component, region, start);
+  EndSpan(ctx, end);
+  return ctx;
+}
+
+void TraceCollector::EndSpan(const TraceContext& ctx, SimTime end) {
+  Span* span = MutableSpan(ctx);
+  if (span == nullptr || !span->open()) return;
+  span->end = end;
+}
+
+void TraceCollector::Annotate(const TraceContext& ctx, const std::string& key,
+                              Value v) {
+  Span* span = MutableSpan(ctx);
+  if (span == nullptr) return;
+  span->Annotate(key, std::move(v));
+}
+
+void TraceCollector::MarkError(const TraceContext& ctx, const std::string& message,
+                               SimTime end) {
+  Span* span = MutableSpan(ctx);
+  if (span == nullptr) return;
+  span->error = true;
+  span->Annotate("error", Value(message));
+  if (span->open()) span->end = end;
+}
+
+const TraceRecord* TraceCollector::FindTrace(TraceId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &traces_[static_cast<size_t>(it->second - traces_evicted_)];
+}
+
+TraceRecord* TraceCollector::MutableTrace(TraceId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &traces_[static_cast<size_t>(it->second - traces_evicted_)];
+}
+
+const Span* TraceCollector::FindSpan(const TraceContext& ctx) const {
+  const TraceRecord* trace = FindTrace(ctx.trace_id);
+  return trace == nullptr ? nullptr : trace->Find(ctx.span_id);
+}
+
+Span* TraceCollector::MutableSpan(const TraceContext& ctx) {
+  if (!ctx.valid()) return nullptr;
+  TraceRecord* trace = MutableTrace(ctx.trace_id);
+  return trace == nullptr ? nullptr : trace->Find(ctx.span_id);
+}
+
+void TraceCollector::Clear() {
+  traces_.clear();
+  index_.clear();
+  traces_evicted_ = 0;
+  traces_started_ = 0;
+  // id_counter_ intentionally not reset: cleared collectors keep producing
+  // fresh ids so a Clear mid-run cannot cause id collisions.
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,110 @@
+// TraceCollector: owns sampled traces for one simulation, registered on the
+// cluster alongside MetricsRegistry.
+//
+// Determinism contract: trace and span ids are derived from a private
+// counter hashed with the collector's seed (SplitMix64), never from the
+// simulator Rng, so (a) identical seeds produce byte-identical exports and
+// (b) toggling tracing or changing the sample rate cannot shift any other
+// random sequence in the simulation. The sampling decision is a pure
+// function of the trace id, so sampling at rate 0.1 keeps the same subset
+// of trace ids run over run.
+//
+// The collector takes explicit SimTime arguments rather than holding a
+// Simulator pointer so benches and tests can drive it standalone.
+
+#ifndef BLADERUNNER_SRC_TRACE_COLLECTOR_H_
+#define BLADERUNNER_SRC_TRACE_COLLECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/graphql/value.h"
+#include "src/sim/time.h"
+#include "src/trace/context.h"
+#include "src/trace/span.h"
+
+namespace bladerunner {
+
+struct TraceConfig {
+  bool enabled = true;
+  // Head-based sampling rate in [0, 1]; the decision is made once at
+  // StartTrace and inherited by every child span.
+  double sample_rate = 1.0;
+  // Seed for id generation. 0 means "derive from the cluster seed".
+  uint64_t seed = 0;
+  // Retain at most this many traces; the oldest are evicted FIFO so long
+  // (multi-hour) runs stay memory-bounded. 0 = unbounded.
+  size_t max_traces = 20000;
+};
+
+// SplitMix64 finalizer; shared by id generation and the sampling hash.
+inline uint64_t TraceMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceConfig config = TraceConfig());
+
+  // Starts a new trace whose root span begins at `start` (which may be in
+  // the past, e.g. a mutation's created_at). Returns an invalid context
+  // when the trace is not sampled; all other calls no-op on invalid
+  // contexts, so call sites never branch on sampling themselves.
+  TraceContext StartTrace(const std::string& name, const std::string& component,
+                          int region, SimTime start);
+
+  // Opens a child span under `parent`. Invalid parent => invalid child.
+  TraceContext StartSpan(const TraceContext& parent, const std::string& name,
+                         const std::string& component, int region, SimTime start);
+
+  // Records an already-finished span (start and end both known). Handy for
+  // instant hop markers (start == end) and retrospective intervals.
+  TraceContext RecordSpan(const TraceContext& parent, const std::string& name,
+                          const std::string& component, int region,
+                          SimTime start, SimTime end);
+
+  void EndSpan(const TraceContext& ctx, SimTime end);
+
+  void Annotate(const TraceContext& ctx, const std::string& key, Value v);
+
+  // Closes the span with error=true and an "error" annotation. Spans
+  // already closed keep their end time but still gain the error mark.
+  void MarkError(const TraceContext& ctx, const std::string& message, SimTime end);
+
+  const TraceRecord* FindTrace(TraceId id) const;
+  const Span* FindSpan(const TraceContext& ctx) const;
+
+  // Retained traces in insertion (trace-start) order.
+  const std::deque<TraceRecord>& Traces() const { return traces_; }
+  size_t TraceCount() const { return traces_.size(); }
+  uint64_t traces_started() const { return traces_started_; }
+  uint64_t traces_evicted() const { return traces_evicted_; }
+
+  const TraceConfig& config() const { return config_; }
+  void set_sample_rate(double rate) { config_.sample_rate = rate; }
+  void set_enabled(bool enabled) { config_.enabled = enabled; }
+
+  void Clear();
+
+ private:
+  TraceRecord* MutableTrace(TraceId id);
+  Span* MutableSpan(const TraceContext& ctx);
+  bool Sampled(TraceId id) const;
+
+  TraceConfig config_;
+  uint64_t id_counter_ = 0;
+  uint64_t traces_started_ = 0;   // sampled + retained starts
+  uint64_t traces_evicted_ = 0;
+  std::deque<TraceRecord> traces_;
+  // trace id -> absolute insertion index; deque position = index - evicted.
+  std::unordered_map<TraceId, uint64_t> index_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TRACE_COLLECTOR_H_

@@ -1,0 +1,71 @@
+// Trace context: the pair of ids that rides on every message so a causal
+// trace can be stitched together across RPC and BURST hops.
+//
+// A TraceContext names one span inside one trace. Components receiving a
+// message with a valid context open child spans under it; components
+// receiving no context either stay untraced or start a fresh root (the
+// collector decides via sampling). Ids are generated deterministically by
+// TraceCollector — never from the simulator's shared Rng — so enabling or
+// disabling tracing cannot perturb simulated behaviour.
+
+#ifndef BLADERUNNER_SRC_TRACE_CONTEXT_H_
+#define BLADERUNNER_SRC_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/graphql/value.h"
+
+namespace bladerunner {
+
+using TraceId = uint64_t;
+using SpanId = uint64_t;
+
+// Sentinel trace id marking a trace the head sampler decided NOT to record.
+// It propagates like a real context (so every component on the path knows
+// the decision was already made and must not root a fresh trace) but no
+// spans are ever recorded under it. This keeps the retained trace ids at
+// sample rate r a strict subset of the ids at rate 1.0 for the same seed.
+constexpr TraceId kSampledOutTraceId = ~TraceId(0);
+
+struct TraceContext {
+  TraceId trace_id = 0;  // 0 = no trace (never reached a sampling head)
+  SpanId span_id = 0;
+
+  bool valid() const { return trace_id != 0 && trace_id != kSampledOutTraceId; }
+  bool sampled_out() const { return trace_id == kSampledOutTraceId; }
+  // True when a sampling decision exists (recorded or sampled out): the
+  // receiver must not start a fresh root for this journey.
+  bool decided() const { return trace_id != 0; }
+
+  // Serialized cost on the wire: a 1-byte presence tag, plus the two ids
+  // when a context is actually carried. A sampled-out context ships only
+  // the tag. WireSize() implementations add this so bandwidth accounting
+  // reflects what sampling actually ships.
+  uint64_t WireBytes() const { return valid() ? 17 : 1; }
+
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && span_id == o.span_id;
+  }
+};
+
+// Header keys used to carry a context inside a Value (BURST subscribe
+// headers, payload envelopes) where a typed Message field is unavailable.
+inline constexpr char kTraceIdHeader[] = "_traceId";
+inline constexpr char kSpanIdHeader[] = "_spanId";
+
+inline TraceContext ContextFromValue(const Value& v) {
+  TraceContext ctx;
+  ctx.trace_id = static_cast<TraceId>(v.Get(kTraceIdHeader).AsInt(0));
+  ctx.span_id = static_cast<SpanId>(v.Get(kSpanIdHeader).AsInt(0));
+  return ctx;
+}
+
+inline void WriteContext(const TraceContext& ctx, Value* v) {
+  if (!ctx.decided() || v == nullptr) return;
+  v->Set(kTraceIdHeader, Value(static_cast<int64_t>(ctx.trace_id)));
+  v->Set(kSpanIdHeader, Value(static_cast<int64_t>(ctx.span_id)));
+}
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TRACE_CONTEXT_H_

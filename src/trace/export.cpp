@@ -1,0 +1,157 @@
+#include "src/trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/trace/analysis.h"
+
+namespace bladerunner {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexId(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, id);
+  return buf;
+}
+
+// Assigns each component a stable tid in first-use (span-id) order.
+std::map<std::string, int> ComponentTids(const TraceRecord& trace) {
+  std::map<std::string, int> tids;
+  int next = 1;
+  for (const Span& span : trace.spans) {
+    if (tids.emplace(span.component, next).second) ++next;
+  }
+  return tids;
+}
+
+void AppendMetadataEvent(std::ostringstream& out, bool* first, int pid, int tid,
+                         const std::string& kind, const std::string& name) {
+  if (!*first) out << ",\n";
+  *first = false;
+  out << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"name\":\"" << kind << "\",\"args\":{\"name\":\"" << JsonEscape(name)
+      << "\"}}";
+}
+
+void AppendTraceEvents(std::ostringstream& out, bool* first,
+                       const TraceRecord& trace, int pid) {
+  std::map<std::string, int> tids = ComponentTids(trace);
+  AppendMetadataEvent(out, first, pid, 0, "process_name",
+                      "trace " + HexId(trace.trace_id));
+  for (const auto& [component, tid] : tids) {
+    AppendMetadataEvent(out, first, pid, tid, "thread_name", component);
+  }
+  for (const Span& span : trace.spans) {
+    SimTime end = EffectiveEnd(trace, span);
+    if (!*first) out << ",\n";
+    *first = false;
+    out << "  {\"ph\":\"X\",\"name\":\"" << JsonEscape(span.name)
+        << "\",\"cat\":\"" << JsonEscape(span.component) << "\",\"ts\":" << span.start
+        << ",\"dur\":" << std::max<SimTime>(0, end - span.start)
+        << ",\"pid\":" << pid << ",\"tid\":" << tids[span.component] << ",\"args\":{";
+    out << "\"span\":" << span.span_id << ",\"parent\":" << span.parent_span_id;
+    if (span.region >= 0) out << ",\"region\":" << span.region;
+    if (span.open()) out << ",\"open\":true";
+    if (span.error) out << ",\"error\":true";
+    for (const auto& [key, value] : span.annotations) {
+      out << ",\"" << JsonEscape(key) << "\":" << value.ToJson();
+    }
+    out << "}}";
+  }
+}
+
+std::string WrapTraceEvents(const std::string& body) {
+  return "{\"traceEvents\":[\n" + body + "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecord& trace) {
+  std::ostringstream out;
+  bool first = true;
+  AppendTraceEvents(out, &first, trace, 1);
+  return WrapTraceEvents(out.str());
+}
+
+std::string ChromeTraceJson(const TraceCollector& collector) {
+  std::ostringstream out;
+  bool first = true;
+  int pid = 1;
+  for (const TraceRecord& trace : collector.Traces()) {
+    AppendTraceEvents(out, &first, trace, pid++);
+  }
+  return WrapTraceEvents(out.str());
+}
+
+bool WriteTraceFile(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << contents;
+  return static_cast<bool>(file);
+}
+
+std::string RenderTrace(const TraceRecord& trace) {
+  std::ostringstream out;
+  const Span* root = trace.root();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fms", ToMillis(TraceDuration(trace)));
+  out << "trace " << HexId(trace.trace_id) << " "
+      << (root != nullptr ? root->name : "<empty>") << " " << buf << "\n";
+  if (root == nullptr) return out.str();
+
+  // Depth-first render; children in span-id order.
+  std::vector<std::pair<const Span*, int>> stack;  // (span, depth)
+  stack.emplace_back(root, 1);
+  while (!stack.empty()) {
+    auto [span, depth] = stack.back();
+    stack.pop_back();
+    out << std::string(static_cast<size_t>(depth) * 2, ' ') << span->name << " ["
+        << span->component << "]";
+    std::snprintf(buf, sizeof(buf), " +%.1fms", ToMillis(span->start - root->start));
+    out << buf;
+    SimTime end = EffectiveEnd(trace, *span);
+    std::snprintf(buf, sizeof(buf), " %.1fms", ToMillis(end - span->start));
+    out << buf;
+    if (span->open()) out << " (open)";
+    if (span->error) out << " ERROR";
+    for (const auto& [key, value] : span->annotations) {
+      out << " " << key << "=" << value.ToJson();
+    }
+    out << "\n";
+    // Push children in reverse so the lowest span id renders first.
+    for (auto it = trace.spans.rbegin(); it != trace.spans.rend(); ++it) {
+      if (it->parent_span_id == span->span_id) stack.emplace_back(&*it, depth + 1);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace bladerunner

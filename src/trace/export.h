@@ -1,0 +1,33 @@
+// Trace exports: Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and a compact text renderer for one trace.
+
+#ifndef BLADERUNNER_SRC_TRACE_EXPORT_H_
+#define BLADERUNNER_SRC_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/trace/collector.h"
+#include "src/trace/span.h"
+
+namespace bladerunner {
+
+// Chrome trace-event JSON for one trace / every retained trace. Each trace
+// becomes one "process" (pid = insertion order), each component one
+// "thread" within it; spans are complete ("X") events with ts/dur in
+// microseconds, annotations carried under "args". Output is byte-stable
+// for a given collector state (insertion-ordered, no wall-clock input).
+std::string ChromeTraceJson(const TraceRecord& trace);
+std::string ChromeTraceJson(const TraceCollector& collector);
+
+// Writes `contents` to `path`; returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, const std::string& contents);
+
+// Renders one trace as an indented tree with offsets relative to the root:
+//   trace 0x3b9f... update 2128.4ms
+//     was.publish [was] +0.0ms 2034.1ms ranked=true
+//       pylon.publish [pylon] +2034.5ms 3.2ms
+std::string RenderTrace(const TraceRecord& trace);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TRACE_EXPORT_H_

@@ -1,0 +1,69 @@
+// Span and trace records collected by TraceCollector.
+
+#ifndef BLADERUNNER_SRC_TRACE_SPAN_H_
+#define BLADERUNNER_SRC_TRACE_SPAN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graphql/value.h"
+#include "src/sim/time.h"
+#include "src/trace/context.h"
+
+namespace bladerunner {
+
+// Sentinel `end` for a span that has not been closed yet. Open spans are
+// legal in finished traces (e.g. a long-lived stream span); analysis and
+// export derive an effective end from the latest descendant.
+constexpr SimTime kSpanOpen = -1;
+
+// One timed operation inside a trace. Span ids are assigned sequentially
+// per trace starting at 1, so spans[id - 1] is the span with that id.
+struct Span {
+  SpanId span_id = 0;
+  SpanId parent_span_id = 0;  // 0 = root span
+  std::string name;           // e.g. "pylon.deliver"
+  std::string component;      // e.g. "was", "pylon", "brass", "burst", "device"
+  int region = -1;            // RegionId where the span was opened; -1 unknown
+  SimTime start = 0;
+  SimTime end = kSpanOpen;
+  bool error = false;
+  std::vector<std::pair<std::string, Value>> annotations;
+
+  bool open() const { return end == kSpanOpen; }
+  SimTime duration() const { return (open() || end < start) ? 0 : end - start; }
+
+  void Annotate(std::string key, Value v) {
+    annotations.emplace_back(std::move(key), std::move(v));
+  }
+
+  // Returns the last annotation recorded under `key`, or nullptr.
+  const Value* FindAnnotation(const std::string& key) const {
+    for (auto it = annotations.rbegin(); it != annotations.rend(); ++it) {
+      if (it->first == key) return &it->second;
+    }
+    return nullptr;
+  }
+};
+
+// All spans of one sampled trace, in span-id order (spans[0] is the root).
+struct TraceRecord {
+  TraceId trace_id = 0;
+  std::vector<Span> spans;
+
+  const Span* root() const { return spans.empty() ? nullptr : &spans[0]; }
+
+  const Span* Find(SpanId id) const {
+    if (id == 0 || id > spans.size()) return nullptr;
+    return &spans[id - 1];
+  }
+  Span* Find(SpanId id) {
+    if (id == 0 || id > spans.size()) return nullptr;
+    return &spans[id - 1];
+  }
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_TRACE_SPAN_H_

@@ -8,13 +8,14 @@
 namespace bladerunner {
 
 WebAppServer::WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, PylonCluster* pylon,
-                           WasConfig config, MetricsRegistry* metrics)
+                           WasConfig config, MetricsRegistry* metrics, TraceCollector* trace)
     : sim_(sim),
       region_(region),
       tao_(tao),
       pylon_(pylon),
       config_(config),
       metrics_(metrics),
+      trace_(trace),
       next_event_id_((static_cast<uint64_t>(region) << 48) + 1) {
   assert(sim_ != nullptr && tao_ != nullptr && metrics_ != nullptr);
   rpc_.RegisterMethod("was.query", [this](MessagePtr request, RpcServer::Respond respond) {
@@ -159,6 +160,11 @@ void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Resp
   metrics_->GetCounter("was.subscription_resolves").Increment();
   auto response = std::make_shared<WasResolveSubResponse>();
 
+  TraceContext resolve_span;
+  if (trace_ != nullptr && request->trace.valid()) {
+    resolve_span = trace_->StartSpan(request->trace, "was.resolve", "was", region_, sim_->Now());
+  }
+
   ParseResult parsed = Parse(resolve->subscription);
   QueryCost cost;
   if (!parsed.ok() || parsed.document->Sole().type != OperationType::kSubscription ||
@@ -190,13 +196,23 @@ void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Resp
   }
   SimTime latency = MillisF(config_.query_base_ms) + tao_->SampleQueryLatency(cost);
   ChargeCpu(config_.query_base_ms);
-  sim_->Schedule(latency, [respond, response]() { respond(response); });
+  sim_->Schedule(latency, [this, respond, response, resolve_span]() {
+    if (trace_ != nullptr) trace_->EndSpan(resolve_span, sim_->Now());
+    respond(response);
+  });
 }
 
 void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   auto fetch = std::static_pointer_cast<WasFetchRequest>(request);
   metrics_->GetCounter("was.fetches").Increment();
   auto response = std::make_shared<WasFetchResponse>();
+
+  // Server-side view of the BRASS point fetch: separates WAS processing
+  // time from the network round trip inside the parent "brass.fetch" span.
+  TraceContext fetch_span;
+  if (trace_ != nullptr && request->trace.valid()) {
+    fetch_span = trace_->StartSpan(request->trace, "was.fetch", "was", region_, sim_->Now());
+  }
 
   WasContext was_ctx;
   was_ctx.was = this;
@@ -227,7 +243,13 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   SimTime latency = MillisF(sim_->rng().LogNormal(processing_ms, 0.35)) +
                     tao_->SampleQueryLatency(ctx.cost);
   ChargeCpu(processing_ms * 0.12);  // fetch handling is mostly TAO/IO wait
-  sim_->Schedule(latency, [respond, response]() { respond(response); });
+  if (trace_ != nullptr && fetch_span.valid()) {
+    trace_->Annotate(fetch_span, "allowed", Value(response->allowed));
+  }
+  sim_->Schedule(latency, [this, respond, response, fetch_span]() {
+    if (trace_ != nullptr) trace_->EndSpan(fetch_span, sim_->Now());
+    respond(response);
+  });
 }
 
 void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime created_at) {
@@ -243,31 +265,52 @@ void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime cre
     // mutation has completed to when the update has been sent to Pylon" —
     // i.e. from the start of the publish pipeline, not from the device.
     SimTime pipeline_start = sim_->Now();
-    sim_->Schedule(MillisF(logic_ms), [this, moved = std::move(moved), created_at, ranked,
-                                       pipeline_start]() {
-      SimTime delay = sim_->Now() - pipeline_start;
-      metrics_->GetHistogram(ranked ? "was.publish_delay_us.ranked" : "was.publish_delay_us.other")
-          .Record(static_cast<double>(delay));
+    // Root the update's trace at the mutation commit; "was.mutate" covers
+    // the TAO write, "was.publish" the business-logic/ranking pipeline up
+    // to the Pylon publish (the Table 3 WAS->Pylon span).
+    TraceContext publish_span;
+    if (trace_ != nullptr && !moved.topic.empty()) {
+      TraceContext root = trace_->StartTrace("update", "was", region_, created_at);
+      if (root.valid()) {
+        trace_->Annotate(root, "topic", Value(moved.topic));
+        trace_->RecordSpan(root, "was.mutate", "was", region_, created_at, pipeline_start);
+        publish_span = trace_->StartSpan(root, "was.publish", "was", region_, pipeline_start);
+        trace_->Annotate(publish_span, "ranked", Value(ranked));
+      } else {
+        // Sampled-out: carry the sentinel so downstream hops inherit the
+        // head decision instead of rooting replacement traces.
+        publish_span = root;
+      }
+    }
+    sim_->Schedule(MillisF(logic_ms), [this, moved = std::move(moved), created_at,
+                                       publish_span]() {
+      if (trace_ != nullptr) trace_->EndSpan(publish_span, sim_->Now());
       if (moved.on_published) {
         moved.on_published();
       }
-      PublishNow(moved, created_at);
+      PublishNow(moved, created_at, publish_span);
     });
   }
 }
 
-void WebAppServer::PublishNow(const PublishSpec& spec, SimTime created_at) {
+void WebAppServer::PublishNow(const PublishSpec& spec, SimTime created_at, TraceContext trace) {
   if (pylon_ == nullptr || spec.topic.empty()) {
     return;  // polling-only deployment, or a discarded (hot-mode) update
+  }
+  // Server-side agents publish without going through SchedulePublishes;
+  // give those updates a root so their fanout is traceable too.
+  if (trace_ != nullptr && !trace.decided()) {
+    trace = trace_->StartTrace("update", "was", region_, created_at);
+    if (trace.valid()) trace_->Annotate(trace, "topic", Value(spec.topic));
   }
   auto event = std::make_shared<UpdateEvent>();
   event->topic = spec.topic;
   event->event_id = next_event_id_++;
   event->metadata = spec.metadata;
   event->created_at = created_at;
-  event->published_at = sim_->Now();
   event->origin_region = region_;
   event->seq = spec.seq;
+  event->trace = trace;
 
   PylonServer* server = pylon_->RouteServer(spec.topic);
   RpcChannel* channel = ChannelToPylon(server);

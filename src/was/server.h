@@ -25,6 +25,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/tao/store.h"
+#include "src/trace/collector.h"
 #include "src/was/config.h"
 #include "src/was/messages.h"
 
@@ -76,7 +77,7 @@ using FetchHandler =
 class WebAppServer {
  public:
   WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, PylonCluster* pylon,
-               WasConfig config, MetricsRegistry* metrics);
+               WasConfig config, MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
   RegionId region() const { return region_; }
   RpcServer* rpc() { return &rpc_; }
@@ -85,6 +86,7 @@ class WebAppServer {
   Simulator* sim() { return sim_; }
   const WasConfig& config() const { return config_; }
   MetricsRegistry* metrics() { return metrics_; }
+  TraceCollector* trace() { return trace_; }
 
   void RegisterSubscriptionResolver(const std::string& field_name, SubscriptionResolver resolver);
   void RegisterFetchHandler(const std::string& app, FetchHandler handler);
@@ -99,7 +101,9 @@ class WebAppServer {
   ExecResult ExecuteNow(const std::string& text, UserId viewer);
 
   // Immediately publishes a pre-built spec (used by server-side agents).
-  void PublishNow(const PublishSpec& spec, SimTime created_at);
+  // `trace` names the span the published event should continue; an invalid
+  // context roots a fresh "update" trace here.
+  void PublishNow(const PublishSpec& spec, SimTime created_at, TraceContext trace = TraceContext());
 
  private:
   void HandleQuery(MessagePtr request, RpcServer::Respond respond);
@@ -119,6 +123,7 @@ class WebAppServer {
   PylonCluster* pylon_;
   WasConfig config_;
   MetricsRegistry* metrics_;
+  TraceCollector* trace_;
   RpcServer rpc_;
   Schema schema_;
   std::map<std::string, SubscriptionResolver> subscription_resolvers_;

@@ -8,6 +8,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/device.h"
+#include "src/trace/analysis.h"
 #include "src/was/messages.h"
 #include "src/was/resolvers.h"
 
@@ -167,17 +168,19 @@ TEST_F(DeviceAgentTest, ConnectivityChurnDropsAndRecovers) {
 
 TEST_F(DeviceAgentTest, ProfilesScaleRadioPromotion) {
   // 2G devices pay far more for waking the radio than wifi devices; the
-  // subscription setup histogram reflects it.
-  Histogram& setup = cluster_->metrics().GetHistogram("e2e.subscribe_setup_us");
+  // device-observed setup latency — the "brass.subscribe" span's end
+  // relative to its subscribe trace's root — reflects it.
+  SpanQuery query;
+  query.name = "brass.subscribe";
   DeviceAgent wifi(cluster_.get(), user_, 0, DeviceProfile::kWifi);
   wifi.SubscribeLvc(video_);
   cluster_->sim().RunFor(Seconds(10));
-  double wifi_setup = setup.Mean();
-  setup.Reset();
+  double wifi_setup = SpanEndSinceRootHistogram(cluster_->trace(), query).Mean();
+  cluster_->trace().Clear();
   DeviceAgent slow(cluster_.get(), other_, 0, DeviceProfile::kMobile2g);
   slow.SubscribeLvc(video_);
   cluster_->sim().RunFor(Seconds(20));
-  double slow_setup = setup.Mean();
+  double slow_setup = SpanEndSinceRootHistogram(cluster_->trace(), query).Mean();
   EXPECT_GT(slow_setup, wifi_setup * 2.0);
 }
 

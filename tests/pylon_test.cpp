@@ -13,6 +13,7 @@
 #include "src/pylon/rendezvous.h"
 #include "src/pylon/topic.h"
 #include "src/sim/simulator.h"
+#include "src/trace/analysis.h"
 
 namespace bladerunner {
 namespace {
@@ -99,7 +100,7 @@ class PylonTest : public ::testing::Test {
     PylonConfig config;
     config.servers_per_region = 2;
     config.kv_nodes_per_region = 2;
-    cluster_ = std::make_unique<PylonCluster>(&sim_, &topology_, config, &metrics_);
+    cluster_ = std::make_unique<PylonCluster>(&sim_, &topology_, config, &metrics_, &trace_);
     // A fake BRASS host that records deliveries.
     host_rpc_.RegisterMethod("brass.event",
                              [this](MessagePtr request, RpcServer::Respond respond) {
@@ -137,7 +138,6 @@ class PylonTest : public ::testing::Test {
     event->topic = topic;
     event->event_id = next_event_id_++;
     event->created_at = sim_.Now();
-    event->published_at = sim_.Now();
     auto request = std::make_shared<PylonPublishRequest>();
     request->event = std::move(event);
     channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
@@ -147,6 +147,7 @@ class PylonTest : public ::testing::Test {
   Topology topology_;
   Simulator sim_;
   MetricsRegistry metrics_;
+  TraceCollector trace_;
   std::unique_ptr<PylonCluster> cluster_;
   RpcServer host_rpc_;
   std::vector<Topic> received_;
@@ -285,12 +286,13 @@ TEST_F(PylonTest, TopicRoutingIsStable) {
 
 TEST_F(PylonTest, SubscribeReplicationLatencyIsRecorded) {
   ASSERT_TRUE(Subscribe("/LVC/11", kHostId));
-  const Histogram* h = metrics_.FindHistogram("pylon.subscribe_replication_us");
-  ASSERT_NE(h, nullptr);
-  EXPECT_GE(h->count(), 1u);
+  SpanQuery query;
+  query.name = "pylon.subscribe";
+  Histogram h = SpanDurationHistogram(trace_, query);
+  EXPECT_GE(h.count(), 1u);
   // Quorum requires one remote region: tens of milliseconds, not seconds.
-  EXPECT_GT(h->Mean(), static_cast<double>(Millis(5)));
-  EXPECT_LT(h->Mean(), static_cast<double>(Millis(500)));
+  EXPECT_GT(h.Mean(), static_cast<double>(Millis(5)));
+  EXPECT_LT(h.Mean(), static_cast<double>(Millis(500)));
 }
 
 }  // namespace

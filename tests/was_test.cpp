@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/pylon/cluster.h"
+#include "src/trace/analysis.h"
 #include "src/was/messages.h"
 #include "src/was/resolvers.h"
 #include "src/was/server.h"
@@ -21,9 +22,9 @@ class WasTest : public ::testing::Test {
     PylonConfig pylon_config;
     pylon_config.servers_per_region = 1;
     pylon_config.kv_nodes_per_region = 3;
-    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, pylon_config, &metrics_);
+    pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, pylon_config, &metrics_, &trace_);
     was_ = std::make_unique<WebAppServer>(&sim_, 0, tao_.get(), pylon_.get(), WasConfig{},
-                                          &metrics_);
+                                          &metrics_, &trace_);
     InstallSocialSchema(*was_);
 
     alice_ = CreateUser(*tao_, "alice", "en");
@@ -66,6 +67,7 @@ class WasTest : public ::testing::Test {
   Topology topology_;
   Simulator sim_;
   MetricsRegistry metrics_;
+  TraceCollector trace_;
   std::unique_ptr<TaoStore> tao_;
   std::unique_ptr<PylonCluster> pylon_;
   std::unique_ptr<WebAppServer> was_;
@@ -143,23 +145,29 @@ TEST_F(WasTest, MutationPublishesToPylonWithRankingDelay) {
              ", text: \"x\", language: \"en\") { id } }",
          bob_);
   EXPECT_EQ(metrics_.GetCounter("was.publishes").value(), 1);
-  const Histogram* ranked = metrics_.FindHistogram("was.publish_delay_us.ranked");
-  ASSERT_NE(ranked, nullptr);
-  ASSERT_EQ(ranked->count(), 1u);
+  SpanQuery query;
+  query.name = "was.publish";
+  query.annotation_key = "ranked";
+  query.annotation_value = Value(true);
+  Histogram ranked = SpanDurationHistogram(trace_, query);
+  ASSERT_EQ(ranked.count(), 1u);
   // Table 3: ~2s for LVC updates (ranking ~1.8s).
-  EXPECT_GT(ranked->Mean(), static_cast<double>(Seconds(1)));
-  EXPECT_LT(ranked->Mean(), static_cast<double>(Seconds(5)));
+  EXPECT_GT(ranked.Mean(), static_cast<double>(Seconds(1)));
+  EXPECT_LT(ranked.Mean(), static_cast<double>(Seconds(5)));
   (void)before;
 }
 
 TEST_F(WasTest, NonRankedMutationPublishesFaster) {
   Mutate("mutation { setTyping(thread: " + std::to_string(thread_) + ", typing: true) }", bob_);
-  const Histogram* other = metrics_.FindHistogram("was.publish_delay_us.other");
-  ASSERT_NE(other, nullptr);
-  ASSERT_GE(other->count(), 1u);
+  SpanQuery query;
+  query.name = "was.publish";
+  query.annotation_key = "ranked";
+  query.annotation_value = Value(false);
+  Histogram other = SpanDurationHistogram(trace_, query);
+  ASSERT_GE(other.count(), 1u);
   // Table 3: ~240ms for non-ranked updates.
-  EXPECT_GT(other->Mean(), static_cast<double>(Millis(100)));
-  EXPECT_LT(other->Mean(), static_cast<double>(Millis(800)));
+  EXPECT_GT(other.Mean(), static_cast<double>(Millis(100)));
+  EXPECT_LT(other.Mean(), static_cast<double>(Millis(800)));
 }
 
 TEST_F(WasTest, SendMessageAssignsConsecutiveSeqPerMailbox) {
