@@ -69,6 +69,19 @@ class BrassHost : public BurstServerHandler {
   size_t AppInstanceCount() const { return apps_.size(); }
   size_t PylonSubscriptionCount() const { return topics_.size(); }
 
+  // Topics this host holds acked Pylon subscriptions for. The failure
+  // campaign audit checks each against the current KV replicas: an acked
+  // topic on zero replicas is a permanently lost subscription.
+  std::vector<Topic> PylonSubscribedTopics() const {
+    std::vector<Topic> out;
+    for (const auto& [topic, entry] : topics_) {
+      if (entry.subscribed) {
+        out.push_back(topic);
+      }
+    }
+    return out;
+  }
+
   // ---- Fig. 7 stream records ----
 
   // Records of streams that have closed (with their lifetime event counts).

@@ -106,6 +106,26 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
     state.body = subscribe->body;
     state.pop_conn = conn_id;
     state.host_id = RouteHost(subscribe->header);
+    // A subscribe for a key already tracked (device reconnect through a
+    // different POP connection, or a re-route to another host) replaces the
+    // stream state below; detach the old route's bookkeeping first, or the
+    // key lingers in the old host/POP stream sets and that host's later
+    // disconnect would spuriously degrade and duplicate this stream.
+    auto existing = streams_.find(subscribe->key);
+    if (existing != streams_.end()) {
+      if (existing->second.pop_conn != conn_id) {
+        auto old_pop = pop_conns_.find(existing->second.pop_conn);
+        if (old_pop != pop_conns_.end()) {
+          old_pop->second.streams.erase(subscribe->key);
+        }
+      }
+      if (existing->second.host_id != state.host_id) {
+        auto old_host = host_conns_.find(existing->second.host_id);
+        if (old_host != host_conns_.end()) {
+          old_host->second.streams.erase(subscribe->key);
+        }
+      }
+    }
     pop_conns_[conn_id].streams.insert(subscribe->key);
     auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
     (void)inserted;
@@ -296,8 +316,8 @@ void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
 
   for (const StreamKey& key : affected) {
     auto it = streams_.find(key);
-    if (it == streams_.end()) {
-      continue;
+    if (it == streams_.end() || it->second.host_id != dead_host) {
+      continue;  // stream already re-routed to a different host
     }
     // Downstream notification (§4 axiom 1).
     auto pop = pop_conns_.find(it->second.pop_conn);

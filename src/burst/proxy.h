@@ -66,6 +66,14 @@ class ReverseProxy : public ConnectionHandler {
 
   size_t StreamCount() const { return streams_.size(); }
 
+  // Streams currently booked against the connection to `host_id` (0 when
+  // no such connection). Tests use this to assert re-routed streams are
+  // detached from their old host's bookkeeping.
+  size_t HostConnStreamCount(int64_t host_id) const {
+    auto it = host_conns_.find(host_id);
+    return it == host_conns_.end() ? 0 : it->second.streams.size();
+  }
+
   // ConnectionHandler:
   void OnMessage(ConnectionEnd& on, MessagePtr message) override;
   void OnDisconnect(ConnectionEnd& on, DisconnectReason reason) override;

@@ -69,10 +69,13 @@ void RpcChannel::Call(const std::string& method, MessagePtr request,
       return;
     }
     TraceContext request_trace = request->trace;
-    server->Dispatch(method, request, [sim, server, one_way, done, cb,
+    uint64_t incarnation = server->incarnation();
+    server->Dispatch(method, request, [sim, server, one_way, done, cb, incarnation,
                                        request_trace](MessagePtr response) {
-      // A server that went down before responding never gets to respond.
-      if (!server->available()) {
+      // A server that went down before responding never gets to respond —
+      // and one that went down and *recovered* in the meantime is a new
+      // incarnation whose predecessor's in-flight work died with it.
+      if (!server->available() || server->incarnation() != incarnation) {
         return;
       }
       // Responses inherit the request's trace context unless the handler

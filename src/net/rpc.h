@@ -45,8 +45,17 @@ class RpcServer {
 
   // Marks the server down/up. Calls to a down server fail kUnavailable
   // (after the request latency, as in a connection refused / no route).
-  void SetAvailable(bool available) { available_ = available; }
+  // Going down starts a new incarnation: work dispatched before the
+  // outage can never respond after it, even if the server comes back up
+  // first — a crashed process does not resume its in-flight handlers.
+  void SetAvailable(bool available) {
+    if (available_ && !available) {
+      ++incarnation_;
+    }
+    available_ = available;
+  }
   bool available() const { return available_; }
+  uint64_t incarnation() const { return incarnation_; }
 
  private:
   friend class RpcChannel;
@@ -54,6 +63,7 @@ class RpcServer {
 
   std::map<std::string, Method> methods_;
   bool available_ = true;
+  uint64_t incarnation_ = 0;
 };
 
 // Client-side handle to one server over one link latency model.

@@ -41,8 +41,26 @@ class PylonCluster {
 
   // The KV replicas for a topic's subscriber list: one node in the home
   // region, the rest in distinct remote regions (§3.1), each chosen within
-  // its region by rendezvous hashing on the topic.
-  std::vector<KvNode*> ReplicasFor(const Topic& topic, RegionId home_region);
+  // its region by rendezvous hashing on the topic. Failed/recovering nodes
+  // are excluded: rendezvous re-ranks the topic onto the surviving
+  // per-region pool, and when a whole region's pool is down the missing
+  // replica is backfilled from another region's next-ranked survivors, so
+  // the replica set heals around an outage. `assume_live` (used by the
+  // anti-entropy pass) computes the placement as if that node had already
+  // rejoined.
+  std::vector<KvNode*> ReplicasFor(const Topic& topic, RegionId home_region,
+                                   const KvNode* assume_live = nullptr);
+
+  // ---- KV crash/recovery coordination (called by KvNode) ----
+
+  void OnKvNodeFailed(KvNode* node);
+  void OnKvNodeLive(KvNode* node);
+
+  // Runs the recovering node's anti-entropy pass: fetch snapshots from
+  // every live KV node, merge the entries of topics the node will again
+  // be a replica of (remove-wins via peer tombstones), then let the node
+  // rejoin via FinishRecovery().
+  void StartAntiEntropy(KvNode* node);
 
   size_t NumServers() const { return servers_.size(); }
   PylonServer* ServerAt(size_t i) { return servers_[i].get(); }

@@ -52,6 +52,16 @@ struct PylonConfig {
 
   // Deadline for KV replica responses during subscribe/publish.
   SimTime kv_timeout = Seconds(1);
+
+  // ---- Subscriber-KV fault tolerance (crash/recovery) ----
+
+  // A recovering KV node re-fetches its topics' subscriber sets from peer
+  // replicas (anti-entropy) before rejoining quorums. Disabling makes a
+  // state-losing crash permanent until publish-time divergence repair.
+  bool anti_entropy_on_recovery = true;
+
+  // Deadline for the per-peer snapshot fetches of an anti-entropy pass.
+  SimTime kv_snapshot_timeout = Seconds(2);
 };
 
 }  // namespace bladerunner

@@ -1,0 +1,75 @@
+// Seeded KV-outage process for the subscriber store (Fig. 10).
+//
+// Drives KvNode::Fail()/Recover() with exponentially distributed crash
+// arrivals and outage durations and a configurable probability of state
+// loss on recovery. The entire campaign (crash times, victims, durations,
+// loss flags) is precomputed at Start() from the injector's own Rng, so
+// identical seeds produce identical campaigns regardless of how the rest
+// of the simulation interleaves — the determinism the Fig. 10 bench and
+// the failure tests assert on.
+
+#ifndef BLADERUNNER_SRC_PYLON_FAILURE_INJECTOR_H_
+#define BLADERUNNER_SRC_PYLON_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pylon/cluster.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+struct KvFailureInjectorConfig {
+  uint64_t seed = 1;
+
+  // Exponential inter-arrival of node crashes, cluster-wide. The paper's
+  // quorum breakage is rare (33 events/week); most single-node crashes do
+  // not break a write quorum, so a handful per simulated day lands in the
+  // right regime.
+  SimTime mean_time_between_failures = Hours(4);
+
+  // Outage duration: exponential with this mean, floored at `min_outage`.
+  SimTime mean_outage = Minutes(4);
+  SimTime min_outage = Seconds(30);
+
+  // Probability a crashed node loses its table on recovery (process
+  // restart on an empty disk vs. a fast restart with state intact).
+  double state_loss_probability = 0.5;
+
+  // Probability a crash takes a second, concurrently chosen node down at
+  // the same instant (correlated incident — the source of quorum losses).
+  double correlated_failure_probability = 0.1;
+
+  // Campaign length; no crash is scheduled past this horizon.
+  SimTime duration = Hours(24);
+};
+
+class KvFailureInjector {
+ public:
+  // One injected node outage (recorded at Start() for reporting).
+  struct Outage {
+    size_t node_index = 0;  // PylonCluster::KvNodeAt index
+    SimTime at = 0;
+    SimTime duration = 0;
+    bool state_loss = false;
+  };
+
+  KvFailureInjector(PylonCluster* pylon, KvFailureInjectorConfig config);
+
+  // Precomputes the campaign and schedules every Fail/Recover on the
+  // cluster's simulator, relative to the current simulated time.
+  void Start();
+
+  const std::vector<Outage>& outages() const { return outages_; }
+
+ private:
+  PylonCluster* pylon_;
+  KvFailureInjectorConfig config_;
+  Rng rng_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_PYLON_FAILURE_INJECTOR_H_

@@ -45,7 +45,12 @@ struct KvOpRequest : Message {
   Op op = Op::kGet;
   Topic topic;
   int64_t subscriber = 0;               // for kAdd / kRemove
-  std::vector<int64_t> replacement;     // for kPatch
+  std::vector<int64_t> replacement;     // for kPatch: the union to merge in
+  // For kPatch: the topic version the patching server observed at this
+  // node's kGet. The node applies the patch only while its version is
+  // still `base_version` — a kAdd/kRemove that landed in between bumps the
+  // version and voids the (now stale) patch instead of being clobbered.
+  uint64_t base_version = 0;
 
   std::string Describe() const override { return "KvOp(" + topic + ")"; }
 };
@@ -53,6 +58,25 @@ struct KvOpRequest : Message {
 struct KvOpResponse : Message {
   bool ok = true;
   std::vector<int64_t> subscribers;  // for kGet
+  uint64_t version = 0;              // topic version at the time of the op
+};
+
+// Pylon cluster -> KV node, during a recovering peer's anti-entropy pass.
+struct KvSnapshotRequest : Message {
+  std::string Describe() const override { return "KvSnapshot"; }
+};
+
+struct KvSnapshotEntry {
+  Topic topic;
+  std::vector<int64_t> subscribers;
+};
+
+struct KvSnapshotResponse : Message {
+  std::vector<KvSnapshotEntry> entries;
+  // (topic, subscriber) pairs this node has removed; remove-wins when a
+  // recovering replica merges peer snapshots (Dynamo-style anti-entropy
+  // without per-entry clocks — see docs/PYLON_FAILURES.md).
+  std::vector<std::pair<Topic, int64_t>> tombstones;
 };
 
 // Pylon server -> BRASS host (the fanout edge).

@@ -25,10 +25,25 @@ namespace {
 // Shared state of one publish fanout: which subscribers have already been
 // forwarded to, and the per-replica responses for the final patch check.
 struct FanoutState {
+  // One KV replica's answer to the fanout kGet, kept per node so the
+  // divergence repair can patch exactly the nodes that were behind, guarded
+  // on the version each one reported.
+  struct ReplicaView {
+    KvNode* node = nullptr;
+    uint64_t version = 0;
+    std::vector<int64_t> subscribers;
+  };
   std::set<int64_t> forwarded;
-  std::vector<std::vector<int64_t>> replica_views;
+  std::vector<ReplicaView> replica_views;
   size_t responses = 0;
   size_t replicas = 0;
+  // Serialization index carried across forward_new calls: the Nth
+  // subscriber this publish sends to pays N*per_subscriber_send_us no
+  // matter which replica's response surfaced it.
+  size_t send_index = 0;
+  // The quorum-wait ablation forwards exactly once, when the quorum is
+  // first reached; straggler views only feed the patch check.
+  bool quorum_forwarded = false;
 };
 
 }  // namespace
@@ -81,7 +96,6 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         fresh.push_back(host);
       }
     }
-    size_t i = 0;
     for (int64_t host : fresh) {
       RpcChannel* channel = cluster_->ChannelToHost(region_, host);
       if (channel == nullptr) {
@@ -103,9 +117,10 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
       // The internal pipeline budget (queuing/batching) plus the marginal
       // per-subscriber serialization cost.
       LatencyModel pipeline{pipeline_ms, 0.35, pipeline_ms / 4.0};
-      SimTime send_cost = pipeline.Sample(sim_->rng()) +
-                          static_cast<SimTime>(static_cast<double>(i) * send_us);
-      ++i;
+      SimTime send_cost =
+          pipeline.Sample(sim_->rng()) +
+          static_cast<SimTime>(static_cast<double>(state->send_index) * send_us);
+      ++state->send_index;
       SimTime pylon_delay = sim_->Now() - received_at + send_cost;
       // Re-resolve the channel at send time: the host may unregister (host
       // drain/crash) while this send sits in the pipeline, which destroys
@@ -144,11 +159,11 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
     get->op = KvOpRequest::Op::kGet;
     get->topic = event->topic;
     sim_->Schedule(processing_delay, [this, channel, get, state, forward_new, event, metrics,
-                                      replicas]() {
+                                      node]() {
       channel->Call(
           "kv.op", get,
-          [this, state, forward_new, event, metrics, replicas](RpcStatus status,
-                                                               MessagePtr response) {
+          [this, state, forward_new, event, metrics, node](RpcStatus status,
+                                                           MessagePtr response) {
             state->responses += 1;
             if (status == RpcStatus::kOk) {
               auto kv = std::static_pointer_cast<KvOpResponse>(response);
@@ -157,15 +172,18 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
                 // whatever earlier replicas missed (§3.1).
                 forward_new(kv->subscribers);
               }
-              state->replica_views.push_back(kv->subscribers);
+              state->replica_views.push_back(
+                  FanoutState::ReplicaView{node, kv->version, kv->subscribers});
               if (!cluster_->config().forward_on_first_response &&
+                  !state->quorum_forwarded &&
                   static_cast<int>(state->replica_views.size()) >=
                       std::min<int>(cluster_->config().write_quorum,
                                     static_cast<int>(state->replicas))) {
-                // Quorum-wait ablation: forward only once a quorum of
-                // replica views agrees; stragglers still patch below.
+                // Quorum-wait ablation: forward once, when a quorum of
+                // replica views is in; stragglers still patch below.
+                state->quorum_forwarded = true;
                 for (const auto& view : state->replica_views) {
-                  forward_new(view);
+                  forward_new(view.subscribers);
                 }
               }
             } else {
@@ -173,29 +191,31 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
             }
             if (state->responses == state->replicas) {
               // All replicas answered (or failed): repair divergence by
-              // patching stragglers to the union of observed views.
+              // patching the nodes that were behind up to the union of the
+              // observed views. The patch is additive and guarded on the
+              // version each node reported, so a quorum-acked add/remove
+              // that lands between this read and the patch wins.
               if (state->replica_views.size() >= 2) {
                 std::set<int64_t> unioned;
                 for (const auto& view : state->replica_views) {
-                  unioned.insert(view.begin(), view.end());
+                  unioned.insert(view.subscribers.begin(), view.subscribers.end());
                 }
                 bool divergent = false;
                 for (const auto& view : state->replica_views) {
-                  if (view.size() != unioned.size()) {
+                  if (view.subscribers.size() != unioned.size()) {
+                    metrics->GetCounter("pylon.kv_patches_sent").Increment();
+                    auto patch = std::make_shared<KvOpRequest>();
+                    patch->op = KvOpRequest::Op::kPatch;
+                    patch->topic = event->topic;
+                    patch->base_version = view.version;
+                    patch->replacement.assign(unioned.begin(), unioned.end());
+                    cluster_->ChannelToKv(region_, view.node)
+                        ->Call("kv.op", patch, [](RpcStatus, MessagePtr) {});
                     divergent = true;
-                    break;
                   }
                 }
                 if (divergent) {
                   metrics->GetCounter("pylon.kv_inconsistencies").Increment();
-                  auto patch = std::make_shared<KvOpRequest>();
-                  patch->op = KvOpRequest::Op::kPatch;
-                  patch->topic = event->topic;
-                  patch->replacement.assign(unioned.begin(), unioned.end());
-                  for (KvNode* node : replicas) {
-                    cluster_->ChannelToKv(region_, node)
-                        ->Call("kv.op", patch, [](RpcStatus, MessagePtr) {});
-                  }
                 }
               }
             }
@@ -227,6 +247,22 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
 
   std::vector<KvNode*> replicas = cluster_->ReplicasFor(sub->topic, region_);
   const PylonConfig& config = cluster_->config();
+  int required = std::min<int>(config.write_quorum, config.replication_factor);
+  if (static_cast<int>(replicas.size()) < required) {
+    // Too few reachable replicas to form a write quorum (e.g. a correlated
+    // KV outage). Fail closed immediately — without this the replica loop
+    // below issues fewer Calls than the quorum needs (zero, when the pool
+    // is empty) and the subscribe RPC would hang forever.
+    metrics->GetCounter("pylon.quorum_failures").Increment();
+    if (tracer != nullptr) {
+      tracer->MarkError(sub_span, "too few reachable replicas", sim_->Now());
+    }
+    auto ack = std::make_shared<PylonAck>();
+    ack->ok = false;
+    ack->error = "too few reachable replicas";
+    respond(ack);
+    return;
+  }
   int quorum = std::min<int>(config.write_quorum, static_cast<int>(replicas.size()));
 
   struct QuorumState {

@@ -537,6 +537,84 @@ TEST_F(BurstTest, RadioPromotionDelaysIdleUplinkSends) {
   EXPECT_EQ(metrics_.GetCounter("burst.radio_promotions").value(), promotions_mid);
 }
 
+// Captures proxy -> POP response frames (for asserting on flow signals).
+class FrameRecorder : public ConnectionHandler {
+ public:
+  void OnMessage(ConnectionEnd&, MessagePtr message) override {
+    if (auto response = std::dynamic_pointer_cast<ResponseFrame>(message)) {
+      responses.push_back(std::move(response));
+    }
+  }
+  void OnDisconnect(ConnectionEnd&, DisconnectReason) override {}
+  std::vector<std::shared_ptr<ResponseFrame>> responses;
+};
+
+TEST(ProxyRouteTest, ResubscribeToNewHostDetachesOldRoute) {
+  Simulator sim(33);
+  MetricsRegistry metrics;
+  BurstConfig config;
+  config.failure_detection_delay = Millis(50);
+  FakeAppHandler app1;
+  FakeAppHandler app2;
+  FakeDirectory directory(&sim);
+  BurstServer server1(&sim, 1, &app1, config, &metrics);
+  BurstServer server2(&sim, 2, &app2, config, &metrics);
+  directory.AddHost(1, &server1);
+  directory.AddHost(2, &server2);
+  ReverseProxy proxy(&sim, 1, 0, &directory, config, &metrics);
+
+  auto [pop_end, proxy_end] = CreateConnection(&sim, LatencyModel::Fixed(2.0), Millis(50));
+  FrameRecorder pop;
+  pop_end->set_handler(&pop);
+  proxy.AttachPopConnection(std::move(proxy_end));
+
+  StreamKey key{100, 1};
+  auto subscribe = std::make_shared<SubscribeFrame>();
+  subscribe->key = key;
+  subscribe->header.Set(kHeaderApp, "test");
+  subscribe->header.Set(kHeaderViewer, 100);
+  subscribe->header.Set(kHeaderBrassHost, 1);  // sticky: host 1
+  pop_end->Send(subscribe);
+  sim.RunFor(Seconds(1));
+  ASSERT_EQ(server1.StreamCount(), 1u);
+  EXPECT_EQ(proxy.HostConnStreamCount(1), 1u);
+
+  // The stream is re-routed (rebalance): a subscribe for the same key
+  // arrives sticky to host 2, with no termination of the old route first.
+  auto moved = std::make_shared<SubscribeFrame>();
+  moved->key = key;
+  moved->header.Set(kHeaderApp, "test");
+  moved->header.Set(kHeaderViewer, 100);
+  moved->header.Set(kHeaderBrassHost, 2);
+  moved->resubscribe = true;
+  pop_end->Send(moved);
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(server2.StreamCount(), 1u);
+  // Regression (bookkeeping leak): the key must leave host 1's stream set
+  // when the route changes, not linger there.
+  EXPECT_EQ(proxy.HostConnStreamCount(1), 0u);
+  EXPECT_EQ(proxy.HostConnStreamCount(2), 1u);
+  EXPECT_EQ(proxy.StreamCount(), 1u);
+
+  // Host 1 dying later must not disturb the moved stream: no spurious
+  // degraded signal downstream, no duplicate resubscribe to host 2.
+  size_t responses_before = pop.responses.size();
+  int64_t reconnects_before = metrics.GetCounter("burst.proxy_induced_reconnects").value();
+  size_t server2_subscribes = app2.started.size() + app2.resumed.size();
+  server1.FailHost();
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(metrics.GetCounter("burst.proxy_induced_reconnects").value(), reconnects_before);
+  EXPECT_EQ(app2.started.size() + app2.resumed.size(), server2_subscribes);
+  EXPECT_EQ(server2.StreamCount(), 1u);
+  for (size_t i = responses_before; i < pop.responses.size(); ++i) {
+    for (const Delta& delta : pop.responses[i]->batch) {
+      if (delta.kind == DeltaKind::kFlowStatus) {
+        EXPECT_NE(delta.status, FlowStatus::kDegraded);
+      }
+    }
+  }
+}
+
 TEST(FramesTest, DeltaFactories) {
   Delta d = Delta::Data(Value(1), 3);
   EXPECT_EQ(d.kind, DeltaKind::kData);

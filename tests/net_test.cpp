@@ -238,6 +238,30 @@ TEST(RpcTest, ServerGoingDownMidCallDropsResponse) {
   EXPECT_EQ(got, RpcStatus::kTimeout);  // only the timeout fires
 }
 
+TEST(RpcTest, ServerRestartingMidCallDropsStaleResponse) {
+  // A server that goes down and comes back before its handler responds is a
+  // new incarnation: the old incarnation's in-flight work must not leak out
+  // as a response after the restart (regression for KV crash/recovery —
+  // without the incarnation check the down-then-up window is invisible).
+  Simulator sim;
+  RpcServer server;
+  RpcServer::Respond saved;
+  server.RegisterMethod("m", [&saved](MessagePtr, RpcServer::Respond respond) {
+    saved = std::move(respond);
+  });
+  RpcChannel channel(&sim, &server, LatencyModel::Fixed(5.0));
+  RpcStatus got = RpcStatus::kOk;
+  channel.Call(
+      "m", std::make_shared<TextMessage>(""),
+      [&](RpcStatus status, MessagePtr) { got = status; }, Seconds(2));
+  sim.RunFor(Millis(20));
+  server.SetAvailable(false);
+  server.SetAvailable(true);  // restarted: available again, new incarnation
+  saved(std::make_shared<TextMessage>("stale"));
+  sim.Run();
+  EXPECT_EQ(got, RpcStatus::kTimeout);  // the stale response never arrives
+}
+
 TEST(RpcTest, RetargetPointsNewCallsAtNewServer) {
   Simulator sim;
   RpcServer server1;

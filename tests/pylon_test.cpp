@@ -223,26 +223,15 @@ TEST_F(PylonTest, QuorumLossFailsSubscriptionClosed) {
 }
 
 TEST_F(PylonTest, InconsistentReplicaGetsPatchedOnPublish) {
-  ASSERT_TRUE(Subscribe("/LVC/8", kHostId));
-  // Manually damage one replica to simulate divergence.
-  std::vector<KvNode*> replicas = cluster_->ReplicasFor("/LVC/8", cluster_->RouteServer("/LVC/8")->region());
-  // Find a replica holding the topic and clear it via a patch op issued
-  // directly (simulating loss).
-  KvNode* damaged = nullptr;
-  for (KvNode* node : replicas) {
-    if (node->Find("/LVC/8") != nullptr) {
-      damaged = node;
-      break;
-    }
-  }
-  ASSERT_NE(damaged, nullptr);
-  RpcChannel channel(&sim_, damaged->rpc(), LatencyModel::IntraRegion());
-  auto wipe = std::make_shared<KvOpRequest>();
-  wipe->op = KvOpRequest::Op::kPatch;
-  wipe->topic = "/LVC/8";
-  wipe->replacement = {};  // empty -> erase
-  channel.Call("kv.op", wipe, [](RpcStatus, MessagePtr) {});
-  sim_.RunFor(Seconds(1));
+  // Create divergence the way production does: one replica flaps (transient
+  // network outage, not a membership change) while the subscribe lands, so
+  // it misses the kAdd the other two replicas acked.
+  std::vector<KvNode*> replicas =
+      cluster_->ReplicasFor("/LVC/8", cluster_->RouteServer("/LVC/8")->region());
+  KvNode* damaged = replicas[2];
+  damaged->SetAvailable(false);
+  ASSERT_TRUE(Subscribe("/LVC/8", kHostId));  // quorum 2 of 3 still holds
+  damaged->SetAvailable(true);
   EXPECT_EQ(damaged->Find("/LVC/8"), nullptr);
 
   // Publishing detects divergence among replica views and repairs it.
@@ -293,6 +282,269 @@ TEST_F(PylonTest, SubscribeReplicationLatencyIsRecorded) {
   // Quorum requires one remote region: tens of milliseconds, not seconds.
   EXPECT_GT(h.Mean(), static_cast<double>(Millis(5)));
   EXPECT_LT(h.Mean(), static_cast<double>(Millis(500)));
+}
+
+// ---- KV crash / recovery ----
+
+TEST_F(PylonTest, SubscribeWithNoReachableReplicasFailsClosed) {
+  for (size_t i = 0; i < cluster_->NumKvNodes(); ++i) {
+    cluster_->KvNodeAt(i)->Fail();
+  }
+  // Regression: with an empty replica set the subscribe path used to issue
+  // zero KV calls and never respond — the RPC hung until its timeout.
+  // Subscribe() asserts the ack actually arrives.
+  EXPECT_FALSE(Subscribe("/LVC/20", kHostId));
+  EXPECT_GE(metrics_.GetCounter("pylon.quorum_failures").value(), 1);
+}
+
+TEST_F(PylonTest, CrashWithStateLossRestoredByAntiEntropy) {
+  ASSERT_TRUE(Subscribe("/LVC/21", kHostId));
+  std::vector<KvNode*> replicas =
+      cluster_->ReplicasFor("/LVC/21", cluster_->RouteServer("/LVC/21")->region());
+  KvNode* crashed = replicas[0];
+  ASSERT_NE(crashed->Find("/LVC/21"), nullptr);
+  crashed->Fail();
+  EXPECT_EQ(crashed->lifecycle(), KvNodeState::kFailed);
+  EXPECT_FALSE(crashed->InQuorumPool());
+  crashed->Recover(/*lose_state=*/true);
+  sim_.RunFor(Seconds(3));
+  EXPECT_EQ(crashed->lifecycle(), KvNodeState::kLive);
+  EXPECT_GE(metrics_.GetCounter("pylon.kv_anti_entropy_runs").value(), 1);
+  // The wiped table was refilled from peer replicas before rejoining.
+  ASSERT_NE(crashed->Find("/LVC/21"), nullptr);
+  EXPECT_EQ(crashed->Find("/LVC/21")->count(kHostId), 1u);
+  Publish("/LVC/21");
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(PylonTest, ReplicaPlacementHealsAroundCrashAndRestores) {
+  const Topic topic = "/LVC/22";
+  RegionId home = cluster_->RouteServer(topic)->region();
+  std::vector<KvNode*> before = cluster_->ReplicasFor(topic, home);
+  ASSERT_EQ(before.size(), 3u);
+  before[0]->Fail();
+  std::vector<KvNode*> during = cluster_->ReplicasFor(topic, home);
+  ASSERT_EQ(during.size(), 3u);  // re-ranked onto survivors: set heals
+  for (KvNode* node : during) {
+    EXPECT_NE(node, before[0]);
+    EXPECT_TRUE(node->InQuorumPool());
+  }
+  before[0]->Recover(/*lose_state=*/false);
+  sim_.RunFor(Seconds(3));  // anti-entropy pass completes
+  EXPECT_EQ(before[0]->lifecycle(), KvNodeState::kLive);
+  EXPECT_EQ(cluster_->ReplicasFor(topic, home), before);  // placement restored
+}
+
+TEST_F(PylonTest, UnsubscribeWhileReplicaDownIsNotResurrectedByRecovery) {
+  const Topic topic = "/LVC/23";
+  ASSERT_TRUE(Subscribe(topic, kHostId));
+  RegionId home = cluster_->RouteServer(topic)->region();
+  std::vector<KvNode*> replicas = cluster_->ReplicasFor(topic, home);
+  KvNode* crashed = replicas[0];
+  ASSERT_NE(crashed->Find(topic), nullptr);
+  crashed->Fail();
+  // The unsubscribe lands on the healed replica set while the node is down;
+  // the peers record tombstones for it.
+  ASSERT_TRUE(Subscribe(topic, kHostId, /*subscribe=*/false));
+  crashed->Recover(/*lose_state=*/false);  // stale table still lists the host
+  sim_.RunFor(Seconds(3));
+  EXPECT_EQ(crashed->lifecycle(), KvNodeState::kLive);
+  // Remove-wins: the peers' tombstones beat the stale membership, so the
+  // recovered node does not resurrect the unsubscribed host.
+  const std::set<int64_t>* subs = crashed->Find(topic);
+  EXPECT_TRUE(subs == nullptr || subs->count(kHostId) == 0);
+  Publish(topic);
+  sim_.RunFor(Seconds(2));
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(PylonTest, StalePatchDoesNotClobberConcurrentAdd) {
+  const Topic topic = "/LVC/24";
+  std::vector<KvNode*> replicas =
+      cluster_->ReplicasFor(topic, cluster_->RouteServer(topic)->region());
+  KvNode* damaged = replicas[2];
+  damaged->SetAvailable(false);
+  ASSERT_TRUE(Subscribe(topic, kHostId));  // damaged misses the add
+  damaged->SetAvailable(true);
+
+  // A publish computes its repair patch from the divergent views...
+  Publish(topic);
+  // ...and while the patch is in flight, another quorum-acked add lands on
+  // the previously-damaged replica (100ms: after its kGet was answered,
+  // before the patch arrives over the cross-region link).
+  sim_.RunFor(Millis(100));
+  RpcChannel direct(&sim_, damaged->rpc(), LatencyModel::IntraRegion());
+  auto add = std::make_shared<KvOpRequest>();
+  add->op = KvOpRequest::Op::kAdd;
+  add->topic = topic;
+  add->subscriber = 502;
+  direct.Call("kv.op", add, [](RpcStatus, MessagePtr) {});
+  sim_.RunFor(Seconds(3));
+
+  // Regression: the patch used to *replace* the subscriber set, erasing the
+  // concurrent add. Now it is version-guarded: the add bumped the version,
+  // so the stale patch is rejected and the add survives.
+  const std::set<int64_t>* subs = damaged->Find(topic);
+  ASSERT_NE(subs, nullptr);
+  EXPECT_EQ(subs->count(502), 1u);
+  EXPECT_GE(metrics_.GetCounter("pylon.kv_patch_conflicts").value(), 1);
+
+  // A later publish repairs the original subscriber additively.
+  Publish(topic);
+  sim_.RunFor(Seconds(3));
+  subs = damaged->Find(topic);
+  ASSERT_NE(subs, nullptr);
+  EXPECT_EQ(subs->count(kHostId), 1u);
+  EXPECT_EQ(subs->count(502), 1u);
+}
+
+// ---- quorum-wait ablation fanout semantics ----
+
+namespace {
+
+// A topic whose home server is in region 0, so the replica in region 2 (the
+// slowest link from home) is a deterministic straggler.
+Topic HomeRegionZeroTopic(PylonCluster* cluster) {
+  for (int i = 0;; ++i) {
+    Topic topic = "/LVC/" + std::to_string(100 + i);
+    if (cluster->RouteServer(topic)->region() == 0) {
+      return topic;
+    }
+  }
+}
+
+// Plants a subscriber directly on one KV node (bypassing the quorum write),
+// creating a divergent replica view.
+void DirectAdd(Simulator* sim, KvNode* node, const Topic& topic, int64_t host) {
+  RpcChannel direct(sim, node->rpc(), LatencyModel::IntraRegion());
+  auto add = std::make_shared<KvOpRequest>();
+  add->op = KvOpRequest::Op::kAdd;
+  add->topic = topic;
+  add->subscriber = host;
+  direct.Call("kv.op", add, [](RpcStatus, MessagePtr) {});
+  sim->RunFor(Seconds(1));
+}
+
+}  // namespace
+
+TEST(PylonQuorumWaitTest, StragglerViewIsNotForwardedAfterQuorum) {
+  Simulator sim(7);
+  Topology topology = Topology::ThreeRegions();
+  MetricsRegistry metrics;
+  PylonConfig config;
+  config.servers_per_region = 2;
+  config.kv_nodes_per_region = 2;
+  config.forward_on_first_response = false;  // quorum-wait ablation
+  PylonCluster cluster(&sim, &topology, config, &metrics);
+
+  int a_received = 0;
+  int c_received = 0;
+  RpcServer host_a;
+  host_a.RegisterMethod("brass.event", [&](MessagePtr, RpcServer::Respond respond) {
+    ++a_received;
+    respond(std::make_shared<PylonAck>());
+  });
+  RpcServer host_c;
+  host_c.RegisterMethod("brass.event", [&](MessagePtr, RpcServer::Respond respond) {
+    ++c_received;
+    respond(std::make_shared<PylonAck>());
+  });
+  cluster.RegisterSubscriberHost(601, 0, &host_a);
+  cluster.RegisterSubscriberHost(603, 0, &host_c);
+
+  Topic topic = HomeRegionZeroTopic(&cluster);
+  PylonServer* server = cluster.RouteServer(topic);
+  RpcChannel channel(&sim, server->rpc(), LatencyModel::IntraRegion());
+  auto request = std::make_shared<PylonSubscribeRequest>();
+  request->topic = topic;
+  request->host_id = 601;
+  channel.Call("pylon.subscribe", request, [](RpcStatus, MessagePtr) {});
+  sim.RunFor(Seconds(2));
+
+  // Host C exists only in the straggler replica's view (region 2, the
+  // slowest link from the home region): its kGet answer arrives after the
+  // quorum of the local and region-1 views has already been forwarded.
+  std::vector<KvNode*> replicas = cluster.ReplicasFor(topic, 0);
+  ASSERT_EQ(replicas.size(), 3u);
+  ASSERT_EQ(replicas[2]->region(), 2);
+  DirectAdd(&sim, replicas[2], topic, 603);
+
+  auto event = std::make_shared<UpdateEvent>();
+  event->topic = topic;
+  event->event_id = 1;
+  event->created_at = sim.Now();
+  auto publish = std::make_shared<PylonPublishRequest>();
+  publish->event = std::move(event);
+  channel.Call("pylon.publish", publish, [](RpcStatus, MessagePtr) {});
+  sim.RunFor(Seconds(3));
+
+  EXPECT_EQ(a_received, 1);
+  // Regression: the quorum-wait branch used to re-run the forward loop on
+  // every straggler response, leaking forward-on-first semantics into the
+  // ablation. The straggler's extra subscriber only feeds the patch check.
+  EXPECT_EQ(c_received, 0);
+}
+
+TEST(PylonFanoutTest, SerializationIndexCarriesAcrossReplicaViews) {
+  Simulator sim(9);
+  Topology topology = Topology::ThreeRegions();
+  MetricsRegistry metrics;
+  PylonConfig config;
+  config.servers_per_region = 2;
+  config.kv_nodes_per_region = 2;
+  // Make the per-subscriber serialization premium dominate every other
+  // latency in the fanout: 200ms per already-forwarded subscriber.
+  config.per_subscriber_send_us = 200000.0;
+  PylonCluster cluster(&sim, &topology, config, &metrics);
+
+  SimTime a_time = 0;
+  SimTime c_time = 0;
+  RpcServer host_a;
+  host_a.RegisterMethod("brass.event", [&](MessagePtr, RpcServer::Respond respond) {
+    a_time = sim.Now();
+    respond(std::make_shared<PylonAck>());
+  });
+  RpcServer host_c;
+  host_c.RegisterMethod("brass.event", [&](MessagePtr, RpcServer::Respond respond) {
+    c_time = sim.Now();
+    respond(std::make_shared<PylonAck>());
+  });
+  cluster.RegisterSubscriberHost(701, 0, &host_a);
+  cluster.RegisterSubscriberHost(702, 0, &host_c);
+
+  Topic topic = HomeRegionZeroTopic(&cluster);
+  PylonServer* server = cluster.RouteServer(topic);
+  RpcChannel channel(&sim, server->rpc(), LatencyModel::IntraRegion());
+  auto request = std::make_shared<PylonSubscribeRequest>();
+  request->topic = topic;
+  request->host_id = 701;
+  channel.Call("pylon.subscribe", request, [](RpcStatus, MessagePtr) {});
+  sim.RunFor(Seconds(2));
+
+  // Host C is known only to the remote replicas, so it is forwarded by a
+  // *second* forward_new batch once their views arrive.
+  std::vector<KvNode*> replicas = cluster.ReplicasFor(topic, 0);
+  ASSERT_EQ(replicas.size(), 3u);
+  DirectAdd(&sim, replicas[1], topic, 702);
+  DirectAdd(&sim, replicas[2], topic, 702);
+
+  auto event = std::make_shared<UpdateEvent>();
+  event->topic = topic;
+  event->event_id = 1;
+  event->created_at = sim.Now();
+  auto publish = std::make_shared<PylonPublishRequest>();
+  publish->event = std::move(event);
+  channel.Call("pylon.publish", publish, [](RpcStatus, MessagePtr) {});
+  sim.RunFor(Seconds(5));
+
+  ASSERT_GT(a_time, 0);
+  ASSERT_GT(c_time, 0);
+  // Regression: the serialization index used to reset to zero for each
+  // replica's batch, so C (the publish's second overall send) paid no
+  // premium. Carried across batches, C pays the full one-subscriber
+  // premium on top of the remote view's arrival.
+  EXPECT_GE(c_time - a_time, Millis(180));
 }
 
 }  // namespace
