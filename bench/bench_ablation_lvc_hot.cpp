@@ -1,12 +1,25 @@
-// Ablation (DESIGN.md §5.5): the LiveVideoComments hot-video strategy
-// switch (§3.4).
+// Ablation (DESIGN.md §5.5): the LiveVideoComments hot-video path.
 //
-// Under extreme comment volume the WAS pre-ranks: low-quality comments are
-// discarded before Pylon, ordinary ones move to per-author topics (reaching
-// only the author's friends), and only exceptional comments stay on the
-// broadcast topic. This bench runs the same hot burst with the switch on
-// and off and compares the event volume Pylon and the BRASSes must absorb.
+// Part 1 — the WAS hot-video strategy switch (§3.4): under extreme comment
+// volume the WAS pre-ranks: low-quality comments are discarded before
+// Pylon, ordinary ones move to per-author topics (reaching only the
+// author's friends), and only exceptional comments stay on the broadcast
+// topic. The same hot burst runs with the switch on and off and compares
+// the event volume Pylon and the BRASSes must absorb.
+//
+// Part 2 — the shared WAS fetch pipeline (docs/BRASS_FETCH.md): the same
+// hot burst amplifies Fig. 5 step 8 — every Pylon event fans out to every
+// viewer stream on the host, and each stream fetches the same payload from
+// the WAS with a per-viewer privacy check. The burst runs with the
+// pipeline off (one WAS round trip per stream) and on (coalescing +
+// versioned cache + batched privacy checks: one round trip per host), and
+// asserts deliveries and per-viewer privacy decisions are unchanged.
+//
+// `--smoke` runs a shortened Part 2 only and exits nonzero if the pipeline
+// coalesced nothing, the round-trip reduction is below 5x, or the
+// delivery/privacy invariants are violated (used by CI).
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -20,6 +33,13 @@ using namespace bladerunner;
 
 namespace {
 
+struct BurstShape {
+  int num_viewers = 25;
+  int burst_seconds = 40;
+  int comments_per_second = 10;
+  SimTime settle = Seconds(25);
+};
+
 struct Result {
   int64_t publishes = 0;
   int64_t fanout_sends = 0;
@@ -27,28 +47,28 @@ struct Result {
   int64_t decisions = 0;
   int64_t deliveries = 0;
   int64_t discarded = 0;
+  // Fetch-pipeline accounting.
+  int64_t fetch_requests = 0;
+  int64_t was_round_trips = 0;
+  int64_t cache_hits = 0;
+  int64_t coalesced = 0;
+  int64_t privacy_denied = 0;  // decisions - deliveries (firehose mode)
 };
 
-Result RunHotBurst(bool hot_strategy, uint64_t seed) {
-  ClusterConfig config;
-  config.seed = seed;
-  config.was.lvc_hot_strategy = hot_strategy;
-  // Simulation-scale bursts are far below 1M/s; lower the per-partition
-  // capacity so the index heats at bench scale.
-  config.tao.hot_index_writes_per_sec = 0.4;
-  BladerunnerCluster cluster(config, Topology::OneRegion());
-  SocialGraphConfig graph_config;
-  graph_config.num_users = 90;
-  graph_config.mean_friends = 10.0;
-  graph_config.num_videos = 1;
-  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
-  ObjectId video = graph.videos[0];
-  cluster.sim().RunFor(Seconds(2));
+// Shared hot-burst driver: viewers subscribe to the one video, then a
+// burst of comments arrives, then the cluster settles. The commenter
+// sequence comes from a workload-private RNG, not the simulator's: the
+// pipeline off/on comparison changes how much randomness the simulation
+// itself consumes, and the comparison needs the identical comment stream.
+Result RunHotBurst(BenchCluster& fixture, const BurstShape& shape) {
+  BladerunnerCluster& cluster = *fixture.cluster;
+  ObjectId video = fixture.graph.videos[0];
+  Rng workload_rng(977);
 
   std::vector<std::unique_ptr<DeviceAgent>> viewers;
-  for (int i = 0; i < 25; ++i) {
+  for (int i = 0; i < shape.num_viewers; ++i) {
     viewers.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+        &cluster, fixture.graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
     viewers.back()->SubscribeLvc(video);
   }
   cluster.sim().RunFor(Seconds(5));
@@ -56,16 +76,16 @@ Result RunHotBurst(bool hot_strategy, uint64_t seed) {
   std::vector<std::unique_ptr<DeviceAgent>> commenters;
   for (int i = 40; i < 80; ++i) {
     commenters.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+        &cluster, fixture.graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
   }
-  for (int s = 0; s < 40; ++s) {
-    for (int k = 0; k < 10; ++k) {
-      DeviceAgent& c = *commenters[cluster.sim().rng().Index(commenters.size())];
+  for (int s = 0; s < shape.burst_seconds; ++s) {
+    for (int k = 0; k < shape.comments_per_second; ++k) {
+      DeviceAgent& c = *commenters[workload_rng.Index(commenters.size())];
       c.PostComment(video, "burst comment", "en");
     }
     cluster.sim().RunFor(Seconds(1));
   }
-  cluster.sim().RunFor(Seconds(25));
+  cluster.sim().RunFor(shape.settle);
 
   MetricsRegistry& m = cluster.metrics();
   Result result;
@@ -75,16 +95,139 @@ Result RunHotBurst(bool hot_strategy, uint64_t seed) {
   result.decisions = m.GetCounter("brass.decisions").value();
   result.deliveries = m.GetCounter("brass.deliveries").value();
   result.discarded = m.GetCounter("was.lvc_hot_discarded").value();
+  result.fetch_requests = m.GetCounter("brass.fetch.requests").value();
+  result.was_round_trips = m.GetCounter("was.fetches").value();
+  result.cache_hits = m.GetCounter("brass.fetch.cache_hits").value();
+  result.coalesced = m.GetCounter("brass.fetch.coalesced").value();
+  result.privacy_denied = result.decisions - result.deliveries;
   return result;
+}
+
+// Part 1 scenario: default routing/filtering, WAS strategy switch toggled.
+Result RunStrategyBurst(bool hot_strategy, uint64_t seed) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.was.lvc_hot_strategy = hot_strategy;
+  // Simulation-scale bursts are far below 1M/s; lower the per-partition
+  // capacity so the index heats at bench scale.
+  config.tao.hot_index_writes_per_sec = 0.4;
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 90;
+  graph_config.mean_friends = 10.0;
+  graph_config.num_videos = 1;
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::OneRegion());
+  return RunHotBurst(fixture, BurstShape{});
+}
+
+// Part 2 scenario: one BRASS host (the per-host pipeline's sharing scope),
+// firehose dispatch (every event reaches every stream — the undamped
+// Fig. 5 step 8 amplification), denser block lists so per-viewer privacy
+// decisions actually diverge between viewers.
+Result RunFetchBurst(bool pipeline_enabled, uint64_t seed, const BurstShape& shape) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.was.lvc_hot_strategy = false;
+  config.tao.hot_index_writes_per_sec = 0.4;
+  config.brass_hosts_per_region = 1;
+  config.brass.fetch.enabled = pipeline_enabled;
+  config.apps.lvc.filter_at_brass = false;
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 90;
+  graph_config.mean_friends = 10.0;
+  graph_config.num_videos = 1;
+  graph_config.block_probability = 0.08;
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::OneRegion());
+  // Pre-seeded blocks between viewers and commenters, so the per-viewer
+  // privacy decisions genuinely diverge and the off/on comparison proves
+  // they are preserved. Viewer i (< 25) is blocked by commenters
+  // 40+2i and 41+2i (commenters span users 40..79 below).
+  for (int i = 0; i < 8; ++i) {
+    BlockUser(fixture.cluster->tao(), fixture.graph.users[static_cast<size_t>(40 + 2 * i)],
+              fixture.graph.users[static_cast<size_t>(i)]);
+  }
+  fixture.sim().RunFor(Seconds(2));  // let the block edges replicate
+  return RunHotBurst(fixture, shape);
+}
+
+int ComparePipeline(const Result& off, const Result& on, bool enforce) {
+  PrintRow("%-32s %-12s %s", "", "pipeline off", "pipeline on");
+  PrintRow("%-32s %-12lld %lld", "payload fetch requests",
+           static_cast<long long>(off.fetch_requests),
+           static_cast<long long>(on.fetch_requests));
+  PrintRow("%-32s %-12lld %lld", "WAS fetch round trips",
+           static_cast<long long>(off.was_round_trips),
+           static_cast<long long>(on.was_round_trips));
+  PrintRow("%-32s %-12lld %lld", "coalesced into a flight",
+           static_cast<long long>(off.coalesced), static_cast<long long>(on.coalesced));
+  PrintRow("%-32s %-12lld %lld", "payload cache hits",
+           static_cast<long long>(off.cache_hits), static_cast<long long>(on.cache_hits));
+  PrintRow("%-32s %-12lld %lld", "per-viewer decisions",
+           static_cast<long long>(off.decisions), static_cast<long long>(on.decisions));
+  PrintRow("%-32s %-12lld %lld", "deliveries",
+           static_cast<long long>(off.deliveries), static_cast<long long>(on.deliveries));
+  PrintRow("%-32s %-12lld %lld", "privacy-denied fetches",
+           static_cast<long long>(off.privacy_denied),
+           static_cast<long long>(on.privacy_denied));
+
+  double reduction = static_cast<double>(off.was_round_trips) /
+                     static_cast<double>(std::max<int64_t>(1, on.was_round_trips));
+  PrintSection("paper vs measured");
+  Recap("WAS round trips per hot event", "one per stream without sharing (Fig. 5 step 8)",
+        Fmt("%.1fx fewer round trips with the pipeline", reduction));
+  Recap("delivery counts", "unchanged by the pipeline",
+        Fmt("%lld vs %lld", static_cast<long long>(off.deliveries),
+            static_cast<long long>(on.deliveries)));
+  Recap("per-viewer privacy decisions", "computed by the WAS either way",
+        Fmt("%lld vs %lld denied", static_cast<long long>(off.privacy_denied),
+            static_cast<long long>(on.privacy_denied)));
+
+  if (!enforce) {
+    return 0;
+  }
+  int failures = 0;
+  if (on.coalesced == 0) {
+    PrintRow("FAIL: pipeline coalesced no fetches");
+    ++failures;
+  }
+  if (reduction < 5.0) {
+    PrintRow("FAIL: WAS round-trip reduction %.1fx is below 5x", reduction);
+    ++failures;
+  }
+  if (off.deliveries != on.deliveries) {
+    PrintRow("FAIL: delivery counts differ (off=%lld on=%lld)",
+             static_cast<long long>(off.deliveries), static_cast<long long>(on.deliveries));
+    ++failures;
+  }
+  if (off.privacy_denied != on.privacy_denied) {
+    PrintRow("FAIL: privacy decisions differ (off=%lld on=%lld denied)",
+             static_cast<long long>(off.privacy_denied),
+             static_cast<long long>(on.privacy_denied));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Ablation 5", "LVC hot-video strategy switch (§3.4)");
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
-  Result nominal = RunHotBurst(/*hot_strategy=*/false, 51);
-  Result hot = RunHotBurst(/*hot_strategy=*/true, 51);
+  if (smoke) {
+    PrintHeader("Ablation 5 (smoke)", "shared WAS fetch pipeline on a short hot burst");
+    BurstShape shape;
+    shape.burst_seconds = 6;
+    shape.comments_per_second = 6;
+    shape.settle = Seconds(10);
+    Result off = RunFetchBurst(/*pipeline_enabled=*/false, 51, shape);
+    Result on = RunFetchBurst(/*pipeline_enabled=*/true, 51, shape);
+    PrintSection("pipeline off vs on (short burst)");
+    return ComparePipeline(off, on, /*enforce=*/true);
+  }
+
+  PrintHeader("Ablation 5", "LVC hot-video strategy switch (§3.4) + shared fetch pipeline");
+
+  Result nominal = RunStrategyBurst(/*hot_strategy=*/false, 51);
+  Result hot = RunStrategyBurst(/*hot_strategy=*/true, 51);
 
   PrintSection("the same 40s x 10 comments/s hot burst, 25 viewers");
   PrintRow("%-32s %-12s %s", "", "nominal", "strategy switch");
@@ -112,5 +255,10 @@ int main() {
   Recap("viewers still get comments", "relevance preserved",
         Fmt("%lld deliveries (vs %lld nominal)", static_cast<long long>(hot.deliveries),
             static_cast<long long>(nominal.deliveries)));
-  return 0;
+
+  Result off = RunFetchBurst(/*pipeline_enabled=*/false, 51, BurstShape{});
+  Result on = RunFetchBurst(/*pipeline_enabled=*/true, 51, BurstShape{});
+  PrintSection("shared fetch pipeline, same burst in firehose mode, 1 host");
+  int rc = ComparePipeline(off, on, /*enforce=*/true);
+  return rc;
 }

@@ -47,17 +47,16 @@ int main() {
 
   ClusterConfig cluster_config;
   cluster_config.seed = 808;
-  BladerunnerCluster cluster(cluster_config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 120;
   graph_config.num_videos = 150;
   graph_config.num_threads = 80;
-  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
-  cluster.sim().RunFor(Seconds(3));
+  BenchCluster fixture =
+      MakeBenchCluster(cluster_config, graph_config, Topology::ThreeRegions(), Seconds(3));
 
   DailyScenarioConfig daily;
   daily.duration = Hours(24);
-  DailyScenario scenario(&cluster, &graph, daily);
+  DailyScenario scenario(fixture.cluster.get(), &fixture.graph, daily);
   scenario.Run();
 
   const double users = static_cast<double>(scenario.num_users());

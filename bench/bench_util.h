@@ -8,13 +8,44 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/cluster.h"
+#include "src/net/topology.h"
 #include "src/sim/histogram.h"
 #include "src/sim/time.h"
+#include "src/workload/social_gen.h"
 
 namespace bladerunner {
+
+// ---- shared cluster/workload fixture ----
+//
+// Most benches open the same way: build a cluster from a ClusterConfig,
+// generate a social graph into its TAO, and run a short warmup so
+// replication and caches settle before the measured scenario starts.
+// BladerunnerCluster is neither copyable nor movable, so the fixture owns
+// it behind a unique_ptr.
+struct BenchCluster {
+  std::unique_ptr<BladerunnerCluster> cluster;
+  SocialGraph graph;
+
+  Simulator& sim() { return cluster->sim(); }
+  MetricsRegistry& metrics() { return cluster->metrics(); }
+};
+
+inline BenchCluster MakeBenchCluster(const ClusterConfig& config,
+                                     const SocialGraphConfig& graph_config,
+                                     Topology topology = Topology::ThreeRegions(),
+                                     SimTime warmup = Seconds(2)) {
+  BenchCluster fixture;
+  fixture.cluster = std::make_unique<BladerunnerCluster>(config, std::move(topology));
+  fixture.graph =
+      GenerateSocialGraph(fixture.cluster->tao(), fixture.cluster->sim().rng(), graph_config);
+  fixture.sim().RunFor(warmup);
+  return fixture;
+}
 
 inline void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("==============================================================================\n");

@@ -111,7 +111,7 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       SimTime created_at = event.created_at;
       TraceContext span = runtime().StartSpan(event.trace, "brass.process");
       runtime().FetchPayload(
-          event.metadata, stream->viewer,
+          event.metadata, FetchOptions{.viewer = stream->viewer, .parent = span},
           [this, key, created_at, span](bool allowed, Value payload) {
             if (!allowed) {
               runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
@@ -126,8 +126,7 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
             }
             runtime().DeliverData(*it2->second.stream, std::move(payload), 0, created_at, span);
             runtime().EndSpan(span);
-          },
-          span);
+          });
       continue;
     }
     if (!FilterForViewer(it->second, event, *stream)) {
@@ -207,7 +206,7 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
   TraceContext span = best.span;
   UserId viewer_id = viewer.stream->viewer;
   runtime().FetchPayload(
-      best.metadata, viewer_id,
+      best.metadata, FetchOptions{.viewer = viewer_id, .parent = span},
       [this, stream_key, created_at, span](bool allowed, Value payload) {
         if (!allowed) {
           runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
@@ -225,8 +224,7 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
         runtime().DeliverData(*it2->second.stream, std::move(payload),
                               /*seq=*/0, created_at, span);
         runtime().EndSpan(span);
-      },
-      span);
+      });
 }
 
 }  // namespace bladerunner

@@ -21,7 +21,7 @@ void MessengerApp::OnStreamStarted(BrassStream& stream) {
   // the WAS resolution context (the device just polled to that point).
   int64_t resume = 0;
   if (stream.stream != nullptr) {
-    resume = stream.stream->header().Get(kHeaderResumeToken).AsInt(0);
+    resume = StreamHeaderView(stream.stream->header()).resume_token();
   }
   if (resume == 0) {
     resume = stream.context.Get("maxSeq").AsInt(0);
@@ -105,8 +105,10 @@ void MessengerApp::FetchAndQueue(const StreamKey& key, const Value& metadata, ui
     return;
   }
   UserId viewer = it->second.stream->viewer;
+  // Mailbox payloads are per-viewer sequenced state: reliable delivery
+  // requires observing the WAS directly, never a shared cached payload.
   runtime().FetchPayload(
-      metadata, viewer,
+      metadata, FetchOptions{.viewer = viewer, .parent = span, .bypass_cache = true},
       [this, key, seq, created_at, span](bool allowed, Value payload) {
         auto it2 = mailboxes_.find(key);
         if (it2 == mailboxes_.end()) {
@@ -132,8 +134,7 @@ void MessengerApp::FetchAndQueue(const StreamKey& key, const Value& metadata, ui
         payload.Set("_createdAtEvent", created_at);
         it2->second.pending[seq] = PendingMessage{std::move(payload), span};
         DrainPending(key);
-      },
-      span);
+      });
 }
 
 void MessengerApp::DrainPending(const StreamKey& key) {
@@ -179,7 +180,8 @@ void MessengerApp::RecoverGap(const StreamKey& key) {
   std::string query = "query { mailbox(afterSeq: " + std::to_string(after) +
                       ", first: 50) { id seq author thread text time } }";
   runtime().metrics().GetCounter("messenger.gap_polls").Increment();
-  runtime().WasQuery(query, state.stream->viewer, [this, key](bool ok, Value data) {
+  runtime().WasQuery(query, FetchOptions{.viewer = state.stream->viewer, .bypass_cache = true},
+                     [this, key](bool ok, Value data) {
     auto it2 = mailboxes_.find(key);
     if (it2 == mailboxes_.end()) {
       return;
@@ -213,9 +215,9 @@ void MessengerApp::PersistProgress(MailboxState& state) {
   if (!raw->attached()) {
     return;
   }
-  Value header = raw->header();
-  header.Set(kHeaderResumeToken, static_cast<int64_t>(state.next_seq - 1));
-  raw->Rewrite(std::move(header));
+  StreamHeader header(raw->header());
+  header.set_resume_token(static_cast<int64_t>(state.next_seq - 1));
+  raw->Rewrite(std::move(header).Take());
 }
 
 void MessengerApp::OnAck(BrassStream& stream, uint64_t seq) {

@@ -89,7 +89,7 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
           SimTime created_at = trigger.created_at;
           TraceContext span = runtime().StartSpan(trigger.trace, "brass.process");
           runtime().FetchPayload(
-              trigger.metadata, viewer.stream->viewer,
+              trigger.metadata, FetchOptions{.viewer = viewer.stream->viewer, .parent = span},
               [this, key, created_at, span](bool allowed, Value payload) {
                 if (!allowed) {
                   runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
@@ -106,8 +106,7 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
                 runtime().DeliverData(*it->second.stream, std::move(payload), 0, created_at,
                                       span);
                 runtime().EndSpan(span);
-              },
-              span);
+              });
         }
       } else if (!should_display && uid == trigger_author) {
         runtime().CountDecision(false);  // examined, container not displayed

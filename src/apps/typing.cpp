@@ -31,7 +31,7 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       StreamKey key = stream->key;
       SimTime created_at = event.created_at;
       runtime().FetchPayload(
-          event.metadata, stream->viewer,
+          event.metadata, FetchOptions{.viewer = stream->viewer, .parent = span},
           [this, key, created_at, span](bool allowed, Value payload) {
             if (!allowed) {
               runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
@@ -54,8 +54,7 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
                   runtime().DeliverData(*it->second, std::move(payload), 0, created_at, span);
                   runtime().EndSpan(span);
                 });
-          },
-          span);
+          });
     } else {
       Value payload = event.metadata;
       payload.Set("__type", "TypingIndicator");

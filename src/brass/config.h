@@ -3,6 +3,8 @@
 #ifndef BLADERUNNER_SRC_BRASS_CONFIG_H_
 #define BLADERUNNER_SRC_BRASS_CONFIG_H_
 
+#include <cstddef>
+
 #include "src/sim/time.h"
 
 namespace bladerunner {
@@ -11,6 +13,27 @@ namespace bladerunner {
 enum class BrassRoutingPolicy {
   kByLoad,   // least-loaded host (high-fanout applications)
   kByTopic,  // hash of the topic (low-fanout: curtails Pylon subscriptions)
+};
+
+// The host's shared fetch pipeline between BRASS instances and the WAS
+// (docs/BRASS_FETCH.md): coalesces concurrent fetches of the same event
+// version into one WAS call, caches versioned payloads, and batches the
+// per-viewer privacy checks of a host's streams into that one call.
+struct FetchPipelineConfig {
+  bool enabled = true;
+
+  // How long a fresh fetch flight collects same-object joiners before its
+  // RPC is dispatched. Zero still merges fetches issued within the same
+  // simulation instant (e.g. one Pylon event fanning out to the streams of
+  // an application instance).
+  double coalesce_window_ms = 0.5;
+
+  // LRU payload-cache entries per host.
+  size_t cache_capacity = 512;
+
+  // Cap on the viewers whose privacy decisions are prefetched in one
+  // batched WAS fetch RPC.
+  size_t max_batch_viewers = 64;
 };
 
 struct BrassConfig {
@@ -27,6 +50,9 @@ struct BrassConfig {
   // Cap of BRASS instances (VMs) per host: "the number of BRASSes per host
   // is limited to two per core" (§3.2); our hosts model 18 cores.
   int max_apps_per_host = 36;
+
+  // Shared WAS fetch pipeline (coalescing + versioned payload cache).
+  FetchPipelineConfig fetch;
 };
 
 }  // namespace bladerunner

@@ -1,0 +1,390 @@
+#include "src/brass/fetch_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/was/messages.h"
+
+namespace bladerunner {
+
+namespace {
+// Suffix distinguishing a privacy-only top-up flight from the payload
+// flight of the same cache key (both may be in the air at once).
+constexpr char kPrivacyFlightSuffix[] = "#priv";
+}  // namespace
+
+FetchPipeline::FetchPipeline(Simulator* sim, RegionId region, RpcChannel* was_channel,
+                             SimTime rpc_timeout, FetchPipelineConfig config,
+                             MetricsRegistry* metrics, TraceCollector* trace,
+                             ViewerProvider viewers_for_app)
+    : sim_(sim),
+      region_(region),
+      was_channel_(was_channel),
+      rpc_timeout_(rpc_timeout),
+      config_(config),
+      metrics_(metrics),
+      trace_(trace),
+      viewers_for_app_(std::move(viewers_for_app)) {
+  assert(sim_ != nullptr && was_channel_ != nullptr && metrics_ != nullptr);
+}
+
+std::string FetchPipeline::Key(const std::string& app, const Value& metadata) const {
+  // The full metadata is part of the key: two events for the same object
+  // can carry per-viewer or per-stream fields (e.g. Messenger's mailbox
+  // "seq"), and those must never share a cached payload.
+  uint64_t fp = std::hash<std::string>{}(metadata.ToJson());
+  return app + "#" + std::to_string(VersionOf(metadata)) + "#" + std::to_string(fp);
+}
+
+ObjectId FetchPipeline::ObjectIdOf(const Value& metadata) {
+  ObjectId id = metadata.Get("id").AsInt(0);
+  if (id == 0) {
+    // Active-status events mutate the user object itself.
+    id = metadata.Get("user").AsInt(0);
+  }
+  return id;
+}
+
+uint64_t FetchPipeline::VersionOf(const Value& metadata) {
+  return static_cast<uint64_t>(metadata.Get("version").AsInt(0));
+}
+
+void FetchPipeline::Fetch(const std::string& app, const Value& metadata,
+                          const FetchOptions& options, Callback callback) {
+  metrics_->GetCounter("brass.fetch.requests").Increment();
+  if (!config_.enabled || options.bypass_cache) {
+    DirectFetch(app, metadata, options, std::move(callback));
+    return;
+  }
+
+  std::string key = Key(app, metadata);
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) {
+    CacheEntry& entry = cached->second;
+    auto decision = entry.decisions.find(options.viewer);
+    if (decision != entry.decisions.end()) {
+      TouchLru(entry, key);
+      ServeFromCache(entry, key, options.viewer, options.parent, std::move(callback));
+      return;
+    }
+    // Payload cached but this viewer's decision is not (their stream
+    // arrived after the batched fetch): privacy-only top-up RPC.
+    StartOrJoinFlight(key + kPrivacyFlightSuffix, app, metadata, /*need_payload=*/false,
+                      entry.payload, Waiter{options.viewer, options.parent, std::move(callback)});
+    return;
+  }
+
+  StartOrJoinFlight(key, app, metadata, /*need_payload=*/true, Value(),
+                    Waiter{options.viewer, options.parent, std::move(callback)});
+}
+
+void FetchPipeline::ServeFromCache(const CacheEntry& entry, const std::string& key, UserId viewer,
+                                   const TraceContext& parent, Callback callback) {
+  (void)key;
+  metrics_->GetCounter("brass.fetch.cache_hits").Increment();
+  bool allowed = entry.decisions.at(viewer);
+  // A denied viewer never receives the payload, exactly as an unbatched
+  // WAS fetch would have answered.
+  Value payload = allowed ? entry.payload : Value();
+  if (trace_ != nullptr && parent.valid()) {
+    // Instant span: the fetch was served host-locally. Named distinctly
+    // from "brass.fetch" so latency analyses over WAS round trips (e.g.
+    // Table 3) keep measuring actual round trips.
+    TraceContext span =
+        trace_->RecordSpan(parent, "brass.fetch.cache", "brass", region_, sim_->Now(), sim_->Now());
+    trace_->Annotate(span, "allowed", Value(allowed));
+  }
+  // Deliver asynchronously: applications expect fetch callbacks to run
+  // after the calling event handler returns, cache hit or not.
+  auto cb = std::make_shared<Callback>(std::move(callback));
+  sim_->Schedule(0, [cb, allowed, payload = std::move(payload)]() { (*cb)(allowed, payload); });
+}
+
+void FetchPipeline::StartOrJoinFlight(const std::string& flight_key, const std::string& app,
+                                      const Value& metadata, bool need_payload,
+                                      Value cached_payload, Waiter waiter) {
+  auto it = flights_.find(flight_key);
+  if (it != flights_.end()) {
+    metrics_->GetCounter("brass.fetch.coalesced").Increment();
+    Flight& flight = it->second;
+    if (!flight.dispatched &&
+        std::find(flight.rpc_viewers.begin(), flight.rpc_viewers.end(), waiter.viewer) ==
+            flight.rpc_viewers.end() &&
+        flight.rpc_viewers.size() < config_.max_batch_viewers) {
+      flight.rpc_viewers.push_back(waiter.viewer);
+    }
+    flight.waiters.push_back(std::move(waiter));
+    return;
+  }
+
+  Flight flight;
+  flight.app = app;
+  flight.metadata = metadata;
+  flight.object_id = ObjectIdOf(metadata);
+  flight.version = VersionOf(metadata);
+  flight.need_payload = need_payload;
+  flight.cached_payload = std::move(cached_payload);
+  if (need_payload) {
+    // Prefetch decisions for every current viewer of the app on this host:
+    // their streams will want this payload too, and one batched RPC is the
+    // whole point (one round trip per host, not per stream).
+    flight.rpc_viewers = viewers_for_app_ ? viewers_for_app_(app) : std::vector<UserId>();
+    std::sort(flight.rpc_viewers.begin(), flight.rpc_viewers.end());
+    flight.rpc_viewers.erase(std::unique(flight.rpc_viewers.begin(), flight.rpc_viewers.end()),
+                             flight.rpc_viewers.end());
+    if (flight.rpc_viewers.size() > config_.max_batch_viewers) {
+      flight.rpc_viewers.resize(config_.max_batch_viewers);
+    }
+  }
+  if (std::find(flight.rpc_viewers.begin(), flight.rpc_viewers.end(), waiter.viewer) ==
+      flight.rpc_viewers.end()) {
+    flight.rpc_viewers.push_back(waiter.viewer);
+  }
+  flight.waiters.push_back(std::move(waiter));
+  flights_.emplace(flight_key, std::move(flight));
+  sim_->Schedule(MillisF(config_.coalesce_window_ms),
+                 [this, flight_key]() { DispatchFlight(flight_key); });
+}
+
+void FetchPipeline::DispatchFlight(const std::string& flight_key) {
+  auto it = flights_.find(flight_key);
+  if (it == flights_.end() || it->second.dispatched) {
+    return;
+  }
+  Flight& flight = it->second;
+  flight.dispatched = true;
+
+  auto request = std::make_shared<WasFetchRequest>();
+  request->app = flight.app;
+  request->metadata = flight.metadata;
+  request->viewers = flight.rpc_viewers;
+  request->need_payload = flight.need_payload;
+
+  // "brass.fetch" covers the whole WAS round trip (Table 3's "of which WAS
+  // point query + privacy check"); the WAS nests its processing span in it.
+  // Parented under the first waiter that carries a sampled trace.
+  TraceContext span;
+  if (trace_ != nullptr) {
+    for (const Waiter& waiter : flight.waiters) {
+      if (waiter.parent.valid()) {
+        span = trace_->StartSpan(waiter.parent, "brass.fetch", "brass", region_, sim_->Now());
+        trace_->Annotate(span, "viewers", Value(static_cast<int64_t>(flight.rpc_viewers.size())));
+        trace_->Annotate(span, "coalesced", Value(static_cast<int64_t>(flight.waiters.size())));
+        trace_->Annotate(span, "privacy_only", Value(!flight.need_payload));
+        break;
+      }
+    }
+  }
+  request->trace = span;
+
+  metrics_->GetCounter("brass.was_fetches").Increment();
+  metrics_->GetCounter(flight.need_payload ? "brass.fetch.rpcs" : "brass.fetch.privacy_rpcs")
+      .Increment();
+  was_channel_->Call(
+      "was.fetch", request,
+      [this, flight_key, span](RpcStatus status, MessagePtr response) {
+        CompleteFlight(flight_key, span, status, std::move(response));
+      },
+      rpc_timeout_);
+}
+
+void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext span,
+                                   RpcStatus status, MessagePtr response) {
+  auto it = flights_.find(flight_key);
+  if (it == flights_.end()) {
+    return;  // pipeline was cleared (host drained/crashed) mid-flight
+  }
+  Flight flight = std::move(it->second);
+  flights_.erase(it);
+
+  if (status != RpcStatus::kOk) {
+    if (trace_ != nullptr) {
+      trace_->MarkError(span, ToString(status), sim_->Now());
+    }
+    metrics_->GetCounter("brass.fetch.rpc_failures").Increment();
+    for (Waiter& waiter : flight.waiters) {
+      waiter.callback(false, Value(nullptr));
+    }
+    return;
+  }
+  if (trace_ != nullptr) {
+    trace_->EndSpan(span, sim_->Now());
+  }
+  auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
+
+  std::unordered_map<UserId, bool> decisions;
+  for (size_t i = 0; i < flight.rpc_viewers.size() && i < fetch->allowed.size(); ++i) {
+    decisions.emplace(flight.rpc_viewers[i], fetch->allowed[i] != 0);
+  }
+  const Value& payload = flight.need_payload ? fetch->payload : flight.cached_payload;
+
+  if (flight.need_payload) {
+    bool stale = fetch->version < flight.version;
+    if (stale) {
+      // The (follower-region) WAS served an older version than the event
+      // announced — replication lag. The result is still delivered (it is
+      // exactly what an unpipelined fetch would have returned) but must
+      // not be cached as the current version.
+      metrics_->GetCounter("brass.fetch.stale_returns").Increment();
+    }
+    // Versionless metadata (e.g. ephemeral typing events) gets coalescing
+    // only, never caching: there is no way to invalidate it.
+    if (!stale && !flight.superseded && flight.version > 0) {
+      CacheEntry entry;
+      entry.object_id = flight.object_id;
+      entry.version = std::max(fetch->version, flight.version);
+      entry.payload = fetch->payload;
+      entry.decisions = decisions;
+      InsertCacheEntry(Key(flight.app, flight.metadata), std::move(entry));
+    }
+  } else if (!flight.superseded) {
+    // Merge the topped-up decisions into the cache entry if it survived.
+    auto cached = cache_.find(Key(flight.app, flight.metadata));
+    if (cached != cache_.end()) {
+      for (const auto& [viewer, allowed] : decisions) {
+        cached->second.decisions.emplace(viewer, allowed);
+      }
+    }
+  }
+
+  if (!flight.need_payload && flight.superseded) {
+    // The cached payload these waiters were topping up decisions for was
+    // invalidated mid-flight: serving it would deliver a stale version.
+    // Re-fetch from scratch (cache now misses, so this issues a fresh RPC).
+    for (Waiter& waiter : flight.waiters) {
+      FetchOptions options;
+      options.viewer = waiter.viewer;
+      options.parent = waiter.parent;
+      Fetch(flight.app, flight.metadata, options, std::move(waiter.callback));
+    }
+    return;
+  }
+
+  for (Waiter& waiter : flight.waiters) {
+    auto decision = decisions.find(waiter.viewer);
+    if (decision == decisions.end()) {
+      // Joined after dispatch and was not in the RPC's viewer batch:
+      // re-enter the pipeline (typically now a cache hit or a privacy-only
+      // top-up).
+      FetchOptions options;
+      options.viewer = waiter.viewer;
+      options.parent = waiter.parent;
+      Fetch(flight.app, flight.metadata, options, std::move(waiter.callback));
+      continue;
+    }
+    waiter.callback(decision->second, decision->second ? payload : Value());
+  }
+}
+
+void FetchPipeline::DirectFetch(const std::string& app, const Value& metadata,
+                                const FetchOptions& options, Callback callback) {
+  metrics_->GetCounter("brass.fetch.bypass").Increment();
+  metrics_->GetCounter("brass.was_fetches").Increment();
+  auto request = std::make_shared<WasFetchRequest>();
+  request->app = app;
+  request->metadata = metadata;
+  request->viewers.push_back(options.viewer);
+  TraceContext span;
+  if (trace_ != nullptr && options.parent.valid()) {
+    span = trace_->StartSpan(options.parent, "brass.fetch", "brass", region_, sim_->Now());
+    trace_->Annotate(span, "bypass", Value(true));
+  }
+  request->trace = span;
+  auto cb = std::make_shared<Callback>(std::move(callback));
+  was_channel_->Call(
+      "was.fetch", request,
+      [this, cb, span](RpcStatus status, MessagePtr response) {
+        if (status != RpcStatus::kOk) {
+          if (trace_ != nullptr) {
+            trace_->MarkError(span, ToString(status), sim_->Now());
+          }
+          (*cb)(false, Value(nullptr));
+          return;
+        }
+        if (trace_ != nullptr) {
+          trace_->EndSpan(span, sim_->Now());
+        }
+        auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
+        bool allowed = !fetch->allowed.empty() && fetch->allowed[0] != 0;
+        (*cb)(allowed, allowed ? fetch->payload : Value());
+      },
+      rpc_timeout_);
+}
+
+void FetchPipeline::ObserveEvent(const Value& metadata) {
+  ObjectId id = ObjectIdOf(metadata);
+  uint64_t version = VersionOf(metadata);
+  if (id == 0 || version == 0) {
+    return;
+  }
+  auto keys = by_object_.find(id);
+  if (keys != by_object_.end()) {
+    // Collect first: erasing mutates the index we are iterating.
+    std::vector<std::string> to_erase;
+    for (const std::string& key : keys->second) {
+      auto entry = cache_.find(key);
+      if (entry != cache_.end() && entry->second.version < version) {
+        to_erase.push_back(key);
+      }
+    }
+    for (const std::string& key : to_erase) {
+      metrics_->GetCounter("brass.fetch.invalidations").Increment();
+      EraseCacheEntry(key);
+    }
+  }
+  for (auto& [key, flight] : flights_) {
+    if (flight.object_id == id && flight.version < version) {
+      flight.superseded = true;
+    }
+  }
+}
+
+void FetchPipeline::Clear() {
+  cache_.clear();
+  lru_.clear();
+  by_object_.clear();
+  flights_.clear();
+}
+
+void FetchPipeline::InsertCacheEntry(const std::string& key, CacheEntry entry) {
+  if (config_.cache_capacity == 0) {
+    return;
+  }
+  EraseCacheEntry(key);  // replace, never duplicate LRU links
+  while (cache_.size() >= config_.cache_capacity) {
+    metrics_->GetCounter("brass.fetch.evictions").Increment();
+    EraseCacheEntry(lru_.back());
+  }
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  by_object_[entry.object_id].insert(key);
+  cache_.emplace(key, std::move(entry));
+}
+
+void FetchPipeline::TouchLru(CacheEntry& entry, const std::string& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void FetchPipeline::EraseCacheEntry(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return;
+  }
+  // `key` may alias the LRU node's own string (eviction passes lru_.back()),
+  // so the lru_ node must be freed only after the last use of `key`.
+  auto lru_it = it->second.lru_it;
+  auto keys = by_object_.find(it->second.object_id);
+  if (keys != by_object_.end()) {
+    keys->second.erase(key);
+    if (keys->second.empty()) {
+      by_object_.erase(keys);
+    }
+  }
+  cache_.erase(it);
+  lru_.erase(lru_it);
+}
+
+}  // namespace bladerunner

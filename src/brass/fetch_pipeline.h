@@ -1,0 +1,159 @@
+// The per-host shared fetch pipeline between BRASS application instances
+// and the WAS (docs/BRASS_FETCH.md).
+//
+// Fig. 5 step 8 has every BRASS instance fetch a mutated payload from the
+// WAS with a per-viewer privacy check — so a hot object with N viewer
+// streams on one host turns one Pylon event into N near-identical WAS
+// round trips. The pipeline amortizes that in three layers:
+//
+//  1. Singleflight coalescing: concurrent fetches for the same
+//     (app, object, version) metadata join one in-flight WAS call.
+//  2. A versioned read-through LRU payload cache that serves followers of
+//     the same event version without a WAS trip, invalidated when a newer
+//     version of the object is observed in a Pylon event — TAO replication
+//     lag must never let a stale payload be served as current.
+//  3. Batched privacy checks: the single WAS fetch RPC carries the host's
+//     current viewers of the application, so the residual cache-miss cost
+//     is one round trip per host, not one per stream.
+//
+// Per-viewer privacy semantics are preserved bit-for-bit: every decision
+// is still computed by the WAS per viewer; only the round-trip count
+// changes.
+
+#ifndef BLADERUNNER_SRC_BRASS_FETCH_PIPELINE_H_
+#define BLADERUNNER_SRC_BRASS_FETCH_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/brass/config.h"
+#include "src/graphql/value.h"
+#include "src/net/rpc.h"
+#include "src/net/topology.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/tao/types.h"
+#include "src/trace/collector.h"
+
+namespace bladerunner {
+
+// Options of one payload fetch / WAS query issued by a BRASS application.
+struct FetchOptions {
+  // The stream's authenticated viewer the privacy check runs for.
+  UserId viewer = 0;
+  // When valid, nests the fetch's spans under the caller's span —
+  // applications typically pass the event's or their processing span.
+  TraceContext parent;
+  // Reliable-delivery paths (e.g. Messenger gap recovery) must observe the
+  // WAS directly: skip coalescing and the payload cache for this request.
+  bool bypass_cache = false;
+};
+
+class FetchPipeline {
+ public:
+  // callback(allowed, payload): allowed is the viewer's privacy decision;
+  // payload is null when not allowed or on RPC failure.
+  using Callback = std::function<void(bool, Value)>;
+  // Current viewers of an application on this host, for privacy-check
+  // batching. May return duplicates; the pipeline dedups.
+  using ViewerProvider = std::function<std::vector<UserId>(const std::string&)>;
+
+  FetchPipeline(Simulator* sim, RegionId region, RpcChannel* was_channel, SimTime rpc_timeout,
+                FetchPipelineConfig config, MetricsRegistry* metrics, TraceCollector* trace,
+                ViewerProvider viewers_for_app);
+
+  // Entry point for BrassHost::FetchPayload.
+  void Fetch(const std::string& app, const Value& metadata, const FetchOptions& options,
+             Callback callback);
+
+  // Version-observation hook: called for every Pylon event the host
+  // receives. A newer version of an object invalidates any cached payload
+  // (and marks in-flight fetches of older versions non-cacheable).
+  void ObserveEvent(const Value& metadata);
+
+  // Drops the cache and all in-flight coalescing state (host drain/crash).
+  // Waiter callbacks are not invoked; the runtime's liveness guards have
+  // already neutered them.
+  void Clear();
+
+  size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    ObjectId object_id = 0;
+    uint64_t version = 0;
+    Value payload;
+    // Per-viewer privacy decisions, exactly as the WAS returned them.
+    std::unordered_map<UserId, bool> decisions;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Waiter {
+    UserId viewer = 0;
+    TraceContext parent;
+    Callback callback;
+  };
+
+  // One in-flight WAS fetch RPC (payload fetch or privacy-only top-up).
+  struct Flight {
+    std::string app;
+    Value metadata;
+    ObjectId object_id = 0;
+    uint64_t version = 0;
+    bool need_payload = true;
+    bool dispatched = false;
+    // A newer version of the object was observed while this flight was
+    // outstanding: its result must not be cached, and privacy-only waiters
+    // must re-fetch instead of reusing the now-stale cached payload.
+    bool superseded = false;
+    // Payload a privacy-only flight tops up decisions for (copied from the
+    // cache entry at flight creation, in case the entry is evicted).
+    Value cached_payload;
+    std::vector<Waiter> waiters;
+    std::vector<UserId> rpc_viewers;
+  };
+
+  std::string Key(const std::string& app, const Value& metadata) const;
+  static ObjectId ObjectIdOf(const Value& metadata);
+  static uint64_t VersionOf(const Value& metadata);
+
+  void ServeFromCache(const CacheEntry& entry, const std::string& key, UserId viewer,
+                      const TraceContext& parent, Callback callback);
+  void StartOrJoinFlight(const std::string& flight_key, const std::string& app,
+                         const Value& metadata, bool need_payload, Value cached_payload,
+                         Waiter waiter);
+  void DispatchFlight(const std::string& flight_key);
+  void CompleteFlight(const std::string& flight_key, TraceContext span, RpcStatus status,
+                      MessagePtr response);
+  void DirectFetch(const std::string& app, const Value& metadata, const FetchOptions& options,
+                   Callback callback);
+
+  void InsertCacheEntry(const std::string& key, CacheEntry entry);
+  void TouchLru(CacheEntry& entry, const std::string& key);
+  void EraseCacheEntry(const std::string& key);
+
+  Simulator* sim_;
+  RegionId region_;
+  RpcChannel* was_channel_;
+  SimTime rpc_timeout_;
+  FetchPipelineConfig config_;
+  MetricsRegistry* metrics_;
+  TraceCollector* trace_;
+  ViewerProvider viewers_for_app_;
+
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  // front == most recently used
+  // object id -> cache keys holding a payload of that object (invalidation).
+  std::unordered_map<ObjectId, std::unordered_set<std::string>> by_object_;
+  std::unordered_map<std::string, Flight> flights_;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BRASS_FETCH_PIPELINE_H_

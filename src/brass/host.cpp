@@ -1,5 +1,6 @@
 #include "src/brass/host.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -32,6 +33,9 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
       sim_, was_->rpc(),
       pylon_ != nullptr ? pylon_->topology()->LinkModel(region_, was_->region())
                         : LatencyModel::IntraRegion());
+  fetch_pipeline_ = std::make_unique<FetchPipeline>(
+      sim_, region_, was_channel_.get(), config_.was_call_timeout, config_.fetch, metrics_,
+      trace_, [this](const std::string& app) { return ViewersForApp(app); });
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
   }
@@ -69,9 +73,10 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
 
 void BrassHost::OnStreamStarted(ServerStream& stream) {
   metrics_->GetCounter("brass.streams_started").Increment();
-  const std::string& app_name = stream.header().Get(kHeaderApp).AsString();
+  StreamHeaderView header(stream.header());
+  const std::string& app_name = header.app();
   StreamKey key = stream.key();
-  UserId viewer = stream.header().Get(kHeaderViewer).AsInt(0);
+  UserId viewer = header.viewer();
 
   // Continue the device's "subscribe" trace (ids in the header) or, for
   // streams opened without one (direct transport tests), root a fresh
@@ -100,7 +105,7 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   // Resolve the GraphQL subscription into concrete Pylon topics by calling
   // the WAS (Fig. 3 step 5).
   auto resolve = std::make_shared<WasResolveSubRequest>();
-  resolve->subscription = stream.header().Get(kHeaderSubscription).AsString();
+  resolve->subscription = header.subscription();
   resolve->viewer = viewer;
   resolve->trace = sub_span;
   LatencyModel dispatch{config_.subscribe_dispatch_ms, 0.3, config_.subscribe_dispatch_ms / 4.0};
@@ -159,7 +164,7 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   host_stream.app = app;
   host_stream.state.stream = stream;
   host_stream.state.key = key;
-  host_stream.state.viewer = stream->header().Get(kHeaderViewer).AsInt(0);
+  host_stream.state.viewer = StreamHeaderView(stream->header()).viewer();
   host_stream.state.topics = resolution->topics;
   host_stream.state.context = resolution->context;
   host_stream.state.started_at = sim_->Now();
@@ -174,9 +179,9 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   // Sticky routing (§3.5): patch the stream's stored request everywhere
   // along the path with this host's identity, so a resubscribe after a
   // failure lands back here.
-  Value header = stream->header();
-  header.Set(kHeaderBrassHost, host_id_);
-  stream->Rewrite(std::move(header));
+  StreamHeader header(stream->header());
+  header.set_brass_host(host_id_);
+  stream->Rewrite(std::move(header).Take());
 
   for (const Topic& topic : it->second.state.topics) {
     SubscribeTopic(topic, key, sub_span);
@@ -299,6 +304,10 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
   }
   auto event = delivery->event;
   metrics_->GetCounter("brass.events_received").Increment();
+  // Version observation: a newer version of an object arriving in any
+  // event invalidates the fetch pipeline's cached payloads of older
+  // versions (TAO replication lag must never serve a stale payload).
+  fetch_pipeline_->ObserveEvent(event->metadata);
   // Table 3's "Pylon receives publish -> update sent to n BRASSes" span:
   // close the "pylon.deliver" span Pylon opened for this host, and have
   // the copy of the event the apps see continue from it (the shared event
@@ -416,43 +425,29 @@ void BrassHost::OnAck(ServerStream& stream, uint64_t seq) {
   }
 }
 
-void BrassHost::FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
-                             std::function<void(bool, Value)> callback, TraceContext parent) {
-  metrics_->GetCounter("brass.was_fetches").Increment();
-  auto request = std::make_shared<WasFetchRequest>();
-  request->app = app;
-  request->metadata = metadata;
-  request->viewer = viewer;
-  // "brass.fetch" covers the whole WAS round trip (Table 3's "of which WAS
-  // point query + privacy check"); the WAS nests its processing span in it.
-  TraceContext fetch_span;
-  if (trace_ != nullptr && parent.valid()) {
-    fetch_span = trace_->StartSpan(parent, "brass.fetch", "brass", region_, sim_->Now());
-  }
-  request->trace = fetch_span;
-  auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
-  was_channel_->Call(
-      "was.fetch", request,
-      [this, cb, fetch_span](RpcStatus status, MessagePtr response) {
-        if (status != RpcStatus::kOk) {
-          if (trace_ != nullptr) {
-            trace_->MarkError(fetch_span, ToString(status), sim_->Now());
-          }
-          (*cb)(false, Value(nullptr));
-          return;
-        }
-        if (trace_ != nullptr) trace_->EndSpan(fetch_span, sim_->Now());
-        auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
-        (*cb)(fetch->allowed, fetch->payload);
-      },
-      config_.was_call_timeout);
+void BrassHost::FetchPayload(const std::string& app, const Value& metadata,
+                             const FetchOptions& options,
+                             std::function<void(bool, Value)> callback) {
+  fetch_pipeline_->Fetch(app, metadata, options, std::move(callback));
 }
 
-void BrassHost::WasQuery(const std::string& query, UserId viewer,
+std::vector<UserId> BrassHost::ViewersForApp(const std::string& app) const {
+  std::vector<UserId> viewers;
+  for (const auto& [key, hs] : streams_) {
+    if (hs.app == app && hs.state.viewer != 0) {
+      viewers.push_back(hs.state.viewer);
+    }
+  }
+  std::sort(viewers.begin(), viewers.end());
+  viewers.erase(std::unique(viewers.begin(), viewers.end()), viewers.end());
+  return viewers;
+}
+
+void BrassHost::WasQuery(const std::string& query, const FetchOptions& options,
                          std::function<void(bool, Value)> callback) {
   auto request = std::make_shared<WasQueryRequest>();
   request->query = query;
-  request->viewer = viewer;
+  request->viewer = options.viewer;
   auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
   was_channel_->Call(
       "was.query", request,
@@ -555,6 +550,7 @@ void BrassHost::Drain() {
   CloseAllStreamSpans("host drain");
   streams_.clear();
   apps_.clear();
+  fetch_pipeline_->Clear();
   if (pylon_ != nullptr) {
     pylon_->UnregisterSubscriberHost(host_id_);
   }
@@ -573,6 +569,7 @@ void BrassHost::FailHost() {
   CloseAllStreamSpans("host failure");
   streams_.clear();
   apps_.clear();
+  fetch_pipeline_->Clear();  // a crash loses the payload cache with the host
   if (pylon_ != nullptr) {
     pylon_->UnregisterSubscriberHost(host_id_);
   }

@@ -20,6 +20,7 @@
 
 #include "src/brass/application.h"
 #include "src/brass/config.h"
+#include "src/brass/fetch_pipeline.h"
 #include "src/brass/runtime.h"
 #include "src/burst/config.h"
 #include "src/burst/server.h"
@@ -106,16 +107,23 @@ class BrassHost : public BurstServerHandler {
   void Revive();
 
   // ---- services used by BrassRuntime ----
-  // `parent` (when valid) nests the fetch's "brass.fetch" span / the
-  // delivery's "burst.deliver" span under the caller's span.
-  void FetchPayload(const std::string& app, const Value& metadata, UserId viewer,
-                    std::function<void(bool, Value)> callback,
-                    TraceContext parent = TraceContext());
-  void WasQuery(const std::string& query, UserId viewer,
+  // Payload fetches route through the host's shared fetch pipeline
+  // (coalescing, versioned cache, batched privacy checks — see
+  // docs/BRASS_FETCH.md); `options.parent` (when valid) nests the fetch's
+  // spans under the caller's span.
+  void FetchPayload(const std::string& app, const Value& metadata, const FetchOptions& options,
+                    std::function<void(bool, Value)> callback);
+  void WasQuery(const std::string& query, const FetchOptions& options,
                 std::function<void(bool, Value)> callback);
   void CountDecision(const std::string& app, bool delivered);
   void DeliverData(const std::string& app, BrassStream& stream, Value payload, uint64_t seq,
                    SimTime event_created_at, TraceContext parent = TraceContext());
+
+  FetchPipeline* fetch_pipeline() { return fetch_pipeline_.get(); }
+
+  // Viewers of the application's streams currently on this host (deduped),
+  // used by the fetch pipeline to batch privacy checks.
+  std::vector<UserId> ViewersForApp(const std::string& app) const;
 
   // ---- BurstServerHandler ----
   void OnStreamStarted(ServerStream& stream) override;
@@ -176,6 +184,7 @@ class BrassHost : public BurstServerHandler {
   std::unique_ptr<BurstServer> burst_;
   RpcServer event_rpc_;
   std::unique_ptr<RpcChannel> was_channel_;
+  std::unique_ptr<FetchPipeline> fetch_pipeline_;
   std::map<std::string, AppInstance> apps_;
   std::unordered_map<StreamKey, HostStream, StreamKeyHash> streams_;
   std::map<Topic, TopicEntry> topics_;

@@ -28,8 +28,9 @@ BrassHost* BrassRouter::FindHost(int64_t host_id) const {
 }
 
 int64_t BrassRouter::PickHost(const Value& header) {
-  const std::string& app = header.Get(kHeaderApp).AsString();
-  RegionId preferred = static_cast<RegionId>(header.Get(kHeaderRegion).AsInt(-1));
+  StreamHeaderView view(header);
+  const std::string& app = view.app();
+  RegionId preferred = static_cast<RegionId>(view.region(-1));
 
   // Candidate set: alive hosts, preferring the stream's target region.
   std::vector<BrassHost*> candidates;
@@ -57,7 +58,7 @@ int64_t BrassRouter::PickHost(const Value& header) {
   if (policy == BrassRoutingPolicy::kByTopic) {
     // Topic-based routing keeps all streams of one topic on one host,
     // curtailing the number of Pylon subscriptions (§3.2).
-    const std::string& topic = header.Get(kHeaderSubscription).AsString();
+    const std::string& topic = view.subscription();
     uint64_t h = TopicHash(app + "|" + topic);
     return candidates[h % candidates.size()]->host_id();
   }

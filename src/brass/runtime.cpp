@@ -27,14 +27,14 @@ TimerId BrassRuntime::ScheduleTimer(SimTime delay, std::function<void()> fn) {
 
 bool BrassRuntime::CancelTimer(TimerId id) { return host_->sim()->Cancel(id); }
 
-void BrassRuntime::FetchPayload(const Value& metadata, UserId viewer,
-                                std::function<void(bool, Value)> callback, TraceContext parent) {
-  host_->FetchPayload(app_name_, metadata, viewer, GuardAlive(std::move(callback)), parent);
+void BrassRuntime::FetchPayload(const Value& metadata, const FetchOptions& options,
+                                std::function<void(bool, Value)> callback) {
+  host_->FetchPayload(app_name_, metadata, options, GuardAlive(std::move(callback)));
 }
 
-void BrassRuntime::WasQuery(const std::string& query, UserId viewer,
+void BrassRuntime::WasQuery(const std::string& query, const FetchOptions& options,
                             std::function<void(bool, Value)> callback) {
-  host_->WasQuery(query, viewer, GuardAlive(std::move(callback)));
+  host_->WasQuery(query, options, GuardAlive(std::move(callback)));
 }
 
 void BrassRuntime::CountDecision(bool delivered) {

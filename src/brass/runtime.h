@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/brass/application.h"
+#include "src/brass/fetch_pipeline.h"
 #include "src/graphql/value.h"
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
@@ -41,15 +42,16 @@ class BrassRuntime {
   // ---- backend calls ----
 
   // Fetches (and privacy-checks) the payload for an update event on behalf
-  // of `viewer` (Fig. 5 step 8). `callback(allowed, payload)`. `parent`
-  // (when valid) nests the WAS round trip's span under the caller's span —
-  // applications typically pass the event's or their processing span.
-  void FetchPayload(const Value& metadata, UserId viewer,
-                    std::function<void(bool, Value)> callback,
-                    TraceContext parent = TraceContext());
+  // of `options.viewer` (Fig. 5 step 8), through the host's shared fetch
+  // pipeline (coalescing + versioned cache + batched privacy checks).
+  // `callback(allowed, payload)`. Set `options.bypass_cache` on paths that
+  // must observe the WAS directly (e.g. Messenger gap recovery).
+  void FetchPayload(const Value& metadata, const FetchOptions& options,
+                    std::function<void(bool, Value)> callback);
 
   // Arbitrary GraphQL query against the WAS (e.g. Messenger gap recovery).
-  void WasQuery(const std::string& query, UserId viewer,
+  // Queries never route through the fetch cache.
+  void WasQuery(const std::string& query, const FetchOptions& options,
                 std::function<void(bool, Value)> callback);
 
   // ---- delivery accounting (feeds Fig. 8's decisions/deliveries rates) ----

@@ -115,7 +115,7 @@ void BurstClient::Ack(uint64_t sid, uint64_t seq) {
   SendFromDevice(std::move(ack));
 }
 
-const Value* BurstClient::StreamHeader(uint64_t sid) const {
+const Value* BurstClient::HeaderOf(uint64_t sid) const {
   auto it = streams_.find(sid);
   return it == streams_.end() ? nullptr : &it->second.header;
 }

@@ -85,8 +85,8 @@ class BurstClient : public ConnectionHandler {
   void Ack(uint64_t sid, uint64_t seq);
 
   // The stream's current header (reflecting server rewrites); nullptr if
-  // the sid is unknown.
-  const Value* StreamHeader(uint64_t sid) const;
+  // the sid is unknown. Read fields through StreamHeaderView.
+  const Value* HeaderOf(uint64_t sid) const;
 
   size_t ActiveStreamCount() const { return streams_.size(); }
 

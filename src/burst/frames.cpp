@@ -2,6 +2,67 @@
 
 namespace bladerunner {
 
+// The wire-format keys of the well-known header fields. Private to this
+// file: everything else goes through StreamHeaderView / StreamHeader.
+namespace {
+constexpr char kHeaderApp[] = "app";                   // application name
+constexpr char kHeaderSubscription[] = "subscription";  // GraphQL text
+constexpr char kHeaderViewer[] = "viewer";             // authenticated uid
+constexpr char kHeaderBrassHost[] = "brass_host";      // sticky-routing target
+constexpr char kHeaderResumeToken[] = "resume";        // app-defined sync state
+constexpr char kHeaderRegion[] = "region";             // preferred DC region
+}  // namespace
+
+const std::string& StreamHeaderView::app() const {
+  return header_->Get(kHeaderApp).AsString();
+}
+
+const std::string& StreamHeaderView::subscription() const {
+  return header_->Get(kHeaderSubscription).AsString();
+}
+
+int64_t StreamHeaderView::viewer() const { return header_->Get(kHeaderViewer).AsInt(0); }
+
+int64_t StreamHeaderView::brass_host() const { return header_->Get(kHeaderBrassHost).AsInt(0); }
+
+int64_t StreamHeaderView::resume_token() const {
+  return header_->Get(kHeaderResumeToken).AsInt(0);
+}
+
+int32_t StreamHeaderView::region(int32_t fallback) const {
+  return static_cast<int32_t>(header_->Get(kHeaderRegion).AsInt(fallback));
+}
+
+StreamHeader& StreamHeader::set_app(const std::string& app) {
+  value_.Set(kHeaderApp, app);
+  return *this;
+}
+
+StreamHeader& StreamHeader::set_subscription(const std::string& text) {
+  value_.Set(kHeaderSubscription, text);
+  return *this;
+}
+
+StreamHeader& StreamHeader::set_viewer(int64_t viewer) {
+  value_.Set(kHeaderViewer, viewer);
+  return *this;
+}
+
+StreamHeader& StreamHeader::set_brass_host(int64_t host_id) {
+  value_.Set(kHeaderBrassHost, host_id);
+  return *this;
+}
+
+StreamHeader& StreamHeader::set_resume_token(int64_t token) {
+  value_.Set(kHeaderResumeToken, token);
+  return *this;
+}
+
+StreamHeader& StreamHeader::set_region(int32_t region) {
+  value_.Set(kHeaderRegion, static_cast<int64_t>(region));
+  return *this;
+}
+
 const char* ToString(DeltaKind kind) {
   switch (kind) {
     case DeltaKind::kData:

@@ -49,17 +49,57 @@ struct StreamKeyHash {
   }
 };
 
-// ---- Well-known header fields ----
+// ---- Stream header access ----
 // The header is a JSON-ish map visible to (and interpreted by) the proxies
 // for routing (§3.5); BRASS rewrites persist new versions of it everywhere
-// along the path.
-inline constexpr char kHeaderApp[] = "app";                 // application name
-inline constexpr char kHeaderTopic[] = "topic";             // resolved Pylon topic
-inline constexpr char kHeaderSubscription[] = "subscription";  // GraphQL text
-inline constexpr char kHeaderViewer[] = "viewer";           // authenticated uid
-inline constexpr char kHeaderBrassHost[] = "brass_host";    // sticky-routing target
-inline constexpr char kHeaderResumeToken[] = "resume";      // app-defined sync state
-inline constexpr char kHeaderRegion[] = "region";           // preferred DC region
+// along the path. All reads and writes of the well-known fields go through
+// the typed accessors below; the raw string keys (the wire format, which is
+// unchanged) live in frames.cpp and nowhere else.
+
+// Read-only view over a header map owned elsewhere (e.g. a ServerStream or
+// a received SubscribeFrame). The referenced Value must outlive the view.
+class StreamHeaderView {
+ public:
+  explicit StreamHeaderView(const Value& header) : header_(&header) {}
+
+  const std::string& app() const;           // application name
+  const std::string& subscription() const;  // GraphQL subscription text
+  int64_t viewer() const;                   // authenticated uid (0: none)
+  int64_t brass_host() const;               // sticky-routing target (0: none)
+  int64_t resume_token() const;             // app-defined sync state (0: none)
+  int32_t region(int32_t fallback = 0) const;  // preferred DC region
+
+ private:
+  const Value* header_;
+};
+
+// Owning builder for constructing a new header or rewriting an existing
+// one. `Take()` yields the underlying map for the wire.
+class StreamHeader {
+ public:
+  StreamHeader() = default;
+  explicit StreamHeader(Value header) : value_(std::move(header)) {}
+
+  const std::string& app() const { return StreamHeaderView(value_).app(); }
+  const std::string& subscription() const { return StreamHeaderView(value_).subscription(); }
+  int64_t viewer() const { return StreamHeaderView(value_).viewer(); }
+  int64_t brass_host() const { return StreamHeaderView(value_).brass_host(); }
+  int64_t resume_token() const { return StreamHeaderView(value_).resume_token(); }
+  int32_t region(int32_t fallback = 0) const { return StreamHeaderView(value_).region(fallback); }
+
+  StreamHeader& set_app(const std::string& app);
+  StreamHeader& set_subscription(const std::string& text);
+  StreamHeader& set_viewer(int64_t viewer);
+  StreamHeader& set_brass_host(int64_t host_id);
+  StreamHeader& set_resume_token(int64_t token);
+  StreamHeader& set_region(int32_t region);
+
+  const Value& value() const { return value_; }
+  Value Take() && { return std::move(value_); }
+
+ private:
+  Value value_;
+};
 
 // ---- Deltas ----
 

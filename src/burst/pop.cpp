@@ -93,7 +93,7 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
     state.header = subscribe->header;
     state.body = subscribe->body;
     state.device_conn = conn_id;
-    state.up_region = static_cast<RegionId>(subscribe->header.Get(kHeaderRegion).AsInt(0));
+    state.up_region = static_cast<RegionId>(StreamHeaderView(subscribe->header).region(0));
     device_conns_[conn_id].streams.insert(subscribe->key);
     auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
     (void)inserted;

@@ -72,7 +72,7 @@ ReverseProxy::HostConn* ReverseProxy::EnsureHostConn(int64_t host_id) {
 int64_t ReverseProxy::RouteHost(const Value& header) const {
   // Sticky routing first (§3.5): a BRASS-rewritten header names the host
   // that previously serviced the stream; honor it while the host lives.
-  int64_t sticky = header.Get(kHeaderBrassHost).AsInt(0);
+  int64_t sticky = StreamHeaderView(header).brass_host();
   if (sticky != 0 && directory_->IsHostAlive(sticky)) {
     return sticky;
   }

@@ -81,11 +81,9 @@ void DeviceAgent::Mutate(const std::string& text, std::function<void(bool, Value
 }
 
 uint64_t DeviceAgent::SubscribeRaw(const std::string& app, const std::string& subscription) {
-  Value header;
-  header.Set(kHeaderApp, app);
-  header.Set(kHeaderSubscription, subscription);
-  header.Set(kHeaderViewer, user_);
-  header.Set(kHeaderRegion, static_cast<int64_t>(region_));
+  StreamHeader builder;
+  builder.set_app(app).set_subscription(subscription).set_viewer(user_).set_region(region_);
+  Value header = std::move(builder).Take();
   StartSubscribeTrace(&header);
   cluster_->metrics().GetCounter("device.subscriptions").Increment();
   return burst_->Subscribe(std::move(header));
@@ -123,16 +121,17 @@ uint64_t DeviceAgent::SubscribeStories() {
 }
 
 uint64_t DeviceAgent::SubscribeMailbox(uint64_t last_seq) {
-  Value header;
-  header.Set(kHeaderApp, "Messenger");
-  header.Set(kHeaderSubscription, "subscription { mailbox { id seq text } }");
-  header.Set(kHeaderViewer, user_);
-  header.Set(kHeaderRegion, static_cast<int64_t>(region_));
-  StartSubscribeTrace(&header);
+  StreamHeader builder;
+  builder.set_app("Messenger")
+      .set_subscription("subscription { mailbox { id seq text } }")
+      .set_viewer(user_)
+      .set_region(region_);
   if (last_seq > 0) {
-    header.Set(kHeaderResumeToken, static_cast<int64_t>(last_seq));
+    builder.set_resume_token(static_cast<int64_t>(last_seq));
     last_messenger_seq_ = last_seq;
   }
+  Value header = std::move(builder).Take();
+  StartSubscribeTrace(&header);
   cluster_->metrics().GetCounter("device.subscriptions").Increment();
   return burst_->Subscribe(std::move(header));
 }

@@ -80,14 +80,24 @@ void TaoStore::StampDelete(Visibility& vis, RegionId leader) {
   }
 }
 
-ObjectId TaoStore::PutObject(Object object) {
+ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
   if (object.id == kInvalidObjectId) {
     object.id = NextId();
   }
   RegionId leader = LeaderRegionOf(object.id);
-  StoredObject stored{std::move(object), MakeVisibility(leader)};
-  ObjectId id = stored.object.id;
-  objects_[id] = std::move(stored);
+  ObjectId id = object.id;
+  std::vector<StoredObject>& history = objects_[id];
+  object.version = history.empty() ? 1 : history.back().object.version + 1;
+  if (version_out != nullptr) {
+    *version_out = object.version;
+  }
+  history.push_back(StoredObject{std::move(object), MakeVisibility(leader)});
+  // Keep a short tail so followers mid-replication still read the previous
+  // version; anything older than that can never be served again.
+  constexpr size_t kMaxObjectVersions = 4;
+  if (history.size() > kMaxObjectVersions) {
+    history.erase(history.begin(), history.end() - kMaxObjectVersions);
+  }
   metrics_->GetCounter("tao.object_writes").Increment();
   return id;
 }
@@ -178,10 +188,16 @@ std::optional<Object> TaoStore::GetObject(RegionId region, ObjectId id, QueryCos
   metrics_->GetCounter("tao.point_reads").Increment();
   ChargeShards(cost, 1);
   auto it = objects_.find(id);
-  if (it == objects_.end() || !it->second.vis.VisibleIn(region, sim_->Now())) {
+  if (it == objects_.end()) {
     return std::nullopt;
   }
-  return it->second.object;
+  SimTime now = sim_->Now();
+  for (auto entry = it->second.rbegin(); entry != it->second.rend(); ++entry) {
+    if (entry->vis.VisibleIn(region, now)) {
+      return entry->object;
+    }
+  }
+  return std::nullopt;
 }
 
 std::vector<Assoc> TaoStore::AssocRange(RegionId region, ObjectId id1, AssocType atype,

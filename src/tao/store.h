@@ -45,8 +45,11 @@ class TaoStore {
 
   // ---- Writes (routed through the leader; visibility is region-relative) ----
 
-  // Stores/overwrites an object. Returns the id (allocating if invalid).
-  ObjectId PutObject(Object object);
+  // Stores a new version of an object. Returns the id (allocating if
+  // invalid) and, via `version_out`, the version stamped on this write
+  // (previous version + 1; 1 for a fresh object). Older versions stay
+  // readable from regions the new version has not replicated to yet.
+  ObjectId PutObject(Object object, uint64_t* version_out = nullptr);
 
   // Appends an association (id1 --atype--> id2) with creation time Now().
   void AddAssoc(Assoc assoc);
@@ -61,6 +64,7 @@ class TaoStore {
 
   // ---- Reads (region-relative visibility; cost-accounted) ----
 
+  // Returns the newest version of the object visible in `region`.
   std::optional<Object> GetObject(RegionId region, ObjectId id, QueryCost* cost);
 
   // Associations of (id1, atype) with time in (time_lo, time_hi], newest
@@ -155,7 +159,10 @@ class TaoStore {
   MetricsRegistry* metrics_;
 
   ObjectId next_id_ = 1000000;
-  std::unordered_map<ObjectId, StoredObject> objects_;
+  // Per-id version history, oldest first. A bounded tail is kept so that a
+  // follower region whose replication of the newest write is still in
+  // flight reads the previous version instead of nothing.
+  std::unordered_map<ObjectId, std::vector<StoredObject>> objects_;
   std::unordered_map<AssocListKey, AssocList, AssocListKeyHash> assocs_;
 };
 

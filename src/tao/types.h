@@ -45,6 +45,11 @@ struct Object {
   ObjectId id = kInvalidObjectId;
   std::string otype;  // "user", "video", "comment", "story", "message", ...
   Value data;         // map of properties
+  // Monotonic per-id write version, stamped by TaoStore::PutObject (first
+  // write is 1). Region-relative reads can return an older version while
+  // the newest still replicates, so consumers comparing freshness must
+  // compare versions, not presence.
+  uint64_t version = 0;
 };
 
 struct Assoc {

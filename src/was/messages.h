@@ -67,17 +67,36 @@ struct WasResolveSubResponse : Message {
 
 // BRASS -> WAS: fetch (and privacy-check) the payload for an update event
 // the BRASS has decided to deliver (Fig. 5 step 8).
+//
+// The request is *batched per object*: it names one update event but many
+// viewers. The WAS executes the data query once and the privacy check per
+// viewer, so a host with N streams on the same hot object pays one round
+// trip instead of N (see docs/BRASS_FETCH.md).
 struct WasFetchRequest : Message {
   std::string app;
-  Value metadata;  // the update event's metadata
-  UserId viewer = 0;
+  Value metadata;               // the update event's metadata
+  std::vector<UserId> viewers;  // all viewers this host needs decisions for
+  // false: the host already holds the payload for this version and only
+  // needs privacy decisions for viewers it has not seen yet.
+  bool need_payload = true;
+
+  std::string Describe() const override {
+    return "WasFetch(app=" + app + ", viewers=" + std::to_string(viewers.size()) + ")";
+  }
+  uint64_t WireSize() const override { return 32 + metadata.WireSize() + 8 * viewers.size(); }
 };
 
 struct WasFetchResponse : Message {
-  bool allowed = true;  // false: privacy check rejected for this viewer
+  // allowed[i]: privacy decision for request viewers[i] (0 = rejected).
+  std::vector<uint8_t> allowed;
   Value payload;
+  // Version of the object the payload was built from (0 if the backing
+  // object is unversioned). A follower WAS can return an older version
+  // than the event announced — the BRASS cache must not treat that
+  // payload as current (TAO replication lag).
+  uint64_t version = 0;
 
-  uint64_t WireSize() const override { return 8 + payload.WireSize(); }
+  uint64_t WireSize() const override { return 16 + allowed.size() + payload.WireSize(); }
 };
 
 }  // namespace bladerunner

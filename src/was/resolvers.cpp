@@ -265,7 +265,8 @@ Value MutatePostComment(const ResolveInfo& info) {
   // here it is sampled once at creation and carried in the metadata.
   double quality = std::clamp(sim->rng().Normal(0.55, 0.22), 0.0, 1.0);
   comment.data.Set("quality", quality);
-  ObjectId id = was.tao->PutObject(std::move(comment));
+  uint64_t version = 0;
+  ObjectId id = was.tao->PutObject(std::move(comment), &version);
   info.ctx.cost.writes += 1;
 
   // The comment enters the *serving index* (the video's comment assoc
@@ -290,6 +291,7 @@ Value MutatePostComment(const ResolveInfo& info) {
   publish.on_published = std::move(index_comment);
   publish.topic = LvcTopic(video);
   publish.metadata.Set("id", id);
+  publish.metadata.Set("version", static_cast<int64_t>(version));
   publish.metadata.Set("author", info.ctx.viewer_id);
   publish.metadata.Set("video", video);
   publish.metadata.Set("quality", quality);
@@ -352,14 +354,16 @@ Value MutateHeartbeatOnline(const ResolveInfo& info) {
   WasContext& was = WasContext::Of(info.ctx);
   Simulator* sim = was.was->sim();
   auto user = was.tao->GetObject(was.region, info.ctx.viewer_id, &info.ctx.cost);
+  uint64_t version = 0;
   if (user.has_value()) {
     user->data.Set("last_active", sim->Now());
-    was.tao->PutObject(*user);
+    was.tao->PutObject(*user, &version);
     info.ctx.cost.writes += 1;
   }
   PublishSpec publish;
   publish.topic = ActiveStatusTopic(info.ctx.viewer_id);
   publish.metadata.Set("user", info.ctx.viewer_id);
+  publish.metadata.Set("version", static_cast<int64_t>(version));
   publish.metadata.Set("online", true);
   publish.metadata.Set("at", sim->Now());
   was.publishes.push_back(std::move(publish));
@@ -390,7 +394,8 @@ Value MutatePostStory(const ResolveInfo& info) {
   story.data.Set("time", sim->Now());
   double rank = std::clamp(sim->rng().Normal(0.5, 0.25), 0.0, 1.0);
   story.data.Set("rank", rank);
-  ObjectId id = was.tao->PutObject(std::move(story));
+  uint64_t version = 0;
+  ObjectId id = was.tao->PutObject(std::move(story), &version);
   info.ctx.cost.writes += 1;
 
   Assoc edge;
@@ -405,6 +410,7 @@ Value MutatePostStory(const ResolveInfo& info) {
   PublishSpec publish;
   publish.topic = StoriesTopic(info.ctx.viewer_id);
   publish.metadata.Set("id", id);
+  publish.metadata.Set("version", static_cast<int64_t>(version));
   publish.metadata.Set("author", info.ctx.viewer_id);
   publish.metadata.Set("rank", rank);
   was.publishes.push_back(std::move(publish));
@@ -430,7 +436,8 @@ Value MutateSendMessage(const ResolveInfo& info) {
   message.data.Set("thread", thread);
   message.data.Set("text", info.field.Arg("text").AsString());
   message.data.Set("time", sim->Now());
-  ObjectId id = was.tao->PutObject(std::move(message));
+  uint64_t version = 0;
+  ObjectId id = was.tao->PutObject(std::move(message), &version);
   info.ctx.cost.writes += 1;
 
   // Mailbox model (§4): every member's mailbox gets the message with that
@@ -457,6 +464,7 @@ Value MutateSendMessage(const ResolveInfo& info) {
     PublishSpec publish;
     publish.topic = MailboxTopic(uid);
     publish.metadata.Set("id", id);
+    publish.metadata.Set("version", static_cast<int64_t>(version));
     publish.metadata.Set("author", info.ctx.viewer_id);
     publish.metadata.Set("thread", thread);
     publish.metadata.Set("seq", static_cast<int64_t>(seq));
@@ -614,6 +622,9 @@ Value FetchObjectPayload(const Value& metadata, UserId viewer, ExecContext& ctx,
     *allowed = false;
     return Value(nullptr);
   }
+  // Report which version this region actually served; a lagging follower
+  // can hand back an older version than the event announced.
+  was.fetched_object_version = object->version;
   Value payload = object->data;
   payload.Set("__type", type_name);
   payload.Set("id", object->id);

@@ -204,7 +204,14 @@ void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Resp
 
 void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   auto fetch = std::static_pointer_cast<WasFetchRequest>(request);
+  // One fetch RPC == one BRASS<->WAS round trip, regardless of how many
+  // viewers it is batched for; the viewer count is accounted separately.
   metrics_->GetCounter("was.fetches").Increment();
+  metrics_->GetCounter("was.fetch_viewers")
+      .Increment(static_cast<int64_t>(fetch->viewers.size()));
+  if (fetch->viewers.size() > 1) {
+    metrics_->GetCounter("was.fetch_batched").Increment();
+  }
   auto response = std::make_shared<WasFetchResponse>();
 
   // Server-side view of the BRASS point fetch: separates WAS processing
@@ -219,32 +226,57 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   was_ctx.tao = tao_;
   was_ctx.region = region_;
   ExecContext ctx;
-  ctx.viewer_id = fetch->viewer;
   ctx.backend = &was_ctx;
 
-  double processing_ms = config_.fetch_base_ms;
+  // Privacy-only top-ups skip the data query, so they only pay query
+  // dispatch; payload fetches pay the full point-fetch base.
+  double processing_ms = fetch->need_payload ? config_.fetch_base_ms : config_.query_base_ms;
+  response->allowed.assign(fetch->viewers.size(), 0);
   auto it = fetch_handlers_.find(fetch->app);
-  if (it == fetch_handlers_.end()) {
-    response->allowed = false;
-  } else {
-    // Privacy check first (§2: checking only messages selected for delivery).
+  if (it != fetch_handlers_.end()) {
+    // Privacy check first (§2: checking only messages selected for
+    // delivery), and per viewer — batching changes the round-trip count,
+    // never the per-viewer decision.
     UserId author = fetch->metadata.Get("author").AsInt(0);
-    bool allowed = author == 0 || PrivacyCheck(fetch->viewer, author, &ctx.cost);
-    processing_ms += config_.privacy_check_ms;
-    if (allowed) {
-      response->payload = it->second(fetch->metadata, fetch->viewer, ctx, &allowed);
+    UserId first_allowed = 0;
+    bool any_allowed = false;
+    for (size_t i = 0; i < fetch->viewers.size(); ++i) {
+      bool allowed = author == 0 || PrivacyCheck(fetch->viewers[i], author, &ctx.cost);
+      processing_ms += config_.privacy_check_ms;
+      response->allowed[i] = allowed ? 1 : 0;
+      if (allowed && !any_allowed) {
+        any_allowed = true;
+        first_allowed = fetch->viewers[i];
+      }
     }
-    response->allowed = allowed;
-    if (allowed) {
-      metrics_->GetHistogram("was.fetch_payload_bytes")
-          .Record(static_cast<double>(response->payload.WireSize()));
+    if (fetch->need_payload && any_allowed) {
+      // The data query runs once; payloads are viewer-independent (any
+      // per-viewer variation lives in the metadata, which is part of the
+      // BRASS cache key).
+      ctx.viewer_id = first_allowed;
+      bool found = true;
+      response->payload = it->second(fetch->metadata, first_allowed, ctx, &found);
+      if (!found) {
+        // The object is gone (or not yet visible here): no viewer may see
+        // it, same as the unbatched handler reported per viewer.
+        std::fill(response->allowed.begin(), response->allowed.end(), 0);
+      } else {
+        metrics_->GetHistogram("was.fetch_payload_bytes")
+            .Record(static_cast<double>(response->payload.WireSize()));
+      }
     }
+    response->version = was_ctx.fetched_object_version != 0
+                            ? was_ctx.fetched_object_version
+                            : static_cast<uint64_t>(fetch->metadata.Get("version").AsInt(0));
   }
   SimTime latency = MillisF(sim_->rng().LogNormal(processing_ms, 0.35)) +
                     tao_->SampleQueryLatency(ctx.cost);
   ChargeCpu(processing_ms * 0.12);  // fetch handling is mostly TAO/IO wait
   if (trace_ != nullptr && fetch_span.valid()) {
-    trace_->Annotate(fetch_span, "allowed", Value(response->allowed));
+    int64_t granted = 0;
+    for (uint8_t a : response->allowed) granted += a;
+    trace_->Annotate(fetch_span, "viewers", Value(static_cast<int64_t>(fetch->viewers.size())));
+    trace_->Annotate(fetch_span, "allowed", Value(granted));
   }
   sim_->Schedule(latency, [this, respond, response, fetch_span]() {
     if (trace_ != nullptr) trace_->EndSpan(fetch_span, sim_->Now());

@@ -54,6 +54,10 @@ struct WasContext {
   RegionId region = 0;
   SimTime created_at = 0;
   std::vector<PublishSpec> publishes;
+  // Set by fetch handlers that read a versioned TAO object: the version of
+  // the object the payload was built from. Reported to the BRASS so its
+  // payload cache can detect replication-lagged (stale) reads.
+  uint64_t fetched_object_version = 0;
 
   static WasContext& Of(ExecContext& ctx) { return *static_cast<WasContext*>(ctx.backend); }
 };

@@ -172,10 +172,9 @@ class BurstTest : public ::testing::Test {
   }
 
   Value MakeHeader(const std::string& app) {
-    Value header;
-    header.Set(kHeaderApp, app);
-    header.Set(kHeaderViewer, 100);
-    return header;
+    StreamHeader header;
+    header.set_app(app).set_viewer(100);
+    return std::move(header).Take();
   }
 
   Simulator sim_;
@@ -230,7 +229,7 @@ TEST_F(BurstTest, BatchesApplyAtomically) {
   ASSERT_EQ(observer_.data.size(), 2u);
   // The rewrite applied before data callbacks fired: the client header
   // already carries the new state.
-  const Value* header = client_->StreamHeader(observer_.data[0].sid);
+  const Value* header = client_->HeaderOf(observer_.data[0].sid);
   ASSERT_NE(header, nullptr);
   EXPECT_EQ(header->Get("extra").AsString(), "state");
 }
@@ -287,13 +286,13 @@ TEST_F(BurstTest, RewritePropagatesToAllStoredCopies) {
   uint64_t sid = client_->Subscribe(MakeHeader("test"));
   sim_.RunFor(Seconds(1));
   FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
-  Value header = app.last_stream->header();
-  header.Set(kHeaderResumeToken, 77);
-  app.last_stream->Rewrite(header);
+  StreamHeader header(app.last_stream->header());
+  header.set_resume_token(77);
+  app.last_stream->Rewrite(std::move(header).Take());
   sim_.RunFor(Seconds(1));
-  const Value* client_header = client_->StreamHeader(sid);
+  const Value* client_header = client_->HeaderOf(sid);
   ASSERT_NE(client_header, nullptr);
-  EXPECT_EQ(client_header->Get(kHeaderResumeToken).AsInt(), 77);
+  EXPECT_EQ(StreamHeaderView(*client_header).resume_token(), 77);
 }
 
 TEST_F(BurstTest, ReconnectAfterDropResubscribesWithRewrittenHeader) {
@@ -301,10 +300,9 @@ TEST_F(BurstTest, ReconnectAfterDropResubscribesWithRewrittenHeader) {
   sim_.RunFor(Seconds(1));
   FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
   BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
-  Value header = app.last_stream->header();
-  header.Set(kHeaderBrassHost, serving->host_id());
-  header.Set(kHeaderResumeToken, 9);
-  app.last_stream->Rewrite(header);
+  StreamHeader header(app.last_stream->header());
+  header.set_brass_host(serving->host_id()).set_resume_token(9);
+  app.last_stream->Rewrite(std::move(header).Take());
   sim_.RunFor(Seconds(1));
 
   client_->SimulateConnectionDrop();
@@ -322,7 +320,7 @@ TEST_F(BurstTest, ReconnectAfterDropResubscribesWithRewrittenHeader) {
   }
   EXPECT_TRUE(saw_recovered);
   // The resubscribe carried the rewritten header.
-  EXPECT_EQ(app.last_stream->header().Get(kHeaderResumeToken).AsInt(), 9);
+  EXPECT_EQ(StreamHeaderView(app.last_stream->header()).resume_token(), 9);
 }
 
 TEST_F(BurstTest, HostCrashRepairsOntoOtherHost) {
@@ -369,9 +367,9 @@ TEST_F(BurstTest, ProxyFailureRepairedByPop) {
   // starting a duplicate stream elsewhere.
   FakeAppHandler& app = app1_.started.empty() ? app2_ : app1_;
   BurstServer* serving = app1_.started.empty() ? server2_.get() : server1_.get();
-  Value header = app.last_stream->header();
-  header.Set(kHeaderBrassHost, serving->host_id());
-  app.last_stream->Rewrite(header);
+  StreamHeader header(app.last_stream->header());
+  header.set_brass_host(serving->host_id());
+  app.last_stream->Rewrite(std::move(header).Take());
   sim_.RunFor(Seconds(1));
   proxy_->FailProxy();
   sim_.RunFor(Seconds(2));
@@ -409,9 +407,9 @@ TEST_F(BurstTest, RedirectMovesStreamToRewrittenTarget) {
 
   // §3.5 Redirects: rewrite new routing info into the stored request, then
   // terminate with kRedirect; the device retries with the new header.
-  Value header = app.last_stream->header();
-  header.Set(kHeaderBrassHost, other->host_id());
-  app.last_stream->Rewrite(header);
+  StreamHeader header(app.last_stream->header());
+  header.set_brass_host(other->host_id());
+  app.last_stream->Rewrite(std::move(header).Take());
   app.last_stream->Terminate(TerminateReason::kRedirect, "rebalance");
   EXPECT_EQ(serving->StreamCount(), 0u);  // redirect released the old stream
   sim_.RunFor(Seconds(2));
@@ -571,9 +569,8 @@ TEST(ProxyRouteTest, ResubscribeToNewHostDetachesOldRoute) {
   StreamKey key{100, 1};
   auto subscribe = std::make_shared<SubscribeFrame>();
   subscribe->key = key;
-  subscribe->header.Set(kHeaderApp, "test");
-  subscribe->header.Set(kHeaderViewer, 100);
-  subscribe->header.Set(kHeaderBrassHost, 1);  // sticky: host 1
+  subscribe->header = std::move(
+      StreamHeader().set_app("test").set_viewer(100).set_brass_host(1)).Take();  // sticky: host 1
   pop_end->Send(subscribe);
   sim.RunFor(Seconds(1));
   ASSERT_EQ(server1.StreamCount(), 1u);
@@ -583,9 +580,8 @@ TEST(ProxyRouteTest, ResubscribeToNewHostDetachesOldRoute) {
   // arrives sticky to host 2, with no termination of the old route first.
   auto moved = std::make_shared<SubscribeFrame>();
   moved->key = key;
-  moved->header.Set(kHeaderApp, "test");
-  moved->header.Set(kHeaderViewer, 100);
-  moved->header.Set(kHeaderBrassHost, 2);
+  moved->header = std::move(
+      StreamHeader().set_app("test").set_viewer(100).set_brass_host(2)).Take();
   moved->resubscribe = true;
   pop_end->Send(moved);
   sim.RunFor(Seconds(1));

@@ -342,18 +342,18 @@ TEST_F(E2eTest, StickyRoutingReturnsToSameHostAfterReconnect) {
   uint64_t sid = viewer->SubscribeLvc(video);
   cluster_->sim().RunFor(Seconds(3));
 
-  const Value* header = viewer->burst().StreamHeader(sid);
+  const Value* header = viewer->burst().HeaderOf(sid);
   ASSERT_NE(header, nullptr);
-  int64_t host_before = header->Get(kHeaderBrassHost).AsInt(0);
+  int64_t host_before = StreamHeaderView(*header).brass_host();
   EXPECT_NE(host_before, 0);  // the sticky rewrite landed on the device
 
   viewer->burst().SimulateConnectionDrop();
   cluster_->sim().RunFor(Seconds(8));
   ASSERT_TRUE(viewer->burst().connected());
 
-  header = viewer->burst().StreamHeader(sid);
+  header = viewer->burst().HeaderOf(sid);
   ASSERT_NE(header, nullptr);
-  EXPECT_EQ(header->Get(kHeaderBrassHost).AsInt(0), host_before);
+  EXPECT_EQ(StreamHeaderView(*header).brass_host(), host_before);
   // And that host indeed serves the stream again.
   BrassHost* host = cluster_->router().FindHost(host_before);
   ASSERT_NE(host, nullptr);

@@ -241,9 +241,9 @@ TEST_F(FailureTest, RepeatedRedirectsKeepExactlyOneServerStream) {
       ASSERT_FALSE(open.empty());
       ServerStream* stream = host.burst()->FindStream(open[0].key);
       ASSERT_NE(stream, nullptr);
-      Value header = stream->header();
-      header.Set(kHeaderBrassHost, target);
-      stream->Rewrite(header);
+      StreamHeader header(stream->header());
+      header.set_brass_host(target);
+      stream->Rewrite(std::move(header).Take());
       stream->Terminate(TerminateReason::kRedirect, "load rebalancing");
       break;
     }

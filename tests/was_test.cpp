@@ -255,11 +255,13 @@ TEST_F(WasTest, FetchReturnsPayloadWithPrivacyCheck) {
   fetch->app = "LVC";
   fetch->metadata.Set("id", comment_id);
   fetch->metadata.Set("author", bob_);
-  fetch->viewer = alice_;
+  fetch->viewers = {alice_};
   auto response = Call<WasFetchResponse>("was.fetch", fetch);
   ASSERT_NE(response, nullptr);
-  EXPECT_TRUE(response->allowed);
+  ASSERT_EQ(response->allowed.size(), 1u);
+  EXPECT_TRUE(response->allowed[0]);
   EXPECT_EQ(response->payload.Get("text").AsString(), "hi");
+  EXPECT_GT(response->version, 0u);
 }
 
 TEST_F(WasTest, FetchDeniedForBlockedViewer) {
@@ -274,10 +276,11 @@ TEST_F(WasTest, FetchDeniedForBlockedViewer) {
   fetch->app = "LVC";
   fetch->metadata.Set("id", comment_id);
   fetch->metadata.Set("author", bob_);
-  fetch->viewer = alice_;
+  fetch->viewers = {alice_};
   auto response = Call<WasFetchResponse>("was.fetch", fetch);
   ASSERT_NE(response, nullptr);
-  EXPECT_FALSE(response->allowed);
+  ASSERT_EQ(response->allowed.size(), 1u);
+  EXPECT_FALSE(response->allowed[0]);
 }
 
 TEST_F(WasTest, ActiveFriendsReflectsHeartbeatTtl) {
