@@ -26,6 +26,17 @@ BrassAppFactory ActiveStatusApp::Factory(ActiveStatusConfig config) {
   };
 }
 
+BrassAppDescriptor ActiveStatusApp::Descriptor() {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "AS";
+  descriptor.topic_prefix = "AS";
+  descriptor.priority_class = BrassPriorityClass::kLow;
+  // Each batch is a diff against what the device last saw; collapsing two
+  // batches would lose transitions, so batches queue but never conflate.
+  descriptor.conflatable = false;
+  return descriptor;
+}
+
 void ActiveStatusApp::OnStreamStarted(BrassStream& stream) {
   ViewerState viewer;
   viewer.stream = &stream;
@@ -130,8 +141,10 @@ void ActiveStatusApp::PushBatch(const StreamKey& key) {
   payload.Set("__type", "ActiveStatusBatch");
   payload.Set("online", Value(std::move(came_online)));
   payload.Set("offline", Value(std::move(went_offline)));
-  runtime().DeliverData(*viewer.stream, std::move(payload), /*seq=*/0, oldest_transition,
-                        oldest_trace);
+  DeliverOptions deliver;
+  deliver.event_created_at = oldest_transition;
+  deliver.parent = oldest_trace;
+  runtime().DeliverData(*viewer.stream, std::move(payload), deliver);
 }
 
 }  // namespace bladerunner

@@ -33,6 +33,9 @@ class ActiveStatusApp : public BrassApplication {
                const std::vector<BrassStream*>& streams) override;
 
   static BrassAppFactory Factory(ActiveStatusConfig config = {});
+  // QoS: low priority — a delayed batch self-heals on the next interval.
+  // Batches are stateful online/offline diffs, so they never conflate.
+  static BrassAppDescriptor Descriptor();
 
  private:
   struct ViewerState {

@@ -21,6 +21,19 @@ BrassAppFactory LiveVideoCommentsApp::Factory(LvcConfig config) {
   };
 }
 
+BrassAppDescriptor LiveVideoCommentsApp::Descriptor() {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "LVC";
+  descriptor.topic_prefix = "LVC";
+  descriptor.priority_class = BrassPriorityClass::kNormal;
+  descriptor.routing = BrassRoutingPolicy::kByLoad;
+  // Comments conflate per comment object (edits supersede); distinct
+  // comments queue, shed, and ultimately degrade the stream to polling.
+  descriptor.conflatable = true;
+  descriptor.degrade_to_poll = true;
+  return descriptor;
+}
+
 void LiveVideoCommentsApp::OnStreamStarted(BrassStream& stream) {
   ViewerState viewer;
   viewer.stream = &stream;
@@ -108,11 +121,15 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       // Ablation: firehose mode — push everything, let the device decide.
       runtime().CountDecision(true);
       StreamKey key = stream->key;
-      SimTime created_at = event.created_at;
+      DeliverOptions deliver;
+      deliver.event_created_at = event.created_at;
+      deliver.conflation_key = "comment:" + std::to_string(event.metadata.Get("id").AsInt(0));
+      deliver.version = static_cast<uint64_t>(event.metadata.Get("version").AsInt(0));
       TraceContext span = runtime().StartSpan(event.trace, "brass.process");
+      deliver.parent = span;
       runtime().FetchPayload(
           event.metadata, FetchOptions{.viewer = stream->viewer, .parent = span},
-          [this, key, created_at, span](bool allowed, Value payload) {
+          [this, key, deliver, span](bool allowed, Value payload) {
             if (!allowed) {
               runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
               runtime().EndSpan(span);
@@ -124,7 +141,7 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
               runtime().EndSpan(span);
               return;
             }
-            runtime().DeliverData(*it2->second.stream, std::move(payload), 0, created_at, span);
+            runtime().DeliverData(*it2->second.stream, std::move(payload), deliver);
             runtime().EndSpan(span);
           });
       continue;
@@ -202,12 +219,16 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
   // limiting, and the fetch — Fig. 9's "BRASS host processing" leg — and
   // ends when the push is handed to BURST.
   StreamKey stream_key = key;
-  SimTime created_at = best.created_at;
   TraceContext span = best.span;
   UserId viewer_id = viewer.stream->viewer;
+  DeliverOptions deliver;
+  deliver.event_created_at = best.created_at;
+  deliver.parent = span;
+  deliver.conflation_key = "comment:" + std::to_string(best.metadata.Get("id").AsInt(0));
+  deliver.version = static_cast<uint64_t>(best.metadata.Get("version").AsInt(0));
   runtime().FetchPayload(
       best.metadata, FetchOptions{.viewer = viewer_id, .parent = span},
-      [this, stream_key, created_at, span](bool allowed, Value payload) {
+      [this, stream_key, deliver, span](bool allowed, Value payload) {
         if (!allowed) {
           runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
           runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
@@ -221,8 +242,7 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
           return;
         }
         runtime().AnnotateSpan(span, "outcome", Value("delivered"));
-        runtime().DeliverData(*it2->second.stream, std::move(payload),
-                              /*seq=*/0, created_at, span);
+        runtime().DeliverData(*it2->second.stream, std::move(payload), deliver);
         runtime().EndSpan(span);
       });
 }

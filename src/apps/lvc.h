@@ -70,6 +70,9 @@ class LiveVideoCommentsApp : public BrassApplication {
                const std::vector<BrassStream*>& streams) override;
 
   static BrassAppFactory Factory(LvcConfig config = {});
+  // QoS: normal priority, conflatable per comment object, and the only app
+  // with a polling baseline to degrade to under overload.
+  static BrassAppDescriptor Descriptor();
 
  private:
   struct Candidate {

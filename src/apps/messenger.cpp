@@ -13,6 +13,18 @@ BrassAppFactory MessengerApp::Factory(MessengerConfig config) {
   };
 }
 
+BrassAppDescriptor MessengerApp::Descriptor() {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "Messenger";
+  descriptor.topic_prefix = "Mailbox";
+  descriptor.priority_class = BrassPriorityClass::kHigh;
+  // Mailbox delivery is sequenced and reliable: conflating or shedding a
+  // message would force a gap poll, so the queue bound is deep instead.
+  descriptor.conflatable = false;
+  descriptor.max_pending_per_stream = 64;
+  return descriptor;
+}
+
 void MessengerApp::OnStreamStarted(BrassStream& stream) {
   MailboxState state;
   state.stream = &stream;
@@ -49,7 +61,9 @@ void MessengerApp::OnStreamResumed(BrassStream& stream) {
   }
   for (auto& [seq, payload] : state.unacked) {
     runtime().metrics().GetCounter("messenger.redeliveries").Increment();
-    runtime().DeliverData(*state.stream, payload, seq, 0);
+    DeliverOptions deliver;
+    deliver.seq = seq;
+    runtime().DeliverData(*state.stream, payload, deliver);
   }
   // And recover anything published while we were detached.
   RecoverGap(stream.key);
@@ -158,7 +172,11 @@ void MessengerApp::DrainPending(const StreamKey& key) {
     SimTime created_at = payload.Get("_createdAtEvent").AsInt(0);
     state.next_seq = seq + 1;
     if (state.stream != nullptr) {
-      runtime().DeliverData(*state.stream, payload, seq, created_at, span);
+      DeliverOptions deliver;
+      deliver.seq = seq;
+      deliver.event_created_at = created_at;
+      deliver.parent = span;
+      runtime().DeliverData(*state.stream, payload, deliver);
     }
     runtime().EndSpan(span);
     state.unacked[seq] = std::move(payload);

@@ -38,6 +38,9 @@ class MessengerApp : public BrassApplication {
   void OnAck(BrassStream& stream, uint64_t seq) override;
 
   static BrassAppFactory Factory(MessengerConfig config = {});
+  // QoS: high priority and strictly sequenced — never conflated or shed
+  // ahead of lower classes; a deep queue bound absorbs mailbox bursts.
+  static BrassAppDescriptor Descriptor();
 
  private:
   struct PendingMessage {

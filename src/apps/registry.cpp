@@ -4,11 +4,12 @@ namespace bladerunner {
 
 BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config) {
   BrassAppRegistry registry;
-  registry["LVC"] = LiveVideoCommentsApp::Factory(config.lvc);
-  registry["AS"] = ActiveStatusApp::Factory(config.active_status);
-  registry["TI"] = TypingIndicatorApp::Factory(config.typing);
-  registry["Stories"] = StoriesApp::Factory(config.stories);
-  registry["Messenger"] = MessengerApp::Factory(config.messenger);
+  registry["LVC"] = {LiveVideoCommentsApp::Descriptor(),
+                     LiveVideoCommentsApp::Factory(config.lvc)};
+  registry["AS"] = {ActiveStatusApp::Descriptor(), ActiveStatusApp::Factory(config.active_status)};
+  registry["TI"] = {TypingIndicatorApp::Descriptor(), TypingIndicatorApp::Factory(config.typing)};
+  registry["Stories"] = {StoriesApp::Descriptor(), StoriesApp::Factory(config.stories)};
+  registry["Messenger"] = {MessengerApp::Descriptor(), MessengerApp::Factory(config.messenger)};
   return registry;
 }
 

@@ -14,6 +14,17 @@ BrassAppFactory StoriesApp::Factory(StoriesConfig config) {
   };
 }
 
+BrassAppDescriptor StoriesApp::Descriptor() {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "Stories";
+  descriptor.topic_prefix = "Stories";
+  descriptor.priority_class = BrassPriorityClass::kNormal;
+  // "New story" pushes conflate per author (the latest story supersedes);
+  // tray add/remove deltas are stateful and carry no conflation key.
+  descriptor.conflatable = true;
+  return descriptor;
+}
+
 void StoriesApp::OnStreamStarted(BrassStream& stream) {
   ViewerState viewer;
   viewer.stream = &stream;
@@ -54,7 +65,7 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
         removal.Set("__type", "StoryTrayRemove");
         removal.Set("owner", it->first);
         runtime().CountDecision(true);
-        runtime().DeliverData(*viewer.stream, std::move(removal), 0, 0);
+        runtime().DeliverData(*viewer.stream, std::move(removal), DeliverOptions{});
       }
       it = viewer.containers.erase(it);
     } else {
@@ -86,11 +97,18 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
         runtime().CountDecision(true);
         if (viewer.stream != nullptr && viewer.stream->attached()) {
           StreamKey key = viewer.stream->key;
-          SimTime created_at = trigger.created_at;
           TraceContext span = runtime().StartSpan(trigger.trace, "brass.process");
+          DeliverOptions deliver;
+          deliver.event_created_at = trigger.created_at;
+          deliver.parent = span;
+          // Conflate queued "new story" pushes per author: the latest story
+          // supersedes (ordered by event time — story objects are distinct
+          // TAO writes, so their per-object versions do not order them).
+          deliver.conflation_key = "story:" + std::to_string(trigger_author);
+          deliver.version = static_cast<uint64_t>(trigger.created_at);
           runtime().FetchPayload(
               trigger.metadata, FetchOptions{.viewer = viewer.stream->viewer, .parent = span},
-              [this, key, created_at, span](bool allowed, Value payload) {
+              [this, key, deliver, span](bool allowed, Value payload) {
                 if (!allowed) {
                   runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
                   runtime().EndSpan(span);
@@ -103,8 +121,7 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
                   return;
                 }
                 payload.Set("__type", "StoryTrayAddStory");
-                runtime().DeliverData(*it->second.stream, std::move(payload), 0, created_at,
-                                      span);
+                runtime().DeliverData(*it->second.stream, std::move(payload), deliver);
                 runtime().EndSpan(span);
               });
         }
@@ -123,11 +140,13 @@ void StoriesApp::ReconcileTray(ViewerState& viewer, const UpdateEvent& trigger) 
     delta.Set("rank", info->rank);
     if (should_display) {
       delta.Set("__type", "StoryTrayAddContainer");
-      runtime().DeliverData(*viewer.stream, std::move(delta), 0, trigger.created_at,
-                            trigger.trace);
+      DeliverOptions deliver;
+      deliver.event_created_at = trigger.created_at;
+      deliver.parent = trigger.trace;
+      runtime().DeliverData(*viewer.stream, std::move(delta), deliver);
     } else {
       delta.Set("__type", "StoryTrayRemove");
-      runtime().DeliverData(*viewer.stream, std::move(delta), 0, 0);
+      runtime().DeliverData(*viewer.stream, std::move(delta), DeliverOptions{});
     }
   }
 }

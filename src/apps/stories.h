@@ -30,6 +30,9 @@ class StoriesApp : public BrassApplication {
                const std::vector<BrassStream*>& streams) override;
 
   static BrassAppFactory Factory(StoriesConfig config = {});
+  // QoS: normal priority; "new story" pushes conflate per author, but the
+  // stateful tray add/remove deltas never carry a conflation key.
+  static BrassAppDescriptor Descriptor();
 
  private:
   struct ContainerInfo {

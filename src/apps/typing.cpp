@@ -11,6 +11,34 @@ BrassAppFactory TypingIndicatorApp::Factory(TypingConfig config) {
   };
 }
 
+BrassAppDescriptor TypingIndicatorApp::Descriptor() {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "TI";
+  descriptor.topic_prefix = "TI";
+  descriptor.priority_class = BrassPriorityClass::kLow;
+  // Only the latest typing state per (thread, typist) matters; shedding is
+  // harmless, so the queue bound is tight and there is no poll fallback.
+  descriptor.conflatable = true;
+  descriptor.max_pending_per_stream = 4;
+  return descriptor;
+}
+
+namespace {
+
+// Typing events carry no TAO write, so conflation orders them by event
+// creation time within the (thread, typist) key.
+DeliverOptions TypingDeliverOptions(const UpdateEvent& event, TraceContext span) {
+  DeliverOptions deliver;
+  deliver.event_created_at = event.created_at;
+  deliver.parent = span;
+  deliver.conflation_key = "typing:" + std::to_string(event.metadata.Get("thread").AsInt(0)) +
+                           ":" + std::to_string(event.metadata.Get("user").AsInt(0));
+  deliver.version = static_cast<uint64_t>(event.created_at);
+  return deliver;
+}
+
+}  // namespace
+
 void TypingIndicatorApp::OnStreamStarted(BrassStream& stream) {
   streams_[stream.key] = &stream;
 }
@@ -29,10 +57,10 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
     TraceContext span = runtime().StartSpan(event.trace, "brass.process");
     if (config_.backend_check) {
       StreamKey key = stream->key;
-      SimTime created_at = event.created_at;
+      DeliverOptions deliver = TypingDeliverOptions(event, span);
       runtime().FetchPayload(
           event.metadata, FetchOptions{.viewer = stream->viewer, .parent = span},
-          [this, key, created_at, span](bool allowed, Value payload) {
+          [this, key, deliver, span](bool allowed, Value payload) {
             if (!allowed) {
               runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
               runtime().EndSpan(span);
@@ -43,7 +71,7 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
             LatencyModel transform{config_.transform_ms, 0.3, config_.transform_ms / 4.0};
             runtime().ScheduleTimer(
                 transform.Sample(runtime().rng()),
-                [this, key, created_at, span, payload = std::move(payload)]() mutable {
+                [this, key, deliver, span, payload = std::move(payload)]() mutable {
                   auto it = streams_.find(key);
                   if (it == streams_.end() || it->second == nullptr) {
                     runtime().AnnotateSpan(span, "outcome", Value("stream_gone"));
@@ -51,14 +79,14 @@ void TypingIndicatorApp::OnEvent(const Topic& topic, const UpdateEvent& event,
                     return;
                   }
                   payload.Set("__type", "TypingIndicator");
-                  runtime().DeliverData(*it->second, std::move(payload), 0, created_at, span);
+                  runtime().DeliverData(*it->second, std::move(payload), deliver);
                   runtime().EndSpan(span);
                 });
           });
     } else {
       Value payload = event.metadata;
       payload.Set("__type", "TypingIndicator");
-      runtime().DeliverData(*stream, std::move(payload), 0, event.created_at, span);
+      runtime().DeliverData(*stream, std::move(payload), TypingDeliverOptions(event, span));
       runtime().EndSpan(span);
     }
   }

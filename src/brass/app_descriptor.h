@@ -1,0 +1,65 @@
+// Per-application QoS/routing descriptor.
+//
+// Each BRASS application declares its delivery policy once, at registration
+// time, instead of scattering per-app knobs across the router (SetAppPolicy
+// string lookups), the host, and Pylon. The descriptor is a leaf type — it
+// depends only on the standard library — so Pylon can read priority classes
+// without pulling in the BRASS host headers.
+
+#ifndef BLADERUNNER_SRC_BRASS_APP_DESCRIPTOR_H_
+#define BLADERUNNER_SRC_BRASS_APP_DESCRIPTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bladerunner {
+
+// How the router places new streams for an app across BRASS hosts.
+enum class BrassRoutingPolicy {
+  kByLoad,   // least-loaded alive host (ties broken round-robin)
+  kByTopic,  // hash of (app, subscription) so one topic lands on one host
+};
+
+// Priority class for publish-side backpressure: when Pylon's fanout queue is
+// full, pending sends are shed oldest-first starting from the lowest class.
+enum class BrassPriorityClass {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline const char* ToString(BrassPriorityClass c) {
+  switch (c) {
+    case BrassPriorityClass::kHigh:
+      return "high";
+    case BrassPriorityClass::kNormal:
+      return "normal";
+    case BrassPriorityClass::kLow:
+      return "low";
+  }
+  return "normal";
+}
+
+struct BrassAppDescriptor {
+  std::string name;
+  // First segment of the app's Pylon topics (e.g. "Mailbox" for Messenger);
+  // Pylon maps a topic back to its priority class through this prefix.
+  std::string topic_prefix;
+  BrassPriorityClass priority_class = BrassPriorityClass::kNormal;
+  BrassRoutingPolicy routing = BrassRoutingPolicy::kByLoad;
+  // Whether queued deliveries on one stream may be coalesced newest-version
+  // wins when they carry the same conflation key. Apps opt individual
+  // deliveries in by passing a non-empty DeliverOptions::conflation_key.
+  bool conflatable = false;
+  // Bound on queued (paced) deliveries per stream; 0 inherits the host-wide
+  // BrassOverloadConfig::max_pending_per_stream default.
+  size_t max_pending_per_stream = 0;
+  // Whether sustained shedding on a stream may degrade it to the polling
+  // baseline. Only meaningful for apps with a poll fallback (LVC).
+  bool degrade_to_poll = false;
+};
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_BRASS_APP_DESCRIPTOR_H_

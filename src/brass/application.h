@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/brass/app_descriptor.h"
 #include "src/burst/frames.h"
 #include "src/burst/server.h"
 #include "src/graphql/value.h"
@@ -77,6 +79,17 @@ class BrassApplication {
 // Factory: spawns one application instance on one host's runtime.
 using BrassAppFactory =
     std::function<std::unique_ptr<BrassApplication>(BrassRuntime& runtime)>;
+
+// One registered application: its QoS/routing descriptor plus the factory.
+// Apps declare policy once here; host, router, and Pylon read it from the
+// descriptor instead of per-app string-keyed knobs.
+struct BrassAppRegistration {
+  BrassAppDescriptor descriptor;
+  BrassAppFactory factory;
+};
+
+// The applications available to every host, keyed by app name.
+using BrassAppRegistry = std::map<std::string, BrassAppRegistration>;
 
 }  // namespace bladerunner
 

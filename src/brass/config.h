@@ -5,15 +5,10 @@
 
 #include <cstddef>
 
+#include "src/brass/app_descriptor.h"
 #include "src/sim/time.h"
 
 namespace bladerunner {
-
-// How the proxies route new streams of an application to hosts (§3.2).
-enum class BrassRoutingPolicy {
-  kByLoad,   // least-loaded host (high-fanout applications)
-  kByTopic,  // hash of the topic (low-fanout: curtails Pylon subscriptions)
-};
 
 // The host's shared fetch pipeline between BRASS instances and the WAS
 // (docs/BRASS_FETCH.md): coalesces concurrent fetches of the same event
@@ -36,6 +31,37 @@ struct FetchPipelineConfig {
   size_t max_batch_viewers = 64;
 };
 
+// Overload-control knobs (docs/OVERLOAD.md). Defaults are inert: no stream
+// budget, no pacing, so existing configs behave exactly as before.
+struct BrassOverloadConfig {
+  // Admission budget on concurrent streams per host (0: unlimited). The
+  // two-instances-per-core cap bounds VM count; this bounds stream fanout.
+  // The router spills new streams past saturated hosts and redirects
+  // (rewrite_request) when every host is at budget.
+  int max_streams_per_host = 0;
+
+  // Minimum gap between consecutive data pushes on one stream (0: unpaced
+  // fast path). When pacing is on, deliveries that arrive faster than the
+  // gap queue per stream, conflate, and shed.
+  SimTime min_push_gap = 0;
+
+  // Default bound on queued deliveries per stream while pacing; an app's
+  // BrassAppDescriptor::max_pending_per_stream overrides when non-zero.
+  // When the queue is full the oldest pending delivery is shed.
+  size_t max_pending_per_stream = 8;
+
+  // Degrade-to-poll trigger: within one shed window a stream must shed at
+  // least `degrade_min_sheds` deliveries AND at least `degrade_shed_fraction`
+  // of its delivery attempts before BRASS signals degrade_to_poll.
+  int degrade_min_sheds = 8;
+  double degrade_shed_fraction = 0.5;
+  SimTime shed_window = Seconds(2);
+
+  // While degraded, the host re-evaluates every interval; a window whose
+  // offered load fits under the push pacing flips the stream back.
+  SimTime recover_check_interval = Seconds(2);
+};
+
 struct BrassConfig {
   // Event-loop processing time charged when a Pylon event is dispatched to
   // an application instance (the JS-VM callback cost).
@@ -53,6 +79,9 @@ struct BrassConfig {
 
   // Shared WAS fetch pipeline (coalescing + versioned payload cache).
   FetchPipelineConfig fetch;
+
+  // Admission control, delivery pacing/conflation, degrade-to-poll.
+  BrassOverloadConfig overload;
 };
 
 }  // namespace bladerunner

@@ -52,8 +52,8 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
   if (it != apps_.end()) {
     return &it->second;
   }
-  auto factory = registry_->find(name);
-  if (factory == registry_->end()) {
+  auto registration = registry_->find(name);
+  if (registration == registry_->end()) {
     return nullptr;
   }
   if (static_cast<int>(apps_.size()) >= config_.max_apps_per_host) {
@@ -64,7 +64,7 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
   // host spools up a fresh instance (§1).
   AppInstance instance;
   instance.runtime = std::make_unique<BrassRuntime>(this, name);
-  instance.app = factory->second(*instance.runtime);
+  instance.app = registration->second.factory(*instance.runtime);
   metrics_->GetCounter("brass.app_spawns").Increment();
   auto [ins, ok] = apps_.emplace(name, std::move(instance));
   assert(ok);
@@ -91,6 +91,23 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
     sub_span = trace_->StartSpan(root, "brass.subscribe", "brass", region_, sim_->Now());
     trace_->Annotate(sub_span, "app", Value(app_name));
     trace_->Annotate(sub_span, "viewer", Value(viewer));
+  }
+
+  // Admission defense in depth: the router already skips saturated hosts,
+  // but racing subscribes (or a stale sticky header) can still land here
+  // past budget. Redirect with a cleared sticky host so the device's retry
+  // re-enters router admission.
+  const int stream_budget = config_.overload.max_streams_per_host;
+  if (stream_budget > 0 && static_cast<int>(burst_->StreamCount()) > stream_budget) {
+    metrics_->GetCounter("brass.host_admission_rejections").Increment();
+    if (trace_ != nullptr) {
+      trace_->MarkError(sub_span, "host at stream budget", sim_->Now());
+    }
+    StreamHeader redirect(stream.header());
+    redirect.set_brass_host(0);
+    stream.Rewrite(std::move(redirect).Take());
+    stream.Terminate(TerminateReason::kRedirect, "host at stream budget");
+    return;
   }
 
   AppInstance* app = GetOrSpawnApp(app_name);
@@ -475,8 +492,88 @@ void BrassHost::CountDecision(const std::string& app, bool delivered) {
   }
 }
 
+const BrassAppDescriptor* BrassHost::DescriptorFor(const std::string& app) const {
+  auto it = registry_->find(app);
+  return it == registry_->end() ? nullptr : &it->second.descriptor;
+}
+
 void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value payload,
-                            uint64_t seq, SimTime event_created_at, TraceContext parent) {
+                            const DeliverOptions& options) {
+  if (stream.stream == nullptr) {
+    metrics_->GetCounter("brass.deliveries_dropped").Increment();
+    return;
+  }
+  const SimTime gap = config_.overload.min_push_gap;
+  auto hs = streams_.find(stream.key);
+  if (gap <= 0 || hs == streams_.end()) {
+    // Unpaced fast path: identical to the pre-overload-control behavior.
+    PushNow(app, stream, std::move(payload), options);
+    return;
+  }
+  HostStream& state = hs->second;
+  RollShedWindow(state);
+  if (state.degraded) {
+    // The device is polling; streaming deliveries are dropped, but the
+    // offered load is still observed so recovery can tell it subsided.
+    state.degraded_attempts += 1;
+    metrics_->GetCounter("brass.degraded_drops").Increment();
+    return;
+  }
+  state.window_attempts += 1;
+  const SimTime now = sim_->Now();
+  if (state.queue.empty() && now >= state.next_push_at) {
+    state.next_push_at = now + gap;
+    PushNow(app, stream, std::move(payload), options);
+    return;
+  }
+
+  const BrassAppDescriptor* descriptor = DescriptorFor(app);
+  const bool conflatable = descriptor != nullptr && descriptor->conflatable;
+  size_t bound = config_.overload.max_pending_per_stream;
+  if (descriptor != nullptr && descriptor->max_pending_per_stream > 0) {
+    bound = descriptor->max_pending_per_stream;
+  }
+  bound = std::max<size_t>(bound, 1);
+  auto result = state.queue.Offer(std::move(payload), options, conflatable, bound);
+  switch (result.outcome) {
+    case ConflatingDeliveryQueue::Outcome::kConflated:
+      metrics_->GetCounter("brass.conflated").Increment();
+      metrics_->GetCounter("brass.conflated." + app).Increment();
+      break;
+    case ConflatingDeliveryQueue::Outcome::kShed: {
+      state.window_sheds += 1;
+      metrics_->GetCounter("brass.shed").Increment();
+      metrics_->GetCounter("brass.shed." + app).Increment();
+      // Instant "brass.shed" span on the shed delivery's trace, so dropped
+      // updates are visible in their timeline (docs/TRACING.md).
+      if (trace_ != nullptr && result.shed.options.parent.valid()) {
+        TraceContext shed_span = trace_->StartSpan(result.shed.options.parent, "brass.shed",
+                                                   "brass", region_, sim_->Now());
+        trace_->Annotate(shed_span, "app", Value(app));
+        trace_->EndSpan(shed_span, sim_->Now());
+      }
+      break;
+    }
+    case ConflatingDeliveryQueue::Outcome::kQueued:
+      break;
+  }
+  metrics_->GetHistogram("brass.delivery_queue_depth")
+      .Record(static_cast<double>(state.queue.size()));
+
+  // Degrade-to-poll: sustained shedding of a large fraction of the
+  // stream's attempts means pacing alone cannot absorb the spike.
+  if (descriptor != nullptr && descriptor->degrade_to_poll &&
+      state.window_sheds >= static_cast<uint64_t>(config_.overload.degrade_min_sheds) &&
+      static_cast<double>(state.window_sheds) >=
+          config_.overload.degrade_shed_fraction * static_cast<double>(state.window_attempts)) {
+    DegradeStream(stream.key, state);
+    return;
+  }
+  EnsureQueueDrainTimer(stream.key, std::max<SimTime>(state.next_push_at - now, 1));
+}
+
+void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value payload,
+                        const DeliverOptions& options) {
   if (stream.stream == nullptr) {
     metrics_->GetCounter("brass.deliveries_dropped").Increment();
     return;
@@ -490,21 +587,114 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
   // "burst.deliver": push leaves BRASS -> device receives it. The span's
   // context rides on the data delta; the device's BURST client ends it.
   TraceContext deliver_span;
-  if (trace_ != nullptr && parent.valid()) {
-    deliver_span = trace_->StartSpan(parent, "burst.deliver", "burst", region_, sim_->Now());
+  if (trace_ != nullptr && options.parent.valid()) {
+    deliver_span =
+        trace_->StartSpan(options.parent, "burst.deliver", "burst", region_, sim_->Now());
     trace_->Annotate(deliver_span, "app", Value(app));
   }
   // Stamp timing metadata so the device side can record Fig. 9's legs.
-  if (event_created_at > 0) {
-    payload.Set("_createdAt", event_created_at);
+  if (options.event_created_at > 0) {
+    payload.Set("_createdAt", options.event_created_at);
   }
   payload.Set("_sentAt", sim_->Now());
   payload.Set("_app", app);
-  stream.stream->PushData(std::move(payload), seq, deliver_span);
-  if (event_created_at > 0) {
+  stream.stream->PushData(std::move(payload), options.seq, deliver_span);
+  if (options.event_created_at > 0) {
     metrics_->GetHistogram("brass.push_delay_us." + app)
-        .Record(static_cast<double>(sim_->Now() - event_created_at));
+        .Record(static_cast<double>(sim_->Now() - options.event_created_at));
   }
+}
+
+void BrassHost::RollShedWindow(HostStream& state) {
+  const SimTime window = config_.overload.shed_window;
+  if (window <= 0) {
+    return;
+  }
+  const SimTime now = sim_->Now();
+  if (now - state.window_start >= window) {
+    state.window_start = now;
+    state.window_attempts = 0;
+    state.window_sheds = 0;
+  }
+}
+
+void BrassHost::EnsureQueueDrainTimer(const StreamKey& key, SimTime delay) {
+  auto hs = streams_.find(key);
+  if (hs == streams_.end() || hs->second.drain_timer_pending) {
+    return;
+  }
+  hs->second.drain_timer_pending = true;
+  sim_->Schedule(std::max<SimTime>(delay, 1), [this, key]() {
+    auto it = streams_.find(key);
+    if (it == streams_.end()) {
+      return;  // stream closed (or host drained/failed) while waiting
+    }
+    HostStream& state = it->second;
+    state.drain_timer_pending = false;
+    if (state.degraded || state.queue.empty() || state.state.stream == nullptr) {
+      return;
+    }
+    PendingDelivery next = state.queue.PopFront();
+    state.next_push_at = sim_->Now() + config_.overload.min_push_gap;
+    PushNow(state.app, state.state, std::move(next.payload), next.options);
+    if (!state.queue.empty()) {
+      EnsureQueueDrainTimer(key, config_.overload.min_push_gap);
+    }
+  });
+}
+
+void BrassHost::DegradeStream(const StreamKey& key, HostStream& state) {
+  if (state.degraded || state.state.stream == nullptr) {
+    return;
+  }
+  state.degraded = true;
+  state.degraded_attempts = 0;
+  metrics_->GetCounter("brass.degraded_drops")
+      .Increment(static_cast<int64_t>(state.queue.size()));
+  state.queue.Clear();
+  metrics_->GetCounter("brass.degrade_signals").Increment();
+  metrics_->GetCounter("brass.degrade_signals." + state.app).Increment();
+  // "burst.degrade" span covers the degraded-to-polling interval on the
+  // stream's timeline (docs/TRACING.md).
+  if (trace_ != nullptr && state.stream_span.valid()) {
+    state.degrade_span =
+        trace_->StartSpan(state.stream_span, "burst.degrade", "burst", region_, sim_->Now());
+    trace_->Annotate(state.degrade_span, "app", Value(state.app));
+  }
+  state.state.stream->PushFlow(FlowStatus::kDegradeToPoll, "shed rate exceeded");
+  ScheduleRecoveryCheck(key);
+}
+
+void BrassHost::ScheduleRecoveryCheck(const StreamKey& key) {
+  sim_->Schedule(config_.overload.recover_check_interval, [this, key]() {
+    auto it = streams_.find(key);
+    if (it == streams_.end() || !it->second.degraded) {
+      return;
+    }
+    HostStream& state = it->second;
+    // Recover when the load offered during the last interval fits under the
+    // stream's push pacing; otherwise keep polling and check again.
+    const SimTime gap = config_.overload.min_push_gap;
+    const SimTime interval = config_.overload.recover_check_interval;
+    const bool sustainable =
+        gap <= 0 || static_cast<SimTime>(state.degraded_attempts) * gap <= interval;
+    if (!sustainable || state.state.stream == nullptr) {
+      state.degraded_attempts = 0;
+      ScheduleRecoveryCheck(key);
+      return;
+    }
+    state.degraded = false;
+    state.degraded_attempts = 0;
+    state.window_start = sim_->Now();
+    state.window_attempts = 0;
+    state.window_sheds = 0;
+    metrics_->GetCounter("brass.recover_signals").Increment();
+    if (trace_ != nullptr && state.degrade_span.valid()) {
+      trace_->EndSpan(state.degrade_span, sim_->Now());
+      state.degrade_span = TraceContext();
+    }
+    state.state.stream->PushFlow(FlowStatus::kResumeStream, "overload subsided");
+  });
 }
 
 void BrassHost::CloseAllStreamSpans(const std::string& reason) {
@@ -539,11 +729,23 @@ void BrassHost::WithdrawAllPylonSubscriptions() {
   topics_.clear();
 }
 
+void BrassHost::StartDrain(SimTime grace) {
+  if (!alive_ || draining_) {
+    return;
+  }
+  // Phase 1: stop taking new streams (the router and sticky re-routing
+  // skip draining hosts) while existing streams keep being served.
+  draining_ = true;
+  metrics_->GetCounter("brass.host_drain_starts").Increment();
+  sim_->Schedule(grace, [this]() { Drain(); });
+}
+
 void BrassHost::Drain() {
   if (!alive_) {
     return;
   }
   alive_ = false;
+  draining_ = true;
   metrics_->GetCounter("brass.host_drains").Increment();
   burst_->Drain();
   WithdrawAllPylonSubscriptions();
@@ -580,6 +782,7 @@ void BrassHost::Revive() {
     return;
   }
   alive_ = true;
+  draining_ = false;
   burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);

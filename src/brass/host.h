@@ -20,6 +20,7 @@
 
 #include "src/brass/application.h"
 #include "src/brass/config.h"
+#include "src/brass/delivery_queue.h"
 #include "src/brass/fetch_pipeline.h"
 #include "src/brass/runtime.h"
 #include "src/burst/config.h"
@@ -32,9 +33,6 @@
 #include "src/was/server.h"
 
 namespace bladerunner {
-
-// The factories available to all hosts: app name -> factory.
-using BrassAppRegistry = std::map<std::string, BrassAppFactory>;
 
 // Per-stream lifecycle record, used by the Fig. 7 analysis ("number of
 // update events targeting each request-stream's subscription during the
@@ -58,6 +56,9 @@ class BrassHost : public BurstServerHandler {
   int64_t host_id() const { return host_id_; }
   RegionId region() const { return region_; }
   bool alive() const { return alive_; }
+  // True from StartDrain()/Drain() until Revive(): the router must not
+  // place new streams here even while existing streams are still served.
+  bool draining() const { return draining_; }
   Simulator* sim() { return sim_; }
   MetricsRegistry* metrics() { return metrics_; }
   TraceCollector* trace() { return trace_; }
@@ -98,6 +99,11 @@ class BrassHost : public BurstServerHandler {
   // (the proxies repair them); Pylon subscriptions are withdrawn.
   void Drain();
 
+  // Two-phase drain: immediately stops accepting new streams (the router
+  // and sticky re-routing skip draining hosts) while existing streams keep
+  // being served for `grace`, then completes the Drain().
+  void StartDrain(SimTime grace);
+
   // Crash: all state (streams, app instances, buffers) is lost; Pylon
   // detects the failure and withdraws the host's subscriptions (§4).
   void FailHost();
@@ -116,8 +122,13 @@ class BrassHost : public BurstServerHandler {
   void WasQuery(const std::string& query, const FetchOptions& options,
                 std::function<void(bool, Value)> callback);
   void CountDecision(const std::string& app, bool delivered);
-  void DeliverData(const std::string& app, BrassStream& stream, Value payload, uint64_t seq,
-                   SimTime event_created_at, TraceContext parent = TraceContext());
+  // Pushes (or, when pacing is on, queues/conflates/sheds) one payload on
+  // the stream; see docs/OVERLOAD.md for the queueing policy.
+  void DeliverData(const std::string& app, BrassStream& stream, Value payload,
+                   const DeliverOptions& options);
+
+  // The registered QoS descriptor for `app` (nullptr if unknown).
+  const BrassAppDescriptor* DescriptorFor(const std::string& app) const;
 
   FetchPipeline* fetch_pipeline() { return fetch_pipeline_.get(); }
 
@@ -151,6 +162,19 @@ class BrassHost : public BurstServerHandler {
     // Span covering the stream's lifetime on this host; closed with an
     // error annotation when the stream fails or the host dies.
     TraceContext stream_span;
+
+    // ---- overload state (only used when pacing is configured) ----
+    ConflatingDeliveryQueue queue;
+    SimTime next_push_at = 0;          // earliest time the next push may go
+    bool drain_timer_pending = false;  // a queue-drain timer is scheduled
+    // Shed-rate window feeding the degrade-to-poll trigger.
+    SimTime window_start = 0;
+    uint64_t window_attempts = 0;
+    uint64_t window_sheds = 0;
+    // Degraded to polling: deliveries are dropped until recovery.
+    bool degraded = false;
+    uint64_t degraded_attempts = 0;  // offered load observed while degraded
+    TraceContext degrade_span;
   };
 
   // Spawns the instance if needed ("serverless" spawn); nullptr if the app
@@ -169,6 +193,21 @@ class BrassHost : public BurstServerHandler {
   void TerminateStreamsOnTopic(const Topic& topic, const std::string& detail);
   void WithdrawAllPylonSubscriptions();
 
+  // ---- overload path (docs/OVERLOAD.md) ----
+  // The pre-overload-control push: accounting, deliver span, stamps, and
+  // the actual BURST PushData.
+  void PushNow(const std::string& app, BrassStream& stream, Value payload,
+               const DeliverOptions& options);
+  // Rolls the shed-rate window of `state` forward past expired windows.
+  void RollShedWindow(HostStream& state);
+  // Schedules (if not already pending) the timer that drains one queued
+  // delivery per min_push_gap.
+  void EnsureQueueDrainTimer(const StreamKey& key, SimTime delay);
+  // Flips the stream to degrade-to-poll: drops its queue, signals the
+  // device (flow_status degrade_to_poll), starts the recovery checks.
+  void DegradeStream(const StreamKey& key, HostStream& state);
+  void ScheduleRecoveryCheck(const StreamKey& key);
+
   Simulator* sim_;
   int64_t host_id_;
   RegionId region_;
@@ -180,6 +219,7 @@ class BrassHost : public BurstServerHandler {
   MetricsRegistry* metrics_;
   TraceCollector* trace_;
   bool alive_ = true;
+  bool draining_ = false;
 
   std::unique_ptr<BurstServer> burst_;
   RpcServer event_rpc_;

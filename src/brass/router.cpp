@@ -7,9 +7,25 @@
 
 namespace bladerunner {
 
-BrassRouter::BrassRouter(Simulator* sim, const Topology* topology, BurstConfig burst_config,
+namespace {
+
+// At (or over) the host's admission budget on concurrent streams. A budget
+// of 0 means unlimited.
+bool AtBudget(const BrassHost* host) {
+  int budget = host->config().overload.max_streams_per_host;
+  return budget > 0 && host->StreamCount() >= static_cast<size_t>(budget);
+}
+
+}  // namespace
+
+BrassRouter::BrassRouter(Simulator* sim, const Topology* topology,
+                         const BrassAppRegistry* registry, BurstConfig burst_config,
                          MetricsRegistry* metrics)
-    : sim_(sim), topology_(topology), burst_config_(burst_config), metrics_(metrics) {
+    : sim_(sim),
+      topology_(topology),
+      registry_(registry),
+      burst_config_(burst_config),
+      metrics_(metrics) {
   assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
 }
 
@@ -18,49 +34,72 @@ void BrassRouter::RegisterHost(BrassHost* host) {
   by_id_[host->host_id()] = host;
 }
 
-void BrassRouter::SetAppPolicy(const std::string& app, BrassRoutingPolicy policy) {
-  policies_[app] = policy;
-}
-
 BrassHost* BrassRouter::FindHost(int64_t host_id) const {
   auto it = by_id_.find(host_id);
   return it == by_id_.end() ? nullptr : it->second;
 }
 
-int64_t BrassRouter::PickHost(const Value& header) {
-  StreamHeaderView view(header);
-  const std::string& app = view.app();
-  RegionId preferred = static_cast<RegionId>(view.region(-1));
+HostPick BrassRouter::PickHost(const StreamHeaderView& header) {
+  const std::string& app = header.app();
+  RegionId preferred = static_cast<RegionId>(header.region(-1));
 
-  // Candidate set: alive hosts, preferring the stream's target region.
-  std::vector<BrassHost*> candidates;
+  // Routable hosts: alive and not mid-drain (a draining host still serves
+  // its existing streams but must not receive new ones).
+  std::vector<BrassHost*> routable;
   for (BrassHost* host : hosts_) {
-    if (host->alive() && (preferred < 0 || host->region() == preferred)) {
+    if (host->alive() && !host->draining()) {
+      routable.push_back(host);
+    }
+  }
+  if (routable.empty()) {
+    return HostPick{0, false};
+  }
+
+  // Admission: prefer in-region hosts with budget headroom, then spill new
+  // streams cross-region rather than overloading the preferred region.
+  bool preferred_had_routable = false;
+  std::vector<BrassHost*> candidates;
+  for (BrassHost* host : routable) {
+    if (preferred >= 0 && host->region() != preferred) {
+      continue;
+    }
+    preferred_had_routable = true;
+    if (!AtBudget(host)) {
       candidates.push_back(host);
     }
   }
-  if (candidates.empty()) {
-    for (BrassHost* host : hosts_) {
-      if (host->alive()) {
+  bool spilled = false;
+  if (candidates.empty() && preferred >= 0) {
+    for (BrassHost* host : routable) {
+      if (host->region() != preferred && !AtBudget(host)) {
         candidates.push_back(host);
       }
     }
+    // Count budget-driven spills only; falling back because the preferred
+    // region simply has no routable host is ordinary failover.
+    spilled = !candidates.empty() && preferred_had_routable;
   }
   if (candidates.empty()) {
-    return 0;
+    metrics_->GetCounter("brass.router_saturated_rejections").Increment();
+    return HostPick{0, true};
+  }
+  if (spilled) {
+    metrics_->GetCounter("brass.router_spills").Increment();
   }
 
   BrassRoutingPolicy policy = BrassRoutingPolicy::kByLoad;
-  auto it = policies_.find(app);
-  if (it != policies_.end()) {
-    policy = it->second;
+  if (registry_ != nullptr) {
+    auto it = registry_->find(app);
+    if (it != registry_->end()) {
+      policy = it->second.descriptor.routing;
+    }
   }
   if (policy == BrassRoutingPolicy::kByTopic) {
     // Topic-based routing keeps all streams of one topic on one host,
     // curtailing the number of Pylon subscriptions (§3.2).
-    const std::string& topic = view.subscription();
+    const std::string& topic = header.subscription();
     uint64_t h = TopicHash(app + "|" + topic);
-    return candidates[h % candidates.size()]->host_id();
+    return HostPick{candidates[h % candidates.size()]->host_id(), false};
   }
   // Load-based: least streams. Stream counts only update once a subscribe
   // reaches its host, so a burst of picks in one instant would all see the
@@ -76,12 +115,14 @@ int64_t BrassRouter::PickHost(const Value& header) {
       tied.push_back(host);
     }
   }
-  return tied[round_robin_++ % tied.size()]->host_id();
+  return HostPick{tied[round_robin_++ % tied.size()]->host_id(), false};
 }
 
 bool BrassRouter::IsHostAlive(int64_t host_id) const {
+  // Draining hosts count as gone for stickiness: resubscribes must move to
+  // another host even while the draining host finishes serving.
   BrassHost* host = FindHost(host_id);
-  return host != nullptr && host->alive();
+  return host != nullptr && host->alive() && !host->draining();
 }
 
 std::shared_ptr<ConnectionEnd> BrassRouter::ConnectToHost(ReverseProxy* proxy, int64_t host_id) {

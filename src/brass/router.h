@@ -2,7 +2,11 @@
 //
 // "Proxies determine which BRASS host to route device subscription requests
 // to. This routing is based on load, topic, or a combination of both,
-// depending on application configurations." (§3.2)
+// depending on application configurations." (§3.2) Per-app policy comes
+// from the registered BrassAppDescriptor; admission budgets
+// (BrassOverloadConfig::max_streams_per_host) make the router spill new
+// streams past saturated hosts and report saturation when every host is at
+// budget (the proxy then redirects the device).
 
 #ifndef BLADERUNNER_SRC_BRASS_ROUTER_H_
 #define BLADERUNNER_SRC_BRASS_ROUTER_H_
@@ -22,31 +26,30 @@ namespace bladerunner {
 
 class BrassRouter : public BurstServerDirectory {
  public:
-  BrassRouter(Simulator* sim, const Topology* topology, BurstConfig burst_config,
-              MetricsRegistry* metrics);
+  // `registry` supplies each app's routing policy and QoS descriptor
+  // (nullptr: every app routes by load).
+  BrassRouter(Simulator* sim, const Topology* topology, const BrassAppRegistry* registry,
+              BurstConfig burst_config, MetricsRegistry* metrics);
 
   // Hosts are owned by the cluster; the router only routes.
   void RegisterHost(BrassHost* host);
-
-  // Per-application routing policy; defaults to kByLoad.
-  void SetAppPolicy(const std::string& app, BrassRoutingPolicy policy);
 
   BrassHost* FindHost(int64_t host_id) const;
   const std::vector<BrassHost*>& hosts() const { return hosts_; }
 
   // BurstServerDirectory:
-  int64_t PickHost(const Value& header) override;
+  HostPick PickHost(const StreamHeaderView& header) override;
   bool IsHostAlive(int64_t host_id) const override;
   std::shared_ptr<ConnectionEnd> ConnectToHost(ReverseProxy* proxy, int64_t host_id) override;
 
  private:
   Simulator* sim_;
   const Topology* topology_;
+  const BrassAppRegistry* registry_;
   BurstConfig burst_config_;
   MetricsRegistry* metrics_;
   std::vector<BrassHost*> hosts_;
   std::map<int64_t, BrassHost*> by_id_;
-  std::map<std::string, BrassRoutingPolicy> policies_;
   size_t round_robin_ = 0;  // tie-break rotation for load-based picks
 };
 

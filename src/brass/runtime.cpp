@@ -41,9 +41,9 @@ void BrassRuntime::CountDecision(bool delivered) {
   host_->CountDecision(app_name_, delivered);
 }
 
-void BrassRuntime::DeliverData(BrassStream& stream, Value payload, uint64_t seq,
-                               SimTime event_created_at, TraceContext parent) {
-  host_->DeliverData(app_name_, stream, std::move(payload), seq, event_created_at, parent);
+void BrassRuntime::DeliverData(BrassStream& stream, Value payload,
+                               const DeliverOptions& options) {
+  host_->DeliverData(app_name_, stream, std::move(payload), options);
 }
 
 TraceContext BrassRuntime::StartSpan(const TraceContext& parent, const std::string& name) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/brass/application.h"
+#include "src/brass/delivery_queue.h"
 #include "src/brass/fetch_pipeline.h"
 #include "src/graphql/value.h"
 #include "src/net/topology.h"
@@ -60,10 +61,11 @@ class BrassRuntime {
   void CountDecision(bool delivered);
 
   // Pushes one data payload on the stream, with accounting and the
-  // end-to-end latency sample for Fig. 9 ("created_at" comes from the
-  // update event). `parent` (when valid) nests the "burst.deliver" span.
-  void DeliverData(BrassStream& stream, Value payload, uint64_t seq, SimTime event_created_at,
-                   TraceContext parent = TraceContext());
+  // end-to-end latency sample for Fig. 9 (`options.event_created_at` comes
+  // from the update event); `options.parent` (when valid) nests the
+  // "burst.deliver" span. Under push pacing (docs/OVERLOAD.md) the delivery
+  // may be queued, conflated against `options.conflation_key`, or shed.
+  void DeliverData(BrassStream& stream, Value payload, const DeliverOptions& options);
 
   // ---- tracing ----
   // Span helpers for application-level processing spans ("brass.process").

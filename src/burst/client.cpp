@@ -204,6 +204,7 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
     switch (delta.kind) {
       case DeltaKind::kData:
         metrics_->GetCounter("burst.client_data_deltas").Increment();
+        it->second.consecutive_redirects = 0;  // stream is making progress
         // The update has reached the device: close its "burst.deliver" span
         // (opened by the BRASS host when the push left the backend).
         if (trace_ != nullptr && delta.trace.valid()) {
@@ -222,9 +223,31 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
   if (terminated) {
     if (reason == TerminateReason::kRedirect && connected()) {
       // Redirect (§3.5): re-issue the subscription using the just-rewritten
-      // header; the proxies route it to the new target.
+      // header; the proxies route it to the new target. Back-to-back
+      // redirects (admission rejection under overload) switch to delayed
+      // retries so rejected devices do not storm the proxies.
       metrics_->GetCounter("burst.client_redirects").Increment();
-      SendSubscribe(sid, it->second, /*resubscribe=*/true);
+      it->second.consecutive_redirects += 1;
+      if (it->second.consecutive_redirects <= config_.max_immediate_redirects) {
+        SendSubscribe(sid, it->second, /*resubscribe=*/true);
+      } else if (!it->second.redirect_retry_pending) {
+        it->second.redirect_retry_pending = true;
+        metrics_->GetCounter("burst.client_redirect_backoffs").Increment();
+        SimTime backoff = static_cast<SimTime>(
+            sim_->rng().Uniform(static_cast<double>(config_.reconnect_backoff_min),
+                                static_cast<double>(config_.reconnect_backoff_max)));
+        sim_->Schedule(backoff, [this, sid]() {
+          auto retry = streams_.find(sid);
+          if (retry == streams_.end()) {
+            return;  // cancelled while backing off
+          }
+          retry->second.redirect_retry_pending = false;
+          if (connected()) {
+            SendSubscribe(sid, retry->second, /*resubscribe=*/true);
+          }
+          // Not connected: ResubscribeAll() covers the stream on reconnect.
+        });
+      }
     } else {
       observer_->OnStreamTerminated(sid, reason, term_detail);
       streams_.erase(it);

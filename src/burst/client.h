@@ -102,6 +102,12 @@ class BurstClient : public ConnectionHandler {
     Value header;
     std::string body;
     bool subscribed_on_current_conn = false;
+    // Redirect storm protection: after max_immediate_redirects back-to-back
+    // redirects (no data in between), further retries are delayed by the
+    // reconnect backoff — an admission-rejected device must not hammer the
+    // proxies with instant resubscribes.
+    int consecutive_redirects = 0;
+    bool redirect_retry_pending = false;
   };
 
   // Sends a client-originated frame, paying the radio-promotion delay if

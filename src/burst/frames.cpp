@@ -83,6 +83,10 @@ const char* ToString(FlowStatus status) {
       return "degraded";
     case FlowStatus::kRecovered:
       return "recovered";
+    case FlowStatus::kDegradeToPoll:
+      return "degrade_to_poll";
+    case FlowStatus::kResumeStream:
+      return "resume_stream";
   }
   return "unknown";
 }

@@ -111,8 +111,10 @@ enum class DeltaKind {
 };
 
 enum class FlowStatus {
-  kDegraded,   // a failure affecting this stream was detected
-  kRecovered,  // the stream has been repaired / re-established
+  kDegraded,       // a failure affecting this stream was detected
+  kRecovered,      // the stream has been repaired / re-established
+  kDegradeToPoll,  // overload: device should fall back to the polling baseline
+  kResumeStream,   // overload subsided: device should resume streaming
 };
 
 enum class TerminateReason {

@@ -69,14 +69,15 @@ ReverseProxy::HostConn* ReverseProxy::EnsureHostConn(int64_t host_id) {
   return &ins->second;
 }
 
-int64_t ReverseProxy::RouteHost(const Value& header) const {
+HostPick ReverseProxy::RouteHost(const Value& header) const {
   // Sticky routing first (§3.5): a BRASS-rewritten header names the host
   // that previously serviced the stream; honor it while the host lives.
-  int64_t sticky = StreamHeaderView(header).brass_host();
+  StreamHeaderView view(header);
+  int64_t sticky = view.brass_host();
   if (sticky != 0 && directory_->IsHostAlive(sticky)) {
-    return sticky;
+    return HostPick{sticky, false};
   }
-  return directory_->PickHost(header);
+  return directory_->PickHost(view);
 }
 
 void ReverseProxy::OnMessage(ConnectionEnd& on, MessagePtr message) {
@@ -105,7 +106,8 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
     state.header = subscribe->header;
     state.body = subscribe->body;
     state.pop_conn = conn_id;
-    state.host_id = RouteHost(subscribe->header);
+    HostPick pick = RouteHost(subscribe->header);
+    state.host_id = pick.host_id;
     // A subscribe for a key already tracked (device reconnect through a
     // different POP connection, or a re-route to another host) replaces the
     // stream state below; detach the old route's bookkeeping first, or the
@@ -130,7 +132,15 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
     auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
     (void)inserted;
     if (it->second.host_id == 0) {
-      TerminateDownstream(subscribe->key, TerminateReason::kError, "no BRASS host available");
+      if (pick.saturated) {
+        // Admission rejection (§3.2 budgets): every alive host is at its
+        // stream budget. Redirect instead of erroring — the device retries
+        // with backoff and is admitted once capacity frees up.
+        metrics_->GetCounter("burst.proxy_admission_redirects").Increment();
+        RedirectDownstream(subscribe->key, "all BRASS hosts saturated");
+      } else {
+        TerminateDownstream(subscribe->key, TerminateReason::kError, "no BRASS host available");
+      }
       RemoveStream(subscribe->key);
       return;
     }
@@ -219,6 +229,26 @@ void ReverseProxy::ForwardSubscribeToHost(const StreamKey& key, StreamState& sta
   subscribe->body = state.body;
   subscribe->resubscribe = resubscribe;
   host->end->Send(subscribe);
+}
+
+void ReverseProxy::RedirectDownstream(const StreamKey& key, const std::string& detail) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return;
+  }
+  auto pop = pop_conns_.find(it->second.pop_conn);
+  if (pop == pop_conns_.end()) {
+    return;
+  }
+  // rewrite_request + redirect: clear the sticky host so the retry goes
+  // back through router admission instead of pinning a saturated host.
+  StreamHeader rewritten(it->second.header);
+  rewritten.set_brass_host(0);
+  auto response = std::make_shared<ResponseFrame>();
+  response->key = key;
+  response->batch.push_back(Delta::Rewrite(std::move(rewritten).Take()));
+  response->batch.push_back(Delta::Terminate(TerminateReason::kRedirect, detail));
+  pop->second.end->Send(response);
 }
 
 void ReverseProxy::TerminateDownstream(const StreamKey& key, TerminateReason reason,
@@ -329,13 +359,18 @@ void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
     }
     // Repair: re-route. The stored header may still name the dead host for
     // stickiness; RouteHost overrides stickiness for dead hosts.
-    int64_t new_host = RouteHost(it->second.header);
-    if (new_host == 0 || new_host == dead_host) {
-      TerminateDownstream(key, TerminateReason::kError, "no alternate BRASS host");
+    HostPick repair = RouteHost(it->second.header);
+    if (repair.host_id == 0 || repair.host_id == dead_host) {
+      if (repair.saturated) {
+        metrics_->GetCounter("burst.proxy_admission_redirects").Increment();
+        RedirectDownstream(key, "no BRASS host with admission capacity");
+      } else {
+        TerminateDownstream(key, TerminateReason::kError, "no alternate BRASS host");
+      }
       RemoveStream(key);
       continue;
     }
-    it->second.host_id = new_host;
+    it->second.host_id = repair.host_id;
     metrics_->GetCounter("burst.proxy_induced_reconnects").Increment();
     ForwardSubscribeToHost(key, it->second, /*resubscribe=*/true);
   }

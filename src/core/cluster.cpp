@@ -35,10 +35,28 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
       sim_(config_.seed),
       trace_(ResolveTraceConfig(config_.trace, config_.seed)) {
   app_registry_ = BuildStandardAppRegistry(config_.apps);
+  // Per-cluster routing overrides land in the app descriptors; the router
+  // reads policy from the registry it shares with every host.
+  for (const auto& [app, policy] : config_.routing_policies) {
+    auto it = app_registry_.find(app);
+    if (it != app_registry_.end()) {
+      it->second.descriptor.routing = policy;
+    }
+  }
 
   tao_ = std::make_unique<TaoStore>(&sim_, &topology_, config_.tao, &metrics_);
   if (config_.enable_pylon) {
     pylon_ = std::make_unique<PylonCluster>(&sim_, &topology_, config_.pylon, &metrics_, &trace_);
+    // Publish-side priority classes come from the same app descriptors the
+    // BRASS side registers; keyed by the apps' topic prefixes.
+    std::map<std::string, BrassPriorityClass> priorities;
+    for (const auto& [name, registration] : app_registry_) {
+      priorities[registration.descriptor.topic_prefix] = registration.descriptor.priority_class;
+    }
+    pylon_->SetPriorityResolver([priorities](const std::string& prefix) {
+      auto it = priorities.find(prefix);
+      return it != priorities.end() ? it->second : BrassPriorityClass::kNormal;
+    });
   }
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     auto was = std::make_unique<WebAppServer>(&sim_, r, tao_.get(), pylon_.get(), config_.was,
@@ -47,10 +65,8 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
     wases_.push_back(std::move(was));
   }
 
-  router_ = std::make_unique<BrassRouter>(&sim_, &topology_, config_.burst, &metrics_);
-  for (const auto& [app, policy] : config_.routing_policies) {
-    router_->SetAppPolicy(app, policy);
-  }
+  router_ = std::make_unique<BrassRouter>(&sim_, &topology_, &app_registry_, config_.burst,
+                                          &metrics_);
   int64_t next_host_id = 1;
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.brass_hosts_per_region; ++i) {

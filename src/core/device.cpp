@@ -13,6 +13,17 @@ namespace {
 // distinct synthetic ids.
 int64_t DeviceIdFor(UserId user) { return user; }
 
+// The degraded-mode poll mirrors the polling baseline's query shape
+// (src/baseline/polling.cpp), so degrade-to-poll really is "fall back to
+// the baseline" rather than a bespoke protocol.
+constexpr size_t kFallbackPollPageSize = 25;
+
+std::string FallbackPollQuery(ObjectId video, SimTime after) {
+  return "query { comments(video: " + std::to_string(video) + ", after: " +
+         std::to_string(after) + ", first: " + std::to_string(kFallbackPollPageSize) +
+         ") { id text author time indexTime suppressed } }";
+}
+
 }  // namespace
 
 DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId region,
@@ -42,6 +53,11 @@ DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId regi
 DeviceAgent::~DeviceAgent() {
   StopHeartbeat();
   StopConnectivityChurn();
+  for (auto& [sid, poller] : fallback_pollers_) {
+    if (poller.timer != kInvalidTimerId) {
+      cluster_->sim().Cancel(poller.timer);
+    }
+  }
 }
 
 void DeviceAgent::Query(const std::string& text, std::function<void(bool, Value)> callback) {
@@ -103,8 +119,10 @@ void DeviceAgent::StartSubscribeTrace(Value* header) {
 }
 
 uint64_t DeviceAgent::SubscribeLvc(ObjectId video) {
-  return SubscribeRaw("LVC", "subscription { liveVideoComments(videoId: " +
-                                 std::to_string(video) + ") { id text author } }");
+  uint64_t sid = SubscribeRaw("LVC", "subscription { liveVideoComments(videoId: " +
+                                         std::to_string(video) + ") { id text author } }");
+  lvc_videos_[sid] = video;  // the poll fallback needs the video id
+  return sid;
 }
 
 uint64_t DeviceAgent::SubscribeActiveStatus() {
@@ -246,20 +264,108 @@ void DeviceAgent::OnStreamData(uint64_t sid, const Value& payload, uint64_t seq)
 }
 
 void DeviceAgent::OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std::string& detail) {
-  (void)sid;
   (void)detail;
-  if (status == FlowStatus::kDegraded) {
-    flow_degraded_count_ += 1;
-  } else {
-    flow_recovered_count_ += 1;
+  switch (status) {
+    case FlowStatus::kDegraded:
+      flow_degraded_count_ += 1;
+      break;
+    case FlowStatus::kDegradeToPoll:
+      degrade_to_poll_signals_ += 1;
+      cluster_->metrics().GetCounter("device.degrade_to_poll_signals").Increment();
+      StartFallbackPolling(sid);
+      break;
+    case FlowStatus::kResumeStream:
+      resume_stream_signals_ += 1;
+      cluster_->metrics().GetCounter("device.resume_stream_signals").Increment();
+      StopFallbackPolling(sid);
+      break;
+    case FlowStatus::kRecovered:
+      flow_recovered_count_ += 1;
+      break;
   }
+}
+
+void DeviceAgent::StartFallbackPolling(uint64_t sid) {
+  auto video_it = lvc_videos_.find(sid);
+  if (video_it == lvc_videos_.end()) {
+    // Only LVC subscriptions have a polling baseline to fall back to; for
+    // anything else the degrade signal is advisory.
+    return;
+  }
+  if (fallback_pollers_.count(sid) > 0) {
+    return;
+  }
+  FallbackPoller poller;
+  poller.video = video_it->second;
+  // Start the watermark one interval back: the BRASS cleared its queue when
+  // it degraded, so the comments most recently shed are re-discovered by
+  // the first poll instead of lost.
+  SimTime now = cluster_->sim().Now();
+  poller.watermark = now > fallback_poll_interval_ ? now - fallback_poll_interval_ : 0;
+  fallback_pollers_[sid] = std::move(poller);
+  cluster_->metrics().GetCounter("device.fallback_pollers_started").Increment();
+  FallbackPollOnce(sid);
+}
+
+void DeviceAgent::StopFallbackPolling(uint64_t sid) {
+  auto it = fallback_pollers_.find(sid);
+  if (it == fallback_pollers_.end()) {
+    return;
+  }
+  if (it->second.timer != kInvalidTimerId) {
+    cluster_->sim().Cancel(it->second.timer);
+  }
+  fallback_pollers_.erase(it);
+}
+
+void DeviceAgent::FallbackPollOnce(uint64_t sid) {
+  auto it = fallback_pollers_.find(sid);
+  if (it == fallback_pollers_.end()) {
+    return;
+  }
+  it->second.timer = kInvalidTimerId;
+  fallback_polls_ += 1;
+  cluster_->metrics().GetCounter("device.fallback_polls").Increment();
+  Query(FallbackPollQuery(it->second.video, it->second.watermark),
+        [this, sid](bool ok, Value data) {
+          // Like the polling baseline, use whatever data came back even when
+          // the response carries per-field errors (suppressed entries are
+          // tombstones missing most selected fields).
+          (void)ok;
+          auto it2 = fallback_pollers_.find(sid);
+          if (it2 == fallback_pollers_.end()) {
+            return;  // resumed (or terminated) while the poll was in flight
+          }
+          FallbackPoller& poller = it2->second;
+          size_t page_size = 0;
+          for (const Value& comment : data.Get("comments").AsList()) {
+            ++page_size;
+            SimTime index_time = comment.Get("indexTime").AsInt(0);
+            if (index_time > poller.watermark) {
+              poller.watermark = index_time;
+            }
+            if (comment.Get("suppressed").AsBool(false)) {
+              continue;
+            }
+            ObjectId id = comment.Get("id").AsInt(0);
+            if (id == 0 || !poller.seen.insert(id).second) {
+              continue;
+            }
+            fallback_comments_ += 1;
+            cluster_->metrics().GetCounter("device.fallback_comments").Increment();
+          }
+          // A full page means a backlog remains; page again immediately.
+          SimTime delay = page_size >= kFallbackPollPageSize ? 0 : fallback_poll_interval_;
+          poller.timer = cluster_->sim().Schedule(delay, [this, sid]() { FallbackPollOnce(sid); });
+        });
 }
 
 void DeviceAgent::OnStreamTerminated(uint64_t sid, TerminateReason reason,
                                      const std::string& detail) {
-  (void)sid;
   (void)reason;
   (void)detail;
+  StopFallbackPolling(sid);
+  lvc_videos_.erase(sid);
   cluster_->metrics().GetCounter("device.streams_terminated").Increment();
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/burst/client.h"
@@ -69,6 +70,17 @@ class DeviceAgent : public BurstClient::Observer {
   uint64_t flow_degraded_count() const { return flow_degraded_count_; }
   uint64_t flow_recovered_count() const { return flow_recovered_count_; }
 
+  // ---- degrade-to-poll fallback ----
+  // When a BRASS degrades an LVC stream to polling (flow status
+  // "degrade_to_poll"), the device falls back to the polling baseline's
+  // query loop for that stream's video until "resume_stream" arrives.
+  uint64_t degrade_to_poll_signals() const { return degrade_to_poll_signals_; }
+  uint64_t resume_stream_signals() const { return resume_stream_signals_; }
+  uint64_t fallback_polls() const { return fallback_polls_; }
+  uint64_t fallback_comments() const { return fallback_comments_; }
+  size_t active_fallback_pollers() const { return fallback_pollers_.size(); }
+  void set_fallback_poll_interval(SimTime interval) { fallback_poll_interval_ = interval; }
+
   // Optional hook invoked on every data payload (after accounting).
   using PayloadHook = std::function<void(uint64_t sid, const Value& payload)>;
   void set_payload_hook(PayloadHook hook) { payload_hook_ = std::move(hook); }
@@ -80,6 +92,20 @@ class DeviceAgent : public BurstClient::Observer {
                           const std::string& detail) override;
 
  private:
+  // Per-stream state of the degraded-mode polling loop: the same
+  // watermark/seen-set bookkeeping as the polling baseline, driven over the
+  // device's WAS channel.
+  struct FallbackPoller {
+    ObjectId video = 0;
+    SimTime watermark = 0;
+    std::set<ObjectId> seen;
+    TimerId timer = kInvalidTimerId;
+  };
+
+  void StartFallbackPolling(uint64_t sid);
+  void StopFallbackPolling(uint64_t sid);
+  void FallbackPollOnce(uint64_t sid);
+
   void ScheduleNextDrop();
   void ScheduleNextHeartbeat();
   // Roots a "subscribe" trace at the device and writes its context into the
@@ -105,6 +131,14 @@ class DeviceAgent : public BurstClient::Observer {
   uint64_t flow_degraded_count_ = 0;
   uint64_t flow_recovered_count_ = 0;
   PayloadHook payload_hook_;
+
+  std::map<uint64_t, ObjectId> lvc_videos_;  // sid -> subscribed video
+  std::map<uint64_t, FallbackPoller> fallback_pollers_;
+  SimTime fallback_poll_interval_ = Seconds(2);
+  uint64_t degrade_to_poll_signals_ = 0;
+  uint64_t resume_stream_signals_ = 0;
+  uint64_t fallback_polls_ = 0;
+  uint64_t fallback_comments_ = 0;
 };
 
 }  // namespace bladerunner

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/pylon/cluster.h"
@@ -86,8 +87,11 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
 
   const double send_us = config.per_subscriber_send_us;
   const double pipeline_ms = config.fanout_pipeline_ms;
+  const size_t pending_cap = config.max_pending_fanout_sends;
+  const BrassPriorityClass incoming = cluster_->PriorityForTopic(event->topic);
   auto forward_new = [this, event, metrics, state, received_at, send_us, pipeline_ms,
-                      tracer, publish_span](const std::vector<int64_t>& subscribers) {
+                      pending_cap, incoming, tracer,
+                      publish_span](const std::vector<int64_t>& subscribers) {
     // The fanout batch size informs the Table 3 small/large latency split;
     // carried on each delivery so receivers can bucket their measurements.
     std::vector<int64_t> fresh;
@@ -100,6 +104,15 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
       RpcChannel* channel = cluster_->ChannelToHost(region_, host);
       if (channel == nullptr) {
         metrics->GetCounter("pylon.fanout_dead_hosts").Increment();
+        continue;
+      }
+      if (pending_cap > 0 && pending_sends_.size() >= pending_cap &&
+          !ShedLowerPriority(incoming)) {
+        // Every queued send outranks this event: shed it on arrival, before
+        // any serialization cost is drawn — an under-bound run therefore
+        // consumes the RNG in exactly the unbounded order.
+        metrics->GetCounter("pylon.fanout_shed").Increment();
+        metrics->GetCounter(std::string("pylon.fanout_shed.") + ToString(incoming)).Increment();
         continue;
       }
       auto delivery = std::make_shared<BrassEventDelivery>();
@@ -127,7 +140,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
       // the cached channel — a stale pointer here would be use-after-free.
       PylonCluster* cluster = cluster_;
       RegionId region = region_;
-      sim_->Schedule(send_cost, [cluster, region, host, delivery]() {
+      auto do_send = [cluster, region, host, delivery]() {
         RpcChannel* live_channel = cluster->ChannelToHost(region, host);
         if (live_channel == nullptr) {
           return;  // host gone: the delivery is simply lost (§4)
@@ -135,7 +148,23 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         live_channel->Call("brass.event", delivery, [](RpcStatus, MessagePtr) {
           // Best-effort: a failed delivery is simply lost (§4).
         });
-      });
+      };
+      if (pending_cap > 0) {
+        // Bounded pipeline: the send is tracked until it fires so a later
+        // higher-priority publish can shed it. The wrapper only does
+        // bookkeeping — fire time and send behavior are unchanged.
+        uint64_t send_id = next_send_id_++;
+        TimerId timer = sim_->Schedule(send_cost, [this, send_id, do_send]() {
+          pending_sends_.erase(send_id);
+          do_send();
+        });
+        pending_sends_[send_id] = PendingSend{timer, incoming};
+        pending_by_class_[static_cast<size_t>(incoming)].push_back(send_id);
+        metrics->GetHistogram("pylon.fanout_pending_depth")
+            .Record(static_cast<double>(pending_sends_.size()));
+      } else {
+        sim_->Schedule(send_cost, do_send);
+      }
       metrics->GetCounter("pylon.fanout_sends").Increment();
       metrics->GetHistogram("pylon.fanout_send_delay_us")
           .Record(static_cast<double>(pylon_delay));
@@ -223,6 +252,30 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
           cluster_->config().kv_timeout);
     });
   }
+}
+
+bool PylonServer::ShedLowerPriority(BrassPriorityClass incoming) {
+  MetricsRegistry* metrics = cluster_->metrics();
+  for (int cls = static_cast<int>(BrassPriorityClass::kLow);
+       cls >= static_cast<int>(incoming); --cls) {
+    auto& fifo = pending_by_class_[static_cast<size_t>(cls)];
+    while (!fifo.empty()) {
+      uint64_t id = fifo.front();
+      fifo.pop_front();
+      auto it = pending_sends_.find(id);
+      if (it == pending_sends_.end()) {
+        continue;  // already fired; lazily dropped
+      }
+      sim_->Cancel(it->second.timer);
+      pending_sends_.erase(it);
+      metrics->GetCounter("pylon.fanout_shed").Increment();
+      metrics->GetCounter(std::string("pylon.fanout_shed.") +
+                          ToString(static_cast<BrassPriorityClass>(cls)))
+          .Increment();
+      return true;
+    }
+  }
+  return false;
 }
 
 void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond) {

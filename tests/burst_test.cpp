@@ -84,7 +84,7 @@ class FakeDirectory : public BurstServerDirectory {
 
   void AddHost(int64_t id, BurstServer* server) { hosts_[id] = server; }
 
-  int64_t PickHost(const Value& header) override {
+  HostPick PickHost(const StreamHeaderView& header) override {
     (void)header;
     size_t min_load = SIZE_MAX;
     for (auto& [id, server] : hosts_) {
@@ -99,9 +99,9 @@ class FakeDirectory : public BurstServerDirectory {
       }
     }
     if (tied.empty()) {
-      return 0;
+      return HostPick{};
     }
-    return tied[round_robin_++ % tied.size()];
+    return HostPick{tied[round_robin_++ % tied.size()], false};
   }
   bool IsHostAlive(int64_t host_id) const override {
     auto it = hosts_.find(host_id);

@@ -1,0 +1,437 @@
+// Overload-control tests: bounded conflating delivery queues, host admission
+// budgets with router spill/reject, drain-aware routing, degrade-to-poll
+// fallback under a hot-topic spike, and Pylon publish-side backpressure with
+// priority classes (docs/OVERLOAD.md).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/brass/delivery_queue.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/net/rpc.h"
+#include "src/pylon/cluster.h"
+#include "src/pylon/messages.h"
+#include "src/pylon/topic.h"
+#include "src/sim/simulator.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+// ---- ConflatingDeliveryQueue unit tests ----
+
+Value Payload(const std::string& tag) {
+  Value v;
+  v.Set("tag", tag);
+  return v;
+}
+
+DeliverOptions Keyed(const std::string& key, uint64_t version) {
+  DeliverOptions options;
+  options.conflation_key = key;
+  options.version = version;
+  return options;
+}
+
+TEST(DeliveryQueueTest, ConflatesNewestVersionWins) {
+  ConflatingDeliveryQueue queue;
+  EXPECT_EQ(queue.Offer(Payload("v1"), Keyed("comment:7", 1), true, 8).outcome,
+            ConflatingDeliveryQueue::Outcome::kQueued);
+  EXPECT_EQ(queue.Offer(Payload("v3"), Keyed("comment:7", 3), true, 8).outcome,
+            ConflatingDeliveryQueue::Outcome::kConflated);
+  // An out-of-order older version still conflates but must not clobber the
+  // newer pending payload.
+  EXPECT_EQ(queue.Offer(Payload("v2"), Keyed("comment:7", 2), true, 8).outcome,
+            ConflatingDeliveryQueue::Outcome::kConflated);
+  ASSERT_EQ(queue.size(), 1u);
+  PendingDelivery front = queue.PopFront();
+  EXPECT_EQ(front.payload.Get("tag").AsString(), "v3");
+  EXPECT_EQ(front.options.version, 3u);
+}
+
+TEST(DeliveryQueueTest, ConflatedEntryKeepsQueuePosition) {
+  ConflatingDeliveryQueue queue;
+  queue.Offer(Payload("a1"), Keyed("a", 1), true, 8);
+  queue.Offer(Payload("b1"), Keyed("b", 1), true, 8);
+  queue.Offer(Payload("a2"), Keyed("a", 2), true, 8);
+  ASSERT_EQ(queue.size(), 2u);
+  // "a" was offered first, so its (updated) entry still drains first.
+  EXPECT_EQ(queue.PopFront().payload.Get("tag").AsString(), "a2");
+  EXPECT_EQ(queue.PopFront().payload.Get("tag").AsString(), "b1");
+}
+
+TEST(DeliveryQueueTest, EmptyKeyAndNonConflatableAppsNeverConflate) {
+  ConflatingDeliveryQueue queue;
+  queue.Offer(Payload("x"), DeliverOptions{}, true, 8);
+  queue.Offer(Payload("y"), DeliverOptions{}, true, 8);
+  EXPECT_EQ(queue.size(), 2u);
+  // Same key, but the app's descriptor is not conflatable.
+  EXPECT_EQ(queue.Offer(Payload("k1"), Keyed("k", 1), false, 8).outcome,
+            ConflatingDeliveryQueue::Outcome::kQueued);
+  EXPECT_EQ(queue.Offer(Payload("k2"), Keyed("k", 2), false, 8).outcome,
+            ConflatingDeliveryQueue::Outcome::kQueued);
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(DeliveryQueueTest, ShedsOldestAtBound) {
+  ConflatingDeliveryQueue queue;
+  queue.Offer(Payload("one"), Keyed("k1", 1), true, 2);
+  queue.Offer(Payload("two"), Keyed("k2", 1), true, 2);
+  auto result = queue.Offer(Payload("three"), Keyed("k3", 1), true, 2);
+  EXPECT_EQ(result.outcome, ConflatingDeliveryQueue::Outcome::kShed);
+  EXPECT_EQ(result.shed.payload.Get("tag").AsString(), "one");
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.PopFront().payload.Get("tag").AsString(), "two");
+  EXPECT_EQ(queue.PopFront().payload.Get("tag").AsString(), "three");
+}
+
+// ---- cluster-level overload tests ----
+
+struct TestCluster {
+  std::unique_ptr<BladerunnerCluster> cluster;
+  SocialGraph graph;
+};
+
+TestCluster MakeCluster(ClusterConfig config, Topology topology) {
+  TestCluster out;
+  out.cluster = std::make_unique<BladerunnerCluster>(std::move(config), std::move(topology));
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 20;
+  graph_config.num_videos = 2;
+  graph_config.num_threads = 4;
+  out.graph =
+      GenerateSocialGraph(out.cluster->tao(), out.cluster->sim().rng(), graph_config);
+  out.cluster->sim().RunFor(Seconds(2));  // let setup writes replicate
+  return out;
+}
+
+std::unique_ptr<DeviceAgent> MakeDevice(TestCluster& tc, size_t user_index,
+                                        RegionId region = 0) {
+  return std::make_unique<DeviceAgent>(tc.cluster.get(), tc.graph.users[user_index], region,
+                                       DeviceProfile::kWifi);
+}
+
+// Rapid typing toggles on one (thread, typist) key conflate down to a few
+// paced pushes, and the stream ends on the latest typing state.
+TEST(OverloadClusterTest, TypingTogglesConflateToLatestState) {
+  ClusterConfig config;
+  config.seed = 1234;
+  config.apps.typing.backend_check = false;
+  config.brass.overload.min_push_gap = Millis(500);
+  TestCluster tc = MakeCluster(std::move(config), Topology::OneRegion());
+
+  ObjectId thread = tc.graph.threads[0];
+  const auto& members = tc.graph.thread_members[thread];
+  ASSERT_GE(members.size(), 2u);
+  auto watcher =
+      std::make_unique<DeviceAgent>(tc.cluster.get(), members[0], 0, DeviceProfile::kWifi);
+  auto typist =
+      std::make_unique<DeviceAgent>(tc.cluster.get(), members[1], 0, DeviceProfile::kWifi);
+
+  std::vector<Value> received;
+  watcher->set_payload_hook([&](uint64_t, const Value& payload) {
+    if (payload.Get("__type").AsString() == "TypingIndicator") {
+      received.push_back(payload);
+    }
+  });
+  watcher->SubscribeTyping(thread);
+  tc.cluster->sim().RunFor(Seconds(3));
+
+  const int kToggles = 10;
+  for (int i = 0; i < kToggles; ++i) {
+    typist->SetTyping(thread, i % 2 == 0);  // last toggle (i=9) is "false"
+    tc.cluster->sim().RunFor(Millis(100));
+  }
+  tc.cluster->sim().RunFor(Seconds(5));
+
+  ASSERT_GE(received.size(), 1u);
+  // Pacing + conflation: strictly fewer pushes than toggles, with at least
+  // one coalesced update.
+  EXPECT_LT(received.size(), static_cast<size_t>(kToggles));
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.conflated.TI").value(), 1);
+  // Newest-version-wins: pushed states are ordered by event creation time,
+  // and the stream ends on the final typing state.
+  for (size_t i = 1; i < received.size(); ++i) {
+    EXPECT_GE(received[i].Get("_createdAt").AsInt(0),
+              received[i - 1].Get("_createdAt").AsInt(0));
+  }
+  EXPECT_FALSE(received.back().Get("typing").AsBool(true));
+}
+
+// The router must not place new streams on a host that is mid-drain, while
+// the draining host keeps serving its existing streams for the grace period.
+TEST(OverloadClusterTest, RouterSkipsDrainingHost) {
+  ClusterConfig config;
+  config.seed = 77;
+  config.brass_hosts_per_region = 2;
+  TestCluster tc = MakeCluster(std::move(config), Topology::OneRegion());
+
+  auto first = MakeDevice(tc, 0);
+  first->SubscribeLvc(tc.graph.videos[0]);
+  tc.cluster->sim().RunFor(Seconds(3));
+
+  size_t draining_index = tc.cluster->brass_host(0).StreamCount() > 0 ? 0 : 1;
+  BrassHost& draining = tc.cluster->brass_host(draining_index);
+  BrassHost& other = tc.cluster->brass_host(1 - draining_index);
+  ASSERT_EQ(draining.StreamCount(), 1u);
+
+  draining.StartDrain(Seconds(5));
+  auto second = MakeDevice(tc, 1);
+  second->SubscribeLvc(tc.graph.videos[0]);
+  tc.cluster->sim().RunFor(Seconds(3));
+
+  // During the grace period: the new stream landed on the healthy host and
+  // the draining host still serves its existing stream.
+  EXPECT_TRUE(draining.draining());
+  EXPECT_TRUE(draining.alive());
+  EXPECT_EQ(draining.StreamCount(), 1u);
+  EXPECT_EQ(other.StreamCount(), 1u);
+
+  tc.cluster->sim().RunFor(Seconds(10));  // grace expires; client repairs
+  EXPECT_EQ(draining.StreamCount(), 0u);
+  EXPECT_EQ(other.StreamCount(), 2u);
+}
+
+// With every host at its stream budget the router first spills across
+// regions, then rejects; rejected devices retry and are admitted once a
+// slot frees.
+TEST(OverloadClusterTest, AdmissionSpillsThenRejectsThenRecovers) {
+  ClusterConfig config;
+  config.seed = 99;
+  config.brass_hosts_per_region = 1;
+  config.brass.overload.max_streams_per_host = 1;
+  TestCluster tc = MakeCluster(std::move(config), Topology::ThreeRegions());
+  ASSERT_EQ(tc.cluster->NumBrassHosts(), 3u);
+
+  auto total_streams = [&] {
+    size_t total = 0;
+    for (size_t i = 0; i < tc.cluster->NumBrassHosts(); ++i) {
+      total += tc.cluster->brass_host(i).StreamCount();
+    }
+    return total;
+  };
+
+  // All devices live in region 0, so the 2nd and 3rd stream must spill out
+  // of the preferred region to stay under the per-host budget.
+  std::vector<std::unique_ptr<DeviceAgent>> devices;
+  std::vector<uint64_t> sids;
+  for (size_t i = 0; i < 3; ++i) {
+    devices.push_back(MakeDevice(tc, i, /*region=*/0));
+    sids.push_back(devices.back()->SubscribeLvc(tc.graph.videos[0]));
+    tc.cluster->sim().RunFor(Seconds(1));
+  }
+  tc.cluster->sim().RunFor(Seconds(3));
+  EXPECT_EQ(total_streams(), 3u);
+  for (size_t i = 0; i < tc.cluster->NumBrassHosts(); ++i) {
+    EXPECT_LE(tc.cluster->brass_host(i).StreamCount(), 1u);
+  }
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.router_spills").value(), 1);
+
+  // A 4th subscription finds every host saturated: redirect-rejected at the
+  // proxy, and the device keeps retrying on backoff without being admitted.
+  devices.push_back(MakeDevice(tc, 3, /*region=*/0));
+  devices.back()->SubscribeLvc(tc.graph.videos[0]);
+  tc.cluster->sim().RunFor(Seconds(5));
+  EXPECT_EQ(total_streams(), 3u);
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.router_saturated_rejections").value(), 1);
+  EXPECT_GE(tc.cluster->metrics().GetCounter("burst.proxy_admission_redirects").value(), 1);
+
+  // Freeing one slot lets the rejected device in on its next retry.
+  devices[0]->CancelStream(sids[0]);
+  tc.cluster->sim().RunFor(Seconds(12));  // cancel + redirect backoff (<= 3 s)
+  EXPECT_EQ(total_streams(), 3u);
+}
+
+// A 10x hot-topic spike on one LVC stream: the bounded queue sheds, the
+// stream degrades to polling (device falls back to the query loop), and
+// once the spike subsides the stream resumes.
+TEST(OverloadClusterTest, HotTopicSpikeDegradesToPollAndRecovers) {
+  ClusterConfig config;
+  config.seed = 4242;
+  config.brass_hosts_per_region = 1;
+  config.apps.lvc.filter_at_brass = false;  // firehose: every comment pushes
+  config.brass.overload.min_push_gap = Millis(500);
+  config.brass.overload.max_pending_per_stream = 4;
+  config.brass.overload.degrade_min_sheds = 4;
+  config.brass.overload.degrade_shed_fraction = 0.25;
+  config.brass.overload.shed_window = Seconds(2);
+  config.brass.overload.recover_check_interval = Seconds(2);
+  TestCluster tc = MakeCluster(std::move(config), Topology::OneRegion());
+
+  auto viewer = MakeDevice(tc, 0);
+  auto poster = MakeDevice(tc, 1);
+  viewer->set_fallback_poll_interval(Millis(500));
+  ObjectId video = tc.graph.videos[0];
+  viewer->SubscribeLvc(video);
+  tc.cluster->sim().RunFor(Seconds(3));
+
+  // Spike: 80 distinct comments in 4 s — an order of magnitude over the
+  // 2/s push budget, and distinct conflation keys so the queue must shed.
+  // (Comments index ~1.8 s after posting, so the spike must outlast the
+  // ranking delay for fallback polls to observe indexed comments.)
+  for (int i = 0; i < 80; ++i) {
+    poster->PostComment(video, "spike comment", tc.graph.language[poster->user()]);
+    tc.cluster->sim().RunFor(Millis(50));
+  }
+
+  // Mid-spike: the queue bound held, sheds happened, and the stream
+  // degraded; the device switched to the polling fallback and is seeing
+  // comments through it.
+  EXPECT_LE(tc.cluster->metrics().GetHistogram("brass.delivery_queue_depth").max(), 4.0);
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.shed.LVC").value(), 1);
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.degrade_signals").value(), 1);
+  EXPECT_GE(viewer->degrade_to_poll_signals(), 1u);
+  EXPECT_EQ(viewer->active_fallback_pollers(), 1u);
+  EXPECT_GE(viewer->fallback_polls(), 1u);
+  EXPECT_GE(viewer->fallback_comments(), 1u);
+
+  // Spike over: offered load subsides, the host signals resume, and the
+  // device stops polling.
+  tc.cluster->sim().RunFor(Seconds(10));
+  EXPECT_GE(tc.cluster->metrics().GetCounter("brass.recover_signals").value(), 1);
+  EXPECT_GE(viewer->resume_stream_signals(), 1u);
+  EXPECT_EQ(viewer->active_fallback_pollers(), 0u);
+}
+
+// ---- Pylon publish-side backpressure ----
+
+// Drives a PylonCluster directly with fake subscriber hosts (pylon_test.cpp
+// idiom) so the pending-send pipeline can be saturated deterministically.
+class PylonBackpressureTest : public ::testing::Test {
+ protected:
+  PylonBackpressureTest() : topology_(Topology::ThreeRegions()), sim_(11) {
+    PylonConfig config;
+    config.servers_per_region = 2;
+    config.kv_nodes_per_region = 2;
+    config.max_pending_fanout_sends = 4;
+    cluster_ = std::make_unique<PylonCluster>(&sim_, &topology_, config, &metrics_, &trace_);
+    cluster_->SetPriorityResolver([](const std::string& prefix) {
+      if (prefix == "Mailbox") {
+        return BrassPriorityClass::kHigh;
+      }
+      if (prefix == "TI") {
+        return BrassPriorityClass::kLow;
+      }
+      return BrassPriorityClass::kNormal;
+    });
+  }
+
+  // Registers a fake BRASS host that records which topics reach it.
+  void AddHost(int64_t host_id) {
+    auto host = std::make_unique<FakeHost>();
+    host->rpc.RegisterMethod("brass.event",
+                             [raw = host.get()](MessagePtr request, RpcServer::Respond respond) {
+                               auto delivery = std::static_pointer_cast<BrassEventDelivery>(request);
+                               raw->received.push_back(delivery->event->topic);
+                               respond(std::make_shared<PylonAck>());
+                             });
+    cluster_->RegisterSubscriberHost(host_id, 0, &host->rpc);
+    hosts_[host_id] = std::move(host);
+  }
+
+  bool Subscribe(const Topic& topic, int64_t host_id) {
+    PylonServer* server = cluster_->RouteServer(topic);
+    RpcChannel channel(&sim_, server->rpc(), LatencyModel::IntraRegion());
+    auto request = std::make_shared<PylonSubscribeRequest>();
+    request->topic = topic;
+    request->host_id = host_id;
+    request->subscribe = true;
+    bool ok = false;
+    channel.Call("pylon.subscribe", request, [&](RpcStatus status, MessagePtr response) {
+      ok = status == RpcStatus::kOk && std::static_pointer_cast<PylonAck>(response)->ok;
+    });
+    sim_.RunFor(Seconds(3));
+    return ok;
+  }
+
+  void Publish(const Topic& topic) {
+    PylonServer* server = cluster_->RouteServer(topic);
+    RpcChannel channel(&sim_, server->rpc(), LatencyModel::IntraRegion());
+    auto event = std::make_shared<UpdateEvent>();
+    event->topic = topic;
+    event->event_id = next_event_id_++;
+    event->created_at = sim_.Now();
+    auto request = std::make_shared<PylonPublishRequest>();
+    request->event = std::move(event);
+    channel.Call("pylon.publish", request, [](RpcStatus, MessagePtr) {});
+  }
+
+  size_t ReceivedCount(int64_t host_id, const Topic& topic) {
+    size_t count = 0;
+    for (const Topic& t : hosts_[host_id]->received) {
+      if (t == topic) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  struct FakeHost {
+    RpcServer rpc;
+    std::vector<Topic> received;
+  };
+
+  Topology topology_;
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  TraceCollector trace_;
+  std::unique_ptr<PylonCluster> cluster_;
+  std::map<int64_t, std::unique_ptr<FakeHost>> hosts_;
+  uint64_t next_event_id_ = 1;
+};
+
+TEST_F(PylonBackpressureTest, HighPriorityPublishShedsLowPriorityPendingSends) {
+  // Pick a Mailbox topic homed on the same Pylon server as the TI topic:
+  // the pending-send pipeline (and its bound) is per server.
+  const Topic ti_topic = "/TI/1/1";
+  PylonServer* ti_server = cluster_->RouteServer(ti_topic);
+  Topic mailbox_topic;
+  for (int k = 1; k < 500; ++k) {
+    Topic candidate = MailboxTopic(k);
+    if (cluster_->RouteServer(candidate) == ti_server) {
+      mailbox_topic = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(mailbox_topic.empty());
+
+  // 6 low-priority subscribers vs a pending cap of 4, plus 2 high-priority
+  // subscribers published immediately behind them.
+  for (int64_t id = 601; id <= 606; ++id) {
+    AddHost(id);
+    ASSERT_TRUE(Subscribe(ti_topic, id));
+  }
+  for (int64_t id = 701; id <= 702; ++id) {
+    AddHost(id);
+    ASSERT_TRUE(Subscribe(mailbox_topic, id));
+  }
+
+  Publish(ti_topic);
+  Publish(mailbox_topic);
+  sim_.RunFor(Seconds(3));
+
+  // High priority is never shed: both Mailbox subscribers got the event.
+  EXPECT_EQ(ReceivedCount(701, mailbox_topic), 1u);
+  EXPECT_EQ(ReceivedCount(702, mailbox_topic), 1u);
+  EXPECT_EQ(metrics_.GetCounter("pylon.fanout_shed.high").value(), 0);
+
+  // The TI fanout (6 sends) overflowed the 4-slot pipeline, and the Mailbox
+  // sends each displaced a pending low-priority send: 4 low sheds total,
+  // leaving exactly 2 TI deliveries.
+  EXPECT_EQ(metrics_.GetCounter("pylon.fanout_shed.low").value(), 4);
+  EXPECT_EQ(metrics_.GetCounter("pylon.fanout_shed").value(), 4);
+  size_t ti_delivered = 0;
+  for (int64_t id = 601; id <= 606; ++id) {
+    ti_delivered += ReceivedCount(id, ti_topic);
+  }
+  EXPECT_EQ(ti_delivered, 2u);
+  EXPECT_GE(metrics_.GetHistogram("pylon.fanout_pending_depth").max(), 4.0);
+}
+
+}  // namespace
+}  // namespace bladerunner
