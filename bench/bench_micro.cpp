@@ -2,14 +2,33 @@
 // simulated infrastructure itself — rendezvous hashing, topic ops, BURST
 // framing, the LVC ranked buffer, histograms, the event queue, and the
 // query-language front end.
+//
+// Invoked with `--perf` the binary is instead the standing perf-regression
+// harness (docs/PERF.md): it times the simulation kernel, Pylon fanout,
+// and an end-to-end LVC scenario against wall clock and emits one JSON
+// row per measurement ({bench, metric, value, unit}).
+//   --perf            run the harness at full size
+//   --smoke           shrink the workloads (CI sanity; seconds, not minutes)
+//   --out FILE        write the JSON rows to FILE (default: stdout only)
+//   --check FILE      compare against a committed baseline (BENCH_PR5.json);
+//                     exit nonzero if any matching throughput row regressed
+//                     by more than --tolerance (default 0.25)
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/burst/frames.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
 #include "src/graphql/parser.h"
 #include "src/graphql/value.h"
 #include "src/pylon/rendezvous.h"
@@ -17,6 +36,7 @@
 #include "src/sim/histogram.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
+#include "src/workload/social_gen.h"
 
 namespace bladerunner {
 namespace {
@@ -142,7 +162,294 @@ void BM_StreamKeyHash(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamKeyHash);
 
+// ---- perf harness (--perf / --smoke) ----
+
+// One measurement row of BENCH_PR5.json. All metrics emitted by the
+// harness are throughputs (higher is better); the regression check in
+// CheckAgainstBaseline relies on that.
+struct PerfRow {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct PerfShape {
+  // Kernel: total timer events pushed through a bare Simulator.
+  size_t kernel_events = 4000000;
+  // One cancel per this many scheduled events (exercises the slot table).
+  size_t kernel_cancel_every = 4;
+  // Fanout: viewers subscribed to the hot video / comments published.
+  int fanout_viewers = 60;
+  int fanout_comments = 400;
+  // End-to-end: LVC burst length driven through the full cluster.
+  int e2e_viewers = 40;
+  int e2e_comments = 600;
+};
+
+PerfShape SmokeShape() {
+  PerfShape shape;
+  shape.kernel_events = 400000;
+  shape.fanout_viewers = 15;
+  shape.fanout_comments = 60;
+  shape.e2e_viewers = 10;
+  shape.e2e_comments = 80;
+  return shape;
+}
+
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Kernel events/sec: schedule/cancel/run batches through a bare Simulator
+// with no cluster on top, so the number isolates the event-queue rewrite
+// (4-ary heap + slot table) from everything else.
+PerfRow BenchKernel(const PerfShape& shape) {
+  Simulator sim(1);
+  Rng workload_rng(4242);
+  uint64_t executed_target = 0;
+  auto start = std::chrono::steady_clock::now();
+  constexpr size_t kBatch = 1000;
+  std::vector<TimerId> batch_ids(kBatch, kInvalidTimerId);
+  for (size_t scheduled = 0; scheduled < shape.kernel_events; scheduled += kBatch) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      SimTime delay = Micros(static_cast<int64_t>(workload_rng.Uniform(0.0, 5000.0)));
+      batch_ids[i] = sim.Schedule(delay, []() {});
+    }
+    for (size_t i = 0; i < kBatch; i += shape.kernel_cancel_every) {
+      sim.Cancel(batch_ids[i]);
+    }
+    sim.Run();
+  }
+  executed_target = sim.events_executed();
+  double elapsed = WallSeconds(start);
+  PerfRow row;
+  row.bench = "kernel";
+  row.metric = "events_per_sec";
+  row.value = static_cast<double>(executed_target) / elapsed;
+  row.unit = "events/s";
+  return row;
+}
+
+// Pylon fanout throughput: a hot LVC video with many subscribed viewers;
+// every published comment fans out to every viewer's BRASS host. Reports
+// fanout sends per wall second across publish + fanout + delivery.
+PerfRow BenchPylonFanout(const PerfShape& shape) {
+  ClusterConfig config;
+  config.seed = 1337;
+  SocialGraphConfig graph_config;
+  graph_config.num_users = static_cast<size_t>(shape.fanout_viewers + 50);
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::OneRegion());
+  BladerunnerCluster& cluster = *fixture.cluster;
+  ObjectId video = fixture.graph.videos[0];
+
+  std::vector<std::unique_ptr<DeviceAgent>> viewers;
+  for (int i = 0; i < shape.fanout_viewers; ++i) {
+    viewers.push_back(std::make_unique<DeviceAgent>(
+        &cluster, fixture.graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
+    viewers.back()->SubscribeLvc(video);
+  }
+  cluster.sim().RunFor(Seconds(5));
+  DeviceAgent commenter(&cluster, fixture.graph.users[fixture.graph.users.size() - 1], 0,
+                        DeviceProfile::kWifi);
+
+  const Counter& fanout_sends = cluster.metrics().GetCounter("pylon.fanout_sends");
+  int64_t sends_before = fanout_sends.value();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < shape.fanout_comments; ++i) {
+    commenter.PostComment(video, "perf comment", "en");
+    cluster.sim().RunFor(Millis(250));
+  }
+  cluster.sim().RunFor(Seconds(10));
+  double elapsed = WallSeconds(start);
+
+  PerfRow row;
+  row.bench = "pylon_fanout";
+  row.metric = "fanout_sends_per_sec";
+  row.value = static_cast<double>(fanout_sends.value() - sends_before) / elapsed;
+  row.unit = "sends/s";
+  return row;
+}
+
+// End-to-end throughput: the same LVC burst driven through the full stack
+// (device -> WAS -> TAO -> Pylon -> BRASS -> BURST -> device), reported as
+// simulator events retired per wall second — the number that bounds how
+// much scenario any bench can afford.
+PerfRow BenchEndToEnd(const PerfShape& shape) {
+  ClusterConfig config;
+  config.seed = 2024;
+  SocialGraphConfig graph_config;
+  graph_config.num_users = static_cast<size_t>(shape.e2e_viewers + 50);
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::ThreeRegions());
+  BladerunnerCluster& cluster = *fixture.cluster;
+  ObjectId video = fixture.graph.videos[0];
+
+  std::vector<std::unique_ptr<DeviceAgent>> viewers;
+  for (int i = 0; i < shape.e2e_viewers; ++i) {
+    viewers.push_back(std::make_unique<DeviceAgent>(
+        &cluster, fixture.graph.users[static_cast<size_t>(i)], i % 3, DeviceProfile::kWifi));
+    viewers.back()->SubscribeLvc(video);
+  }
+  cluster.sim().RunFor(Seconds(5));
+  DeviceAgent commenter(&cluster, fixture.graph.users[fixture.graph.users.size() - 1], 0,
+                        DeviceProfile::kWifi);
+
+  uint64_t events_before = cluster.sim().events_executed();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < shape.e2e_comments; ++i) {
+    commenter.PostComment(video, "perf comment", "en");
+    cluster.sim().RunFor(Millis(200));
+  }
+  cluster.sim().RunFor(Seconds(10));
+  double elapsed = WallSeconds(start);
+
+  PerfRow row;
+  row.bench = "e2e_lvc";
+  row.metric = "sim_events_per_wall_sec";
+  row.value = static_cast<double>(cluster.sim().events_executed() - events_before) / elapsed;
+  row.unit = "events/s";
+  return row;
+}
+
+std::string RowsToJson(const std::vector<PerfRow>& rows) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << "  {\"bench\": \"" << rows[i].bench << "\", \"metric\": \"" << rows[i].metric
+        << "\", \"value\": " << std::fixed << rows[i].value << ", \"unit\": \"" << rows[i].unit
+        << "\"}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+// Minimal parser for the committed baseline: BENCH_PR5.json is written by
+// RowsToJson above, so one row per line with fixed key order is assumed.
+std::vector<PerfRow> ParseBaseline(const std::string& path) {
+  std::vector<PerfRow> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    PerfRow row;
+    auto field = [&line](const char* key) -> std::string {
+      std::string marker = std::string("\"") + key + "\": ";
+      size_t at = line.find(marker);
+      if (at == std::string::npos) {
+        return "";
+      }
+      at += marker.size();
+      size_t end;
+      if (line[at] == '"') {
+        ++at;
+        end = line.find('"', at);
+      } else {
+        end = line.find_first_of(",}", at);
+      }
+      return end == std::string::npos ? "" : line.substr(at, end - at);
+    };
+    row.bench = field("bench");
+    row.metric = field("metric");
+    std::string value = field("value");
+    if (row.bench.empty() || row.metric.empty() || value.empty()) {
+      continue;
+    }
+    row.value = std::stod(value);
+    row.unit = field("unit");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// Exit-code contract for CI: 0 when every row matched in the baseline is
+// within tolerance, 1 on a regression. Rows missing from the baseline are
+// reported but not fatal (a new bench must be committable).
+int CheckAgainstBaseline(const std::vector<PerfRow>& rows, const std::string& path,
+                         double tolerance) {
+  std::vector<PerfRow> baseline = ParseBaseline(path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "perf-check: no baseline rows in %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const PerfRow& row : rows) {
+    const PerfRow* base = nullptr;
+    for (const PerfRow& b : baseline) {
+      if (b.bench == row.bench && b.metric == row.metric) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::printf("perf-check: %s/%s not in baseline (skipped)\n", row.bench.c_str(),
+                  row.metric.c_str());
+      continue;
+    }
+    double floor = base->value * (1.0 - tolerance);
+    bool ok = row.value >= floor;
+    std::printf("perf-check: %s/%s %.0f vs baseline %.0f (floor %.0f) %s\n", row.bench.c_str(),
+                row.metric.c_str(), row.value, base->value, floor, ok ? "ok" : "REGRESSED");
+    if (!ok) {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunPerfHarness(bool smoke, const std::string& out_path, const std::string& check_path,
+                   double tolerance) {
+  PerfShape shape = smoke ? SmokeShape() : PerfShape{};
+  std::vector<PerfRow> rows;
+  rows.push_back(BenchKernel(shape));
+  rows.push_back(BenchPylonFanout(shape));
+  rows.push_back(BenchEndToEnd(shape));
+
+  std::string json = RowsToJson(rows);
+  std::fputs(json.c_str(), stdout);
+  for (const PerfRow& row : rows) {
+    if (!(row.value > 0.0)) {
+      std::fprintf(stderr, "perf: %s/%s produced a non-positive value\n", row.bench.c_str(),
+                   row.metric.c_str());
+      return 1;
+    }
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  if (!check_path.empty()) {
+    return CheckAgainstBaseline(rows, check_path, tolerance);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bladerunner
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool perf = false;
+  bool smoke = false;
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf") == 0) {
+      perf = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      perf = true;
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::stod(argv[++i]);
+    }
+  }
+  if (perf) {
+    return bladerunner::RunPerfHarness(smoke, out_path, check_path, tolerance);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

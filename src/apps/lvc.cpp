@@ -5,7 +5,9 @@
 namespace bladerunner {
 
 LiveVideoCommentsApp::LiveVideoCommentsApp(BrassRuntime& runtime, LvcConfig config)
-    : BrassApplication(runtime), config_(config) {}
+    : BrassApplication(runtime), config_(config) {
+  privacy_filtered_ = &this->runtime().metrics().GetCounter("lvc.privacy_filtered");
+}
 
 LiveVideoCommentsApp::~LiveVideoCommentsApp() {
   for (auto& [key, viewer] : viewers_) {
@@ -230,7 +232,7 @@ void LiveVideoCommentsApp::PushBest(const StreamKey& key) {
       best.metadata, FetchOptions{.viewer = viewer_id, .parent = span},
       [this, stream_key, deliver, span](bool allowed, Value payload) {
         if (!allowed) {
-          runtime().metrics().GetCounter("lvc.privacy_filtered").Increment();
+          privacy_filtered_->Increment();
           runtime().AnnotateSpan(span, "outcome", Value("privacy_filtered"));
           runtime().EndSpan(span);
           return;

@@ -20,6 +20,7 @@
 
 #include "src/brass/application.h"
 #include "src/brass/runtime.h"
+#include "src/sim/metrics.h"
 
 namespace bladerunner {
 
@@ -103,6 +104,7 @@ class LiveVideoCommentsApp : public BrassApplication {
   void PushBest(const StreamKey& key);
 
   LvcConfig config_;
+  Counter* privacy_filtered_;  // resolved once at construction (docs/PERF.md)
   std::unordered_map<StreamKey, ViewerState, StreamKeyHash> viewers_;
 };
 

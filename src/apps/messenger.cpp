@@ -5,7 +5,11 @@
 namespace bladerunner {
 
 MessengerApp::MessengerApp(BrassRuntime& runtime, MessengerConfig config)
-    : BrassApplication(runtime), config_(config) {}
+    : BrassApplication(runtime), config_(config) {
+  redeliveries_ = &this->runtime().metrics().GetCounter("messenger.redeliveries");
+  gaps_detected_ = &this->runtime().metrics().GetCounter("messenger.gaps_detected");
+  gap_polls_ = &this->runtime().metrics().GetCounter("messenger.gap_polls");
+}
 
 BrassAppFactory MessengerApp::Factory(MessengerConfig config) {
   return [config](BrassRuntime& runtime) {
@@ -60,7 +64,7 @@ void MessengerApp::OnStreamResumed(BrassStream& stream) {
     return;
   }
   for (auto& [seq, payload] : state.unacked) {
-    runtime().metrics().GetCounter("messenger.redeliveries").Increment();
+    redeliveries_->Increment();
     DeliverOptions deliver;
     deliver.seq = seq;
     runtime().DeliverData(*state.stream, payload, deliver);
@@ -102,7 +106,7 @@ void MessengerApp::OnEvent(const Topic& topic, const UpdateEvent& event,
     if (seq > state.next_seq && !state.recovering) {
       // Gap: an earlier publish was dropped somewhere. Detect + recover by
       // polling the mailbox through the WAS (§4's Messenger design).
-      runtime().metrics().GetCounter("messenger.gaps_detected").Increment();
+      gaps_detected_->Increment();
       RecoverGap(stream->key);
     }
     FetchAndQueue(stream->key, event.metadata, seq, event.created_at,
@@ -197,7 +201,7 @@ void MessengerApp::RecoverGap(const StreamKey& key) {
   uint64_t after = state.next_seq - 1;
   std::string query = "query { mailbox(afterSeq: " + std::to_string(after) +
                       ", first: 50) { id seq author thread text time } }";
-  runtime().metrics().GetCounter("messenger.gap_polls").Increment();
+  gap_polls_->Increment();
   runtime().WasQuery(query, FetchOptions{.viewer = state.stream->viewer, .bypass_cache = true},
                      [this, key](bool ok, Value data) {
     auto it2 = mailboxes_.find(key);

@@ -18,6 +18,7 @@
 
 #include "src/brass/application.h"
 #include "src/brass/runtime.h"
+#include "src/sim/metrics.h"
 
 namespace bladerunner {
 
@@ -65,6 +66,9 @@ class MessengerApp : public BrassApplication {
   void PersistProgress(MailboxState& state);
 
   MessengerConfig config_;
+  Counter* redeliveries_;  // resolved once at construction (docs/PERF.md)
+  Counter* gaps_detected_;
+  Counter* gap_polls_;
   std::unordered_map<StreamKey, MailboxState, StreamKeyHash> mailboxes_;
 };
 

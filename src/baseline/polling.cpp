@@ -58,6 +58,9 @@ struct PollBookkeeping {
 LvcPollingClient::LvcPollingClient(BladerunnerCluster* cluster, UserId user, RegionId region,
                                    DeviceProfile profile, ObjectId video, SimTime interval)
     : cluster_(cluster), user_(user), video_(video), interval_(interval) {
+  polls_counter_ = &cluster_->metrics().GetCounter("poll.client_polls");
+  empty_polls_counter_ = &cluster_->metrics().GetCounter("poll.empty_polls");
+  latency_us_ = &cluster_->metrics().GetHistogram("poll.lvc_latency_us");
   channel_ = cluster_->DeviceWasChannel(region, profile);
 }
 
@@ -96,7 +99,7 @@ void LvcPollingClient::PollOnce() {
     return;
   }
   polls_ += 1;
-  cluster_->metrics().GetCounter("poll.client_polls").Increment();
+  polls_counter_->Increment();
   auto request = std::make_shared<WasQueryRequest>();
   request->query = LvcPollQuery(video_, watermark_);
   request->viewer = user_;
@@ -105,10 +108,10 @@ void LvcPollingClient::PollOnce() {
       auto result = std::static_pointer_cast<WasQueryResponse>(response);
       PollBookkeeping book{&watermark_, &seen_, &comments_seen_};
       book.Apply(result->data, cluster_->sim(),
-                 cluster_->metrics().GetHistogram("poll.lvc_latency_us"));
+                 *latency_us_);
       if (book.fresh == 0) {
         empty_polls_ += 1;
-        cluster_->metrics().GetCounter("poll.empty_polls").Increment();
+        empty_polls_counter_->Increment();
       }
       if (book.HasMore() && running_) {
         // Backlog: page again immediately instead of waiting the interval.
@@ -129,6 +132,10 @@ LvcServerPollAgent::LvcServerPollAgent(BladerunnerCluster* cluster, UserId user,
       video_(video),
       interval_(interval),
       last_mile_(cluster->topology().LastMileModel(profile)) {
+  polls_counter_ = &cluster_->metrics().GetCounter("server_poll.polls");
+  pushed_counter_ = &cluster_->metrics().GetCounter("server_poll.pushed");
+  empty_polls_counter_ = &cluster_->metrics().GetCounter("server_poll.empty_polls");
+  latency_us_ = &cluster_->metrics().GetHistogram("server_poll.lvc_latency_us");
   channel_ = cluster_->BackendWasChannel(region);
 }
 
@@ -165,7 +172,7 @@ void LvcServerPollAgent::PollOnce() {
     return;
   }
   polls_ += 1;
-  cluster_->metrics().GetCounter("server_poll.polls").Increment();
+  polls_counter_->Increment();
   auto request = std::make_shared<WasQueryRequest>();
   request->query = LvcPollQuery(video_, watermark_);
   request->viewer = user_;
@@ -194,17 +201,15 @@ void LvcServerPollAgent::PollOnce() {
         SimTime delivery = last_mile_.Sample(cluster_->sim().rng());
         cluster_->sim().Schedule(delivery, [this, created]() {
           comments_pushed_ += 1;
-          cluster_->metrics().GetCounter("server_poll.pushed").Increment();
+          pushed_counter_->Increment();
           if (created > 0) {
-            cluster_->metrics()
-                .GetHistogram("server_poll.lvc_latency_us")
-                .Record(static_cast<double>(cluster_->sim().Now() - created));
+            latency_us_->Record(static_cast<double>(cluster_->sim().Now() - created));
           }
         });
       }
       if (fresh == 0) {
         empty_polls_ += 1;
-        cluster_->metrics().GetCounter("server_poll.empty_polls").Increment();
+        empty_polls_counter_->Increment();
       }
       if (page_size >= kPollPageSize && running_) {
         timer_ = cluster_->sim().Schedule(Millis(50), [this]() { PollOnce(); });
@@ -225,6 +230,9 @@ LvcTriggerClient::LvcTriggerClient(BladerunnerCluster* cluster, UserId user, Reg
       video_(video),
       last_mile_(cluster->topology().LastMileModel(profile)),
       notifier_host_id_(notifier_host_id) {
+  notifications_counter_ = &cluster_->metrics().GetCounter("trigger.notifications");
+  polls_counter_ = &cluster_->metrics().GetCounter("trigger.polls");
+  latency_us_ = &cluster_->metrics().GetHistogram("trigger.lvc_latency_us");
   poll_channel_ = cluster_->DeviceWasChannel(region, profile);
   notify_rpc_.RegisterMethod("brass.event", [this](MessagePtr request,
                                                    RpcServer::Respond respond) {
@@ -269,7 +277,7 @@ void LvcTriggerClient::Stop() { running_ = false; }
 
 void LvcTriggerClient::OnNotified() {
   notifications_ += 1;
-  cluster_->metrics().GetCounter("trigger.notifications").Increment();
+  notifications_counter_->Increment();
   if (poll_in_flight_) {
     poll_again_ = true;  // coalesce
     return;
@@ -280,7 +288,7 @@ void LvcTriggerClient::OnNotified() {
 void LvcTriggerClient::PollOnce() {
   poll_in_flight_ = true;
   polls_ += 1;
-  cluster_->metrics().GetCounter("trigger.polls").Increment();
+  polls_counter_->Increment();
   auto request = std::make_shared<WasQueryRequest>();
   request->query = LvcPollQuery(video_, watermark_);
   request->viewer = user_;
@@ -290,7 +298,7 @@ void LvcTriggerClient::PollOnce() {
       auto result = std::static_pointer_cast<WasQueryResponse>(response);
       PollBookkeeping book{&watermark_, &seen_, &comments_seen_};
       book.Apply(result->data, cluster_->sim(),
-                 cluster_->metrics().GetHistogram("trigger.lvc_latency_us"));
+                 *latency_us_);
       if (book.HasMore()) {
         poll_again_ = true;
       }

@@ -16,6 +16,7 @@
 #include "src/core/cluster.h"
 #include "src/net/rpc.h"
 #include "src/pylon/messages.h"
+#include "src/sim/metrics.h"
 #include "src/tao/types.h"
 
 namespace bladerunner {
@@ -46,6 +47,9 @@ class LvcPollingClient {
   UserId user_;
   ObjectId video_;
   SimTime interval_;
+  Counter* polls_counter_;  // resolved once at construction (docs/PERF.md)
+  Counter* empty_polls_counter_;
+  Histogram* latency_us_;
   std::unique_ptr<RpcChannel> channel_;
   bool running_ = false;
   TimerId timer_ = kInvalidTimerId;
@@ -84,6 +88,10 @@ class LvcServerPollAgent {
   ObjectId video_;
   SimTime interval_;
   LatencyModel last_mile_;
+  Counter* polls_counter_;  // resolved once at construction (docs/PERF.md)
+  Counter* pushed_counter_;
+  Counter* empty_polls_counter_;
+  Histogram* latency_us_;
   std::unique_ptr<RpcChannel> channel_;  // intra-DC to the WAS
   bool running_ = false;
   TimerId timer_ = kInvalidTimerId;
@@ -121,6 +129,9 @@ class LvcTriggerClient {
   UserId user_;
   ObjectId video_;
   LatencyModel last_mile_;
+  Counter* notifications_counter_;  // resolved once at construction (docs/PERF.md)
+  Counter* polls_counter_;
+  Histogram* latency_us_;
   int64_t notifier_host_id_;
   RpcServer notify_rpc_;  // receives Pylon event deliveries
   std::unique_ptr<RpcChannel> poll_channel_;

@@ -27,6 +27,17 @@ FetchPipeline::FetchPipeline(Simulator* sim, RegionId region, RpcChannel* was_ch
       trace_(trace),
       viewers_for_app_(std::move(viewers_for_app)) {
   assert(sim_ != nullptr && was_channel_ != nullptr && metrics_ != nullptr);
+  m_.requests = &metrics_->GetCounter("brass.fetch.requests");
+  m_.cache_hits = &metrics_->GetCounter("brass.fetch.cache_hits");
+  m_.coalesced = &metrics_->GetCounter("brass.fetch.coalesced");
+  m_.was_fetches = &metrics_->GetCounter("brass.was_fetches");
+  m_.rpcs = &metrics_->GetCounter("brass.fetch.rpcs");
+  m_.privacy_rpcs = &metrics_->GetCounter("brass.fetch.privacy_rpcs");
+  m_.rpc_failures = &metrics_->GetCounter("brass.fetch.rpc_failures");
+  m_.stale_returns = &metrics_->GetCounter("brass.fetch.stale_returns");
+  m_.bypass = &metrics_->GetCounter("brass.fetch.bypass");
+  m_.invalidations = &metrics_->GetCounter("brass.fetch.invalidations");
+  m_.evictions = &metrics_->GetCounter("brass.fetch.evictions");
 }
 
 std::string FetchPipeline::Key(const std::string& app, const Value& metadata) const {
@@ -52,7 +63,7 @@ uint64_t FetchPipeline::VersionOf(const Value& metadata) {
 
 void FetchPipeline::Fetch(const std::string& app, const Value& metadata,
                           const FetchOptions& options, Callback callback) {
-  metrics_->GetCounter("brass.fetch.requests").Increment();
+  m_.requests->Increment();
   if (!config_.enabled || options.bypass_cache) {
     DirectFetch(app, metadata, options, std::move(callback));
     return;
@@ -82,7 +93,7 @@ void FetchPipeline::Fetch(const std::string& app, const Value& metadata,
 void FetchPipeline::ServeFromCache(const CacheEntry& entry, const std::string& key, UserId viewer,
                                    const TraceContext& parent, Callback callback) {
   (void)key;
-  metrics_->GetCounter("brass.fetch.cache_hits").Increment();
+  m_.cache_hits->Increment();
   bool allowed = entry.decisions.at(viewer);
   // A denied viewer never receives the payload, exactly as an unbatched
   // WAS fetch would have answered.
@@ -106,7 +117,7 @@ void FetchPipeline::StartOrJoinFlight(const std::string& flight_key, const std::
                                       Value cached_payload, Waiter waiter) {
   auto it = flights_.find(flight_key);
   if (it != flights_.end()) {
-    metrics_->GetCounter("brass.fetch.coalesced").Increment();
+    m_.coalesced->Increment();
     Flight& flight = it->second;
     if (!flight.dispatched &&
         std::find(flight.rpc_viewers.begin(), flight.rpc_viewers.end(), waiter.viewer) ==
@@ -178,9 +189,8 @@ void FetchPipeline::DispatchFlight(const std::string& flight_key) {
   }
   request->trace = span;
 
-  metrics_->GetCounter("brass.was_fetches").Increment();
-  metrics_->GetCounter(flight.need_payload ? "brass.fetch.rpcs" : "brass.fetch.privacy_rpcs")
-      .Increment();
+  m_.was_fetches->Increment();
+  (flight.need_payload ? m_.rpcs : m_.privacy_rpcs)->Increment();
   was_channel_->Call(
       "was.fetch", request,
       [this, flight_key, span](RpcStatus status, MessagePtr response) {
@@ -202,7 +212,7 @@ void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext s
     if (trace_ != nullptr) {
       trace_->MarkError(span, ToString(status), sim_->Now());
     }
-    metrics_->GetCounter("brass.fetch.rpc_failures").Increment();
+    m_.rpc_failures->Increment();
     for (Waiter& waiter : flight.waiters) {
       waiter.callback(false, Value(nullptr));
     }
@@ -226,7 +236,7 @@ void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext s
       // announced — replication lag. The result is still delivered (it is
       // exactly what an unpipelined fetch would have returned) but must
       // not be cached as the current version.
-      metrics_->GetCounter("brass.fetch.stale_returns").Increment();
+      m_.stale_returns->Increment();
     }
     // Versionless metadata (e.g. ephemeral typing events) gets coalescing
     // only, never caching: there is no way to invalidate it.
@@ -279,8 +289,8 @@ void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext s
 
 void FetchPipeline::DirectFetch(const std::string& app, const Value& metadata,
                                 const FetchOptions& options, Callback callback) {
-  metrics_->GetCounter("brass.fetch.bypass").Increment();
-  metrics_->GetCounter("brass.was_fetches").Increment();
+  m_.bypass->Increment();
+  m_.was_fetches->Increment();
   auto request = std::make_shared<WasFetchRequest>();
   request->app = app;
   request->metadata = metadata;
@@ -329,7 +339,7 @@ void FetchPipeline::ObserveEvent(const Value& metadata) {
       }
     }
     for (const std::string& key : to_erase) {
-      metrics_->GetCounter("brass.fetch.invalidations").Increment();
+      m_.invalidations->Increment();
       EraseCacheEntry(key);
     }
   }
@@ -353,7 +363,7 @@ void FetchPipeline::InsertCacheEntry(const std::string& key, CacheEntry entry) {
   }
   EraseCacheEntry(key);  // replace, never duplicate LRU links
   while (cache_.size() >= config_.cache_capacity) {
-    metrics_->GetCounter("brass.fetch.evictions").Increment();
+    m_.evictions->Increment();
     EraseCacheEntry(lru_.back());
   }
   lru_.push_front(key);

@@ -138,12 +138,28 @@ class FetchPipeline {
   void TouchLru(CacheEntry& entry, const std::string& key);
   void EraseCacheEntry(const std::string& key);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* requests;
+    Counter* cache_hits;
+    Counter* coalesced;
+    Counter* was_fetches;
+    Counter* rpcs;
+    Counter* privacy_rpcs;
+    Counter* rpc_failures;
+    Counter* stale_returns;
+    Counter* bypass;
+    Counter* invalidations;
+    Counter* evictions;
+  };
+
   Simulator* sim_;
   RegionId region_;
   RpcChannel* was_channel_;
   SimTime rpc_timeout_;
   FetchPipelineConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   TraceCollector* trace_;
   ViewerProvider viewers_for_app_;
 

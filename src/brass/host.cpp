@@ -25,6 +25,32 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
       metrics_(metrics),
       trace_(trace) {
   assert(sim_ != nullptr && was_ != nullptr && registry_ != nullptr && metrics_ != nullptr);
+  m_.vm_cap_rejections = &metrics_->GetCounter("brass.vm_cap_rejections");
+  m_.app_spawns = &metrics_->GetCounter("brass.app_spawns");
+  m_.streams_started = &metrics_->GetCounter("brass.streams_started");
+  m_.host_admission_rejections = &metrics_->GetCounter("brass.host_admission_rejections");
+  m_.topic_attaches = &metrics_->GetCounter("brass.topic_attaches");
+  m_.pylon_subscribes = &metrics_->GetCounter("brass.pylon_subscribes");
+  m_.pylon_subscribe_failures = &metrics_->GetCounter("brass.pylon_subscribe_failures");
+  m_.pylon_unsubscribes = &metrics_->GetCounter("brass.pylon_unsubscribes");
+  m_.events_received = &metrics_->GetCounter("brass.events_received");
+  m_.events_unsubscribed_topic = &metrics_->GetCounter("brass.events_unsubscribed_topic");
+  m_.decisions = &metrics_->GetCounter("brass.decisions");
+  m_.decisions_positive = &metrics_->GetCounter("brass.decisions_positive");
+  m_.filtered = &metrics_->GetCounter("brass.filtered");
+  m_.deliveries_dropped = &metrics_->GetCounter("brass.deliveries_dropped");
+  m_.degraded_drops = &metrics_->GetCounter("brass.degraded_drops");
+  m_.conflated = &metrics_->GetCounter("brass.conflated");
+  m_.shed = &metrics_->GetCounter("brass.shed");
+  m_.delivery_queue_depth = &metrics_->GetHistogram("brass.delivery_queue_depth");
+  m_.deliveries = &metrics_->GetCounter("brass.deliveries");
+  m_.delivered_bytes = &metrics_->GetCounter("brass.delivered_bytes");
+  m_.degrade_signals = &metrics_->GetCounter("brass.degrade_signals");
+  m_.recover_signals = &metrics_->GetCounter("brass.recover_signals");
+  m_.host_drain_starts = &metrics_->GetCounter("brass.host_drain_starts");
+  m_.host_drains = &metrics_->GetCounter("brass.host_drains");
+  m_.host_failures = &metrics_->GetCounter("brass.host_failures");
+  m_.host_revives = &metrics_->GetCounter("brass.host_revives");
   burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
   event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
     HandlePylonEvent(std::move(request), std::move(respond));
@@ -39,6 +65,21 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
   }
+}
+
+const BrassHost::AppMetrics& BrassHost::AppMetricsFor(const std::string& app) {
+  auto it = app_metrics_.find(app);
+  if (it != app_metrics_.end()) {
+    return it->second;
+  }
+  AppMetrics handles;
+  handles.decisions = &metrics_->GetCounter("brass.decisions." + app);
+  handles.conflated = &metrics_->GetCounter("brass.conflated." + app);
+  handles.shed = &metrics_->GetCounter("brass.shed." + app);
+  handles.deliveries = &metrics_->GetCounter("brass.deliveries." + app);
+  handles.degrade_signals = &metrics_->GetCounter("brass.degrade_signals." + app);
+  handles.push_delay_us = &metrics_->GetHistogram("brass.push_delay_us." + app);
+  return app_metrics_.emplace(app, handles).first->second;
 }
 
 BrassHost::~BrassHost() {
@@ -57,7 +98,7 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
     return nullptr;
   }
   if (static_cast<int>(apps_.size()) >= config_.max_apps_per_host) {
-    metrics_->GetCounter("brass.vm_cap_rejections").Increment();
+    m_.vm_cap_rejections->Increment();
     return nullptr;
   }
   // Serverless spawn: the first stream for an application arriving at this
@@ -65,14 +106,14 @@ BrassHost::AppInstance* BrassHost::GetOrSpawnApp(const std::string& name) {
   AppInstance instance;
   instance.runtime = std::make_unique<BrassRuntime>(this, name);
   instance.app = registration->second.factory(*instance.runtime);
-  metrics_->GetCounter("brass.app_spawns").Increment();
+  m_.app_spawns->Increment();
   auto [ins, ok] = apps_.emplace(name, std::move(instance));
   assert(ok);
   return &ins->second;
 }
 
 void BrassHost::OnStreamStarted(ServerStream& stream) {
-  metrics_->GetCounter("brass.streams_started").Increment();
+  m_.streams_started->Increment();
   StreamHeaderView header(stream.header());
   const std::string& app_name = header.app();
   StreamKey key = stream.key();
@@ -99,7 +140,7 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   // re-enters router admission.
   const int stream_budget = config_.overload.max_streams_per_host;
   if (stream_budget > 0 && static_cast<int>(burst_->StreamCount()) > stream_budget) {
-    metrics_->GetCounter("brass.host_admission_rejections").Increment();
+    m_.host_admission_rejections->Increment();
     if (trace_ != nullptr) {
       trace_->MarkError(sub_span, "host at stream budget", sim_->Now());
     }
@@ -211,12 +252,12 @@ void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key, TraceCo
   entry.streams.insert(key);
   // Counterfactual for the subscription-manager ablation: without host-
   // level dedup, every (stream, topic) attach would be a Pylon operation.
-  metrics_->GetCounter("brass.topic_attaches").Increment();
+  m_.topic_attaches->Increment();
   if (entry.subscribed || entry.in_flight || pylon_ == nullptr) {
     return;  // host-level dedup: one Pylon subscription per (host, topic)
   }
   entry.in_flight = true;
-  metrics_->GetCounter("brass.pylon_subscribes").Increment();
+  m_.pylon_subscribes->Increment();
   PylonServer* server = pylon_->RouteServer(topic);
   auto channel = std::make_shared<RpcChannel>(sim_, server->rpc(),
                                               pylon_->topology()->LinkModel(region_, server->region()));
@@ -244,7 +285,7 @@ void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key, TraceCo
         // Pylon quorum unreachable: reliably inform the affected clients
         // (§4) — their streams terminate, and devices fall back to polling
         // and resubscribing.
-        metrics_->GetCounter("brass.pylon_subscribe_failures").Increment();
+        m_.pylon_subscribe_failures->Increment();
         TerminateStreamsOnTopic(topic, "pylon subscription failed");
       },
       Seconds(3));
@@ -299,7 +340,7 @@ void BrassHost::UnsubscribeStreamTopics(const StreamKey& key) {
     bool was_subscribed = it->second.subscribed;
     topics_.erase(it);
     if (was_subscribed && pylon_ != nullptr) {
-      metrics_->GetCounter("brass.pylon_unsubscribes").Increment();
+      m_.pylon_unsubscribes->Increment();
       PylonServer* server = pylon_->RouteServer(topic);
       auto channel = std::make_shared<RpcChannel>(
           sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
@@ -320,7 +361,7 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
     return;
   }
   auto event = delivery->event;
-  metrics_->GetCounter("brass.events_received").Increment();
+  m_.events_received->Increment();
   // Version observation: a newer version of an object arriving in any
   // event invalidates the fetch pipeline's cached payloads of older
   // versions (TAO replication lag must never serve a stale payload).
@@ -338,7 +379,7 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
 
   auto topic_it = topics_.find(event->topic);
   if (topic_it == topics_.end()) {
-    metrics_->GetCounter("brass.events_unsubscribed_topic").Increment();
+    m_.events_unsubscribed_topic->Increment();
     return;
   }
   // Group the topic's streams by application, then dispatch on the event
@@ -483,12 +524,12 @@ void BrassHost::CountDecision(const std::string& app, bool delivered) {
   // A decision is one examine-and-decide on (event, stream); Fig. 8's
   // "decisions on updates" series. Positive decisions lead to deliveries
   // (possibly batched: several positive decisions can share one push).
-  metrics_->GetCounter("brass.decisions").Increment();
-  metrics_->GetCounter("brass.decisions." + app).Increment();
+  m_.decisions->Increment();
+  AppMetricsFor(app).decisions->Increment();
   if (delivered) {
-    metrics_->GetCounter("brass.decisions_positive").Increment();
+    m_.decisions_positive->Increment();
   } else {
-    metrics_->GetCounter("brass.filtered").Increment();
+    m_.filtered->Increment();
   }
 }
 
@@ -500,7 +541,7 @@ const BrassAppDescriptor* BrassHost::DescriptorFor(const std::string& app) const
 void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value payload,
                             const DeliverOptions& options) {
   if (stream.stream == nullptr) {
-    metrics_->GetCounter("brass.deliveries_dropped").Increment();
+    m_.deliveries_dropped->Increment();
     return;
   }
   const SimTime gap = config_.overload.min_push_gap;
@@ -516,7 +557,7 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
     // The device is polling; streaming deliveries are dropped, but the
     // offered load is still observed so recovery can tell it subsided.
     state.degraded_attempts += 1;
-    metrics_->GetCounter("brass.degraded_drops").Increment();
+    m_.degraded_drops->Increment();
     return;
   }
   state.window_attempts += 1;
@@ -537,13 +578,13 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
   auto result = state.queue.Offer(std::move(payload), options, conflatable, bound);
   switch (result.outcome) {
     case ConflatingDeliveryQueue::Outcome::kConflated:
-      metrics_->GetCounter("brass.conflated").Increment();
-      metrics_->GetCounter("brass.conflated." + app).Increment();
+      m_.conflated->Increment();
+      AppMetricsFor(app).conflated->Increment();
       break;
     case ConflatingDeliveryQueue::Outcome::kShed: {
       state.window_sheds += 1;
-      metrics_->GetCounter("brass.shed").Increment();
-      metrics_->GetCounter("brass.shed." + app).Increment();
+      m_.shed->Increment();
+      AppMetricsFor(app).shed->Increment();
       // Instant "brass.shed" span on the shed delivery's trace, so dropped
       // updates are visible in their timeline (docs/TRACING.md).
       if (trace_ != nullptr && result.shed.options.parent.valid()) {
@@ -557,8 +598,7 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
     case ConflatingDeliveryQueue::Outcome::kQueued:
       break;
   }
-  metrics_->GetHistogram("brass.delivery_queue_depth")
-      .Record(static_cast<double>(state.queue.size()));
+  m_.delivery_queue_depth->Record(static_cast<double>(state.queue.size()));
 
   // Degrade-to-poll: sustained shedding of a large fraction of the
   // stream's attempts means pacing alone cannot absorb the spike.
@@ -575,15 +615,14 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
 void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value payload,
                         const DeliverOptions& options) {
   if (stream.stream == nullptr) {
-    metrics_->GetCounter("brass.deliveries_dropped").Increment();
+    m_.deliveries_dropped->Increment();
     return;
   }
   // Fig. 8's "update deliveries" series: actual pushes toward devices.
-  metrics_->GetCounter("brass.deliveries").Increment();
-  metrics_->GetCounter("brass.deliveries." + app).Increment();
+  m_.deliveries->Increment();
+  AppMetricsFor(app).deliveries->Increment();
   // Last-mile bandwidth accounting (the filter-location ablation).
-  metrics_->GetCounter("brass.delivered_bytes")
-      .Increment(static_cast<int64_t>(payload.WireSize()));
+  m_.delivered_bytes->Increment(static_cast<int64_t>(payload.WireSize()));
   // "burst.deliver": push leaves BRASS -> device receives it. The span's
   // context rides on the data delta; the device's BURST client ends it.
   TraceContext deliver_span;
@@ -600,8 +639,8 @@ void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value paylo
   payload.Set("_app", app);
   stream.stream->PushData(std::move(payload), options.seq, deliver_span);
   if (options.event_created_at > 0) {
-    metrics_->GetHistogram("brass.push_delay_us." + app)
-        .Record(static_cast<double>(sim_->Now() - options.event_created_at));
+    AppMetricsFor(app).push_delay_us->Record(
+        static_cast<double>(sim_->Now() - options.event_created_at));
   }
 }
 
@@ -649,11 +688,10 @@ void BrassHost::DegradeStream(const StreamKey& key, HostStream& state) {
   }
   state.degraded = true;
   state.degraded_attempts = 0;
-  metrics_->GetCounter("brass.degraded_drops")
-      .Increment(static_cast<int64_t>(state.queue.size()));
+  m_.degraded_drops->Increment(static_cast<int64_t>(state.queue.size()));
   state.queue.Clear();
-  metrics_->GetCounter("brass.degrade_signals").Increment();
-  metrics_->GetCounter("brass.degrade_signals." + state.app).Increment();
+  m_.degrade_signals->Increment();
+  AppMetricsFor(state.app).degrade_signals->Increment();
   // "burst.degrade" span covers the degraded-to-polling interval on the
   // stream's timeline (docs/TRACING.md).
   if (trace_ != nullptr && state.stream_span.valid()) {
@@ -688,7 +726,7 @@ void BrassHost::ScheduleRecoveryCheck(const StreamKey& key) {
     state.window_start = sim_->Now();
     state.window_attempts = 0;
     state.window_sheds = 0;
-    metrics_->GetCounter("brass.recover_signals").Increment();
+    m_.recover_signals->Increment();
     if (trace_ != nullptr && state.degrade_span.valid()) {
       trace_->EndSpan(state.degrade_span, sim_->Now());
       state.degrade_span = TraceContext();
@@ -736,7 +774,7 @@ void BrassHost::StartDrain(SimTime grace) {
   // Phase 1: stop taking new streams (the router and sticky re-routing
   // skip draining hosts) while existing streams keep being served.
   draining_ = true;
-  metrics_->GetCounter("brass.host_drain_starts").Increment();
+  m_.host_drain_starts->Increment();
   sim_->Schedule(grace, [this]() { Drain(); });
 }
 
@@ -746,7 +784,7 @@ void BrassHost::Drain() {
   }
   alive_ = false;
   draining_ = true;
-  metrics_->GetCounter("brass.host_drains").Increment();
+  m_.host_drains->Increment();
   burst_->Drain();
   WithdrawAllPylonSubscriptions();
   CloseAllStreamSpans("host drain");
@@ -763,7 +801,7 @@ void BrassHost::FailHost() {
     return;
   }
   alive_ = false;
-  metrics_->GetCounter("brass.host_failures").Increment();
+  m_.host_failures->Increment();
   burst_->FailHost();
   // "Pylon also detects this and removes all subscriptions from that host"
   // (§4): modeled as the withdrawal happening shortly after the crash.
@@ -787,7 +825,7 @@ void BrassHost::Revive() {
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
   }
-  metrics_->GetCounter("brass.host_revives").Increment();
+  m_.host_revives->Increment();
 }
 
 }  // namespace bladerunner

@@ -177,6 +177,48 @@ class BrassHost : public BurstServerHandler {
     TraceContext degrade_span;
   };
 
+  // Metric handles resolved once at construction; per-app handles resolved
+  // once per app name via AppMetricsFor (docs/PERF.md).
+  struct Metrics {
+    Counter* vm_cap_rejections;
+    Counter* app_spawns;
+    Counter* streams_started;
+    Counter* host_admission_rejections;
+    Counter* topic_attaches;
+    Counter* pylon_subscribes;
+    Counter* pylon_subscribe_failures;
+    Counter* pylon_unsubscribes;
+    Counter* events_received;
+    Counter* events_unsubscribed_topic;
+    Counter* decisions;
+    Counter* decisions_positive;
+    Counter* filtered;
+    Counter* deliveries_dropped;
+    Counter* degraded_drops;
+    Counter* conflated;
+    Counter* shed;
+    Histogram* delivery_queue_depth;
+    Counter* deliveries;
+    Counter* delivered_bytes;
+    Counter* degrade_signals;
+    Counter* recover_signals;
+    Counter* host_drain_starts;
+    Counter* host_drains;
+    Counter* host_failures;
+    Counter* host_revives;
+  };
+  struct AppMetrics {
+    Counter* decisions;
+    Counter* conflated;
+    Counter* shed;
+    Counter* deliveries;
+    Counter* degrade_signals;
+    Histogram* push_delay_us;
+  };
+  // The per-app handle bundle, resolved (and the names built) only the
+  // first time an app is seen on this host.
+  const AppMetrics& AppMetricsFor(const std::string& app);
+
   // Spawns the instance if needed ("serverless" spawn); nullptr if the app
   // is unknown or the host is at its VM cap.
   AppInstance* GetOrSpawnApp(const std::string& name);
@@ -218,6 +260,8 @@ class BrassHost : public BurstServerHandler {
   BurstConfig burst_config_;
   MetricsRegistry* metrics_;
   TraceCollector* trace_;
+  Metrics m_;
+  std::unordered_map<std::string, AppMetrics> app_metrics_;
   bool alive_ = true;
   bool draining_ = false;
 

@@ -27,6 +27,8 @@ BrassRouter::BrassRouter(Simulator* sim, const Topology* topology,
       burst_config_(burst_config),
       metrics_(metrics) {
   assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  saturated_rejections_ = &metrics_->GetCounter("brass.router_saturated_rejections");
+  spills_ = &metrics_->GetCounter("brass.router_spills");
 }
 
 void BrassRouter::RegisterHost(BrassHost* host) {
@@ -80,11 +82,11 @@ HostPick BrassRouter::PickHost(const StreamHeaderView& header) {
     spilled = !candidates.empty() && preferred_had_routable;
   }
   if (candidates.empty()) {
-    metrics_->GetCounter("brass.router_saturated_rejections").Increment();
+    saturated_rejections_->Increment();
     return HostPick{0, true};
   }
   if (spilled) {
-    metrics_->GetCounter("brass.router_spills").Increment();
+    spills_->Increment();
   }
 
   BrassRoutingPolicy policy = BrassRoutingPolicy::kByLoad;

@@ -20,6 +20,7 @@
 #include "src/brass/host.h"
 #include "src/burst/proxy.h"
 #include "src/net/topology.h"
+#include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace bladerunner {
@@ -48,6 +49,8 @@ class BrassRouter : public BurstServerDirectory {
   const BrassAppRegistry* registry_;
   BurstConfig burst_config_;
   MetricsRegistry* metrics_;
+  Counter* saturated_rejections_;  // resolved once at construction (docs/PERF.md)
+  Counter* spills_;
   std::vector<BrassHost*> hosts_;
   std::map<int64_t, BrassHost*> by_id_;
   size_t round_robin_ = 0;  // tie-break rotation for load-based picks

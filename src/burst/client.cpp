@@ -15,6 +15,16 @@ BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
       metrics_(metrics),
       trace_(trace) {
   assert(sim_ != nullptr && observer_ != nullptr && metrics_ != nullptr);
+  m_.client_cancels = &metrics_->GetCounter("burst.client_cancels");
+  m_.client_data_deltas = &metrics_->GetCounter("burst.client_data_deltas");
+  m_.client_redirect_backoffs = &metrics_->GetCounter("burst.client_redirect_backoffs");
+  m_.client_redirects = &metrics_->GetCounter("burst.client_redirects");
+  m_.client_resubscribes = &metrics_->GetCounter("burst.client_resubscribes");
+  m_.client_subscribes = &metrics_->GetCounter("burst.client_subscribes");
+  m_.device_connection_drops = &metrics_->GetCounter("burst.device_connection_drops");
+  m_.device_observed_disconnects = &metrics_->GetCounter("burst.device_observed_disconnects");
+  m_.device_reconnect_attempts = &metrics_->GetCounter("burst.device_reconnect_attempts");
+  m_.radio_promotions = &metrics_->GetCounter("burst.radio_promotions");
 }
 
 BurstClient::~BurstClient() {
@@ -62,7 +72,7 @@ void BurstClient::SimulateConnectionDrop() {
     conn_->Fail();
     conn_->set_handler(nullptr);
     conn_ = nullptr;
-    metrics_->GetCounter("burst.device_connection_drops").Increment();
+    m_.device_connection_drops->Increment();
     for (auto& [sid, stream] : streams_) {
       stream.subscribed_on_current_conn = false;
       observer_->OnStreamFlowStatus(sid, FlowStatus::kDegraded, "connection dropped");
@@ -81,7 +91,7 @@ uint64_t BurstClient::Subscribe(Value header, std::string body) {
   stream.body = std::move(body);
   auto [it, inserted] = streams_.emplace(sid, std::move(stream));
   assert(inserted);
-  metrics_->GetCounter("burst.client_subscribes").Increment();
+  m_.client_subscribes->Increment();
   if (connected()) {
     SendSubscribe(sid, it->second, /*resubscribe=*/false);
   } else if (auto_reconnect_) {
@@ -101,7 +111,7 @@ void BurstClient::Cancel(uint64_t sid) {
     SendFromDevice(std::move(cancel));
   }
   streams_.erase(it);
-  metrics_->GetCounter("burst.client_cancels").Increment();
+  m_.client_cancels->Increment();
 }
 
 void BurstClient::Ack(uint64_t sid, uint64_t seq) {
@@ -133,7 +143,7 @@ void BurstClient::SendFromDevice(MessagePtr frame) {
   // silently lost, exactly like a real wedged uplink.
   LatencyModel promotion{config_.radio_promotion_ms, config_.radio_promotion_sigma,
                          config_.radio_promotion_ms / 4.0};
-  metrics_->GetCounter("burst.radio_promotions").Increment();
+  m_.radio_promotions->Increment();
   std::shared_ptr<ConnectionEnd> conn = conn_;
   sim_->Schedule(promotion.Sample(sim_->rng()), [conn, frame = std::move(frame)]() {
     conn->Send(frame);
@@ -149,7 +159,7 @@ void BurstClient::SendSubscribe(uint64_t sid, ClientStream& stream, bool resubsc
   SendFromDevice(std::move(subscribe));
   stream.subscribed_on_current_conn = true;
   if (resubscribe) {
-    metrics_->GetCounter("burst.client_resubscribes").Increment();
+    m_.client_resubscribes->Increment();
   }
 }
 
@@ -174,7 +184,7 @@ void BurstClient::ScheduleReconnect() {
     reconnect_scheduled_ = false;
     reconnect_timer_ = kInvalidTimerId;
     if (!connected() && auto_reconnect_) {
-      metrics_->GetCounter("burst.device_reconnect_attempts").Increment();
+      m_.device_reconnect_attempts->Increment();
       Connect();
     }
   });
@@ -203,7 +213,7 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
   for (const Delta& delta : response.batch) {
     switch (delta.kind) {
       case DeltaKind::kData:
-        metrics_->GetCounter("burst.client_data_deltas").Increment();
+        m_.client_data_deltas->Increment();
         it->second.consecutive_redirects = 0;  // stream is making progress
         // The update has reached the device: close its "burst.deliver" span
         // (opened by the BRASS host when the push left the backend).
@@ -226,13 +236,13 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
       // header; the proxies route it to the new target. Back-to-back
       // redirects (admission rejection under overload) switch to delayed
       // retries so rejected devices do not storm the proxies.
-      metrics_->GetCounter("burst.client_redirects").Increment();
+      m_.client_redirects->Increment();
       it->second.consecutive_redirects += 1;
       if (it->second.consecutive_redirects <= config_.max_immediate_redirects) {
         SendSubscribe(sid, it->second, /*resubscribe=*/true);
       } else if (!it->second.redirect_retry_pending) {
         it->second.redirect_retry_pending = true;
-        metrics_->GetCounter("burst.client_redirect_backoffs").Increment();
+        m_.client_redirect_backoffs->Increment();
         SimTime backoff = static_cast<SimTime>(
             sim_->rng().Uniform(static_cast<double>(config_.reconnect_backoff_min),
                                 static_cast<double>(config_.reconnect_backoff_max)));
@@ -268,7 +278,7 @@ void BurstClient::OnDisconnect(ConnectionEnd& on, DisconnectReason reason) {
   (void)reason;
   conn_->set_handler(nullptr);
   conn_ = nullptr;
-  metrics_->GetCounter("burst.device_observed_disconnects").Increment();
+  m_.device_observed_disconnects->Increment();
   for (auto& [sid, stream] : streams_) {
     stream.subscribed_on_current_conn = false;
     observer_->OnStreamFlowStatus(sid, FlowStatus::kDegraded, "pop connection lost");

@@ -119,12 +119,27 @@ class BurstClient : public ConnectionHandler {
   void ScheduleReconnect();
   void HandleResponse(const ResponseFrame& response);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* client_cancels;
+    Counter* client_data_deltas;
+    Counter* client_redirect_backoffs;
+    Counter* client_redirects;
+    Counter* client_resubscribes;
+    Counter* client_subscribes;
+    Counter* device_connection_drops;
+    Counter* device_observed_disconnects;
+    Counter* device_reconnect_attempts;
+    Counter* radio_promotions;
+  };
+
   Simulator* sim_;
   int64_t device_id_;
   Connector connector_;
   Observer* observer_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   TraceCollector* trace_;
 
   std::shared_ptr<ConnectionEnd> conn_;

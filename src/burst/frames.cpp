@@ -13,24 +13,33 @@ constexpr char kHeaderResumeToken[] = "resume";        // app-defined sync state
 constexpr char kHeaderRegion[] = "region";             // preferred DC region
 }  // namespace
 
-const std::string& StreamHeaderView::app() const {
-  return header_->Get(kHeaderApp).AsString();
-}
-
-const std::string& StreamHeaderView::subscription() const {
-  return header_->Get(kHeaderSubscription).AsString();
-}
-
-int64_t StreamHeaderView::viewer() const { return header_->Get(kHeaderViewer).AsInt(0); }
-
-int64_t StreamHeaderView::brass_host() const { return header_->Get(kHeaderBrassHost).AsInt(0); }
-
-int64_t StreamHeaderView::resume_token() const {
-  return header_->Get(kHeaderResumeToken).AsInt(0);
-}
-
-int32_t StreamHeaderView::region(int32_t fallback) const {
-  return static_cast<int32_t>(header_->Get(kHeaderRegion).AsInt(fallback));
+StreamHeaderView::StreamHeaderView(const Value& header) {
+  static const std::string kEmpty;
+  app_ = &kEmpty;
+  subscription_ = &kEmpty;
+  if (!header.is_map()) {
+    return;
+  }
+  // One pass over the (sorted) wire map; each well-known field is decoded
+  // into a POD member so repeated accessor calls never re-hit the map.
+  for (const auto& [key, value] : header.AsMap()) {
+    if (key == kHeaderApp) {
+      app_ = &value.AsString();
+    } else if (key == kHeaderSubscription) {
+      subscription_ = &value.AsString();
+    } else if (key == kHeaderViewer) {
+      viewer_ = value.AsInt(0);
+    } else if (key == kHeaderBrassHost) {
+      brass_host_ = value.AsInt(0);
+    } else if (key == kHeaderResumeToken) {
+      resume_token_ = value.AsInt(0);
+    } else if (key == kHeaderRegion) {
+      if (value.is_number()) {
+        region_ = static_cast<int32_t>(value.AsInt(0));
+        has_region_ = true;
+      }
+    }
+  }
 }
 
 StreamHeader& StreamHeader::set_app(const std::string& app) {

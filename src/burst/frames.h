@@ -58,19 +58,30 @@ struct StreamKeyHash {
 
 // Read-only view over a header map owned elsewhere (e.g. a ServerStream or
 // a received SubscribeFrame). The referenced Value must outlive the view.
+//
+// Construction decodes the map in one pass into plain fields, so each
+// accessor is a load — not a string-keyed map lookup per field per touch.
 class StreamHeaderView {
  public:
-  explicit StreamHeaderView(const Value& header) : header_(&header) {}
+  explicit StreamHeaderView(const Value& header);
 
-  const std::string& app() const;           // application name
-  const std::string& subscription() const;  // GraphQL subscription text
-  int64_t viewer() const;                   // authenticated uid (0: none)
-  int64_t brass_host() const;               // sticky-routing target (0: none)
-  int64_t resume_token() const;             // app-defined sync state (0: none)
-  int32_t region(int32_t fallback = 0) const;  // preferred DC region
+  const std::string& app() const { return *app_; }                    // application name
+  const std::string& subscription() const { return *subscription_; }  // GraphQL text
+  int64_t viewer() const { return viewer_; }            // authenticated uid (0: none)
+  int64_t brass_host() const { return brass_host_; }    // sticky-routing target (0: none)
+  int64_t resume_token() const { return resume_token_; }  // app-defined sync state (0: none)
+  int32_t region(int32_t fallback = 0) const {          // preferred DC region
+    return has_region_ ? region_ : fallback;
+  }
 
  private:
-  const Value* header_;
+  const std::string* app_;
+  const std::string* subscription_;
+  int64_t viewer_ = 0;
+  int64_t brass_host_ = 0;
+  int64_t resume_token_ = 0;
+  int32_t region_ = 0;
+  bool has_region_ = false;
 };
 
 // Owning builder for constructing a new header or rewriting an existing

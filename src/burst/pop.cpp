@@ -15,6 +15,10 @@ Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connec
       metrics_(metrics),
       trace_(trace) {
   assert(sim_ != nullptr && metrics_ != nullptr);
+  m_.pop_device_disconnects = &metrics_->GetCounter("burst.pop_device_disconnects");
+  m_.pop_failures = &metrics_->GetCounter("burst.pop_failures");
+  m_.pop_initiated_reconnects = &metrics_->GetCounter("burst.pop_initiated_reconnects");
+  m_.pop_uplink_failures = &metrics_->GetCounter("burst.pop_uplink_failures");
 }
 
 void Pop::AttachDeviceConnection(std::shared_ptr<ConnectionEnd> end) {
@@ -29,7 +33,7 @@ void Pop::FailPop() {
     return;
   }
   alive_ = false;
-  metrics_->GetCounter("burst.pop_failures").Increment();
+  m_.pop_failures->Increment();
   for (auto& [conn_id, dev] : device_conns_) {
     dev.end->set_handler(nullptr);
     dev.end->Fail();
@@ -216,7 +220,7 @@ void Pop::HandleDeviceDisconnect(uint64_t conn_id) {
   // §4 axiom 1: the POP detects the device loss and informs all BRASSes
   // servicing streams instantiated by the device. Stream state is GCed
   // immediately (§3.5): the device will subscribe afresh elsewhere.
-  metrics_->GetCounter("burst.pop_device_disconnects").Increment();
+  m_.pop_device_disconnects->Increment();
   auto dev = device_conns_.find(conn_id);
   if (dev == device_conns_.end()) {
     return;
@@ -252,7 +256,7 @@ void Pop::HandleUplinkDisconnect(RegionId up_region) {
   if (it == uplinks_.end()) {
     return;
   }
-  metrics_->GetCounter("burst.pop_uplink_failures").Increment();
+  m_.pop_uplink_failures->Increment();
   uint64_t failed_proxy = it->second.proxy_id;
   std::vector<StreamKey> affected(it->second.streams.begin(), it->second.streams.end());
   uplink_by_conn_.erase(it->second.end->connection_id());
@@ -300,7 +304,7 @@ void Pop::HandleUplinkDisconnect(RegionId up_region) {
     if (stream == streams_.end()) {
       continue;
     }
-    metrics_->GetCounter("burst.pop_initiated_reconnects").Increment();
+    m_.pop_initiated_reconnects->Increment();
     ForwardSubscribeUp(key, stream->second, /*resubscribe=*/true);
   }
 }

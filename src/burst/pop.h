@@ -95,12 +95,21 @@ class Pop : public ConnectionHandler {
   void ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resubscribe);
   void RemoveStream(const StreamKey& key);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* pop_device_disconnects;
+    Counter* pop_failures;
+    Counter* pop_initiated_reconnects;
+    Counter* pop_uplink_failures;
+  };
+
   Simulator* sim_;
   uint64_t pop_id_;
   RegionId region_;
   ProxyConnector connector_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   TraceCollector* trace_;
   bool alive_ = true;
 

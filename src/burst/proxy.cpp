@@ -16,6 +16,11 @@ ReverseProxy::ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
       metrics_(metrics),
       trace_(trace) {
   assert(sim_ != nullptr && directory_ != nullptr && metrics_ != nullptr);
+  m_.proxy_admission_redirects = &metrics_->GetCounter("burst.proxy_admission_redirects");
+  m_.proxy_failures = &metrics_->GetCounter("burst.proxy_failures");
+  m_.proxy_host_disconnects = &metrics_->GetCounter("burst.proxy_host_disconnects");
+  m_.proxy_induced_reconnects = &metrics_->GetCounter("burst.proxy_induced_reconnects");
+  m_.proxy_pop_disconnects = &metrics_->GetCounter("burst.proxy_pop_disconnects");
 }
 
 void ReverseProxy::AttachPopConnection(std::shared_ptr<ConnectionEnd> end) {
@@ -30,7 +35,7 @@ void ReverseProxy::FailProxy() {
     return;
   }
   alive_ = false;
-  metrics_->GetCounter("burst.proxy_failures").Increment();
+  m_.proxy_failures->Increment();
   for (auto& [conn_id, pop] : pop_conns_) {
     pop.end->set_handler(nullptr);
     pop.end->Fail();
@@ -136,7 +141,7 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
         // Admission rejection (§3.2 budgets): every alive host is at its
         // stream budget. Redirect instead of erroring — the device retries
         // with backoff and is admitted once capacity frees up.
-        metrics_->GetCounter("burst.proxy_admission_redirects").Increment();
+        m_.proxy_admission_redirects->Increment();
         RedirectDownstream(subscribe->key, "all BRASS hosts saturated");
       } else {
         TerminateDownstream(subscribe->key, TerminateReason::kError, "no BRASS host available");
@@ -299,7 +304,7 @@ void ReverseProxy::HandlePopDisconnect(uint64_t conn_id) {
   // The POP (or the link to it) failed. Inform the BRASSes of each affected
   // stream (§4 axiom 1); the POP side repairs through an alternate proxy,
   // which creates fresh state at *that* proxy, so this one GCs.
-  metrics_->GetCounter("burst.proxy_pop_disconnects").Increment();
+  m_.proxy_pop_disconnects->Increment();
   auto pop = pop_conns_.find(conn_id);
   if (pop == pop_conns_.end()) {
     return;
@@ -338,7 +343,7 @@ void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
   if (conn == host_conns_.end()) {
     return;
   }
-  metrics_->GetCounter("burst.proxy_host_disconnects").Increment();
+  m_.proxy_host_disconnects->Increment();
   std::vector<StreamKey> affected(conn->second.streams.begin(), conn->second.streams.end());
   conn->second.end->set_handler(nullptr);
   host_by_conn_.erase(conn_id);
@@ -362,7 +367,7 @@ void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
     HostPick repair = RouteHost(it->second.header);
     if (repair.host_id == 0 || repair.host_id == dead_host) {
       if (repair.saturated) {
-        metrics_->GetCounter("burst.proxy_admission_redirects").Increment();
+        m_.proxy_admission_redirects->Increment();
         RedirectDownstream(key, "no BRASS host with admission capacity");
       } else {
         TerminateDownstream(key, TerminateReason::kError, "no alternate BRASS host");
@@ -371,7 +376,7 @@ void ReverseProxy::HandleHostDisconnect(uint64_t conn_id) {
       continue;
     }
     it->second.host_id = repair.host_id;
-    metrics_->GetCounter("burst.proxy_induced_reconnects").Increment();
+    m_.proxy_induced_reconnects->Increment();
     ForwardSubscribeToHost(key, it->second, /*resubscribe=*/true);
   }
 }

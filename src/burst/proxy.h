@@ -120,12 +120,22 @@ class ReverseProxy : public ConnectionHandler {
                            const std::string& detail);
   void RemoveStream(const StreamKey& key);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* proxy_admission_redirects;
+    Counter* proxy_failures;
+    Counter* proxy_host_disconnects;
+    Counter* proxy_induced_reconnects;
+    Counter* proxy_pop_disconnects;
+  };
+
   Simulator* sim_;
   uint64_t proxy_id_;
   RegionId region_;
   BurstServerDirectory* directory_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   TraceCollector* trace_;
   bool alive_ = true;
 

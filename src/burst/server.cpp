@@ -32,6 +32,15 @@ BurstServer::BurstServer(Simulator* sim, int64_t host_id, BurstServerHandler* ha
                          BurstConfig config, MetricsRegistry* metrics)
     : sim_(sim), host_id_(host_id), handler_(handler), config_(config), metrics_(metrics) {
   assert(sim_ != nullptr && handler_ != nullptr && metrics_ != nullptr);
+  m_.host_crashes = &metrics_->GetCounter("burst.host_crashes");
+  m_.host_drains = &metrics_->GetCounter("burst.host_drains");
+  m_.server_proxy_disconnects = &metrics_->GetCounter("burst.server_proxy_disconnects");
+  m_.server_pushes = &metrics_->GetCounter("burst.server_pushes");
+  m_.server_pushes_dropped = &metrics_->GetCounter("burst.server_pushes_dropped");
+  m_.server_stream_cold_resumes = &metrics_->GetCounter("burst.server_stream_cold_resumes");
+  m_.server_stream_detaches = &metrics_->GetCounter("burst.server_stream_detaches");
+  m_.server_stream_resumes = &metrics_->GetCounter("burst.server_stream_resumes");
+  m_.server_stream_starts = &metrics_->GetCounter("burst.server_stream_starts");
 }
 
 BurstServer::~BurstServer() {
@@ -56,7 +65,7 @@ void BurstServer::Drain() {
     return;
   }
   alive_ = false;
-  metrics_->GetCounter("burst.host_drains").Increment();
+  m_.host_drains->Increment();
   for (auto& [conn_id, end] : proxy_conns_) {
     end->set_handler(nullptr);
     end->Close();  // graceful: proxies see kPeerClose and repair streams
@@ -75,7 +84,7 @@ void BurstServer::FailHost() {
     return;
   }
   alive_ = false;
-  metrics_->GetCounter("burst.host_crashes").Increment();
+  m_.host_crashes->Increment();
   for (auto& [conn_id, end] : proxy_conns_) {
     end->set_handler(nullptr);
     end->Fail();
@@ -123,7 +132,7 @@ void BurstServer::HandleSubscribe(ConnectionEnd& on, const SubscribeFrame& frame
     // client-side rewrite-carrying resubscribe wins if it is newer — the
     // stored copies were updated by the same rewrites, so they agree.
     stream.header_ = frame.header;
-    metrics_->GetCounter("burst.server_stream_resumes").Increment();
+    m_.server_stream_resumes->Increment();
     // §4 axiom 2: "Once a stream has been re-established, BRASS informs
     // the device of this."
     stream.PushFlow(FlowStatus::kRecovered, "stream re-established");
@@ -137,11 +146,11 @@ void BurstServer::HandleSubscribe(ConnectionEnd& on, const SubscribeFrame& frame
   stream->established_at_ = sim_->Now();
   ServerStream& ref = *stream;
   streams_[frame.key] = std::move(stream);
-  metrics_->GetCounter("burst.server_stream_starts").Increment();
+  m_.server_stream_starts->Increment();
   if (frame.resubscribe) {
     // State was lost (crashed host or expired GC); the rewritten header
     // carries whatever the application needs to resume (§3.5 Resumption).
-    metrics_->GetCounter("burst.server_stream_cold_resumes").Increment();
+    m_.server_stream_cold_resumes->Increment();
     ref.PushFlow(FlowStatus::kRecovered, "stream re-established (state rebuilt)");
   }
   handler_->OnStreamStarted(ref);
@@ -176,7 +185,7 @@ void BurstServer::DetachStream(ServerStream& stream, const std::string& reason) 
   }
   stream.detached_ = true;
   stream.down_conn_ = nullptr;
-  metrics_->GetCounter("burst.server_stream_detaches").Increment();
+  m_.server_stream_detaches->Increment();
   handler_->OnStreamDetached(stream, reason);
   // Keep state for a grace period so a reconnect can resume seamlessly.
   StreamKey key = stream.key_;
@@ -207,13 +216,13 @@ void BurstServer::SendBatch(ServerStream& stream, std::vector<Delta> batch) {
   if (!stream.attached()) {
     // Best-effort: pushes during a detach window are dropped (§4); the
     // application's own recovery (acks, sync tokens) covers the gap.
-    metrics_->GetCounter("burst.server_pushes_dropped").Increment();
+    m_.server_pushes_dropped->Increment();
     return;
   }
   auto response = std::make_shared<ResponseFrame>();
   response->key = stream.key_;
   response->batch = std::move(batch);
-  metrics_->GetCounter("burst.server_pushes").Increment();
+  m_.server_pushes->Increment();
   stream.down_conn_->Send(response);
 }
 
@@ -225,7 +234,7 @@ void BurstServer::OnDisconnect(ConnectionEnd& on, DisconnectReason reason) {
   }
   conn_it->second->set_handler(nullptr);
   proxy_conns_.erase(conn_it);
-  metrics_->GetCounter("burst.server_proxy_disconnects").Increment();
+  m_.server_proxy_disconnects->Increment();
   // Detach every stream that was riding this connection. Collect keys
   // first: handler callbacks may erase streams while we iterate.
   std::vector<StreamKey> affected;

@@ -141,11 +141,25 @@ class BurstServer : public ConnectionHandler {
   void EraseStream(StreamKey key, TerminateReason reason, bool notify_handler);
   void SendBatch(ServerStream& stream, std::vector<Delta> batch);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* host_crashes;
+    Counter* host_drains;
+    Counter* server_proxy_disconnects;
+    Counter* server_pushes;
+    Counter* server_pushes_dropped;
+    Counter* server_stream_cold_resumes;
+    Counter* server_stream_detaches;
+    Counter* server_stream_resumes;
+    Counter* server_stream_starts;
+  };
+
   Simulator* sim_;
   int64_t host_id_;
   BurstServerHandler* handler_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   bool alive_ = true;
 
   std::unordered_map<StreamKey, std::unique_ptr<ServerStream>, StreamKeyHash> streams_;

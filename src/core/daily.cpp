@@ -12,6 +12,25 @@ DailyScenario::DailyScenario(BladerunnerCluster* cluster, const SocialGraph* gra
       config_(config),
       online_curve_(config.online_trough, config.online_peak, config.peak_hour) {
   assert(cluster_ != nullptr && graph_ != nullptr);
+  MetricsRegistry& m = cluster_->metrics();
+  active_streams_series_ = &m.GetTimeSeries("daily.active_streams_per_user", Minutes(15));
+  static constexpr struct {
+    const char* series;
+    const char* counter;
+  } kRates[] = {
+      {"daily.subscriptions", "device.subscriptions"},
+      {"daily.publications", "pylon.publishes"},
+      {"daily.fanout", "pylon.fanout_sends"},
+      {"daily.decisions", "brass.decisions"},
+      {"daily.deliveries", "brass.deliveries"},
+      {"daily.drops", "burst.device_connection_drops"},
+      {"daily.proxy_reconnects", "burst.proxy_induced_reconnects"},
+      {"daily.pop_reconnects", "burst.pop_initiated_reconnects"},
+  };
+  for (const auto& rate : kRates) {
+    rate_samplers_.push_back(RateSampler{&m.GetTimeSeries(rate.series, Minutes(15)),
+                                         &m.GetCounter(rate.counter), 0});
+  }
   users_.resize(graph_->users.size());
   for (size_t i = 0; i < graph_->users.size(); ++i) {
     UserState& state = users_[i];
@@ -269,42 +288,20 @@ void DailyScenario::DoRandomActivity(size_t idx) {
   }
 }
 
-int64_t DailyScenario::CounterDelta(const std::string& name, int64_t* last) {
-  const Counter* counter = cluster_->metrics().FindCounter(name);
-  int64_t now = counter != nullptr ? counter->value() : 0;
-  int64_t delta = now - *last;
-  *last = now;
-  return delta;
-}
-
 void DailyScenario::SamplerTick() {
   SimTime now = cluster_->sim().Now() - started_at_;
-  MetricsRegistry& m = cluster_->metrics();
 
   size_t active_streams = 0;
   for (UserState& state : users_) {
     active_streams += state.device->burst().ActiveStreamCount();
   }
-  m.GetTimeSeries("daily.active_streams_per_user", Minutes(15))
-      .Sample(now, static_cast<double>(active_streams) / static_cast<double>(users_.size()));
+  active_streams_series_->Sample(
+      now, static_cast<double>(active_streams) / static_cast<double>(users_.size()));
 
-  struct RateMetric {
-    const char* series;
-    const char* counter;
-  };
-  static const RateMetric kRates[] = {
-      {"daily.subscriptions", "device.subscriptions"},
-      {"daily.publications", "pylon.publishes"},
-      {"daily.fanout", "pylon.fanout_sends"},
-      {"daily.decisions", "brass.decisions"},
-      {"daily.deliveries", "brass.deliveries"},
-      {"daily.drops", "burst.device_connection_drops"},
-      {"daily.proxy_reconnects", "burst.proxy_induced_reconnects"},
-      {"daily.pop_reconnects", "burst.pop_initiated_reconnects"},
-  };
-  for (const RateMetric& rate : kRates) {
-    int64_t delta = CounterDelta(rate.counter, &last_counter_values_[rate.counter]);
-    m.GetTimeSeries(rate.series, Minutes(15)).Add(now, static_cast<double>(delta));
+  for (RateSampler& rate : rate_samplers_) {
+    int64_t value = rate.counter->value();
+    rate.series->Add(now, static_cast<double>(value - rate.last));
+    rate.last = value;
   }
 }
 

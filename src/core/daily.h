@@ -125,7 +125,6 @@ class DailyScenario {
   ObjectId PickVideo();
   void SamplerTick();
   void UpgradeTick();
-  int64_t CounterDelta(const std::string& name, int64_t* last);
 
   BladerunnerCluster* cluster_;
   const SocialGraph* graph_;
@@ -133,7 +132,15 @@ class DailyScenario {
   DiurnalCurve online_curve_;
   StreamLifetimeModel lifetimes_;
   std::vector<UserState> users_;
-  std::map<std::string, int64_t> last_counter_values_;
+  // Sampler handles resolved once at construction (docs/PERF.md): each tick
+  // reads the source counter and adds the delta to the derived rate series.
+  struct RateSampler {
+    TimeSeries* series = nullptr;
+    const Counter* counter = nullptr;
+    int64_t last = 0;
+  };
+  TimeSeries* active_streams_series_ = nullptr;
+  std::vector<RateSampler> rate_samplers_;
   SimTime started_at_ = 0;
 };
 

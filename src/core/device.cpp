@@ -30,6 +30,19 @@ DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId regi
                          DeviceProfile profile)
     : cluster_(cluster), user_(user), region_(region), profile_(profile) {
   assert(cluster_ != nullptr);
+  MetricsRegistry& metrics = cluster_->metrics();
+  m_.was_queries = &metrics.GetCounter("device.was_queries");
+  m_.was_mutations = &metrics.GetCounter("device.was_mutations");
+  m_.subscriptions = &metrics.GetCounter("device.subscriptions");
+  m_.drops_per_bucket = &metrics.GetTimeSeries("device.drops_per_bucket", Minutes(15));
+  m_.payloads_received = &metrics.GetCounter("device.payloads_received");
+  m_.messenger_order_violations = &metrics.GetCounter("device.messenger_order_violations");
+  m_.degrade_to_poll_signals = &metrics.GetCounter("device.degrade_to_poll_signals");
+  m_.resume_stream_signals = &metrics.GetCounter("device.resume_stream_signals");
+  m_.fallback_pollers_started = &metrics.GetCounter("device.fallback_pollers_started");
+  m_.fallback_polls = &metrics.GetCounter("device.fallback_polls");
+  m_.fallback_comments = &metrics.GetCounter("device.fallback_comments");
+  m_.streams_terminated = &metrics.GetCounter("device.streams_terminated");
   // Radio promotion is a cellular phenomenon: wifi devices wake cheaply,
   // 2G radios take seconds to promote to a data-capable state.
   BurstConfig burst_config = cluster_->config().burst;
@@ -60,11 +73,23 @@ DeviceAgent::~DeviceAgent() {
   }
 }
 
+const DeviceAgent::AppE2eMetrics& DeviceAgent::E2eMetricsFor(const std::string& app) {
+  auto it = e2e_metrics_.find(app);
+  if (it != e2e_metrics_.end()) {
+    return it->second;
+  }
+  MetricsRegistry& metrics = cluster_->metrics();
+  AppE2eMetrics handles;
+  handles.total_us = &metrics.GetHistogram("e2e.total_us." + app);
+  handles.brass_to_device_us = &metrics.GetHistogram("e2e.brass_to_device_us." + app);
+  return e2e_metrics_.emplace(app, handles).first->second;
+}
+
 void DeviceAgent::Query(const std::string& text, std::function<void(bool, Value)> callback) {
   auto request = std::make_shared<WasQueryRequest>();
   request->query = text;
   request->viewer = user_;
-  cluster_->metrics().GetCounter("device.was_queries").Increment();
+  m_.was_queries->Increment();
   auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
   was_channel_->Call("was.query", request, [cb](RpcStatus status, MessagePtr response) {
     if (status != RpcStatus::kOk) {
@@ -81,7 +106,7 @@ void DeviceAgent::Mutate(const std::string& text, std::function<void(bool, Value
   request->mutation = text;
   request->viewer = user_;
   request->created_at = cluster_->sim().Now();
-  cluster_->metrics().GetCounter("device.was_mutations").Increment();
+  m_.was_mutations->Increment();
   auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
   was_channel_->Call("was.mutate", request, [cb](RpcStatus status, MessagePtr response) {
     if (*cb == nullptr) {
@@ -101,7 +126,7 @@ uint64_t DeviceAgent::SubscribeRaw(const std::string& app, const std::string& su
   builder.set_app(app).set_subscription(subscription).set_viewer(user_).set_region(region_);
   Value header = std::move(builder).Take();
   StartSubscribeTrace(&header);
-  cluster_->metrics().GetCounter("device.subscriptions").Increment();
+  m_.subscriptions->Increment();
   return burst_->Subscribe(std::move(header));
 }
 
@@ -150,7 +175,7 @@ uint64_t DeviceAgent::SubscribeMailbox(uint64_t last_seq) {
   }
   Value header = std::move(builder).Take();
   StartSubscribeTrace(&header);
-  cluster_->metrics().GetCounter("device.subscriptions").Increment();
+  m_.subscriptions->Increment();
   return burst_->Subscribe(std::move(header));
 }
 
@@ -221,9 +246,7 @@ void DeviceAgent::ScheduleNextDrop() {
   churn_timer_ = cluster_->sim().Schedule(wait, [this]() {
     churn_timer_ = kInvalidTimerId;
     if (burst_->connected()) {
-      cluster_->metrics()
-          .GetTimeSeries("device.drops_per_bucket", Minutes(15))
-          .Add(cluster_->sim().Now(), 1.0);
+      m_.drops_per_bucket->Add(cluster_->sim().Now(), 1.0);
       burst_->SimulateConnectionDrop();
     }
     ScheduleNextDrop();
@@ -232,26 +255,24 @@ void DeviceAgent::ScheduleNextDrop() {
 
 void DeviceAgent::OnStreamData(uint64_t sid, const Value& payload, uint64_t seq) {
   payloads_received_ += 1;
-  MetricsRegistry& metrics = cluster_->metrics();
-  metrics.GetCounter("device.payloads_received").Increment();
+  m_.payloads_received->Increment();
 
   const std::string& app = payload.Get("_app").AsString();
   SimTime now = cluster_->sim().Now();
   SimTime created_at = payload.Get("_createdAt").AsInt(0);
   SimTime sent_at = payload.Get("_sentAt").AsInt(0);
   if (created_at > 0) {
-    metrics.GetHistogram("e2e.total_us." + app).Record(static_cast<double>(now - created_at));
+    E2eMetricsFor(app).total_us->Record(static_cast<double>(now - created_at));
   }
   if (sent_at > 0) {
-    metrics.GetHistogram("e2e.brass_to_device_us." + app)
-        .Record(static_cast<double>(now - sent_at));
+    E2eMetricsFor(app).brass_to_device_us->Record(static_cast<double>(now - sent_at));
   }
   if (app == "Messenger" && seq > 0) {
     if (seq <= last_messenger_seq_) {
       // Redelivery of something we already have — fine, idempotent.
     } else if (seq != last_messenger_seq_ + 1) {
       messenger_order_violations_ += 1;
-      metrics.GetCounter("device.messenger_order_violations").Increment();
+      m_.messenger_order_violations->Increment();
       last_messenger_seq_ = seq;
     } else {
       last_messenger_seq_ = seq;
@@ -271,12 +292,12 @@ void DeviceAgent::OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std:
       break;
     case FlowStatus::kDegradeToPoll:
       degrade_to_poll_signals_ += 1;
-      cluster_->metrics().GetCounter("device.degrade_to_poll_signals").Increment();
+      m_.degrade_to_poll_signals->Increment();
       StartFallbackPolling(sid);
       break;
     case FlowStatus::kResumeStream:
       resume_stream_signals_ += 1;
-      cluster_->metrics().GetCounter("device.resume_stream_signals").Increment();
+      m_.resume_stream_signals->Increment();
       StopFallbackPolling(sid);
       break;
     case FlowStatus::kRecovered:
@@ -303,7 +324,7 @@ void DeviceAgent::StartFallbackPolling(uint64_t sid) {
   SimTime now = cluster_->sim().Now();
   poller.watermark = now > fallback_poll_interval_ ? now - fallback_poll_interval_ : 0;
   fallback_pollers_[sid] = std::move(poller);
-  cluster_->metrics().GetCounter("device.fallback_pollers_started").Increment();
+  m_.fallback_pollers_started->Increment();
   FallbackPollOnce(sid);
 }
 
@@ -325,7 +346,7 @@ void DeviceAgent::FallbackPollOnce(uint64_t sid) {
   }
   it->second.timer = kInvalidTimerId;
   fallback_polls_ += 1;
-  cluster_->metrics().GetCounter("device.fallback_polls").Increment();
+  m_.fallback_polls->Increment();
   Query(FallbackPollQuery(it->second.video, it->second.watermark),
         [this, sid](bool ok, Value data) {
           // Like the polling baseline, use whatever data came back even when
@@ -352,7 +373,7 @@ void DeviceAgent::FallbackPollOnce(uint64_t sid) {
               continue;
             }
             fallback_comments_ += 1;
-            cluster_->metrics().GetCounter("device.fallback_comments").Increment();
+            m_.fallback_comments->Increment();
           }
           // A full page means a backlog remains; page again immediately.
           SimTime delay = page_size >= kFallbackPollPageSize ? 0 : fallback_poll_interval_;
@@ -366,7 +387,7 @@ void DeviceAgent::OnStreamTerminated(uint64_t sid, TerminateReason reason,
   (void)detail;
   StopFallbackPolling(sid);
   lvc_videos_.erase(sid);
-  cluster_->metrics().GetCounter("device.streams_terminated").Increment();
+  m_.streams_terminated->Increment();
 }
 
 }  // namespace bladerunner

@@ -102,6 +102,28 @@ class DeviceAgent : public BurstClient::Observer {
     TimerId timer = kInvalidTimerId;
   };
 
+  // Metric handles resolved once at construction; the per-app e2e
+  // histograms are resolved once per app name (docs/PERF.md).
+  struct Metrics {
+    Counter* was_queries;
+    Counter* was_mutations;
+    Counter* subscriptions;
+    TimeSeries* drops_per_bucket;
+    Counter* payloads_received;
+    Counter* messenger_order_violations;
+    Counter* degrade_to_poll_signals;
+    Counter* resume_stream_signals;
+    Counter* fallback_pollers_started;
+    Counter* fallback_polls;
+    Counter* fallback_comments;
+    Counter* streams_terminated;
+  };
+  struct AppE2eMetrics {
+    Histogram* total_us;
+    Histogram* brass_to_device_us;
+  };
+  const AppE2eMetrics& E2eMetricsFor(const std::string& app);
+
   void StartFallbackPolling(uint64_t sid);
   void StopFallbackPolling(uint64_t sid);
   void FallbackPollOnce(uint64_t sid);
@@ -113,6 +135,8 @@ class DeviceAgent : public BurstClient::Observer {
   void StartSubscribeTrace(Value* header);
 
   BladerunnerCluster* cluster_;
+  Metrics m_;
+  std::map<std::string, AppE2eMetrics> e2e_metrics_;
   UserId user_;
   RegionId region_;
   DeviceProfile profile_;

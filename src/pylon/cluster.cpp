@@ -13,6 +13,8 @@ PylonCluster::PylonCluster(Simulator* sim, const Topology* topology, PylonConfig
     : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics),
       trace_(trace) {
   assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  kv_membership_changes_ = &metrics_->GetCounter("pylon.kv_membership_changes");
+  kv_anti_entropy_runs_ = &metrics_->GetCounter("pylon.kv_anti_entropy_runs");
   int regions = topology_->num_regions();
   kv_ids_by_region_.resize(static_cast<size_t>(regions));
   uint64_t next_server_id = 1;
@@ -87,16 +89,16 @@ std::vector<KvNode*> PylonCluster::ReplicasFor(const Topic& topic, RegionId home
 
 void PylonCluster::OnKvNodeFailed(KvNode* node) {
   (void)node;
-  metrics_->GetCounter("pylon.kv_membership_changes").Increment();
+  kv_membership_changes_->Increment();
 }
 
 void PylonCluster::OnKvNodeLive(KvNode* node) {
   (void)node;
-  metrics_->GetCounter("pylon.kv_membership_changes").Increment();
+  kv_membership_changes_->Increment();
 }
 
 void PylonCluster::StartAntiEntropy(KvNode* node) {
-  metrics_->GetCounter("pylon.kv_anti_entropy_runs").Increment();
+  kv_anti_entropy_runs_->Increment();
   // Snapshot every live node, not just the node's current peers: writes
   // that landed on a stand-in replica while this node was down must be
   // handed back when placement flips to the recovered node.

@@ -106,6 +106,9 @@ class PylonCluster {
   PylonConfig config_;
   MetricsRegistry* metrics_;
   TraceCollector* trace_;
+  // Cached handles (docs/PERF.md): resolved once in the constructor.
+  Counter* kv_membership_changes_ = nullptr;
+  Counter* kv_anti_entropy_runs_ = nullptr;
 
   std::vector<std::unique_ptr<PylonServer>> servers_;
   std::vector<std::unique_ptr<KvNode>> kv_nodes_;

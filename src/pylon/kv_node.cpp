@@ -8,8 +8,19 @@ namespace bladerunner {
 
 KvNode::KvNode(Simulator* sim, uint64_t node_id, RegionId region, const PylonConfig* config,
                MetricsRegistry* metrics, PylonCluster* cluster)
-    : sim_(sim), node_id_(node_id), region_(region), config_(config), metrics_(metrics),
-      cluster_(cluster) {
+    : sim_(sim), node_id_(node_id), region_(region), config_(config), cluster_(cluster) {
+  m_.node_failures = &metrics->GetCounter("pylon.kv_node_failures");
+  m_.node_state_losses = &metrics->GetCounter("pylon.kv_node_state_losses");
+  m_.node_recoveries = &metrics->GetCounter("pylon.kv_node_recoveries");
+  m_.anti_entropy_entries_merged =
+      &metrics->GetCounter("pylon.kv_anti_entropy_entries_merged");
+  m_.anti_entropy_removals = &metrics->GetCounter("pylon.kv_anti_entropy_removals");
+  m_.adds = &metrics->GetCounter("pylon.kv_adds");
+  m_.removes = &metrics->GetCounter("pylon.kv_removes");
+  m_.gets = &metrics->GetCounter("pylon.kv_gets");
+  m_.patch_conflicts = &metrics->GetCounter("pylon.kv_patch_conflicts");
+  m_.patches = &metrics->GetCounter("pylon.kv_patches");
+  m_.snapshots = &metrics->GetCounter("pylon.kv_snapshots");
   rpc_.RegisterMethod("kv.op", [this](MessagePtr request, RpcServer::Respond respond) {
     HandleOp(std::move(request), std::move(respond));
   });
@@ -35,7 +46,7 @@ void KvNode::Fail() {
   state_ = KvNodeState::kFailed;
   ++crash_epoch_;
   rpc_.SetAvailable(false);
-  metrics_->GetCounter("pylon.kv_node_failures").Increment();
+  m_.node_failures->Increment();
   if (cluster_ != nullptr) {
     cluster_->OnKvNodeFailed(this);
   }
@@ -48,10 +59,10 @@ void KvNode::Recover(bool lose_state) {
   if (lose_state) {
     table_.clear();
     tombstones_.clear();
-    metrics_->GetCounter("pylon.kv_node_state_losses").Increment();
+    m_.node_state_losses->Increment();
   }
   state_ = KvNodeState::kRecovering;
-  metrics_->GetCounter("pylon.kv_node_recoveries").Increment();
+  m_.node_recoveries->Increment();
   if (cluster_ != nullptr && config_->anti_entropy_on_recovery) {
     // The cluster fetches peer snapshots and calls FinishRecovery() when
     // the pass completes; until then the node stays out of quorums.
@@ -80,7 +91,7 @@ void KvNode::MergeEntry(const Topic& topic, const std::vector<int64_t>& subscrib
   }
   if (changed) {
     ++entry.version;
-    metrics_->GetCounter("pylon.kv_anti_entropy_entries_merged").Increment();
+    m_.anti_entropy_entries_merged->Increment();
   }
 }
 
@@ -91,7 +102,7 @@ void KvNode::ApplyTombstone(const Topic& topic, int64_t subscriber) {
   }
   if (it->second.subscribers.erase(subscriber) > 0) {
     ++it->second.version;
-    metrics_->GetCounter("pylon.kv_anti_entropy_removals").Increment();
+    m_.anti_entropy_removals->Increment();
     if (it->second.subscribers.empty()) {
       table_.erase(it);
     }
@@ -123,7 +134,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
             tombstones_.erase(tomb);
           }
         }
-        metrics_->GetCounter("pylon.kv_adds").Increment();
+        m_.adds->Increment();
         break;
       }
       case KvOpRequest::Op::kRemove: {
@@ -138,7 +149,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
         // Tombstone the removal so a replica that was crashed while it
         // happened cannot resurrect the subscriber via anti-entropy.
         tombstones_[op->topic].insert(op->subscriber);
-        metrics_->GetCounter("pylon.kv_removes").Increment();
+        m_.removes->Increment();
         break;
       }
       case KvOpRequest::Op::kGet: {
@@ -148,7 +159,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
                                        it->second.subscribers.end());
           response->version = it->second.version;
         }
-        metrics_->GetCounter("pylon.kv_gets").Increment();
+        m_.gets->Increment();
         break;
       }
       case KvOpRequest::Op::kPatch: {
@@ -157,7 +168,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
         // the patch was computed from, and never drop members.
         uint64_t current = VersionOf(op->topic);
         if (current != op->base_version) {
-          metrics_->GetCounter("pylon.kv_patch_conflicts").Increment();
+          m_.patch_conflicts->Increment();
           response->ok = false;
           break;
         }
@@ -176,7 +187,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
           table_.erase(op->topic);  // do not keep an empty entry around
         }
         response->version = VersionOf(op->topic);
-        metrics_->GetCounter("pylon.kv_patches").Increment();
+        m_.patches->Increment();
         break;
       }
     }
@@ -207,7 +218,7 @@ void KvNode::HandleSnapshot(MessagePtr request, RpcServer::Respond respond) {
         response->tombstones.emplace_back(topic, subscriber);
       }
     }
-    metrics_->GetCounter("pylon.kv_snapshots").Increment();
+    m_.snapshots->Increment();
     respond(response);
   });
 }

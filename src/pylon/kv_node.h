@@ -101,11 +101,26 @@ class KvNode {
   void HandleOp(MessagePtr request, RpcServer::Respond respond);
   void HandleSnapshot(MessagePtr request, RpcServer::Respond respond);
 
+  // Metric handles resolved once at construction (docs/PERF.md).
+  struct Metrics {
+    Counter* node_failures;
+    Counter* node_state_losses;
+    Counter* node_recoveries;
+    Counter* anti_entropy_entries_merged;
+    Counter* anti_entropy_removals;
+    Counter* adds;
+    Counter* removes;
+    Counter* gets;
+    Counter* patch_conflicts;
+    Counter* patches;
+    Counter* snapshots;
+  };
+
   Simulator* sim_;
   uint64_t node_id_;
   RegionId region_;
   const PylonConfig* config_;
-  MetricsRegistry* metrics_;
+  Metrics m_;
   PylonCluster* cluster_;
   RpcServer rpc_;
   KvNodeState state_ = KvNodeState::kLive;

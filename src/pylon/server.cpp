@@ -13,6 +13,26 @@ namespace bladerunner {
 PylonServer::PylonServer(Simulator* sim, PylonCluster* cluster, uint64_t server_id,
                          RegionId region)
     : sim_(sim), cluster_(cluster), server_id_(server_id), region_(region) {
+  MetricsRegistry* metrics = cluster_->metrics();
+  m_.publishes = &metrics->GetCounter("pylon.publishes");
+  m_.fanout_dead_hosts = &metrics->GetCounter("pylon.fanout_dead_hosts");
+  m_.fanout_shed = &metrics->GetCounter("pylon.fanout_shed");
+  for (size_t cls = 0; cls < m_.fanout_shed_by_class.size(); ++cls) {
+    m_.fanout_shed_by_class[cls] = &metrics->GetCounter(
+        std::string("pylon.fanout_shed.") + ToString(static_cast<BrassPriorityClass>(cls)));
+  }
+  m_.fanout_pending_depth = &metrics->GetHistogram("pylon.fanout_pending_depth");
+  m_.fanout_sends = &metrics->GetCounter("pylon.fanout_sends");
+  m_.fanout_send_delay_us = &metrics->GetHistogram("pylon.fanout_send_delay_us");
+  m_.fanout_bytes = &metrics->GetCounter("pylon.fanout_bytes");
+  m_.fanout_bytes_cross_region = &metrics->GetCounter("pylon.fanout_bytes_cross_region");
+  m_.fanout_sends_cross_region = &metrics->GetCounter("pylon.fanout_sends_cross_region");
+  m_.kv_read_failures = &metrics->GetCounter("pylon.kv_read_failures");
+  m_.kv_patches_sent = &metrics->GetCounter("pylon.kv_patches_sent");
+  m_.kv_inconsistencies = &metrics->GetCounter("pylon.kv_inconsistencies");
+  m_.subscribes = &metrics->GetCounter("pylon.subscribes");
+  m_.unsubscribes = &metrics->GetCounter("pylon.unsubscribes");
+  m_.quorum_failures = &metrics->GetCounter("pylon.quorum_failures");
   rpc_.RegisterMethod("pylon.publish", [this](MessagePtr request, RpcServer::Respond respond) {
     HandlePublish(std::move(request), std::move(respond));
   });
@@ -52,8 +72,7 @@ struct FanoutState {
 void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) {
   auto publish = std::static_pointer_cast<PylonPublishRequest>(request);
   auto event = publish->event;
-  MetricsRegistry* metrics = cluster_->metrics();
-  metrics->GetCounter("pylon.publishes").Increment();
+  m_.publishes->Increment();
 
   // Span covering receive -> ack; the per-subscriber deliver spans below
   // are its children. A publish arriving without context (e.g. a bench
@@ -89,7 +108,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
   const double pipeline_ms = config.fanout_pipeline_ms;
   const size_t pending_cap = config.max_pending_fanout_sends;
   const BrassPriorityClass incoming = cluster_->PriorityForTopic(event->topic);
-  auto forward_new = [this, event, metrics, state, received_at, send_us, pipeline_ms,
+  auto forward_new = [this, event, state, received_at, send_us, pipeline_ms,
                       pending_cap, incoming, tracer,
                       publish_span](const std::vector<int64_t>& subscribers) {
     // The fanout batch size informs the Table 3 small/large latency split;
@@ -103,7 +122,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
     for (int64_t host : fresh) {
       RpcChannel* channel = cluster_->ChannelToHost(region_, host);
       if (channel == nullptr) {
-        metrics->GetCounter("pylon.fanout_dead_hosts").Increment();
+        m_.fanout_dead_hosts->Increment();
         continue;
       }
       if (pending_cap > 0 && pending_sends_.size() >= pending_cap &&
@@ -111,8 +130,8 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         // Every queued send outranks this event: shed it on arrival, before
         // any serialization cost is drawn — an under-bound run therefore
         // consumes the RNG in exactly the unbounded order.
-        metrics->GetCounter("pylon.fanout_shed").Increment();
-        metrics->GetCounter(std::string("pylon.fanout_shed.") + ToString(incoming)).Increment();
+        m_.fanout_shed->Increment();
+        m_.fanout_shed_by_class[static_cast<size_t>(incoming)]->Increment();
         continue;
       }
       auto delivery = std::make_shared<BrassEventDelivery>();
@@ -160,24 +179,21 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         });
         pending_sends_[send_id] = PendingSend{timer, incoming};
         pending_by_class_[static_cast<size_t>(incoming)].push_back(send_id);
-        metrics->GetHistogram("pylon.fanout_pending_depth")
-            .Record(static_cast<double>(pending_sends_.size()));
+        m_.fanout_pending_depth->Record(static_cast<double>(pending_sends_.size()));
       } else {
         sim_->Schedule(send_cost, do_send);
       }
-      metrics->GetCounter("pylon.fanout_sends").Increment();
-      metrics->GetHistogram("pylon.fanout_send_delay_us")
-          .Record(static_cast<double>(pylon_delay));
+      m_.fanout_sends->Increment();
+      m_.fanout_send_delay_us->Record(static_cast<double>(pylon_delay));
       // Bandwidth accounting for the event-vs-payload ablation: bytes the
       // fanout moves, split by whether the hop crosses regions (the scarce
       // resource the metadata-only design protects, §1).
       const SubscriberHostRef* ref = cluster_->FindSubscriberHost(host);
       uint64_t bytes = delivery->WireSize();
-      metrics->GetCounter("pylon.fanout_bytes").Increment(static_cast<int64_t>(bytes));
+      m_.fanout_bytes->Increment(static_cast<int64_t>(bytes));
       if (ref != nullptr && ref->region != region_) {
-        metrics->GetCounter("pylon.fanout_bytes_cross_region")
-            .Increment(static_cast<int64_t>(bytes));
-        metrics->GetCounter("pylon.fanout_sends_cross_region").Increment();
+        m_.fanout_bytes_cross_region->Increment(static_cast<int64_t>(bytes));
+        m_.fanout_sends_cross_region->Increment();
       }
     }
   };
@@ -187,12 +203,12 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
     auto get = std::make_shared<KvOpRequest>();
     get->op = KvOpRequest::Op::kGet;
     get->topic = event->topic;
-    sim_->Schedule(processing_delay, [this, channel, get, state, forward_new, event, metrics,
+    sim_->Schedule(processing_delay, [this, channel, get, state, forward_new, event,
                                       node]() {
       channel->Call(
           "kv.op", get,
-          [this, state, forward_new, event, metrics, node](RpcStatus status,
-                                                           MessagePtr response) {
+          [this, state, forward_new, event, node](RpcStatus status,
+                                                  MessagePtr response) {
             state->responses += 1;
             if (status == RpcStatus::kOk) {
               auto kv = std::static_pointer_cast<KvOpResponse>(response);
@@ -216,7 +232,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
                 }
               }
             } else {
-              metrics->GetCounter("pylon.kv_read_failures").Increment();
+              m_.kv_read_failures->Increment();
             }
             if (state->responses == state->replicas) {
               // All replicas answered (or failed): repair divergence by
@@ -232,7 +248,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
                 bool divergent = false;
                 for (const auto& view : state->replica_views) {
                   if (view.subscribers.size() != unioned.size()) {
-                    metrics->GetCounter("pylon.kv_patches_sent").Increment();
+                    m_.kv_patches_sent->Increment();
                     auto patch = std::make_shared<KvOpRequest>();
                     patch->op = KvOpRequest::Op::kPatch;
                     patch->topic = event->topic;
@@ -244,7 +260,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
                   }
                 }
                 if (divergent) {
-                  metrics->GetCounter("pylon.kv_inconsistencies").Increment();
+                  m_.kv_inconsistencies->Increment();
                 }
               }
             }
@@ -255,7 +271,6 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
 }
 
 bool PylonServer::ShedLowerPriority(BrassPriorityClass incoming) {
-  MetricsRegistry* metrics = cluster_->metrics();
   for (int cls = static_cast<int>(BrassPriorityClass::kLow);
        cls >= static_cast<int>(incoming); --cls) {
     auto& fifo = pending_by_class_[static_cast<size_t>(cls)];
@@ -268,10 +283,8 @@ bool PylonServer::ShedLowerPriority(BrassPriorityClass incoming) {
       }
       sim_->Cancel(it->second.timer);
       pending_sends_.erase(it);
-      metrics->GetCounter("pylon.fanout_shed").Increment();
-      metrics->GetCounter(std::string("pylon.fanout_shed.") +
-                          ToString(static_cast<BrassPriorityClass>(cls)))
-          .Increment();
+      m_.fanout_shed->Increment();
+      m_.fanout_shed_by_class[static_cast<size_t>(cls)]->Increment();
       return true;
     }
   }
@@ -280,8 +293,7 @@ bool PylonServer::ShedLowerPriority(BrassPriorityClass incoming) {
 
 void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond) {
   auto sub = std::static_pointer_cast<PylonSubscribeRequest>(request);
-  MetricsRegistry* metrics = cluster_->metrics();
-  metrics->GetCounter(sub->subscribe ? "pylon.subscribes" : "pylon.unsubscribes").Increment();
+  (sub->subscribe ? m_.subscribes : m_.unsubscribes)->Increment();
 
   // Span covering the quorum replication of this subscription; ends when
   // the quorum is reached (the latency formerly recorded as
@@ -306,7 +318,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
     // KV outage). Fail closed immediately — without this the replica loop
     // below issues fewer Calls than the quorum needs (zero, when the pool
     // is empty) and the subscribe RPC would hang forever.
-    metrics->GetCounter("pylon.quorum_failures").Increment();
+    m_.quorum_failures->Increment();
     if (tracer != nullptr) {
       tracer->MarkError(sub_span, "too few reachable replicas", sim_->Now());
     }
@@ -337,7 +349,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
     RpcChannel* channel = cluster_->ChannelToKv(region_, node);
     channel->Call(
         "kv.op", op,
-        [this, state, quorum, shared_respond, metrics, tracer, sub_span](
+        [this, state, quorum, shared_respond, tracer, sub_span](
             RpcStatus status, MessagePtr) {
           state->responses += 1;
           if (status == RpcStatus::kOk) {
@@ -353,7 +365,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
             // Quorum unreachable: the CP side fails closed, and the caller
             // (a BRASS) is reliably informed (§4 axiom 1).
             state->decided = true;
-            metrics->GetCounter("pylon.quorum_failures").Increment();
+            m_.quorum_failures->Increment();
             if (tracer != nullptr) {
               tracer->MarkError(sub_span, "subscription quorum unreachable", sim_->Now());
             }

@@ -14,6 +14,7 @@
 #include "src/net/rpc.h"
 #include "src/net/topology.h"
 #include "src/pylon/messages.h"
+#include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace bladerunner {
@@ -54,10 +55,33 @@ class PylonServer {
     BrassPriorityClass priority = BrassPriorityClass::kNormal;
   };
 
+  // Metric handles resolved once at construction (docs/PERF.md): the
+  // publish/fanout path increments through these pointers instead of
+  // re-resolving string-keyed registry lookups per event.
+  struct Metrics {
+    Counter* publishes;
+    Counter* fanout_dead_hosts;
+    Counter* fanout_shed;
+    std::array<Counter*, 3> fanout_shed_by_class;  // indexed by BrassPriorityClass
+    Histogram* fanout_pending_depth;
+    Counter* fanout_sends;
+    Histogram* fanout_send_delay_us;
+    Counter* fanout_bytes;
+    Counter* fanout_bytes_cross_region;
+    Counter* fanout_sends_cross_region;
+    Counter* kv_read_failures;
+    Counter* kv_patches_sent;
+    Counter* kv_inconsistencies;
+    Counter* subscribes;
+    Counter* unsubscribes;
+    Counter* quorum_failures;
+  };
+
   Simulator* sim_;
   PylonCluster* cluster_;
   uint64_t server_id_;
   RegionId region_;
+  Metrics m_;
   RpcServer rpc_;
   std::map<uint64_t, PendingSend> pending_sends_;
   // FIFO of send ids per priority class; ids whose send already fired are

@@ -88,14 +88,29 @@ double Histogram::CdfAt(double value) const {
   if (value < min_) {
     return 0.0;
   }
-  uint64_t below = underflow_;
+  if (value >= max_) {
+    return 1.0;
+  }
+  double below = static_cast<double>(underflow_);
   if (value > 1.0) {
+    // Count strictly-lower buckets in full, then pro-rate the containing
+    // bucket by the log-position of `value` inside it (the bucket spans
+    // (lower, lower*growth], so log(value/lower)/log(growth) is the covered
+    // fraction). Counting the whole containing bucket would overstate the
+    // CDF by up to one full bucket mass.
     size_t bucket = BucketFor(value);
-    for (size_t b = 0; b < buckets_.size() && b <= bucket; ++b) {
-      below += buckets_[b];
+    size_t full = bucket < buckets_.size() ? bucket : buckets_.size();
+    for (size_t b = 0; b < full; ++b) {
+      below += static_cast<double>(buckets_[b]);
+    }
+    if (bucket < buckets_.size() && buckets_[bucket] > 0) {
+      double fraction =
+          (std::log(value) - std::log(BucketLowerBound(bucket))) / log_growth_;
+      fraction = std::clamp(fraction, 0.0, 1.0);
+      below += fraction * static_cast<double>(buckets_[bucket]);
     }
   }
-  return static_cast<double>(below) / static_cast<double>(count_);
+  return below / static_cast<double>(count_);
 }
 
 void Histogram::Merge(const Histogram& other) {

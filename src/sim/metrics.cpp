@@ -7,10 +7,21 @@ namespace bladerunner {
 TimeSeries::Bucket& TimeSeries::BucketAt(SimTime at) {
   assert(at >= 0);
   size_t i = static_cast<size_t>(at / bucket_width_);
+  if (i >= kMaxDenseBuckets) {
+    return overflow_[i];
+  }
   if (i >= buckets_.size()) {
     buckets_.resize(i + 1);
   }
   return buckets_[i];
+}
+
+const TimeSeries::Bucket* TimeSeries::FindBucket(size_t i) const {
+  if (i < buckets_.size()) {
+    return &buckets_[i];
+  }
+  auto it = overflow_.find(i);
+  return it == overflow_.end() ? nullptr : &it->second;
 }
 
 void TimeSeries::Add(SimTime at, double value) { BucketAt(at).sum += value; }
@@ -21,11 +32,16 @@ void TimeSeries::Sample(SimTime at, double value) {
   b.samples += 1;
 }
 
-double TimeSeries::Sum(size_t i) const {
-  if (i >= buckets_.size()) {
-    return 0.0;
+size_t TimeSeries::BucketCount() const {
+  if (!overflow_.empty()) {
+    return overflow_.rbegin()->first + 1;
   }
-  return buckets_[i].sum;
+  return buckets_.size();
+}
+
+double TimeSeries::Sum(size_t i) const {
+  const Bucket* b = FindBucket(i);
+  return b == nullptr ? 0.0 : b->sum;
 }
 
 double TimeSeries::RatePerMinute(size_t i) const {
@@ -37,10 +53,11 @@ double TimeSeries::RatePerMinute(size_t i) const {
 }
 
 double TimeSeries::Mean(size_t i) const {
-  if (i >= buckets_.size() || buckets_[i].samples == 0) {
+  const Bucket* b = FindBucket(i);
+  if (b == nullptr || b->samples == 0) {
     return 0.0;
   }
-  return buckets_[i].sum / static_cast<double>(buckets_[i].samples);
+  return b->sum / static_cast<double>(b->samples);
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {

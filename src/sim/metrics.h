@@ -43,6 +43,10 @@ class Gauge {
 // A sequence of per-bucket aggregates over simulated time. Values recorded
 // within one bucket are summed; ReadRate() converts a bucket sum into a
 // per-minute rate, ReadMean() averages sampled values.
+//
+// Storage is dense (a vector indexed by bucket) up to kMaxDenseBuckets and
+// sparse beyond it, so one stray far-future timestamp costs one map entry
+// instead of resizing the dense vector to gigabytes.
 class TimeSeries {
  public:
   explicit TimeSeries(SimTime bucket_width) : bucket_width_(bucket_width) {}
@@ -54,9 +58,14 @@ class TimeSeries {
   // bucket reports the mean of its samples.
   void Sample(SimTime at, double value);
 
-  size_t BucketCount() const { return buckets_.size(); }
+  // One past the highest bucket index ever written (dense or sparse).
+  size_t BucketCount() const;
   SimTime bucket_width() const { return bucket_width_; }
   SimTime BucketStart(size_t i) const { return static_cast<SimTime>(i) * bucket_width_; }
+
+  // Number of buckets actually backed by memory; bounded by the writes
+  // made, never by the largest index written.
+  size_t AllocatedBuckets() const { return buckets_.size() + overflow_.size(); }
 
   // Sum of values added to bucket i.
   double Sum(size_t i) const;
@@ -72,10 +81,16 @@ class TimeSeries {
     double sum = 0.0;
     uint64_t samples = 0;
   };
+  // Dense-storage ceiling: 2^16 buckets (1 MiB at 16 bytes each) covers
+  // ~68 simulated days at the Fig. 8 bucket width of 90 s.
+  static constexpr size_t kMaxDenseBuckets = 1u << 16;
+
   Bucket& BucketAt(SimTime at);
+  const Bucket* FindBucket(size_t i) const;
 
   SimTime bucket_width_;
   std::vector<Bucket> buckets_;
+  std::map<size_t, Bucket> overflow_;  // buckets at index >= kMaxDenseBuckets
 };
 
 // Owns all named metrics for one simulation. Lookup lazily creates, so

@@ -1,8 +1,45 @@
 #include "src/sim/simulator.h"
 
+#include <cassert>
 #include <utility>
 
 namespace bladerunner {
+
+namespace {
+
+// TimerId layout: slot index in the high 32 bits, generation in the low 32.
+// Generations start at 1 and skip 0 on wrap, so no valid id ever equals
+// kInvalidTimerId (slot 0, generation 0).
+TimerId MakeTimerId(uint32_t slot, uint32_t generation) {
+  return (static_cast<TimerId>(slot) << 32) | generation;
+}
+
+uint32_t TimerSlot(TimerId id) { return static_cast<uint32_t>(id >> 32); }
+
+uint32_t TimerGeneration(TimerId id) { return static_cast<uint32_t>(id); }
+
+}  // namespace
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  assert(slots_.size() < kNoSlot);
+  slots_.push_back(Slot{});
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  if (++s.generation == 0) {
+    s.generation = 1;
+  }
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
 
 TimerId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
   if (delay < 0) {
@@ -15,44 +52,93 @@ TimerId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
   if (at < now_) {
     at = now_;
   }
-  uint64_t seq = next_seq_++;
-  TimerId id = seq;  // seq doubles as a unique id
-  queue_.push(Event{at, seq, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
+  uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.live = true;
+  heap_.push_back(Event{at, next_seq_++, slot, std::move(fn)});
+  SiftUp(heap_.size() - 1);
+  ++live_events_;
+  return MakeTimerId(slot, s.generation);
 }
 
 bool Simulator::Cancel(TimerId id) {
-  // Only a live (scheduled, not yet fired) event can be cancelled; this makes
-  // Cancel() on an already-fired timer a detectable no-op for callers.
-  if (pending_ids_.erase(id) == 0) {
+  uint32_t slot = TimerSlot(id);
+  if (slot >= slots_.size()) {
     return false;
   }
-  // We cannot remove from the middle of a priority queue; record a tombstone
-  // and drop the event when it surfaces.
-  cancelled_.insert(id);
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != TimerGeneration(id)) {
+    return false;
+  }
+  // O(1): flip the flag; the heap node becomes a tombstone that is dropped
+  // (and its slot recycled) when it surfaces at the top.
+  s.live = false;
+  --live_events_;
   return true;
 }
 
-void Simulator::PurgeCancelledTop() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) {
-      return;
+void Simulator::SiftUp(size_t i) {
+  Event ev = std::move(heap_[i]);
+  while (i > 0) {
+    size_t parent = (i - 1) / kHeapArity;
+    if (!Before(ev, heap_[parent])) {
+      break;
     }
-    cancelled_.erase(it);
-    queue_.pop();
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+}
+
+Simulator::Event Simulator::PopTop() {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  size_t n = heap_.size();
+  if (n > 0) {
+    // Sift `last` down from the root; shifts are moves, never copies.
+    size_t i = 0;
+    for (;;) {
+      size_t first_child = kHeapArity * i + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      size_t end = first_child + kHeapArity;
+      if (end > n) {
+        end = n;
+      }
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (Before(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!Before(heap_[best], last)) {
+        break;
+      }
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(last);
+  }
+  return top;
+}
+
+void Simulator::PurgeCancelledTop() {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    Event dead = PopTop();
+    FreeSlot(dead.slot);
   }
 }
 
 bool Simulator::Step() {
   PurgeCancelledTop();
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return false;
   }
-  Event ev = queue_.top();
-  queue_.pop();
-  pending_ids_.erase(ev.id);
+  Event ev = PopTop();
+  FreeSlot(ev.slot);
+  --live_events_;
   now_ = ev.at;
   ++events_executed_;
   ev.fn();
@@ -71,7 +157,7 @@ uint64_t Simulator::RunUntil(SimTime deadline) {
   uint64_t n = 0;
   for (;;) {
     PurgeCancelledTop();
-    if (queue_.empty() || queue_.top().at > deadline) {
+    if (heap_.empty() || heap_.front().at > deadline) {
       break;
     }
     if (Step()) {

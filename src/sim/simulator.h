@@ -5,14 +5,20 @@
 // The kernel is single-threaded and deterministic: events scheduled for the
 // same instant execute in scheduling order, and all randomness flows through
 // the simulator-owned Rng, so a fixed seed reproduces a run exactly.
+//
+// Hot-path design (docs/PERF.md): events live in an explicit 4-ary min-heap
+// ordered by (time, seq) — fewer levels and better cache locality than a
+// binary heap — and every sift moves elements instead of copying them, so a
+// pop never deep-copies the event's std::function closure. Timer ids encode
+// a slot index plus a generation into a side table, making Cancel() an O(1)
+// flag flip (the heap node is dropped lazily when it surfaces) and making a
+// stale id from a fired or cancelled timer detectably dead.
 
 #ifndef BLADERUNNER_SRC_SIM_SIMULATOR_H_
 #define BLADERUNNER_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/random.h"
@@ -42,21 +48,24 @@ class Simulator {
   // Schedules `fn` at the absolute simulated time `at` (clamped to Now()).
   TimerId ScheduleAt(SimTime at, std::function<void()> fn);
 
-  // Cancels a pending event. Returns true if the event had not yet fired.
+  // Cancels a pending event in O(1). Returns true if the event had not yet
+  // fired; a second Cancel(), or Cancel() of an already-fired timer, is a
+  // detectable no-op returning false.
   bool Cancel(TimerId id);
 
   // Runs until the event queue drains. Returns the number of events run.
   uint64_t Run();
 
-  // Runs events with time <= `deadline`, then sets Now() to `deadline`
-  // (if the queue drained earlier). Returns the number of events run.
+  // Runs events with time <= `deadline`, then unconditionally sets Now() to
+  // `deadline` — whether the queue drained or later events remain pending.
+  // Returns the number of events run.
   uint64_t RunUntil(SimTime deadline);
 
   // Convenience: RunUntil(Now() + duration).
   uint64_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
 
   // Number of live (scheduled, not yet fired or cancelled) events.
-  size_t PendingEvents() const { return pending_ids_.size(); }
+  size_t PendingEvents() const { return live_events_; }
 
   Rng& rng() { return rng_; }
 
@@ -66,32 +75,53 @@ class Simulator {
  private:
   struct Event {
     SimTime at;
-    uint64_t seq;  // tie-break so same-time events run in scheduling order
-    TimerId id;
+    uint64_t seq;   // tie-break so same-time events run in scheduling order
+    uint32_t slot;  // index into slots_
     std::function<void()> fn;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
+
+  // Side table entry for one scheduled event. A slot stays allocated until
+  // its heap node surfaces (even after Cancel), so a live TimerId can never
+  // alias a recycled slot; the generation makes stale ids detectably dead.
+  struct Slot {
+    uint32_t generation = 1;
+    uint32_t next_free = 0;  // free-list link, valid when not live
+    bool live = false;       // scheduled and not cancelled
   };
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  static constexpr size_t kHeapArity = 4;
+
+  // Strict (time, seq) priority order; `seq` is unique, so this is total.
+  static bool Before(const Event& a, const Event& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.seq < b.seq;
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+
+  // Moves heap_[i] up to its position; all shifts are moves, no copies.
+  void SiftUp(size_t i);
+  // Removes and returns the minimum element by move.
+  Event PopTop();
 
   // Pops and runs the next non-cancelled event. Returns false if drained.
   bool Step();
 
-  // Drops cancelled events sitting at the head of the queue so that
-  // queue_.top() is always a live event (or the queue is empty).
+  // Drops cancelled events sitting at the head of the heap so that
+  // heap_.front() is always a live event (or the heap is empty).
   void PurgeCancelledTop();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<TimerId> pending_ids_;
-  std::unordered_set<TimerId> cancelled_;
+  size_t live_events_ = 0;
+  std::vector<Event> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
   Rng rng_;
 };
 

@@ -36,6 +36,14 @@ TaoStore::TaoStore(Simulator* sim, const Topology* topology, TaoConfig config,
                    MetricsRegistry* metrics)
     : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
   assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  m_.object_writes = &metrics_->GetCounter("tao.object_writes");
+  m_.assoc_writes = &metrics_->GetCounter("tao.assoc_writes");
+  m_.assoc_deletes = &metrics_->GetCounter("tao.assoc_deletes");
+  m_.shards_touched = &metrics_->GetCounter("tao.shards_touched");
+  m_.point_reads = &metrics_->GetCounter("tao.point_reads");
+  m_.range_reads = &metrics_->GetCounter("tao.range_reads");
+  m_.intersect_reads = &metrics_->GetCounter("tao.intersect_reads");
+  m_.storage_iops = &metrics_->GetCounter("tao.storage_iops");
 }
 
 int TaoStore::ShardOf(ObjectId id) const {
@@ -98,7 +106,7 @@ ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
   if (history.size() > kMaxObjectVersions) {
     history.erase(history.begin(), history.end() - kMaxObjectVersions);
   }
-  metrics_->GetCounter("tao.object_writes").Increment();
+  m_.object_writes->Increment();
   return id;
 }
 
@@ -143,7 +151,7 @@ void TaoStore::AddAssoc(Assoc assoc) {
   AssocList& list = assocs_[AssocListKey{assoc.id1, assoc.atype}];
   BumpWriteRate(list);
   list.entries.push_back(StoredAssoc{std::move(assoc), MakeVisibility(leader)});
-  metrics_->GetCounter("tao.assoc_writes").Increment();
+  m_.assoc_writes->Increment();
 }
 
 bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
@@ -155,7 +163,7 @@ bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
   for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
     if (entry->assoc.id2 == id2 && entry->vis.deleted_at.empty()) {
       StampDelete(entry->vis, leader);
-      metrics_->GetCounter("tao.assoc_deletes").Increment();
+      m_.assoc_deletes->Increment();
       return true;
     }
   }
@@ -178,14 +186,14 @@ void TaoStore::ChargeShards(QueryCost* cost, uint64_t shards) const {
   if (cost != nullptr) {
     cost->shards_touched += shards;
   }
-  metrics_->GetCounter("tao.shards_touched").Increment(static_cast<int64_t>(shards));
+  m_.shards_touched->Increment(static_cast<int64_t>(shards));
 }
 
 std::optional<Object> TaoStore::GetObject(RegionId region, ObjectId id, QueryCost* cost) {
   if (cost != nullptr) {
     cost->point_reads += 1;
   }
-  metrics_->GetCounter("tao.point_reads").Increment();
+  m_.point_reads->Increment();
   ChargeShards(cost, 1);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
@@ -206,7 +214,7 @@ std::vector<Assoc> TaoStore::AssocRange(RegionId region, ObjectId id1, AssocType
   if (cost != nullptr) {
     cost->range_reads += 1;
   }
-  metrics_->GetCounter("tao.range_reads").Increment();
+  m_.range_reads->Increment();
   auto it = assocs_.find(AssocListKey{id1, atype});
   uint64_t partitions = 1;
   std::vector<Assoc> out;
@@ -240,7 +248,7 @@ std::vector<Assoc> TaoStore::AssocRangeAscending(RegionId region, ObjectId id1, 
   if (cost != nullptr) {
     cost->range_reads += 1;
   }
-  metrics_->GetCounter("tao.range_reads").Increment();
+  m_.range_reads->Increment();
   auto it = assocs_.find(AssocListKey{id1, atype});
   uint64_t partitions = 1;
   std::vector<Assoc> out;
@@ -272,7 +280,7 @@ std::optional<Assoc> TaoStore::GetAssoc(RegionId region, ObjectId id1, AssocType
   if (cost != nullptr) {
     cost->point_reads += 1;
   }
-  metrics_->GetCounter("tao.point_reads").Increment();
+  m_.point_reads->Increment();
   ChargeShards(cost, 1);
   auto it = assocs_.find(AssocListKey{id1, atype});
   if (it == assocs_.end()) {
@@ -291,7 +299,7 @@ size_t TaoStore::AssocCount(RegionId region, ObjectId id1, AssocType atype, Quer
   if (cost != nullptr) {
     cost->point_reads += 1;
   }
-  metrics_->GetCounter("tao.point_reads").Increment();
+  m_.point_reads->Increment();
   ChargeShards(cost, 1);
   auto it = assocs_.find(AssocListKey{id1, atype});
   if (it == assocs_.end()) {
@@ -311,7 +319,7 @@ size_t TaoStore::AssocCountAtLeader(ObjectId id1, AssocType atype, QueryCost* co
   if (cost != nullptr) {
     cost->point_reads += 1;
   }
-  metrics_->GetCounter("tao.point_reads").Increment();
+  m_.point_reads->Increment();
   ChargeShards(cost, 1);
   auto it = assocs_.find(AssocListKey{id1, atype});
   if (it == assocs_.end()) {
@@ -332,7 +340,7 @@ std::vector<Assoc> TaoStore::AssocIntersect(RegionId region, ObjectId id1, Assoc
   if (cost != nullptr) {
     cost->intersect_reads += 1;
   }
-  metrics_->GetCounter("tao.intersect_reads").Increment();
+  m_.intersect_reads->Increment();
   auto it = assocs_.find(AssocListKey{id1, atype});
   uint64_t partitions = 1;
   std::vector<Assoc> out;
@@ -371,7 +379,7 @@ SimTime TaoStore::SampleQueryLatency(const QueryCost& cost) {
     double miss_rate = is_range ? config_.range_read_miss_rate : config_.point_read_miss_rate;
     if (rng.Bernoulli(miss_rate)) {
       total_ms += rng.LogNormal(config_.storage_read_ms, 0.4);
-      metrics_->GetCounter("tao.storage_iops").Increment();
+      m_.storage_iops->Increment();
     } else {
       total_ms += rng.LogNormal(config_.cache_read_ms, 0.3);
     }

@@ -153,10 +153,24 @@ class TaoStore {
 
   void ChargeShards(QueryCost* cost, uint64_t shards) const;
 
+  // Metric handles resolved once at construction (docs/PERF.md): the query
+  // paths increment through these instead of string-keyed registry lookups.
+  struct Metrics {
+    Counter* object_writes;
+    Counter* assoc_writes;
+    Counter* assoc_deletes;
+    Counter* shards_touched;
+    Counter* point_reads;
+    Counter* range_reads;
+    Counter* intersect_reads;
+    Counter* storage_iops;
+  };
+
   Simulator* sim_;
   const Topology* topology_;
   TaoConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
 
   ObjectId next_id_ = 1000000;
   // Per-id version history, oldest first. A bounded tail is kept so that a

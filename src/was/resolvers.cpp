@@ -307,9 +307,9 @@ Value MutatePostComment(const ResolveInfo& info) {
              was.tao->IndexPartitions(video, AssocType::kComment) >=
                  config.lvc_hot_partition_threshold;
   if (hot) {
-    was.was->metrics()->GetCounter("was.lvc_hot_comments").Increment();
+    was.was->metric_handles().lvc_hot_comments->Increment();
     if (quality < config.lvc_hot_discard_below) {
-      was.was->metrics()->GetCounter("was.lvc_hot_discarded").Increment();
+      was.was->metric_handles().lvc_hot_discarded->Increment();
       publish.topic.clear();  // discarded: no publish at all
     } else if (quality < config.lvc_hot_broadcast_above) {
       publish.topic = LvcUserTopic(video, info.ctx.viewer_id);

@@ -18,6 +18,18 @@ WebAppServer::WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, Pylon
       trace_(trace),
       next_event_id_((static_cast<uint64_t>(region) << 48) + 1) {
   assert(sim_ != nullptr && tao_ != nullptr && metrics_ != nullptr);
+  m_.privacy_checks = &metrics_->GetCounter("was.privacy_checks");
+  m_.cpu_us = &metrics_->GetCounter("was.cpu_us");
+  m_.queries = &metrics_->GetCounter("was.queries");
+  m_.mutations = &metrics_->GetCounter("was.mutations");
+  m_.subscription_resolves = &metrics_->GetCounter("was.subscription_resolves");
+  m_.fetches = &metrics_->GetCounter("was.fetches");
+  m_.fetch_viewers = &metrics_->GetCounter("was.fetch_viewers");
+  m_.fetch_batched = &metrics_->GetCounter("was.fetch_batched");
+  m_.fetch_payload_bytes = &metrics_->GetHistogram("was.fetch_payload_bytes");
+  m_.publishes = &metrics_->GetCounter("was.publishes");
+  m_.lvc_hot_comments = &metrics_->GetCounter("was.lvc_hot_comments");
+  m_.lvc_hot_discarded = &metrics_->GetCounter("was.lvc_hot_discarded");
   rpc_.RegisterMethod("was.query", [this](MessagePtr request, RpcServer::Respond respond) {
     HandleQuery(std::move(request), std::move(respond));
   });
@@ -46,7 +58,7 @@ bool WebAppServer::PrivacyCheck(UserId viewer, UserId author, QueryCost* cost) {
   if (viewer == author) {
     return true;
   }
-  metrics_->GetCounter("was.privacy_checks").Increment();
+  m_.privacy_checks->Increment();
   bool viewer_blocked_author =
       tao_->GetAssoc(region_, viewer, AssocType::kBlocked, author, cost).has_value();
   bool author_blocked_viewer =
@@ -78,12 +90,12 @@ ExecResult WebAppServer::ExecuteNow(const std::string& text, UserId viewer) {
 }
 
 void WebAppServer::ChargeCpu(double ms) {
-  metrics_->GetCounter("was.cpu_us").Increment(static_cast<int64_t>(ms * 1000.0));
+  m_.cpu_us->Increment(static_cast<int64_t>(ms * 1000.0));
 }
 
 void WebAppServer::HandleQuery(MessagePtr request, RpcServer::Respond respond) {
   auto query = std::static_pointer_cast<WasQueryRequest>(request);
-  metrics_->GetCounter("was.queries").Increment();
+  m_.queries->Increment();
 
   ParseResult parsed = Parse(query->query);
   auto response = std::make_shared<WasQueryResponse>();
@@ -113,7 +125,7 @@ void WebAppServer::HandleQuery(MessagePtr request, RpcServer::Respond respond) {
 
 void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) {
   auto mutate = std::static_pointer_cast<WasMutateRequest>(request);
-  metrics_->GetCounter("was.mutations").Increment();
+  m_.mutations->Increment();
 
   ParseResult parsed = Parse(mutate->mutation);
   auto response = std::make_shared<WasMutateResponse>();
@@ -157,7 +169,7 @@ void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) 
 
 void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Respond respond) {
   auto resolve = std::static_pointer_cast<WasResolveSubRequest>(request);
-  metrics_->GetCounter("was.subscription_resolves").Increment();
+  m_.subscription_resolves->Increment();
   auto response = std::make_shared<WasResolveSubResponse>();
 
   TraceContext resolve_span;
@@ -206,11 +218,10 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   auto fetch = std::static_pointer_cast<WasFetchRequest>(request);
   // One fetch RPC == one BRASS<->WAS round trip, regardless of how many
   // viewers it is batched for; the viewer count is accounted separately.
-  metrics_->GetCounter("was.fetches").Increment();
-  metrics_->GetCounter("was.fetch_viewers")
-      .Increment(static_cast<int64_t>(fetch->viewers.size()));
+  m_.fetches->Increment();
+  m_.fetch_viewers->Increment(static_cast<int64_t>(fetch->viewers.size()));
   if (fetch->viewers.size() > 1) {
-    metrics_->GetCounter("was.fetch_batched").Increment();
+    m_.fetch_batched->Increment();
   }
   auto response = std::make_shared<WasFetchResponse>();
 
@@ -261,8 +272,7 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
         // it, same as the unbatched handler reported per viewer.
         std::fill(response->allowed.begin(), response->allowed.end(), 0);
       } else {
-        metrics_->GetHistogram("was.fetch_payload_bytes")
-            .Record(static_cast<double>(response->payload.WireSize()));
+        m_.fetch_payload_bytes->Record(static_cast<double>(response->payload.WireSize()));
       }
     }
     response->version = was_ctx.fetched_object_version != 0
@@ -348,7 +358,7 @@ void WebAppServer::PublishNow(const PublishSpec& spec, SimTime created_at, Trace
   RpcChannel* channel = ChannelToPylon(server);
   auto publish = std::make_shared<PylonPublishRequest>();
   publish->event = std::move(event);
-  metrics_->GetCounter("was.publishes").Increment();
+  m_.publishes->Increment();
   channel->Call("pylon.publish", publish, [](RpcStatus, MessagePtr) {
     // Best-effort: a lost publish is recovered (if at all) by app logic.
   });

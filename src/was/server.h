@@ -92,6 +92,24 @@ class WebAppServer {
   MetricsRegistry* metrics() { return metrics_; }
   TraceCollector* trace() { return trace_; }
 
+  // Metric handles resolved once at construction (docs/PERF.md); public so
+  // resolvers registered against this server share the cached pointers.
+  struct Metrics {
+    Counter* privacy_checks;
+    Counter* cpu_us;
+    Counter* queries;
+    Counter* mutations;
+    Counter* subscription_resolves;
+    Counter* fetches;
+    Counter* fetch_viewers;
+    Counter* fetch_batched;
+    Histogram* fetch_payload_bytes;
+    Counter* publishes;
+    Counter* lvc_hot_comments;
+    Counter* lvc_hot_discarded;
+  };
+  const Metrics& metric_handles() const { return m_; }
+
   void RegisterSubscriptionResolver(const std::string& field_name, SubscriptionResolver resolver);
   void RegisterFetchHandler(const std::string& app, FetchHandler handler);
 
@@ -127,6 +145,7 @@ class WebAppServer {
   PylonCluster* pylon_;
   WasConfig config_;
   MetricsRegistry* metrics_;
+  Metrics m_;
   TraceCollector* trace_;
   RpcServer rpc_;
   Schema schema_;

@@ -180,6 +180,111 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   EXPECT_NE(run(7), run(8));
 }
 
+// ---- kernel contract pins (safety net for the heap rewrite) ----
+
+// RunUntil always advances Now() to the deadline — both when later events
+// remain pending and when the queue drained long before the deadline.
+TEST(SimulatorTest, RunUntilAlwaysAdvancesToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(1), [&]() { fired += 1; });
+  sim.Schedule(Seconds(10), [&]() { fired += 1; });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Seconds(1));  // later event pending: still advances
+  sim.RunUntil(Seconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Seconds(20));  // queue drained at 10s: still advances
+}
+
+// A fired timer's id must stay dead even after the kernel recycles its
+// internal bookkeeping for new events: cancelling it is a no-op that must
+// not touch any newer timer.
+TEST(SimulatorTest, CancelOfFiredTimerNeverHitsRecycledId) {
+  Simulator sim;
+  TimerId old_id = sim.Schedule(Millis(1), []() {});
+  sim.Run();
+  // These may reuse the fired timer's internal storage.
+  bool fired = false;
+  sim.Schedule(Millis(1), [&]() { fired = true; });
+  EXPECT_FALSE(sim.Cancel(old_id));
+  sim.Run();
+  EXPECT_TRUE(fired);  // the stale cancel must not kill the new timer
+}
+
+TEST(SimulatorTest, CancelOwnTimerInsideCallbackReturnsFalse) {
+  Simulator sim;
+  TimerId id = kInvalidTimerId;
+  bool cancel_result = true;
+  id = sim.Schedule(Millis(1), [&]() { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);  // a firing timer is no longer pending
+}
+
+TEST(SimulatorTest, CancelFromEarlierEventPreventsLaterSameTimeEvent) {
+  Simulator sim;
+  bool late_fired = false;
+  TimerId late = kInvalidTimerId;
+  // FIFO within an instant: the canceller was scheduled first, so it runs
+  // first and must be able to cancel the same-time event behind it.
+  sim.Schedule(Millis(5), [&]() { EXPECT_TRUE(sim.Cancel(late)); });
+  late = sim.Schedule(Millis(5), [&]() { late_fired = true; });
+  sim.Run();
+  EXPECT_FALSE(late_fired);
+}
+
+// Same-time FIFO survives interleaved cancellation: the surviving events
+// still run in their original scheduling order.
+TEST(SimulatorTest, SameTimeFifoSurvivesInterleavedCancels) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.Schedule(Millis(7), [&order, i]() { order.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 3) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+// Randomized pop-order check: whatever the internal heap shape, events must
+// fire in strict (time, scheduling-seq) order.
+TEST(SimulatorTest, StressPopOrderIsTimeThenFifo) {
+  Simulator sim;
+  Rng rng(42);
+  struct Fired {
+    SimTime at;
+    int seq;
+  };
+  std::vector<Fired> fired;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    SimTime at = Micros(rng.UniformInt(0, 50));  // heavy same-time collisions
+    ids.push_back(sim.ScheduleAt(at, [&fired, &sim, i]() {
+      fired.push_back({sim.Now(), i});
+    }));
+  }
+  for (int i = 0; i < 2000; i += 7) {
+    sim.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  sim.Run();
+  ASSERT_FALSE(fired.empty());
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].at, fired[i - 1].at);
+    if (fired[i].at == fired[i - 1].at) {
+      ASSERT_GT(fired[i].seq, fired[i - 1].seq);  // FIFO within an instant
+    }
+  }
+}
+
 TEST(RngTest, UniformBounds) {
   Rng rng(1);
   for (int i = 0; i < 1000; ++i) {
@@ -342,6 +447,139 @@ TEST(HistogramTest, RecordNAndReset) {
   EXPECT_EQ(h.count(), 10u);
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
+}
+
+// ---- histogram invariants (guard the CdfAt fix and future changes) ----
+
+// Values exactly on a bucket boundary (value == growth^k) belong to the
+// bucket below; recording and querying boundary values must agree.
+TEST(HistogramTest, BoundaryValuesStayConsistent) {
+  Histogram h(2.0);  // buckets (1,2], (2,4], (4,8], ...
+  h.Record(2.0);
+  h.Record(4.0);
+  h.Record(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  // CDF at each recorded boundary covers exactly the values <= it.
+  EXPECT_NEAR(h.CdfAt(2.0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.CdfAt(4.0), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.CdfAt(8.0), 1.0);
+  // Quantiles stay within the recorded range.
+  EXPECT_GE(h.Quantile(0.0), 2.0);
+  EXPECT_LE(h.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, UnderflowValuesGoToUnderflowBucket) {
+  Histogram h;
+  h.Record(0.25);
+  h.Record(-3.0);
+  h.Record(1.0);  // exactly 1.0 is underflow by contract
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1.0), 1.0);
+  // Quantiles of underflow-only data report min (the best point estimate).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), -3.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(rng.LogNormal(500.0, 1.2));
+  }
+  double prev = h.Quantile(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    double q = h.Quantile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+// Merging two histograms must be equivalent to recording all values into
+// one histogram (same counts, same quantiles, same CDF).
+TEST(HistogramTest, MergeMatchesBulkRecordN) {
+  Histogram merged;
+  Histogram a;
+  Histogram b;
+  Histogram bulk;
+  Rng rng(12);
+  for (int i = 0; i < 400; ++i) {
+    double v = rng.LogNormal(80.0, 0.9);
+    uint64_t n = static_cast<uint64_t>(rng.UniformInt(1, 4));
+    (i % 2 == 0 ? a : b).RecordN(v, n);
+    bulk.RecordN(v, n);
+  }
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), bulk.count());
+  EXPECT_DOUBLE_EQ(merged.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(merged.max(), bulk.max());
+  EXPECT_NEAR(merged.sum(), bulk.sum(), 1e-6 * bulk.sum());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), bulk.Quantile(q)) << "q=" << q;
+  }
+  for (double v : {10.0, 50.0, 80.0, 200.0, 1000.0}) {
+    EXPECT_DOUBLE_EQ(merged.CdfAt(v), bulk.CdfAt(v)) << "v=" << v;
+  }
+}
+
+// CdfAt and Quantile must agree as approximate inverses: CdfAt(Quantile(q))
+// stays within one bucket's probability mass of q.
+TEST(HistogramTest, CdfQuantileRoundTrip) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    double cdf = h.CdfAt(h.Quantile(q));
+    EXPECT_NEAR(cdf, q, 0.03) << "q=" << q;
+  }
+}
+
+// The pre-fix CdfAt counted the whole containing bucket: a value at the
+// very bottom of a fat bucket reported the bucket's full mass. Pin the
+// pro-rated behavior with a distribution concentrated in one bucket.
+TEST(HistogramTest, CdfAtProRatesTheContainingBucket) {
+  Histogram h(2.0);  // bucket (4,8] will hold everything
+  h.RecordN(5.0, 100);
+  h.Record(10.0);  // keeps max_ above the probe so the early-out is not hit
+  // Probe just above the bucket's lower bound: only a small fraction of the
+  // bucket may be counted (the old code reported ~0.99 here).
+  double cdf_low = h.CdfAt(4.1);
+  EXPECT_LT(cdf_low, 0.10);
+  // Probe near the top of the bucket approaches the full bucket mass.
+  double cdf_high = h.CdfAt(7.9);
+  EXPECT_GT(cdf_high, 0.90);
+  EXPECT_LT(cdf_high, 1.0);
+}
+
+// ---- timeseries far-future blowup (satellite bugfix) ----
+
+// One stray far-future timestamp used to resize the dense bucket vector to
+// `at / bucket_width` entries — gigabytes for an uninitialized SimTime.
+// Sparse overflow storage keeps the footprint proportional to the number of
+// buckets written.
+TEST(MetricsTest, TimeSeriesFarFutureAddStaysBounded) {
+  TimeSeries series(Minutes(15));
+  series.Add(Minutes(1), 5.0);
+  series.Add(Days(365 * 1000), 7.0);  // would have been ~35M dense buckets
+  EXPECT_LE(series.AllocatedBuckets(), 2u);
+  size_t far = static_cast<size_t>(Days(365 * 1000) / Minutes(15));
+  EXPECT_EQ(series.BucketCount(), far + 1);
+  EXPECT_DOUBLE_EQ(series.Sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(series.Sum(far), 7.0);
+  EXPECT_DOUBLE_EQ(series.Sum(far - 1), 0.0);
+}
+
+TEST(MetricsTest, TimeSeriesSparseBucketsSupportSampling) {
+  TimeSeries series(Minutes(15));
+  SimTime far = Days(40000);
+  series.Sample(far, 10.0);
+  series.Sample(far + Minutes(1), 30.0);
+  size_t i = static_cast<size_t>(far / Minutes(15));
+  EXPECT_DOUBLE_EQ(series.Mean(i), 20.0);
+  EXPECT_DOUBLE_EQ(series.RatePerMinute(i), 40.0 / 15.0);
+  EXPECT_LE(series.AllocatedBuckets(), 1u);
 }
 
 TEST(MetricsTest, CounterBasics) {
