@@ -24,29 +24,20 @@ int main() {
 
   ClusterConfig config;
   config.seed = 21;
-  BladerunnerCluster cluster(config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 90;
   graph_config.num_videos = 1;
-  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
-  ObjectId video = graph.videos[0];
-  cluster.sim().RunFor(Seconds(2));
+  BenchCluster fixture = MakeBenchCluster(config, graph_config);
+  BladerunnerCluster& cluster = *fixture.cluster;
+  ObjectId video = fixture.graph.videos[0];
 
-  // Viewers spread over all regions: fanout must cross regions.
-  std::vector<std::unique_ptr<DeviceAgent>> devices;
-  for (int i = 0; i < 30; ++i) {
-    RegionId region = static_cast<RegionId>(i % cluster.topology().num_regions());
-    devices.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], region, DeviceProfile::kWifi));
-    devices.back()->SubscribeLvc(video);
-  }
+  // Viewers spread over all regions (region = -1): fanout must cross regions.
+  auto devices = MakeDeviceFleet(
+      fixture, 0, 30, [video](DeviceAgent& viewer, size_t) { viewer.SubscribeLvc(video); },
+      DeviceProfile::kWifi, /*region=*/-1);
   cluster.sim().RunFor(Seconds(5));
 
-  std::vector<std::unique_ptr<DeviceAgent>> commenters;
-  for (int i = 50; i < 70; ++i) {
-    commenters.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
-  }
+  auto commenters = MakeDeviceFleet(fixture, 50, 20);
   for (int s = 0; s < 90; ++s) {
     if (cluster.sim().rng().Bernoulli(0.8)) {
       DeviceAgent& c = *commenters[cluster.sim().rng().Index(commenters.size())];
@@ -67,8 +58,10 @@ int main() {
                             ? payload_bytes->Mean()
                             : 0.0;
   // Payload-mode counterfactual: every cross-region fanout send carries the
-  // full payload instead of the ~100B event.
-  double payload_bytes_xr = static_cast<double>(sends_xr) * mean_payload;
+  // full payload *on top of* the event envelope it carries either way (topic,
+  // version, mutation stamp, trace context).
+  double payload_bytes_xr =
+      static_cast<double>(event_bytes_xr) + static_cast<double>(sends_xr) * mean_payload;
 
   PrintSection("measured");
   PrintRow("fanout sends: %lld total, %lld cross-region", static_cast<long long>(sends_total),

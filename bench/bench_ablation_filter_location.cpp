@@ -31,28 +31,20 @@ Result RunBurst(bool filter_at_brass, uint64_t seed) {
   ClusterConfig config;
   config.seed = seed;
   config.apps.lvc.filter_at_brass = filter_at_brass;
-  BladerunnerCluster cluster(config, Topology::OneRegion());
   SocialGraphConfig graph_config;
   graph_config.num_users = 80;
   graph_config.num_videos = 1;
-  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
-  ObjectId video = graph.videos[0];
-  cluster.sim().RunFor(Seconds(2));
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::OneRegion());
+  BladerunnerCluster& cluster = *fixture.cluster;
+  ObjectId video = fixture.graph.videos[0];
 
   const int kViewers = 20;
-  std::vector<std::unique_ptr<DeviceAgent>> viewers;
-  for (int i = 0; i < kViewers; ++i) {
-    viewers.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kMobile4g));
-    viewers.back()->SubscribeLvc(video);
-  }
+  auto viewers = MakeDeviceFleet(
+      fixture, 0, kViewers, [video](DeviceAgent& viewer, size_t) { viewer.SubscribeLvc(video); },
+      DeviceProfile::kMobile4g);
   cluster.sim().RunFor(Seconds(5));
 
-  std::vector<std::unique_ptr<DeviceAgent>> commenters;
-  for (int i = 40; i < 60; ++i) {
-    commenters.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
-  }
+  auto commenters = MakeDeviceFleet(fixture, 40, 20);
   const int kBurstSeconds = 30;
   for (int s = 0; s < kBurstSeconds; ++s) {
     for (int k = 0; k < 12; ++k) {

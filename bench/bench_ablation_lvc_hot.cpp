@@ -65,19 +65,12 @@ Result RunHotBurst(BenchCluster& fixture, const BurstShape& shape) {
   ObjectId video = fixture.graph.videos[0];
   Rng workload_rng(977);
 
-  std::vector<std::unique_ptr<DeviceAgent>> viewers;
-  for (int i = 0; i < shape.num_viewers; ++i) {
-    viewers.push_back(std::make_unique<DeviceAgent>(
-        &cluster, fixture.graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
-    viewers.back()->SubscribeLvc(video);
-  }
+  auto viewers =
+      MakeDeviceFleet(fixture, 0, static_cast<size_t>(shape.num_viewers),
+                      [video](DeviceAgent& viewer, size_t) { viewer.SubscribeLvc(video); });
   cluster.sim().RunFor(Seconds(5));
 
-  std::vector<std::unique_ptr<DeviceAgent>> commenters;
-  for (int i = 40; i < 80; ++i) {
-    commenters.push_back(std::make_unique<DeviceAgent>(
-        &cluster, fixture.graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
-  }
+  auto commenters = MakeDeviceFleet(fixture, 40, 40);
   for (int s = 0; s < shape.burst_seconds; ++s) {
     for (int k = 0; k < shape.comments_per_second; ++k) {
       DeviceAgent& c = *commenters[workload_rng.Index(commenters.size())];

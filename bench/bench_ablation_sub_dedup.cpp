@@ -24,20 +24,16 @@ int main() {
   config.seed = 22;
   config.brass_hosts_per_region = 2;
   config.routing_policies["LVC"] = BrassRoutingPolicy::kByTopic;  // concentrate topics
-  BladerunnerCluster cluster(config, Topology::OneRegion());
   SocialGraphConfig graph_config;
   graph_config.num_users = 120;
   graph_config.num_videos = 3;
-  SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
-  cluster.sim().RunFor(Seconds(2));
+  BenchCluster fixture = MakeBenchCluster(config, graph_config, Topology::OneRegion());
+  BladerunnerCluster& cluster = *fixture.cluster;
 
   // A popular video: 80 viewers, all subscribing to the same topic family.
-  std::vector<std::unique_ptr<DeviceAgent>> devices;
-  for (int i = 0; i < 80; ++i) {
-    devices.push_back(std::make_unique<DeviceAgent>(
-        &cluster, graph.users[static_cast<size_t>(i)], 0, DeviceProfile::kWifi));
-    devices.back()->SubscribeLvc(graph.videos[static_cast<size_t>(i % 3)]);
-  }
+  auto devices = MakeDeviceFleet(fixture, 0, 80, [&fixture](DeviceAgent& viewer, size_t i) {
+    viewer.SubscribeLvc(fixture.graph.videos[i % 3]);
+  });
   cluster.sim().RunFor(Seconds(10));
 
   MetricsRegistry& m = cluster.metrics();

@@ -10,7 +10,7 @@
 //   --perf            run the harness at full size
 //   --smoke           shrink the workloads (CI sanity; seconds, not minutes)
 //   --out FILE        write the JSON rows to FILE (default: stdout only)
-//   --check FILE      compare against a committed baseline (BENCH_PR5.json);
+//   --check FILE      compare against a committed baseline (BENCH_PR6.json);
 //                     exit nonzero if any matching throughput row regressed
 //                     by more than --tolerance (default 0.25)
 
@@ -36,6 +36,9 @@
 #include "src/sim/histogram.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
+#include "src/livequery/engine.h"
+#include "src/was/resolvers.h"
+#include "src/workload/comment_feed.h"
 #include "src/workload/social_gen.h"
 
 namespace bladerunner {
@@ -164,7 +167,7 @@ BENCHMARK(BM_StreamKeyHash);
 
 // ---- perf harness (--perf / --smoke) ----
 
-// One measurement row of BENCH_PR5.json. All metrics emitted by the
+// One measurement row of BENCH_PR6.json. All metrics emitted by the
 // harness are throughputs (higher is better); the regression check in
 // CheckAgainstBaseline relies on that.
 struct PerfRow {
@@ -185,6 +188,9 @@ struct PerfShape {
   // End-to-end: LVC burst length driven through the full cluster.
   int e2e_viewers = 40;
   int e2e_comments = 600;
+  // Live query: mutation ops folded into materialized views.
+  int livequery_ops = 40000;
+  int livequery_views = 8;
 };
 
 PerfShape SmokeShape() {
@@ -194,6 +200,7 @@ PerfShape SmokeShape() {
   shape.fanout_comments = 60;
   shape.e2e_viewers = 10;
   shape.e2e_comments = 80;
+  shape.livequery_ops = 4000;
   return shape;
 }
 
@@ -311,6 +318,65 @@ PerfRow BenchEndToEnd(const PerfShape& shape) {
   return row;
 }
 
+// Live-query fold throughput: a bare Simulator + TAO + WAS + engine (no
+// Pylon, so publishes are no-ops and the number isolates delta folding),
+// replaying a deterministic comment-feed workload against a handful of
+// registered views. Reports deltas applied per wall second.
+PerfRow BenchLiveQueryFold(const PerfShape& shape) {
+  Topology topology = Topology::OneRegion();
+  Simulator sim(7);
+  MetricsRegistry metrics;
+  TaoStore tao(&sim, &topology, TaoConfig{}, &metrics);
+  WebAppServer was(&sim, 0, &tao, nullptr, WasConfig{}, &metrics, nullptr);
+  InstallSocialSchema(was);
+  LiveQueryConfig lq_config;
+  lq_config.enabled = true;
+  LiveQueryEngine engine(&sim, &tao, &was, lq_config, &metrics);
+
+  std::vector<UserId> users;
+  for (int i = 0; i < 20; ++i) {
+    users.push_back(CreateUser(tao, "perf_user" + std::to_string(i), "en"));
+  }
+  std::vector<ObjectId> videos;
+  for (int i = 0; i < shape.livequery_views / 2; ++i) {
+    videos.push_back(CreateVideo(tao, users[0], "perf video " + std::to_string(i)));
+  }
+  sim.RunFor(Seconds(1));
+  for (ObjectId video : videos) {
+    LiveQueryRegistration feed;
+    feed.topic = LiveFeedTopic(video);
+    feed.viewer = users[0];
+    feed.query = "{ comments(video: " + std::to_string(video) + ", first: 25) { id text } }";
+    engine.Register(feed);
+    LiveQueryRegistration count;
+    count.topic = LiveCountTopic(video);
+    count.viewer = users[0];
+    count.query = "{ likeCount(post: " + std::to_string(video) + ") }";
+    engine.Register(count);
+  }
+
+  CommentFeedShape feed_shape;
+  feed_shape.num_ops = shape.livequery_ops;
+  feed_shape.spacing = Micros(50);
+  Rng workload_rng(4242);
+  std::vector<CommentFeedOp> ops = GenerateCommentFeedOps(feed_shape, videos, users, workload_rng);
+  CommentFeedApplier applier(&sim, &tao);
+
+  const Counter& applied = metrics.GetCounter("livequery.applied");
+  int64_t applied_before = applied.value();
+  auto start = std::chrono::steady_clock::now();
+  applier.ScheduleAll(sim, ops, sim.Now());
+  sim.Run();
+  double elapsed = WallSeconds(start);
+
+  PerfRow row;
+  row.bench = "livequery_fold";
+  row.metric = "folds_per_sec";
+  row.value = static_cast<double>(applied.value() - applied_before) / elapsed;
+  row.unit = "folds/s";
+  return row;
+}
+
 std::string RowsToJson(const std::vector<PerfRow>& rows) {
   std::ostringstream out;
   out << "[\n";
@@ -323,7 +389,7 @@ std::string RowsToJson(const std::vector<PerfRow>& rows) {
   return out.str();
 }
 
-// Minimal parser for the committed baseline: BENCH_PR5.json is written by
+// Minimal parser for the committed baseline: BENCH_PR6.json is written by
 // RowsToJson above, so one row per line with fixed key order is assumed.
 std::vector<PerfRow> ParseBaseline(const std::string& path) {
   std::vector<PerfRow> rows;
@@ -402,6 +468,7 @@ int RunPerfHarness(bool smoke, const std::string& out_path, const std::string& c
   rows.push_back(BenchKernel(shape));
   rows.push_back(BenchPylonFanout(shape));
   rows.push_back(BenchEndToEnd(shape));
+  rows.push_back(BenchLiveQueryFold(shape));
 
   std::string json = RowsToJson(rows);
   std::fputs(json.c_str(), stdout);

@@ -8,11 +8,14 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/cluster.h"
+#include "src/core/device.h"
 #include "src/net/topology.h"
 #include "src/sim/histogram.h"
 #include "src/sim/time.h"
@@ -45,6 +48,41 @@ inline BenchCluster MakeBenchCluster(const ClusterConfig& config,
       GenerateSocialGraph(fixture.cluster->tao(), fixture.cluster->sim().rng(), graph_config);
   fixture.sim().RunFor(warmup);
   return fixture;
+}
+
+// Same fixture with live queries enabled: the cluster registers the
+// declarative LiveFeed/LiveCount apps (src/apps/comment_feed.h,
+// src/apps/presence_counter.h) and owns a LiveQueryEngine, so a bench can
+// subscribe devices with SubscribeRaw("LiveFeed", ...) and reach the
+// engine via fixture.cluster->livequery().
+inline BenchCluster MakeLiveQueryBenchCluster(ClusterConfig config,
+                                              const SocialGraphConfig& graph_config,
+                                              Topology topology = Topology::ThreeRegions(),
+                                              SimTime warmup = Seconds(2)) {
+  config.livequery.enabled = true;
+  return MakeBenchCluster(config, graph_config, std::move(topology), warmup);
+}
+
+// The fleet-construction loop every bench used to hand-roll: `count`
+// devices for graph.users[first_user ...], all in `region` (or spread
+// round-robin across regions when region < 0), with `setup` run on each
+// fresh device — the place for Subscribe*() calls.
+inline std::vector<std::unique_ptr<DeviceAgent>> MakeDeviceFleet(
+    BenchCluster& fixture, size_t first_user, size_t count,
+    const std::function<void(DeviceAgent&, size_t)>& setup = nullptr,
+    DeviceProfile profile = DeviceProfile::kWifi, RegionId region = 0) {
+  std::vector<std::unique_ptr<DeviceAgent>> fleet;
+  fleet.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RegionId r = region >= 0 ? region
+                             : static_cast<RegionId>(i % fixture.cluster->topology().num_regions());
+    fleet.push_back(std::make_unique<DeviceAgent>(
+        fixture.cluster.get(), fixture.graph.users[first_user + i], r, profile));
+    if (setup) {
+      setup(*fleet.back(), i);
+    }
+  }
+  return fleet;
 }
 
 inline void PrintHeader(const std::string& id, const std::string& title) {

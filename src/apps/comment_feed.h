@@ -1,0 +1,23 @@
+// CommentFeed: a declarative live-query app. Viewers subscribe with
+// `subscription { liveCommentFeed(videoId: N) }`; the live-query engine
+// maintains the newest-N comment window incrementally (src/livequery) and
+// this app is nothing but a LiveQueryAppSpec over the generic adapter —
+// the whole app is the few lines below.
+
+#ifndef BLADERUNNER_SRC_APPS_COMMENT_FEED_H_
+#define BLADERUNNER_SRC_APPS_COMMENT_FEED_H_
+
+#include "src/livequery/adapter.h"
+
+namespace bladerunner {
+
+// Spec for the "LiveFeed" app: content-bearing ops fetch the comment
+// object through the shared fetch pipeline (privacy-checked per viewer).
+LiveQueryAppSpec CommentFeedSpec();
+
+BrassAppFactory CommentFeedFactory();
+BrassAppDescriptor CommentFeedDescriptor();
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_COMMENT_FEED_H_

@@ -1,0 +1,23 @@
+#include "src/apps/presence_counter.h"
+
+namespace bladerunner {
+
+LiveQueryAppSpec PresenceCounterSpec() {
+  LiveQueryAppSpec spec;
+  spec.name = "LiveCount";
+  spec.topic_prefix = "LQCount";
+  spec.priority_class = BrassPriorityClass::kLow;
+  spec.conflatable = true;
+  spec.fetch_payload = false;
+  return spec;
+}
+
+BrassAppFactory PresenceCounterFactory() {
+  return LiveQueryAdapterApp::Factory(PresenceCounterSpec());
+}
+
+BrassAppDescriptor PresenceCounterDescriptor() {
+  return LiveQueryAdapterApp::Descriptor(PresenceCounterSpec());
+}
+
+}  // namespace bladerunner

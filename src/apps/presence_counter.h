@@ -1,0 +1,22 @@
+// PresenceCounter: a declarative live-query counter app. Viewers subscribe
+// with `subscription { presenceCount(topicId: N) }`; the engine maintains
+// the (post, kLike) count incrementally and publishes "count" ops. The ops
+// are self-contained metadata, so the app skips payload fetches entirely.
+
+#ifndef BLADERUNNER_SRC_APPS_PRESENCE_COUNTER_H_
+#define BLADERUNNER_SRC_APPS_PRESENCE_COUNTER_H_
+
+#include "src/livequery/adapter.h"
+
+namespace bladerunner {
+
+// Spec for the "LiveCount" app: metadata-only delivery, counter ops
+// conflate per view so a burst of increments collapses to the newest.
+LiveQueryAppSpec PresenceCounterSpec();
+
+BrassAppFactory PresenceCounterFactory();
+BrassAppDescriptor PresenceCounterDescriptor();
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_APPS_PRESENCE_COUNTER_H_

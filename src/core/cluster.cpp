@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "src/apps/comment_feed.h"
+#include "src/apps/presence_counter.h"
+#include "src/livequery/schema.h"
 #include "src/was/resolvers.h"
 
 namespace bladerunner {
@@ -35,6 +38,14 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
       sim_(config_.seed),
       trace_(ResolveTraceConfig(config_.trace, config_.seed)) {
   app_registry_ = BuildStandardAppRegistry(config_.apps);
+  if (config_.livequery.enabled) {
+    // Declarative live-query apps join the registry before the priority
+    // resolver below is built, so their topic prefixes get QoS classes too.
+    app_registry_["LiveFeed"] =
+        BrassAppRegistration{CommentFeedDescriptor(), CommentFeedFactory()};
+    app_registry_["LiveCount"] =
+        BrassAppRegistration{PresenceCounterDescriptor(), PresenceCounterFactory()};
+  }
   // Per-cluster routing overrides land in the app descriptors; the router
   // reads policy from the registry it shares with every host.
   for (const auto& [app, policy] : config_.routing_policies) {
@@ -63,6 +74,17 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
                                               &metrics_, &trace_);
     InstallSocialSchema(*was);
     wases_.push_back(std::move(was));
+  }
+  if (config_.livequery.enabled) {
+    // The engine folds deltas against its home region's replica and
+    // publishes through that region's WAS; every region's WAS gets the
+    // subscription/fetch schema so any viewer can register a view.
+    WebAppServer* home = wases_[static_cast<size_t>(config_.livequery.home_region)].get();
+    livequery_ = std::make_unique<LiveQueryEngine>(&sim_, tao_.get(), home, config_.livequery,
+                                                   &metrics_, &trace_);
+    for (auto& was : wases_) {
+      InstallLiveQuerySchema(*was, livequery_.get());
+    }
   }
 
   router_ = std::make_unique<BrassRouter>(&sim_, &topology_, &app_registry_, config_.burst,

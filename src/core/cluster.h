@@ -14,6 +14,7 @@
 #include "src/apps/registry.h"
 #include "src/brass/host.h"
 #include "src/brass/router.h"
+#include "src/livequery/engine.h"
 #include "src/burst/client.h"
 #include "src/burst/pop.h"
 #include "src/burst/proxy.h"
@@ -40,6 +41,10 @@ struct ClusterConfig {
   BrassConfig brass;
   BurstConfig burst;
   AppsConfig apps;
+  // Database-level live queries (src/livequery). Disabled by default; a
+  // cluster with no registered live queries is bit-identical to one built
+  // before the subsystem existed.
+  LiveQueryConfig livequery;
   // Distributed tracing (src/trace). trace.seed == 0 derives the id seed
   // from the cluster seed, so same-seed runs export identical traces.
   TraceConfig trace;
@@ -65,6 +70,8 @@ class BladerunnerCluster {
   TaoStore& tao() { return *tao_; }
   PylonCluster* pylon() { return pylon_.get(); }
   BrassRouter& router() { return *router_; }
+  // Null unless config.livequery.enabled.
+  LiveQueryEngine* livequery() { return livequery_.get(); }
 
   WebAppServer& was(RegionId region) { return *wases_[static_cast<size_t>(region)]; }
   size_t NumPops() const { return pops_.size(); }
@@ -98,6 +105,7 @@ class BladerunnerCluster {
   std::unique_ptr<TaoStore> tao_;
   std::unique_ptr<PylonCluster> pylon_;
   std::vector<std::unique_ptr<WebAppServer>> wases_;  // one per region
+  std::unique_ptr<LiveQueryEngine> livequery_;
   std::unique_ptr<BrassRouter> router_;
   std::vector<std::unique_ptr<BrassHost>> hosts_;
   std::vector<std::unique_ptr<ReverseProxy>> proxies_;

@@ -1,0 +1,99 @@
+#include "src/livequery/plan.h"
+
+#include "src/graphql/ast.h"
+#include "src/graphql/parser.h"
+
+namespace bladerunner {
+
+const char* ToString(LiveQueryShape shape) {
+  switch (shape) {
+    case LiveQueryShape::kAssocRange:
+      return "assoc_range";
+    case LiveQueryShape::kAssocCount:
+      return "assoc_count";
+    case LiveQueryShape::kReExecute:
+      return "re_execute";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr size_t kDefaultWindow = 25;
+
+PlanResult Fail(std::string error) {
+  PlanResult result;
+  result.error = std::move(error);
+  return result;
+}
+
+// A sub-selection with its own nested selections runs a per-row resolver
+// (e.g. Comment.authorUser); the engine materializes rows from object data
+// only, so such queries fall back to re-execution.
+bool HasNestedSelections(const Field& field) {
+  for (const Field& sub : field.selections.fields) {
+    if (!sub.selections.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanResult AnalyzeLiveQuery(const std::string& text) {
+  ParseResult parsed = Parse(text);
+  if (!parsed.ok()) {
+    return Fail("parse error: " + parsed.error);
+  }
+  const Document& doc = *parsed.document;
+  if (doc.operations.size() != 1 || doc.Sole().type != OperationType::kQuery) {
+    return Fail("live queries must be a single query operation");
+  }
+  const SelectionSet& roots = doc.Sole().selections;
+  if (roots.fields.size() != 1) {
+    return Fail("live queries must have exactly one root field");
+  }
+  const Field& root = roots.fields.front();
+
+  PlanResult result;
+  result.ok = true;
+  LiveQueryPlan& plan = result.plan;
+  plan.root_field = root.name;
+
+  if (root.name == "comments") {
+    plan.anchor = root.Arg("video").AsInt();
+    plan.atype = AssocType::kComment;
+    plan.limit = root.HasArg("first")
+                     ? static_cast<size_t>(root.Arg("first").AsInt(kDefaultWindow))
+                     : kDefaultWindow;
+    plan.row_type = "Comment";
+    bool paginated = root.HasArg("after") && root.Arg("after").AsInt(0) != 0;
+    plan.shape = (paginated || HasNestedSelections(root)) ? LiveQueryShape::kReExecute
+                                                          : LiveQueryShape::kAssocRange;
+  } else if (root.name == "commentCount") {
+    plan.anchor = root.Arg("video").AsInt();
+    plan.atype = AssocType::kComment;
+    plan.shape = LiveQueryShape::kAssocCount;
+  } else if (root.name == "likeCount") {
+    plan.anchor = root.Arg("post").AsInt();
+    plan.atype = AssocType::kLike;
+    plan.shape = LiveQueryShape::kAssocCount;
+  } else if (root.name == "commentsByFriends") {
+    // The intersect depends on the viewer's friend list as well as the
+    // comment index; only the comment-side dependency is delta-tracked, so
+    // the shape is re-execute by construction.
+    plan.anchor = root.Arg("video").AsInt();
+    plan.atype = AssocType::kComment;
+    plan.shape = LiveQueryShape::kReExecute;
+  } else {
+    return Fail("unsupported live-query root field: " + root.name);
+  }
+  if (plan.anchor == kInvalidObjectId) {
+    return Fail(root.name + ": missing anchor argument");
+  }
+  plan.deps.push_back(AssocListKey{plan.anchor, plan.atype});
+  return result;
+}
+
+}  // namespace bladerunner

@@ -1,0 +1,60 @@
+// Live-query dependency planning.
+//
+// A live query is an ordinary GraphQL query registered for *maintenance*
+// instead of polling: the planner maps the query onto one of the shapes the
+// incremental engine knows how to fold TAO deltas into, plus the set of
+// (id1, atype) association lists whose deltas feed the view. Queries the
+// planner cannot classify still work — they degrade to kReExecute, where
+// every dependent delta triggers a full re-execution through the GraphQL
+// executor (visible via the livequery.fallback_reexecs counter).
+
+#ifndef BLADERUNNER_SRC_LIVEQUERY_PLAN_H_
+#define BLADERUNNER_SRC_LIVEQUERY_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/tao/types.h"
+
+namespace bladerunner {
+
+// How a registered query's materialized view is maintained.
+enum class LiveQueryShape {
+  kAssocRange,  // newest-N rows over one assoc list; incremental insert/remove
+  kAssocCount,  // one counter over an assoc list; +/-1 folding
+  kReExecute,   // unsupported shape: full re-execute on any dependent delta
+};
+
+const char* ToString(LiveQueryShape shape);
+
+struct LiveQueryPlan {
+  LiveQueryShape shape = LiveQueryShape::kReExecute;
+  std::string root_field;
+  ObjectId anchor = kInvalidObjectId;  // id1 of the anchored assoc list
+  AssocType atype = AssocType::kComment;
+  size_t limit = 25;               // kAssocRange window size
+  std::string row_type;            // __type stamped on materialized rows
+  std::vector<AssocListKey> deps;  // assoc lists whose deltas feed the view
+};
+
+struct PlanResult {
+  bool ok = false;
+  LiveQueryPlan plan;
+  std::string error;
+};
+
+// Parses `text` (a single-operation, single-root-field query document) and
+// plans it against the social schema's live-maintainable root fields:
+//   comments(video, first)      -> kAssocRange over (video, kComment)
+//   commentCount(video)         -> kAssocCount over (video, kComment)
+//   likeCount(post)             -> kAssocCount over (post, kLike)
+//   commentsByFriends(video, …) -> kReExecute, dep (video, kComment)
+// Unknown root fields are an error. Known fields used with features the
+// engine cannot maintain incrementally (pagination cursors, nested
+// sub-selections that run their own resolvers) degrade to kReExecute.
+PlanResult AnalyzeLiveQuery(const std::string& text);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_LIVEQUERY_PLAN_H_

@@ -1,0 +1,27 @@
+// WAS-side wiring for live queries: the subscription root fields that
+// register declarative views with the engine, the fetch handlers the
+// adapter apps use, and the `likeCount` query field the counter shape
+// anchors to. Installed only when live queries are enabled — an
+// uninstalled cluster is bit-identical to one without the subsystem.
+
+#ifndef BLADERUNNER_SRC_LIVEQUERY_SCHEMA_H_
+#define BLADERUNNER_SRC_LIVEQUERY_SCHEMA_H_
+
+#include "src/livequery/engine.h"
+#include "src/was/server.h"
+
+namespace bladerunner {
+
+// Registers on `was`:
+//   Query.likeCount(post)              — AssocCount over (post, kLike)
+//   subscription liveCommentFeed(videoId)  — app "LiveFeed", registers a
+//       `comments(video, first)` live query maintained as kAssocRange
+//   subscription presenceCount(topicId)    — app "LiveCount", registers a
+//       `likeCount(post)` live query maintained as kAssocCount
+// plus the "LiveFeed" / "LiveCount" fetch handlers. `engine` must outlive
+// the server.
+void InstallLiveQuerySchema(WebAppServer& was, LiveQueryEngine* engine);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_LIVEQUERY_SCHEMA_H_

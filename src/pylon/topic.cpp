@@ -58,4 +58,8 @@ Topic StoriesTopic(int64_t user_id) { return "/Stories/" + std::to_string(user_i
 
 Topic MailboxTopic(int64_t user_id) { return "/Mailbox/" + std::to_string(user_id); }
 
+Topic LiveFeedTopic(int64_t object_id) { return "/LQFeed/" + std::to_string(object_id); }
+
+Topic LiveCountTopic(int64_t object_id) { return "/LQCount/" + std::to_string(object_id); }
+
 }  // namespace bladerunner

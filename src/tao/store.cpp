@@ -88,6 +88,25 @@ void TaoStore::StampDelete(Visibility& vis, RegionId leader) {
   }
 }
 
+void TaoStore::ObserveChanges(RegionId region, TaoChangeObserver observer) {
+  observers_.emplace_back(region, std::move(observer));
+}
+
+TaoMutationStamp TaoStore::StampMutation(ObjectId id) {
+  int shard = ShardOf(id);
+  last_stamp_ = TaoMutationStamp{shard, ++shard_seq_[shard]};
+  return last_stamp_;
+}
+
+void TaoStore::EmitDelta(TaoDelta delta, const Visibility& vis, bool is_delete) {
+  SimTime now = sim_->Now();
+  const std::vector<SimTime>& at = is_delete ? vis.deleted_at : vis.visible_at;
+  for (const auto& [region, observer] : observers_) {
+    SimTime deliver_at = at[static_cast<size_t>(region)];
+    sim_->Schedule(deliver_at - now, [cb = observer, d = delta]() { cb(d); });
+  }
+}
+
 ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
   if (object.id == kInvalidObjectId) {
     object.id = NextId();
@@ -107,6 +126,19 @@ ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
     history.erase(history.begin(), history.end() - kMaxObjectVersions);
   }
   m_.object_writes->Increment();
+  TaoMutationStamp stamp = StampMutation(id);
+  if (!observers_.empty()) {
+    const StoredObject& stored = history.back();
+    TaoDelta delta;
+    delta.kind = TaoMutationKind::kObjectPut;
+    delta.id = id;
+    delta.version = stored.object.version;
+    delta.data = stored.object.data;
+    delta.shard = stamp.shard;
+    delta.shard_seq = stamp.seq;
+    delta.committed_at = sim_->Now();
+    EmitDelta(std::move(delta), stored.vis, /*is_delete=*/false);
+  }
   return id;
 }
 
@@ -152,6 +184,21 @@ void TaoStore::AddAssoc(Assoc assoc) {
   BumpWriteRate(list);
   list.entries.push_back(StoredAssoc{std::move(assoc), MakeVisibility(leader)});
   m_.assoc_writes->Increment();
+  const StoredAssoc& stored = list.entries.back();
+  TaoMutationStamp stamp = StampMutation(stored.assoc.id1);
+  if (!observers_.empty()) {
+    TaoDelta delta;
+    delta.kind = TaoMutationKind::kAssocAdd;
+    delta.id = stored.assoc.id1;
+    delta.atype = stored.assoc.atype;
+    delta.id2 = stored.assoc.id2;
+    delta.time = stored.assoc.time;
+    delta.data = stored.assoc.data;
+    delta.shard = stamp.shard;
+    delta.shard_seq = stamp.seq;
+    delta.committed_at = sim_->Now();
+    EmitDelta(std::move(delta), stored.vis, /*is_delete=*/false);
+  }
 }
 
 bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
@@ -164,6 +211,19 @@ bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
     if (entry->assoc.id2 == id2 && entry->vis.deleted_at.empty()) {
       StampDelete(entry->vis, leader);
       m_.assoc_deletes->Increment();
+      TaoMutationStamp stamp = StampMutation(id1);
+      if (!observers_.empty()) {
+        TaoDelta delta;
+        delta.kind = TaoMutationKind::kAssocDelete;
+        delta.id = id1;
+        delta.atype = atype;
+        delta.id2 = id2;
+        delta.time = entry->assoc.time;
+        delta.shard = stamp.shard;
+        delta.shard_seq = stamp.seq;
+        delta.committed_at = sim_->Now();
+        EmitDelta(std::move(delta), entry->vis, /*is_delete=*/true);
+      }
       return true;
     }
   }

@@ -16,8 +16,10 @@
 #define BLADERUNNER_SRC_TAO_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/graphql/executor.h"
@@ -28,6 +30,40 @@
 #include "src/tao/types.h"
 
 namespace bladerunner {
+
+// ---- Change stream (consumed by src/livequery) ----
+
+// Kind of mutation a TaoDelta describes.
+enum class TaoMutationKind : int32_t {
+  kObjectPut = 1,
+  kAssocAdd = 2,
+  kAssocDelete = 3,
+};
+
+// One typed, sequence-numbered mutation record emitted by the change
+// stream. Assoc deltas carry the index time of the (tombstoned) entry so a
+// consumer can locate the exact row; object deltas carry the new version
+// and data snapshot.
+struct TaoDelta {
+  TaoMutationKind kind = TaoMutationKind::kObjectPut;
+  ObjectId id = kInvalidObjectId;   // object id (kObjectPut) or id1 (assoc kinds)
+  AssocType atype = AssocType::kFriend;
+  ObjectId id2 = kInvalidObjectId;  // assoc target (assoc kinds only)
+  SimTime time = 0;                 // assoc index time (assoc kinds only)
+  uint64_t version = 0;             // object version (kObjectPut only)
+  Value data;                       // object data / edge payload snapshot
+  int shard = 0;                    // owning shard of the written id
+  uint64_t shard_seq = 0;           // per-shard commit sequence number
+  SimTime committed_at = 0;         // leader commit time
+};
+
+// Shard + per-shard sequence number stamped on a write.
+struct TaoMutationStamp {
+  int shard = 0;
+  uint64_t seq = 0;
+};
+
+using TaoChangeObserver = std::function<void(const TaoDelta&)>;
 
 class TaoStore {
  public:
@@ -100,6 +136,22 @@ class TaoStore {
                                     const std::vector<ObjectId>& authors, SimTime time_lo,
                                     size_t limit, QueryCost* cost);
 
+  // ---- Change stream ----
+
+  // Registers a change observer with region-relative delivery: each write's
+  // delta is delivered when the write becomes *visible* in `region` — at
+  // commit time if `region` is the shard leader, after the sampled
+  // replication delay otherwise — so per-shard sequence numbers genuinely
+  // arrive out of order at follower regions. With no observers registered
+  // the write paths schedule nothing and consume no randomness: runs are
+  // bit-identical to a store without a change stream.
+  void ObserveChanges(RegionId region, TaoChangeObserver observer);
+
+  // Shard + per-shard sequence stamped on the most recent write (object
+  // put, assoc add, or assoc delete). Sequences are allocated on every
+  // write so publish metadata can carry them even with no observer.
+  const TaoMutationStamp& last_stamp() const { return last_stamp_; }
+
   // ---- Cost model ----
 
   // Samples the service latency of a query with the given accumulated cost,
@@ -147,6 +199,14 @@ class TaoStore {
   // Builds the visibility vector for a write committed now at `leader`.
   Visibility MakeVisibility(RegionId leader);
   void StampDelete(Visibility& vis, RegionId leader);
+
+  // Allocates the next per-shard sequence for a write to `id` and records
+  // it as last_stamp().
+  TaoMutationStamp StampMutation(ObjectId id);
+  // Schedules delivery of `delta` to every observer at the time the write
+  // becomes visible (for deletes: the tombstone) in the observer's region.
+  void EmitDelta(TaoDelta delta, const Visibility& vis, bool is_delete);
+
   void BumpWriteRate(AssocList& list);
   double DecayedWriteRate(const AssocList& list) const;
   int PartitionsForRate(double rate) const;
@@ -178,6 +238,12 @@ class TaoStore {
   // flight reads the previous version instead of nothing.
   std::unordered_map<ObjectId, std::vector<StoredObject>> objects_;
   std::unordered_map<AssocListKey, AssocList, AssocListKeyHash> assocs_;
+
+  // Change stream: per-shard write sequence numbers (allocated on every
+  // write) and the registered observers (usually zero or one).
+  std::unordered_map<int, uint64_t> shard_seq_;
+  TaoMutationStamp last_stamp_;
+  std::vector<std::pair<RegionId, TaoChangeObserver>> observers_;
 };
 
 }  // namespace bladerunner

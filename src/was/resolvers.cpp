@@ -34,6 +34,16 @@ Value CommentValue(const Object& comment) {
   return v;
 }
 
+// Stamps the shard + per-shard mutation sequence of the most recent TAO
+// write into publish metadata. Downstream consumers (conflation keys, the
+// livequery change stream) anchor ordering decisions to this instead of
+// wall-clock event times.
+void StampMutationSeq(const WasContext& was, PublishSpec& publish) {
+  const TaoMutationStamp& stamp = was.tao->last_stamp();
+  publish.metadata.Set("shard", static_cast<int64_t>(stamp.shard));
+  publish.metadata.Set("shardSeq", static_cast<int64_t>(stamp.seq));
+}
+
 std::vector<UserId> FriendsOf(ExecContext& ctx, UserId user) {
   WasContext& was = WasContext::Of(ctx);
   std::vector<Assoc> assocs = was.tao->AssocRange(was.region, user, AssocType::kFriend, kBeginningOfTime,
@@ -296,6 +306,7 @@ Value MutatePostComment(const ResolveInfo& info) {
   publish.metadata.Set("video", video);
   publish.metadata.Set("quality", quality);
   publish.metadata.Set("language", language);
+  StampMutationSeq(was, publish);  // stamp of the comment-object put
   publish.requires_ranking = true;
 
   // Hot-video strategy switch (§3.4): under extreme comment volume, the
@@ -346,6 +357,7 @@ Value MutateLikePost(const ResolveInfo& info) {
   publish.topic = "/Likes/" + std::to_string(post);
   publish.metadata.Set("post", post);
   publish.metadata.Set("author", info.ctx.viewer_id);
+  StampMutationSeq(was, publish);
   was.publishes.push_back(std::move(publish));
   return Value(true);
 }
@@ -366,6 +378,9 @@ Value MutateHeartbeatOnline(const ResolveInfo& info) {
   publish.metadata.Set("version", static_cast<int64_t>(version));
   publish.metadata.Set("online", true);
   publish.metadata.Set("at", sim->Now());
+  if (version != 0) {
+    StampMutationSeq(was, publish);  // no TAO write when the user is unknown
+  }
   was.publishes.push_back(std::move(publish));
   return Value(true);
 }
@@ -413,6 +428,7 @@ Value MutatePostStory(const ResolveInfo& info) {
   publish.metadata.Set("version", static_cast<int64_t>(version));
   publish.metadata.Set("author", info.ctx.viewer_id);
   publish.metadata.Set("rank", rank);
+  StampMutationSeq(was, publish);  // stamp of the container's kStory add
   was.publishes.push_back(std::move(publish));
 
   ValueMap out;
@@ -468,6 +484,7 @@ Value MutateSendMessage(const ResolveInfo& info) {
     publish.metadata.Set("author", info.ctx.viewer_id);
     publish.metadata.Set("thread", thread);
     publish.metadata.Set("seq", static_cast<int64_t>(seq));
+    StampMutationSeq(was, publish);  // stamp of this member's mailbox add
     publish.seq = seq;
     was.publishes.push_back(std::move(publish));
   }

@@ -311,6 +311,69 @@ TEST_F(ExecutorTest, ScalarWithSelectionSetIsError) {
   EXPECT_FALSE(result.ok());
 }
 
+// Tombstone pages: resolvers that privacy-filter list elements replace the
+// content with an untyped {suppressed, indexTime} map (see ResolveComments
+// in src/was/resolvers.cpp). Requested fields missing from a tombstone must
+// produce per-field errors without poisoning the visible elements.
+class TombstoneExecutorTest : public ExecutorTest {
+ protected:
+  void SetUp() override {
+    ExecutorTest::SetUp();
+    schema_.AddResolver("Query", "comments", [](const ResolveInfo&) {
+      ValueList page;
+      Value visible;
+      visible.Set("__type", "Comment");
+      visible.Set("id", 1);
+      visible.Set("text", "hello");
+      visible.Set("indexTime", 100);
+      page.push_back(std::move(visible));
+      Value tombstone;  // untyped: privacy-filtered placeholder
+      tombstone.Set("suppressed", true);
+      tombstone.Set("indexTime", 200);
+      page.push_back(std::move(tombstone));
+      return Value(std::move(page));
+    });
+  }
+};
+
+TEST_F(TombstoneExecutorTest, TombstonePageYieldsPerFieldErrors) {
+  ExecResult result = Run("{ comments { id text indexTime } }");
+  // The tombstone is missing id and text: one error per missing field, and
+  // the untyped map reports an empty type name.
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0], "no resolver and no parent property for .id");
+  EXPECT_EQ(result.errors[1], "no resolver and no parent property for .text");
+
+  // The page itself is still usable: both elements present, the visible
+  // one complete, the tombstone with nulled content fields but its shared
+  // indexTime (pagination watermark) intact.
+  const Value& page = result.data.Get("comments");
+  ASSERT_EQ(page.Size(), 2u);
+  EXPECT_EQ(page.AsList()[0].Get("text").AsString(), "hello");
+  EXPECT_TRUE(page.AsList()[1].Get("id").is_null());
+  EXPECT_TRUE(page.AsList()[1].Get("text").is_null());
+  EXPECT_EQ(page.AsList()[1].Get("indexTime").AsInt(0), 200);
+}
+
+TEST_F(TombstoneExecutorTest, TypedElementsUseTypeNameInErrors) {
+  // A typed map missing a requested field names its type in the error,
+  // distinguishing schema gaps from tombstones.
+  ExecResult result = Run("{ comments { author } }");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0], "no resolver and no parent property for Comment.author");
+  EXPECT_EQ(result.errors[1], "no resolver and no parent property for .author");
+}
+
+TEST_F(TombstoneExecutorTest, SelectionAvoidingMissingFieldsIsClean) {
+  // Selecting only fields every element carries produces no errors at all:
+  // tombstones are not inherently erroneous, only missing-field accesses.
+  ExecResult result = Run("{ comments { indexTime } }");
+  EXPECT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  ASSERT_EQ(result.data.Get("comments").Size(), 2u);
+}
+
 TEST(QueryCostTest, AddCombines) {
   QueryCost a;
   a.point_reads = 1;
