@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace bladerunner {
 
@@ -21,6 +22,24 @@ bool RowBefore(SimTime a_time, ObjectId a_id, SimTime b_time, ObjectId b_id) {
     return a_time > b_time;
   }
   return a_id > b_id;
+}
+
+// Every object id surfaced by a query result ("id" fields, recursively);
+// edits to these are the object puts that can change a fallback view.
+void CollectResultIds(const Value& v, std::vector<ObjectId>* out) {
+  if (v.is_map()) {
+    const Value& id = v.Get("id");
+    if (id.is_int()) {
+      out->push_back(static_cast<ObjectId>(id.AsInt()));
+    }
+    for (const auto& [key, child] : v.AsMap()) {
+      CollectResultIds(child, out);
+    }
+  } else if (v.is_list()) {
+    for (const Value& child : v.AsList()) {
+      CollectResultIds(child, out);
+    }
+  }
 }
 
 }  // namespace
@@ -71,8 +90,17 @@ int64_t LiveQueryEngine::TaoReads() const {
 int64_t LiveQueryEngine::TaoShards() const { return tao_shards_touched_->value(); }
 
 bool LiveQueryEngine::Register(const LiveQueryRegistration& reg, std::string* error) {
-  if (views_.count(reg.topic) != 0) {
-    return true;  // idempotent: re-resolution of the same subscription
+  auto existing = views_.find(reg.topic);
+  if (existing != views_.end()) {
+    if (existing->second.reg.query == reg.query && existing->second.reg.viewer == reg.viewer) {
+      return true;  // idempotent: re-resolution of the same subscription
+    }
+    // Two different queries mapping onto one topic would silently serve the
+    // second subscriber ops for a view it did not ask for.
+    if (error != nullptr) {
+      *error = "topic " + reg.topic + " already registered with a different query or viewer";
+    }
+    return false;
   }
   PlanResult planned = AnalyzeLiveQuery(reg.query);
   if (!planned.ok) {
@@ -90,12 +118,22 @@ bool LiveQueryEngine::Register(const LiveQueryRegistration& reg, std::string* er
     case LiveQueryShape::kAssocRange:
       CommitRows(view, RecomputeRows(view));
       break;
-    case LiveQueryShape::kAssocCount:
-      view.count = static_cast<int64_t>(
-          tao_->AssocCount(config_.home_region, view.plan.anchor, view.plan.atype, nullptr));
+    case LiveQueryShape::kAssocCount: {
+      // Snapshot the *entries*, not just the count: a later delete of a
+      // pre-registration edge must find its (id2, time) key here to know it
+      // was counted.
+      std::vector<Assoc> snapshot =
+          tao_->AssocRange(config_.home_region, view.plan.anchor, view.plan.atype, kBeginningOfTime,
+                           kSimTimeNever, std::numeric_limits<size_t>::max(), nullptr);
+      for (const Assoc& a : snapshot) {
+        view.live[{a.id2, a.time}] += 1;
+      }
+      view.count = static_cast<int64_t>(snapshot.size());
       break;
+    }
     case LiveQueryShape::kReExecute:
       view.fallback = was_->ExecuteNow(view.reg.query, view.reg.viewer).data;
+      UpdateFallbackIndex(view);
       break;
   }
   scope.CommitTo(m_.maintenance_reads, m_.maintenance_shards);
@@ -291,6 +329,25 @@ std::vector<LiveQueryEngine::Op> LiveQueryEngine::DiffRows(const std::vector<Row
   return ops;
 }
 
+void LiveQueryEngine::IndexObjectTopic(ObjectId id, const Topic& topic) {
+  std::vector<Topic>& topics = by_object_[id];
+  if (std::find(topics.begin(), topics.end(), topic) == topics.end()) {
+    topics.push_back(topic);
+  }
+}
+
+void LiveQueryEngine::UnindexObjectTopic(ObjectId id, const Topic& topic) {
+  auto it = by_object_.find(id);
+  if (it == by_object_.end()) {
+    return;
+  }
+  auto& topics = it->second;
+  topics.erase(std::remove(topics.begin(), topics.end(), topic), topics.end());
+  if (topics.empty()) {
+    by_object_.erase(it);
+  }
+}
+
 void LiveQueryEngine::CommitRows(View& view, std::vector<Row> rows) {
   auto has_id = [](const std::vector<Row>& haystack, ObjectId id) {
     for (const Row& r : haystack) {
@@ -302,22 +359,12 @@ void LiveQueryEngine::CommitRows(View& view, std::vector<Row> rows) {
   };
   for (const Row& old : view.rows) {
     if (!has_id(rows, old.id)) {
-      auto it = by_object_.find(old.id);
-      if (it != by_object_.end()) {
-        auto& topics = it->second;
-        topics.erase(std::remove(topics.begin(), topics.end(), view.reg.topic), topics.end());
-        if (topics.empty()) {
-          by_object_.erase(it);
-        }
-      }
+      UnindexObjectTopic(old.id, view.reg.topic);
     }
   }
   for (const Row& added : rows) {
     if (!has_id(view.rows, added.id)) {
-      std::vector<Topic>& topics = by_object_[added.id];
-      if (std::find(topics.begin(), topics.end(), view.reg.topic) == topics.end()) {
-        topics.push_back(view.reg.topic);
-      }
+      IndexObjectTopic(added.id, view.reg.topic);
     }
   }
   view.rows = std::move(rows);
@@ -329,10 +376,12 @@ std::vector<LiveQueryEngine::Op> LiveQueryEngine::ApplyRange(View& view, const T
     m_.reexecs->Increment();
     rows = RecomputeRows(view);
   } else if (delta.kind == TaoMutationKind::kAssocAdd) {
-    auto pending = view.pending_removes.find(delta.id2);
+    auto pending = view.pending_removes.find({delta.id2, delta.time});
     if (pending != view.pending_removes.end()) {
-      // The tombstone replicated ahead of the entry: the entry was never
-      // visible in the home region, so the add and the delete annihilate.
+      // The tombstone replicated ahead of exactly this entry: the entry was
+      // never visible in the home region, so the add and the delete
+      // annihilate. A re-add of the same id2 is a fresh entry with a new
+      // index time and does not match.
       if (--pending->second == 0) {
         view.pending_removes.erase(pending);
       }
@@ -368,8 +417,16 @@ std::vector<LiveQueryEngine::Op> LiveQueryEngine::ApplyRange(View& view, const T
     }
     if (!in_window) {
       // Either an entry below the window (no view change) or a tombstone
-      // arriving before its add; remember it so the add annihilates.
-      view.pending_removes[delta.id2] += 1;
+      // that replicated ahead of its add. The delta carries the tombstoned
+      // entry's exact index time, so probing whether that entry's add has
+      // replicated here tells the two apart: only a genuinely undelivered
+      // add gets a pending remove (consumed when it lands), so below-window
+      // deletes never park stale tombstones that would annihilate a later
+      // legitimate re-add or accumulate unboundedly.
+      if (!tao_->AssocAddVisible(config_.home_region, delta.id, delta.atype, delta.id2, delta.time,
+                                 nullptr)) {
+        view.pending_removes[{delta.id2, delta.time}] += 1;
+      }
       return {};
     }
     // Removing inside the window may pull an older entry back in; refill
@@ -408,24 +465,31 @@ std::vector<LiveQueryEngine::Op> LiveQueryEngine::ApplyCount(View& view, const T
     count = static_cast<int64_t>(
         tao_->AssocCount(config_.home_region, view.plan.anchor, view.plan.atype, nullptr));
   } else if (delta.kind == TaoMutationKind::kAssocAdd) {
-    auto pending = view.pending_removes.find(delta.id2);
+    auto pending = view.pending_removes.find({delta.id2, delta.time});
     if (pending != view.pending_removes.end()) {
+      // Tombstone replicated ahead of exactly this entry: never visible
+      // here, so the pair is a net zero.
       if (--pending->second == 0) {
         view.pending_removes.erase(pending);
       }
     } else {
-      view.live[delta.id2] += 1;
+      view.live[{delta.id2, delta.time}] += 1;
       count += 1;
     }
   } else if (delta.kind == TaoMutationKind::kAssocDelete) {
-    auto live = view.live.find(delta.id2);
-    if (live != view.live.end() && live->second > 0) {
+    // The entry was counted iff its exact (id2, time) key is in the support
+    // set — whether it predates registration (snapshot-seeded) or its add
+    // delta was folded. Only a delete whose add is still in flight parks a
+    // pending remove for the add to annihilate against; a later re-add of
+    // the same id2 is a fresh entry with a new time and never matches.
+    auto live = view.live.find({delta.id2, delta.time});
+    if (live != view.live.end()) {
       if (--live->second == 0) {
         view.live.erase(live);
       }
       count -= 1;
     } else {
-      view.pending_removes[delta.id2] += 1;
+      view.pending_removes[{delta.id2, delta.time}] += 1;
     }
   }
   if (count == view.count) {
@@ -445,9 +509,33 @@ std::vector<LiveQueryEngine::Op> LiveQueryEngine::ApplyFallback(View& view) {
     return {};
   }
   view.fallback = std::move(data);
+  UpdateFallbackIndex(view);
   Op op;
   op.op = "invalidate";
   return {std::move(op)};
+}
+
+void LiveQueryEngine::UpdateFallbackIndex(View& view) {
+  std::vector<ObjectId> ids;
+  CollectResultIds(view.fallback, &ids);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (ObjectId old_id : view.fallback_ids) {
+    if (!std::binary_search(ids.begin(), ids.end(), old_id)) {
+      UnindexObjectTopic(old_id, view.reg.topic);
+    }
+  }
+  for (ObjectId id : ids) {
+    if (!std::binary_search(view.fallback_ids.begin(), view.fallback_ids.end(), id)) {
+      IndexObjectTopic(id, view.reg.topic);
+    }
+  }
+  view.fallback_ids = std::move(ids);
+}
+
+size_t LiveQueryEngine::PendingRemoveCount(const Topic& topic) const {
+  auto it = views_.find(topic);
+  return it != views_.end() ? it->second.pending_removes.size() : 0;
 }
 
 void LiveQueryEngine::PublishOps(View& view, const std::vector<Op>& ops, const TaoDelta& delta,

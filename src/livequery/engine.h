@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/livequery/plan.h"
@@ -59,9 +60,11 @@ class LiveQueryEngine {
   LiveQueryEngine(Simulator* sim, TaoStore* tao, WebAppServer* was, LiveQueryConfig config,
                   MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
-  // Registers a live query (idempotent per topic) and materializes its
-  // initial snapshot from the store. Returns false with `*error` set when
-  // the query does not plan (unknown root field, parse error).
+  // Registers a live query (idempotent per topic: re-registering the same
+  // query/viewer is a no-op) and materializes its initial snapshot from the
+  // store. Returns false with `*error` set when the query does not plan
+  // (unknown root field, parse error) or when the topic is already
+  // registered with a different query or viewer.
   bool Register(const LiveQueryRegistration& reg, std::string* error = nullptr);
   bool IsRegistered(const Topic& topic) const { return views_.count(topic) != 0; }
   std::vector<Topic> Topics() const;
@@ -84,6 +87,11 @@ class LiveQueryEngine {
   using PublishHook = std::function<void(const Topic& topic, const Value& metadata)>;
   void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
+  // Test seam: number of distinct tombstones a view holds whose add has not
+  // been delivered yet. Bounded by in-flight deletes — every entry is
+  // consumed when its add delta arrives.
+  size_t PendingRemoveCount(const Topic& topic) const;
+
   const LiveQueryConfig& config() const { return config_; }
 
  private:
@@ -99,12 +107,24 @@ class LiveQueryEngine {
     LiveQueryRegistration reg;
     LiveQueryPlan plan;
     std::vector<Row> rows;  // kAssocRange: (time desc, id desc), <= limit
-    // Deletes whose add has not been delivered yet (a tombstone can
-    // replicate ahead of its entry); the matching add annihilates.
-    std::map<ObjectId, int> pending_removes;
-    int64_t count = 0;   // kAssocCount
-    std::map<ObjectId, int> live;  // kAssocCount: delivered adds per id2
-    Value fallback;      // kReExecute: last materialized result
+    // Tombstones that replicated ahead of their add, keyed by the entry's
+    // exact (id2, index time). Only the matching add annihilates — a later
+    // re-add of the same id2 is a fresh entry with a new time and folds
+    // normally — and only deletes whose add is genuinely undelivered
+    // (per TaoStore::AssocAddVisible) are parked here, so every entry is
+    // consumed when its in-flight add lands.
+    std::map<std::pair<ObjectId, SimTime>, int> pending_removes;
+    int64_t count = 0;  // kAssocCount
+    // kAssocCount: the multiset of entries the count has counted — the
+    // registration snapshot plus folded adds, keyed by exact (id2, index
+    // time) — i.e. the IVM support set. A delete decrements iff it matches
+    // a counted entry; anything else is a tombstone ahead of its add.
+    // Memory is proportional to the visible list (bounded by the store).
+    std::map<std::pair<ObjectId, SimTime>, int> live;
+    Value fallback;  // kReExecute: last materialized result
+    // kReExecute: ids appearing in `fallback` (sorted), indexed in
+    // by_object_ so object edits re-execute the view.
+    std::vector<ObjectId> fallback_ids;
     uint64_t view_seq = 0;  // bumped per published net change
   };
 
@@ -149,6 +169,12 @@ class LiveQueryEngine {
   std::vector<Op> DiffRows(const std::vector<Row>& before, const std::vector<Row>& after);
   void CommitRows(View& view, std::vector<Row> rows);
 
+  void IndexObjectTopic(ObjectId id, const Topic& topic);
+  void UnindexObjectTopic(ObjectId id, const Topic& topic);
+  // Re-points by_object_ at the ids appearing in the view's fallback result
+  // so kObjectPut deltas re-execute fallback views too.
+  void UpdateFallbackIndex(View& view);
+
   void PublishOps(View& view, const std::vector<Op>& ops, const TaoDelta& delta,
                   const TraceContext& root);
 
@@ -165,7 +191,9 @@ class LiveQueryEngine {
 
   std::map<Topic, View> views_;  // ordered: deterministic iteration
   std::unordered_map<AssocListKey, std::vector<Topic>, AssocListKeyHash> by_list_;
-  std::unordered_map<ObjectId, std::vector<Topic>> by_object_;  // row id -> views
+  // Object id -> dependent views: range-view row ids plus fallback-result
+  // ids, so kObjectPut deltas reach both shapes.
+  std::unordered_map<ObjectId, std::vector<Topic>> by_object_;
   std::unordered_map<int, uint64_t> seq_high_water_;  // per shard, for out_of_order
 
   struct Metrics {

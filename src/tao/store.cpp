@@ -355,6 +355,30 @@ std::optional<Assoc> TaoStore::GetAssoc(RegionId region, ObjectId id1, AssocType
   return std::nullopt;
 }
 
+bool TaoStore::AssocAddVisible(RegionId region, ObjectId id1, AssocType atype, ObjectId id2,
+                               SimTime time, QueryCost* cost) {
+  if (cost != nullptr) {
+    cost->point_reads += 1;
+  }
+  m_.point_reads->Increment();
+  ChargeShards(cost, 1);
+  auto it = assocs_.find(AssocListKey{id1, atype});
+  if (it == assocs_.end()) {
+    return false;
+  }
+  SimTime now = sim_->Now();
+  for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
+    if (entry->assoc.time < time) {
+      break;  // entries are time-ordered; everything further back is older
+    }
+    if (entry->assoc.id2 == id2 && entry->assoc.time == time &&
+        entry->vis.visible_at[static_cast<size_t>(region)] <= now) {
+      return true;
+    }
+  }
+  return false;
+}
+
 size_t TaoStore::AssocCount(RegionId region, ObjectId id1, AssocType atype, QueryCost* cost) {
   if (cost != nullptr) {
     cost->point_reads += 1;

@@ -119,6 +119,15 @@ class TaoStore {
   std::optional<Assoc> GetAssoc(RegionId region, ObjectId id1, AssocType atype, ObjectId id2,
                                 QueryCost* cost);
 
+  // True when the *add* of the exact entry (id1, atype, id2, time) has
+  // replicated into `region`; any tombstone is deliberately ignored. A
+  // change-stream consumer uses this to tell a delete of an entry it has
+  // already seen apart from a tombstone that replicated ahead of its add
+  // (delete deltas carry the tombstoned entry's index time). Charged as one
+  // point read.
+  bool AssocAddVisible(RegionId region, ObjectId id1, AssocType atype, ObjectId id2, SimTime time,
+                       QueryCost* cost);
+
   // Number of visible associations in the list.
   size_t AssocCount(RegionId region, ObjectId id1, AssocType atype, QueryCost* cost);
 

@@ -1,7 +1,9 @@
 // Unit tests for src/livequery: delta fold correctness for the supported
 // view shapes (range insert/remove/reorder, counter deltas), out-of-order
-// shard sequences, delete-before-insert annihilation, unsupported-shape
-// fallback, net-change-only publishing, registration planning, and the
+// shard sequences, delete-before-insert annihilation (exact (id2, time)
+// matching, so re-adds are never falsely annihilated), deletes of
+// pre-registration edges, unsupported-shape fallback (including object-edit
+// re-execution), net-change-only publishing, registration planning, and the
 // per-shard mutation sequence stamp.
 
 #include <gtest/gtest.h>
@@ -337,6 +339,134 @@ TEST_F(LiveQueryTest, DeleteBeforeInsertAnnihilates) {
   EXPECT_EQ(engine_->ViewStateJson(topic), "{\"rows\":[]}");
 }
 
+TEST_F(LiveQueryTest, CounterFoldsDeleteOfPreRegistrationEdge) {
+  // Edges that exist before the view registers are part of the snapshot
+  // count but were never delivered as deltas; deleting one must still
+  // decrement instead of parking a never-matched pending remove.
+  auto like = [this](UserId user) {
+    Assoc edge;
+    edge.id1 = video_;
+    edge.atype = AssocType::kLike;
+    edge.id2 = user;
+    tao_->AddAssoc(std::move(edge));
+    sim_.RunFor(Millis(10));
+  };
+  like(alice_);
+  like(bob_);
+  Topic topic = RegisterCount(video_);
+  EXPECT_EQ(engine_->ViewStateJson(topic), "{\"count\":2}");
+
+  published_.clear();
+  tao_->DeleteAssoc(video_, AssocType::kLike, alice_);
+  sim_.RunFor(Millis(10));
+  auto ops = OpsFor(topic);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0]->metadata.Get("count").AsInt(-1), 1);
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 0u);
+  std::string diagnostic;
+  EXPECT_TRUE(engine_->AuditView(topic, &diagnostic)) << diagnostic;
+
+  // A later re-like by the same user is a brand-new edge, not an
+  // annihilation target: the count climbs back and stays auditable.
+  like(alice_);
+  EXPECT_EQ(engine_->ViewStateJson(topic), "{\"count\":2}");
+  EXPECT_TRUE(engine_->AuditView(topic, &diagnostic)) << diagnostic;
+}
+
+TEST_F(LiveQueryTest, RangeFoldsDeleteOfPreRegistrationEntryBelowWindow) {
+  // Three comments predate registration; the 2-row window never saw the
+  // oldest. Its delete is a net no-op and must not park a tombstone.
+  ObjectId c1 = PostComment("pre1", alice_);
+  PostComment("pre2", alice_);
+  PostComment("pre3", bob_);
+  Topic topic = RegisterFeed(2);
+
+  published_.clear();
+  tao_->DeleteAssoc(video_, AssocType::kComment, c1);
+  sim_.RunFor(Millis(10));
+  EXPECT_TRUE(OpsFor(topic).empty());
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 0u);
+  std::string diagnostic;
+  EXPECT_TRUE(engine_->AuditView(topic, &diagnostic)) << diagnostic;
+}
+
+TEST_F(LiveQueryTest, DeleteThenReAddBelowWindowReentersWindow) {
+  Topic topic = RegisterFeed(2);
+  ObjectId c1 = PostComment("c1", alice_);
+  PostComment("c2", alice_);
+  PostComment("c3", bob_);
+
+  // c1 sits below the 2-row window; its delete changes nothing and — since
+  // its add was already delivered — leaves no pending tombstone behind.
+  tao_->DeleteAssoc(video_, AssocType::kComment, c1);
+  sim_.RunFor(Millis(10));
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 0u);
+
+  // TAO allows delete-then-re-add: the fresh edge (new index time) must
+  // insert at the head of the window, not annihilate against the delete.
+  published_.clear();
+  Assoc edge;
+  edge.id1 = video_;
+  edge.atype = AssocType::kComment;
+  edge.id2 = c1;
+  tao_->AddAssoc(std::move(edge));
+  sim_.RunFor(Millis(10));
+
+  bool saw_insert = false;
+  for (const PublishedOp* op : OpsFor(topic)) {
+    if (op->metadata.Get("op").AsString() == "insert" && op->metadata.Get("id").AsInt(0) == c1) {
+      saw_insert = true;
+      EXPECT_EQ(op->metadata.Get("index").AsInt(-1), 0);
+    }
+  }
+  EXPECT_TRUE(saw_insert);
+  std::string diagnostic;
+  EXPECT_TRUE(engine_->AuditView(topic, &diagnostic)) << diagnostic;
+  EXPECT_NE(engine_->ViewStateJson(topic).find("\"c1\""), std::string::npos);
+}
+
+TEST_F(LiveQueryTest, PendingRemoveMatchesExactEntryNotJustId2) {
+  Topic topic = RegisterFeed(5);
+  published_.clear();
+
+  // A tombstone for entry (ghost, t2) replicates ahead of its add while a
+  // *different* edge to the same target, (ghost, t1), is also in flight.
+  // The pending remove must annihilate only the exact (id2, time) entry.
+  ObjectId ghost = 987654;
+  SimTime t1 = sim_.Now() - Millis(5);
+  SimTime t2 = sim_.Now();
+  int shard = tao_->ShardOf(video_);
+  TaoDelta remove;
+  remove.kind = TaoMutationKind::kAssocDelete;
+  remove.id = video_;
+  remove.atype = AssocType::kComment;
+  remove.id2 = ghost;
+  remove.time = t2;
+  remove.shard = shard;
+  remove.shard_seq = 50;
+  remove.committed_at = sim_.Now();
+  engine_->InjectDelta(remove);
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 1u);
+
+  TaoDelta add_other = remove;
+  add_other.kind = TaoMutationKind::kAssocAdd;
+  add_other.time = t1;
+  add_other.shard_seq = 51;
+  engine_->InjectDelta(add_other);  // distinct entry: inserts
+  auto ops = OpsFor(topic);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0]->metadata.Get("op").AsString(), "insert");
+  EXPECT_EQ(ops[0]->metadata.Get("id").AsInt(0), ghost);
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 1u);
+
+  TaoDelta add_exact = remove;
+  add_exact.kind = TaoMutationKind::kAssocAdd;
+  add_exact.shard_seq = 52;
+  engine_->InjectDelta(add_exact);  // exact match: annihilates silently
+  EXPECT_EQ(OpsFor(topic).size(), 1u);
+  EXPECT_EQ(engine_->PendingRemoveCount(topic), 0u);
+}
+
 TEST_F(LiveQueryTest, CounterViewFoldsAddsAndDeletes) {
   Topic topic = RegisterCount(video_);
   auto like = [this](UserId user) {
@@ -404,6 +534,51 @@ TEST_F(LiveQueryTest, UnsupportedShapeFallsBackToReExecution) {
   published_.clear();
   PostComment("self comment", alice_);
   EXPECT_TRUE(OpsFor(reg.topic).empty());
+}
+
+TEST_F(LiveQueryTest, FallbackViewReExecutesOnObjectEdit) {
+  MakeFriends(*tao_, alice_, bob_);
+  sim_.RunFor(Seconds(1));
+  LiveQueryRegistration reg;
+  reg.topic = Topic("/LQFeed/byfriends");
+  reg.viewer = alice_;
+  reg.query = "{ commentsByFriends(video: " + std::to_string(video_) + ") { id text author } }";
+  std::string error;
+  ASSERT_TRUE(engine_->Register(reg, &error)) << error;
+  ObjectId comment = PostComment("before edit", bob_);
+  published_.clear();
+
+  // Editing the comment object touches no assoc list, only the object
+  // itself. The fallback view tracks the ids in its last result, so the
+  // object put must re-execute it rather than leave it stale.
+  auto existing = tao_->GetObject(0, comment, nullptr);
+  ASSERT_TRUE(existing.has_value());
+  Object edited = *existing;
+  edited.data.Set("text", "after edit");
+  tao_->PutObject(std::move(edited));
+  sim_.RunFor(Millis(10));
+
+  auto ops = OpsFor(reg.topic);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0]->metadata.Get("op").AsString(), "invalidate");
+  EXPECT_NE(engine_->ViewStateJson(reg.topic).find("after edit"), std::string::npos);
+  std::string diagnostic;
+  EXPECT_TRUE(engine_->AuditView(reg.topic, &diagnostic)) << diagnostic;
+}
+
+TEST_F(LiveQueryTest, RegisterRejectsSameTopicWithDifferentQuery) {
+  Topic topic = RegisterFeed(5);
+  LiveQueryRegistration other;
+  other.topic = topic;
+  other.viewer = bob_;
+  other.query = "{ likeCount(post: " + std::to_string(video_) + ") }";
+  std::string error;
+  EXPECT_FALSE(engine_->Register(other, &error));
+  EXPECT_NE(error.find("different query"), std::string::npos);
+  // The original registration is untouched.
+  const LiveQueryPlan* plan = engine_->PlanFor(topic);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->shape, LiveQueryShape::kAssocRange);
 }
 
 TEST_F(LiveQueryTest, RegistrationIsIdempotentPerTopic) {
