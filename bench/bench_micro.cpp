@@ -10,7 +10,7 @@
 //   --perf            run the harness at full size
 //   --smoke           shrink the workloads (CI sanity; seconds, not minutes)
 //   --out FILE        write the JSON rows to FILE (default: stdout only)
-//   --check FILE      compare against a committed baseline (BENCH_PR6.json);
+//   --check FILE      compare against a committed baseline (BENCH_PR7.json);
 //                     exit nonzero if any matching throughput row regressed
 //                     by more than --tolerance (default 0.25)
 
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/burst/durable_log.h"
 #include "src/burst/frames.h"
 #include "src/core/cluster.h"
 #include "src/core/device.h"
@@ -167,7 +168,7 @@ BENCHMARK(BM_StreamKeyHash);
 
 // ---- perf harness (--perf / --smoke) ----
 
-// One measurement row of BENCH_PR6.json. All metrics emitted by the
+// One measurement row of BENCH_PR7.json. All metrics emitted by the
 // harness are throughputs (higher is better); the regression check in
 // CheckAgainstBaseline relies on that.
 struct PerfRow {
@@ -191,6 +192,9 @@ struct PerfShape {
   // Live query: mutation ops folded into materialized views.
   int livequery_ops = 40000;
   int livequery_views = 8;
+  // Durable log: entries appended (rotation/retention churn included)
+  // before a full replay of the retained suffix.
+  size_t durable_appends = 400000;
 };
 
 PerfShape SmokeShape() {
@@ -201,6 +205,7 @@ PerfShape SmokeShape() {
   shape.e2e_viewers = 10;
   shape.e2e_comments = 80;
   shape.livequery_ops = 4000;
+  shape.durable_appends = 40000;
   return shape;
 }
 
@@ -377,6 +382,38 @@ PerfRow BenchLiveQueryFold(const PerfShape& shape) {
   return row;
 }
 
+// Durable-log throughput: appends through rotation + retention churn on a
+// bare DurableTopicLog, then a full batched replay of the retained suffix.
+// Reports log ops (appends + entries read) per wall second.
+PerfRow BenchDurableLog(const PerfShape& shape) {
+  DurableTopicLog log{DurableLogConfig{}};
+  Value payload;
+  payload.Set("__type", "Tick");
+  payload.Set("channel", "/Ticker/1");
+  payload.Set("tick", static_cast<int64_t>(0));
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 1; i <= shape.durable_appends; ++i) {
+    log.Append(i, payload, Micros(static_cast<int64_t>(i)));
+  }
+  uint64_t entries_read = 0;
+  uint64_t cursor = log.oldest_retained_seq() - 1;
+  while (cursor < log.last_seq()) {
+    ReadResult r = log.ReadAfter(cursor, 64);
+    if (r.entries.empty()) {
+      break;
+    }
+    entries_read += r.entries.size();
+    cursor = r.entries.back()->seq;
+  }
+  double elapsed = WallSeconds(start);
+  PerfRow row;
+  row.bench = "durable_log";
+  row.metric = "log_ops_per_sec";
+  row.value = static_cast<double>(shape.durable_appends + entries_read) / elapsed;
+  row.unit = "ops/s";
+  return row;
+}
+
 std::string RowsToJson(const std::vector<PerfRow>& rows) {
   std::ostringstream out;
   out << "[\n";
@@ -389,7 +426,7 @@ std::string RowsToJson(const std::vector<PerfRow>& rows) {
   return out.str();
 }
 
-// Minimal parser for the committed baseline: BENCH_PR6.json is written by
+// Minimal parser for the committed baseline: BENCH_PR7.json is written by
 // RowsToJson above, so one row per line with fixed key order is assumed.
 std::vector<PerfRow> ParseBaseline(const std::string& path) {
   std::vector<PerfRow> rows;
@@ -469,6 +506,7 @@ int RunPerfHarness(bool smoke, const std::string& out_path, const std::string& c
   rows.push_back(BenchPylonFanout(shape));
   rows.push_back(BenchEndToEnd(shape));
   rows.push_back(BenchLiveQueryFold(shape));
+  rows.push_back(BenchDurableLog(shape));
 
   std::string json = RowsToJson(rows);
   std::fputs(json.c_str(), stdout);

@@ -1,0 +1,303 @@
+// Mass-reconnect storm for the durable reliable-delivery tier (§4 failure
+// handling + the PR 7 durable log): a fleet of devices holds Ticker
+// subscriptions through one POP; the POP dies catastrophically and every
+// stream reconnects at once, mid-publish. The bench reports pre-storm vs
+// post-storm delivery latency, per-device catch-up time, replay/duplicate
+// counts, and a zero-loss durability audit against the shared durable log —
+// then repeats the identical storm with the durable tier off to show the
+// loss the tier exists to prevent.
+//
+//   (no args)   full run: ~100k dropped streams (20k devices x 5 channels)
+//   --smoke     shrunken fleet for CI; exits nonzero if the durable run
+//               lost or duplicated any sequence, if post-storm steady-state
+//               p99 exceeds 2x pre-storm, or if the best-effort baseline
+//               did NOT lose anything (audit harness sanity).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/burst/durable_log.h"
+#include "src/pylon/topic.h"
+
+namespace bladerunner {
+namespace {
+
+struct StormShape {
+  int num_devices = 20000;
+  int num_channels = 200;    // each device subscribes `subs_per_device` of these
+  int subs_per_device = 5;   // streams dropped = num_devices * subs_per_device
+  int ticks_per_channel = 24;
+  SimTime tick_gap = Millis(500);  // per-channel publish spacing
+  SimTime warmup = Seconds(5);
+  SimTime pre_window = Seconds(4);     // steady-state window before the storm
+  SimTime storm_window = Seconds(8);   // publishing continues while streams reconnect
+  // "Post-storm steady state" excludes ticks created while the fleet was
+  // still mid-reconnect/replay: only publishes after storm + post_grace
+  // count toward the post-storm latency bound.
+  SimTime post_grace = Seconds(6);
+  SimTime drain = Seconds(30);         // quiesce before the audit
+};
+
+StormShape SmokeShape() {
+  StormShape shape;
+  shape.num_devices = 150;
+  shape.num_channels = 10;
+  shape.subs_per_device = 3;
+  shape.ticks_per_channel = 40;
+  shape.tick_gap = Millis(300);
+  return shape;
+}
+
+struct Audit {
+  // Per device, per channel: every _seq the payload hook saw (multiset so
+  // duplicates are visible even though the client should suppress them).
+  std::map<int, std::map<int64_t, std::multiset<uint64_t>>> seen;
+  Histogram pre_latency;        // publish -> device, ticks created pre-storm
+  Histogram post_latency;      // same, for ticks created after the storm hit
+  std::map<int, SimTime> caught_up_at;  // device -> catch-up completion time
+};
+
+struct Result {
+  int64_t streams = 0;
+  int64_t published = 0;
+  int64_t delivered = 0;
+  int64_t lost = 0;
+  int64_t duplicates = 0;       // device-visible (post client dedup)
+  int64_t replayed = 0;          // brass.durable_replayed
+  int64_t client_dedup = 0;      // burst.client_duplicates_dropped
+  double pre_p99_ms = 0.0;
+  double post_p99_ms = 0.0;
+  double catch_up_p50_s = 0.0;
+  double catch_up_p99_s = 0.0;
+  int64_t reconnects = 0;
+  bool log_matches_publishes = true;
+};
+
+// One full storm scenario. `durable` toggles the tier; everything else —
+// seed, fleet, publish schedule, failure time — is identical.
+Result RunStorm(const StormShape& shape, bool durable) {
+  ClusterConfig config;
+  config.seed = 20210701;
+  config.brass_hosts_per_region = 2;
+  config.pops_per_region = 1;  // one POP serves the whole fleet's region
+  config.apps.ticker.durable = durable;
+  BladerunnerCluster cluster(config, Topology::ThreeRegions());
+  cluster.sim().RunFor(Seconds(1));
+
+  // Fleet: device i subscribes to subs_per_device consecutive channels, so
+  // every channel has ~num_devices * subs_per_device / num_channels
+  // subscribers and all streams ride POP 0 (region 0's only POP).
+  Audit audit;
+  std::map<int, std::vector<int64_t>> subs;  // device -> channels
+  std::vector<std::unique_ptr<DeviceAgent>> fleet;
+  fleet.reserve(static_cast<size_t>(shape.num_devices));
+  for (int d = 0; d < shape.num_devices; ++d) {
+    fleet.push_back(std::make_unique<DeviceAgent>(&cluster, 1000 + d, 0, DeviceProfile::kWifi));
+    for (int s = 0; s < shape.subs_per_device; ++s) {
+      int64_t channel = 1 + (d + s * 7) % shape.num_channels;
+      fleet.back()->SubscribeTicker(channel);
+      subs[d].push_back(channel);
+      audit.seen[d][channel];  // materialize the expected stream set
+    }
+  }
+
+  // Publish bookkeeping shared with the hooks below.
+  int64_t hook_deliveries = 0;
+  int64_t published_total = 0;
+  std::map<int64_t, int64_t> published_per_channel;
+  SimTime storm_at = 0;  // set when the POP fails
+  std::map<int64_t, uint64_t> published_at_storm;  // channel -> count at failure
+
+  for (int d = 0; d < shape.num_devices; ++d) {
+    DeviceAgent* device = fleet[static_cast<size_t>(d)].get();
+    Simulator* sim = &cluster.sim();
+    device->set_payload_hook([&, d, sim](uint64_t, const Value& payload) {
+      hook_deliveries += 1;
+      const Value& seq = payload.Get("_seq");
+      if (!seq.is_int()) {
+        return;  // not a durable-tier payload (baseline run): count only
+      }
+      Topic topic = payload.Get("channel").AsString();
+      int64_t channel = std::stoll(SplitTopic(topic)[1]);
+      audit.seen[d][channel].insert(static_cast<uint64_t>(seq.AsInt(0)));
+      SimTime created = payload.Get("_createdAt").AsInt(0);
+      if (storm_at == 0) {
+        audit.pre_latency.Record(static_cast<double>(sim->Now() - created));
+      } else if (created > storm_at + shape.post_grace) {
+        audit.post_latency.Record(static_cast<double>(sim->Now() - created));
+      }
+      // Catch-up: the first moment this device holds every sequence that
+      // existed when the storm hit, across all its channels.
+      if (storm_at != 0 && audit.caught_up_at.count(d) == 0) {
+        for (int64_t c : subs[d]) {
+          const auto& got = audit.seen[d][c];
+          uint64_t need = published_at_storm[c];
+          if (got.size() < need || (need > 0 && *got.rbegin() < need)) {
+            return;
+          }
+        }
+        audit.caught_up_at[d] = sim->Now() - storm_at;
+      }
+    });
+  }
+  cluster.sim().RunFor(shape.warmup);
+
+  // The publish schedule: every channel ticks every tick_gap, staggered so
+  // publishes spread evenly inside the gap.
+  for (int64_t c = 1; c <= shape.num_channels; ++c) {
+    for (int t = 0; t < shape.ticks_per_channel; ++t) {
+      SimTime at = shape.tick_gap * t + (shape.tick_gap * (c - 1)) / shape.num_channels;
+      cluster.sim().Schedule(at, [&cluster, &published_total, &published_per_channel, c]() {
+        PublishSpec spec;
+        spec.topic = TickerTopic(c);
+        spec.metadata.Set("tick", published_per_channel[c] + 1);
+        cluster.was(0).PublishNow(spec, cluster.sim().Now());
+        published_total += 1;
+        published_per_channel[c] += 1;
+      });
+    }
+  }
+
+  // Pre-storm steady state, then the POP catastrophically fails: every
+  // device connection drops at once and the whole fleet reconnects
+  // (cross-region, to the surviving POPs) while ticks keep publishing.
+  cluster.sim().RunFor(shape.pre_window);
+  int64_t reconnects_before =
+      cluster.metrics().GetCounter("burst.device_reconnect_attempts").value();
+  storm_at = cluster.sim().Now();
+  for (auto& [channel, count] : published_per_channel) {
+    published_at_storm[channel] = static_cast<uint64_t>(count);
+  }
+  cluster.pop(0).FailPop();
+  cluster.sim().RunFor(shape.storm_window);
+  cluster.sim().RunFor(shape.drain);
+
+  // ---- audit ----
+  Result result;
+  result.streams = static_cast<int64_t>(shape.num_devices) * shape.subs_per_device;
+  result.published = published_total;
+  result.reconnects =
+      cluster.metrics().GetCounter("burst.device_reconnect_attempts").value() - reconnects_before;
+  result.replayed = cluster.metrics().GetCounter("brass.durable_replayed").value();
+  result.client_dedup = cluster.metrics().GetCounter("burst.client_duplicates_dropped").value();
+  result.delivered = hook_deliveries;
+  if (durable) {
+    for (auto& [d, channels] : audit.seen) {
+      for (auto& [channel, seqs] : channels) {
+        int64_t expected = published_per_channel[channel];
+        std::set<uint64_t> distinct(seqs.begin(), seqs.end());
+        result.duplicates += static_cast<int64_t>(seqs.size() - distinct.size());
+        result.lost += expected - static_cast<int64_t>(distinct.size());
+      }
+    }
+  } else {
+    // No sequence numbers on the wire: loss is the shortfall between
+    // expected deliveries (each stream should see its channel's publishes)
+    // and what the hooks actually saw.
+    int64_t expected_total = 0;
+    for (auto& [d, channels] : audit.seen) {
+      for (auto& [channel, seqs] : channels) {
+        expected_total += published_per_channel[channel];
+      }
+    }
+    result.lost = expected_total - hook_deliveries;
+  }
+  if (durable) {
+    // The shared log is the ground truth: every publish must have been
+    // appended exactly once, across all the hosts the events fanned out to.
+    for (int64_t c = 1; c <= shape.num_channels; ++c) {
+      const DurableTopicLog* log = cluster.durable_logs().Find(TickerTopic(c));
+      uint64_t last = log == nullptr ? 0 : log->last_seq();
+      if (static_cast<int64_t>(last) != published_per_channel[c]) {
+        result.log_matches_publishes = false;
+      }
+    }
+  }
+  result.pre_p99_ms = audit.pre_latency.Quantile(0.99) / 1e3;
+  result.post_p99_ms = audit.post_latency.Quantile(0.99) / 1e3;
+  Histogram catch_up;
+  for (auto& [d, at] : audit.caught_up_at) {
+    catch_up.Record(static_cast<double>(at));
+  }
+  result.catch_up_p50_s = catch_up.Quantile(0.50) / 1e6;
+  result.catch_up_p99_s = catch_up.Quantile(0.99) / 1e6;
+  return result;
+}
+
+void PrintResult(const char* label, const StormShape& shape, const Result& r) {
+  PrintSection(label);
+  PrintRow("  streams dropped by the storm      %" PRId64, r.streams);
+  PrintRow("  ticks published                   %" PRId64 "  (%d channels x %d)", r.published,
+           shape.num_channels, shape.ticks_per_channel);
+  PrintRow("  payloads delivered                %" PRId64, r.delivered);
+  PrintRow("  reconnect attempts                %" PRId64, r.reconnects);
+  PrintRow("  entries replayed (server)         %" PRId64, r.replayed);
+  PrintRow("  duplicates suppressed (client)    %" PRId64, r.client_dedup);
+  PrintRow("  duplicates visible to devices     %" PRId64, r.duplicates);
+  PrintRow("  sequences LOST                    %" PRId64, r.lost);
+  PrintRow("  delivery p99 pre-storm            %.1fms", r.pre_p99_ms);
+  PrintRow("  delivery p99 post-storm (new pub) %.1fms", r.post_p99_ms);
+  PrintRow("  catch-up time p50/p99             %.2fs / %.2fs", r.catch_up_p50_s,
+           r.catch_up_p99_s);
+}
+
+int Run(bool smoke) {
+  StormShape shape = smoke ? SmokeShape() : StormShape{};
+  PrintHeader(smoke ? "Reconnect storm (smoke)" : "Reconnect storm",
+              "POP failure drops the fleet; durable tier replays the missed suffix");
+
+  Result durable = RunStorm(shape, /*durable=*/true);
+  PrintResult("durable tier ON", shape, durable);
+  PrintRow("  log head == publishes             %s",
+           durable.log_matches_publishes ? "yes" : "NO (AUDIT FAILED)");
+
+  // The identical storm, best-effort: whatever was published while a device
+  // was between POPs is simply gone. (The baseline has no sequence numbers
+  // on the wire, so loss is measured as deliveries missing vs publishes
+  // times subscribers.)
+  Result baseline = RunStorm(shape, /*durable=*/false);
+  PrintSection("durable tier OFF (best-effort baseline)");
+  PrintRow("  payloads delivered                %" PRId64 "  (durable run delivered %" PRId64 ")",
+           baseline.delivered, durable.delivered);
+  PrintRow("  sequences LOST                    %" PRId64, baseline.lost);
+  PrintRow("  -> the storm window's ticks never reach devices that were mid-reconnect");
+
+  PrintSection("verdict");
+  bool zero_loss = durable.lost == 0 && durable.duplicates == 0 && durable.log_matches_publishes;
+  bool bounded_catch_up = durable.post_p99_ms <= 2.0 * durable.pre_p99_ms;
+  Recap("durability audit (durable on)", "zero loss, zero dup",
+        Fmt("%" PRId64 " lost, %" PRId64 " dup -> %s", durable.lost, durable.duplicates,
+            zero_loss ? "PASS" : "FAIL"));
+  Recap("post-storm steady-state p99", "<= 2x pre-storm",
+        Fmt("%.1fms vs 2x %.1fms -> %s", durable.post_p99_ms, durable.pre_p99_ms,
+            bounded_catch_up ? "PASS" : "FAIL"));
+  Recap("best-effort baseline", "loses the storm window",
+        Fmt("%" PRId64 " lost (durable run: %" PRId64 ")", baseline.lost, durable.lost));
+
+  if (smoke) {
+    if (!zero_loss || !bounded_catch_up) {
+      std::fprintf(stderr, "reconnect-storm smoke: durability/catch-up bound FAILED\n");
+      return 1;
+    }
+    if (baseline.lost <= 0) {
+      std::fprintf(stderr, "reconnect-storm smoke: baseline lost nothing; audit broken?\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bladerunner
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return bladerunner::Run(smoke);
+}

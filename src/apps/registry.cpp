@@ -10,6 +10,7 @@ BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config) {
   registry["TI"] = {TypingIndicatorApp::Descriptor(), TypingIndicatorApp::Factory(config.typing)};
   registry["Stories"] = {StoriesApp::Descriptor(), StoriesApp::Factory(config.stories)};
   registry["Messenger"] = {MessengerApp::Descriptor(), MessengerApp::Factory(config.messenger)};
+  registry["Ticker"] = {TickerApp::Descriptor(config.ticker), TickerApp::Factory(config.ticker)};
   return registry;
 }
 

@@ -7,6 +7,7 @@
 #include "src/apps/lvc.h"
 #include "src/apps/messenger.h"
 #include "src/apps/stories.h"
+#include "src/apps/ticker.h"
 #include "src/apps/typing.h"
 #include "src/brass/host.h"
 
@@ -18,10 +19,11 @@ struct AppsConfig {
   TypingConfig typing;
   StoriesConfig stories;
   MessengerConfig messenger;
+  TickerConfig ticker;
 };
 
-// Registers LVC, AS, TI, Stories, and Messenger under their app names
-// (the names clients put into the BURST header's "app" field).
+// Registers LVC, AS, TI, Stories, Messenger, and Ticker under their app
+// names (the names clients put into the BURST header's "app" field).
 BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config = {});
 
 }  // namespace bladerunner

@@ -58,6 +58,13 @@ struct BrassAppDescriptor {
   // Whether sustained shedding on a stream may degrade it to the polling
   // baseline. Only meaningful for apps with a poll fallback (LVC).
   bool degrade_to_poll = false;
+  // Opt into the durable reliable-delivery tier (src/burst/durable_log.h):
+  // every event the app appends via BrassRuntime::AppendDurable gets a dense
+  // per-topic sequence, deliveries carry it, the stream's resume token
+  // tracks the device's acked offset, and a reconnect replays exactly the
+  // missed suffix. Durable deliveries bypass the conflation queue — a
+  // conflated-away sequence could never be replayed consistently.
+  bool durable = false;
 };
 
 }  // namespace bladerunner

@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "src/brass/app_descriptor.h"
+#include "src/burst/durable_log.h"
 #include "src/sim/time.h"
 
 namespace bladerunner {
@@ -82,6 +83,11 @@ struct BrassConfig {
 
   // Admission control, delivery pacing/conflation, degrade-to-poll.
   BrassOverloadConfig overload;
+
+  // Durable reliable-delivery tier: per-topic log bounds, replay pacing,
+  // resume-token persistence cadence. Only apps whose descriptor sets
+  // `durable` touch any of it.
+  DurableLogConfig durable_log;
 };
 
 }  // namespace bladerunner

@@ -51,6 +51,13 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
   m_.host_drains = &metrics_->GetCounter("brass.host_drains");
   m_.host_failures = &metrics_->GetCounter("brass.host_failures");
   m_.host_revives = &metrics_->GetCounter("brass.host_revives");
+  m_.durable_appends = &metrics_->GetCounter("brass.durable_appends");
+  m_.durable_append_duplicates = &metrics_->GetCounter("brass.durable_append_duplicates");
+  m_.durable_replayed = &metrics_->GetCounter("brass.durable_replayed");
+  m_.durable_duplicates_suppressed = &metrics_->GetCounter("brass.durable_duplicates_suppressed");
+  m_.durable_live_suppressed = &metrics_->GetCounter("brass.durable_live_suppressed");
+  m_.durable_truncated_resumes = &metrics_->GetCounter("brass.durable_truncated_resumes");
+  m_.durable_token_rewrites = &metrics_->GetCounter("brass.durable_token_rewrites");
   burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
   event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
     HandlePylonEvent(std::move(request), std::move(respond));
@@ -234,17 +241,43 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   auto [it, inserted] = streams_.insert_or_assign(key, std::move(host_stream));
   (void)inserted;
 
+  // Durable tier: position the stream on its channel's log. An absent
+  // resume token means a fresh subscriber (live tail from the current log
+  // head); a present one — including 0 — is a readSeq offset to replay
+  // after. Token 0 with a non-empty log replays everything retained.
+  const BrassAppDescriptor* descriptor = DescriptorFor(app);
+  const bool durable_app =
+      descriptor != nullptr && descriptor->durable && !it->second.state.topics.empty();
+  if (durable_app) {
+    HostStream& state = it->second;
+    state.durable = true;
+    state.durable_channel = state.state.topics.front();
+    StreamHeaderView view(stream->header());
+    DurableTopicLog& log = durable_logs()->LogFor(state.durable_channel);
+    state.durable_delivered =
+        view.has_resume_token() ? static_cast<uint64_t>(view.resume_token()) : log.last_seq();
+    state.durable_acked = state.durable_delivered;
+  }
+
   // Sticky routing (§3.5): patch the stream's stored request everywhere
   // along the path with this host's identity, so a resubscribe after a
-  // failure lands back here.
+  // failure lands back here. Durable streams also persist their position —
+  // a cold resubscribe (host crash, GC) then carries the token back.
   StreamHeader header(stream->header());
   header.set_brass_host(host_id_);
+  if (durable_app) {
+    header.set_durable(true);
+    header.set_resume_token(static_cast<int64_t>(it->second.durable_delivered));
+  }
   stream->Rewrite(std::move(header).Take());
 
   for (const Topic& topic : it->second.state.topics) {
     SubscribeTopic(topic, key, sub_span);
   }
   instance->app->OnStreamStarted(it->second.state);
+  if (durable_app) {
+    StartDurableReplay(key);
+  }
 }
 
 void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key, TraceContext parent) {
@@ -427,6 +460,17 @@ void BrassHost::OnStreamResumed(ServerStream& stream) {
   if (app != apps_.end()) {
     app->second.app->OnStreamResumed(hs->second.state);
   }
+  if (hs->second.durable) {
+    // Pushes in flight during the detach window may be lost; rewind to the
+    // acked watermark and replay. The client dedups any overlap, so each
+    // sequence still reaches the app exactly once.
+    hs->second.durable_delivered = hs->second.durable_acked;
+    if (!hs->second.replaying) {
+      StartDurableReplay(stream.key());
+    }
+    // A replay already running continues from the rewound watermark: its
+    // next batch reads after durable_delivered.
+  }
 }
 
 void BrassHost::OnStreamDetached(ServerStream& stream, const std::string& reason) {
@@ -443,6 +487,9 @@ void BrassHost::OnStreamClosed(const StreamKey& key, TerminateReason reason) {
   auto hs = streams_.find(key);
   if (hs == streams_.end()) {
     return;
+  }
+  if (hs->second.replaying) {
+    EndDurableReplay(hs->second, "stream closed");
   }
   if (trace_ != nullptr) {
     if (reason == TerminateReason::kError) {
@@ -477,9 +524,31 @@ void BrassHost::OnAck(ServerStream& stream, uint64_t seq) {
   if (hs == streams_.end()) {
     return;
   }
-  auto app = apps_.find(hs->second.app);
+  HostStream& state = hs->second;
+  if (state.durable && seq > state.durable_acked) {
+    state.durable_acked = seq;
+    state.acks_since_rewrite += 1;
+    const uint64_t interval = std::max<uint64_t>(config_.durable_log.token_rewrite_interval, 1);
+    if (state.acks_since_rewrite >= interval && stream.attached()) {
+      // Persist the acked offset as the stream's resume token: the rewrite
+      // ripples the stored request at client/POP/proxy, so a later cold
+      // resubscribe (or a proxy-initiated repair) replays from here.
+      state.acks_since_rewrite = 0;
+      m_.durable_token_rewrites->Increment();
+      if (trace_ != nullptr && state.stream_span.valid()) {
+        TraceContext ack_span =
+            trace_->StartSpan(state.stream_span, "burst.ack", "burst", region_, sim_->Now());
+        trace_->Annotate(ack_span, "seq", Value(static_cast<int64_t>(state.durable_acked)));
+        trace_->EndSpan(ack_span, sim_->Now());
+      }
+      StreamHeader header(stream.header());
+      header.set_resume_token(static_cast<int64_t>(state.durable_acked));
+      stream.Rewrite(std::move(header).Take());
+    }
+  }
+  auto app = apps_.find(state.app);
   if (app != apps_.end()) {
-    app->second.app->OnAck(hs->second.state, seq);
+    app->second.app->OnAck(state.state, seq);
   }
 }
 
@@ -546,6 +615,10 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
   }
   const SimTime gap = config_.overload.min_push_gap;
   auto hs = streams_.find(stream.key);
+  if (hs != streams_.end() && hs->second.durable) {
+    DeliverDurable(hs->second, std::move(payload), options);
+    return;
+  }
   if (gap <= 0 || hs == streams_.end()) {
     // Unpaced fast path: identical to the pre-overload-control behavior.
     PushNow(app, stream, std::move(payload), options);
@@ -641,6 +714,160 @@ void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value paylo
   if (options.event_created_at > 0) {
     AppMetricsFor(app).push_delay_us->Record(
         static_cast<double>(sim_->Now() - options.event_created_at));
+  }
+}
+
+DurableLogDirectory* BrassHost::durable_logs() {
+  if (durable_logs_ == nullptr) {
+    durable_logs_ = std::make_shared<DurableLogDirectory>(config_.durable_log);
+  }
+  return durable_logs_.get();
+}
+
+uint64_t BrassHost::AppendDurable(const Topic& channel, uint64_t event_id, Value payload,
+                                  SimTime created_at) {
+  AppendResult result =
+      durable_logs()->LogFor(channel).Append(event_id, std::move(payload), created_at);
+  if (result.duplicate) {
+    m_.durable_append_duplicates->Increment();
+  } else {
+    m_.durable_appends->Increment();
+  }
+  return result.seq;
+}
+
+void BrassHost::DeliverDurable(HostStream& state, Value payload, const DeliverOptions& options) {
+  if (options.seq > 0) {
+    if (state.replaying) {
+      // The running replay reads up to the log head, which includes this
+      // entry; pushing it live too would deliver it twice.
+      m_.durable_live_suppressed->Increment();
+      return;
+    }
+    if (options.seq <= state.durable_delivered) {
+      m_.durable_duplicates_suppressed->Increment();
+      return;
+    }
+    if (state.state.stream == nullptr || !state.state.stream->attached()) {
+      // Detached: the entry is durable in the log; the resume replay
+      // delivers it (the best-effort tier would simply drop it here).
+      m_.durable_live_suppressed->Increment();
+      return;
+    }
+    if (options.seq > state.durable_delivered + 1) {
+      // Event dispatch raced the log order (per-app dispatch latencies are
+      // independent draws): delivering this now would skip the sequences in
+      // between. Replay the gap from the log — in order — instead.
+      m_.durable_live_suppressed->Increment();
+      StartDurableReplay(state.state.key);
+      return;
+    }
+    state.durable_delivered = options.seq;
+    payload.Set("_seq", static_cast<int64_t>(options.seq));
+  }
+  PushNow(state.app, state.state, std::move(payload), options);
+}
+
+void BrassHost::StartDurableReplay(const StreamKey& key) {
+  auto hs = streams_.find(key);
+  if (hs == streams_.end() || !hs->second.durable || hs->second.replaying) {
+    return;
+  }
+  HostStream& state = hs->second;
+  DurableTopicLog& log = durable_logs()->LogFor(state.durable_channel);
+  if (log.Truncated(state.durable_delivered)) {
+    // Retention outran this subscriber: the missed prefix is gone for good.
+    // Surface the restart (the app layer must re-snapshot or accept the
+    // gap) and resume from the oldest retained entry.
+    m_.durable_truncated_resumes->Increment();
+    if (state.state.stream != nullptr && state.state.stream->attached()) {
+      state.state.stream->PushFlow(FlowStatus::kRestarted,
+                                   "durable log truncated past resume token");
+    }
+    state.durable_delivered = log.oldest_retained_seq() - 1;
+    if (state.durable_acked < state.durable_delivered) {
+      state.durable_acked = state.durable_delivered;
+    }
+  }
+  if (state.durable_delivered >= log.last_seq()) {
+    return;  // caught up; nothing to replay
+  }
+  state.replaying = true;
+  if (trace_ != nullptr && state.stream_span.valid()) {
+    state.replay_span =
+        trace_->StartSpan(state.stream_span, "burst.replay", "burst", region_, sim_->Now());
+    trace_->Annotate(state.replay_span, "from_seq",
+                     Value(static_cast<int64_t>(state.durable_delivered)));
+  }
+  ReplayDurableBatch(key);
+}
+
+void BrassHost::ReplayDurableBatch(const StreamKey& key) {
+  auto hs = streams_.find(key);
+  if (hs == streams_.end() || !hs->second.replaying) {
+    return;
+  }
+  HostStream& state = hs->second;
+  ServerStream* raw = state.state.stream;
+  if (raw == nullptr || !raw->attached()) {
+    // Detached mid-replay; the next resume rewinds to the acked watermark
+    // and starts a fresh replay.
+    EndDurableReplay(state, "aborted: stream detached");
+    return;
+  }
+  DurableTopicLog& log = durable_logs()->LogFor(state.durable_channel);
+  const int batch_size = std::max(config_.durable_log.replay_batch, 1);
+  ReadResult read = log.ReadAfter(state.durable_delivered, batch_size);
+  if (read.status == ReadStatus::kTruncated) {
+    // Retention advanced past our cursor while replaying (tiny log bounds
+    // under sustained publishing); same contract as a truncated resume.
+    m_.durable_truncated_resumes->Increment();
+    raw->PushFlow(FlowStatus::kRestarted, "durable log truncated during replay");
+  }
+  if (read.entries.empty()) {
+    EndDurableReplay(state, "");
+    return;
+  }
+  const AppMetrics& app_metrics = AppMetricsFor(state.app);
+  std::vector<Delta> batch;
+  batch.reserve(read.entries.size());
+  for (const DurableEntry* entry : read.entries) {
+    Value payload = entry->payload;
+    if (entry->created_at > 0) {
+      payload.Set("_createdAt", entry->created_at);
+    }
+    payload.Set("_sentAt", sim_->Now());
+    payload.Set("_app", state.app);
+    payload.Set("_seq", static_cast<int64_t>(entry->seq));
+    m_.deliveries->Increment();
+    app_metrics.deliveries->Increment();
+    m_.delivered_bytes->Increment(static_cast<int64_t>(entry->bytes));
+    m_.durable_replayed->Increment();
+    if (entry->created_at > 0) {
+      app_metrics.push_delay_us->Record(static_cast<double>(sim_->Now() - entry->created_at));
+    }
+    state.durable_delivered = entry->seq;
+    batch.push_back(Delta::Data(std::move(payload), entry->seq));
+  }
+  raw->Push(std::move(batch));
+  if (state.durable_delivered >= log.last_seq()) {
+    EndDurableReplay(state, "");
+    return;
+  }
+  sim_->Schedule(std::max<SimTime>(config_.durable_log.replay_batch_gap, 1),
+                 [this, key]() { ReplayDurableBatch(key); });
+}
+
+void BrassHost::EndDurableReplay(HostStream& state, const std::string& note) {
+  state.replaying = false;
+  if (trace_ != nullptr && state.replay_span.valid()) {
+    if (!note.empty()) {
+      trace_->Annotate(state.replay_span, "note", Value(note));
+    }
+    trace_->Annotate(state.replay_span, "to_seq",
+                     Value(static_cast<int64_t>(state.durable_delivered)));
+    trace_->EndSpan(state.replay_span, sim_->Now());
+    state.replay_span = TraceContext();
   }
 }
 

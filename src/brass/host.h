@@ -24,6 +24,7 @@
 #include "src/brass/fetch_pipeline.h"
 #include "src/brass/runtime.h"
 #include "src/burst/config.h"
+#include "src/burst/durable_log.h"
 #include "src/burst/server.h"
 #include "src/net/rpc.h"
 #include "src/pylon/cluster.h"
@@ -127,6 +128,21 @@ class BrassHost : public BurstServerHandler {
   void DeliverData(const std::string& app, BrassStream& stream, Value payload,
                    const DeliverOptions& options);
 
+  // Appends one event payload to `channel`'s durable log (idempotent on
+  // event_id: every subscribed host appends the same Pylon event; the first
+  // append assigns the sequence). Returns the entry's dense per-topic
+  // sequence, which the app passes as DeliverOptions::seq.
+  uint64_t AppendDurable(const Topic& channel, uint64_t event_id, Value payload,
+                         SimTime created_at);
+
+  // Installs the cluster-shared durable log directory (the durable tier is
+  // a service that survives any single host's crash). Without one the host
+  // lazily creates a private directory — enough for single-host tests.
+  void SetDurableLogDirectory(std::shared_ptr<DurableLogDirectory> dir) {
+    durable_logs_ = std::move(dir);
+  }
+  DurableLogDirectory* durable_logs();
+
   // The registered QoS descriptor for `app` (nullptr if unknown).
   const BrassAppDescriptor* DescriptorFor(const std::string& app) const;
 
@@ -175,6 +191,15 @@ class BrassHost : public BurstServerHandler {
     bool degraded = false;
     uint64_t degraded_attempts = 0;  // offered load observed while degraded
     TraceContext degrade_span;
+
+    // ---- durable-tier state (descriptor.durable apps only) ----
+    bool durable = false;
+    Topic durable_channel;           // the log this stream delivers from
+    uint64_t durable_delivered = 0;  // highest log seq pushed this attach
+    uint64_t durable_acked = 0;      // highest device-acked log seq
+    bool replaying = false;          // replay running; live pushes suppressed
+    uint64_t acks_since_rewrite = 0;
+    TraceContext replay_span;
   };
 
   // Metric handles resolved once at construction; per-app handles resolved
@@ -206,6 +231,13 @@ class BrassHost : public BurstServerHandler {
     Counter* host_drains;
     Counter* host_failures;
     Counter* host_revives;
+    Counter* durable_appends;
+    Counter* durable_append_duplicates;
+    Counter* durable_replayed;
+    Counter* durable_duplicates_suppressed;
+    Counter* durable_live_suppressed;
+    Counter* durable_truncated_resumes;
+    Counter* durable_token_rewrites;
   };
   struct AppMetrics {
     Counter* decisions;
@@ -250,6 +282,17 @@ class BrassHost : public BurstServerHandler {
   void DegradeStream(const StreamKey& key, HostStream& state);
   void ScheduleRecoveryCheck(const StreamKey& key);
 
+  // ---- durable tier (docs/BURST.md "Resumption") ----
+  // Deliver path for durable streams: bypasses pacing/conflation (a
+  // conflated-away sequence could never be replayed consistently), dedups
+  // on sequence, and suppresses live pushes while a replay is running.
+  void DeliverDurable(HostStream& state, Value payload, const DeliverOptions& options);
+  // Starts replaying the log suffix after the stream's delivered watermark
+  // (no-op if already replaying or caught up).
+  void StartDurableReplay(const StreamKey& key);
+  void ReplayDurableBatch(const StreamKey& key);
+  void EndDurableReplay(HostStream& state, const std::string& note);
+
   Simulator* sim_;
   int64_t host_id_;
   RegionId region_;
@@ -273,6 +316,7 @@ class BrassHost : public BurstServerHandler {
   std::unordered_map<StreamKey, HostStream, StreamKeyHash> streams_;
   std::map<Topic, TopicEntry> topics_;
   std::vector<StreamRecord> closed_stream_records_;
+  std::shared_ptr<DurableLogDirectory> durable_logs_;
 };
 
 }  // namespace bladerunner

@@ -37,6 +37,11 @@ void BrassRuntime::WasQuery(const std::string& query, const FetchOptions& option
   host_->WasQuery(query, options, GuardAlive(std::move(callback)));
 }
 
+uint64_t BrassRuntime::AppendDurable(const Topic& channel, const UpdateEvent& event,
+                                     Value payload) {
+  return host_->AppendDurable(channel, event.event_id, std::move(payload), event.created_at);
+}
+
 void BrassRuntime::CountDecision(bool delivered) {
   host_->CountDecision(app_name_, delivered);
 }

@@ -67,6 +67,13 @@ class BrassRuntime {
   // may be queued, conflated against `options.conflation_key`, or shed.
   void DeliverData(BrassStream& stream, Value payload, const DeliverOptions& options);
 
+  // Durable tier (descriptor.durable apps): appends the event's payload to
+  // `channel`'s replayable log and returns its dense per-topic sequence —
+  // pass it as DeliverOptions::seq on the matching DeliverData calls.
+  // Idempotent on the event id (every subscribed host appends the same
+  // Pylon event; the first append assigns the sequence).
+  uint64_t AppendDurable(const Topic& channel, const UpdateEvent& event, Value payload);
+
   // ---- tracing ----
   // Span helpers for application-level processing spans ("brass.process").
   // All no-op (returning invalid contexts) when tracing is off or the

@@ -1,5 +1,6 @@
 #include "src/burst/client.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bladerunner {
@@ -17,6 +18,7 @@ BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
   assert(sim_ != nullptr && observer_ != nullptr && metrics_ != nullptr);
   m_.client_cancels = &metrics_->GetCounter("burst.client_cancels");
   m_.client_data_deltas = &metrics_->GetCounter("burst.client_data_deltas");
+  m_.client_duplicates_dropped = &metrics_->GetCounter("burst.client_duplicates_dropped");
   m_.client_redirect_backoffs = &metrics_->GetCounter("burst.client_redirect_backoffs");
   m_.client_redirects = &metrics_->GetCounter("burst.client_redirects");
   m_.client_resubscribes = &metrics_->GetCounter("burst.client_resubscribes");
@@ -42,12 +44,16 @@ void BurstClient::Connect() {
   }
   conn_ = connector_(device_id_);
   if (conn_ == nullptr) {
-    // No POP reachable; retry from the backoff loop.
+    // No POP reachable; retry from the backoff loop. The failure count is
+    // bumped after scheduling so the first retry draws the base window and
+    // each later one widens it.
     if (auto_reconnect_) {
       ScheduleReconnect();
     }
+    reconnect_failures_ += 1;
     return;
   }
+  reconnect_failures_ = 0;
   conn_->set_handler(this);
   observer_->OnConnectionStateChanged(true);
   ResubscribeAll();
@@ -89,6 +95,7 @@ uint64_t BurstClient::Subscribe(Value header, std::string body) {
   ClientStream stream;
   stream.header = std::move(header);
   stream.body = std::move(body);
+  stream.durable = StreamHeaderView(stream.header).durable();
   auto [it, inserted] = streams_.emplace(sid, std::move(stream));
   assert(inserted);
   m_.client_subscribes->Increment();
@@ -172,14 +179,24 @@ void BurstClient::ResubscribeAll() {
   }
 }
 
+SimTime BurstClient::DrawBackoff(int failures) {
+  double lo = static_cast<double>(config_.reconnect_backoff_min);
+  double hi = static_cast<double>(config_.reconnect_backoff_max);
+  if (failures > 0) {
+    double cap = static_cast<double>(
+        std::max(config_.reconnect_backoff_cap, config_.reconnect_backoff_max));
+    int shift = std::min(failures, 30);
+    hi = std::min(hi * static_cast<double>(1u << shift), cap);
+  }
+  return static_cast<SimTime>(sim_->rng().Uniform(lo, std::max(lo, hi)));
+}
+
 void BurstClient::ScheduleReconnect() {
   if (reconnect_scheduled_) {
     return;
   }
   reconnect_scheduled_ = true;
-  SimTime backoff = static_cast<SimTime>(
-      sim_->rng().Uniform(static_cast<double>(config_.reconnect_backoff_min),
-                          static_cast<double>(config_.reconnect_backoff_max)));
+  SimTime backoff = DrawBackoff(reconnect_failures_);
   reconnect_timer_ = sim_->Schedule(backoff, [this]() {
     reconnect_scheduled_ = false;
     reconnect_timer_ = kInvalidTimerId;
@@ -204,15 +221,30 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
   for (const Delta& delta : response.batch) {
     if (delta.kind == DeltaKind::kRewrite) {
       it->second.header = delta.new_header;
+      it->second.durable = StreamHeaderView(it->second.header).durable();
     } else if (delta.kind == DeltaKind::kTermination) {
       terminated = true;
       reason = delta.reason;
       term_detail = delta.detail;
     }
   }
+  uint64_t durable_ack_seq = 0;  // highest durable seq in this batch
   for (const Delta& delta : response.batch) {
     switch (delta.kind) {
       case DeltaKind::kData:
+        if (it->second.durable && delta.seq > 0) {
+          if (delta.seq <= it->second.last_durable_seq) {
+            // Replay overlap after a reconnect: already delivered. Still
+            // close the delivery span so traced live pushes don't leak.
+            m_.client_duplicates_dropped->Increment();
+            if (trace_ != nullptr && delta.trace.valid()) {
+              trace_->EndSpan(delta.trace, sim_->Now());
+            }
+            break;
+          }
+          it->second.last_durable_seq = delta.seq;
+          durable_ack_seq = delta.seq;
+        }
         m_.client_data_deltas->Increment();
         it->second.consecutive_redirects = 0;  // stream is making progress
         // The update has reached the device: close its "burst.deliver" span
@@ -230,6 +262,11 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
         break;  // already applied above
     }
   }
+  if (durable_ack_seq > 0 && connected() && !terminated) {
+    // One transport-level ack per response frame advances the server's
+    // acked watermark (and, periodically, the persisted resume token).
+    Ack(sid, durable_ack_seq);
+  }
   if (terminated) {
     if (reason == TerminateReason::kRedirect && connected()) {
       // Redirect (§3.5): re-issue the subscription using the just-rewritten
@@ -243,9 +280,10 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
       } else if (!it->second.redirect_retry_pending) {
         it->second.redirect_retry_pending = true;
         m_.client_redirect_backoffs->Increment();
-        SimTime backoff = static_cast<SimTime>(
-            sim_->rng().Uniform(static_cast<double>(config_.reconnect_backoff_min),
-                                static_cast<double>(config_.reconnect_backoff_max)));
+        // Delayed retries widen with each further redirect past the
+        // immediate allowance (the first delayed one draws the base window).
+        SimTime backoff = DrawBackoff(it->second.consecutive_redirects -
+                                      config_.max_immediate_redirects - 1);
         sim_->Schedule(backoff, [this, sid]() {
           auto retry = streams_.find(sid);
           if (retry == streams_.end()) {

@@ -102,6 +102,12 @@ class BurstClient : public ConnectionHandler {
     Value header;
     std::string body;
     bool subscribed_on_current_conn = false;
+    // Durable-tier state (header carries durable=true): the highest durable
+    // log sequence delivered to the app. Replay after a reconnect may
+    // overlap the already-delivered suffix; deltas at or below this mark
+    // are dropped so each sequence reaches the app exactly once.
+    bool durable = false;
+    uint64_t last_durable_seq = 0;
     // Redirect storm protection: after max_immediate_redirects back-to-back
     // redirects (no data in between), further retries are delayed by the
     // reconnect backoff — an admission-rejected device must not hammer the
@@ -117,12 +123,18 @@ class BurstClient : public ConnectionHandler {
   void SendSubscribe(uint64_t sid, ClientStream& stream, bool resubscribe);
   void ResubscribeAll();
   void ScheduleReconnect();
+  // One backoff policy for both reconnects and delayed redirect retries:
+  // capped exponential with full jitter. `failures` == 0 draws the base
+  // [min, max] window; each further failure doubles the upper edge up to
+  // config_.reconnect_backoff_cap.
+  SimTime DrawBackoff(int failures);
   void HandleResponse(const ResponseFrame& response);
 
   // Metric handles resolved once at construction (docs/PERF.md).
   struct Metrics {
     Counter* client_cancels;
     Counter* client_data_deltas;
+    Counter* client_duplicates_dropped;
     Counter* client_redirect_backoffs;
     Counter* client_redirects;
     Counter* client_resubscribes;
@@ -147,6 +159,9 @@ class BurstClient : public ConnectionHandler {
   std::map<uint64_t, ClientStream> streams_;
   bool auto_reconnect_ = true;
   bool reconnect_scheduled_ = false;
+  // Consecutive failed connect attempts since the last successful one;
+  // drives the exponential reconnect backoff.
+  int reconnect_failures_ = 0;
   TimerId reconnect_timer_ = kInvalidTimerId;
   SimTime last_uplink_activity_ = -Days(365);  // long ago: radio starts idle
 };

@@ -8,9 +8,15 @@
 namespace bladerunner {
 
 struct BurstConfig {
-  // Device reconnect backoff after a dropped connection (uniform range).
+  // Device reconnect backoff after a dropped connection: capped exponential
+  // backoff with full jitter. The first attempt draws uniformly from
+  // [min, max]; each consecutive failure doubles the window's upper edge up
+  // to reconnect_backoff_cap, and a successful connect resets the exponent.
+  // This is what keeps a fleet-wide disconnect from retrying at a fixed
+  // aggregate rate forever when the POPs stay unreachable.
   SimTime reconnect_backoff_min = Millis(400);
   SimTime reconnect_backoff_max = Seconds(3);
+  SimTime reconnect_backoff_cap = Seconds(48);
 
   // How quickly a surviving side detects an abrupt peer failure
   // (heartbeat timeout; §4 footnote 11).

@@ -1,0 +1,130 @@
+#include "src/burst/durable_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bladerunner {
+
+AppendResult DurableTopicLog::Append(uint64_t event_id, Value payload,
+                                     SimTime created_at) {
+  auto known = by_event_.find(event_id);
+  if (known != by_event_.end()) {
+    stats_.duplicate_appends += 1;
+    return {known->second, /*duplicate=*/true};
+  }
+  DurableEntry entry;
+  entry.seq = ++last_seq_;
+  entry.event_id = event_id;
+  entry.bytes = payload.WireSize();
+  entry.payload = std::move(payload);
+  entry.created_at = created_at;
+  hot_bytes_ += entry.bytes;
+  stats_.appends += 1;
+  stats_.appended_bytes += entry.bytes;
+  by_event_.emplace(event_id, entry.seq);
+  hot_.push_back(std::move(entry));
+  MaybeRotate();
+  return {last_seq_, /*duplicate=*/false};
+}
+
+void DurableTopicLog::MaybeRotate() {
+  if (hot_.size() <= config_.hot_log_max_entries &&
+      hot_bytes_ <= config_.segment_max_bytes) {
+    return;
+  }
+  // Seal the whole hot log as one immutable cold segment.
+  ColdSegment segment;
+  segment.first_seq = hot_.front().seq;
+  segment.last_seq = hot_.back().seq;
+  segment.entries.reserve(hot_.size());
+  for (auto& entry : hot_) segment.entries.push_back(std::move(entry));
+  hot_.clear();
+  hot_bytes_ = 0;
+  cold_.push_back(std::move(segment));
+  stats_.rotations += 1;
+  while (cold_.size() > config_.max_cold_segments) {
+    for (const DurableEntry& dropped : cold_.front().entries) {
+      by_event_.erase(dropped.event_id);
+      stats_.entries_dropped += 1;
+    }
+    cold_.pop_front();
+    stats_.segments_dropped += 1;
+  }
+}
+
+uint64_t DurableTopicLog::oldest_retained_seq() const {
+  if (!cold_.empty()) return cold_.front().first_seq;
+  if (!hot_.empty()) return hot_.front().seq;
+  return last_seq_ + 1;
+}
+
+bool DurableTopicLog::Truncated(uint64_t after_seq) const {
+  return after_seq + 1 < oldest_retained_seq() && after_seq < last_seq_;
+}
+
+ReadResult DurableTopicLog::ReadAfter(uint64_t after_seq,
+                                      int max_entries) const {
+  ReadResult result;
+  if (max_entries <= 0) return result;
+  if (Truncated(after_seq)) {
+    result.status = ReadStatus::kTruncated;
+    after_seq = oldest_retained_seq() - 1;
+  }
+  // Cold segments first (they hold the older suffix), then the hot log.
+  for (const ColdSegment& segment : cold_) {
+    if (segment.last_seq <= after_seq) continue;
+    // Entries are dense: seq n lives at index n - first_seq.
+    size_t start = 0;
+    if (after_seq >= segment.first_seq) {
+      start = static_cast<size_t>(after_seq + 1 - segment.first_seq);
+    }
+    for (size_t i = start; i < segment.entries.size(); ++i) {
+      result.entries.push_back(&segment.entries[i]);
+      if (static_cast<int>(result.entries.size()) >= max_entries) {
+        return result;
+      }
+    }
+  }
+  if (!hot_.empty() && hot_.back().seq > after_seq) {
+    size_t start = 0;
+    if (after_seq >= hot_.front().seq) {
+      start = static_cast<size_t>(after_seq + 1 - hot_.front().seq);
+    }
+    for (size_t i = start; i < hot_.size(); ++i) {
+      result.entries.push_back(&hot_[i]);
+      if (static_cast<int>(result.entries.size()) >= max_entries) break;
+    }
+  }
+  return result;
+}
+
+DurableTopicLog& DurableLogDirectory::LogFor(const std::string& topic) {
+  auto it = logs_.find(topic);
+  if (it == logs_.end()) {
+    it = logs_.emplace(topic, std::make_unique<DurableTopicLog>(config_))
+             .first;
+  }
+  return *it->second;
+}
+
+const DurableTopicLog* DurableLogDirectory::Find(
+    const std::string& topic) const {
+  auto it = logs_.find(topic);
+  return it == logs_.end() ? nullptr : it->second.get();
+}
+
+DurableTopicLog::Stats DurableLogDirectory::Totals() const {
+  DurableTopicLog::Stats totals;
+  for (const auto& [topic, log] : logs_) {
+    const DurableTopicLog::Stats& s = log->stats();
+    totals.appends += s.appends;
+    totals.duplicate_appends += s.duplicate_appends;
+    totals.appended_bytes += s.appended_bytes;
+    totals.rotations += s.rotations;
+    totals.segments_dropped += s.segments_dropped;
+    totals.entries_dropped += s.entries_dropped;
+  }
+  return totals;
+}
+
+}  // namespace bladerunner

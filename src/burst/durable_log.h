@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graphql/value.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+// Durable reliable-delivery tier: a per-topic replayable log modeled on the
+// MigratoryData / Durable Streams design (PAPERS.md, SNIPPETS.md).
+//
+// Pylon delivery stays best-effort; apps that opt in via
+// BrassAppDescriptor::durable additionally append every published payload
+// here, keyed by the Pylon event id. The log assigns a dense monotonic
+// sequence per topic, keeps a bounded in-memory hot log, and seals the hot
+// log into immutable cold segments rotated on count/bytes. Subscribers carry
+// their read position as the stream's resume token (a readSeq-style offset);
+// on re-attach the BRASS host replays exactly the missed suffix from here.
+//
+// The log is a pure data structure: no Simulator dependency, no timers. All
+// pacing lives in the caller (BrassHost replay batches).
+
+struct DurableLogConfig {
+  // Hot log seals into a cold segment when either bound is crossed.
+  size_t hot_log_max_entries = 1024;
+  uint64_t segment_max_bytes = 256 * 1024;
+  // Retention: oldest cold segments are dropped past this many. Resuming
+  // below the retained floor yields kTruncated and the stream is restarted
+  // from the oldest retained entry (FlowStatus::kRestarted to the app).
+  size_t max_cold_segments = 8;
+  // Replay pacing (consumed by BrassHost, carried here so one struct
+  // configures the whole tier).
+  int replay_batch = 8;
+  SimTime replay_batch_gap = Millis(5);
+  // Persist the acked offset into the stream header (a rewrite ripples the
+  // stored copies at client/POP/proxy) every this-many acks.
+  uint64_t token_rewrite_interval = 8;
+};
+
+struct DurableEntry {
+  uint64_t seq = 0;       // dense, monotonic from 1 per topic
+  uint64_t event_id = 0;  // Pylon event id; idempotency key for Append
+  Value payload;
+  SimTime created_at = 0;  // original publish time, restamped on replay
+  uint64_t bytes = 0;      // payload.WireSize() at append time
+};
+
+struct AppendResult {
+  uint64_t seq = 0;
+  bool duplicate = false;  // event_id already appended; seq is the prior one
+};
+
+enum class ReadStatus {
+  kOk,
+  // after_seq fell below the retained floor: entries were dropped by
+  // retention and the suffix returned starts at oldest_retained_seq().
+  kTruncated,
+};
+
+struct ReadResult {
+  ReadStatus status = ReadStatus::kOk;
+  // Pointers remain valid only until the next Append on this log; callers
+  // copy payloads immediately (replay pushes copies anyway).
+  std::vector<const DurableEntry*> entries;
+};
+
+class DurableTopicLog {
+ public:
+  explicit DurableTopicLog(const DurableLogConfig& config) : config_(config) {}
+
+  // Appends payload under event_id, assigning the next sequence. Idempotent:
+  // re-appending a known event_id returns the original sequence and changes
+  // nothing (every subscribed host appends the same Pylon event against the
+  // shared log; the first append wins and defines the total order).
+  AppendResult Append(uint64_t event_id, Value payload, SimTime created_at);
+
+  // Reads up to max_entries entries with seq > after_seq, in order.
+  // kTruncated when after_seq + 1 predates the retained floor.
+  ReadResult ReadAfter(uint64_t after_seq, int max_entries) const;
+
+  // True when a reader positioned at after_seq can no longer replay
+  // contiguously (its next entry was dropped by retention).
+  bool Truncated(uint64_t after_seq) const;
+
+  uint64_t last_seq() const { return last_seq_; }
+  // Smallest sequence still readable; last_seq()+1 when the log is empty.
+  uint64_t oldest_retained_seq() const;
+  size_t hot_entries() const { return hot_.size(); }
+  size_t cold_segments() const { return cold_.size(); }
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t duplicate_appends = 0;
+    uint64_t appended_bytes = 0;
+    uint64_t rotations = 0;
+    uint64_t segments_dropped = 0;
+    uint64_t entries_dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ColdSegment {
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+    std::vector<DurableEntry> entries;  // immutable once sealed
+  };
+
+  void MaybeRotate();
+
+  DurableLogConfig config_;
+  uint64_t last_seq_ = 0;
+  std::deque<DurableEntry> hot_;
+  uint64_t hot_bytes_ = 0;
+  std::deque<ColdSegment> cold_;
+  // event_id -> seq for entries still retained; pruned with retention.
+  std::unordered_map<uint64_t, uint64_t> by_event_;
+  Stats stats_;
+};
+
+// One log per topic, created lazily on first append or resume. The directory
+// is shared by every BRASS host in the cluster (the durable tier is a
+// service that survives any single host's crash), so hosts hold it by
+// shared_ptr; host-level unit tests fall back to a private directory.
+class DurableLogDirectory {
+ public:
+  explicit DurableLogDirectory(const DurableLogConfig& config)
+      : config_(config) {}
+
+  DurableTopicLog& LogFor(const std::string& topic);
+  const DurableTopicLog* Find(const std::string& topic) const;
+
+  const DurableLogConfig& config() const { return config_; }
+  size_t log_count() const { return logs_.size(); }
+
+  // Cluster-wide totals for durability audits.
+  DurableTopicLog::Stats Totals() const;
+
+ private:
+  DurableLogConfig config_;
+  std::map<std::string, std::unique_ptr<DurableTopicLog>> logs_;
+};
+
+}  // namespace bladerunner

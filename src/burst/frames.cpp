@@ -9,7 +9,8 @@ constexpr char kHeaderApp[] = "app";                   // application name
 constexpr char kHeaderSubscription[] = "subscription";  // GraphQL text
 constexpr char kHeaderViewer[] = "viewer";             // authenticated uid
 constexpr char kHeaderBrassHost[] = "brass_host";      // sticky-routing target
-constexpr char kHeaderResumeToken[] = "resume";        // app-defined sync state
+constexpr char kHeaderResumeToken[] = "resume";        // sync offset
+constexpr char kHeaderDurable[] = "durable";           // durable-tier marker
 constexpr char kHeaderRegion[] = "region";             // preferred DC region
 }  // namespace
 
@@ -32,7 +33,12 @@ StreamHeaderView::StreamHeaderView(const Value& header) {
     } else if (key == kHeaderBrassHost) {
       brass_host_ = value.AsInt(0);
     } else if (key == kHeaderResumeToken) {
-      resume_token_ = value.AsInt(0);
+      if (value.is_number()) {
+        resume_token_ = value.AsInt(0);
+        has_resume_token_ = true;
+      }
+    } else if (key == kHeaderDurable) {
+      durable_ = value.AsBool(false);
     } else if (key == kHeaderRegion) {
       if (value.is_number()) {
         region_ = static_cast<int32_t>(value.AsInt(0));
@@ -67,6 +73,11 @@ StreamHeader& StreamHeader::set_resume_token(int64_t token) {
   return *this;
 }
 
+StreamHeader& StreamHeader::set_durable(bool durable) {
+  value_.Set(kHeaderDurable, durable);
+  return *this;
+}
+
 StreamHeader& StreamHeader::set_region(int32_t region) {
   value_.Set(kHeaderRegion, static_cast<int64_t>(region));
   return *this;
@@ -96,6 +107,8 @@ const char* ToString(FlowStatus status) {
       return "degrade_to_poll";
     case FlowStatus::kResumeStream:
       return "resume_stream";
+    case FlowStatus::kRestarted:
+      return "restarted";
   }
   return "unknown";
 }

@@ -69,7 +69,16 @@ class StreamHeaderView {
   const std::string& subscription() const { return *subscription_; }  // GraphQL text
   int64_t viewer() const { return viewer_; }            // authenticated uid (0: none)
   int64_t brass_host() const { return brass_host_; }    // sticky-routing target (0: none)
-  int64_t resume_token() const { return resume_token_; }  // app-defined sync state (0: none)
+  int64_t resume_token() const { return resume_token_; }  // sync offset (see has_resume_token)
+  // Whether the header carries a resume token at all. Durable streams need
+  // the distinction: an absent token means "fresh subscriber, start at the
+  // log head", while token 0 is a legitimate offset (nothing delivered yet
+  // — replay from the beginning of the retained log).
+  bool has_resume_token() const { return has_resume_token_; }
+  // Durable-delivery tier marker (BrassAppDescriptor::durable); set by the
+  // BRASS host's sticky rewrite so client and proxies treat resume_token as
+  // a real readSeq offset rather than app-defined opaque state.
+  bool durable() const { return durable_; }
   int32_t region(int32_t fallback = 0) const {          // preferred DC region
     return has_region_ ? region_ : fallback;
   }
@@ -80,6 +89,8 @@ class StreamHeaderView {
   int64_t viewer_ = 0;
   int64_t brass_host_ = 0;
   int64_t resume_token_ = 0;
+  bool has_resume_token_ = false;
+  bool durable_ = false;
   int32_t region_ = 0;
   bool has_region_ = false;
 };
@@ -103,6 +114,7 @@ class StreamHeader {
   StreamHeader& set_viewer(int64_t viewer);
   StreamHeader& set_brass_host(int64_t host_id);
   StreamHeader& set_resume_token(int64_t token);
+  StreamHeader& set_durable(bool durable);
   StreamHeader& set_region(int32_t region);
 
   const Value& value() const { return value_; }
@@ -126,6 +138,10 @@ enum class FlowStatus {
   kRecovered,      // the stream has been repaired / re-established
   kDegradeToPoll,  // overload: device should fall back to the polling baseline
   kResumeStream,   // overload subsided: device should resume streaming
+  kRestarted,      // server state was lost (retention grace expired or the
+                   // durable log truncated past the token); the stream was
+                   // rebuilt and the gap, if any, is NOT being replayed —
+                   // the app layer must re-snapshot or accept the loss
 };
 
 enum class TerminateReason {

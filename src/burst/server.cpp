@@ -150,8 +150,11 @@ void BurstServer::HandleSubscribe(ConnectionEnd& on, const SubscribeFrame& frame
   if (frame.resubscribe) {
     // State was lost (crashed host or expired GC); the rewritten header
     // carries whatever the application needs to resume (§3.5 Resumption).
+    // kRestarted — not kRecovered — so the app layer can tell a rebuilt
+    // stream (possible gap unless a resume token covers it) from a seamless
+    // re-attach.
     m_.server_stream_cold_resumes->Increment();
-    ref.PushFlow(FlowStatus::kRecovered, "stream re-established (state rebuilt)");
+    ref.PushFlow(FlowStatus::kRestarted, "stream re-established (state rebuilt)");
   }
   handler_->OnStreamStarted(ref);
 }

@@ -89,6 +89,10 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
 
   router_ = std::make_unique<BrassRouter>(&sim_, &topology_, &app_registry_, config_.burst,
                                           &metrics_);
+  // One durable-log directory shared by every host: the log is the
+  // sequencer for durable apps, and it must survive any single host's
+  // failure the way the real replicated log service would.
+  durable_logs_ = std::make_shared<DurableLogDirectory>(config_.brass.durable_log);
   int64_t next_host_id = 1;
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.brass_hosts_per_region; ++i) {
@@ -96,6 +100,7 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
                                               wases_[static_cast<size_t>(r)].get(), pylon_.get(),
                                               &app_registry_, config_.brass, config_.burst,
                                               &metrics_, &trace_);
+      host->SetDurableLogDirectory(durable_logs_);
       router_->RegisterHost(host.get());
       hosts_.push_back(std::move(host));
     }

@@ -80,6 +80,9 @@ class BladerunnerCluster {
   ReverseProxy& proxy(size_t i) { return *proxies_[i]; }
   size_t NumBrassHosts() const { return hosts_.size(); }
   BrassHost& brass_host(size_t i) { return *hosts_[i]; }
+  // Cluster-wide durable-log directory (shared by all hosts; survives
+  // FailHost) — benches read it for zero-loss audits.
+  DurableLogDirectory& durable_logs() { return *durable_logs_; }
 
   // A connector for BurstClient: picks an alive POP in the device's region
   // (falling back to any region) and returns the device-side end.
@@ -107,6 +110,7 @@ class BladerunnerCluster {
   std::vector<std::unique_ptr<WebAppServer>> wases_;  // one per region
   std::unique_ptr<LiveQueryEngine> livequery_;
   std::unique_ptr<BrassRouter> router_;
+  std::shared_ptr<DurableLogDirectory> durable_logs_;
   std::vector<std::unique_ptr<BrassHost>> hosts_;
   std::vector<std::unique_ptr<ReverseProxy>> proxies_;
   std::vector<std::unique_ptr<Pop>> pops_;

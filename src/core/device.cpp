@@ -179,6 +179,11 @@ uint64_t DeviceAgent::SubscribeMailbox(uint64_t last_seq) {
   return burst_->Subscribe(std::move(header));
 }
 
+uint64_t DeviceAgent::SubscribeTicker(int64_t channel) {
+  return SubscribeRaw("Ticker", "subscription { ticker(channel: " + std::to_string(channel) +
+                                    ") { seq data } }");
+}
+
 void DeviceAgent::PostComment(ObjectId video, const std::string& text,
                               const std::string& language) {
   Mutate("mutation { postComment(video: " + std::to_string(video) + ", text: \"" + text +
@@ -302,6 +307,9 @@ void DeviceAgent::OnStreamFlowStatus(uint64_t sid, FlowStatus status, const std:
       break;
     case FlowStatus::kRecovered:
       flow_recovered_count_ += 1;
+      break;
+    case FlowStatus::kRestarted:
+      flow_restarted_count_ += 1;
       break;
   }
 }

@@ -42,6 +42,7 @@ class DeviceAgent : public BurstClient::Observer {
   uint64_t SubscribeTyping(ObjectId thread);
   uint64_t SubscribeStories();
   uint64_t SubscribeMailbox(uint64_t last_seq);
+  uint64_t SubscribeTicker(int64_t channel);
 
   // Generic subscription with an explicit app + GraphQL text.
   uint64_t SubscribeRaw(const std::string& app, const std::string& subscription);
@@ -69,6 +70,9 @@ class DeviceAgent : public BurstClient::Observer {
   uint64_t last_messenger_seq() const { return last_messenger_seq_; }
   uint64_t flow_degraded_count() const { return flow_degraded_count_; }
   uint64_t flow_recovered_count() const { return flow_recovered_count_; }
+  // kRestarted signals: server-side state was rebuilt and any un-replayed gap
+  // is lost — the app layer must re-snapshot or accept the loss.
+  uint64_t flow_restarted_count() const { return flow_restarted_count_; }
 
   // ---- degrade-to-poll fallback ----
   // When a BRASS degrades an LVC stream to polling (flow status
@@ -154,6 +158,7 @@ class DeviceAgent : public BurstClient::Observer {
   uint64_t last_messenger_seq_ = 0;
   uint64_t flow_degraded_count_ = 0;
   uint64_t flow_recovered_count_ = 0;
+  uint64_t flow_restarted_count_ = 0;
   PayloadHook payload_hook_;
 
   std::map<uint64_t, ObjectId> lvc_videos_;  // sid -> subscribed video

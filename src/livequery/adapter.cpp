@@ -37,6 +37,21 @@ void LiveQueryAdapterApp::OnEvent(const Topic& topic, const UpdateEvent& event,
                                   const std::vector<BrassStream*>& streams) {
   const std::string& op = event.metadata.Get("op").AsString();
   bool content = spec_.fetch_payload && (op == "insert" || op == "update");
+  if (!content && !event.metadata.Get("viewSeq").is_int()) {
+    // Metadata-only ops order by viewSeq in the conflation queue; a
+    // missing/malformed one would become version 0 and lose to any queued
+    // op — dropping the op on the floor disguised as a conflation win.
+    // Drop it loudly instead.
+    if (invalid_view_seq_ == nullptr) {
+      invalid_view_seq_ = &runtime().metrics().GetCounter("livequery.invalid_view_seq");
+    }
+    invalid_view_seq_->Increment();
+    for (BrassStream* stream : streams) {
+      streams_[stream->key] = stream;
+      runtime().CountDecision(false);
+    }
+    return;
+  }
   for (BrassStream* stream : streams) {
     streams_[stream->key] = stream;  // refresh the pointer after a resume
     // The engine already suppressed no-net-change deltas; every op that

@@ -45,6 +45,7 @@ class LiveQueryAdapterApp : public BrassApplication {
 
   LiveQueryAppSpec spec_;
   std::map<StreamKey, BrassStream*> streams_;
+  Counter* invalid_view_seq_ = nullptr;  // lazy handle (docs/PERF.md)
 };
 
 }  // namespace bladerunner

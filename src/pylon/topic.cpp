@@ -58,6 +58,8 @@ Topic StoriesTopic(int64_t user_id) { return "/Stories/" + std::to_string(user_i
 
 Topic MailboxTopic(int64_t user_id) { return "/Mailbox/" + std::to_string(user_id); }
 
+Topic TickerTopic(int64_t channel) { return "/Ticker/" + std::to_string(channel); }
+
 Topic LiveFeedTopic(int64_t object_id) { return "/LQFeed/" + std::to_string(object_id); }
 
 Topic LiveCountTopic(int64_t object_id) { return "/LQCount/" + std::to_string(object_id); }

@@ -32,6 +32,8 @@ Topic TypingTopic(int64_t thread_id, int64_t user_id);
 Topic ActiveStatusTopic(int64_t user_id);
 Topic StoriesTopic(int64_t user_id);
 Topic MailboxTopic(int64_t user_id);
+// Durable broadcast channel (src/apps/ticker.h): "/Ticker/<channel>".
+Topic TickerTopic(int64_t channel);
 // Live-query views (src/livequery): a materialized feed / counter anchored
 // on one object.
 Topic LiveFeedTopic(int64_t object_id);

@@ -627,6 +627,23 @@ SubscriptionResolution ResolveMailboxSubscription(const Field& field, UserId vie
   return r;
 }
 
+SubscriptionResolution ResolveTickerSubscription(const Field& field, UserId viewer,
+                                                 ExecContext& ctx) {
+  (void)viewer;
+  (void)ctx;
+  SubscriptionResolution r;
+  r.app = "Ticker";
+  int64_t channel = field.Arg("channel").AsInt(0);
+  if (channel == 0) {
+    r.ok = false;
+    r.error = "unknown channel";
+    return r;
+  }
+  r.topics.push_back(TickerTopic(channel));
+  r.context.Set("channel", channel);
+  return r;
+}
+
 // ---- fetch handlers (BRASS payload fetch, Fig. 5 step 8) ----
 
 Value FetchObjectPayload(const Value& metadata, UserId viewer, ExecContext& ctx, bool* allowed,
@@ -689,6 +706,7 @@ void InstallSocialSchema(WebAppServer& was) {
   was.RegisterSubscriptionResolver("typingIndicator", ResolveTypingSubscription);
   was.RegisterSubscriptionResolver("storiesTray", ResolveStoriesSubscription);
   was.RegisterSubscriptionResolver("mailbox", ResolveMailboxSubscription);
+  was.RegisterSubscriptionResolver("ticker", ResolveTickerSubscription);
 
   was.RegisterFetchHandler("LVC",
                            [](const Value& metadata, UserId viewer, ExecContext& ctx,

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -333,18 +334,22 @@ TEST_F(BurstTest, HostCrashRepairsOntoOtherHost) {
   serving->FailHost();
   sim_.RunFor(Seconds(2));
 
-  // Proxy repaired the stream onto the other host; the client saw degraded
-  // then recovered.
+  // Proxy repaired the stream onto the other host; the client saw degraded,
+  // then "restarted" — the new host rebuilt the stream's state from scratch
+  // (a cold resume), which must NOT masquerade as a seamless recovery.
   EXPECT_EQ(other->StreamCount(), 1u);
   EXPECT_EQ(other_app.started.size(), 1u);
   bool saw_degraded = false;
   bool saw_recovered = false;
+  bool saw_restarted = false;
   for (auto& [s, status] : observer_.flow) {
     saw_degraded |= status == FlowStatus::kDegraded;
     saw_recovered |= status == FlowStatus::kRecovered;
+    saw_restarted |= status == FlowStatus::kRestarted;
   }
   EXPECT_TRUE(saw_degraded);
-  EXPECT_TRUE(saw_recovered);
+  EXPECT_FALSE(saw_recovered);
+  EXPECT_TRUE(saw_restarted);
   EXPECT_GE(metrics_.GetCounter("burst.proxy_induced_reconnects").value(), 1);
 }
 
@@ -640,7 +645,129 @@ TEST(FramesTest, StreamKeyComparisonAndHash) {
 TEST(FramesTest, ToStringCoverage) {
   EXPECT_STREQ(ToString(DeltaKind::kRewrite), "rewrite_request");
   EXPECT_STREQ(ToString(FlowStatus::kDegraded), "degraded");
+  EXPECT_STREQ(ToString(FlowStatus::kRestarted), "restarted");
   EXPECT_STREQ(ToString(TerminateReason::kCancelled), "cancelled");
+}
+
+TEST(FramesTest, ResumeTokenZeroIsDistinctFromAbsent) {
+  // "No token" and "token 0" must be distinguishable: a durable stream's
+  // acked offset legitimately starts at 0, while an absent token means
+  // "start at the log head".
+  Value none = std::move(StreamHeader().set_app("t").set_viewer(1)).Take();
+  StreamHeaderView absent(none);
+  EXPECT_FALSE(absent.has_resume_token());
+  EXPECT_EQ(absent.resume_token(), 0);
+
+  Value zero = std::move(StreamHeader().set_app("t").set_viewer(1).set_resume_token(0)).Take();
+  StreamHeaderView explicit_zero(zero);
+  EXPECT_TRUE(explicit_zero.has_resume_token());
+  EXPECT_EQ(explicit_zero.resume_token(), 0);
+  EXPECT_FALSE(explicit_zero.durable());
+
+  Value durable = std::move(
+      StreamHeader().set_app("t").set_viewer(1).set_durable(true).set_resume_token(7)).Take();
+  StreamHeaderView view(durable);
+  EXPECT_TRUE(view.durable());
+  EXPECT_TRUE(view.has_resume_token());
+  EXPECT_EQ(view.resume_token(), 7);
+}
+
+// Regression: the reconnect backoff drew uniformly from the same base
+// window on every consecutive failure, so a dead POP was hammered at a
+// constant rate forever. It must now grow (capped exponential, full
+// jitter) and reset once a connect succeeds.
+TEST(BackoffTest, GrowsUnderRepeatedFailureAndResetsOnSuccess) {
+  Simulator sim(7);
+  MetricsRegistry metrics;
+  BurstConfig config;
+  config.reconnect_backoff_min = Millis(50);
+  config.reconnect_backoff_max = Millis(200);
+  config.reconnect_backoff_cap = Seconds(5);
+
+  std::vector<SimTime> attempts;
+  bool pop_reachable = false;
+  FakeObserver observer;
+  FrameRecorder far_side;
+  std::shared_ptr<ConnectionEnd> far_end_keep;
+  BurstClient::Connector connector = [&](int64_t) -> std::shared_ptr<ConnectionEnd> {
+    attempts.push_back(sim.Now());
+    if (!pop_reachable) {
+      return nullptr;
+    }
+    auto [device_end, pop_end] = CreateConnection(&sim, LatencyModel::Fixed(1.0), Millis(50));
+    pop_end->set_handler(&far_side);
+    far_end_keep = pop_end;
+    return device_end;
+  };
+  BurstClient client(&sim, 100, connector, &observer, config, &metrics);
+
+  client.Subscribe(std::move(StreamHeader().set_app("test").set_viewer(100)).Take());
+  sim.RunFor(Seconds(30));
+
+  ASSERT_GE(attempts.size(), 6u);
+  std::vector<SimTime> gaps;
+  for (size_t i = 1; i < attempts.size(); ++i) {
+    gaps.push_back(attempts[i] - attempts[i - 1]);
+  }
+  // The first retry draws the unchanged base window.
+  EXPECT_GE(gaps[0], Millis(50));
+  EXPECT_LE(gaps[0], Millis(200));
+  // Later retries must space out past the base window (the regression kept
+  // every gap <= reconnect_backoff_max) while staying under the cap.
+  SimTime max_gap = 0;
+  for (SimTime gap : gaps) {
+    max_gap = std::max(max_gap, gap);
+    EXPECT_GE(gap, Millis(50));
+    EXPECT_LE(gap, Seconds(5));
+  }
+  EXPECT_GT(max_gap, Millis(200));
+
+  // A successful connect resets the streak: the next drop's first retry is
+  // back in the base window instead of the widened one.
+  pop_reachable = true;
+  sim.RunFor(Seconds(10));
+  ASSERT_TRUE(client.connected());
+  pop_reachable = false;
+  size_t attempts_before = attempts.size();
+  SimTime drop_at = sim.Now();
+  client.SimulateConnectionDrop();
+  sim.RunFor(Seconds(1));
+  ASSERT_GT(attempts.size(), attempts_before);
+  SimTime first_retry_gap = attempts[attempts_before] - drop_at;
+  EXPECT_GE(first_retry_gap, Millis(50));
+  EXPECT_LE(first_retry_gap, Millis(200));
+}
+
+TEST_F(BurstTest, ResumeAfterKeepTimeoutExpirySignalsRestart) {
+  uint64_t sid = client_->Subscribe(MakeHeader("test"));
+  sim_.RunFor(Seconds(1));
+
+  // The device goes dark for longer than the server's keep timeout (10s in
+  // this fixture): the host GCs the stream state (the retention grace from
+  // the paper's resumption protocol).
+  client_->SetAutoReconnect(false);
+  client_->SimulateConnectionDrop();
+  sim_.RunFor(Seconds(15));
+
+  client_->SetAutoReconnect(true);
+  client_->Connect();
+  sim_.RunFor(Seconds(2));
+  ASSERT_TRUE(client_->connected());
+
+  // Regression: this used to surface as kRecovered — indistinguishable from
+  // a seamless resume — even though the server rebuilt the stream from
+  // scratch and any gap was silently lost. The app layer needs the
+  // "restarted" signal to re-snapshot.
+  bool saw_restarted = false;
+  for (auto& [s, status] : observer_.flow) {
+    if (s == sid && status == FlowStatus::kRestarted) {
+      saw_restarted = true;
+    }
+  }
+  EXPECT_TRUE(saw_restarted);
+  // Server-side it was a fresh start, not a resume.
+  EXPECT_EQ(app1_.resumed.size() + app2_.resumed.size(), 0u);
+  EXPECT_EQ(app1_.started.size() + app2_.started.size(), 2u);
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/cluster.h"
+#include "src/core/device.h"
 #include "src/livequery/engine.h"
 #include "src/livequery/plan.h"
 #include "src/livequery/schema.h"
@@ -635,6 +637,48 @@ TEST_F(LiveQueryTest, MutationStampsArePerShardMonotonic) {
 // Integration: a three-region store with modeled replication delays. The
 // engine maintains views against its home region's visibility; after the
 // stream quiesces the audit must agree with the store.
+// Regression: the adapter parsed viewSeq with AsInt(0), so an op with a
+// missing/malformed viewSeq became conflation version 0 and could silently
+// lose to any queued op. It must be dropped and counted instead.
+TEST(LiveQueryAdapterTest, MalformedViewSeqIsDroppedNotDeliveredAsVersionZero) {
+  ClusterConfig config;
+  config.seed = 311;
+  config.livequery.enabled = true;
+  BladerunnerCluster cluster(config);
+  UserId viewer = CreateUser(cluster.tao(), "viewer", "en");
+  ObjectId post = CreateVideo(cluster.tao(), viewer, "post");
+  cluster.sim().RunFor(Seconds(2));
+
+  DeviceAgent device(&cluster, viewer, 0, DeviceProfile::kWifi);
+  uint64_t payloads = 0;
+  device.set_payload_hook([&payloads](uint64_t, const Value&) { payloads += 1; });
+  device.SubscribeRaw("LiveCount", "subscription { presenceCount(topicId: " +
+                                       std::to_string(post) + ") }");
+  cluster.sim().RunFor(Seconds(3));
+  uint64_t baseline = payloads;
+
+  // A malformed publish (no viewSeq) straight onto the view topic.
+  PublishSpec bad;
+  bad.topic = LiveCountTopic(post);
+  bad.metadata.Set("op", "count");
+  bad.metadata.Set("count", static_cast<int64_t>(5));
+  cluster.was(0).PublishNow(bad, cluster.sim().Now());
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_EQ(cluster.metrics().GetCounter("livequery.invalid_view_seq").value(), 1);
+  EXPECT_EQ(payloads, baseline);
+
+  // A well-formed op still flows end to end.
+  PublishSpec good;
+  good.topic = LiveCountTopic(post);
+  good.metadata.Set("op", "count");
+  good.metadata.Set("count", static_cast<int64_t>(6));
+  good.metadata.Set("viewSeq", static_cast<int64_t>(1));
+  cluster.was(0).PublishNow(good, cluster.sim().Now());
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_EQ(cluster.metrics().GetCounter("livequery.invalid_view_seq").value(), 1);
+  EXPECT_EQ(payloads, baseline + 1);
+}
+
 TEST(LiveQueryReplicationTest, ConvergesAcrossRegions) {
   Topology topology = Topology::ThreeRegions();
   Simulator sim(101);
