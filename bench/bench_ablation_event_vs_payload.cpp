@@ -19,7 +19,8 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Ablation 1", "event-only publish vs full-payload publish");
 
   ClusterConfig config;

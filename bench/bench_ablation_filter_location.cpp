@@ -68,7 +68,8 @@ Result RunBurst(bool filter_at_brass, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Ablation 4", "filter & rate-limit at BRASS vs firehose to the device");
 
   Result brass = RunBurst(/*filter_at_brass=*/true, 41);

@@ -258,7 +258,7 @@ int RunAndCompare(const Shape& shape) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = ParseBenchOptions(argc, argv).smoke;
   Shape shape;
   if (smoke) {
     PrintHeader("Ablation 6 (smoke)", "live queries vs re-execute vs poll, short replay");

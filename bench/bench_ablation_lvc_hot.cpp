@@ -203,7 +203,7 @@ int ComparePipeline(const Result& off, const Result& on, bool enforce) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = ParseBenchOptions(argc, argv).smoke;
 
   if (smoke) {
     PrintHeader("Ablation 5 (smoke)", "shared WAS fetch pipeline on a short hot burst");

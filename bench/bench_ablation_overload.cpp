@@ -294,7 +294,7 @@ int Report(const Result& r, bool enforce) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = ParseBenchOptions(argc, argv).smoke;
 
   SpikeShape shape;
   if (smoke) {

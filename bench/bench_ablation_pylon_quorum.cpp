@@ -107,7 +107,8 @@ Result MeasureFanout(bool forward_on_first, uint64_t seed, bool with_outages = f
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Ablation 3", "Pylon delivery: forward-on-first-response vs quorum-wait");
 
   Result first = MeasureFanout(/*forward_on_first=*/true, 31);

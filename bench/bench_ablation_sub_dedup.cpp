@@ -17,7 +17,8 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Ablation 2", "host-level Pylon subscription dedup");
 
   ClusterConfig config;

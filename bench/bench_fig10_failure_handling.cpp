@@ -29,7 +29,8 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Fig. 10", "connection drops, proxy-induced reconnects, KV crash campaign");
 
   ClusterConfig cluster_config;
@@ -39,6 +40,7 @@ int main() {
   // in the paper's 3-replica placement, so losing two nodes at once is a
   // real quorum loss rather than being healed away by spare capacity.
   cluster_config.pylon.kv_nodes_per_region = 1;
+  bench_options().ApplyTo(&cluster_config);
   BladerunnerCluster cluster(cluster_config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 110;

@@ -30,6 +30,7 @@ struct RunResult {
 RunResult RunWorkload(bool use_polling, uint64_t seed) {
   ClusterConfig config;
   config.seed = seed;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 120;
@@ -106,7 +107,8 @@ void PrintDistribution(const char* label, const Histogram& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Fig. 6", "LVC comment-to-edge latency: polling vs Bladerunner stream");
 
   RunResult poll = RunWorkload(/*use_polling=*/true, 606);

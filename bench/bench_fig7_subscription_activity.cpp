@@ -18,11 +18,13 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Fig. 7", "publications per request-stream subscription");
 
   ClusterConfig cluster_config;
   cluster_config.seed = 707;
+  bench_options().ApplyTo(&cluster_config);
   BladerunnerCluster cluster(cluster_config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 110;

@@ -22,11 +22,13 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Fig. 9", "update latency CDFs: TypingIndicator vs LiveVideoComments");
 
   ClusterConfig config;
   config.seed = 909;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 160;

@@ -39,6 +39,7 @@ struct RunStats {
 RunStats RunLvcWorkload(bool use_polling, uint64_t seed) {
   ClusterConfig config;
   config.seed = seed;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 140;
@@ -121,7 +122,8 @@ RunStats RunLvcWorkload(bool use_polling, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Headline", "LVC polling -> Bladerunner switchover (§1/§5)");
 
   RunStats poll = RunLvcWorkload(/*use_polling=*/true, 1111);

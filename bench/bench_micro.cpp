@@ -531,27 +531,10 @@ int RunPerfHarness(bool smoke, const std::string& out_path, const std::string& c
 }  // namespace bladerunner
 
 int main(int argc, char** argv) {
-  bool perf = false;
-  bool smoke = false;
-  std::string out_path;
-  std::string check_path;
-  double tolerance = 0.25;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--perf") == 0) {
-      perf = true;
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      perf = true;
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      check_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
-      tolerance = std::stod(argv[++i]);
-    }
-  }
-  if (perf) {
-    return bladerunner::RunPerfHarness(smoke, out_path, check_path, tolerance);
+  bladerunner::BenchOptions opts = bladerunner::ParseBenchOptions(argc, argv);
+  if (opts.perf) {
+    return bladerunner::RunPerfHarness(opts.smoke, opts.out_path, opts.check_path,
+                                       opts.tolerance);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -36,6 +36,7 @@ struct Result {
 Result RunArch(Arch arch, uint64_t seed) {
   ClusterConfig config;
   config.seed = seed;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config, Topology::OneRegion());
   SocialGraphConfig graph_config;
   graph_config.num_users = 80;
@@ -126,7 +127,8 @@ Result RunArch(Arch arch, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Motivation (§2)", "the same LVC workload on each candidate architecture");
 
   Result client = RunArch(Arch::kClientPoll, 77);

@@ -88,6 +88,7 @@ Result RunStorm(const StormShape& shape, bool durable) {
   config.brass_hosts_per_region = 2;
   config.pops_per_region = 1;  // one POP serves the whole fleet's region
   config.apps.ticker.durable = durable;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config, Topology::ThreeRegions());
   cluster.sim().RunFor(Seconds(1));
 
@@ -298,6 +299,6 @@ int Run(bool smoke) {
 }  // namespace bladerunner
 
 int main(int argc, char** argv) {
-  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = bladerunner::ParseBenchOptions(argc, argv).smoke;
   return bladerunner::Run(smoke);
 }

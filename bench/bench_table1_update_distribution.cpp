@@ -11,7 +11,8 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Table 1", "updates per area of interest within 24h");
 
   Rng rng(1);

@@ -19,7 +19,8 @@
 
 using namespace bladerunner;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Table 2", "request-stream lifetime distribution (snapshot methodology)");
 
   Rng rng(2);

@@ -92,11 +92,13 @@ Histogram Durations(const TraceCollector& trace, const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseBenchOptions(argc, argv);
   PrintHeader("Table 3", "latency of Bladerunner sub-operations");
 
   ClusterConfig config;
   config.seed = 33;
+  bench_options().ApplyTo(&config);
   BladerunnerCluster cluster(config);
   SocialGraphConfig graph_config;
   graph_config.num_users = 120;

@@ -8,6 +8,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +24,85 @@
 #include "src/workload/social_gen.h"
 
 namespace bladerunner {
+
+// ---- shared command-line handling ----
+//
+// Every bench accepts the same flags (previously copy-pasted into each main
+// that needed one of them):
+//   --smoke            quick mode (implies --perf in harness benches)
+//   --perf             perf-harness mode where the bench supports it
+//   --out PATH         write machine-readable results (JSON) to PATH
+//   --check PATH       compare against a previous --out file
+//   --tolerance X      allowed relative regression for --check (default .25)
+//   --threads N        run the cluster on the partitioned kernel with N
+//                      worker threads (N == 1 keeps the sequential kernel
+//                      unless --lp-groups forces partitioning)
+//   --lp-groups N      number of device-group LPs (default 16 when
+//                      --threads > 1, else 0 = sequential; deliberately
+//                      independent of the thread count so --threads 2 and
+//                      --threads 8 produce identical results)
+//   --fleet N          override the bench's device-fleet size where it
+//                      honours one
+struct BenchOptions {
+  bool smoke = false;
+  bool perf = false;
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.25;
+  int threads = 1;
+  int lp_groups = -1;  // -1 = derive from threads
+  long fleet = 0;      // 0 = bench default
+
+  // The cluster-facing translation of --threads/--lp-groups. Sequential
+  // (all defaults) when threads == 1 and no explicit --lp-groups, so every
+  // bench's default run stays byte-identical to the pre-LP kernel. The
+  // derived group count is a constant, NOT a function of the thread count:
+  // the LP layout determines results, threads only determine wall-clock.
+  ClusterParallelConfig Parallel() const {
+    ClusterParallelConfig parallel;
+    parallel.threads = threads;
+    parallel.device_lp_groups = lp_groups >= 0 ? lp_groups : (threads > 1 ? 16 : 0);
+    return parallel;
+  }
+  void ApplyTo(ClusterConfig* config) const { config->parallel = Parallel(); }
+};
+
+// Process-wide copy of the parsed options so helpers deep inside a bench
+// (the RunWorkload/MeasureFanout style functions that build their own
+// clusters) can honour --threads without threading an options argument
+// through every signature. Set by ParseBenchOptions; defaults before that.
+inline BenchOptions& MutableBenchOptions() {
+  static BenchOptions opts;
+  return opts;
+}
+inline const BenchOptions& bench_options() { return MutableBenchOptions(); }
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+      opts.perf = true;
+    } else if (std::strcmp(argv[i], "--perf") == 0) {
+      opts.perf = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      opts.check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      opts.tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
+      if (opts.threads < 1) opts.threads = 1;
+    } else if (std::strcmp(argv[i], "--lp-groups") == 0 && i + 1 < argc) {
+      opts.lp_groups = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      opts.fleet = std::atol(argv[++i]);
+    }
+  }
+  MutableBenchOptions() = opts;
+  return opts;
+}
 
 // ---- shared cluster/workload fixture ----
 //
@@ -43,7 +124,13 @@ inline BenchCluster MakeBenchCluster(const ClusterConfig& config,
                                      Topology topology = Topology::ThreeRegions(),
                                      SimTime warmup = Seconds(2)) {
   BenchCluster fixture;
-  fixture.cluster = std::make_unique<BladerunnerCluster>(config, std::move(topology));
+  // --threads/--lp-groups reach every fixture-built cluster automatically;
+  // a bench that set an explicit parallel config wins.
+  ClusterConfig effective = config;
+  if (effective.parallel.threads == 1 && effective.parallel.device_lp_groups == 0) {
+    bench_options().ApplyTo(&effective);
+  }
+  fixture.cluster = std::make_unique<BladerunnerCluster>(effective, std::move(topology));
   fixture.graph =
       GenerateSocialGraph(fixture.cluster->tao(), fixture.cluster->sim().rng(), graph_config);
   fixture.sim().RunFor(warmup);

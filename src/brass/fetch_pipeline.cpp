@@ -18,7 +18,7 @@ FetchPipeline::FetchPipeline(Simulator* sim, RegionId region, RpcChannel* was_ch
                              SimTime rpc_timeout, FetchPipelineConfig config,
                              MetricsRegistry* metrics, TraceCollector* trace,
                              ViewerProvider viewers_for_app)
-    : sim_(sim),
+    : ctx_(sim),
       region_(region),
       was_channel_(was_channel),
       rpc_timeout_(rpc_timeout),
@@ -26,7 +26,7 @@ FetchPipeline::FetchPipeline(Simulator* sim, RegionId region, RpcChannel* was_ch
       metrics_(metrics),
       trace_(trace),
       viewers_for_app_(std::move(viewers_for_app)) {
-  assert(sim_ != nullptr && was_channel_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && was_channel_ != nullptr && metrics_ != nullptr);
   m_.requests = &metrics_->GetCounter("brass.fetch.requests");
   m_.cache_hits = &metrics_->GetCounter("brass.fetch.cache_hits");
   m_.coalesced = &metrics_->GetCounter("brass.fetch.coalesced");
@@ -103,13 +103,13 @@ void FetchPipeline::ServeFromCache(const CacheEntry& entry, const std::string& k
     // from "brass.fetch" so latency analyses over WAS round trips (e.g.
     // Table 3) keep measuring actual round trips.
     TraceContext span =
-        trace_->RecordSpan(parent, "brass.fetch.cache", "brass", region_, sim_->Now(), sim_->Now());
+        trace_->RecordSpan(parent, "brass.fetch.cache", "brass", region_, ctx_.Now(), ctx_.Now());
     trace_->Annotate(span, "allowed", Value(allowed));
   }
   // Deliver asynchronously: applications expect fetch callbacks to run
   // after the calling event handler returns, cache hit or not.
   auto cb = std::make_shared<Callback>(std::move(callback));
-  sim_->Schedule(0, [cb, allowed, payload = std::move(payload)]() { (*cb)(allowed, payload); });
+  ctx_.Schedule(0, [cb, allowed, payload = std::move(payload)]() { (*cb)(allowed, payload); });
 }
 
 void FetchPipeline::StartOrJoinFlight(const std::string& flight_key, const std::string& app,
@@ -154,7 +154,7 @@ void FetchPipeline::StartOrJoinFlight(const std::string& flight_key, const std::
   }
   flight.waiters.push_back(std::move(waiter));
   flights_.emplace(flight_key, std::move(flight));
-  sim_->Schedule(MillisF(config_.coalesce_window_ms),
+  ctx_.Schedule(MillisF(config_.coalesce_window_ms),
                  [this, flight_key]() { DispatchFlight(flight_key); });
 }
 
@@ -179,7 +179,7 @@ void FetchPipeline::DispatchFlight(const std::string& flight_key) {
   if (trace_ != nullptr) {
     for (const Waiter& waiter : flight.waiters) {
       if (waiter.parent.valid()) {
-        span = trace_->StartSpan(waiter.parent, "brass.fetch", "brass", region_, sim_->Now());
+        span = trace_->StartSpan(waiter.parent, "brass.fetch", "brass", region_, ctx_.Now());
         trace_->Annotate(span, "viewers", Value(static_cast<int64_t>(flight.rpc_viewers.size())));
         trace_->Annotate(span, "coalesced", Value(static_cast<int64_t>(flight.waiters.size())));
         trace_->Annotate(span, "privacy_only", Value(!flight.need_payload));
@@ -210,7 +210,7 @@ void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext s
 
   if (status != RpcStatus::kOk) {
     if (trace_ != nullptr) {
-      trace_->MarkError(span, ToString(status), sim_->Now());
+      trace_->MarkError(span, ToString(status), ctx_.Now());
     }
     m_.rpc_failures->Increment();
     for (Waiter& waiter : flight.waiters) {
@@ -219,7 +219,7 @@ void FetchPipeline::CompleteFlight(const std::string& flight_key, TraceContext s
     return;
   }
   if (trace_ != nullptr) {
-    trace_->EndSpan(span, sim_->Now());
+    trace_->EndSpan(span, ctx_.Now());
   }
   auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
 
@@ -297,7 +297,7 @@ void FetchPipeline::DirectFetch(const std::string& app, const Value& metadata,
   request->viewers.push_back(options.viewer);
   TraceContext span;
   if (trace_ != nullptr && options.parent.valid()) {
-    span = trace_->StartSpan(options.parent, "brass.fetch", "brass", region_, sim_->Now());
+    span = trace_->StartSpan(options.parent, "brass.fetch", "brass", region_, ctx_.Now());
     trace_->Annotate(span, "bypass", Value(true));
   }
   request->trace = span;
@@ -307,13 +307,13 @@ void FetchPipeline::DirectFetch(const std::string& app, const Value& metadata,
       [this, cb, span](RpcStatus status, MessagePtr response) {
         if (status != RpcStatus::kOk) {
           if (trace_ != nullptr) {
-            trace_->MarkError(span, ToString(status), sim_->Now());
+            trace_->MarkError(span, ToString(status), ctx_.Now());
           }
           (*cb)(false, Value(nullptr));
           return;
         }
         if (trace_ != nullptr) {
-          trace_->EndSpan(span, sim_->Now());
+          trace_->EndSpan(span, ctx_.Now());
         }
         auto fetch = std::static_pointer_cast<WasFetchResponse>(response);
         bool allowed = !fetch->allowed.empty() && fetch->allowed[0] != 0;

@@ -153,7 +153,7 @@ class FetchPipeline {
     Counter* evictions;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   RegionId region_;
   RpcChannel* was_channel_;
   SimTime rpc_timeout_;

@@ -14,7 +14,7 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
                      PylonCluster* pylon, const BrassAppRegistry* registry, BrassConfig config,
                      BurstConfig burst_config, MetricsRegistry* metrics,
                      TraceCollector* trace)
-    : sim_(sim),
+    : ctx_(sim),
       host_id_(host_id),
       region_(region),
       was_(was),
@@ -24,7 +24,7 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
       burst_config_(burst_config),
       metrics_(metrics),
       trace_(trace) {
-  assert(sim_ != nullptr && was_ != nullptr && registry_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && was_ != nullptr && registry_ != nullptr && metrics_ != nullptr);
   m_.vm_cap_rejections = &metrics_->GetCounter("brass.vm_cap_rejections");
   m_.app_spawns = &metrics_->GetCounter("brass.app_spawns");
   m_.streams_started = &metrics_->GetCounter("brass.streams_started");
@@ -58,16 +58,16 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
   m_.durable_live_suppressed = &metrics_->GetCounter("brass.durable_live_suppressed");
   m_.durable_truncated_resumes = &metrics_->GetCounter("brass.durable_truncated_resumes");
   m_.durable_token_rewrites = &metrics_->GetCounter("brass.durable_token_rewrites");
-  burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
+  burst_ = std::make_unique<BurstServer>(ctx_.sim(), host_id_, this, burst_config_, metrics_);
   event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
     HandlePylonEvent(std::move(request), std::move(respond));
   });
   was_channel_ = std::make_unique<RpcChannel>(
-      sim_, was_->rpc(),
+      ctx_.sim(), was_->rpc(),
       pylon_ != nullptr ? pylon_->topology()->LinkModel(region_, was_->region())
                         : LatencyModel::IntraRegion());
   fetch_pipeline_ = std::make_unique<FetchPipeline>(
-      sim_, region_, was_channel_.get(), config_.was_call_timeout, config_.fetch, metrics_,
+      ctx_.sim(), region_, was_channel_.get(), config_.was_call_timeout, config_.fetch, metrics_,
       trace_, [this](const std::string& app) { return ViewersForApp(app); });
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
@@ -134,9 +134,9 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   if (trace_ != nullptr) {
     TraceContext root = ContextFromValue(stream.header());
     if (!root.decided()) {
-      root = trace_->StartTrace("subscribe", "brass", region_, sim_->Now());
+      root = trace_->StartTrace("subscribe", "brass", region_, ctx_.Now());
     }
-    sub_span = trace_->StartSpan(root, "brass.subscribe", "brass", region_, sim_->Now());
+    sub_span = trace_->StartSpan(root, "brass.subscribe", "brass", region_, ctx_.Now());
     trace_->Annotate(sub_span, "app", Value(app_name));
     trace_->Annotate(sub_span, "viewer", Value(viewer));
   }
@@ -149,7 +149,7 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   if (stream_budget > 0 && static_cast<int>(burst_->StreamCount()) > stream_budget) {
     m_.host_admission_rejections->Increment();
     if (trace_ != nullptr) {
-      trace_->MarkError(sub_span, "host at stream budget", sim_->Now());
+      trace_->MarkError(sub_span, "host at stream budget", ctx_.Now());
     }
     StreamHeader redirect(stream.header());
     redirect.set_brass_host(0);
@@ -161,7 +161,7 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   AppInstance* app = GetOrSpawnApp(app_name);
   if (app == nullptr) {
     if (trace_ != nullptr) {
-      trace_->MarkError(sub_span, "no BRASS implementation", sim_->Now());
+      trace_->MarkError(sub_span, "no BRASS implementation", ctx_.Now());
     }
     stream.Terminate(TerminateReason::kError, "no BRASS implementation for '" + app_name + "'");
     return;
@@ -174,13 +174,13 @@ void BrassHost::OnStreamStarted(ServerStream& stream) {
   resolve->viewer = viewer;
   resolve->trace = sub_span;
   LatencyModel dispatch{config_.subscribe_dispatch_ms, 0.3, config_.subscribe_dispatch_ms / 4.0};
-  sim_->Schedule(dispatch.Sample(sim_->rng()), [this, key, app_name, resolve, sub_span]() {
+  ctx_.Schedule(dispatch.Sample(ctx_.rng()), [this, key, app_name, resolve, sub_span]() {
     was_channel_->Call(
         "was.resolve_subscription", resolve,
         [this, key, app_name, sub_span](RpcStatus status, MessagePtr response) {
           if (status != RpcStatus::kOk) {
             if (trace_ != nullptr) {
-              trace_->MarkError(sub_span, "subscription resolution failed", sim_->Now());
+              trace_->MarkError(sub_span, "subscription resolution failed", ctx_.Now());
             }
             ServerStream* s = burst_->FindStream(key);
             if (s != nullptr) {
@@ -203,19 +203,19 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   if (stream == nullptr) {
     if (trace_ != nullptr) {
       trace_->Annotate(sub_span, "cancelled", Value(true));
-      trace_->EndSpan(sub_span, sim_->Now());
+      trace_->EndSpan(sub_span, ctx_.Now());
     }
     return;  // cancelled or detached-and-GCed while resolving
   }
   auto resolution = std::static_pointer_cast<WasResolveSubResponse>(resolve_response);
   if (!resolution->ok) {
-    if (trace_ != nullptr) trace_->MarkError(sub_span, resolution->error, sim_->Now());
+    if (trace_ != nullptr) trace_->MarkError(sub_span, resolution->error, ctx_.Now());
     stream->Terminate(TerminateReason::kError, resolution->error);
     return;
   }
   AppInstance* instance = GetOrSpawnApp(app);
   if (instance == nullptr) {
-    if (trace_ != nullptr) trace_->MarkError(sub_span, "application unavailable", sim_->Now());
+    if (trace_ != nullptr) trace_->MarkError(sub_span, "application unavailable", ctx_.Now());
     stream->Terminate(TerminateReason::kError, "application unavailable");
     return;
   }
@@ -223,7 +223,7 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   // Device-observed subscription setup (Table 3's device-side subscription
   // latency) is the "brass.subscribe" span's end relative to the trace
   // root the device opened before sending the subscribe frame.
-  if (trace_ != nullptr) trace_->EndSpan(sub_span, sim_->Now());
+  if (trace_ != nullptr) trace_->EndSpan(sub_span, ctx_.Now());
 
   HostStream host_stream;
   host_stream.app = app;
@@ -232,10 +232,10 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
   host_stream.state.viewer = StreamHeaderView(stream->header()).viewer();
   host_stream.state.topics = resolution->topics;
   host_stream.state.context = resolution->context;
-  host_stream.state.started_at = sim_->Now();
+  host_stream.state.started_at = ctx_.Now();
   if (trace_ != nullptr && sub_span.valid()) {
     host_stream.stream_span =
-        trace_->StartSpan(sub_span, "brass.stream", "brass", region_, sim_->Now());
+        trace_->StartSpan(sub_span, "brass.stream", "brass", region_, ctx_.Now());
     trace_->Annotate(host_stream.stream_span, "app", Value(app));
   }
   auto [it, inserted] = streams_.insert_or_assign(key, std::move(host_stream));
@@ -292,7 +292,7 @@ void BrassHost::SubscribeTopic(const Topic& topic, const StreamKey& key, TraceCo
   entry.in_flight = true;
   m_.pylon_subscribes->Increment();
   PylonServer* server = pylon_->RouteServer(topic);
-  auto channel = std::make_shared<RpcChannel>(sim_, server->rpc(),
+  auto channel = std::make_shared<RpcChannel>(ctx_.sim(), server->rpc(),
                                               pylon_->topology()->LinkModel(region_, server->region()));
   auto request = std::make_shared<PylonSubscribeRequest>();
   request->topic = topic;
@@ -342,10 +342,10 @@ void BrassHost::TerminateStreamsOnTopic(const Topic& topic, const std::string& d
     auto hs = streams_.find(key);
     if (hs != streams_.end()) {
       if (trace_ != nullptr) {
-        trace_->MarkError(hs->second.stream_span, detail, sim_->Now());
+        trace_->MarkError(hs->second.stream_span, detail, ctx_.Now());
       }
       closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
-                                                    hs->second.state.started_at, sim_->Now(),
+                                                    hs->second.state.started_at, ctx_.Now(),
                                                     hs->second.events_targeted});
       auto app = apps_.find(hs->second.app);
       if (app != apps_.end()) {
@@ -376,7 +376,7 @@ void BrassHost::UnsubscribeStreamTopics(const StreamKey& key) {
       m_.pylon_unsubscribes->Increment();
       PylonServer* server = pylon_->RouteServer(topic);
       auto channel = std::make_shared<RpcChannel>(
-          sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+          ctx_.sim(), server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
       auto request = std::make_shared<PylonSubscribeRequest>();
       request->topic = topic;
       request->host_id = host_id_;
@@ -404,7 +404,7 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
   // the copy of the event the apps see continue from it (the shared event
   // itself is delivered to many hosts and must stay immutable here).
   if (trace_ != nullptr && delivery->trace.valid()) {
-    trace_->EndSpan(delivery->trace, sim_->Now());
+    trace_->EndSpan(delivery->trace, ctx_.Now());
     auto traced = std::make_shared<UpdateEvent>(*event);
     traced->trace = delivery->trace;
     event = traced;
@@ -427,7 +427,7 @@ void BrassHost::HandlePylonEvent(MessagePtr request, RpcServer::Respond respond)
   }
   for (auto& [app_name, keys] : by_app) {
     LatencyModel dispatch{config_.event_dispatch_ms, 0.4, config_.event_dispatch_ms / 5.0};
-    sim_->Schedule(dispatch.Sample(sim_->rng()),
+    ctx_.Schedule(dispatch.Sample(ctx_.rng()),
                    [this, app_name, keys = std::move(keys), event]() {
                      auto app = apps_.find(app_name);
                      if (app == apps_.end()) {
@@ -493,14 +493,14 @@ void BrassHost::OnStreamClosed(const StreamKey& key, TerminateReason reason) {
   }
   if (trace_ != nullptr) {
     if (reason == TerminateReason::kError) {
-      trace_->MarkError(hs->second.stream_span, "stream error", sim_->Now());
+      trace_->MarkError(hs->second.stream_span, "stream error", ctx_.Now());
     } else {
       trace_->Annotate(hs->second.stream_span, "close_reason", Value(ToString(reason)));
-      trace_->EndSpan(hs->second.stream_span, sim_->Now());
+      trace_->EndSpan(hs->second.stream_span, ctx_.Now());
     }
   }
   closed_stream_records_.push_back(StreamRecord{key, hs->second.app,
-                                                hs->second.state.started_at, sim_->Now(),
+                                                hs->second.state.started_at, ctx_.Now(),
                                                 hs->second.events_targeted});
   UnsubscribeStreamTopics(key);
   auto app = apps_.find(hs->second.app);
@@ -537,9 +537,9 @@ void BrassHost::OnAck(ServerStream& stream, uint64_t seq) {
       m_.durable_token_rewrites->Increment();
       if (trace_ != nullptr && state.stream_span.valid()) {
         TraceContext ack_span =
-            trace_->StartSpan(state.stream_span, "burst.ack", "burst", region_, sim_->Now());
+            trace_->StartSpan(state.stream_span, "burst.ack", "burst", region_, ctx_.Now());
         trace_->Annotate(ack_span, "seq", Value(static_cast<int64_t>(state.durable_acked)));
-        trace_->EndSpan(ack_span, sim_->Now());
+        trace_->EndSpan(ack_span, ctx_.Now());
       }
       StreamHeader header(stream.header());
       header.set_resume_token(static_cast<int64_t>(state.durable_acked));
@@ -634,7 +634,7 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
     return;
   }
   state.window_attempts += 1;
-  const SimTime now = sim_->Now();
+  const SimTime now = ctx_.Now();
   if (state.queue.empty() && now >= state.next_push_at) {
     state.next_push_at = now + gap;
     PushNow(app, stream, std::move(payload), options);
@@ -662,9 +662,9 @@ void BrassHost::DeliverData(const std::string& app, BrassStream& stream, Value p
       // updates are visible in their timeline (docs/TRACING.md).
       if (trace_ != nullptr && result.shed.options.parent.valid()) {
         TraceContext shed_span = trace_->StartSpan(result.shed.options.parent, "brass.shed",
-                                                   "brass", region_, sim_->Now());
+                                                   "brass", region_, ctx_.Now());
         trace_->Annotate(shed_span, "app", Value(app));
-        trace_->EndSpan(shed_span, sim_->Now());
+        trace_->EndSpan(shed_span, ctx_.Now());
       }
       break;
     }
@@ -701,19 +701,19 @@ void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value paylo
   TraceContext deliver_span;
   if (trace_ != nullptr && options.parent.valid()) {
     deliver_span =
-        trace_->StartSpan(options.parent, "burst.deliver", "burst", region_, sim_->Now());
+        trace_->StartSpan(options.parent, "burst.deliver", "burst", region_, ctx_.Now());
     trace_->Annotate(deliver_span, "app", Value(app));
   }
   // Stamp timing metadata so the device side can record Fig. 9's legs.
   if (options.event_created_at > 0) {
     payload.Set("_createdAt", options.event_created_at);
   }
-  payload.Set("_sentAt", sim_->Now());
+  payload.Set("_sentAt", ctx_.Now());
   payload.Set("_app", app);
   stream.stream->PushData(std::move(payload), options.seq, deliver_span);
   if (options.event_created_at > 0) {
     AppMetricsFor(app).push_delay_us->Record(
-        static_cast<double>(sim_->Now() - options.event_created_at));
+        static_cast<double>(ctx_.Now() - options.event_created_at));
   }
 }
 
@@ -795,7 +795,7 @@ void BrassHost::StartDurableReplay(const StreamKey& key) {
   state.replaying = true;
   if (trace_ != nullptr && state.stream_span.valid()) {
     state.replay_span =
-        trace_->StartSpan(state.stream_span, "burst.replay", "burst", region_, sim_->Now());
+        trace_->StartSpan(state.stream_span, "burst.replay", "burst", region_, ctx_.Now());
     trace_->Annotate(state.replay_span, "from_seq",
                      Value(static_cast<int64_t>(state.durable_delivered)));
   }
@@ -836,7 +836,7 @@ void BrassHost::ReplayDurableBatch(const StreamKey& key) {
     if (entry->created_at > 0) {
       payload.Set("_createdAt", entry->created_at);
     }
-    payload.Set("_sentAt", sim_->Now());
+    payload.Set("_sentAt", ctx_.Now());
     payload.Set("_app", state.app);
     payload.Set("_seq", static_cast<int64_t>(entry->seq));
     m_.deliveries->Increment();
@@ -844,7 +844,7 @@ void BrassHost::ReplayDurableBatch(const StreamKey& key) {
     m_.delivered_bytes->Increment(static_cast<int64_t>(entry->bytes));
     m_.durable_replayed->Increment();
     if (entry->created_at > 0) {
-      app_metrics.push_delay_us->Record(static_cast<double>(sim_->Now() - entry->created_at));
+      app_metrics.push_delay_us->Record(static_cast<double>(ctx_.Now() - entry->created_at));
     }
     state.durable_delivered = entry->seq;
     batch.push_back(Delta::Data(std::move(payload), entry->seq));
@@ -854,7 +854,7 @@ void BrassHost::ReplayDurableBatch(const StreamKey& key) {
     EndDurableReplay(state, "");
     return;
   }
-  sim_->Schedule(std::max<SimTime>(config_.durable_log.replay_batch_gap, 1),
+  ctx_.Schedule(std::max<SimTime>(config_.durable_log.replay_batch_gap, 1),
                  [this, key]() { ReplayDurableBatch(key); });
 }
 
@@ -866,7 +866,7 @@ void BrassHost::EndDurableReplay(HostStream& state, const std::string& note) {
     }
     trace_->Annotate(state.replay_span, "to_seq",
                      Value(static_cast<int64_t>(state.durable_delivered)));
-    trace_->EndSpan(state.replay_span, sim_->Now());
+    trace_->EndSpan(state.replay_span, ctx_.Now());
     state.replay_span = TraceContext();
   }
 }
@@ -876,7 +876,7 @@ void BrassHost::RollShedWindow(HostStream& state) {
   if (window <= 0) {
     return;
   }
-  const SimTime now = sim_->Now();
+  const SimTime now = ctx_.Now();
   if (now - state.window_start >= window) {
     state.window_start = now;
     state.window_attempts = 0;
@@ -890,7 +890,7 @@ void BrassHost::EnsureQueueDrainTimer(const StreamKey& key, SimTime delay) {
     return;
   }
   hs->second.drain_timer_pending = true;
-  sim_->Schedule(std::max<SimTime>(delay, 1), [this, key]() {
+  ctx_.Schedule(std::max<SimTime>(delay, 1), [this, key]() {
     auto it = streams_.find(key);
     if (it == streams_.end()) {
       return;  // stream closed (or host drained/failed) while waiting
@@ -901,7 +901,7 @@ void BrassHost::EnsureQueueDrainTimer(const StreamKey& key, SimTime delay) {
       return;
     }
     PendingDelivery next = state.queue.PopFront();
-    state.next_push_at = sim_->Now() + config_.overload.min_push_gap;
+    state.next_push_at = ctx_.Now() + config_.overload.min_push_gap;
     PushNow(state.app, state.state, std::move(next.payload), next.options);
     if (!state.queue.empty()) {
       EnsureQueueDrainTimer(key, config_.overload.min_push_gap);
@@ -923,7 +923,7 @@ void BrassHost::DegradeStream(const StreamKey& key, HostStream& state) {
   // stream's timeline (docs/TRACING.md).
   if (trace_ != nullptr && state.stream_span.valid()) {
     state.degrade_span =
-        trace_->StartSpan(state.stream_span, "burst.degrade", "burst", region_, sim_->Now());
+        trace_->StartSpan(state.stream_span, "burst.degrade", "burst", region_, ctx_.Now());
     trace_->Annotate(state.degrade_span, "app", Value(state.app));
   }
   state.state.stream->PushFlow(FlowStatus::kDegradeToPoll, "shed rate exceeded");
@@ -931,7 +931,7 @@ void BrassHost::DegradeStream(const StreamKey& key, HostStream& state) {
 }
 
 void BrassHost::ScheduleRecoveryCheck(const StreamKey& key) {
-  sim_->Schedule(config_.overload.recover_check_interval, [this, key]() {
+  ctx_.Schedule(config_.overload.recover_check_interval, [this, key]() {
     auto it = streams_.find(key);
     if (it == streams_.end() || !it->second.degraded) {
       return;
@@ -950,12 +950,12 @@ void BrassHost::ScheduleRecoveryCheck(const StreamKey& key) {
     }
     state.degraded = false;
     state.degraded_attempts = 0;
-    state.window_start = sim_->Now();
+    state.window_start = ctx_.Now();
     state.window_attempts = 0;
     state.window_sheds = 0;
     m_.recover_signals->Increment();
     if (trace_ != nullptr && state.degrade_span.valid()) {
-      trace_->EndSpan(state.degrade_span, sim_->Now());
+      trace_->EndSpan(state.degrade_span, ctx_.Now());
       state.degrade_span = TraceContext();
     }
     state.state.stream->PushFlow(FlowStatus::kResumeStream, "overload subsided");
@@ -969,7 +969,7 @@ void BrassHost::CloseAllStreamSpans(const std::string& reason) {
   for (auto& [key, hs] : streams_) {
     const Span* span = trace_->FindSpan(hs.stream_span);
     if (span != nullptr && span->open()) {
-      trace_->MarkError(hs.stream_span, reason, sim_->Now());
+      trace_->MarkError(hs.stream_span, reason, ctx_.Now());
     }
   }
 }
@@ -984,7 +984,7 @@ void BrassHost::WithdrawAllPylonSubscriptions() {
     }
     PylonServer* server = pylon_->RouteServer(topic);
     auto channel = std::make_shared<RpcChannel>(
-        sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+        ctx_.sim(), server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
     auto request = std::make_shared<PylonSubscribeRequest>();
     request->topic = topic;
     request->host_id = host_id_;
@@ -1002,7 +1002,7 @@ void BrassHost::StartDrain(SimTime grace) {
   // skip draining hosts) while existing streams keep being served.
   draining_ = true;
   m_.host_drain_starts->Increment();
-  sim_->Schedule(grace, [this]() { Drain(); });
+  ctx_.Schedule(grace, [this]() { Drain(); });
 }
 
 void BrassHost::Drain() {
@@ -1032,7 +1032,7 @@ void BrassHost::FailHost() {
   burst_->FailHost();
   // "Pylon also detects this and removes all subscriptions from that host"
   // (§4): modeled as the withdrawal happening shortly after the crash.
-  sim_->Schedule(Millis(800), [this]() { WithdrawAllPylonSubscriptions(); });
+  ctx_.Schedule(Millis(800), [this]() { WithdrawAllPylonSubscriptions(); });
   CloseAllStreamSpans("host failure");
   streams_.clear();
   apps_.clear();
@@ -1048,7 +1048,7 @@ void BrassHost::Revive() {
   }
   alive_ = true;
   draining_ = false;
-  burst_ = std::make_unique<BurstServer>(sim_, host_id_, this, burst_config_, metrics_);
+  burst_ = std::make_unique<BurstServer>(ctx_.sim(), host_id_, this, burst_config_, metrics_);
   if (pylon_ != nullptr) {
     pylon_->RegisterSubscriberHost(host_id_, region_, &event_rpc_);
   }

@@ -60,7 +60,7 @@ class BrassHost : public BurstServerHandler {
   // True from StartDrain()/Drain() until Revive(): the router must not
   // place new streams here even while existing streams are still served.
   bool draining() const { return draining_; }
-  Simulator* sim() { return sim_; }
+  Simulator* sim() { return ctx_.sim(); }
   MetricsRegistry* metrics() { return metrics_; }
   TraceCollector* trace() { return trace_; }
   const BrassConfig& config() const { return config_; }
@@ -293,7 +293,7 @@ class BrassHost : public BurstServerHandler {
   void ReplayDurableBatch(const StreamKey& key);
   void EndDurableReplay(HostStream& state, const std::string& note);
 
-  Simulator* sim_;
+  SimContext ctx_;
   int64_t host_id_;
   RegionId region_;
   WebAppServer* was_;

@@ -21,12 +21,12 @@ bool AtBudget(const BrassHost* host) {
 BrassRouter::BrassRouter(Simulator* sim, const Topology* topology,
                          const BrassAppRegistry* registry, BurstConfig burst_config,
                          MetricsRegistry* metrics)
-    : sim_(sim),
+    : ctx_(sim),
       topology_(topology),
       registry_(registry),
       burst_config_(burst_config),
       metrics_(metrics) {
-  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && topology_ != nullptr && metrics_ != nullptr);
   saturated_rejections_ = &metrics_->GetCounter("brass.router_saturated_rejections");
   spills_ = &metrics_->GetCounter("brass.router_spills");
 }
@@ -133,7 +133,7 @@ std::shared_ptr<ConnectionEnd> BrassRouter::ConnectToHost(ReverseProxy* proxy, i
     return nullptr;
   }
   auto [proxy_end, host_end] = CreateConnection(
-      sim_, topology_->LinkModel(proxy->region(), host->region()),
+      ctx_.sim(), topology_->LinkModel(proxy->region(), host->region()),
       burst_config_.failure_detection_delay);
   host->burst()->AttachProxyConnection(std::move(host_end));
   return proxy_end;

@@ -44,7 +44,7 @@ class BrassRouter : public BurstServerDirectory {
   std::shared_ptr<ConnectionEnd> ConnectToHost(ReverseProxy* proxy, int64_t host_id) override;
 
  private:
-  Simulator* sim_;
+  SimContext ctx_;
   const Topology* topology_;
   const BrassAppRegistry* registry_;
   BurstConfig burst_config_;

@@ -5,17 +5,17 @@
 
 namespace bladerunner {
 
-BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
+BurstClient::BurstClient(SimContext ctx, int64_t device_id, Connector connector,
                          Observer* observer, BurstConfig config, MetricsRegistry* metrics,
                          TraceCollector* trace)
-    : sim_(sim),
+    : ctx_(ctx),
       device_id_(device_id),
       connector_(std::move(connector)),
       observer_(observer),
       config_(config),
       metrics_(metrics),
       trace_(trace) {
-  assert(sim_ != nullptr && observer_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && observer_ != nullptr && metrics_ != nullptr);
   m_.client_cancels = &metrics_->GetCounter("burst.client_cancels");
   m_.client_data_deltas = &metrics_->GetCounter("burst.client_data_deltas");
   m_.client_duplicates_dropped = &metrics_->GetCounter("burst.client_duplicates_dropped");
@@ -27,11 +27,17 @@ BurstClient::BurstClient(Simulator* sim, int64_t device_id, Connector connector,
   m_.device_observed_disconnects = &metrics_->GetCounter("burst.device_observed_disconnects");
   m_.device_reconnect_attempts = &metrics_->GetCounter("burst.device_reconnect_attempts");
   m_.radio_promotions = &metrics_->GetCounter("burst.radio_promotions");
+  // Partitioned runs keep a fleet-wide open-stream gauge so samplers in the
+  // global LP never walk (and race with) per-device state in other LPs. The
+  // sequential kernel skips it entirely: the registry's contents — and any
+  // output enumerating them — stay byte-identical to the pre-LP kernel.
+  m_.active_streams =
+      ctx_.sim()->partitioned() ? &metrics_->GetGauge("burst.active_streams") : nullptr;
 }
 
 BurstClient::~BurstClient() {
   if (reconnect_timer_ != kInvalidTimerId) {
-    sim_->Cancel(reconnect_timer_);
+    ctx_.Cancel(reconnect_timer_);
   }
   if (conn_ != nullptr) {
     conn_->set_handler(nullptr);
@@ -39,24 +45,37 @@ BurstClient::~BurstClient() {
 }
 
 void BurstClient::Connect() {
-  if (connected()) {
+  if (connected() || connect_pending_) {
     return;
   }
-  conn_ = connector_(device_id_);
-  if (conn_ == nullptr) {
-    // No POP reachable; retry from the backoff loop. The failure count is
-    // bumped after scheduling so the first retry draws the base window and
-    // each later one widens it.
-    if (auto_reconnect_) {
-      ScheduleReconnect();
+  connect_pending_ = true;
+  connector_(device_id_, [this](std::shared_ptr<ConnectionEnd> end) {
+    connect_pending_ = false;
+    if (end == nullptr) {
+      // No POP reachable; retry from the backoff loop. The failure count is
+      // bumped after scheduling so the first retry draws the base window and
+      // each later one widens it.
+      if (auto_reconnect_) {
+        ScheduleReconnect();
+      }
+      reconnect_failures_ += 1;
+      return;
     }
-    reconnect_failures_ += 1;
-    return;
-  }
-  reconnect_failures_ = 0;
-  conn_->set_handler(this);
-  observer_->OnConnectionStateChanged(true);
-  ResubscribeAll();
+    if (connected() || !auto_reconnect_) {
+      // An asynchronous establishment finished after another one already
+      // connected us, or the app went offline while the handshake was in
+      // flight. Keep whatever state we're in; hang up the extra link.
+      // (Sequential clusters resolve synchronously, so neither can happen
+      // there and an explicit Connect with auto-reconnect off still works.)
+      end->Close();
+      return;
+    }
+    conn_ = std::move(end);
+    reconnect_failures_ = 0;
+    conn_->set_handler(this);
+    observer_->OnConnectionStateChanged(true);
+    ResubscribeAll();
+  });
 }
 
 void BurstClient::Disconnect() {
@@ -99,6 +118,9 @@ uint64_t BurstClient::Subscribe(Value header, std::string body) {
   auto [it, inserted] = streams_.emplace(sid, std::move(stream));
   assert(inserted);
   m_.client_subscribes->Increment();
+  if (m_.active_streams != nullptr) {
+    m_.active_streams->Add(1.0);
+  }
   if (connected()) {
     SendSubscribe(sid, it->second, /*resubscribe=*/false);
   } else if (auto_reconnect_) {
@@ -119,6 +141,9 @@ void BurstClient::Cancel(uint64_t sid) {
   }
   streams_.erase(it);
   m_.client_cancels->Increment();
+  if (m_.active_streams != nullptr) {
+    m_.active_streams->Add(-1.0);
+  }
 }
 
 void BurstClient::Ack(uint64_t sid, uint64_t seq) {
@@ -138,7 +163,7 @@ const Value* BurstClient::HeaderOf(uint64_t sid) const {
 }
 
 void BurstClient::SendFromDevice(MessagePtr frame) {
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   SimTime idle_for = now - last_uplink_activity_;
   last_uplink_activity_ = now;
   if (idle_for <= config_.radio_idle_threshold || config_.radio_promotion_ms <= 0.0) {
@@ -152,7 +177,7 @@ void BurstClient::SendFromDevice(MessagePtr frame) {
                          config_.radio_promotion_ms / 4.0};
   m_.radio_promotions->Increment();
   std::shared_ptr<ConnectionEnd> conn = conn_;
-  sim_->Schedule(promotion.Sample(sim_->rng()), [conn, frame = std::move(frame)]() {
+  ctx_.Schedule(promotion.Sample(ctx_.rng()), [conn, frame = std::move(frame)]() {
     conn->Send(frame);
   });
 }
@@ -188,7 +213,7 @@ SimTime BurstClient::DrawBackoff(int failures) {
     int shift = std::min(failures, 30);
     hi = std::min(hi * static_cast<double>(1u << shift), cap);
   }
-  return static_cast<SimTime>(sim_->rng().Uniform(lo, std::max(lo, hi)));
+  return static_cast<SimTime>(ctx_.rng().Uniform(lo, std::max(lo, hi)));
 }
 
 void BurstClient::ScheduleReconnect() {
@@ -197,7 +222,7 @@ void BurstClient::ScheduleReconnect() {
   }
   reconnect_scheduled_ = true;
   SimTime backoff = DrawBackoff(reconnect_failures_);
-  reconnect_timer_ = sim_->Schedule(backoff, [this]() {
+  reconnect_timer_ = ctx_.Schedule(backoff, [this]() {
     reconnect_scheduled_ = false;
     reconnect_timer_ = kInvalidTimerId;
     if (!connected() && auto_reconnect_) {
@@ -238,7 +263,7 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
             // close the delivery span so traced live pushes don't leak.
             m_.client_duplicates_dropped->Increment();
             if (trace_ != nullptr && delta.trace.valid()) {
-              trace_->EndSpan(delta.trace, sim_->Now());
+              trace_->EndSpan(delta.trace, ctx_.Now());
             }
             break;
           }
@@ -250,7 +275,7 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
         // The update has reached the device: close its "burst.deliver" span
         // (opened by the BRASS host when the push left the backend).
         if (trace_ != nullptr && delta.trace.valid()) {
-          trace_->EndSpan(delta.trace, sim_->Now());
+          trace_->EndSpan(delta.trace, ctx_.Now());
         }
         observer_->OnStreamData(sid, delta.payload, delta.seq);
         break;
@@ -284,7 +309,7 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
         // immediate allowance (the first delayed one draws the base window).
         SimTime backoff = DrawBackoff(it->second.consecutive_redirects -
                                       config_.max_immediate_redirects - 1);
-        sim_->Schedule(backoff, [this, sid]() {
+        ctx_.Schedule(backoff, [this, sid]() {
           auto retry = streams_.find(sid);
           if (retry == streams_.end()) {
             return;  // cancelled while backing off
@@ -299,13 +324,16 @@ void BurstClient::HandleResponse(const ResponseFrame& response) {
     } else {
       observer_->OnStreamTerminated(sid, reason, term_detail);
       streams_.erase(it);
+      if (m_.active_streams != nullptr) {
+        m_.active_streams->Add(-1.0);
+      }
     }
   }
 }
 
 void BurstClient::OnMessage(ConnectionEnd& on, MessagePtr message) {
   (void)on;
-  last_uplink_activity_ = sim_->Now();  // downlink traffic keeps the radio hot
+  last_uplink_activity_ = ctx_.Now();  // downlink traffic keeps the radio hot
   if (auto response = std::dynamic_pointer_cast<ResponseFrame>(message)) {
     HandleResponse(*response);
   }

@@ -49,14 +49,20 @@ class BurstClient : public ConnectionHandler {
     virtual void OnConnectionStateChanged(bool connected) { (void)connected; }
   };
 
-  // Asks the infrastructure for a fresh device->POP connection and returns
-  // the device-side end (already attached at a POP), or nullptr when no POP
-  // is reachable right now.
-  using Connector = std::function<std::shared_ptr<ConnectionEnd>(int64_t device_id)>;
+  // Asks the infrastructure for a fresh device->POP connection and invokes
+  // `done` exactly once with the device-side end (already attached at a
+  // POP), or nullptr when no POP is reachable right now. A sequential
+  // cluster resolves synchronously (inside the Connect call); a partitioned
+  // one hops into the POP-owning LP to pick a POP and back — the
+  // connection-establishment round trip — so POP selection never reads
+  // another LP's state.
+  using ConnectDone = std::function<void(std::shared_ptr<ConnectionEnd>)>;
+  using Connector = std::function<void(int64_t device_id, ConnectDone done)>;
 
   // `trace` (optional) lets the client close the "burst.deliver" span of
-  // each traced data delta at the moment the device receives it.
-  BurstClient(Simulator* sim, int64_t device_id, Connector connector, Observer* observer,
+  // each traced data delta at the moment the device receives it. `ctx`
+  // carries the device's LP; a raw Simulator* converts to the global LP.
+  BurstClient(SimContext ctx, int64_t device_id, Connector connector, Observer* observer,
               BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace = nullptr);
   ~BurstClient() override;
 
@@ -143,9 +149,12 @@ class BurstClient : public ConnectionHandler {
     Counter* device_observed_disconnects;
     Counter* device_reconnect_attempts;
     Counter* radio_promotions;
+    // Fleet-wide open-stream gauge, maintained only in partitioned runs
+    // (nullptr otherwise) so global-LP samplers need not walk device state.
+    Gauge* active_streams;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   int64_t device_id_;
   Connector connector_;
   Observer* observer_;
@@ -158,6 +167,7 @@ class BurstClient : public ConnectionHandler {
   uint64_t next_sid_ = 1;
   std::map<uint64_t, ClientStream> streams_;
   bool auto_reconnect_ = true;
+  bool connect_pending_ = false;  // a Connector request is in flight
   bool reconnect_scheduled_ = false;
   // Consecutive failed connect attempts since the last successful one;
   // drives the exponential reconnect backoff.

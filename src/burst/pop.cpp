@@ -7,14 +7,14 @@ namespace bladerunner {
 
 Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
          BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace)
-    : sim_(sim),
+    : ctx_(sim),
       pop_id_(pop_id),
       region_(region),
       connector_(std::move(connector)),
       config_(config),
       metrics_(metrics),
       trace_(trace) {
-  assert(sim_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && metrics_ != nullptr);
   m_.pop_device_disconnects = &metrics_->GetCounter("burst.pop_device_disconnects");
   m_.pop_failures = &metrics_->GetCounter("burst.pop_failures");
   m_.pop_initiated_reconnects = &metrics_->GetCounter("burst.pop_initiated_reconnects");
@@ -89,7 +89,7 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
       TraceContext ctx = ContextFromValue(subscribe->header);
       if (ctx.valid()) {
         TraceContext hop =
-            trace_->RecordSpan(ctx, "burst.pop", "burst", region_, sim_->Now(), sim_->Now());
+            trace_->RecordSpan(ctx, "burst.pop", "burst", region_, ctx_.Now(), ctx_.Now());
         trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
       }
     }
@@ -150,7 +150,7 @@ void Pop::HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message) {
     } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
       // Instant hop marker: the update left the backbone at this POP.
       TraceContext hop = trace_->RecordSpan(delta.trace, "burst.pop", "burst", region_,
-                                            sim_->Now(), sim_->Now());
+                                            ctx_.Now(), ctx_.Now());
       trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
     }
   }

@@ -103,7 +103,7 @@ class Pop : public ConnectionHandler {
     Counter* pop_uplink_failures;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   uint64_t pop_id_;
   RegionId region_;
   ProxyConnector connector_;

@@ -8,14 +8,14 @@ namespace bladerunner {
 ReverseProxy::ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
                            BurstServerDirectory* directory, BurstConfig config,
                            MetricsRegistry* metrics, TraceCollector* trace)
-    : sim_(sim),
+    : ctx_(sim),
       proxy_id_(proxy_id),
       region_(region),
       directory_(directory),
       config_(config),
       metrics_(metrics),
       trace_(trace) {
-  assert(sim_ != nullptr && directory_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && directory_ != nullptr && metrics_ != nullptr);
   m_.proxy_admission_redirects = &metrics_->GetCounter("burst.proxy_admission_redirects");
   m_.proxy_failures = &metrics_->GetCounter("burst.proxy_failures");
   m_.proxy_host_disconnects = &metrics_->GetCounter("burst.proxy_host_disconnects");
@@ -103,7 +103,7 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
       TraceContext ctx = ContextFromValue(subscribe->header);
       if (ctx.valid()) {
         TraceContext hop =
-            trace_->RecordSpan(ctx, "burst.proxy", "burst", region_, sim_->Now(), sim_->Now());
+            trace_->RecordSpan(ctx, "burst.proxy", "burst", region_, ctx_.Now(), ctx_.Now());
         trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
       }
     }
@@ -206,7 +206,7 @@ void ReverseProxy::HandleHostFrame(ConnectionEnd& on, const MessagePtr& message)
     } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
       // Instant hop marker on the data path (child of "burst.deliver").
       TraceContext hop = trace_->RecordSpan(delta.trace, "burst.proxy", "burst", region_,
-                                            sim_->Now(), sim_->Now());
+                                            ctx_.Now(), ctx_.Now());
       trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
     }
   }

@@ -129,7 +129,7 @@ class ReverseProxy : public ConnectionHandler {
     Counter* proxy_pop_disconnects;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   uint64_t proxy_id_;
   RegionId region_;
   BurstServerDirectory* directory_;

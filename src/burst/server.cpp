@@ -30,8 +30,8 @@ void ServerStream::Terminate(TerminateReason reason, std::string detail) {
 
 BurstServer::BurstServer(Simulator* sim, int64_t host_id, BurstServerHandler* handler,
                          BurstConfig config, MetricsRegistry* metrics)
-    : sim_(sim), host_id_(host_id), handler_(handler), config_(config), metrics_(metrics) {
-  assert(sim_ != nullptr && handler_ != nullptr && metrics_ != nullptr);
+    : ctx_(sim), host_id_(host_id), handler_(handler), config_(config), metrics_(metrics) {
+  assert(ctx_.sim() != nullptr && handler_ != nullptr && metrics_ != nullptr);
   m_.host_crashes = &metrics_->GetCounter("burst.host_crashes");
   m_.host_drains = &metrics_->GetCounter("burst.host_drains");
   m_.server_proxy_disconnects = &metrics_->GetCounter("burst.server_proxy_disconnects");
@@ -46,7 +46,7 @@ BurstServer::BurstServer(Simulator* sim, int64_t host_id, BurstServerHandler* ha
 BurstServer::~BurstServer() {
   for (auto& [key, stream] : streams_) {
     if (stream->gc_timer_ != kInvalidTimerId) {
-      sim_->Cancel(stream->gc_timer_);
+      ctx_.Cancel(stream->gc_timer_);
     }
   }
   for (auto& [conn_id, end] : proxy_conns_) {
@@ -73,7 +73,7 @@ void BurstServer::Drain() {
   proxy_conns_.clear();
   for (auto& [key, stream] : streams_) {
     if (stream->gc_timer_ != kInvalidTimerId) {
-      sim_->Cancel(stream->gc_timer_);
+      ctx_.Cancel(stream->gc_timer_);
     }
   }
   streams_.clear();
@@ -92,7 +92,7 @@ void BurstServer::FailHost() {
   proxy_conns_.clear();
   for (auto& [key, stream] : streams_) {
     if (stream->gc_timer_ != kInvalidTimerId) {
-      sim_->Cancel(stream->gc_timer_);
+      ctx_.Cancel(stream->gc_timer_);
     }
   }
   streams_.clear();  // ephemeral state lost (§3.2)
@@ -125,7 +125,7 @@ void BurstServer::HandleSubscribe(ConnectionEnd& on, const SubscribeFrame& frame
     stream.down_conn_ = conn_it->second;
     stream.detached_ = false;
     if (stream.gc_timer_ != kInvalidTimerId) {
-      sim_->Cancel(stream.gc_timer_);
+      ctx_.Cancel(stream.gc_timer_);
       stream.gc_timer_ = kInvalidTimerId;
     }
     // Prefer the header we hold (it includes our own rewrites); but a
@@ -143,7 +143,7 @@ void BurstServer::HandleSubscribe(ConnectionEnd& on, const SubscribeFrame& frame
   stream->header_ = frame.header;
   stream->body_ = frame.body;
   stream->down_conn_ = conn_it->second;
-  stream->established_at_ = sim_->Now();
+  stream->established_at_ = ctx_.Now();
   ServerStream& ref = *stream;
   streams_[frame.key] = std::move(stream);
   m_.server_stream_starts->Increment();
@@ -192,7 +192,7 @@ void BurstServer::DetachStream(ServerStream& stream, const std::string& reason) 
   handler_->OnStreamDetached(stream, reason);
   // Keep state for a grace period so a reconnect can resume seamlessly.
   StreamKey key = stream.key_;
-  stream.gc_timer_ = sim_->Schedule(config_.server_stream_keep_timeout, [this, key]() {
+  stream.gc_timer_ = ctx_.Schedule(config_.server_stream_keep_timeout, [this, key]() {
     auto it = streams_.find(key);
     if (it != streams_.end() && it->second->detached_) {
       it->second->gc_timer_ = kInvalidTimerId;
@@ -207,7 +207,7 @@ void BurstServer::EraseStream(StreamKey key, TerminateReason reason, bool notify
     return;
   }
   if (it->second->gc_timer_ != kInvalidTimerId) {
-    sim_->Cancel(it->second->gc_timer_);
+    ctx_.Cancel(it->second->gc_timer_);
   }
   streams_.erase(it);
   if (notify_handler) {

@@ -154,7 +154,7 @@ class BurstServer : public ConnectionHandler {
     Counter* server_stream_starts;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   int64_t host_id_;
   BurstServerHandler* handler_;
   BurstConfig config_;

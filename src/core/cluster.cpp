@@ -37,6 +37,17 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
       topology_(std::move(topology)),
       sim_(config_.seed),
       trace_(ResolveTraceConfig(config_.trace, config_.seed)) {
+  // The kernel must be partitioned before anything schedules an event or
+  // asks partitioned() — i.e. before any component below is constructed.
+  if (config_.parallel.device_lp_groups > 0) {
+    SimParallelOptions po;
+    po.threads = config_.parallel.threads;
+    po.num_lps = static_cast<uint32_t>(config_.parallel.device_lp_groups) + 1;
+    po.lookahead = config_.parallel.lookahead;
+    po.reverse_lp_order = config_.parallel.reverse_lp_order;
+    sim_.ConfigureParallel(po);
+    trace_.ConfigureLps(po.num_lps);
+  }
   app_registry_ = BuildStandardAppRegistry(config_.apps);
   if (config_.livequery.enabled) {
     // Declarative live-query apps join the registry before the priority
@@ -157,31 +168,65 @@ Pop::ProxyConnector BladerunnerCluster::MakeProxyConnector() {
   };
 }
 
-BurstClient::Connector BladerunnerCluster::DeviceConnector(RegionId device_region,
-                                                           DeviceProfile profile) {
-  return [this, device_region, profile](int64_t device_id) -> std::shared_ptr<ConnectionEnd> {
-    (void)device_id;
-    Pop* chosen = nullptr;
-    for (auto& pop : pops_) {
-      if (!pop->alive()) {
-        continue;
-      }
-      if (pop->region() == device_region) {
-        chosen = pop.get();
-        break;
-      }
-      if (chosen == nullptr) {
-        chosen = pop.get();
-      }
+LpId BladerunnerCluster::DeviceLp(int64_t device_id) const {
+  int groups = config_.parallel.device_lp_groups;
+  if (groups <= 0) {
+    return kGlobalLp;
+  }
+  // Device ids are dense, so a plain modulo balances the groups exactly and
+  // keeps the assignment independent of thread count.
+  uint64_t g = static_cast<uint64_t>(device_id) % static_cast<uint64_t>(groups);
+  return LpId(1 + static_cast<uint32_t>(g));
+}
+
+// POP selection + attachment; must run in the global LP (POP alive-state and
+// attach lists are global-LP state). The returned device-side end is bound
+// to `device_lp` before the POP side can send anything over it.
+std::shared_ptr<ConnectionEnd> BladerunnerCluster::EstablishDeviceConnection(
+    RegionId device_region, DeviceProfile profile, LpId device_lp) {
+  Pop* chosen = nullptr;
+  for (auto& pop : pops_) {
+    if (!pop->alive()) {
+      continue;
+    }
+    if (pop->region() == device_region) {
+      chosen = pop.get();
+      break;
     }
     if (chosen == nullptr) {
-      return nullptr;
+      chosen = pop.get();
     }
-    auto [device_end, pop_end] =
-        CreateConnection(&sim_, topology_.LastMileModel(profile),
-                         config_.burst.failure_detection_delay);
-    chosen->AttachDeviceConnection(std::move(pop_end));
-    return device_end;
+  }
+  if (chosen == nullptr) {
+    return nullptr;
+  }
+  auto [device_end, pop_end] =
+      CreateConnection(&sim_, topology_.LastMileModel(profile),
+                       config_.burst.failure_detection_delay);
+  device_end->BindLp(device_lp);
+  chosen->AttachDeviceConnection(std::move(pop_end));
+  return device_end;
+}
+
+BurstClient::Connector BladerunnerCluster::DeviceConnector(RegionId device_region,
+                                                           DeviceProfile profile) {
+  return [this, device_region, profile](int64_t device_id, BurstClient::ConnectDone done) {
+    if (!sim_.partitioned()) {
+      done(EstablishDeviceConnection(device_region, profile, kGlobalLp));
+      return;
+    }
+    // Partitioned: hop into the global LP (where POP state lives) to pick a
+    // POP and attach its side, then hop back into the device's LP with the
+    // device-side end. Each hop pays at least the kernel lookahead — the
+    // connection-establishment round trip a real handshake pays anyway.
+    LpId device_lp = DeviceLp(device_id);
+    sim_.Schedule(kGlobalLp, sim_.lookahead(),
+                  [this, device_region, profile, device_lp, done = std::move(done)]() {
+                    std::shared_ptr<ConnectionEnd> end =
+                        EstablishDeviceConnection(device_region, profile, device_lp);
+                    sim_.Schedule(device_lp, sim_.lookahead(),
+                                  [end = std::move(end), done = std::move(done)]() { done(end); });
+                  });
   };
 }
 

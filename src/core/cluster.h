@@ -28,12 +28,27 @@
 
 namespace bladerunner {
 
+// Parallel-kernel knobs (docs/PERF.md "LP-partitioned execution"). With
+// `device_lp_groups` == 0 the cluster runs the sequential kernel and is
+// byte-identical to the pre-LP codebase. With groups > 0 the device fleet is
+// hashed into that many device-group LPs while every backend component
+// (TAO, Pylon, WASes, BRASS, proxies, POPs) stays in the global LP; only
+// last-mile links — whose latency floor is >= `lookahead` — cross LP
+// boundaries, which is what makes conservative rounds safe.
+struct ClusterParallelConfig {
+  int threads = 1;           // worker threads for the round executor
+  int device_lp_groups = 0;  // 0 = sequential kernel (legacy, byte-identical)
+  SimTime lookahead = Millis(5);  // <= last-mile latency floor
+  bool reverse_lp_order = false;  // determinism audit (SimParallelOptions)
+};
+
 struct ClusterConfig {
   uint64_t seed = 42;
   int pops_per_region = 2;
   int proxies_per_region = 2;
   int brass_hosts_per_region = 3;
   bool enable_pylon = true;  // false: polling-only deployment (baselines)
+  ClusterParallelConfig parallel;
 
   TaoConfig tao;
   PylonConfig pylon;
@@ -84,8 +99,15 @@ class BladerunnerCluster {
   // FailHost) — benches read it for zero-loss audits.
   DurableLogDirectory& durable_logs() { return *durable_logs_; }
 
+  // The LP a device (keyed by its device id / user id) lives in: one of the
+  // device-group LPs when partitioned, the global LP otherwise.
+  LpId DeviceLp(int64_t device_id) const;
+
   // A connector for BurstClient: picks an alive POP in the device's region
-  // (falling back to any region) and returns the device-side end.
+  // (falling back to any region) and hands back the device-side end. In a
+  // partitioned cluster the selection hops into the global LP (where POP
+  // state lives) and the reply hops back — the connection-establishment
+  // round trip; a sequential cluster resolves synchronously.
   BurstClient::Connector DeviceConnector(RegionId device_region, DeviceProfile profile);
 
   // An RPC channel from a device to its nearest WAS (for polls/mutations).
@@ -97,6 +119,8 @@ class BladerunnerCluster {
 
  private:
   Pop::ProxyConnector MakeProxyConnector();
+  std::shared_ptr<ConnectionEnd> EstablishDeviceConnection(RegionId device_region,
+                                                           DeviceProfile profile, LpId device_lp);
 
   ClusterConfig config_;
   Topology topology_;

@@ -85,19 +85,25 @@ void DailyScenario::Run() {
 }
 
 void DailyScenario::ScheduleSessionTransition(size_t idx) {
+  // All per-user timers (session, stream-open, activity) run in the user's
+  // device LP: they mutate device state, which must only be touched from
+  // the LP that owns it. The backoff draws use the executing LP's rng, so
+  // each device group's session process is a deterministic function of the
+  // seed regardless of thread count.
   UserState& state = users_[idx];
-  Rng& rng = cluster_->sim().rng();
+  SimContext ctx = state.device->ctx();
+  Rng& rng = ctx.rng();
   SimTime wait;
   if (state.online) {
     wait = SecondsF(rng.Exponential(ToSeconds(config_.mean_online_session)));
   } else {
     // Offline durations chosen so the steady-state online fraction tracks
     // the diurnal curve: p = on / (on + off)  =>  off = on * (1-p) / p.
-    double p = std::clamp(OnlineFraction(cluster_->sim().Now()), 0.03, 0.97);
+    double p = std::clamp(OnlineFraction(ctx.Now()), 0.03, 0.97);
     double off_mean = ToSeconds(config_.mean_online_session) * (1.0 - p) / p;
     wait = SecondsF(rng.Exponential(off_mean));
   }
-  state.session_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+  state.session_timer = ctx.Schedule(wait, [this, idx]() {
     users_[idx].session_timer = kInvalidTimerId;
     if (cluster_->sim().Now() >= started_at_ + config_.duration) {
       return;
@@ -119,7 +125,7 @@ void DailyScenario::GoOnline(size_t idx) {
   // and Messenger subscriptions see no updates at all (Fig. 7).
   if (!state.threads.empty()) {
     state.conversation_thread =
-        state.threads[cluster_->sim().rng().Index(state.threads.size())];
+        state.threads[state.device->ctx().rng().Index(state.threads.size())];
   }
   state.device->burst().SetAutoReconnect(true);
   state.device->burst().Connect();
@@ -163,9 +169,10 @@ void DailyScenario::ScheduleStreamOpen(size_t idx) {
   if (!state.online || config_.streams_per_minute <= 0.0) {
     return;
   }
+  SimContext ctx = state.device->ctx();
   double mean_seconds = 60.0 / config_.streams_per_minute;
-  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(mean_seconds));
-  state.open_stream_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+  SimTime wait = SecondsF(ctx.rng().Exponential(mean_seconds));
+  state.open_stream_timer = ctx.Schedule(wait, [this, idx]() {
     users_[idx].open_stream_timer = kInvalidTimerId;
     if (!users_[idx].online) {
       return;
@@ -189,7 +196,8 @@ void DailyScenario::OpenRandomStream(size_t idx) {
   if (state.open_streams.size() >= config_.max_streams_per_device) {
     return;
   }
-  Rng& rng = cluster_->sim().rng();
+  SimContext ctx = state.device->ctx();
+  Rng& rng = ctx.rng();
   double total = config_.mix_typing + config_.mix_lvc + config_.mix_stories +
                  config_.mix_messenger + config_.mix_active_status;
   double u = rng.Uniform() * total;
@@ -232,7 +240,7 @@ void DailyScenario::OpenRandomStream(size_t idx) {
     return;  // closed by GoOffline at session end
   }
   SimTime lifetime = lifetimes_.SampleUnbiased(rng);
-  cluster_->sim().Schedule(lifetime, [this, idx, sid]() {
+  ctx.Schedule(lifetime, [this, idx, sid]() {
     UserState& s = users_[idx];
     auto it = std::find(s.open_streams.begin(), s.open_streams.end(), sid);
     if (it == s.open_streams.end()) {
@@ -253,8 +261,9 @@ void DailyScenario::ScheduleActivity(size_t idx) {
   if (per_minute <= 0.0) {
     return;
   }
-  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(60.0 / per_minute));
-  state.activity_timer = cluster_->sim().Schedule(wait, [this, idx]() {
+  SimContext ctx = state.device->ctx();
+  SimTime wait = SecondsF(ctx.rng().Exponential(60.0 / per_minute));
+  state.activity_timer = ctx.Schedule(wait, [this, idx]() {
     users_[idx].activity_timer = kInvalidTimerId;
     if (!users_[idx].online) {
       return;
@@ -266,7 +275,7 @@ void DailyScenario::ScheduleActivity(size_t idx) {
 
 void DailyScenario::DoRandomActivity(size_t idx) {
   UserState& state = users_[idx];
-  Rng& rng = cluster_->sim().rng();
+  Rng& rng = state.device->ctx().rng();
   double total = config_.typing_toggles_per_minute + config_.comments_per_minute +
                  config_.messages_per_minute + config_.stories_per_minute;
   double u = rng.Uniform() * total;
@@ -291,12 +300,20 @@ void DailyScenario::DoRandomActivity(size_t idx) {
 void DailyScenario::SamplerTick() {
   SimTime now = cluster_->sim().Now() - started_at_;
 
-  size_t active_streams = 0;
-  for (UserState& state : users_) {
-    active_streams += state.device->burst().ActiveStreamCount();
+  double active_streams = 0.0;
+  if (cluster_->sim().partitioned()) {
+    // The sampler runs in the global LP; walking per-device stream maps
+    // would read other LPs' state mid-round. Partitioned BurstClients
+    // maintain a fleet-wide gauge instead, whose sink-buffered updates are
+    // flushed at round barriers — so this read is both race-free and
+    // consistent as of the last barrier.
+    active_streams = cluster_->metrics().GetGauge("burst.active_streams").value();
+  } else {
+    for (UserState& state : users_) {
+      active_streams += static_cast<double>(state.device->burst().ActiveStreamCount());
+    }
   }
-  active_streams_series_->Sample(
-      now, static_cast<double>(active_streams) / static_cast<double>(users_.size()));
+  active_streams_series_->Sample(now, active_streams / static_cast<double>(users_.size()));
 
   for (RateSampler& rate : rate_samplers_) {
     int64_t value = rate.counter->value();

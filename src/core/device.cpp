@@ -28,7 +28,11 @@ std::string FallbackPollQuery(ObjectId video, SimTime after) {
 
 DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId region,
                          DeviceProfile profile)
-    : cluster_(cluster), user_(user), region_(region), profile_(profile) {
+    : cluster_(cluster),
+      ctx_(&cluster->sim(), cluster->DeviceLp(DeviceIdFor(user))),
+      user_(user),
+      region_(region),
+      profile_(profile) {
   assert(cluster_ != nullptr);
   MetricsRegistry& metrics = cluster_->metrics();
   m_.was_queries = &metrics.GetCounter("device.was_queries");
@@ -57,7 +61,7 @@ DeviceAgent::DeviceAgent(BladerunnerCluster* cluster, UserId user, RegionId regi
       burst_config.radio_promotion_sigma = 0.6;
       break;
   }
-  burst_ = std::make_unique<BurstClient>(&cluster_->sim(), DeviceIdFor(user),
+  burst_ = std::make_unique<BurstClient>(ctx_, DeviceIdFor(user),
                                          cluster_->DeviceConnector(region, profile), this,
                                          burst_config, &cluster_->metrics(), &cluster_->trace());
   was_channel_ = cluster_->DeviceWasChannel(region, profile);
@@ -68,7 +72,7 @@ DeviceAgent::~DeviceAgent() {
   StopConnectivityChurn();
   for (auto& [sid, poller] : fallback_pollers_) {
     if (poller.timer != kInvalidTimerId) {
-      cluster_->sim().Cancel(poller.timer);
+      ctx_.Cancel(poller.timer);
     }
   }
 }
@@ -105,7 +109,7 @@ void DeviceAgent::Mutate(const std::string& text, std::function<void(bool, Value
   auto request = std::make_shared<WasMutateRequest>();
   request->mutation = text;
   request->viewer = user_;
-  request->created_at = cluster_->sim().Now();
+  request->created_at = ctx_.Now();
   m_.was_mutations->Increment();
   auto cb = std::make_shared<std::function<void(bool, Value)>>(std::move(callback));
   was_channel_->Call("was.mutate", request, [cb](RpcStatus status, MessagePtr response) {
@@ -137,7 +141,7 @@ void DeviceAgent::StartSubscribeTrace(Value* header) {
   // re-sent verbatim on resubscribes, keeping repaired streams joined).
   TraceContext root = cluster_->trace().StartTrace("subscribe", "device",
                                                    static_cast<int>(region_),
-                                                   cluster_->sim().Now());
+                                                   ctx_.Now());
   cluster_->trace().Annotate(root, "viewer", Value(user_));
   cluster_->trace().Annotate(root, "profile", Value(static_cast<int64_t>(profile_)));
   WriteContext(root, header);
@@ -213,7 +217,7 @@ void DeviceAgent::StartHeartbeat(SimTime interval) {
 void DeviceAgent::StopHeartbeat() {
   heartbeat_enabled_ = false;
   if (heartbeat_timer_ != kInvalidTimerId) {
-    cluster_->sim().Cancel(heartbeat_timer_);
+    ctx_.Cancel(heartbeat_timer_);
     heartbeat_timer_ = kInvalidTimerId;
   }
 }
@@ -223,7 +227,7 @@ void DeviceAgent::ScheduleNextHeartbeat() {
     return;
   }
   Mutate("mutation { heartbeatOnline }");
-  heartbeat_timer_ = cluster_->sim().Schedule(heartbeat_interval_, [this]() {
+  heartbeat_timer_ = ctx_.Schedule(heartbeat_interval_, [this]() {
     heartbeat_timer_ = kInvalidTimerId;
     ScheduleNextHeartbeat();
   });
@@ -237,7 +241,7 @@ void DeviceAgent::StartConnectivityChurn() {
 void DeviceAgent::StopConnectivityChurn() {
   churn_enabled_ = false;
   if (churn_timer_ != kInvalidTimerId) {
-    cluster_->sim().Cancel(churn_timer_);
+    ctx_.Cancel(churn_timer_);
     churn_timer_ = kInvalidTimerId;
   }
 }
@@ -247,11 +251,11 @@ void DeviceAgent::ScheduleNextDrop() {
     return;
   }
   SimTime mtbf = cluster_->topology().LastMileMtbf(profile_);
-  SimTime wait = SecondsF(cluster_->sim().rng().Exponential(ToSeconds(mtbf)));
-  churn_timer_ = cluster_->sim().Schedule(wait, [this]() {
+  SimTime wait = SecondsF(ctx_.rng().Exponential(ToSeconds(mtbf)));
+  churn_timer_ = ctx_.Schedule(wait, [this]() {
     churn_timer_ = kInvalidTimerId;
     if (burst_->connected()) {
-      m_.drops_per_bucket->Add(cluster_->sim().Now(), 1.0);
+      m_.drops_per_bucket->Add(ctx_.Now(), 1.0);
       burst_->SimulateConnectionDrop();
     }
     ScheduleNextDrop();
@@ -263,7 +267,7 @@ void DeviceAgent::OnStreamData(uint64_t sid, const Value& payload, uint64_t seq)
   m_.payloads_received->Increment();
 
   const std::string& app = payload.Get("_app").AsString();
-  SimTime now = cluster_->sim().Now();
+  SimTime now = ctx_.Now();
   SimTime created_at = payload.Get("_createdAt").AsInt(0);
   SimTime sent_at = payload.Get("_sentAt").AsInt(0);
   if (created_at > 0) {
@@ -329,7 +333,7 @@ void DeviceAgent::StartFallbackPolling(uint64_t sid) {
   // Start the watermark one interval back: the BRASS cleared its queue when
   // it degraded, so the comments most recently shed are re-discovered by
   // the first poll instead of lost.
-  SimTime now = cluster_->sim().Now();
+  SimTime now = ctx_.Now();
   poller.watermark = now > fallback_poll_interval_ ? now - fallback_poll_interval_ : 0;
   fallback_pollers_[sid] = std::move(poller);
   m_.fallback_pollers_started->Increment();
@@ -342,7 +346,7 @@ void DeviceAgent::StopFallbackPolling(uint64_t sid) {
     return;
   }
   if (it->second.timer != kInvalidTimerId) {
-    cluster_->sim().Cancel(it->second.timer);
+    ctx_.Cancel(it->second.timer);
   }
   fallback_pollers_.erase(it);
 }
@@ -385,7 +389,7 @@ void DeviceAgent::FallbackPollOnce(uint64_t sid) {
           }
           // A full page means a backlog remains; page again immediately.
           SimTime delay = page_size >= kFallbackPollPageSize ? 0 : fallback_poll_interval_;
-          poller.timer = cluster_->sim().Schedule(delay, [this, sid]() { FallbackPollOnce(sid); });
+          poller.timer = ctx_.Schedule(delay, [this, sid]() { FallbackPollOnce(sid); });
         });
 }
 

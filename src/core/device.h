@@ -29,6 +29,10 @@ class DeviceAgent : public BurstClient::Observer {
 
   UserId user() const { return user_; }
   RegionId region() const { return region_; }
+  // The device's scheduling context: bound to its device-group LP in a
+  // partitioned cluster, the global LP otherwise. Session models drive all
+  // per-device timers through this so they land in the device's LP.
+  SimContext ctx() const { return ctx_; }
   DeviceProfile profile() const { return profile_; }
   BurstClient& burst() { return *burst_; }
 
@@ -139,6 +143,7 @@ class DeviceAgent : public BurstClient::Observer {
   void StartSubscribeTrace(Value* header);
 
   BladerunnerCluster* cluster_;
+  SimContext ctx_;
   Metrics m_;
   std::map<std::string, AppE2eMetrics> e2e_metrics_;
   UserId user_;

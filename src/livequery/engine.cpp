@@ -59,8 +59,8 @@ void LiveQueryEngine::CostScope::CommitTo(Counter* reads, Counter* shards) {
 LiveQueryEngine::LiveQueryEngine(Simulator* sim, TaoStore* tao, WebAppServer* was,
                                  LiveQueryConfig config, MetricsRegistry* metrics,
                                  TraceCollector* trace)
-    : sim_(sim), tao_(tao), was_(was), config_(config), metrics_(metrics), trace_(trace) {
-  assert(sim_ != nullptr && tao_ != nullptr && was_ != nullptr && metrics_ != nullptr);
+    : ctx_(sim), tao_(tao), was_(was), config_(config), metrics_(metrics), trace_(trace) {
+  assert(ctx_.sim() != nullptr && tao_ != nullptr && was_ != nullptr && metrics_ != nullptr);
   m_.deltas = &metrics_->GetCounter("livequery.deltas");
   m_.applied = &metrics_->GetCounter("livequery.applied");
   m_.publishes = &metrics_->GetCounter("livequery.publishes");
@@ -197,7 +197,7 @@ void LiveQueryEngine::OnDelta(const TaoDelta& delta) {
       // The delta span covers commit -> delivery into the engine (the
       // replication lag the view maintenance is downstream of).
       trace_->RecordSpan(root, "livequery.delta", "livequery", config_.home_region,
-                         delta.committed_at, sim_->Now());
+                         delta.committed_at, ctx_.Now());
     }
   }
   for (const Topic& topic : topics) {
@@ -207,7 +207,7 @@ void LiveQueryEngine::OnDelta(const TaoDelta& delta) {
     }
   }
   if (trace_ != nullptr) {
-    trace_->EndSpan(root, sim_->Now());
+    trace_->EndSpan(root, ctx_.Now());
   }
 }
 
@@ -216,7 +216,7 @@ void LiveQueryEngine::Apply(View& view, const TaoDelta& delta, const TraceContex
   TraceContext span;
   if (trace_ != nullptr) {
     span = trace_->StartSpan(root, "livequery.apply", "livequery", config_.home_region,
-                             sim_->Now());
+                             ctx_.Now());
   }
   CostScope scope(this);
   std::vector<Op> ops;
@@ -234,7 +234,7 @@ void LiveQueryEngine::Apply(View& view, const TaoDelta& delta, const TraceContex
   scope.CommitTo(m_.maintenance_reads, m_.maintenance_shards);
   if (trace_ != nullptr) {
     trace_->Annotate(span, "ops", Value(static_cast<int64_t>(ops.size())));
-    trace_->EndSpan(span, sim_->Now());
+    trace_->EndSpan(span, ctx_.Now());
   }
   if (ops.empty()) {
     m_.suppressed->Increment();
@@ -567,7 +567,7 @@ void LiveQueryEngine::PublishOps(View& view, const std::vector<Op>& ops, const T
     TraceContext span;
     if (trace_ != nullptr) {
       span = trace_->StartSpan(root, "livequery.publish", "livequery", config_.home_region,
-                               sim_->Now());
+                               ctx_.Now());
     }
     if (publish_hook_) {
       publish_hook_(spec.topic, spec.metadata);
@@ -576,7 +576,7 @@ void LiveQueryEngine::PublishOps(View& view, const std::vector<Op>& ops, const T
     // latency measures commit -> device, like any other update event.
     was_->PublishNow(spec, delta.committed_at, span);
     if (trace_ != nullptr) {
-      trace_->EndSpan(span, sim_->Now());
+      trace_->EndSpan(span, ctx_.Now());
     }
   }
 }

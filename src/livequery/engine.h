@@ -181,7 +181,7 @@ class LiveQueryEngine {
   int64_t TaoReads() const;
   int64_t TaoShards() const;
 
-  Simulator* sim_;
+  SimContext ctx_;
   TaoStore* tao_;
   WebAppServer* was_;
   LiveQueryConfig config_;

@@ -28,6 +28,28 @@ struct ConnectionEnd::Shared {
 };
 
 void ConnectionEnd::Send(MessagePtr message) {
+  Simulator* sim = shared_->sim;
+  if (sim->partitioned()) {
+    if (!open_local_) {
+      return;
+    }
+    SimTime delivery = sim->Now() + shared_->latency.Sample(sim->rng());
+    delivery = std::max(delivery, last_scheduled_delivery_ + 1);
+    last_scheduled_delivery_ = delivery;
+    // Delivery runs in the receiving end's LP; a cross-LP link's latency
+    // floor is >= the kernel lookahead, so this is never clamped. The peer
+    // is captured weakly and resolved at delivery time *in its own LP*:
+    // whether the far end still exists is that LP's state, and reading it
+    // here (refcount included) would let intra-round execution order leak
+    // into the schedule.
+    sim->ScheduleAt(peer_lp_, delivery,
+                    [weak = peer_, message]() {
+                      if (auto peer = weak.lock()) {
+                        peer->DeliverPartitioned(message);
+                      }
+                    });
+    return;
+  }
   if (!shared_->open) {
     return;  // lost: the link is gone even if we have not observed it yet
   }
@@ -35,7 +57,6 @@ void ConnectionEnd::Send(MessagePtr message) {
   if (!peer) {
     return;
   }
-  Simulator* sim = shared_->sim;
   SimTime delivery = sim->Now() + shared_->latency.Sample(sim->rng());
   // Ordered transport: a message may not overtake the previous one.
   delivery = std::max(delivery, last_scheduled_delivery_ + 1);
@@ -45,6 +66,21 @@ void ConnectionEnd::Send(MessagePtr message) {
 }
 
 void ConnectionEnd::Close() {
+  Simulator* sim = shared_->sim;
+  if (sim->partitioned()) {
+    if (!open_local_) {
+      return;
+    }
+    open_local_ = false;
+    SimTime at = std::max(sim->Now() + shared_->latency.Sample(sim->rng()),
+                          last_scheduled_delivery_ + 1);
+    sim->ScheduleAt(peer_lp_, at, [weak = peer_]() {
+      if (auto peer = weak.lock()) {
+        peer->NotifyDisconnectPartitioned(DisconnectReason::kPeerClose);
+      }
+    });
+    return;
+  }
   if (!shared_->open) {
     return;
   }
@@ -53,7 +89,6 @@ void ConnectionEnd::Close() {
   if (!peer) {
     return;
   }
-  Simulator* sim = shared_->sim;
   // Graceful: the peer learns of the close after in-flight data has drained.
   SimTime at = std::max(sim->Now() + shared_->latency.Sample(sim->rng()),
                         last_scheduled_delivery_ + 1);
@@ -64,6 +99,23 @@ void ConnectionEnd::Close() {
 }
 
 void ConnectionEnd::Fail() {
+  Simulator* sim = shared_->sim;
+  if (sim->partitioned()) {
+    if (!open_local_) {
+      return;
+    }
+    open_local_ = false;
+    // Messages already in flight toward the survivor keep arriving until
+    // it observes the failure (packets in the network do land); messages
+    // toward the failed side are dropped by its open check in Deliver.
+    sim->ScheduleAt(peer_lp_, sim->Now() + shared_->failure_detection_delay,
+                    [weak = peer_]() {
+                      if (auto peer = weak.lock()) {
+                        peer->NotifyDisconnectPartitioned(DisconnectReason::kPeerFailure);
+                      }
+                    });
+    return;
+  }
   if (!shared_->open) {
     return;
   }
@@ -74,13 +126,14 @@ void ConnectionEnd::Fail() {
   if (!peer) {
     return;
   }
-  Simulator* sim = shared_->sim;
   sim->Schedule(shared_->failure_detection_delay, [peer, failed_epoch]() {
     peer->NotifyDisconnect(DisconnectReason::kPeerFailure, failed_epoch);
   });
 }
 
-bool ConnectionEnd::open() const { return shared_->open; }
+bool ConnectionEnd::open() const {
+  return shared_->sim->partitioned() ? open_local_ : shared_->open;
+}
 
 uint64_t ConnectionEnd::connection_id() const { return shared_->connection_id; }
 
@@ -90,6 +143,25 @@ void ConnectionEnd::Deliver(MessagePtr message, uint64_t epoch) {
   }
   if (handler_ != nullptr) {
     handler_->OnMessage(*this, std::move(message));
+  }
+}
+
+void ConnectionEnd::DeliverPartitioned(MessagePtr message) {
+  if (!open_local_) {
+    return;  // this side already closed/failed or observed the peer's end
+  }
+  if (handler_ != nullptr) {
+    handler_->OnMessage(*this, std::move(message));
+  }
+}
+
+void ConnectionEnd::NotifyDisconnectPartitioned(DisconnectReason reason) {
+  if (!open_local_) {
+    return;  // both sides went down independently; each observed its own end
+  }
+  open_local_ = false;
+  if (handler_ != nullptr) {
+    handler_->OnDisconnect(*this, reason);
   }
 }
 
@@ -108,12 +180,13 @@ void ConnectionEnd::NotifyDisconnect(DisconnectReason reason, uint64_t epoch) {
 std::pair<std::shared_ptr<ConnectionEnd>, std::shared_ptr<ConnectionEnd>> CreateConnection(
     Simulator* sim, const LatencyModel& latency, SimTime failure_detection_delay) {
   assert(sim != nullptr);
-  static uint64_t next_connection_id = 1;
   auto shared = std::make_shared<ConnectionEnd::Shared>();
   shared->sim = sim;
   shared->latency = latency;
   shared->failure_detection_delay = failure_detection_delay;
-  shared->connection_id = next_connection_id++;
+  // Ids come from the executing LP's id space, so concurrently reconnecting
+  // devices in different LPs draw distinct, deterministic ids.
+  shared->connection_id = sim->NextUniqueId();
 
   // make_shared needs a public constructor; use `new` with the private one.
   std::shared_ptr<ConnectionEnd> a(new ConnectionEnd());

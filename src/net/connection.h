@@ -7,6 +7,17 @@
 // messages are dropped and each surviving side learns of the disconnect
 // only after a propagation delay — which is exactly the window in which
 // Bladerunner can lose updates, so modeling it faithfully matters.
+//
+// LP affinity (partitioned kernel, src/sim/lp.h): each end is bound to the
+// LP its handler executes in (BindLp; default the global LP). Sends become
+// cross-LP channel events when the ends live in different LPs — which is
+// safe precisely because every LP-crossing link has a latency floor at or
+// above the kernel lookahead. In partitioned mode each end tracks its own
+// open/failed state instead of a shared flag (concurrent LPs must not
+// share mutable state): a surviving side keeps receiving messages that
+// were in flight toward it until it observes the disconnect, and each
+// side's sends stop the moment *it* closes/fails or learns the peer did.
+// The sequential kernel keeps the original shared-state semantics exactly.
 
 #ifndef BLADERUNNER_SRC_NET_CONNECTION_H_
 #define BLADERUNNER_SRC_NET_CONNECTION_H_
@@ -51,6 +62,17 @@ class ConnectionEnd : public std::enable_shared_from_this<ConnectionEnd> {
   // Must be set before the first message can be delivered to this side.
   void set_handler(ConnectionHandler* handler) { handler_ = handler; }
 
+  // Declares the LP this end's handler executes in. Must be called before
+  // the first message flows (typically right after CreateConnection) and is
+  // immutable afterwards; deliveries to this end are scheduled into its LP.
+  void BindLp(LpId lp) {
+    lp_ = lp;
+    if (auto p = peer_.lock()) {
+      p->peer_lp_ = lp;
+    }
+  }
+  LpId lp() const { return lp_; }
+
   // Sends a message to the peer; delivered in order after sampled latency.
   // Silently dropped if the connection is no longer open (as on a real
   // socket that has failed but whose failure we have not yet observed).
@@ -82,10 +104,24 @@ class ConnectionEnd : public std::enable_shared_from_this<ConnectionEnd> {
   void Deliver(MessagePtr message, uint64_t epoch);
   void NotifyDisconnect(DisconnectReason reason, uint64_t epoch);
 
+  // Partitioned-kernel paths: per-end state, no shared mutable flags.
+  void DeliverPartitioned(MessagePtr message);
+  void NotifyDisconnectPartitioned(DisconnectReason reason);
+
   ConnectionHandler* handler_ = nullptr;
   std::weak_ptr<ConnectionEnd> peer_;
   std::shared_ptr<Shared> shared_;
   SimTime last_scheduled_delivery_ = 0;  // enforces in-order delivery to peer
+  LpId lp_ = kGlobalLp;
+  // Mirror of the peer end's lp_ (maintained by BindLp). Partitioned sends
+  // schedule deliveries into this LP without touching the peer object: the
+  // peer's liveness is its own LP's state, and observing it from the
+  // sending LP (e.g. via peer_.lock()) would make the outcome depend on
+  // intra-round execution order.
+  LpId peer_lp_ = kGlobalLp;
+  // This end's view of the link (partitioned mode only): true until this
+  // side closes/fails or observes the peer's disconnect.
+  bool open_local_ = true;
 };
 
 // Creates a connected pair of ends. `failure_detection_delay` is how long a

@@ -38,12 +38,17 @@ RpcChannel::RpcChannel(Simulator* sim, RpcServer* server, LatencyModel one_way)
 void RpcChannel::Call(const std::string& method, MessagePtr request,
                       RpcResponseCallback callback, SimTime timeout) {
   // One callback invocation, ever: the timeout and the response race and
-  // the loser observes `done`.
+  // the loser observes `done`. `done` and the callback are only touched in
+  // the caller's LP: the request dispatches into the server's LP, and both
+  // terminal paths schedule the callback back into the caller's LP, so a
+  // channel held by a partitioned component (a device, a POP) never races
+  // the backend LP it calls into.
   auto done = std::make_shared<bool>(false);
   auto cb = std::make_shared<RpcResponseCallback>(std::move(callback));
+  LpId caller_lp = sim_->CurrentLp();
 
   if (timeout > 0) {
-    sim_->Schedule(timeout, [done, cb]() {
+    sim_->Schedule(caller_lp, timeout, [done, cb]() {
       if (*done) {
         return;
       }
@@ -56,10 +61,11 @@ void RpcChannel::Call(const std::string& method, MessagePtr request,
   Simulator* sim = sim_;
   LatencyModel one_way = one_way_;
   SimTime request_latency = one_way.Sample(sim->rng());
-  sim->Schedule(request_latency, [sim, server, one_way, method, request, done, cb]() {
+  sim->Schedule(server->lp(), request_latency, [sim, server, one_way, caller_lp, method,
+                                                request, done, cb]() {
     if (!server->available()) {
       // Unavailability is observed roughly one round trip after sending.
-      sim->Schedule(one_way.Sample(sim->rng()), [done, cb]() {
+      sim->Schedule(caller_lp, one_way.Sample(sim->rng()), [done, cb]() {
         if (*done) {
           return;
         }
@@ -70,8 +76,8 @@ void RpcChannel::Call(const std::string& method, MessagePtr request,
     }
     TraceContext request_trace = request->trace;
     uint64_t incarnation = server->incarnation();
-    server->Dispatch(method, request, [sim, server, one_way, done, cb, incarnation,
-                                       request_trace](MessagePtr response) {
+    server->Dispatch(method, request, [sim, server, one_way, caller_lp, done, cb,
+                                       incarnation, request_trace](MessagePtr response) {
       // A server that went down before responding never gets to respond —
       // and one that went down and *recovered* in the meantime is a new
       // incarnation whose predecessor's in-flight work died with it.
@@ -83,7 +89,7 @@ void RpcChannel::Call(const std::string& method, MessagePtr request,
       if (response != nullptr && !response->trace.valid()) {
         response->trace = request_trace;
       }
-      sim->Schedule(one_way.Sample(sim->rng()), [done, cb, response]() {
+      sim->Schedule(caller_lp, one_way.Sample(sim->rng()), [done, cb, response]() {
         if (*done) {
           return;
         }

@@ -57,6 +57,12 @@ class RpcServer {
   bool available() const { return available_; }
   uint64_t incarnation() const { return incarnation_; }
 
+  // Declares the LP this server's handlers execute in (default: the global
+  // LP, where all backend services live). Channels dispatch requests into
+  // this LP and route responses back to the caller's LP.
+  void BindLp(LpId lp) { lp_ = lp; }
+  LpId lp() const { return lp_; }
+
  private:
   friend class RpcChannel;
   void Dispatch(const std::string& method, MessagePtr request, Respond respond);
@@ -64,6 +70,7 @@ class RpcServer {
   std::map<std::string, Method> methods_;
   bool available_ = true;
   uint64_t incarnation_ = 0;
+  LpId lp_ = kGlobalLp;
 };
 
 // Client-side handle to one server over one link latency model.

@@ -10,9 +10,9 @@ namespace bladerunner {
 
 PylonCluster::PylonCluster(Simulator* sim, const Topology* topology, PylonConfig config,
                            MetricsRegistry* metrics, TraceCollector* trace)
-    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics),
+    : ctx_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics),
       trace_(trace) {
-  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && topology_ != nullptr && metrics_ != nullptr);
   kv_membership_changes_ = &metrics_->GetCounter("pylon.kv_membership_changes");
   kv_anti_entropy_runs_ = &metrics_->GetCounter("pylon.kv_anti_entropy_runs");
   int regions = topology_->num_regions();
@@ -21,10 +21,10 @@ PylonCluster::PylonCluster(Simulator* sim, const Topology* topology, PylonConfig
   uint64_t next_kv_id = 1;
   for (RegionId r = 0; r < regions; ++r) {
     for (int i = 0; i < config_.servers_per_region; ++i) {
-      servers_.push_back(std::make_unique<PylonServer>(sim_, this, next_server_id++, r));
+      servers_.push_back(std::make_unique<PylonServer>(ctx_.sim(), this, next_server_id++, r));
     }
     for (int i = 0; i < config_.kv_nodes_per_region; ++i) {
-      auto node = std::make_unique<KvNode>(sim_, next_kv_id, r, &config_, metrics_, this);
+      auto node = std::make_unique<KvNode>(ctx_.sim(), next_kv_id, r, &config_, metrics_, this);
       kv_ids_by_region_[static_cast<size_t>(r)].push_back(next_kv_id);
       kv_by_id_[next_kv_id] = node.get();
       kv_nodes_.push_back(std::move(node));
@@ -172,7 +172,7 @@ RpcChannel* PylonCluster::ChannelToKv(RegionId from, KvNode* node) {
   auto key = std::make_pair(from, node->node_id());
   auto it = kv_channels_.find(key);
   if (it == kv_channels_.end()) {
-    auto channel = std::make_unique<RpcChannel>(sim_, node->rpc(),
+    auto channel = std::make_unique<RpcChannel>(ctx_.sim(), node->rpc(),
                                                 topology_->LinkModel(from, node->region()));
     it = kv_channels_.emplace(key, std::move(channel)).first;
   }
@@ -188,7 +188,7 @@ RpcChannel* PylonCluster::ChannelToHost(RegionId from, int64_t host_id) {
   auto it = host_channels_.find(key);
   if (it == host_channels_.end()) {
     auto channel =
-        std::make_unique<RpcChannel>(sim_, ref->rpc, topology_->LinkModel(from, ref->region));
+        std::make_unique<RpcChannel>(ctx_.sim(), ref->rpc, topology_->LinkModel(from, ref->region));
     it = host_channels_.emplace(key, std::move(channel)).first;
   }
   return it->second.get();

@@ -94,14 +94,14 @@ class PylonCluster {
 
   // ---- Shared context for servers ----
 
-  Simulator* sim() { return sim_; }
+  Simulator* sim() { return ctx_.sim(); }
   const Topology* topology() const { return topology_; }
   const PylonConfig& config() const { return config_; }
   MetricsRegistry* metrics() { return metrics_; }
   TraceCollector* trace() { return trace_; }
 
  private:
-  Simulator* sim_;
+  SimContext ctx_;
   const Topology* topology_;
   PylonConfig config_;
   MetricsRegistry* metrics_;

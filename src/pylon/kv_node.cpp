@@ -8,7 +8,7 @@ namespace bladerunner {
 
 KvNode::KvNode(Simulator* sim, uint64_t node_id, RegionId region, const PylonConfig* config,
                MetricsRegistry* metrics, PylonCluster* cluster)
-    : sim_(sim), node_id_(node_id), region_(region), config_(config), cluster_(cluster) {
+    : ctx_(sim), node_id_(node_id), region_(region), config_(config), cluster_(cluster) {
   m_.node_failures = &metrics->GetCounter("pylon.kv_node_failures");
   m_.node_state_losses = &metrics->GetCounter("pylon.kv_node_state_losses");
   m_.node_recoveries = &metrics->GetCounter("pylon.kv_node_recoveries");
@@ -115,7 +115,7 @@ void KvNode::HandleOp(MessagePtr request, RpcServer::Respond respond) {
   // the node crashes dies with that incarnation: the epoch check below.
   uint64_t epoch = crash_epoch_;
   LatencyModel service{config_->kv_service_ms, 0.3, config_->kv_service_ms / 4.0};
-  sim_->Schedule(service.Sample(sim_->rng()), [this, op, epoch,
+  ctx_.Schedule(service.Sample(ctx_.rng()), [this, op, epoch,
                                                respond = std::move(respond)]() {
     if (epoch != crash_epoch_) {
       return;  // the node crashed while this op was in service
@@ -201,7 +201,7 @@ void KvNode::HandleSnapshot(MessagePtr request, RpcServer::Respond respond) {
   // time covers the (simulated) table scan.
   uint64_t epoch = crash_epoch_;
   LatencyModel service{config_->kv_service_ms, 0.3, config_->kv_service_ms / 4.0};
-  sim_->Schedule(service.Sample(sim_->rng()), [this, epoch, respond = std::move(respond)]() {
+  ctx_.Schedule(service.Sample(ctx_.rng()), [this, epoch, respond = std::move(respond)]() {
     if (epoch != crash_epoch_) {
       return;
     }

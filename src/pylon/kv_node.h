@@ -116,7 +116,7 @@ class KvNode {
     Counter* snapshots;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   uint64_t node_id_;
   RegionId region_;
   const PylonConfig* config_;

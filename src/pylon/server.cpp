@@ -12,7 +12,7 @@ namespace bladerunner {
 
 PylonServer::PylonServer(Simulator* sim, PylonCluster* cluster, uint64_t server_id,
                          RegionId region)
-    : sim_(sim), cluster_(cluster), server_id_(server_id), region_(region) {
+    : ctx_(sim), cluster_(cluster), server_id_(server_id), region_(region) {
   MetricsRegistry* metrics = cluster_->metrics();
   m_.publishes = &metrics->GetCounter("pylon.publishes");
   m_.fanout_dead_hosts = &metrics->GetCounter("pylon.fanout_dead_hosts");
@@ -82,27 +82,27 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
   if (tracer != nullptr) {
     publish_span = event->trace.decided()
                        ? tracer->StartSpan(event->trace, "pylon.publish", "pylon",
-                                           region_, sim_->Now())
+                                           region_, ctx_.Now())
                        : tracer->StartTrace("pylon.publish", "pylon", region_,
-                                            sim_->Now());
+                                            ctx_.Now());
     tracer->Annotate(publish_span, "topic", Value(event->topic));
   }
 
   const PylonConfig& config = cluster_->config();
   LatencyModel processing{config.publish_processing_ms, 0.3, config.publish_processing_ms / 4.0};
-  SimTime processing_delay = processing.Sample(sim_->rng());
+  SimTime processing_delay = processing.Sample(ctx_.rng());
 
   // Ack the publisher as soon as local processing is done; fanout is async.
-  sim_->Schedule(processing_delay, [this, tracer, publish_span,
+  ctx_.Schedule(processing_delay, [this, tracer, publish_span,
                                     respond = std::move(respond)]() {
-    if (tracer != nullptr) tracer->EndSpan(publish_span, sim_->Now());
+    if (tracer != nullptr) tracer->EndSpan(publish_span, ctx_.Now());
     respond(std::make_shared<PylonAck>());
   });
 
   std::vector<KvNode*> replicas = cluster_->ReplicasFor(event->topic, region_);
   auto state = std::make_shared<FanoutState>();
   state->replicas = replicas.size();
-  SimTime received_at = sim_->Now();
+  SimTime received_at = ctx_.Now();
 
   const double send_us = config.per_subscriber_send_us;
   const double pipeline_ms = config.fanout_pipeline_ms;
@@ -150,10 +150,10 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
       // per-subscriber serialization cost.
       LatencyModel pipeline{pipeline_ms, 0.35, pipeline_ms / 4.0};
       SimTime send_cost =
-          pipeline.Sample(sim_->rng()) +
+          pipeline.Sample(ctx_.rng()) +
           static_cast<SimTime>(static_cast<double>(state->send_index) * send_us);
       ++state->send_index;
-      SimTime pylon_delay = sim_->Now() - received_at + send_cost;
+      SimTime pylon_delay = ctx_.Now() - received_at + send_cost;
       // Re-resolve the channel at send time: the host may unregister (host
       // drain/crash) while this send sits in the pipeline, which destroys
       // the cached channel — a stale pointer here would be use-after-free.
@@ -173,7 +173,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         // higher-priority publish can shed it. The wrapper only does
         // bookkeeping — fire time and send behavior are unchanged.
         uint64_t send_id = next_send_id_++;
-        TimerId timer = sim_->Schedule(send_cost, [this, send_id, do_send]() {
+        TimerId timer = ctx_.Schedule(send_cost, [this, send_id, do_send]() {
           pending_sends_.erase(send_id);
           do_send();
         });
@@ -181,7 +181,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
         pending_by_class_[static_cast<size_t>(incoming)].push_back(send_id);
         m_.fanout_pending_depth->Record(static_cast<double>(pending_sends_.size()));
       } else {
-        sim_->Schedule(send_cost, do_send);
+        ctx_.Schedule(send_cost, do_send);
       }
       m_.fanout_sends->Increment();
       m_.fanout_send_delay_us->Record(static_cast<double>(pylon_delay));
@@ -203,7 +203,7 @@ void PylonServer::HandlePublish(MessagePtr request, RpcServer::Respond respond) 
     auto get = std::make_shared<KvOpRequest>();
     get->op = KvOpRequest::Op::kGet;
     get->topic = event->topic;
-    sim_->Schedule(processing_delay, [this, channel, get, state, forward_new, event,
+    ctx_.Schedule(processing_delay, [this, channel, get, state, forward_new, event,
                                       node]() {
       channel->Call(
           "kv.op", get,
@@ -281,7 +281,7 @@ bool PylonServer::ShedLowerPriority(BrassPriorityClass incoming) {
       if (it == pending_sends_.end()) {
         continue;  // already fired; lazily dropped
       }
-      sim_->Cancel(it->second.timer);
+      ctx_.Cancel(it->second.timer);
       pending_sends_.erase(it);
       m_.fanout_shed->Increment();
       m_.fanout_shed_by_class[static_cast<size_t>(cls)]->Increment();
@@ -303,9 +303,9 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
   if (tracer != nullptr) {
     sub_span = request->trace.decided()
                    ? tracer->StartSpan(request->trace, "pylon.subscribe", "pylon",
-                                       region_, sim_->Now())
+                                       region_, ctx_.Now())
                    : tracer->StartTrace("pylon.subscribe", "pylon", region_,
-                                        sim_->Now());
+                                        ctx_.Now());
     tracer->Annotate(sub_span, "topic", Value(sub->topic));
     if (!sub->subscribe) tracer->Annotate(sub_span, "unsubscribe", Value(true));
   }
@@ -320,7 +320,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
     // is empty) and the subscribe RPC would hang forever.
     m_.quorum_failures->Increment();
     if (tracer != nullptr) {
-      tracer->MarkError(sub_span, "too few reachable replicas", sim_->Now());
+      tracer->MarkError(sub_span, "too few reachable replicas", ctx_.Now());
     }
     auto ack = std::make_shared<PylonAck>();
     ack->ok = false;
@@ -358,7 +358,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
           if (!state->decided && state->acks >= quorum) {
             // CP write reached its quorum: the subscription is durable.
             state->decided = true;
-            if (tracer != nullptr) tracer->EndSpan(sub_span, sim_->Now());
+            if (tracer != nullptr) tracer->EndSpan(sub_span, ctx_.Now());
             (*shared_respond)(std::make_shared<PylonAck>());
           } else if (!state->decided && state->responses == state->total &&
                      state->acks < quorum) {
@@ -367,7 +367,7 @@ void PylonServer::HandleSubscribe(MessagePtr request, RpcServer::Respond respond
             state->decided = true;
             m_.quorum_failures->Increment();
             if (tracer != nullptr) {
-              tracer->MarkError(sub_span, "subscription quorum unreachable", sim_->Now());
+              tracer->MarkError(sub_span, "subscription quorum unreachable", ctx_.Now());
             }
             auto ack = std::make_shared<PylonAck>();
             ack->ok = false;

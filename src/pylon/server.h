@@ -77,7 +77,7 @@ class PylonServer {
     Counter* quorum_failures;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   PylonCluster* cluster_;
   uint64_t server_id_;
   RegionId region_;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/sim/metrics_sink.h"
+
 namespace bladerunner {
 
 Histogram::Histogram(double growth) : growth_(growth), log_growth_(std::log(growth)) {
@@ -34,6 +36,12 @@ void Histogram::Record(double value) { RecordN(value, 1); }
 
 void Histogram::RecordN(double value, uint64_t n) {
   if (n == 0) {
+    return;
+  }
+  if (MetricsSink* sink = ActiveMetricsSink()) {
+    // Partitioned-kernel LP execution: buffer in the per-LP sink; applied
+    // at the round barrier in LP-id order (src/sim/metrics_sink.h).
+    sink->AddHistogram(this, value, n);
     return;
   }
   if (count_ == 0) {

@@ -4,6 +4,46 @@
 
 namespace bladerunner {
 
+namespace {
+thread_local MetricsSink* t_active_sink = nullptr;
+}  // namespace
+
+MetricsSink* SetActiveMetricsSink(MetricsSink* sink) {
+  MetricsSink* previous = t_active_sink;
+  t_active_sink = sink;
+  return previous;
+}
+
+MetricsSink* ActiveMetricsSink() { return t_active_sink; }
+
+void MetricsSink::Flush() {
+  assert(t_active_sink == nullptr && "Flush must run outside LP execution");
+  for (const CounterOp& op : counters_) {
+    op.counter->value_ += op.by;
+  }
+  counters_.clear();
+  for (const GaugeOp& op : gauges_) {
+    if (op.is_set) {
+      op.gauge->value_ = op.value;
+    } else {
+      op.gauge->value_ += op.value;
+    }
+  }
+  gauges_.clear();
+  for (const HistogramOp& op : histograms_) {
+    op.histogram->RecordN(op.value, op.n);
+  }
+  histograms_.clear();
+  for (const SeriesOp& op : series_) {
+    if (op.is_sample) {
+      op.series->Sample(op.at, op.value);
+    } else {
+      op.series->Add(op.at, op.value);
+    }
+  }
+  series_.clear();
+}
+
 TimeSeries::Bucket& TimeSeries::BucketAt(SimTime at) {
   assert(at >= 0);
   size_t i = static_cast<size_t>(at / bucket_width_);
@@ -24,9 +64,19 @@ const TimeSeries::Bucket* TimeSeries::FindBucket(size_t i) const {
   return it == overflow_.end() ? nullptr : &it->second;
 }
 
-void TimeSeries::Add(SimTime at, double value) { BucketAt(at).sum += value; }
+void TimeSeries::Add(SimTime at, double value) {
+  if (MetricsSink* sink = ActiveMetricsSink()) {
+    sink->AddTimeSeries(this, at, value, /*is_sample=*/false);
+    return;
+  }
+  BucketAt(at).sum += value;
+}
 
 void TimeSeries::Sample(SimTime at, double value) {
+  if (MetricsSink* sink = ActiveMetricsSink()) {
+    sink->AddTimeSeries(this, at, value, /*is_sample=*/true);
+    return;
+  }
   Bucket& b = BucketAt(at);
   b.sum += value;
   b.samples += 1;
@@ -61,6 +111,7 @@ double TimeSeries::Mean(size_t i) const {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) {
     slot = std::make_unique<Counter>();
@@ -69,6 +120,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) {
     slot = std::make_unique<Gauge>();
@@ -77,6 +129,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
     slot = std::make_unique<Histogram>();
@@ -85,6 +138,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 TimeSeries& MetricsRegistry::GetTimeSeries(const std::string& name, SimTime bucket_width) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = time_series_[name];
   if (!slot) {
     slot = std::make_unique<TimeSeries>(bucket_width);
@@ -93,21 +147,25 @@ TimeSeries& MetricsRegistry::GetTimeSeries(const std::string& name, SimTime buck
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 const TimeSeries* MetricsRegistry::FindTimeSeries(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = time_series_.find(name);
   return it == time_series_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, _] : counters_) {

@@ -12,31 +12,56 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/sim/histogram.h"
+#include "src/sim/metrics_sink.h"
 #include "src/sim/time.h"
 
 namespace bladerunner {
 
+// When a per-LP metrics sink is active on this thread (partitioned-kernel
+// LP execution, src/sim/metrics_sink.h), mutations are buffered in it and
+// applied at the round barrier; otherwise they apply directly.
 class Counter {
  public:
-  void Increment(int64_t by = 1) { value_ += by; }
+  void Increment(int64_t by = 1) {
+    if (MetricsSink* sink = ActiveMetricsSink()) {
+      sink->AddCounter(this, by);
+      return;
+    }
+    value_ += by;
+  }
   int64_t value() const { return value_; }
   void Reset() { value_ = 0; }
 
  private:
+  friend class MetricsSink;
   int64_t value_ = 0;
 };
 
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double by) { value_ += by; }
+  void Set(double v) {
+    if (MetricsSink* sink = ActiveMetricsSink()) {
+      sink->AddGauge(this, /*is_set=*/true, v);
+      return;
+    }
+    value_ = v;
+  }
+  void Add(double by) {
+    if (MetricsSink* sink = ActiveMetricsSink()) {
+      sink->AddGauge(this, /*is_set=*/false, by);
+      return;
+    }
+    value_ += by;
+  }
   double value() const { return value_; }
 
  private:
+  friend class MetricsSink;
   double value_ = 0.0;
 };
 
@@ -94,7 +119,11 @@ class TimeSeries {
 };
 
 // Owns all named metrics for one simulation. Lookup lazily creates, so
-// components can share a metric by name.
+// components can share a metric by name. Lookup is guarded by a mutex
+// because concurrently executing LPs may lazily create metrics mid-run;
+// pointers handed out stay valid for the registry's lifetime, and the
+// metric objects themselves are only mutated through per-LP sinks while
+// LPs execute.
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name);
@@ -111,6 +140,7 @@ class MetricsRegistry {
   std::vector<std::string> CounterNames() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

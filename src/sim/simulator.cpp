@@ -1,173 +1,342 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+
+#include "src/sim/executor.h"
+#include "src/sim/metrics.h"
 
 namespace bladerunner {
 
 namespace {
 
-// TimerId layout: slot index in the high 32 bits, generation in the low 32.
-// Generations start at 1 and skip 0 on wrap, so no valid id ever equals
-// kInvalidTimerId (slot 0, generation 0).
-TimerId MakeTimerId(uint32_t slot, uint32_t generation) {
-  return (static_cast<TimerId>(slot) << 32) | generation;
+// The LP execution context of this thread. Set for the duration of
+// Simulator::RunLpRound; null outside event execution and in sequential
+// mode (where the global LP is implicit).
+struct ExecContext {
+  Simulator* sim = nullptr;
+  LpId lp = kGlobalLp;
+  void* lp_state = nullptr;  // Simulator::LpState*, typed inside Simulator
+};
+
+thread_local ExecContext t_exec;
+
+// Pure function of (seed, lp): per-LP random streams must not depend on
+// any other LP's draw history.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
-
-uint32_t TimerSlot(TimerId id) { return static_cast<uint32_t>(id >> 32); }
-
-uint32_t TimerGeneration(TimerId id) { return static_cast<uint32_t>(id); }
 
 }  // namespace
 
-uint32_t Simulator::AllocSlot() {
-  if (free_head_ != kNoSlot) {
-    uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    return slot;
-  }
-  assert(slots_.size() < kNoSlot);
-  slots_.push_back(Slot{});
-  return static_cast<uint32_t>(slots_.size() - 1);
+LpId CurrentExecutionLp() { return t_exec.lp; }
+
+// ---- SimContext ----
+
+SimTime SimContext::Now() const { return sim_->Now(); }
+
+TimerId SimContext::Schedule(SimTime delay, std::function<void()> fn) const {
+  return sim_->Schedule(lp_, delay, std::move(fn));
 }
 
-void Simulator::FreeSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.live = false;
-  if (++s.generation == 0) {
-    s.generation = 1;
-  }
-  s.next_free = free_head_;
-  free_head_ = slot;
+TimerId SimContext::ScheduleAt(SimTime at, std::function<void()> fn) const {
+  return sim_->ScheduleAt(lp_, at, std::move(fn));
 }
 
-TimerId Simulator::Schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
-  }
-  return ScheduleAt(now_ + delay, std::move(fn));
+TimerId SimContext::SendTo(LpId target, SimTime delay, std::function<void()> fn) const {
+  return sim_->Schedule(target, delay, std::move(fn));
 }
 
-TimerId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+bool SimContext::Cancel(TimerId id) const { return sim_->Cancel(id); }
+
+Rng& SimContext::rng() const { return sim_->rng(); }
+
+// ---- Simulator ----
+
+Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+Simulator::~Simulator() = default;
+
+void Simulator::ConfigureParallel(SimParallelOptions options) {
+  assert(!partitioned_ && "ConfigureParallel may only be called once");
+  assert(events_executed_ == 0 && heap_.live_events() == 0 &&
+         "ConfigureParallel must precede any scheduling");
+  options_ = options;
+  options_.threads = std::max(1, options_.threads);
+  options_.num_lps = std::max<uint32_t>(1, options_.num_lps);
+  options_.lookahead = std::max<SimTime>(1, options_.lookahead);
+  assert(options_.num_lps <= (1u << 12) && "LP id must fit the TimerId tag");
+  partitioned_ = true;
+  lps_.reserve(options_.num_lps);
+  for (uint32_t i = 0; i < options_.num_lps; ++i) {
+    auto lp = std::make_unique<LpState>(i);
+    if (i != 0) {
+      lp->rng = std::make_unique<Rng>(Mix64(seed_ ^ (0x4c700000ULL + i)));
+    }
+    lp->next_unique_id = static_cast<uint64_t>(i) << 40;
+    lp->sink = std::make_unique<MetricsSink>();
+    lps_.push_back(std::move(lp));
+  }
+  executor_ = std::make_unique<WorkStealingExecutor>(this, options_.threads,
+                                                    options_.reverse_lp_order);
+}
+
+SimTime Simulator::Now() const {
+  if (t_exec.sim == this && t_exec.lp_state != nullptr) {
+    return static_cast<const LpState*>(t_exec.lp_state)->now;
+  }
+  return now_;
+}
+
+LpId Simulator::CurrentLp() const {
+  return t_exec.sim == this ? t_exec.lp : kGlobalLp;
+}
+
+Rng& Simulator::rng() {
+  if (t_exec.sim == this && t_exec.lp_state != nullptr) {
+    LpState* lp = static_cast<LpState*>(t_exec.lp_state);
+    if (lp->rng != nullptr) {
+      return *lp->rng;
+    }
+  }
+  return rng_;
+}
+
+Rng& Simulator::rng(LpId lp) {
+  if (!partitioned_ || lp.value == 0) {
+    return rng_;
+  }
+  assert(lp.value < lps_.size());
+  return *lps_[lp.value]->rng;
+}
+
+uint64_t Simulator::NextUniqueId() {
+  if (t_exec.sim == this && t_exec.lp_state != nullptr) {
+    return ++static_cast<LpState*>(t_exec.lp_state)->next_unique_id;
+  }
+  if (partitioned_) {
+    // Setup code shares the global LP's id space so ids never collide with
+    // ones handed out during global-LP execution.
+    return ++lps_[0]->next_unique_id;
+  }
+  return ++global_unique_id_;
+}
+
+TimerId Simulator::PushSequential(SimTime at, std::function<void()> fn) {
   if (at < now_) {
     at = now_;
   }
-  uint32_t slot = AllocSlot();
-  Slot& s = slots_[slot];
-  s.live = true;
-  heap_.push_back(Event{at, next_seq_++, slot, std::move(fn)});
-  SiftUp(heap_.size() - 1);
-  ++live_events_;
-  return MakeTimerId(slot, s.generation);
+  return heap_.Push(at, std::move(fn));
+}
+
+TimerId Simulator::Schedule(LpId lp, SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(lp, Now() + delay, std::move(fn));
+}
+
+TimerId Simulator::ScheduleAt(LpId lp, SimTime at, std::function<void()> fn) {
+  if (!partitioned_) {
+    // Sequential kernel: one heap, LP affinity is irrelevant.
+    return PushSequential(at, std::move(fn));
+  }
+  assert(lp.value < lps_.size() && "LP out of range; grow SimParallelOptions::num_lps");
+  LpState* current =
+      t_exec.sim == this ? static_cast<LpState*>(t_exec.lp_state) : nullptr;
+  if (current == nullptr) {
+    // Outside event execution (setup code, between Run calls): push
+    // directly; only this thread touches the kernel.
+    LpState& target = *lps_[lp.value];
+    return target.heap.Push(std::max(at, now_), std::move(fn));
+  }
+  if (lps_[lp.value].get() == current) {
+    // Self-scheduling: may land inside the current round.
+    return current->heap.Push(std::max(at, current->now), std::move(fn));
+  }
+  // Cross-LP channel send from inside a round: buffered in the sender's
+  // outbox and merged at the barrier. The lookahead floor keeps it out of
+  // every LP's current round, which is what makes rounds conflict-free.
+  SimTime floor = current->now + options_.lookahead;
+  if (at < floor) {
+    at = floor;
+    ++current->lookahead_clamps;
+  }
+  current->outbox.push_back(CrossLpEvent{lp, at, std::move(fn)});
+  return kInvalidTimerId;
 }
 
 bool Simulator::Cancel(TimerId id) {
-  uint32_t slot = TimerSlot(id);
-  if (slot >= slots_.size()) {
+  if (!partitioned_) {
+    return heap_.Cancel(id);
+  }
+  uint32_t lp = sim_internal::TimerLpTag(id);
+  if (lp >= lps_.size()) {
     return false;
   }
-  Slot& s = slots_[slot];
-  if (!s.live || s.generation != TimerGeneration(id)) {
+  // An event may be cancelled only from its own LP's execution (or from
+  // outside event execution) — cancelling another LP's timer mid-round
+  // would race with its executor.
+  assert((t_exec.sim != this || t_exec.lp_state == nullptr ||
+          t_exec.lp_state == lps_[lp].get()) &&
+         "cross-LP Cancel is not allowed during execution");
+  return lps_[lp]->heap.Cancel(id);
+}
+
+size_t Simulator::PendingEvents() const {
+  if (!partitioned_) {
+    return heap_.live_events();
+  }
+  size_t n = 0;
+  for (const auto& lp : lps_) {
+    n += lp->heap.live_events();
+  }
+  return n;
+}
+
+// ---- sequential kernel ----
+
+bool Simulator::SequentialStep() {
+  heap_.PurgeCancelledTop();
+  if (heap_.Top() == nullptr) {
     return false;
   }
-  // O(1): flip the flag; the heap node becomes a tombstone that is dropped
-  // (and its slot recycled) when it surfaces at the top.
-  s.live = false;
-  --live_events_;
-  return true;
-}
-
-void Simulator::SiftUp(size_t i) {
-  Event ev = std::move(heap_[i]);
-  while (i > 0) {
-    size_t parent = (i - 1) / kHeapArity;
-    if (!Before(ev, heap_[parent])) {
-      break;
-    }
-    heap_[i] = std::move(heap_[parent]);
-    i = parent;
-  }
-  heap_[i] = std::move(ev);
-}
-
-Simulator::Event Simulator::PopTop() {
-  Event top = std::move(heap_.front());
-  Event last = std::move(heap_.back());
-  heap_.pop_back();
-  size_t n = heap_.size();
-  if (n > 0) {
-    // Sift `last` down from the root; shifts are moves, never copies.
-    size_t i = 0;
-    for (;;) {
-      size_t first_child = kHeapArity * i + 1;
-      if (first_child >= n) {
-        break;
-      }
-      size_t best = first_child;
-      size_t end = first_child + kHeapArity;
-      if (end > n) {
-        end = n;
-      }
-      for (size_t c = first_child + 1; c < end; ++c) {
-        if (Before(heap_[c], heap_[best])) {
-          best = c;
-        }
-      }
-      if (!Before(heap_[best], last)) {
-        break;
-      }
-      heap_[i] = std::move(heap_[best]);
-      i = best;
-    }
-    heap_[i] = std::move(last);
-  }
-  return top;
-}
-
-void Simulator::PurgeCancelledTop() {
-  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
-    Event dead = PopTop();
-    FreeSlot(dead.slot);
-  }
-}
-
-bool Simulator::Step() {
-  PurgeCancelledTop();
-  if (heap_.empty()) {
-    return false;
-  }
-  Event ev = PopTop();
-  FreeSlot(ev.slot);
-  --live_events_;
+  sim_internal::EventHeap::Event ev = heap_.PopEvent();
+  heap_.NoteExecuted();
   now_ = ev.at;
   ++events_executed_;
   ev.fn();
   return true;
 }
 
-uint64_t Simulator::Run() {
+uint64_t Simulator::SequentialRunUntil(SimTime deadline, bool run_all) {
   uint64_t n = 0;
-  while (Step()) {
+  for (;;) {
+    heap_.PurgeCancelledTop();
+    const sim_internal::EventHeap::Event* top = heap_.Top();
+    if (top == nullptr || (!run_all && top->at > deadline)) {
+      break;
+    }
+    if (SequentialStep()) {
+      ++n;
+    }
+  }
+  if (!run_all && now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+// ---- partitioned round kernel ----
+
+void Simulator::RunLpRound(uint32_t lp_index, SimTime horizon) {
+  LpState& lp = *lps_[lp_index];
+  ExecContext saved = t_exec;
+  t_exec = ExecContext{this, LpId{lp_index}, &lp};
+  MetricsSink* saved_sink = SetActiveMetricsSink(lp.sink.get());
+  for (;;) {
+    lp.heap.PurgeCancelledTop();
+    const sim_internal::EventHeap::Event* top = lp.heap.Top();
+    if (top == nullptr || top->at >= horizon) {
+      break;
+    }
+    sim_internal::EventHeap::Event ev = lp.heap.PopEvent();
+    lp.heap.NoteExecuted();
+    lp.now = ev.at;
+    ++lp.executed;
+    ev.fn();
+  }
+  SetActiveMetricsSink(saved_sink);
+  t_exec = saved;
+}
+
+uint64_t Simulator::MergeRound() {
+  uint64_t executed = 0;
+  for (auto& lp : lps_) {
+    executed += lp->executed;
+    lp->executed = 0;
+    lookahead_clamps_ += lp->lookahead_clamps;
+    lp->lookahead_clamps = 0;
+    for (CrossLpEvent& ev : lp->outbox) {
+      ++cross_lp_sends_;
+      lps_[ev.target.value]->heap.Push(ev.at, std::move(ev.fn));
+    }
+    lp->outbox.clear();
+    lp->sink->Flush();
+  }
+  return executed;
+}
+
+uint64_t Simulator::PartitionedRunUntil(SimTime deadline, bool run_all) {
+  assert((t_exec.sim != this || t_exec.lp_state == nullptr) &&
+         "nested Run from inside an event is not supported in partitioned mode");
+  uint64_t n = 0;
+  for (;;) {
+    // Round start: T = earliest event anywhere.
+    SimTime t = kSimTimeNever;
+    ready_.clear();
+    for (uint32_t i = 0; i < lps_.size(); ++i) {
+      lps_[i]->heap.PurgeCancelledTop();
+      const sim_internal::EventHeap::Event* top = lps_[i]->heap.Top();
+      if (top != nullptr && top->at < t) {
+        t = top->at;
+      }
+    }
+    if (t == kSimTimeNever || (!run_all && t > deadline)) {
+      break;
+    }
+    SimTime horizon = t + options_.lookahead;
+    if (!run_all && horizon > deadline) {
+      horizon = deadline + 1;  // events at the deadline itself still run
+    }
+    for (uint32_t i = 0; i < lps_.size(); ++i) {
+      const sim_internal::EventHeap::Event* top = lps_[i]->heap.Top();
+      if (top != nullptr && top->at < horizon) {
+        ready_.push_back(i);
+      }
+    }
+    executor_->ExecuteRound(ready_, horizon);
+    uint64_t executed = MergeRound();
+    n += executed;
+    events_executed_ += executed;
+    ++rounds_executed_;
+    // The global clock trails the completed horizon: everything strictly
+    // before it has executed.
+    now_ = std::max(now_, horizon - 1);
+  }
+  if (!run_all) {
+    now_ = std::max(now_, deadline);
+  } else {
+    // Run(): leave Now() at the time of the last executed event.
+    SimTime last = now_;
+    for (const auto& lp : lps_) {
+      last = std::max(last, lp->now);
+    }
+    now_ = last;
+  }
+  return n;
+}
+
+uint64_t Simulator::Run() {
+  if (partitioned_) {
+    return PartitionedRunUntil(0, /*run_all=*/true);
+  }
+  uint64_t n = 0;
+  while (SequentialStep()) {
     ++n;
   }
   return n;
 }
 
 uint64_t Simulator::RunUntil(SimTime deadline) {
-  uint64_t n = 0;
-  for (;;) {
-    PurgeCancelledTop();
-    if (heap_.empty() || heap_.front().at > deadline) {
-      break;
-    }
-    if (Step()) {
-      ++n;
-    }
+  if (partitioned_) {
+    return PartitionedRunUntil(deadline, /*run_all=*/false);
   }
-  if (now_ < deadline) {
-    now_ = deadline;
-  }
-  return n;
+  return SequentialRunUntil(deadline, /*run_all=*/false);
 }
 
 }  // namespace bladerunner

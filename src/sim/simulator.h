@@ -2,55 +2,113 @@
 //
 // Every component in this repository (TAO shards, Pylon servers, BRASS
 // hosts, proxies, devices, links) runs on top of one Simulator instance.
-// The kernel is single-threaded and deterministic: events scheduled for the
-// same instant execute in scheduling order, and all randomness flows through
-// the simulator-owned Rng, so a fixed seed reproduces a run exactly.
+// The kernel is deterministic: events scheduled for the same instant
+// execute in scheduling order, and all randomness flows through
+// simulator-owned Rngs, so a fixed seed reproduces a run exactly.
 //
-// Hot-path design (docs/PERF.md): events live in an explicit 4-ary min-heap
-// ordered by (time, seq) — fewer levels and better cache locality than a
-// binary heap — and every sift moves elements instead of copying them, so a
-// pop never deep-copies the event's std::function closure. Timer ids encode
-// a slot index plus a generation into a side table, making Cancel() an O(1)
-// flag flip (the heap node is dropped lazily when it surfaces) and making a
-// stale id from a fired or cancelled timer detectably dead.
+// Two execution modes share the same event store (src/sim/event_heap.h —
+// the PR 5 4-ary move-based min-heap with generation-tagged slots):
+//
+//  * Sequential (default): one heap, one thread, strict (at, seq) total
+//    order — bit-identical to the pre-parallel kernel.
+//  * Partitioned (ConfigureParallel): the world is divided into logical
+//    processes (src/sim/lp.h). Execution proceeds in conservative-lookahead
+//    rounds [T, T + lookahead): every LP with events below the horizon runs
+//    them in local (at, seq) order — possibly concurrently on the
+//    work-stealing executor (src/sim/executor.h) — and cross-LP sends are
+//    buffered in per-LP outboxes, merged at the round barrier in LP-id
+//    order, and never land earlier than the lookahead. The schedule is a
+//    pure function of the seed and the LP layout: any thread count
+//    (including 1) produces the same run. With only the global LP
+//    populated, partitioned runs are byte-identical to sequential ones.
 
 #ifndef BLADERUNNER_SRC_SIM_SIMULATOR_H_
 #define BLADERUNNER_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "src/sim/event_heap.h"
+#include "src/sim/lp.h"
+#include "src/sim/metrics_sink.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
 namespace bladerunner {
 
-// Opaque handle for a scheduled event; used to cancel timers.
-using TimerId = uint64_t;
+class WorkStealingExecutor;
 
-constexpr TimerId kInvalidTimerId = 0;
+// Parallel-kernel configuration (see docs/PERF.md "LP-partitioned
+// execution"). `lookahead` must be no larger than the latency floor of
+// every link that crosses an LP boundary; BladerunnerCluster derives it
+// from the last-mile / POP-uplink models.
+struct SimParallelOptions {
+  int threads = 1;          // worker threads; 1 still runs the round kernel
+  uint32_t num_lps = 1;     // LP ids are [0, num_lps); 0 is the global LP
+  SimTime lookahead = Millis(5);
+  // Determinism audit knob: process each round's ready LPs in reverse id
+  // order on the inline (threads == 1) path. A correct simulation is
+  // invariant to intra-round LP execution order — any component that reads
+  // another LP's state mid-round (instead of going through a channel)
+  // shows up as a schedule difference between a normal and a reversed run
+  // long before it shows up as a race on a multi-core box.
+  bool reverse_lp_order = false;
+};
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  // Current simulated time.
-  SimTime Now() const { return now_; }
+  // Switches to the partitioned round-based kernel. Must be called before
+  // any event is scheduled. Options are clamped to sane minimums (threads
+  // and num_lps at least 1, lookahead at least 1 microsecond).
+  void ConfigureParallel(SimParallelOptions options);
+  bool partitioned() const { return partitioned_; }
+  int threads() const { return options_.threads; }
+  uint32_t num_lps() const { return partitioned_ ? options_.num_lps : 1; }
+  SimTime lookahead() const { return options_.lookahead; }
+
+  // Current simulated time: the executing LP's local clock during event
+  // execution, the global round clock otherwise.
+  SimTime Now() const;
+
+  // ---- legacy scheduling surface ----
+  //
+  // The pre-LP form, kept as a thin adapter: events land in the LP whose
+  // event is currently executing (the global LP outside execution), which
+  // keeps unmigrated components correct — their timers follow them into
+  // whatever LP their caller declared. New code should schedule through
+  // SimContext so affinity is explicit.
 
   // Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
   // Returns a handle that can be passed to Cancel().
-  TimerId Schedule(SimTime delay, std::function<void()> fn);
+  TimerId Schedule(SimTime delay, std::function<void()> fn) {
+    return Schedule(CurrentLp(), delay, std::move(fn));
+  }
 
   // Schedules `fn` at the absolute simulated time `at` (clamped to Now()).
-  TimerId ScheduleAt(SimTime at, std::function<void()> fn);
+  TimerId ScheduleAt(SimTime at, std::function<void()> fn) {
+    return ScheduleAt(CurrentLp(), at, std::move(fn));
+  }
+
+  // ---- LP-affine scheduling surface ----
+
+  // Schedules `fn` in `lp`. From inside another LP's event this is a
+  // cross-LP channel send: it is delayed to at least the lookahead and the
+  // returned id is kInvalidTimerId (cross-LP sends are not cancellable).
+  TimerId Schedule(LpId lp, SimTime delay, std::function<void()> fn);
+  TimerId ScheduleAt(LpId lp, SimTime at, std::function<void()> fn);
 
   // Cancels a pending event in O(1). Returns true if the event had not yet
   // fired; a second Cancel(), or Cancel() of an already-fired timer, is a
-  // detectable no-op returning false.
+  // detectable no-op returning false. In partitioned mode an event may only
+  // be cancelled from its own LP (or from outside event execution).
   bool Cancel(TimerId id);
 
   // Runs until the event queue drains. Returns the number of events run.
@@ -62,67 +120,93 @@ class Simulator {
   uint64_t RunUntil(SimTime deadline);
 
   // Convenience: RunUntil(Now() + duration).
-  uint64_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+  uint64_t RunFor(SimTime duration) { return RunUntil(Now() + duration); }
 
   // Number of live (scheduled, not yet fired or cancelled) events.
-  size_t PendingEvents() const { return live_events_; }
+  size_t PendingEvents() const;
 
-  Rng& rng() { return rng_; }
+  // The executing LP's deterministic random stream: the seed rng for the
+  // global LP, a per-LP fork (pure function of seed and LP id) otherwise.
+  Rng& rng();
+
+  // Dedicated per-LP rng for a specific LP (global LP => the seed rng).
+  // Only valid from that LP's execution or outside event execution.
+  Rng& rng(LpId lp);
+
+  // The LP whose event is currently executing on this thread (kGlobalLp
+  // outside event execution).
+  LpId CurrentLp() const;
+
+  // Allocates a simulation-unique id from the executing LP's id space —
+  // deterministic under any thread count. Used for connection ids.
+  uint64_t NextUniqueId();
 
   // Total events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
 
+  // Round-kernel observability (0 in sequential mode).
+  uint64_t rounds_executed() const { return rounds_executed_; }
+  // Cross-LP sends whose requested delivery time was below the lookahead
+  // floor and had to be pushed out to it (a modeling bug if nonzero with a
+  // correctly derived lookahead).
+  uint64_t lookahead_clamps() const { return lookahead_clamps_; }
+  // Cross-LP sends merged at round barriers.
+  uint64_t cross_lp_sends() const { return cross_lp_sends_; }
+
  private:
-  struct Event {
+  friend class WorkStealingExecutor;
+
+  struct CrossLpEvent {
+    LpId target;
     SimTime at;
-    uint64_t seq;   // tie-break so same-time events run in scheduling order
-    uint32_t slot;  // index into slots_
     std::function<void()> fn;
   };
 
-  // Side table entry for one scheduled event. A slot stays allocated until
-  // its heap node surfaces (even after Cancel), so a live TimerId can never
-  // alias a recycled slot; the generation makes stale ids detectably dead.
-  struct Slot {
-    uint32_t generation = 1;
-    uint32_t next_free = 0;  // free-list link, valid when not live
-    bool live = false;       // scheduled and not cancelled
+  // One logical process: its event heap, local clock, random stream,
+  // outbox of cross-LP sends buffered during a round, and per-LP metric
+  // sink (flushed in LP-id order at every barrier). Padded to a cache line
+  // so concurrently executing LPs never share one.
+  struct alignas(64) LpState {
+    explicit LpState(uint32_t id_tag) : heap(id_tag) {}
+
+    sim_internal::EventHeap heap;
+    SimTime now = 0;
+    std::unique_ptr<Rng> rng;  // null for the global LP (uses rng_)
+    uint64_t next_unique_id = 0;
+    uint64_t executed = 0;  // events run in the current round
+    uint64_t lookahead_clamps = 0;  // clamps observed in the current round
+    std::vector<CrossLpEvent> outbox;
+    std::unique_ptr<MetricsSink> sink;
   };
 
-  static constexpr uint32_t kNoSlot = 0xffffffffu;
-  static constexpr size_t kHeapArity = 4;
+  // Sequential fast path (exactly the PR 5 kernel).
+  bool SequentialStep();
+  uint64_t SequentialRunUntil(SimTime deadline, bool run_all);
 
-  // Strict (time, seq) priority order; `seq` is unique, so this is total.
-  static bool Before(const Event& a, const Event& b) {
-    if (a.at != b.at) {
-      return a.at < b.at;
-    }
-    return a.seq < b.seq;
-  }
+  // Partitioned round kernel.
+  uint64_t PartitionedRunUntil(SimTime deadline, bool run_all);
+  // Executes one LP's events below `horizon`; called by executor workers.
+  void RunLpRound(uint32_t lp, SimTime horizon);
+  // Applies outboxes and metric sinks in LP-id order; returns events run.
+  uint64_t MergeRound();
 
-  uint32_t AllocSlot();
-  void FreeSlot(uint32_t slot);
+  TimerId PushSequential(SimTime at, std::function<void()> fn);
 
-  // Moves heap_[i] up to its position; all shifts are moves, no copies.
-  void SiftUp(size_t i);
-  // Removes and returns the minimum element by move.
-  Event PopTop();
-
-  // Pops and runs the next non-cancelled event. Returns false if drained.
-  bool Step();
-
-  // Drops cancelled events sitting at the head of the heap so that
-  // heap_.front() is always a live event (or the heap is empty).
-  void PurgeCancelledTop();
-
+  uint64_t seed_;
   SimTime now_ = 0;
-  uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
-  size_t live_events_ = 0;
-  std::vector<Event> heap_;
-  std::vector<Slot> slots_;
-  uint32_t free_head_ = kNoSlot;
+  uint64_t rounds_executed_ = 0;
+  uint64_t lookahead_clamps_ = 0;
+  uint64_t cross_lp_sends_ = 0;
+  uint64_t global_unique_id_ = 0;  // NextUniqueId() outside LP execution
+  sim_internal::EventHeap heap_;  // sequential mode
   Rng rng_;
+
+  bool partitioned_ = false;
+  SimParallelOptions options_;
+  std::vector<std::unique_ptr<LpState>> lps_;
+  std::unique_ptr<WorkStealingExecutor> executor_;
+  std::vector<uint32_t> ready_;  // LPs with events below the round horizon
 };
 
 }  // namespace bladerunner

@@ -34,8 +34,8 @@ const char* ToString(AssocType type) {
 
 TaoStore::TaoStore(Simulator* sim, const Topology* topology, TaoConfig config,
                    MetricsRegistry* metrics)
-    : sim_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
-  assert(sim_ != nullptr && topology_ != nullptr && metrics_ != nullptr);
+    : ctx_(sim), topology_(topology), config_(std::move(config)), metrics_(metrics) {
+  assert(ctx_.sim() != nullptr && topology_ != nullptr && metrics_ != nullptr);
   m_.object_writes = &metrics_->GetCounter("tao.object_writes");
   m_.assoc_writes = &metrics_->GetCounter("tao.assoc_writes");
   m_.assoc_deletes = &metrics_->GetCounter("tao.assoc_deletes");
@@ -60,12 +60,12 @@ TaoStore::Visibility TaoStore::MakeVisibility(RegionId leader) {
   Visibility vis;
   int regions = topology_->num_regions();
   vis.visible_at.resize(static_cast<size_t>(regions));
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   for (RegionId r = 0; r < regions; ++r) {
     if (r == leader) {
       vis.visible_at[static_cast<size_t>(r)] = now;
     } else {
-      SimTime delay = topology_->LinkModel(leader, r).Sample(sim_->rng());
+      SimTime delay = topology_->LinkModel(leader, r).Sample(ctx_.rng());
       vis.visible_at[static_cast<size_t>(r)] =
           now + static_cast<SimTime>(static_cast<double>(delay) * config_.replication_delay_factor);
     }
@@ -76,12 +76,12 @@ TaoStore::Visibility TaoStore::MakeVisibility(RegionId leader) {
 void TaoStore::StampDelete(Visibility& vis, RegionId leader) {
   int regions = topology_->num_regions();
   vis.deleted_at.assign(static_cast<size_t>(regions), 0);
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   for (RegionId r = 0; r < regions; ++r) {
     if (r == leader) {
       vis.deleted_at[static_cast<size_t>(r)] = now;
     } else {
-      SimTime delay = topology_->LinkModel(leader, r).Sample(sim_->rng());
+      SimTime delay = topology_->LinkModel(leader, r).Sample(ctx_.rng());
       vis.deleted_at[static_cast<size_t>(r)] =
           now + static_cast<SimTime>(static_cast<double>(delay) * config_.replication_delay_factor);
     }
@@ -99,11 +99,11 @@ TaoMutationStamp TaoStore::StampMutation(ObjectId id) {
 }
 
 void TaoStore::EmitDelta(TaoDelta delta, const Visibility& vis, bool is_delete) {
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   const std::vector<SimTime>& at = is_delete ? vis.deleted_at : vis.visible_at;
   for (const auto& [region, observer] : observers_) {
     SimTime deliver_at = at[static_cast<size_t>(region)];
-    sim_->Schedule(deliver_at - now, [cb = observer, d = delta]() { cb(d); });
+    ctx_.Schedule(deliver_at - now, [cb = observer, d = delta]() { cb(d); });
   }
 }
 
@@ -136,7 +136,7 @@ ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
     delta.data = stored.object.data;
     delta.shard = stamp.shard;
     delta.shard_seq = stamp.seq;
-    delta.committed_at = sim_->Now();
+    delta.committed_at = ctx_.Now();
     EmitDelta(std::move(delta), stored.vis, /*is_delete=*/false);
   }
   return id;
@@ -144,14 +144,14 @@ ObjectId TaoStore::PutObject(Object object, uint64_t* version_out) {
 
 void TaoStore::BumpWriteRate(AssocList& list) {
   list.write_rate = DecayedWriteRate(list) + 1.0;
-  list.rate_updated_at = sim_->Now();
+  list.rate_updated_at = ctx_.Now();
 }
 
 double TaoStore::DecayedWriteRate(const AssocList& list) const {
   if (list.write_rate == 0.0) {
     return 0.0;
   }
-  double elapsed = ToSeconds(sim_->Now() - list.rate_updated_at);
+  double elapsed = ToSeconds(ctx_.Now() - list.rate_updated_at);
   double half_life = ToSeconds(config_.write_rate_half_life);
   if (half_life <= 0.0) {
     return list.write_rate;
@@ -177,7 +177,7 @@ int TaoStore::IndexPartitions(ObjectId id1, AssocType atype) const {
 
 void TaoStore::AddAssoc(Assoc assoc) {
   if (assoc.time == 0) {
-    assoc.time = sim_->Now();
+    assoc.time = ctx_.Now();
   }
   RegionId leader = LeaderRegionOf(assoc.id1);
   AssocList& list = assocs_[AssocListKey{assoc.id1, assoc.atype}];
@@ -196,7 +196,7 @@ void TaoStore::AddAssoc(Assoc assoc) {
     delta.data = stored.assoc.data;
     delta.shard = stamp.shard;
     delta.shard_seq = stamp.seq;
-    delta.committed_at = sim_->Now();
+    delta.committed_at = ctx_.Now();
     EmitDelta(std::move(delta), stored.vis, /*is_delete=*/false);
   }
 }
@@ -221,7 +221,7 @@ bool TaoStore::DeleteAssoc(ObjectId id1, AssocType atype, ObjectId id2) {
         delta.time = entry->assoc.time;
         delta.shard = stamp.shard;
         delta.shard_seq = stamp.seq;
-        delta.committed_at = sim_->Now();
+        delta.committed_at = ctx_.Now();
         EmitDelta(std::move(delta), entry->vis, /*is_delete=*/true);
       }
       return true;
@@ -235,11 +235,11 @@ SimTime TaoStore::SampleWriteLatency(RegionId src, ObjectId id) {
   SimTime routing = 0;
   if (src != leader) {
     // Round trip to the remote leader.
-    routing = topology_->LinkModel(src, leader).Sample(sim_->rng()) +
-              topology_->LinkModel(leader, src).Sample(sim_->rng());
+    routing = topology_->LinkModel(src, leader).Sample(ctx_.rng()) +
+              topology_->LinkModel(leader, src).Sample(ctx_.rng());
   }
   LatencyModel write{config_.write_ms, 0.3, config_.write_ms / 3.0};
-  return routing + write.Sample(sim_->rng());
+  return routing + write.Sample(ctx_.rng());
 }
 
 void TaoStore::ChargeShards(QueryCost* cost, uint64_t shards) const {
@@ -259,7 +259,7 @@ std::optional<Object> TaoStore::GetObject(RegionId region, ObjectId id, QueryCos
   if (it == objects_.end()) {
     return std::nullopt;
   }
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   for (auto entry = it->second.rbegin(); entry != it->second.rend(); ++entry) {
     if (entry->vis.VisibleIn(region, now)) {
       return entry->object;
@@ -280,7 +280,7 @@ std::vector<Assoc> TaoStore::AssocRange(RegionId region, ObjectId id1, AssocType
   std::vector<Assoc> out;
   if (it != assocs_.end()) {
     partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
-    SimTime now = sim_->Now();
+    SimTime now = ctx_.Now();
     const auto& entries = it->second.entries;
     for (auto entry = entries.rbegin(); entry != entries.rend(); ++entry) {
       if (out.size() >= limit) {
@@ -314,7 +314,7 @@ std::vector<Assoc> TaoStore::AssocRangeAscending(RegionId region, ObjectId id1, 
   std::vector<Assoc> out;
   if (it != assocs_.end()) {
     partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
-    SimTime now = sim_->Now();
+    SimTime now = ctx_.Now();
     for (const StoredAssoc& entry : it->second.entries) {  // append order == time order
       if (out.size() >= limit) {
         break;
@@ -346,7 +346,7 @@ std::optional<Assoc> TaoStore::GetAssoc(RegionId region, ObjectId id1, AssocType
   if (it == assocs_.end()) {
     return std::nullopt;
   }
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
     if (entry->assoc.id2 == id2 && entry->vis.VisibleIn(region, now)) {
       return entry->assoc;
@@ -366,7 +366,7 @@ bool TaoStore::AssocAddVisible(RegionId region, ObjectId id1, AssocType atype, O
   if (it == assocs_.end()) {
     return false;
   }
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
     if (entry->assoc.time < time) {
       break;  // entries are time-ordered; everything further back is older
@@ -389,7 +389,7 @@ size_t TaoStore::AssocCount(RegionId region, ObjectId id1, AssocType atype, Quer
   if (it == assocs_.end()) {
     return 0;
   }
-  SimTime now = sim_->Now();
+  SimTime now = ctx_.Now();
   size_t n = 0;
   for (const StoredAssoc& entry : it->second.entries) {
     if (entry.vis.VisibleIn(region, now)) {
@@ -430,7 +430,7 @@ std::vector<Assoc> TaoStore::AssocIntersect(RegionId region, ObjectId id1, Assoc
   std::vector<Assoc> out;
   if (it != assocs_.end()) {
     partitions = static_cast<uint64_t>(PartitionsForRate(DecayedWriteRate(it->second)));
-    SimTime now = sim_->Now();
+    SimTime now = ctx_.Now();
     for (auto entry = it->second.entries.rbegin(); entry != it->second.entries.rend(); ++entry) {
       if (out.size() >= limit) {
         break;
@@ -455,7 +455,7 @@ std::vector<Assoc> TaoStore::AssocIntersect(RegionId region, ObjectId id1, Assoc
 }
 
 SimTime TaoStore::SampleQueryLatency(const QueryCost& cost) {
-  Rng& rng = sim_->rng();
+  Rng& rng = ctx_.rng();
   double total_ms = 0.0;
   uint64_t reads = cost.TotalReads();
   for (uint64_t i = 0; i < reads; ++i) {

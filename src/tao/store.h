@@ -235,7 +235,7 @@ class TaoStore {
     Counter* storage_iops;
   };
 
-  Simulator* sim_;
+  SimContext ctx_;
   const Topology* topology_;
   TaoConfig config_;
   MetricsRegistry* metrics_;

@@ -115,7 +115,8 @@ bool Matches(const Span& span, const SpanQuery& query) {
 
 Histogram SpanDurationHistogram(const TraceCollector& collector, const SpanQuery& query) {
   Histogram hist;
-  for (const TraceRecord& trace : collector.Traces()) {
+  for (const TraceRecord* trace_ptr : collector.AllTraces()) {
+    const TraceRecord& trace = *trace_ptr;
     for (const Span& span : trace.spans) {
       if (span.open() || !Matches(span, query)) continue;
       hist.Record(static_cast<double>(span.duration()));
@@ -126,7 +127,8 @@ Histogram SpanDurationHistogram(const TraceCollector& collector, const SpanQuery
 
 Histogram SpanEndSinceRootHistogram(const TraceCollector& collector, const SpanQuery& query) {
   Histogram hist;
-  for (const TraceRecord& trace : collector.Traces()) {
+  for (const TraceRecord* trace_ptr : collector.AllTraces()) {
+    const TraceRecord& trace = *trace_ptr;
     const Span* root = trace.root();
     if (root == nullptr) continue;
     for (const Span& span : trace.spans) {
@@ -139,7 +141,8 @@ Histogram SpanEndSinceRootHistogram(const TraceCollector& collector, const SpanQ
 
 std::vector<const Span*> FindSpans(const TraceCollector& collector, const SpanQuery& query) {
   std::vector<const Span*> out;
-  for (const TraceRecord& trace : collector.Traces()) {
+  for (const TraceRecord* trace_ptr : collector.AllTraces()) {
+    const TraceRecord& trace = *trace_ptr;
     for (const Span& span : trace.spans) {
       if (Matches(span, query)) out.push_back(&span);
     }

@@ -17,8 +17,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/graphql/value.h"
 #include "src/sim/time.h"
@@ -46,6 +49,13 @@ inline uint64_t TraceMix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+// How a partitioned collector routes a trace to the LP store that owns it:
+// the creating LP's id (+1, so 0 stays "untagged/legacy") is carried in the
+// top bits of every trace id. Tag width matches the kernel's 12-bit LP tag
+// (src/sim/event_heap.h); the remaining 52 bits of hash keep collisions
+// negligible at any realistic trace volume.
+inline constexpr int kTraceLpShift = 52;
 
 class TraceCollector {
  public:
@@ -76,14 +86,33 @@ class TraceCollector {
   // already closed keep their end time but still gain the error mark.
   void MarkError(const TraceContext& ctx, const std::string& message, SimTime end);
 
+  // Switches to per-LP trace stores for a partitioned kernel run. Must be
+  // called before any trace starts (BladerunnerCluster calls it right after
+  // Simulator::ConfigureParallel). Each LP roots traces in its own store
+  // with its own id counter; the creating LP rides in the id's top bits so
+  // any LP can route a carried context back to the owning store. Cross-LP
+  // touches (a device closing a backend-rooted delivery span, the backend
+  // growing a device-rooted subscribe trace) lock that store's mutex —
+  // and stay deterministic because only the rooting LP *creates* spans on
+  // its traces; other LPs merely close or annotate spans they were handed,
+  // and those in-place writes commute.
+  void ConfigureLps(uint32_t num_lps);
+  bool partitioned() const { return partitioned_; }
+
   const TraceRecord* FindTrace(TraceId id) const;
   const Span* FindSpan(const TraceContext& ctx) const;
 
-  // Retained traces in insertion (trace-start) order.
+  // Retained traces of the global store (everything, when sequential) in
+  // insertion (trace-start) order. Partitioned callers that want the whole
+  // fleet use AllTraces().
   const std::deque<TraceRecord>& Traces() const { return traces_; }
-  size_t TraceCount() const { return traces_.size(); }
-  uint64_t traces_started() const { return traces_started_; }
-  uint64_t traces_evicted() const { return traces_evicted_; }
+  // Every retained trace across all LP stores: the global store first, then
+  // each device-group store, each in insertion order — a deterministic
+  // order for exports. Pointers stay valid until the next Start*/Clear.
+  std::vector<const TraceRecord*> AllTraces() const;
+  size_t TraceCount() const;
+  uint64_t traces_started() const;
+  uint64_t traces_evicted() const;
 
   const TraceConfig& config() const { return config_; }
   void set_sample_rate(double rate) { config_.sample_rate = rate; }
@@ -92,17 +121,45 @@ class TraceCollector {
   void Clear();
 
  private:
-  TraceRecord* MutableTrace(TraceId id);
-  Span* MutableSpan(const TraceContext& ctx);
+  // One LP's retained traces. The legacy (sequential) collector is exactly
+  // the global store with locking disabled.
+  struct LpStore {
+    std::mutex mu;
+    uint64_t id_counter = 0;
+    uint64_t started = 0;
+    uint64_t evicted = 0;
+    std::deque<TraceRecord> traces;
+    // trace id -> absolute insertion index; deque position = index - evicted.
+    std::unordered_map<TraceId, uint64_t> index;
+  };
+  // Borrowed view of one store's fields; `mu` is null when no locking is
+  // needed (sequential mode touches only the global store).
+  struct StoreRef {
+    std::mutex* mu = nullptr;
+    uint64_t* id_counter = nullptr;
+    uint64_t* started = nullptr;
+    uint64_t* evicted = nullptr;
+    std::deque<TraceRecord>* traces = nullptr;
+    std::unordered_map<TraceId, uint64_t>* index = nullptr;
+    bool ok() const { return traces != nullptr; }
+  };
+  StoreRef GlobalStore() const;
+  StoreRef StoreForLp(uint32_t lp) const;    // lp 0 => global store
+  StoreRef StoreOfId(TraceId id) const;      // routes by the id's LP tag
+  TraceRecord* MutableTrace(const StoreRef& s, TraceId id);
   bool Sampled(TraceId id) const;
 
   TraceConfig config_;
+  bool partitioned_ = false;
+  // Global store (LP 0 + the whole world when sequential); kept as plain
+  // members so the sequential path compiles to exactly the pre-LP code.
   uint64_t id_counter_ = 0;
   uint64_t traces_started_ = 0;   // sampled + retained starts
   uint64_t traces_evicted_ = 0;
   std::deque<TraceRecord> traces_;
-  // trace id -> absolute insertion index; deque position = index - evicted.
   std::unordered_map<TraceId, uint64_t> index_;
+  mutable std::mutex global_mu_;  // locked only when partitioned
+  std::vector<std::unique_ptr<LpStore>> lp_stores_;  // LPs >= 1, index lp-1
 };
 
 }  // namespace bladerunner

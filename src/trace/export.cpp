@@ -105,7 +105,8 @@ std::string ChromeTraceJson(const TraceCollector& collector) {
   std::ostringstream out;
   bool first = true;
   int pid = 1;
-  for (const TraceRecord& trace : collector.Traces()) {
+  for (const TraceRecord* trace_ptr : collector.AllTraces()) {
+    const TraceRecord& trace = *trace_ptr;
     AppendTraceEvents(out, &first, trace, pid++);
   }
   return WrapTraceEvents(out.str());

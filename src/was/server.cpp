@@ -9,7 +9,7 @@ namespace bladerunner {
 
 WebAppServer::WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, PylonCluster* pylon,
                            WasConfig config, MetricsRegistry* metrics, TraceCollector* trace)
-    : sim_(sim),
+    : ctx_(sim),
       region_(region),
       tao_(tao),
       pylon_(pylon),
@@ -17,7 +17,7 @@ WebAppServer::WebAppServer(Simulator* sim, RegionId region, TaoStore* tao, Pylon
       metrics_(metrics),
       trace_(trace),
       next_event_id_((static_cast<uint64_t>(region) << 48) + 1) {
-  assert(sim_ != nullptr && tao_ != nullptr && metrics_ != nullptr);
+  assert(ctx_.sim() != nullptr && tao_ != nullptr && metrics_ != nullptr);
   m_.privacy_checks = &metrics_->GetCounter("was.privacy_checks");
   m_.cpu_us = &metrics_->GetCounter("was.cpu_us");
   m_.queries = &metrics_->GetCounter("was.queries");
@@ -77,7 +77,7 @@ ExecResult WebAppServer::ExecuteNow(const std::string& text, UserId viewer) {
   was_ctx.was = this;
   was_ctx.tao = tao_;
   was_ctx.region = region_;
-  was_ctx.created_at = sim_->Now();
+  was_ctx.created_at = ctx_.Now();
   ExecContext ctx;
   ctx.viewer_id = viewer;
   ctx.backend = &was_ctx;
@@ -101,7 +101,7 @@ void WebAppServer::HandleQuery(MessagePtr request, RpcServer::Respond respond) {
   auto response = std::make_shared<WasQueryResponse>();
   if (!parsed.ok()) {
     response->errors.push_back("parse error: " + parsed.error);
-    sim_->Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
+    ctx_.Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
     return;
   }
   WasContext was_ctx;
@@ -120,7 +120,7 @@ void WebAppServer::HandleQuery(MessagePtr request, RpcServer::Respond respond) {
   SimTime total = MillisF(config_.query_base_ms) + tao_latency;
   ChargeCpu(config_.query_base_ms + 0.15 * static_cast<double>(result.cost.TotalReads()) +
             0.05 * static_cast<double>(result.cost.shards_touched));
-  sim_->Schedule(total, [respond, response]() { respond(response); });
+  ctx_.Schedule(total, [respond, response]() { respond(response); });
 }
 
 void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) {
@@ -132,14 +132,14 @@ void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) 
   if (!parsed.ok()) {
     response->ok = false;
     response->errors.push_back("parse error: " + parsed.error);
-    sim_->Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
+    ctx_.Schedule(MillisF(config_.query_base_ms), [respond, response]() { respond(response); });
     return;
   }
   WasContext was_ctx;
   was_ctx.was = this;
   was_ctx.tao = tao_;
   was_ctx.region = region_;
-  was_ctx.created_at = mutate->created_at > 0 ? mutate->created_at : sim_->Now();
+  was_ctx.created_at = mutate->created_at > 0 ? mutate->created_at : ctx_.Now();
   ExecContext ctx;
   ctx.viewer_id = mutate->viewer;
   ctx.backend = &was_ctx;
@@ -155,13 +155,13 @@ void WebAppServer::HandleMutate(MessagePtr request, RpcServer::Respond respond) 
     write_latency += tao_->SampleWriteLatency(region_, mutate->viewer);
   }
   ChargeCpu(config_.query_base_ms + 0.4 * static_cast<double>(result.cost.writes));
-  sim_->Schedule(write_latency, [respond, response]() { respond(response); });
+  ctx_.Schedule(write_latency, [respond, response]() { respond(response); });
 
   if (!was_ctx.publishes.empty()) {
     SimTime created = was_ctx.created_at;
     std::vector<PublishSpec> specs = std::move(was_ctx.publishes);
     SimTime base = write_latency;
-    sim_->Schedule(base, [this, specs = std::move(specs), created]() mutable {
+    ctx_.Schedule(base, [this, specs = std::move(specs), created]() mutable {
       SchedulePublishes(std::move(specs), created);
     });
   }
@@ -174,7 +174,7 @@ void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Resp
 
   TraceContext resolve_span;
   if (trace_ != nullptr && request->trace.valid()) {
-    resolve_span = trace_->StartSpan(request->trace, "was.resolve", "was", region_, sim_->Now());
+    resolve_span = trace_->StartSpan(request->trace, "was.resolve", "was", region_, ctx_.Now());
   }
 
   ParseResult parsed = Parse(resolve->subscription);
@@ -208,8 +208,8 @@ void WebAppServer::HandleResolveSubscription(MessagePtr request, RpcServer::Resp
   }
   SimTime latency = MillisF(config_.query_base_ms) + tao_->SampleQueryLatency(cost);
   ChargeCpu(config_.query_base_ms);
-  sim_->Schedule(latency, [this, respond, response, resolve_span]() {
-    if (trace_ != nullptr) trace_->EndSpan(resolve_span, sim_->Now());
+  ctx_.Schedule(latency, [this, respond, response, resolve_span]() {
+    if (trace_ != nullptr) trace_->EndSpan(resolve_span, ctx_.Now());
     respond(response);
   });
 }
@@ -229,7 +229,7 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
   // time from the network round trip inside the parent "brass.fetch" span.
   TraceContext fetch_span;
   if (trace_ != nullptr && request->trace.valid()) {
-    fetch_span = trace_->StartSpan(request->trace, "was.fetch", "was", region_, sim_->Now());
+    fetch_span = trace_->StartSpan(request->trace, "was.fetch", "was", region_, ctx_.Now());
   }
 
   WasContext was_ctx;
@@ -279,7 +279,7 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
                             ? was_ctx.fetched_object_version
                             : static_cast<uint64_t>(fetch->metadata.Get("version").AsInt(0));
   }
-  SimTime latency = MillisF(sim_->rng().LogNormal(processing_ms, 0.35)) +
+  SimTime latency = MillisF(ctx_.rng().LogNormal(processing_ms, 0.35)) +
                     tao_->SampleQueryLatency(ctx.cost);
   ChargeCpu(processing_ms * 0.12);  // fetch handling is mostly TAO/IO wait
   if (trace_ != nullptr && fetch_span.valid()) {
@@ -288,17 +288,17 @@ void WebAppServer::HandleFetch(MessagePtr request, RpcServer::Respond respond) {
     trace_->Annotate(fetch_span, "viewers", Value(static_cast<int64_t>(fetch->viewers.size())));
     trace_->Annotate(fetch_span, "allowed", Value(granted));
   }
-  sim_->Schedule(latency, [this, respond, response, fetch_span]() {
-    if (trace_ != nullptr) trace_->EndSpan(fetch_span, sim_->Now());
+  ctx_.Schedule(latency, [this, respond, response, fetch_span]() {
+    if (trace_ != nullptr) trace_->EndSpan(fetch_span, ctx_.Now());
     respond(response);
   });
 }
 
 void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime created_at) {
   for (PublishSpec& spec : specs) {
-    double logic_ms = sim_->rng().LogNormal(config_.publish_logic_ms, 0.25);
+    double logic_ms = ctx_.rng().LogNormal(config_.publish_logic_ms, 0.25);
     if (spec.requires_ranking) {
-      logic_ms += sim_->rng().LogNormal(config_.ranking_ms, 0.15);
+      logic_ms += ctx_.rng().LogNormal(config_.ranking_ms, 0.15);
     }
     ChargeCpu(logic_ms * 0.005);  // ranking runs on a separate ML tier; WAS mostly waits
     bool ranked = spec.requires_ranking;
@@ -306,7 +306,7 @@ void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime cre
     // Table 3 measures this span "from the time the corresponding TAO
     // mutation has completed to when the update has been sent to Pylon" —
     // i.e. from the start of the publish pipeline, not from the device.
-    SimTime pipeline_start = sim_->Now();
+    SimTime pipeline_start = ctx_.Now();
     // Root the update's trace at the mutation commit; "was.mutate" covers
     // the TAO write, "was.publish" the business-logic/ranking pipeline up
     // to the Pylon publish (the Table 3 WAS->Pylon span).
@@ -324,9 +324,9 @@ void WebAppServer::SchedulePublishes(std::vector<PublishSpec> specs, SimTime cre
         publish_span = root;
       }
     }
-    sim_->Schedule(MillisF(logic_ms), [this, moved = std::move(moved), created_at,
+    ctx_.Schedule(MillisF(logic_ms), [this, moved = std::move(moved), created_at,
                                        publish_span]() {
-      if (trace_ != nullptr) trace_->EndSpan(publish_span, sim_->Now());
+      if (trace_ != nullptr) trace_->EndSpan(publish_span, ctx_.Now());
       if (moved.on_published) {
         moved.on_published();
       }
@@ -368,7 +368,7 @@ RpcChannel* WebAppServer::ChannelToPylon(PylonServer* server) {
   auto it = pylon_channels_.find(server->server_id());
   if (it == pylon_channels_.end()) {
     auto channel = std::make_unique<RpcChannel>(
-        sim_, server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
+        ctx_.sim(), server->rpc(), pylon_->topology()->LinkModel(region_, server->region()));
     it = pylon_channels_.emplace(server->server_id(), std::move(channel)).first;
   }
   return it->second.get();

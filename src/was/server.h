@@ -87,7 +87,7 @@ class WebAppServer {
   RpcServer* rpc() { return &rpc_; }
   Schema& schema() { return schema_; }
   TaoStore* tao() { return tao_; }
-  Simulator* sim() { return sim_; }
+  Simulator* sim() { return ctx_.sim(); }
   const WasConfig& config() const { return config_; }
   MetricsRegistry* metrics() { return metrics_; }
   TraceCollector* trace() { return trace_; }
@@ -139,7 +139,7 @@ class WebAppServer {
   RpcChannel* ChannelToPylon(PylonServer* server);
   void ChargeCpu(double ms);
 
-  Simulator* sim_;
+  SimContext ctx_;
   RegionId region_;
   TaoStore* tao_;
   PylonCluster* pylon_;

@@ -63,7 +63,7 @@ ObjectId CommentFeedApplier::Apply(const CommentFeedOp& op, int index) {
       comment.data.Set("text", op.text);
       comment.data.Set("author", op.user);
       comment.data.Set("video", op.anchor);
-      comment.data.Set("time", sim_->Now());
+      comment.data.Set("time", ctx_.Now());
       ObjectId id = tao_->PutObject(std::move(comment));
       comment_ids_[index] = id;
       Assoc edge;

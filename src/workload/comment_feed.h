@@ -55,7 +55,7 @@ std::vector<CommentFeedOp> GenerateCommentFeedOps(const CommentFeedShape& shape,
 // the op-index -> comment-object-id mapping deletes and edits need.
 class CommentFeedApplier {
  public:
-  CommentFeedApplier(Simulator* sim, TaoStore* tao) : sim_(sim), tao_(tao) {}
+  CommentFeedApplier(Simulator* sim, TaoStore* tao) : ctx_(sim), tao_(tao) {}
 
   // Applies op `index` of the list at the current simulated time. Returns
   // the comment object id for kPostComment/kEditComment ops,
@@ -67,7 +67,7 @@ class CommentFeedApplier {
   void ScheduleAll(Simulator& sim, const std::vector<CommentFeedOp>& ops, SimTime start = 0);
 
  private:
-  Simulator* sim_;
+  SimContext ctx_;
   TaoStore* tao_;
   std::unordered_map<int, ObjectId> comment_ids_;  // kPostComment op index -> id
 };

@@ -160,13 +160,14 @@ class BurstTest : public ::testing::Test {
     };
     pop_ = std::make_unique<Pop>(&sim_, 1, 0, pop_connector_, config_, &metrics_);
 
-    client_connector_ = [this](int64_t) -> std::shared_ptr<ConnectionEnd> {
+    client_connector_ = [this](int64_t, BurstClient::ConnectDone done) {
       if (!pop_->alive()) {
-        return nullptr;
+        done(nullptr);
+        return;
       }
       auto [device_end, pop_end] = CreateConnection(&sim_, LatencyModel::Fixed(5.0), Millis(50));
       pop_->AttachDeviceConnection(std::move(pop_end));
-      return device_end;
+      done(std::move(device_end));
     };
     client_ = std::make_unique<BurstClient>(&sim_, 100, client_connector_, &observer_, config_,
                                             &metrics_);
@@ -689,15 +690,16 @@ TEST(BackoffTest, GrowsUnderRepeatedFailureAndResetsOnSuccess) {
   FakeObserver observer;
   FrameRecorder far_side;
   std::shared_ptr<ConnectionEnd> far_end_keep;
-  BurstClient::Connector connector = [&](int64_t) -> std::shared_ptr<ConnectionEnd> {
+  BurstClient::Connector connector = [&](int64_t, BurstClient::ConnectDone done) {
     attempts.push_back(sim.Now());
     if (!pop_reachable) {
-      return nullptr;
+      done(nullptr);
+      return;
     }
     auto [device_end, pop_end] = CreateConnection(&sim, LatencyModel::Fixed(1.0), Millis(50));
     pop_end->set_handler(&far_side);
     far_end_keep = pop_end;
-    return device_end;
+    done(std::move(device_end));
   };
   BurstClient client(&sim, 100, connector, &observer, config, &metrics);
 

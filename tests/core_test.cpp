@@ -53,7 +53,8 @@ TEST(ClusterTest, DeviceConnectorPrefersDeviceRegion) {
   BladerunnerCluster cluster(config);
   for (RegionId r = 0; r < cluster.topology().num_regions(); ++r) {
     auto connector = cluster.DeviceConnector(r, DeviceProfile::kWifi);
-    auto end = connector(1000 + r);
+    std::shared_ptr<ConnectionEnd> end;
+    connector(1000 + r, [&end](std::shared_ptr<ConnectionEnd> e) { end = std::move(e); });
     ASSERT_NE(end, nullptr);
     // Find the POP holding the other side; it must be in region r.
     bool found = false;
@@ -77,7 +78,8 @@ TEST(ClusterTest, DeviceConnectorFallsBackWhenRegionPopsDead) {
     }
   }
   auto connector = cluster.DeviceConnector(0, DeviceProfile::kWifi);
-  auto end = connector(42);
+  std::shared_ptr<ConnectionEnd> end;
+  connector(42, [&end](std::shared_ptr<ConnectionEnd> e) { end = std::move(e); });
   ASSERT_NE(end, nullptr);  // connected through another region's POP
 }
 

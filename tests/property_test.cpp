@@ -350,5 +350,108 @@ TEST_P(SeedSweep, IdenticalSeedsReplayIdentically) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 17, 4242, 987654321));
 
+// ---- partitioned kernel: worker-thread count never affects results ----
+//
+// The whole end-to-end stack (devices on group LPs, backend on the global
+// LP, cross-LP connection handshakes, per-LP metric sinks, per-LP trace
+// stores) must produce an identical digest whether rounds run on 1, 2, or
+// 8 worker threads. Threads are pure wall-clock; the LP layout and seed
+// alone determine the schedule.
+class ParallelSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelSeedSweep, DigestIdenticalAcrossThreadCounts) {
+  auto run = [&](int threads) {
+    ClusterConfig config;
+    config.seed = GetParam();
+    config.parallel.threads = threads;
+    config.parallel.device_lp_groups = 4;
+    BladerunnerCluster cluster(config);
+    UserId u1 = CreateUser(cluster.tao(), "a", "en");
+    UserId u2 = CreateUser(cluster.tao(), "b", "en");
+    MakeFriends(cluster.tao(), u1, u2);
+    ObjectId video = CreateVideo(cluster.tao(), u1, "v");
+    cluster.sim().RunFor(Seconds(2));
+    DeviceAgent viewer(&cluster, u1, 0, DeviceProfile::kMobile4g);
+    DeviceAgent poster(&cluster, u2, 1, DeviceProfile::kWifi);
+    viewer.SubscribeLvc(video);
+    cluster.sim().RunFor(Seconds(3));
+    for (int i = 0; i < 6; ++i) {
+      poster.PostComment(video, "c", "en");
+      cluster.sim().RunFor(Seconds(2));
+    }
+    cluster.sim().RunFor(Seconds(15));
+    return std::make_tuple(viewer.payloads_received(), cluster.sim().events_executed(),
+                           cluster.sim().cross_lp_sends(),
+                           cluster.metrics().GetCounter("brass.decisions").value(),
+                           cluster.metrics().GetCounter("burst.client_subscribes").value(),
+                           cluster.trace().TraceCount(), cluster.trace().traces_started());
+  };
+  auto base = run(1);
+  EXPECT_GT(std::get<2>(base), 0u);  // the scenario really crosses LPs
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(8));
+}
+
+// Regression: backend sends that land in the same round as the receiving
+// device's teardown must be dropped at *delivery* time (receiver LP), not
+// at send time — observing the peer end's liveness from the sending LP
+// (src/net/connection.cpp once did so via peer_.lock()) makes the schedule
+// depend on intra-round LP execution order. The reverse_lp_order audit run
+// executes each round's LPs backwards and must still match, as must a
+// multi-threaded run.
+TEST_P(ParallelSeedSweep, DigestInvariantToLpExecutionOrderUnderChurn) {
+  auto run = [&](int threads, bool reverse_lp_order) {
+    ClusterConfig config;
+    config.seed = GetParam();
+    config.parallel.threads = threads;
+    config.parallel.device_lp_groups = 4;
+    config.parallel.reverse_lp_order = reverse_lp_order;
+    BladerunnerCluster cluster(config);
+    UserId u1 = CreateUser(cluster.tao(), "a", "en");
+    UserId u2 = CreateUser(cluster.tao(), "b", "en");
+    MakeFriends(cluster.tao(), u1, u2);
+    ObjectId video = CreateVideo(cluster.tao(), u1, "v");
+    cluster.sim().RunFor(Seconds(2));
+    DeviceAgent poster(&cluster, u2, 1, DeviceProfile::kWifi);
+    std::vector<std::unique_ptr<DeviceAgent>> viewers;
+    for (int i = 0; i < 8; ++i) {
+      viewers.push_back(std::make_unique<DeviceAgent>(&cluster, u1, i % 2,
+                                                      DeviceProfile::kMobile4g));
+      viewers.back()->SubscribeLvc(video);
+    }
+    cluster.sim().RunFor(Seconds(1));
+    // Keep updates in flight toward viewers that tear their connections
+    // down (and re-establish them) on their own LPs' timers, staggered so
+    // teardowns collide with deliveries in many different rounds.
+    for (int k = 0; k < 12; ++k) {
+      poster.PostComment(video, "c", "en");
+      for (size_t i = 0; i < viewers.size(); ++i) {
+        DeviceAgent* v = viewers[i].get();
+        v->ctx().Schedule(Millis(40 + 13 * static_cast<SimTime>(i)),
+                          [v]() { v->burst().Disconnect(); });
+        v->ctx().Schedule(Millis(230 + 13 * static_cast<SimTime>(i)),
+                          [v]() { v->burst().Connect(); });
+      }
+      cluster.sim().RunFor(Millis(500));
+    }
+    cluster.sim().RunFor(Seconds(10));
+    uint64_t payloads = 0;
+    for (auto& v : viewers) {
+      payloads += v->payloads_received();
+    }
+    return std::make_tuple(payloads, cluster.sim().events_executed(),
+                           cluster.sim().cross_lp_sends(),
+                           cluster.metrics().GetCounter("brass.decisions").value(),
+                           cluster.metrics().GetCounter("burst.client_subscribes").value(),
+                           cluster.trace().TraceCount(), cluster.trace().traces_started());
+  };
+  auto base = run(1, false);
+  EXPECT_GT(std::get<2>(base), 0u);
+  EXPECT_EQ(base, run(1, true));  // reversed intra-round LP order
+  EXPECT_EQ(base, run(8, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSeedSweep, ::testing::Values(1, 17, 4242, 987654321));
+
 }  // namespace
 }  // namespace bladerunner

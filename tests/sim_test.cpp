@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "src/sim/histogram.h"
+#include "src/sim/lp.h"
 #include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -283,6 +285,156 @@ TEST(SimulatorTest, StressPopOrderIsTimeThenFifo) {
       ASSERT_GT(fired[i].seq, fired[i - 1].seq);  // FIFO within an instant
     }
   }
+}
+
+// ---- partitioned kernel: LPs, lookahead channels, determinism ----
+
+TEST(PartitionedSimTest, SingleLpMatchesSequentialExactly) {
+  // The same program on the sequential kernel and on a partitioned kernel
+  // with only the global LP must produce the identical execution log.
+  auto run = [](bool partitioned) {
+    Simulator sim(7);
+    if (partitioned) {
+      SimParallelOptions po;
+      po.threads = 1;
+      po.num_lps = 1;
+      sim.ConfigureParallel(po);
+    }
+    std::vector<std::pair<SimTime, int>> log;
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+      sim.Schedule(Micros(rng.UniformInt(0, 3000)),
+                   [&log, &sim, i]() { log.push_back({sim.Now(), i}); });
+    }
+    sim.RunFor(Millis(10));
+    return log;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(PartitionedSimTest, CrossLpSendRespectsLookaheadFloor) {
+  Simulator sim(1);
+  SimParallelOptions po;
+  po.threads = 1;
+  po.num_lps = 3;
+  po.lookahead = Millis(5);
+  sim.ConfigureParallel(po);
+  SimTime delivered_at = 0;
+  TimerId cross_id = kInvalidTimerId;
+  bool cross_ran = false;
+  sim.Schedule(LpId(1), Millis(1), [&]() {
+    // A cross-LP send below the lookahead floor: must be clamped up to
+    // sender-now + lookahead and must not hand back a cancelable id.
+    cross_id = sim.Schedule(LpId(2), Millis(1), [&]() {
+      cross_ran = true;
+      delivered_at = sim.Now();
+    });
+  });
+  sim.RunFor(Millis(20));
+  EXPECT_TRUE(cross_ran);
+  EXPECT_EQ(cross_id, kInvalidTimerId);
+  EXPECT_EQ(delivered_at, Millis(1) + Millis(5));  // clamped to the floor
+  EXPECT_EQ(sim.lookahead_clamps(), 1u);
+  EXPECT_EQ(sim.cross_lp_sends(), 1u);
+}
+
+TEST(PartitionedSimTest, CrossLpSendBeyondLookaheadKeepsRequestedTime) {
+  Simulator sim(1);
+  SimParallelOptions po;
+  po.threads = 1;
+  po.num_lps = 2;
+  po.lookahead = Millis(5);
+  sim.ConfigureParallel(po);
+  SimTime delivered_at = 0;
+  sim.Schedule(LpId(1), Millis(2), [&]() {
+    sim.Schedule(LpId(0), Millis(9), [&]() { delivered_at = sim.Now(); });
+  });
+  sim.RunFor(Millis(30));
+  EXPECT_EQ(delivered_at, Millis(2) + Millis(9));  // above the floor: untouched
+  EXPECT_EQ(sim.lookahead_clamps(), 0u);
+}
+
+TEST(PartitionedSimTest, PerLpRngStreamsAreStableAndIndependent) {
+  // Drawing from one LP's rng must not perturb another's sequence, and the
+  // per-LP sequences are a function of the seed alone.
+  auto draw = [](bool interleave) {
+    Simulator sim(21);
+    SimParallelOptions po;
+    po.threads = 1;
+    po.num_lps = 3;
+    sim.ConfigureParallel(po);
+    std::vector<uint64_t> lp2_draws;
+    for (int i = 0; i < 4; ++i) {
+      sim.Schedule(LpId(2), Millis(1 + i), [&]() {
+        lp2_draws.push_back(sim.rng().UniformInt(0, 1u << 30));
+      });
+      if (interleave) {
+        sim.Schedule(LpId(1), Millis(1 + i), [&]() { sim.rng().Uniform(); });
+      }
+    }
+    sim.RunFor(Millis(50));
+    return lp2_draws;
+  };
+  EXPECT_EQ(draw(false), draw(true));
+}
+
+TEST(PartitionedSimTest, RunForIsRelativeInPartitionedMode) {
+  Simulator sim(3);
+  SimParallelOptions po;
+  po.threads = 1;
+  po.num_lps = 2;
+  sim.ConfigureParallel(po);
+  sim.RunFor(Seconds(1));
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(sim.Now(), Seconds(2));
+}
+
+// A multi-LP workload with self-scheduling timers, cross-LP sends, and
+// per-LP rng draws; the digest is the concatenation of per-LP logs in
+// LP-id order, which must be invariant across worker-thread counts.
+TEST(PartitionedSimTest, DeterministicAcrossThreadCounts) {
+  constexpr uint32_t kLps = 9;
+  auto run = [](int threads) {
+    Simulator sim(4242);
+    SimParallelOptions po;
+    po.threads = threads;
+    po.num_lps = kLps;
+    po.lookahead = Millis(5);
+    sim.ConfigureParallel(po);
+    std::vector<std::vector<uint64_t>> logs(kLps);
+    for (uint32_t lp = 0; lp < kLps; ++lp) {
+      for (int k = 0; k < 6; ++k) {
+        sim.Schedule(LpId(lp), Millis(k), [&sim, &logs, lp]() {
+          uint64_t draw = sim.rng().UniformInt(0, 1000000);
+          logs[lp].push_back((static_cast<uint64_t>(sim.Now()) << 20) ^ draw);
+          // Half the events ping a neighbour LP (cross-LP channel), half
+          // reschedule locally below the lookahead.
+          uint32_t target = (lp + draw % kLps) % kLps;
+          if (draw % 2 == 0 && target != lp) {
+            sim.Schedule(LpId(target), Millis(1 + draw % 7), [&logs, target, &sim]() {
+              logs[target].push_back(static_cast<uint64_t>(sim.Now()));
+            });
+          } else if (sim.Now() < Millis(400)) {
+            sim.Schedule(LpId(lp), Millis(1 + draw % 3), [&logs, lp, &sim]() {
+              logs[lp].push_back(static_cast<uint64_t>(sim.Now()) * 3u);
+            });
+          }
+        });
+      }
+    }
+    sim.RunFor(Seconds(1));
+    std::vector<uint64_t> digest;
+    digest.push_back(sim.events_executed());
+    digest.push_back(sim.cross_lp_sends());
+    for (const auto& log : logs) {
+      digest.insert(digest.end(), log.begin(), log.end());
+    }
+    return digest;
+  };
+  std::vector<uint64_t> base = run(1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(8));
 }
 
 TEST(RngTest, UniformBounds) {
