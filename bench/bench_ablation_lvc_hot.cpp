@@ -123,7 +123,7 @@ Result RunFetchBurst(bool pipeline_enabled, uint64_t seed, const BurstShape& sha
   config.tao.hot_index_writes_per_sec = 0.4;
   config.brass_hosts_per_region = 1;
   config.brass.fetch.enabled = pipeline_enabled;
-  config.apps.lvc.filter_at_brass = false;
+  config.apps.lvc.placement = BrassPlacement::kDeviceFirehose;
   SocialGraphConfig graph_config;
   graph_config.num_users = 90;
   graph_config.mean_friends = 10.0;

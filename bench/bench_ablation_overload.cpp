@@ -66,7 +66,7 @@ Result RunSpike(const SpikeShape& shape, uint64_t seed) {
   ClusterConfig config;
   config.seed = seed;
   config.brass_hosts_per_region = 1;
-  config.apps.lvc.filter_at_brass = false;  // firehose: every comment pushes
+  config.apps.lvc.placement = BrassPlacement::kDeviceFirehose;  // every comment pushes
   config.apps.typing.backend_check = false;  // typing deltas push synchronously
   config.brass.overload.min_push_gap = Millis(500);
   config.brass.overload.max_pending_per_stream = 4;

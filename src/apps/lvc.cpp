@@ -23,7 +23,9 @@ BrassAppFactory LiveVideoCommentsApp::Factory(LvcConfig config) {
   };
 }
 
-BrassAppDescriptor LiveVideoCommentsApp::Descriptor() {
+BrassAppDescriptor LiveVideoCommentsApp::Descriptor() { return Descriptor(LvcConfig{}); }
+
+BrassAppDescriptor LiveVideoCommentsApp::Descriptor(const LvcConfig& config) {
   BrassAppDescriptor descriptor;
   descriptor.name = "LVC";
   descriptor.topic_prefix = "LVC";
@@ -33,6 +35,14 @@ BrassAppDescriptor LiveVideoCommentsApp::Descriptor() {
   // comments queue, shed, and ultimately degrade the stream to polling.
   descriptor.conflatable = true;
   descriptor.degrade_to_poll = true;
+  // Edge placement (docs/BURST.md "Placement"): the viewer-independent
+  // quality floor — and, under kPopFilterConflate, the per-stream push
+  // pacing — may run at the POP against these knobs. kDeviceFirehose also
+  // rides here but POPs ignore it (it only disables regional filtering).
+  descriptor.placement = config.placement;
+  descriptor.pop_filter.quality_field = "quality";
+  descriptor.pop_filter.min_quality = config.min_quality;
+  descriptor.pop_push_gap_us = config.push_interval;
   return descriptor;
 }
 
@@ -71,6 +81,13 @@ bool LiveVideoCommentsApp::FilterForViewer(const ViewerState& viewer, const Upda
   if (quality < config_.min_quality) {
     return false;  // spam / low quality, filtered for all users
   }
+  return FilterResidualForViewer(viewer, event, stream);
+}
+
+bool LiveVideoCommentsApp::FilterResidualForViewer(const ViewerState& viewer,
+                                                   const UpdateEvent& event,
+                                                   const BrassStream& stream) const {
+  double quality = event.metadata.Get("quality").AsDouble(0.0);
   UserId author = event.metadata.Get("author").AsInt(0);
   if (author == stream.viewer) {
     return false;  // the viewer's own comment is already on screen
@@ -119,7 +136,39 @@ void LiveVideoCommentsApp::OnEvent(const Topic& topic, const UpdateEvent& event,
       continue;
     }
     it->second.stream = stream;
-    if (!config_.filter_at_brass) {
+    if (stream->pop_placed && (config_.placement == BrassPlacement::kPopFilter ||
+                               config_.placement == BrassPlacement::kPopFilterConflate)) {
+      // Edge placement: run only the viewer-dependent residual here (self,
+      // friend bar, language); the viewer-independent quality floor runs at
+      // the POP against the descriptor's PopFilterSpec, so the combined
+      // predicate is exactly the regional FilterForViewer. Surviving events
+      // leave as small envelopes — the POP conflates, paces, and resolves
+      // the payload through its versioned edge cache.
+      if (!FilterResidualForViewer(it->second, event, *stream)) {
+        runtime().CountDecision(false);
+        continue;
+      }
+      runtime().CountDecision(true);
+      DeliverOptions deliver;
+      deliver.event_created_at = event.created_at;
+      deliver.conflation_key = "comment:" + std::to_string(event.metadata.Get("id").AsInt(0));
+      deliver.version = static_cast<uint64_t>(event.metadata.Get("version").AsInt(0));
+      // The envelope carries only what the edge consumes: object identity +
+      // version (conflation, payload cache) and the coarse-filter field.
+      // Everything else stays regional — on a POP cache miss the payload is
+      // re-fetched here, keyed by exactly these fields.
+      Value envelope;
+      envelope.Set("id", event.metadata.Get("id"));
+      envelope.Set("version", event.metadata.Get("version"));
+      envelope.Set("quality", event.metadata.Get("quality"));
+      TraceContext span = runtime().StartSpan(event.trace, "brass.process");
+      runtime().AnnotateSpan(span, "outcome", Value("envelope"));
+      deliver.parent = span;
+      runtime().DeliverEnvelope(*stream, std::move(envelope), deliver);
+      runtime().EndSpan(span);
+      continue;
+    }
+    if (config_.placement == BrassPlacement::kDeviceFirehose) {
       // Ablation: firehose mode — push everything, let the device decide.
       runtime().CountDecision(true);
       StreamKey key = stream->key;

@@ -53,11 +53,18 @@ struct LvcConfig {
   // Filter comments whose language differs from the viewer's.
   bool filter_language = true;
 
-  // The DESIGN.md §5.4 ablation: when false, the BRASS neither filters nor
-  // rate-limits — every event is fetched and pushed, and the *device* has
-  // to make the relevance decisions (the firehose the paper's design
-  // avoids, §2 "Pub/sub data distribution").
-  bool filter_at_brass = true;
+  // Where LVC's per-event stages run (docs/BURST.md "Placement"):
+  //  - kRegional (default): filter, rank, pace, fetch at the BRASS host —
+  //    byte-identical to the pre-placement behavior.
+  //  - kPopFilter / kPopFilterConflate: the viewer-independent quality
+  //    floor (and, for conflate, newest-version-wins pacing) runs at the
+  //    device-facing POP on small event envelopes; self/friend/language
+  //    filters, fetch, and privacy stay regional.
+  //  - kDeviceFirehose: the DESIGN.md §5.4 ablation — no server-side
+  //    filtering or rate limiting; every event is fetched and pushed, and
+  //    the *device* makes the relevance decisions (the firehose the
+  //    paper's design avoids, §2 "Pub/sub data distribution").
+  BrassPlacement placement = BrassPlacement::kRegional;
 };
 
 class LiveVideoCommentsApp : public BrassApplication {
@@ -72,8 +79,11 @@ class LiveVideoCommentsApp : public BrassApplication {
 
   static BrassAppFactory Factory(LvcConfig config = {});
   // QoS: normal priority, conflatable per comment object, and the only app
-  // with a polling baseline to degrade to under overload.
+  // with a polling baseline to degrade to under overload. The config-aware
+  // overload also declares the placement policy (where the quality floor
+  // and pacing run) so POPs can honor it.
   static BrassAppDescriptor Descriptor();
+  static BrassAppDescriptor Descriptor(const LvcConfig& config);
 
  private:
   struct Candidate {
@@ -95,9 +105,15 @@ class LiveVideoCommentsApp : public BrassApplication {
   };
 
   // Per-viewer filtering: returns true if the comment survives for this
-  // viewer (quality, age, language, own comment).
+  // viewer (quality, age, language, own comment). Composed of the
+  // viewer-independent quality floor (which a placement-capable POP runs in
+  // transit via PopFilterSpec) and the viewer-dependent residual below; the
+  // split keeps the combined predicate exactly the regional filter.
   bool FilterForViewer(const ViewerState& viewer, const UpdateEvent& event,
                        const BrassStream& stream) const;
+  // The viewer-dependent part only: self-comment, friend bar, language.
+  bool FilterResidualForViewer(const ViewerState& viewer, const UpdateEvent& event,
+                               const BrassStream& stream) const;
 
   void InsertCandidate(ViewerState& viewer, const UpdateEvent& event);
   void SchedulePush(const StreamKey& key);

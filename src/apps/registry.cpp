@@ -4,7 +4,7 @@ namespace bladerunner {
 
 BrassAppRegistry BuildStandardAppRegistry(const AppsConfig& config) {
   BrassAppRegistry registry;
-  registry["LVC"] = {LiveVideoCommentsApp::Descriptor(),
+  registry["LVC"] = {LiveVideoCommentsApp::Descriptor(config.lvc),
                      LiveVideoCommentsApp::Factory(config.lvc)};
   registry["AS"] = {ActiveStatusApp::Descriptor(), ActiveStatusApp::Factory(config.active_status)};
   registry["TI"] = {TypingIndicatorApp::Descriptor(), TypingIndicatorApp::Factory(config.typing)};

@@ -29,6 +29,52 @@ enum class BrassPriorityClass {
   kLow = 2,
 };
 
+// Where an app's per-event processing stages run (docs/BURST.md
+// "Placement"). Fetch and per-viewer privacy always stay regional; only the
+// convergent, viewer-independent stages (coarse filter, newest-version-wins
+// conflation) may migrate to the POP. The numeric values ride in the stream
+// header's placement stamp, so they are part of the wire contract.
+enum class BrassPlacement {
+  // Everything runs at the regional BRASS host (the default; byte-identical
+  // to the pre-placement codebase).
+  kRegional = 0,
+  // The POP applies the app's viewer-independent coarse filter to event
+  // envelopes before resolving payloads; the regional host still applies
+  // the viewer-dependent filters and privacy.
+  kPopFilter = 1,
+  // kPopFilter plus newest-version-wins conflation and pacing at the POP,
+  // backed by the POP-local versioned payload cache.
+  kPopFilterConflate = 2,
+  // Ablation seam: no filtering or rate limiting anywhere on the server
+  // path — every event is fetched and pushed and the *device* decides
+  // (the firehose the paper's design avoids, §2). Replaces the retired
+  // ad-hoc LVC filter-location bool.
+  kDeviceFirehose = 3,
+};
+
+inline const char* ToString(BrassPlacement p) {
+  switch (p) {
+    case BrassPlacement::kRegional:
+      return "regional";
+    case BrassPlacement::kPopFilter:
+      return "pop_filter";
+    case BrassPlacement::kPopFilterConflate:
+      return "pop_filter_conflate";
+    case BrassPlacement::kDeviceFirehose:
+      return "device_firehose";
+  }
+  return "regional";
+}
+
+// Declarative description of the viewer-independent coarse filter a POP may
+// run on an app's event envelopes: drop any event whose `quality_field`
+// metadata value is below `min_quality`. Empty field name = no coarse
+// filter (everything passes on to payload resolution).
+struct PopFilterSpec {
+  std::string quality_field;
+  double min_quality = 0.0;
+};
+
 inline const char* ToString(BrassPriorityClass c) {
   switch (c) {
     case BrassPriorityClass::kHigh:
@@ -65,6 +111,21 @@ struct BrassAppDescriptor {
   // missed suffix. Durable deliveries bypass the conflation queue — a
   // conflated-away sequence could never be replayed consistently.
   bool durable = false;
+  // Where this app's per-event stages run (see BrassPlacement above). POPs
+  // honor kPopFilter/kPopFilterConflate only when the deployment enables
+  // edge placement (BurstConfig::pop_placement_enabled) and the app is not
+  // durable — durable sequences cannot be conflated or filtered in transit.
+  BrassPlacement placement = BrassPlacement::kRegional;
+  // The viewer-independent coarse filter a placement-capable POP applies.
+  PopFilterSpec pop_filter;
+  // Pacing gap between POP-side pushes per stream under
+  // kPopFilterConflate, in simulated microseconds (kept as a plain integer
+  // so this header stays a stdlib-only leaf). 0 = no pacing: resolve and
+  // push every surviving envelope immediately.
+  int64_t pop_push_gap_us = 0;
+  // Bound on conflation-queued envelopes per stream at the POP; 0 inherits
+  // BurstConfig::pop_max_pending_per_stream.
+  size_t pop_max_pending_per_stream = 0;
 };
 
 }  // namespace bladerunner

@@ -37,6 +37,12 @@ struct BrassStream {
   std::vector<Topic> topics;  // Pylon topics this stream is fed from
   Value context;              // resolution context (e.g. friend list)
   SimTime started_at = 0;
+  // The device-facing POP stamped the header: it runs this app's
+  // viewer-independent stages (coarse filter, conflation, payload cache) in
+  // transit. The host then sends small event envelopes instead of fetched
+  // payloads. Re-read on every (re)subscribe — a resubscribe through an
+  // incapable POP clears the stamp and the stream falls back to regional.
+  bool pop_placed = false;
 
   bool attached() const { return stream != nullptr && stream->attached(); }
 };

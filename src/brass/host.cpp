@@ -58,6 +58,8 @@ BrassHost::BrassHost(Simulator* sim, int64_t host_id, RegionId region, WebAppSer
   m_.durable_live_suppressed = &metrics_->GetCounter("brass.durable_live_suppressed");
   m_.durable_truncated_resumes = &metrics_->GetCounter("brass.durable_truncated_resumes");
   m_.durable_token_rewrites = &metrics_->GetCounter("brass.durable_token_rewrites");
+  m_.envelopes = &metrics_->GetCounter("brass.envelopes");
+  m_.pop_fetch_serves = &metrics_->GetCounter("brass.pop_fetch_serves");
   burst_ = std::make_unique<BurstServer>(ctx_.sim(), host_id_, this, burst_config_, metrics_);
   event_rpc_.RegisterMethod("brass.event", [this](MessagePtr request, RpcServer::Respond respond) {
     HandlePylonEvent(std::move(request), std::move(respond));
@@ -259,6 +261,12 @@ void BrassHost::CompleteSubscription(const StreamKey& key, const std::string& ap
     state.durable_acked = state.durable_delivered;
   }
 
+  // Edge placement: the device-facing POP stamped the header when it runs
+  // this app's viewer-independent stages in transit. Durable apps never
+  // place — a conflated-away sequence could not be replayed consistently.
+  it->second.state.pop_placed =
+      !durable_app && StreamHeaderView(stream->header()).placement() != 0;
+
   // Sticky routing (§3.5): patch the stream's stored request everywhere
   // along the path with this host's identity, so a resubscribe after a
   // failure lands back here. Durable streams also persist their position —
@@ -456,6 +464,11 @@ void BrassHost::OnStreamResumed(ServerStream& stream) {
     return;
   }
   hs->second.state.stream = &stream;
+  // Re-read the placement stamp: a resubscribe through a different POP may
+  // have changed (or cleared) it, and the stream must fall back to fully
+  // regional processing when the new edge is placement-incapable.
+  hs->second.state.pop_placed =
+      !hs->second.durable && StreamHeaderView(stream.header()).placement() != 0;
   auto app = apps_.find(hs->second.app);
   if (app != apps_.end()) {
     app->second.app->OnStreamResumed(hs->second.state);
@@ -714,6 +727,77 @@ void BrassHost::PushNow(const std::string& app, BrassStream& stream, Value paylo
   if (options.event_created_at > 0) {
     AppMetricsFor(app).push_delay_us->Record(
         static_cast<double>(ctx_.Now() - options.event_created_at));
+  }
+}
+
+void BrassHost::DeliverEnvelope(const std::string& app, BrassStream& stream, Value metadata,
+                                const DeliverOptions& options) {
+  if (stream.stream == nullptr) {
+    m_.deliveries_dropped->Increment();
+    return;
+  }
+  // Envelopes bypass host-side pacing and byte accounting entirely: the
+  // POP runs the same conflation/pacing knobs at the edge and counts the
+  // actual device-bound bytes there.
+  m_.envelopes->Increment();
+  Delta delta = Delta::Envelope(std::move(metadata), options.conflation_key, options.version,
+                                options.event_created_at);
+  delta.trace = options.parent;
+  stream.stream->Push({std::move(delta)});
+}
+
+void BrassHost::OnPopFetch(ServerStream& stream, const PopFetchFrame& fetch) {
+  m_.pop_fetch_serves->Increment();
+  // One regional fetch answers the whole local flash crowd at the POP: the
+  // fetch pipeline coalesces the per-viewer calls onto one WAS round trip
+  // (batched privacy checks), and the fill fans the payload out at the
+  // edge. Per-viewer privacy stays regional — every decision in the fill
+  // was computed by the WAS.
+  struct Pending {
+    std::shared_ptr<PopFillFrame> fill;
+    size_t outstanding = 0;
+  };
+  auto fill = std::make_shared<PopFillFrame>();
+  fill->key = fetch.key;
+  fill->app = fetch.app;
+  fill->object = fetch.metadata.Get("id").AsInt(0);
+  if (fill->object == 0) {
+    fill->object = fetch.metadata.Get("user").AsInt(0);
+  }
+  fill->version = static_cast<uint64_t>(fetch.metadata.Get("version").AsInt(0));
+  if (fetch.viewers.empty()) {
+    fill->ok = false;
+    stream.SendFrame(fill);
+    return;
+  }
+  auto pending = std::make_shared<Pending>();
+  pending->fill = fill;
+  pending->outstanding = fetch.viewers.size();
+  StreamKey key = stream.key();
+  for (int64_t viewer : fetch.viewers) {
+    FetchOptions options;
+    options.viewer = viewer;
+    options.parent = fetch.trace;
+    fetch_pipeline_->Fetch(fetch.app, fetch.metadata, options,
+                           [this, pending, viewer, key](bool allowed, Value payload) {
+                             pending->fill->decisions.emplace_back(viewer, allowed);
+                             if (allowed) {
+                               pending->fill->ok = true;
+                               if (pending->fill->payload.is_null()) {
+                                 pending->fill->payload = std::move(payload);
+                               }
+                             }
+                             if (--pending->outstanding > 0) {
+                               return;
+                             }
+                             // All viewers decided; answer the POP if the
+                             // representative stream is still attached (if
+                             // not, the POP re-fetches on its next miss).
+                             ServerStream* s = burst_->FindStream(key);
+                             if (s != nullptr) {
+                               s->SendFrame(pending->fill);
+                             }
+                           });
   }
 }
 

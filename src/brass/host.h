@@ -127,6 +127,12 @@ class BrassHost : public BurstServerHandler {
   // the stream; see docs/OVERLOAD.md for the queueing policy.
   void DeliverData(const std::string& app, BrassStream& stream, Value payload,
                    const DeliverOptions& options);
+  // Pushes one event *envelope* (metadata only) on a pop-placed stream; the
+  // POP filters/conflates it and resolves the payload at the edge
+  // (docs/BURST.md "Placement"). Bypasses host-side pacing — the POP runs
+  // the same pacing knobs against its own clock.
+  void DeliverEnvelope(const std::string& app, BrassStream& stream, Value metadata,
+                       const DeliverOptions& options);
 
   // Appends one event payload to `channel`'s durable log (idempotent on
   // event_id: every subscribed host appends the same Pylon event; the first
@@ -158,6 +164,7 @@ class BrassHost : public BurstServerHandler {
   void OnStreamDetached(ServerStream& stream, const std::string& reason) override;
   void OnStreamClosed(const StreamKey& key, TerminateReason reason) override;
   void OnAck(ServerStream& stream, uint64_t seq) override;
+  void OnPopFetch(ServerStream& stream, const PopFetchFrame& fetch) override;
 
  private:
   struct AppInstance {
@@ -238,6 +245,8 @@ class BrassHost : public BurstServerHandler {
     Counter* durable_live_suppressed;
     Counter* durable_truncated_resumes;
     Counter* durable_token_rewrites;
+    Counter* envelopes;
+    Counter* pop_fetch_serves;
   };
   struct AppMetrics {
     Counter* decisions;

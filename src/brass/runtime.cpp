@@ -51,6 +51,11 @@ void BrassRuntime::DeliverData(BrassStream& stream, Value payload,
   host_->DeliverData(app_name_, stream, std::move(payload), options);
 }
 
+void BrassRuntime::DeliverEnvelope(BrassStream& stream, Value metadata,
+                                   const DeliverOptions& options) {
+  host_->DeliverEnvelope(app_name_, stream, std::move(metadata), options);
+}
+
 TraceContext BrassRuntime::StartSpan(const TraceContext& parent, const std::string& name) {
   TraceCollector* trace = host_->trace();
   if (trace == nullptr) {

@@ -67,6 +67,13 @@ class BrassRuntime {
   // may be queued, conflated against `options.conflation_key`, or shed.
   void DeliverData(BrassStream& stream, Value payload, const DeliverOptions& options);
 
+  // Edge placement: pushes one event *envelope* (metadata only) on a
+  // pop-placed stream (stream.pop_placed). The POP coarse-filters and
+  // conflates it in transit and resolves the payload through its versioned
+  // edge cache; fetch and per-viewer privacy stay regional. Only meaningful
+  // for apps whose descriptor asks for BrassPlacement::kPopFilter*.
+  void DeliverEnvelope(BrassStream& stream, Value metadata, const DeliverOptions& options);
+
   // Durable tier (descriptor.durable apps): appends the event's payload to
   // `channel`'s replayable log and returns its dense per-topic sequence —
   // pass it as DeliverOptions::seq on the matching DeliverData calls.

@@ -42,6 +42,21 @@ struct BurstConfig {
   double radio_promotion_ms = 330.0;
   double radio_promotion_sigma = 0.45;
   SimTime radio_idle_threshold = Seconds(8);
+
+  // ---- edge placement (docs/BURST.md "Placement") ----
+  // Master enable for POP-side in-transit processing. Off by default: every
+  // POP is a dumb forwarder and the deployment is byte-identical to the
+  // pre-placement codebase, regardless of per-app BrassPlacement values.
+  bool pop_placement_enabled = false;
+
+  // Entry bound of the per-POP versioned payload cache (LRU within the
+  // stale-read rule: a fill superseded by a newer observed version is
+  // delivered to its waiters but never cached).
+  size_t pop_payload_cache_capacity = 256;
+
+  // Default bound on conflation-queued envelopes per stream at the POP when
+  // the app descriptor leaves pop_max_pending_per_stream at 0.
+  size_t pop_max_pending_per_stream = 8;
 };
 
 }  // namespace bladerunner

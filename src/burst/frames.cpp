@@ -12,6 +12,7 @@ constexpr char kHeaderBrassHost[] = "brass_host";      // sticky-routing target
 constexpr char kHeaderResumeToken[] = "resume";        // sync offset
 constexpr char kHeaderDurable[] = "durable";           // durable-tier marker
 constexpr char kHeaderRegion[] = "region";             // preferred DC region
+constexpr char kHeaderPlacement[] = "placement";       // edge-placement stamp
 }  // namespace
 
 StreamHeaderView::StreamHeaderView(const Value& header) {
@@ -44,6 +45,8 @@ StreamHeaderView::StreamHeaderView(const Value& header) {
         region_ = static_cast<int32_t>(value.AsInt(0));
         has_region_ = true;
       }
+    } else if (key == kHeaderPlacement) {
+      placement_ = static_cast<int32_t>(value.AsInt(0));
     }
   }
 }
@@ -83,6 +86,19 @@ StreamHeader& StreamHeader::set_region(int32_t region) {
   return *this;
 }
 
+StreamHeader& StreamHeader::set_placement(int32_t placement) {
+  if (placement == 0) {
+    // Erase rather than store 0: a never-stamped header and a cleared one
+    // are the same wire bytes, which keeps placement-off runs byte-identical.
+    if (value_.is_map()) {
+      value_.MutableMap().erase(kHeaderPlacement);
+    }
+  } else {
+    value_.Set(kHeaderPlacement, static_cast<int64_t>(placement));
+  }
+  return *this;
+}
+
 const char* ToString(DeltaKind kind) {
   switch (kind) {
     case DeltaKind::kData:
@@ -93,6 +109,8 @@ const char* ToString(DeltaKind kind) {
       return "rewrite_request";
     case DeltaKind::kTermination:
       return "termination";
+    case DeltaKind::kEventEnvelope:
+      return "event_envelope";
   }
   return "unknown";
 }
@@ -158,6 +176,17 @@ Delta Delta::Terminate(TerminateReason reason, std::string detail) {
   return d;
 }
 
+Delta Delta::Envelope(Value metadata, std::string conflation_key, uint64_t version,
+                      int64_t event_created_at) {
+  Delta d;
+  d.kind = DeltaKind::kEventEnvelope;
+  d.payload = std::move(metadata);
+  d.conflation_key = std::move(conflation_key);
+  d.version = version;
+  d.event_created_at = event_created_at;
+  return d;
+}
+
 uint64_t Delta::WireSize() const {
   switch (kind) {
     case DeltaKind::kData:
@@ -168,6 +197,8 @@ uint64_t Delta::WireSize() const {
       return 8 + new_header.WireSize();
     case DeltaKind::kTermination:
       return 8 + detail.size();
+    case DeltaKind::kEventEnvelope:
+      return 16 + payload.WireSize() + conflation_key.size() + trace.WireBytes();
   }
   return 8;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graphql/value.h"
@@ -82,6 +83,12 @@ class StreamHeaderView {
   int32_t region(int32_t fallback = 0) const {          // preferred DC region
     return has_region_ ? region_ : fallback;
   }
+  // Edge-placement stamp (numeric BrassPlacement value; 0 = regional/none).
+  // Written by the device-facing POP on every Subscribe it forwards, so the
+  // BRASS host learns which in-transit stages the *current* edge actually
+  // runs — a resubscribe through a placement-incapable POP clears it and
+  // the stream falls back to fully regional processing.
+  int32_t placement() const { return placement_; }
 
  private:
   const std::string* app_;
@@ -93,6 +100,7 @@ class StreamHeaderView {
   bool durable_ = false;
   int32_t region_ = 0;
   bool has_region_ = false;
+  int32_t placement_ = 0;
 };
 
 // Owning builder for constructing a new header or rewriting an existing
@@ -116,6 +124,9 @@ class StreamHeader {
   StreamHeader& set_resume_token(int64_t token);
   StreamHeader& set_durable(bool durable);
   StreamHeader& set_region(int32_t region);
+  // 0 clears the stamp (removes the key from the wire map entirely, so
+  // default headers stay byte-identical to the pre-placement wire format).
+  StreamHeader& set_placement(int32_t placement);
 
   const Value& value() const { return value_; }
   Value Take() && { return std::move(value_); }
@@ -131,6 +142,11 @@ enum class DeltaKind {
   kFlowStatus,  // failure / recovery signalling
   kRewrite,     // replace the stored subscription header
   kTermination, // the stream is over
+  // Inter-node only (stripped by the POP, never seen by devices): event
+  // *metadata* for a stream whose app placed its coarse-filter/conflation
+  // stages at the POP (BrassPlacement::kPopFilter*). Orders of magnitude
+  // smaller than a payload delta — the whole point of edge placement.
+  kEventEnvelope,
 };
 
 enum class FlowStatus {
@@ -157,7 +173,8 @@ const char* ToString(TerminateReason reason);
 
 struct Delta {
   DeltaKind kind = DeltaKind::kData;
-  // kData
+  // kData: the payload; kEventEnvelope: the update-event *metadata* the
+  // POP filters/conflates on (id, version, quality, ...).
   Value payload;
   uint64_t seq = 0;
   // kFlowStatus
@@ -170,12 +187,21 @@ struct Delta {
   std::string detail;
   // kData: the update's trace context, carried to the device so the
   // last-mile hops (proxy, POP, client receipt) join the trace.
+  // kEventEnvelope: the regional processing span the POP-side spans join.
   TraceContext trace;
+  // kEventEnvelope: newest-version-wins conflation inputs, mirroring
+  // DeliverOptions (src/brass/delivery_queue.h), plus the origin timestamp
+  // the POP stamps into the delivered payload for e2e latency accounting.
+  std::string conflation_key;
+  uint64_t version = 0;
+  int64_t event_created_at = 0;
 
   static Delta Data(Value payload, uint64_t seq);
   static Delta Flow(FlowStatus status, std::string detail = "");
   static Delta Rewrite(Value new_header);
   static Delta Terminate(TerminateReason reason, std::string detail = "");
+  static Delta Envelope(Value metadata, std::string conflation_key, uint64_t version,
+                        int64_t event_created_at);
 
   uint64_t WireSize() const;
 };
@@ -232,6 +258,47 @@ struct StreamDetachedFrame : Message {
   std::string reason;
 
   std::string Describe() const override { return "StreamDetached(" + key.ToString() + ")"; }
+};
+
+// Inter-node control (POP -> BRASS host, routed like an Ack along `key`'s
+// path): the POP's payload cache missed for this versioned object; fetch it
+// regionally — with per-viewer privacy — and reply with a PopFillFrame.
+// `viewers` lists every viewer the POP currently serves for this app, so
+// one regional fetch covers the whole local flash crowd.
+struct PopFetchFrame : Message {
+  StreamKey key;     // representative stream (identifies app + uplink path)
+  std::string app;
+  Value metadata;    // the event metadata to fetch by (id, version, ...)
+  std::vector<int64_t> viewers;
+
+  std::string Describe() const override {
+    return "PopFetch(" + key.ToString() + ", " + std::to_string(viewers.size()) + " viewers)";
+  }
+  uint64_t WireSize() const override {
+    return 32 + metadata.WireSize() + 8 * viewers.size();
+  }
+};
+
+// Inter-node control (BRASS host -> POP): the payload + per-viewer privacy
+// decisions answering a PopFetchFrame. One fill fans out to every waiting
+// stream at the POP — the payload crosses the backbone once per POP, not
+// once per stream.
+struct PopFillFrame : Message {
+  StreamKey key;
+  std::string app;
+  int64_t object = 0;
+  uint64_t version = 0;
+  bool ok = false;   // false: regional fetch failed; waiters drop
+  Value payload;
+  std::vector<std::pair<int64_t, bool>> decisions;  // viewer -> allowed
+
+  std::string Describe() const override {
+    return "PopFill(" + key.ToString() + ", object " + std::to_string(object) + " v" +
+           std::to_string(version) + ")";
+  }
+  uint64_t WireSize() const override {
+    return 32 + payload.WireSize() + 9 * decisions.size();
+  }
 };
 
 }  // namespace bladerunner

@@ -1,11 +1,12 @@
 #include "src/burst/pop.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
 namespace bladerunner {
 
-Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
+Pop::Pop(Simulator* sim, PopId pop_id, RegionId region, ProxyConnector connector,
          BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace)
     : ctx_(sim),
       pop_id_(pop_id),
@@ -13,12 +14,26 @@ Pop::Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connec
       connector_(std::move(connector)),
       config_(config),
       metrics_(metrics),
-      trace_(trace) {
+      trace_(trace),
+      cache_(config.pop_payload_cache_capacity) {
   assert(ctx_.sim() != nullptr && metrics_ != nullptr);
   m_.pop_device_disconnects = &metrics_->GetCounter("burst.pop_device_disconnects");
   m_.pop_failures = &metrics_->GetCounter("burst.pop_failures");
   m_.pop_initiated_reconnects = &metrics_->GetCounter("burst.pop_initiated_reconnects");
   m_.pop_uplink_failures = &metrics_->GetCounter("burst.pop_uplink_failures");
+  m_.pop_backbone_bytes_up = &metrics_->GetCounter("burst.pop_backbone_bytes_up");
+  m_.pop_backbone_bytes_down = &metrics_->GetCounter("burst.pop_backbone_bytes_down");
+  m_.pop_envelopes = &metrics_->GetCounter("burst.pop_envelopes");
+  m_.pop_filtered = &metrics_->GetCounter("burst.pop_filtered");
+  m_.pop_conflated = &metrics_->GetCounter("burst.pop_conflated");
+  m_.pop_shed = &metrics_->GetCounter("burst.pop_shed");
+  m_.pop_deliveries = &metrics_->GetCounter("burst.pop_deliveries");
+  m_.pop_delivered_bytes = &metrics_->GetCounter("burst.pop_delivered_bytes");
+  m_.pop_cache_hits = &metrics_->GetCounter("burst.pop_cache_hits");
+  m_.pop_cache_misses = &metrics_->GetCounter("burst.pop_cache_misses");
+  m_.pop_cache_stale_fills = &metrics_->GetCounter("burst.pop_cache_stale_fills");
+  m_.pop_fetches = &metrics_->GetCounter("burst.pop_fetches");
+  m_.pop_privacy_drops = &metrics_->GetCounter("burst.pop_privacy_drops");
 }
 
 void Pop::AttachDeviceConnection(std::shared_ptr<ConnectionEnd> end) {
@@ -45,10 +60,16 @@ void Pop::FailPop() {
   }
   uplinks_.clear();
   uplink_by_conn_.clear();
+  for (auto& [key, state] : streams_) {
+    if (state.drain_timer != kInvalidTimerId) {
+      ctx_.Cancel(state.drain_timer);
+    }
+  }
   streams_.clear();
+  flights_.clear();
 }
 
-Pop::UplinkState* Pop::EnsureUplink(RegionId target_region, uint64_t exclude_proxy_id) {
+Pop::UplinkState* Pop::EnsureUplink(RegionId target_region, ProxyId exclude_proxy_id) {
   auto it = uplinks_.find(target_region);
   if (it != uplinks_.end() && it->second.end->open()) {
     return &it->second;
@@ -72,12 +93,35 @@ Pop::UplinkState* Pop::EnsureUplink(RegionId target_region, uint64_t exclude_pro
   return &ins->second;
 }
 
+void Pop::SendUp(UplinkState& uplink, const MessagePtr& frame) {
+  m_.pop_backbone_bytes_up->Increment(static_cast<int64_t>(frame->WireSize()));
+  uplink.end->Send(frame);
+}
+
 void Pop::OnMessage(ConnectionEnd& on, MessagePtr message) {
   uint64_t conn_id = on.connection_id();
   if (device_conns_.find(conn_id) != device_conns_.end()) {
     HandleDeviceFrame(on, message);
   } else if (uplink_by_conn_.find(conn_id) != uplink_by_conn_.end()) {
     HandleUplinkFrame(on, message);
+  }
+}
+
+BrassPlacement Pop::ResolvePlacement(const StreamHeaderView& view) const {
+  if (!config_.pop_placement_enabled || !descriptors_) {
+    return BrassPlacement::kRegional;
+  }
+  const BrassAppDescriptor* descriptor = descriptors_(view.app());
+  if (descriptor == nullptr || descriptor->durable || view.durable()) {
+    // Durable sequences cannot be filtered or conflated in transit.
+    return BrassPlacement::kRegional;
+  }
+  switch (descriptor->placement) {
+    case BrassPlacement::kPopFilter:
+    case BrassPlacement::kPopFilterConflate:
+      return descriptor->placement;
+    default:
+      return BrassPlacement::kRegional;
   }
 }
 
@@ -90,15 +134,33 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
       if (ctx.valid()) {
         TraceContext hop =
             trace_->RecordSpan(ctx, "burst.pop", "burst", region_, ctx_.Now(), ctx_.Now());
-        trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
+        trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_.value)));
       }
     }
     StreamState state;
+    StreamHeaderView view(subscribe->header);
+    state.up_region = static_cast<RegionId>(view.region(0));
+    state.app = view.app();
+    state.viewer = view.viewer();
+    state.placement = ResolvePlacement(view);
+    // Stamp (or clear) the placement this POP will actually run, so the
+    // BRASS host knows which stages it may delegate. A resubscribe through
+    // an incapable POP thereby falls the stream back to fully regional
+    // processing. Untouched headers stay byte-identical.
+    int32_t stamp = static_cast<int32_t>(state.placement);
+    if (stamp != 0 || view.placement() != 0) {
+      StreamHeader header(std::move(subscribe->header));
+      header.set_placement(stamp);
+      subscribe->header = std::move(header).Take();
+    }
     state.header = subscribe->header;
     state.body = subscribe->body;
     state.device_conn = conn_id;
-    state.up_region = static_cast<RegionId>(StreamHeaderView(subscribe->header).region(0));
     device_conns_[conn_id].streams.insert(subscribe->key);
+    auto existing = streams_.find(subscribe->key);
+    if (existing != streams_.end() && existing->second.drain_timer != kInvalidTimerId) {
+      ctx_.Cancel(existing->second.drain_timer);
+    }
     auto [it, inserted] = streams_.insert_or_assign(subscribe->key, std::move(state));
     (void)inserted;
     ForwardSubscribeUp(subscribe->key, it->second, subscribe->resubscribe);
@@ -109,10 +171,13 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
     if (it != streams_.end()) {
       auto up = uplinks_.find(it->second.up_region);
       if (up != uplinks_.end()) {
-        up->second.end->Send(cancel);
+        SendUp(up->second, cancel);
         up->second.streams.erase(cancel->key);
       }
       device_conns_[conn_id].streams.erase(cancel->key);
+      if (it->second.drain_timer != kInvalidTimerId) {
+        ctx_.Cancel(it->second.drain_timer);
+      }
       streams_.erase(it);
     }
     return;
@@ -122,7 +187,7 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
     if (it != streams_.end()) {
       auto up = uplinks_.find(it->second.up_region);
       if (up != uplinks_.end()) {
-        up->second.end->Send(ack);
+        SendUp(up->second, ack);
       }
     }
     return;
@@ -131,6 +196,11 @@ void Pop::HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message) {
 
 void Pop::HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message) {
   (void)on;
+  m_.pop_backbone_bytes_down->Increment(static_cast<int64_t>(message->WireSize()));
+  if (auto fill = std::dynamic_pointer_cast<PopFillFrame>(message)) {
+    HandleFill(*fill);
+    return;
+  }
   auto response = std::dynamic_pointer_cast<ResponseFrame>(message);
   if (response == nullptr) {
     return;
@@ -139,28 +209,324 @@ void Pop::HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message) {
   if (it == streams_.end()) {
     return;  // stream was cancelled / GCed while the response was in flight
   }
-  bool terminated = false;
+  bool has_envelope = false;
   for (const Delta& delta : response->batch) {
+    if (delta.kind == DeltaKind::kEventEnvelope) {
+      has_envelope = true;
+      break;
+    }
+  }
+  if (!has_envelope) {
+    // Fast path: the pre-placement forwarding behavior, byte-identical.
+    bool terminated = false;
+    for (const Delta& delta : response->batch) {
+      if (delta.kind == DeltaKind::kRewrite) {
+        // Proxies keep the current header so they can repair streams (§3.5);
+        // rewrites update the stored copy as they pass through.
+        it->second.header = delta.new_header;
+      } else if (delta.kind == DeltaKind::kTermination) {
+        terminated = true;
+      } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
+        // Instant hop marker: the update left the backbone at this POP.
+        TraceContext hop = trace_->RecordSpan(delta.trace, "burst.pop", "burst", region_,
+                                              ctx_.Now(), ctx_.Now());
+        trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+      }
+    }
+    auto dev = device_conns_.find(it->second.device_conn);
+    if (dev != device_conns_.end()) {
+      dev->second.end->Send(response);
+    }
+    if (terminated) {
+      RemoveStream(response->key);
+    }
+    return;
+  }
+  // Envelope path: consume envelopes here (devices must never see them);
+  // forward any remaining deltas in a trimmed frame.
+  auto forward = std::make_shared<ResponseFrame>();
+  forward->key = response->key;
+  bool terminated = false;
+  for (Delta& delta : response->batch) {
+    if (delta.kind == DeltaKind::kEventEnvelope) {
+      m_.pop_envelopes->Increment();
+      if (it->second.placement != BrassPlacement::kRegional && config_.pop_placement_enabled) {
+        ProcessEnvelope(response->key, it->second, delta);
+      }
+      // An incapable POP drops envelopes defensively: the host will stop
+      // sending them once the stream resubscribes with a cleared stamp.
+      continue;
+    }
     if (delta.kind == DeltaKind::kRewrite) {
-      // Proxies keep the current header so they can repair streams (§3.5);
-      // rewrites update the stored copy as they pass through.
       it->second.header = delta.new_header;
     } else if (delta.kind == DeltaKind::kTermination) {
       terminated = true;
     } else if (delta.kind == DeltaKind::kData && trace_ != nullptr && delta.trace.valid()) {
-      // Instant hop marker: the update left the backbone at this POP.
       TraceContext hop = trace_->RecordSpan(delta.trace, "burst.pop", "burst", region_,
                                             ctx_.Now(), ctx_.Now());
-      trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_)));
+      trace_->Annotate(hop, "pop", Value(static_cast<int64_t>(pop_id_.value)));
     }
+    forward->batch.push_back(std::move(delta));
   }
-  auto dev = device_conns_.find(it->second.device_conn);
-  if (dev != device_conns_.end()) {
-    dev->second.end->Send(response);
+  if (!forward->batch.empty()) {
+    auto dev = device_conns_.find(it->second.device_conn);
+    if (dev != device_conns_.end()) {
+      dev->second.end->Send(forward);
+    }
   }
   if (terminated) {
     RemoveStream(response->key);
   }
+}
+
+void Pop::ProcessEnvelope(const StreamKey& key, StreamState& state, const Delta& delta) {
+  const BrassAppDescriptor* descriptor = descriptors_ ? descriptors_(state.app) : nullptr;
+  if (descriptor == nullptr) {
+    return;
+  }
+  int64_t object = delta.payload.Get("id").AsInt(0);
+  if (object == 0) {
+    object = delta.payload.Get("user").AsInt(0);  // mirrors ObjectIdOf (fetch_pipeline)
+  }
+  // Every forwarded event advances the version watermark — the cache's
+  // stale-read rule (fetch_pipeline's ObserveEvent, one hop earlier).
+  cache_.ObserveVersion(state.app, object, delta.version);
+  // Viewer-independent coarse filter, in transit.
+  if (!descriptor->pop_filter.quality_field.empty()) {
+    double quality = delta.payload.Get(descriptor->pop_filter.quality_field).AsDouble(0.0);
+    bool passed = quality >= descriptor->pop_filter.min_quality;
+    if (trace_ != nullptr && delta.trace.valid()) {
+      TraceContext span = trace_->RecordSpan(delta.trace, "pop.filter", "burst", region_,
+                                             ctx_.Now(), ctx_.Now());
+      trace_->Annotate(span, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+      trace_->Annotate(span, "passed", Value(passed));
+    }
+    if (!passed) {
+      m_.pop_filtered->Increment();
+      return;
+    }
+  }
+  DeliverOptions options;
+  options.event_created_at = delta.event_created_at;
+  options.parent = delta.trace;
+  options.conflation_key = delta.conflation_key;
+  options.version = delta.version;
+
+  const SimTime gap = descriptor->pop_push_gap_us;
+  if (state.placement != BrassPlacement::kPopFilterConflate || gap <= 0) {
+    ResolveAndDeliver(key, state, delta.payload, options);
+    return;
+  }
+  SimTime now = ctx_.Now();
+  if (state.queue.empty() && now >= state.next_push_at) {
+    state.next_push_at = now + gap;
+    ResolveAndDeliver(key, state, delta.payload, options);
+    return;
+  }
+  size_t bound = descriptor->pop_max_pending_per_stream > 0
+                     ? descriptor->pop_max_pending_per_stream
+                     : config_.pop_max_pending_per_stream;
+  bound = std::max<size_t>(bound, 1);
+  ConflatingDeliveryQueue::OfferResult result =
+      state.queue.Offer(delta.payload, options, descriptor->conflatable, bound);
+  if (result.outcome == ConflatingDeliveryQueue::Outcome::kConflated) {
+    m_.pop_conflated->Increment();
+    if (trace_ != nullptr && delta.trace.valid()) {
+      TraceContext span = trace_->RecordSpan(delta.trace, "pop.conflate", "burst", region_,
+                                             ctx_.Now(), ctx_.Now());
+      trace_->Annotate(span, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+      trace_->Annotate(span, "outcome", Value("conflated"));
+    }
+  } else if (result.outcome == ConflatingDeliveryQueue::Outcome::kShed) {
+    m_.pop_shed->Increment();
+    if (trace_ != nullptr && result.shed.options.parent.valid()) {
+      TraceContext span = trace_->RecordSpan(result.shed.options.parent, "pop.conflate",
+                                             "burst", region_, ctx_.Now(), ctx_.Now());
+      trace_->Annotate(span, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+      trace_->Annotate(span, "outcome", Value("shed"));
+    }
+  }
+  if (state.drain_timer == kInvalidTimerId) {
+    SimTime delay = std::max<SimTime>(state.next_push_at - now, 0);
+    state.drain_timer = ctx_.Schedule(delay, [this, key]() { DrainStreamQueue(key); });
+  }
+}
+
+void Pop::DrainStreamQueue(const StreamKey& key) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return;
+  }
+  StreamState& state = it->second;
+  state.drain_timer = kInvalidTimerId;
+  if (state.queue.empty()) {
+    return;
+  }
+  SimTime now = ctx_.Now();
+  if (now < state.next_push_at) {
+    state.drain_timer =
+        ctx_.Schedule(state.next_push_at - now, [this, key]() { DrainStreamQueue(key); });
+    return;
+  }
+  const BrassAppDescriptor* descriptor = descriptors_ ? descriptors_(state.app) : nullptr;
+  SimTime gap = descriptor != nullptr ? descriptor->pop_push_gap_us : 0;
+  PendingDelivery pending = state.queue.PopFront();
+  state.next_push_at = now + gap;
+  ResolveAndDeliver(key, state, std::move(pending.payload), pending.options);
+  // ResolveAndDeliver may touch streams_ only via lookups; `it` stays valid,
+  // but re-find defensively in case a termination raced in.
+  auto again = streams_.find(key);
+  if (again != streams_.end() && !again->second.queue.empty() &&
+      again->second.drain_timer == kInvalidTimerId) {
+    again->second.drain_timer =
+        ctx_.Schedule(std::max<SimTime>(gap, 1), [this, key]() { DrainStreamQueue(key); });
+  }
+}
+
+std::vector<int64_t> Pop::PlacedViewersFor(const std::string& app) const {
+  std::set<int64_t> viewers;
+  for (const auto& [key, state] : streams_) {
+    if (state.placement != BrassPlacement::kRegional && state.app == app) {
+      viewers.insert(state.viewer);
+    }
+  }
+  return std::vector<int64_t>(viewers.begin(), viewers.end());
+}
+
+void Pop::ResolveAndDeliver(const StreamKey& key, StreamState& state, Value metadata,
+                            const DeliverOptions& options) {
+  int64_t object = metadata.Get("id").AsInt(0);
+  if (object == 0) {
+    object = metadata.Get("user").AsInt(0);
+  }
+  const PopPayloadCache::Entry* entry = cache_.Get(state.app, object, options.version);
+  if (entry != nullptr) {
+    auto decision = entry->decisions.find(state.viewer);
+    if (decision != entry->decisions.end()) {
+      m_.pop_cache_hits->Increment();
+      if (trace_ != nullptr && options.parent.valid()) {
+        TraceContext span = trace_->RecordSpan(options.parent, "pop.cache", "burst", region_,
+                                               ctx_.Now(), ctx_.Now());
+        trace_->Annotate(span, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+        trace_->Annotate(span, "outcome", Value("hit"));
+      }
+      if (decision->second) {
+        DeliverToDevice(key, state, entry->payload, options);
+      } else {
+        m_.pop_privacy_drops->Increment();
+      }
+      return;
+    }
+  }
+  m_.pop_cache_misses->Increment();
+  if (trace_ != nullptr && options.parent.valid()) {
+    TraceContext span = trace_->RecordSpan(options.parent, "pop.cache", "burst", region_,
+                                           ctx_.Now(), ctx_.Now());
+    trace_->Annotate(span, "pop", Value(static_cast<int64_t>(pop_id_.value)));
+    trace_->Annotate(span, "outcome",
+                     Value(entry != nullptr ? "miss_viewer_decision" : "miss"));
+  }
+  FlightKey fkey{state.app, object, options.version};
+  auto [fit, fresh] = flights_.try_emplace(fkey);
+  fit->second.waiters.push_back(Flight::Waiter{key, options});
+  auto up = uplinks_.find(state.up_region);
+  if (up == uplinks_.end()) {
+    return;  // no uplink: the stream is being repaired; next envelope retries
+  }
+  if (fresh) {
+    fit->second.metadata = metadata;
+    // One regional fetch covers every placed viewer of the app currently on
+    // this POP — the flash-crowd fan-out collapses to a single fill.
+    std::vector<int64_t> viewers = PlacedViewersFor(state.app);
+    fit->second.requested_viewers.insert(viewers.begin(), viewers.end());
+    auto fetch = std::make_shared<PopFetchFrame>();
+    fetch->key = key;
+    fetch->app = state.app;
+    fetch->metadata = std::move(metadata);
+    fetch->viewers = std::move(viewers);
+    m_.pop_fetches->Increment();
+    SendUp(up->second, fetch);
+  } else if (fit->second.requested_viewers.insert(state.viewer).second) {
+    // Joined an outstanding flight whose fetch predates this viewer's
+    // subscription; ask for the missing decision.
+    auto fetch = std::make_shared<PopFetchFrame>();
+    fetch->key = key;
+    fetch->app = state.app;
+    fetch->metadata = std::move(metadata);
+    fetch->viewers = {state.viewer};
+    m_.pop_fetches->Increment();
+    SendUp(up->second, fetch);
+  }
+}
+
+void Pop::HandleFill(const PopFillFrame& fill) {
+  if (fill.ok) {
+    if (!cache_.Put(fill.app, fill.object, fill.version, fill.payload, fill.decisions)) {
+      // Stale (a newer version crossed while this fill was in flight) or
+      // cache disabled: waiters below are still served, nothing is cached.
+      m_.pop_cache_stale_fills->Increment();
+    }
+  }
+  auto fit = flights_.find(FlightKey{fill.app, fill.object, fill.version});
+  if (fit == flights_.end()) {
+    return;  // e.g. an incremental fill after the flight already resolved
+  }
+  Flight flight = std::move(fit->second);
+  flights_.erase(fit);
+  if (!fill.ok) {
+    return;  // regional fetch failed; waiters drop (next envelope retries)
+  }
+  std::map<int64_t, bool> decisions(fill.decisions.begin(), fill.decisions.end());
+  for (const Flight::Waiter& waiter : flight.waiters) {
+    auto sit = streams_.find(waiter.key);
+    if (sit == streams_.end()) {
+      continue;  // stream gone while the fetch was in flight
+    }
+    auto decision = decisions.find(sit->second.viewer);
+    if (decision == decisions.end()) {
+      // The fill does not cover this viewer (subscribed mid-flight and the
+      // incremental fetch is still outstanding, or raced the fill): resolve
+      // again — the cache now holds the payload, so this only re-requests
+      // the missing privacy decision.
+      ResolveAndDeliver(waiter.key, sit->second, flight.metadata, waiter.options);
+      continue;
+    }
+    if (!decision->second) {
+      m_.pop_privacy_drops->Increment();
+      continue;
+    }
+    DeliverToDevice(waiter.key, sit->second, fill.payload, waiter.options);
+  }
+}
+
+void Pop::DeliverToDevice(const StreamKey& key, const StreamState& state, Value payload,
+                          const DeliverOptions& options) {
+  auto dev = device_conns_.find(state.device_conn);
+  if (dev == device_conns_.end()) {
+    return;
+  }
+  // Same stamps and span as the regional push path (BrassHost::PushNow), so
+  // device-side e2e accounting and trace shape are placement-agnostic.
+  TraceContext deliver_span;
+  if (trace_ != nullptr && options.parent.valid()) {
+    deliver_span = trace_->StartSpan(options.parent, "burst.deliver", "burst", region_,
+                                     ctx_.Now());
+    trace_->Annotate(deliver_span, "app", Value(state.app));
+    trace_->Annotate(deliver_span, "placement", Value("pop"));
+  }
+  if (options.event_created_at > 0) {
+    payload.Set("_createdAt", options.event_created_at);
+  }
+  payload.Set("_sentAt", ctx_.Now());
+  payload.Set("_app", state.app);
+  m_.pop_deliveries->Increment();
+  m_.pop_delivered_bytes->Increment(static_cast<int64_t>(payload.WireSize()));
+  auto response = std::make_shared<ResponseFrame>();
+  response->key = key;
+  Delta delta = Delta::Data(std::move(payload), options.seq);
+  delta.trace = deliver_span;
+  response->batch.push_back(std::move(delta));
+  dev->second.end->Send(response);
 }
 
 void Pop::ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resubscribe) {
@@ -184,13 +550,16 @@ void Pop::ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resu
   subscribe->header = state.header;
   subscribe->body = state.body;
   subscribe->resubscribe = resubscribe;
-  uplink->end->Send(subscribe);
+  SendUp(*uplink, subscribe);
 }
 
 void Pop::RemoveStream(const StreamKey& key) {
   auto it = streams_.find(key);
   if (it == streams_.end()) {
     return;
+  }
+  if (it->second.drain_timer != kInvalidTimerId) {
+    ctx_.Cancel(it->second.drain_timer);
   }
   auto dev = device_conns_.find(it->second.device_conn);
   if (dev != device_conns_.end()) {
@@ -239,8 +608,11 @@ void Pop::HandleDeviceDisconnect(uint64_t conn_id) {
       auto detached = std::make_shared<StreamDetachedFrame>();
       detached->key = key;
       detached->reason = "device connection lost";
-      up->second.end->Send(detached);
+      SendUp(up->second, detached);
       up->second.streams.erase(key);
+    }
+    if (it->second.drain_timer != kInvalidTimerId) {
+      ctx_.Cancel(it->second.drain_timer);
     }
     streams_.erase(it);
   }
@@ -257,7 +629,7 @@ void Pop::HandleUplinkDisconnect(RegionId up_region) {
     return;
   }
   m_.pop_uplink_failures->Increment();
-  uint64_t failed_proxy = it->second.proxy_id;
+  ProxyId failed_proxy = it->second.proxy_id;
   std::vector<StreamKey> affected(it->second.streams.begin(), it->second.streams.end());
   uplink_by_conn_.erase(it->second.end->connection_id());
   it->second.end->set_handler(nullptr);

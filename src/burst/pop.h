@@ -8,6 +8,15 @@
 // repairs each affected stream by resubscribing through an alternate proxy
 // (§4 axiom 2); when a device connection fails, the POP notifies the
 // upstream BRASSes and garbage-collects its stream state (§4 axiom 1).
+//
+// Edge placement (docs/BURST.md "Placement"): when the deployment enables
+// it, apps whose descriptor asks for BrassPlacement::kPopFilter* have their
+// viewer-independent stages run *here*, in transit. The regional host then
+// sends small event envelopes instead of payloads; the POP coarse-filters
+// them, conflates newest-version-wins per stream, and resolves surviving
+// envelopes to payloads through a bounded versioned cache — asking the
+// region (once per POP, not once per stream) only on a miss. Fetch and
+// per-viewer privacy always stay regional.
 
 #ifndef BLADERUNNER_SRC_BURST_POP_H_
 #define BLADERUNNER_SRC_BURST_POP_H_
@@ -19,9 +28,14 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/brass/app_descriptor.h"
+#include "src/brass/delivery_queue.h"
 #include "src/burst/config.h"
 #include "src/burst/frames.h"
+#include "src/burst/ids.h"
+#include "src/burst/pop_cache.h"
 #include "src/net/connection.h"
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
@@ -35,21 +49,35 @@ class Pop : public ConnectionHandler {
   // A newly established uplink to some reverse proxy.
   struct Uplink {
     std::shared_ptr<ConnectionEnd> end;
-    uint64_t proxy_id = 0;
+    ProxyId proxy_id;
   };
 
   // Asks the infrastructure for an uplink to a reverse proxy serving
   // `target_region`, excluding `exclude_proxy_id` (the proxy that just
-  // failed; 0 to exclude none). Returns an empty Uplink if none available.
+  // failed; ProxyId{} to exclude none). Returns an empty Uplink if none
+  // available.
   using ProxyConnector = std::function<Uplink(Pop* pop, RegionId target_region,
-                                              uint64_t exclude_proxy_id)>;
+                                              ProxyId exclude_proxy_id)>;
 
-  Pop(Simulator* sim, uint64_t pop_id, RegionId region, ProxyConnector connector,
+  // Resolves an app name to its descriptor (placement policy, coarse-filter
+  // spec, pacing). Wired by the cluster from the shared app registry; a
+  // null/empty lookup leaves the POP a pure forwarder.
+  using DescriptorLookup = std::function<const BrassAppDescriptor*(const std::string& app)>;
+
+  Pop(Simulator* sim, PopId pop_id, RegionId region, ProxyConnector connector,
       BurstConfig config, MetricsRegistry* metrics, TraceCollector* trace = nullptr);
 
-  uint64_t pop_id() const { return pop_id_; }
+  PopId pop_id() const { return pop_id_; }
   RegionId region() const { return region_; }
   bool alive() const { return alive_; }
+
+  // Wires the app-descriptor registry in (cluster construction). Without it
+  // the POP never stamps placement, regardless of config.
+  void SetDescriptorLookup(DescriptorLookup lookup) { descriptors_ = std::move(lookup); }
+
+  // Per-POP override of BurstConfig::pop_placement_enabled; lets tests run
+  // mixed fleets (a capable POP failing over to an incapable one).
+  void set_placement_enabled(bool enabled) { config_.pop_placement_enabled = enabled; }
 
   // The infrastructure attaches the POP-side end of a new device
   // connection here (the device holds the other end).
@@ -61,6 +89,7 @@ class Pop : public ConnectionHandler {
 
   size_t StreamCount() const { return streams_.size(); }
   size_t DeviceConnectionCount() const { return device_conns_.size(); }
+  const PopPayloadCache& payload_cache() const { return cache_; }
 
   // ConnectionHandler:
   void OnMessage(ConnectionEnd& on, MessagePtr message) override;
@@ -72,6 +101,14 @@ class Pop : public ConnectionHandler {
     std::string body;
     uint64_t device_conn = 0;  // connection id of the device side
     RegionId up_region = 0;    // which uplink the stream runs over
+    // ---- edge placement (set at Subscribe when this POP is capable) ----
+    BrassPlacement placement = BrassPlacement::kRegional;
+    std::string app;    // cached from the header; keys descriptor lookups
+    int64_t viewer = 0; // cached from the header; keys privacy decisions
+    // kPopFilterConflate: pending envelopes awaiting a push slot.
+    ConflatingDeliveryQueue queue;
+    SimTime next_push_at = 0;
+    TimerId drain_timer = kInvalidTimerId;
   };
 
   struct DeviceConn {
@@ -81,12 +118,39 @@ class Pop : public ConnectionHandler {
 
   struct UplinkState {
     std::shared_ptr<ConnectionEnd> end;
-    uint64_t proxy_id = 0;
+    ProxyId proxy_id;
     std::set<StreamKey> streams;
   };
 
+  // One outstanding regional fetch for a versioned object; concurrent
+  // misses for the same (app, object, version) coalesce onto it
+  // (singleflight, like the fetch pipeline's Flights).
+  struct Flight {
+    struct Waiter {
+      StreamKey key;
+      DeliverOptions options;
+    };
+    Value metadata;  // the event metadata the fetch was issued with
+    std::vector<Waiter> waiters;
+    std::set<int64_t> requested_viewers;
+  };
+  struct FlightKey {
+    std::string app;
+    int64_t object = 0;
+    uint64_t version = 0;
+    bool operator<(const FlightKey& o) const {
+      if (app != o.app) {
+        return app < o.app;
+      }
+      if (object != o.object) {
+        return object < o.object;
+      }
+      return version < o.version;
+    }
+  };
+
   // Returns (establishing if needed) the uplink toward `target_region`.
-  UplinkState* EnsureUplink(RegionId target_region, uint64_t exclude_proxy_id = 0);
+  UplinkState* EnsureUplink(RegionId target_region, ProxyId exclude_proxy_id = ProxyId{});
 
   void HandleDeviceFrame(ConnectionEnd& on, const MessagePtr& message);
   void HandleUplinkFrame(ConnectionEnd& on, const MessagePtr& message);
@@ -95,28 +159,71 @@ class Pop : public ConnectionHandler {
   void ForwardSubscribeUp(const StreamKey& key, StreamState& state, bool resubscribe);
   void RemoveStream(const StreamKey& key);
 
+  // ---- edge placement ----
+  // The placement this POP will run for the subscription, after gating on
+  // the master enable, the descriptor, and the durable exclusion.
+  BrassPlacement ResolvePlacement(const StreamHeaderView& view) const;
+  // One event envelope arriving on a placed stream: observe the version,
+  // coarse-filter, then pace/conflate or resolve immediately.
+  void ProcessEnvelope(const StreamKey& key, StreamState& state, const Delta& delta);
+  // Pacing drain for one stream's conflation queue.
+  void DrainStreamQueue(const StreamKey& key);
+  // Resolves an envelope to a payload via the cache, joining or starting a
+  // regional fetch flight on a miss.
+  void ResolveAndDeliver(const StreamKey& key, StreamState& state, Value metadata,
+                         const DeliverOptions& options);
+  void HandleFill(const PopFillFrame& fill);
+  // Pushes the resolved payload to the stream's device, stamping the e2e
+  // latency fields and opening the "burst.deliver" span the client ends.
+  void DeliverToDevice(const StreamKey& key, const StreamState& state, Value payload,
+                       const DeliverOptions& options);
+  // All uplink sends go through this so backbone bytes are accounted.
+  void SendUp(UplinkState& uplink, const MessagePtr& frame);
+  // Every viewer with a placed stream of `app` on this POP (the fetch
+  // prefetch set: one regional fill covers the whole local flash crowd).
+  std::vector<int64_t> PlacedViewersFor(const std::string& app) const;
+
   // Metric handles resolved once at construction (docs/PERF.md).
   struct Metrics {
     Counter* pop_device_disconnects;
     Counter* pop_failures;
     Counter* pop_initiated_reconnects;
     Counter* pop_uplink_failures;
+    // Backbone accounting (POP <-> proxy leg), always on.
+    Counter* pop_backbone_bytes_up;
+    Counter* pop_backbone_bytes_down;
+    // Edge placement.
+    Counter* pop_envelopes;
+    Counter* pop_filtered;
+    Counter* pop_conflated;
+    Counter* pop_shed;
+    Counter* pop_deliveries;
+    Counter* pop_delivered_bytes;
+    Counter* pop_cache_hits;
+    Counter* pop_cache_misses;
+    Counter* pop_cache_stale_fills;
+    Counter* pop_fetches;
+    Counter* pop_privacy_drops;
   };
 
   SimContext ctx_;
-  uint64_t pop_id_;
+  PopId pop_id_;
   RegionId region_;
   ProxyConnector connector_;
   BurstConfig config_;
   MetricsRegistry* metrics_;
   Metrics m_;
   TraceCollector* trace_;
+  DescriptorLookup descriptors_;
   bool alive_ = true;
 
   std::unordered_map<StreamKey, StreamState, StreamKeyHash> streams_;
   std::map<uint64_t, DeviceConn> device_conns_;    // by connection id
   std::map<RegionId, UplinkState> uplinks_;        // one uplink per DC region
   std::map<uint64_t, RegionId> uplink_by_conn_;    // connection id -> region
+
+  PopPayloadCache cache_;
+  std::map<FlightKey, Flight> flights_;
 };
 
 }  // namespace bladerunner

@@ -5,7 +5,7 @@
 
 namespace bladerunner {
 
-ReverseProxy::ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
+ReverseProxy::ReverseProxy(Simulator* sim, ProxyId proxy_id, RegionId region,
                            BurstServerDirectory* directory, BurstConfig config,
                            MetricsRegistry* metrics, TraceCollector* trace)
     : ctx_(sim),
@@ -104,7 +104,7 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
       if (ctx.valid()) {
         TraceContext hop =
             trace_->RecordSpan(ctx, "burst.proxy", "burst", region_, ctx_.Now(), ctx_.Now());
-        trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
+        trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_.value)));
       }
     }
     StreamState state;
@@ -173,6 +173,18 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
     }
     return;
   }
+  if (auto fetch = std::dynamic_pointer_cast<PopFetchFrame>(message)) {
+    // Routed like an Ack: along the representative stream's host leg. The
+    // BRASS host answers with a PopFillFrame over the same connection.
+    auto it = streams_.find(fetch->key);
+    if (it != streams_.end()) {
+      auto host = host_conns_.find(it->second.host_id);
+      if (host != host_conns_.end()) {
+        host->second.end->Send(fetch);
+      }
+    }
+    return;
+  }
   if (auto detached = std::dynamic_pointer_cast<StreamDetachedFrame>(message)) {
     // Upstream propagation of a device-side loss (§4 axiom 1).
     auto it = streams_.find(detached->key);
@@ -189,6 +201,18 @@ void ReverseProxy::HandlePopFrame(ConnectionEnd& on, const MessagePtr& message) 
 
 void ReverseProxy::HandleHostFrame(ConnectionEnd& on, const MessagePtr& message) {
   (void)on;
+  if (auto fill = std::dynamic_pointer_cast<PopFillFrame>(message)) {
+    // Forward down along the representative stream's POP connection; the
+    // POP fans the one payload out to every waiting local stream.
+    auto it = streams_.find(fill->key);
+    if (it != streams_.end()) {
+      auto pop = pop_conns_.find(it->second.pop_conn);
+      if (pop != pop_conns_.end()) {
+        pop->second.end->Send(fill);
+      }
+    }
+    return;
+  }
   auto response = std::dynamic_pointer_cast<ResponseFrame>(message);
   if (response == nullptr) {
     return;
@@ -207,7 +231,7 @@ void ReverseProxy::HandleHostFrame(ConnectionEnd& on, const MessagePtr& message)
       // Instant hop marker on the data path (child of "burst.deliver").
       TraceContext hop = trace_->RecordSpan(delta.trace, "burst.proxy", "burst", region_,
                                             ctx_.Now(), ctx_.Now());
-      trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_)));
+      trace_->Annotate(hop, "proxy", Value(static_cast<int64_t>(proxy_id_.value)));
     }
   }
   auto pop = pop_conns_.find(it->second.pop_conn);

@@ -18,6 +18,7 @@
 
 #include "src/burst/config.h"
 #include "src/burst/frames.h"
+#include "src/burst/ids.h"
 #include "src/net/connection.h"
 #include "src/net/topology.h"
 #include "src/sim/metrics.h"
@@ -59,11 +60,11 @@ class BurstServerDirectory {
 
 class ReverseProxy : public ConnectionHandler {
  public:
-  ReverseProxy(Simulator* sim, uint64_t proxy_id, RegionId region,
+  ReverseProxy(Simulator* sim, ProxyId proxy_id, RegionId region,
                BurstServerDirectory* directory, BurstConfig config, MetricsRegistry* metrics,
                TraceCollector* trace = nullptr);
 
-  uint64_t proxy_id() const { return proxy_id_; }
+  ProxyId proxy_id() const { return proxy_id_; }
   RegionId region() const { return region_; }
   bool alive() const { return alive_; }
 
@@ -130,7 +131,7 @@ class ReverseProxy : public ConnectionHandler {
   };
 
   SimContext ctx_;
-  uint64_t proxy_id_;
+  ProxyId proxy_id_;
   RegionId region_;
   BurstServerDirectory* directory_;
   BurstConfig config_;

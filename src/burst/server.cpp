@@ -28,6 +28,14 @@ void ServerStream::Terminate(TerminateReason reason, std::string detail) {
   server_->EraseStream(key_, reason, /*notify_handler=*/true);
 }
 
+bool ServerStream::SendFrame(MessagePtr frame) {
+  if (!attached()) {
+    return false;
+  }
+  down_conn_->Send(std::move(frame));
+  return true;
+}
+
 BurstServer::BurstServer(Simulator* sim, int64_t host_id, BurstServerHandler* handler,
                          BurstConfig config, MetricsRegistry* metrics)
     : ctx_(sim), host_id_(host_id), handler_(handler), config_(config), metrics_(metrics) {
@@ -112,6 +120,11 @@ void BurstServer::OnMessage(ConnectionEnd& on, MessagePtr message) {
     HandleAck(*ack);
   } else if (auto detached = std::dynamic_pointer_cast<StreamDetachedFrame>(message)) {
     HandleDetached(*detached);
+  } else if (auto fetch = std::dynamic_pointer_cast<PopFetchFrame>(message)) {
+    auto it = streams_.find(fetch->key);
+    if (it != streams_.end()) {
+      handler_->OnPopFetch(*it->second, *fetch);
+    }
   }
 }
 

@@ -53,6 +53,11 @@ class ServerStream {
   // current (typically just-rewritten) header.
   void Terminate(TerminateReason reason, std::string detail = "");
 
+  // Sends a raw inter-node control frame (e.g. a PopFillFrame answering a
+  // PopFetchFrame) down the stream's proxy connection. Returns false when
+  // the stream is detached (the POP re-fetches on the next envelope).
+  bool SendFrame(MessagePtr frame);
+
  private:
   friend class BurstServer;
   ServerStream(BurstServer* server, StreamKey key) : server_(server), key_(key) {}
@@ -98,6 +103,16 @@ class BurstServerHandler {
   virtual void OnAck(ServerStream& stream, uint64_t seq) {
     (void)stream;
     (void)seq;
+  }
+
+  // A POP's payload cache missed for a versioned object on `stream`'s app:
+  // fetch regionally (with per-viewer privacy for every listed viewer) and
+  // answer with a PopFillFrame via stream.SendFrame. Default: ignore — the
+  // POP-side waiters simply never resolve, which only placement-aware
+  // applications opt into avoiding.
+  virtual void OnPopFetch(ServerStream& stream, const PopFetchFrame& fetch) {
+    (void)stream;
+    (void)fetch;
   }
 };
 

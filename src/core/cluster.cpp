@@ -120,17 +120,27 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
   uint64_t next_proxy_id = 1;
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.proxies_per_region; ++i) {
-      proxies_.push_back(std::make_unique<ReverseProxy>(&sim_, next_proxy_id++, r, router_.get(),
-                                                        config_.burst, &metrics_, &trace_));
+      proxies_.push_back(std::make_unique<ReverseProxy>(&sim_, ProxyId(next_proxy_id++), r,
+                                                        router_.get(), config_.burst, &metrics_,
+                                                        &trace_));
     }
   }
 
   uint64_t next_pop_id = 1;
   Pop::ProxyConnector connector = MakeProxyConnector();
+  // POPs resolve app placement policy from the same registry the hosts and
+  // router share; without the lookup a POP is a pure forwarder.
+  Pop::DescriptorLookup descriptors =
+      [this](const std::string& app) -> const BrassAppDescriptor* {
+    auto it = app_registry_.find(app);
+    return it == app_registry_.end() ? nullptr : &it->second.descriptor;
+  };
   for (RegionId r = 0; r < topology_.num_regions(); ++r) {
     for (int i = 0; i < config_.pops_per_region; ++i) {
-      pops_.push_back(std::make_unique<Pop>(&sim_, next_pop_id++, r, connector, config_.burst,
-                                            &metrics_, &trace_));
+      auto pop = std::make_unique<Pop>(&sim_, PopId(next_pop_id++), r, connector, config_.burst,
+                                       &metrics_, &trace_);
+      pop->SetDescriptorLookup(descriptors);
+      pops_.push_back(std::move(pop));
     }
   }
 }
@@ -138,7 +148,7 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
 BladerunnerCluster::~BladerunnerCluster() = default;
 
 Pop::ProxyConnector BladerunnerCluster::MakeProxyConnector() {
-  return [this](Pop* pop, RegionId target_region, uint64_t exclude_proxy_id) -> Pop::Uplink {
+  return [this](Pop* pop, RegionId target_region, ProxyId exclude_proxy_id) -> Pop::Uplink {
     // Prefer an alive proxy in the target region; fall back to any region.
     ReverseProxy* chosen = nullptr;
     for (auto& proxy : proxies_) {

@@ -194,6 +194,11 @@ void DeviceAgent::PostComment(ObjectId video, const std::string& text,
          "\", language: \"" + language + "\") { id } }");
 }
 
+void DeviceAgent::EditComment(ObjectId comment, const std::string& text) {
+  Mutate("mutation { editComment(comment: " + std::to_string(comment) + ", text: \"" + text +
+         "\") { id } }");
+}
+
 void DeviceAgent::SendMessage(ObjectId thread, const std::string& text) {
   Mutate("mutation { sendMessage(thread: " + std::to_string(thread) + ", text: \"" + text +
          "\") { id } }");

@@ -55,6 +55,9 @@ class DeviceAgent : public BurstClient::Observer {
 
   // ---- user activity helpers ----
   void PostComment(ObjectId video, const std::string& text, const std::string& language);
+  // Rewrites an earlier comment's text; the backend stamps a new object
+  // version and republishes to the video's LVC topic.
+  void EditComment(ObjectId comment, const std::string& text);
   void SendMessage(ObjectId thread, const std::string& text);
   void SetTyping(ObjectId thread, bool typing);
   void PostStory(const std::string& text);

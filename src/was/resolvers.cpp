@@ -343,6 +343,44 @@ Value MutatePostComment(const ResolveInfo& info) {
   return Value(std::move(out));
 }
 
+// Rewrites an existing comment's text in place. TAO stamps a new object
+// version on the put; the LVC publish carries that version so downstream
+// consumers (POP payload caches, conflation keys) can tell the edit apart
+// from the original. The comment keeps its ranking-time quality score and
+// is already in the serving index, so the edit skips the ranking pipeline.
+Value MutateEditComment(const ResolveInfo& info) {
+  WasContext& was = WasContext::Of(info.ctx);
+  ObjectId id = info.field.Arg("comment").AsInt();
+  const std::string& text = info.field.Arg("text").AsString();
+  auto existing = was.tao->GetObject(was.region, id, &info.ctx.cost);
+  if (!existing.has_value() || existing->otype != "comment") {
+    return Value();
+  }
+  ObjectId video = existing->data.Get("video").AsInt(0);
+  Object comment = *existing;
+  comment.data.Set("text", text);
+  uint64_t version = 0;
+  was.tao->PutObject(std::move(comment), &version);
+  info.ctx.cost.writes += 1;
+
+  PublishSpec publish;
+  publish.topic = LvcTopic(video);
+  publish.metadata.Set("id", id);
+  publish.metadata.Set("version", static_cast<int64_t>(version));
+  publish.metadata.Set("author", existing->data.Get("author").AsInt(0));
+  publish.metadata.Set("video", video);
+  publish.metadata.Set("quality", existing->data.Get("quality").AsDouble(0.0));
+  publish.metadata.Set("language", existing->data.Get("language").AsString());
+  StampMutationSeq(was, publish);  // stamp of the comment-object put
+  was.publishes.push_back(std::move(publish));
+
+  ValueMap out;
+  out["__type"] = Value("Comment");
+  out["id"] = Value(id);
+  out["version"] = Value(static_cast<int64_t>(version));
+  return Value(std::move(out));
+}
+
 Value MutateLikePost(const ResolveInfo& info) {
   WasContext& was = WasContext::Of(info.ctx);
   ObjectId post = info.field.Arg("post").AsInt();
@@ -679,6 +717,7 @@ void InstallSocialSchema(WebAppServer& was) {
   schema.AddResolver("Query", "mailbox", ResolveMailbox);
 
   schema.AddResolver("Mutation", "postComment", MutatePostComment);
+  schema.AddResolver("Mutation", "editComment", MutateEditComment);
   schema.AddResolver("Mutation", "likePost", MutateLikePost);
   schema.AddResolver("Mutation", "heartbeatOnline", MutateHeartbeatOnline);
   schema.AddResolver("Mutation", "setTyping", MutateSetTyping);

@@ -138,10 +138,12 @@ class BurstTest : public ::testing::Test {
     directory_->AddHost(1, server1_.get());
     directory_->AddHost(2, server2_.get());
 
-    proxy_ = std::make_unique<ReverseProxy>(&sim_, 1, 0, directory_.get(), config_, &metrics_);
-    proxy2_ = std::make_unique<ReverseProxy>(&sim_, 2, 0, directory_.get(), config_, &metrics_);
+    proxy_ =
+        std::make_unique<ReverseProxy>(&sim_, ProxyId(1), 0, directory_.get(), config_, &metrics_);
+    proxy2_ =
+        std::make_unique<ReverseProxy>(&sim_, ProxyId(2), 0, directory_.get(), config_, &metrics_);
 
-    pop_connector_ = [this](Pop*, RegionId, uint64_t exclude) -> Pop::Uplink {
+    pop_connector_ = [this](Pop*, RegionId, ProxyId exclude) -> Pop::Uplink {
       ReverseProxy* target = nullptr;
       if (proxy_->alive() && proxy_->proxy_id() != exclude) {
         target = proxy_.get();
@@ -158,7 +160,7 @@ class BurstTest : public ::testing::Test {
       uplink.proxy_id = target->proxy_id();
       return uplink;
     };
-    pop_ = std::make_unique<Pop>(&sim_, 1, 0, pop_connector_, config_, &metrics_);
+    pop_ = std::make_unique<Pop>(&sim_, PopId(1), 0, pop_connector_, config_, &metrics_);
 
     client_connector_ = [this](int64_t, BurstClient::ConnectDone done) {
       if (!pop_->alive()) {
@@ -565,7 +567,7 @@ TEST(ProxyRouteTest, ResubscribeToNewHostDetachesOldRoute) {
   BurstServer server2(&sim, 2, &app2, config, &metrics);
   directory.AddHost(1, &server1);
   directory.AddHost(2, &server2);
-  ReverseProxy proxy(&sim, 1, 0, &directory, config, &metrics);
+  ReverseProxy proxy(&sim, ProxyId(1), 0, &directory, config, &metrics);
 
   auto [pop_end, proxy_end] = CreateConnection(&sim, LatencyModel::Fixed(2.0), Millis(50));
   FrameRecorder pop;

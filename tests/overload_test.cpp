@@ -254,7 +254,7 @@ TEST(OverloadClusterTest, HotTopicSpikeDegradesToPollAndRecovers) {
   ClusterConfig config;
   config.seed = 4242;
   config.brass_hosts_per_region = 1;
-  config.apps.lvc.filter_at_brass = false;  // firehose: every comment pushes
+  config.apps.lvc.placement = BrassPlacement::kDeviceFirehose;  // every comment pushes
   config.brass.overload.min_push_gap = Millis(500);
   config.brass.overload.max_pending_per_stream = 4;
   config.brass.overload.degrade_min_sheds = 4;

@@ -1,0 +1,279 @@
+// Edge placement (docs/BURST.md "Placement"): the POP-side payload cache's
+// versioned invalidation semantics, and the end-to-end placement dataflow —
+// envelopes at the host, coarse filter + conflation + cache at the POP,
+// fetch and privacy regional — including the mid-stream fallback to fully
+// regional processing when the capable POP fails.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/burst/pop_cache.h"
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/was/resolvers.h"
+#include "src/workload/social_gen.h"
+
+namespace bladerunner {
+namespace {
+
+Value Payload(const std::string& text) {
+  Value v;
+  v.Set("text", text);
+  return v;
+}
+
+// ---- PopPayloadCache: the fetch_pipeline stale-read rule at the edge ----
+
+TEST(PopPayloadCacheTest, StaleFillIsRejectedAndNeverCached) {
+  PopPayloadCache cache(4);
+  // An envelope for version 2 crossed before the version-1 fill landed.
+  cache.ObserveVersion("LVC", 7, 2);
+  EXPECT_FALSE(cache.Put("LVC", 7, 1, Payload("old"), {{100, true}}));
+  // The waiters were still served (a stale follower read is a valid read),
+  // but no later stream can be handed the superseded payload.
+  EXPECT_EQ(cache.Get("LVC", 7, 1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stale_rejects(), 1u);
+}
+
+TEST(PopPayloadCacheTest, VersionBumpInvalidatesCachedOlderEntry) {
+  PopPayloadCache cache(4);
+  ASSERT_TRUE(cache.Put("LVC", 7, 1, Payload("v1"), {{100, true}}));
+  ASSERT_NE(cache.Get("LVC", 7, 1), nullptr);
+  // The next event envelope for the object carries version 2: the v1 entry
+  // must drop immediately, not linger until LRU pressure.
+  EXPECT_EQ(cache.ObserveVersion("LVC", 7, 2), 1u);
+  EXPECT_EQ(cache.Get("LVC", 7, 1), nullptr);
+  EXPECT_EQ(cache.version_invalidations(), 1u);
+  // The newer version caches normally afterwards.
+  EXPECT_TRUE(cache.Put("LVC", 7, 2, Payload("v2"), {{100, true}}));
+  ASSERT_NE(cache.Get("LVC", 7, 2), nullptr);
+}
+
+TEST(PopPayloadCacheTest, PutBelowWatermarkFromLaterFillIsRejected) {
+  PopPayloadCache cache(4);
+  ASSERT_TRUE(cache.Put("LVC", 7, 3, Payload("v3"), {{100, true}}));
+  // A straggler fill for an older version arrives after the newer one.
+  EXPECT_FALSE(cache.Put("LVC", 7, 2, Payload("v2"), {{100, true}}));
+  EXPECT_EQ(cache.Get("LVC", 7, 2), nullptr);
+  ASSERT_NE(cache.Get("LVC", 7, 3), nullptr);
+}
+
+TEST(PopPayloadCacheTest, BoundedByLruEviction) {
+  PopPayloadCache cache(2);
+  ASSERT_TRUE(cache.Put("LVC", 1, 1, Payload("a"), {}));
+  ASSERT_TRUE(cache.Put("LVC", 2, 1, Payload("b"), {}));
+  // Touch object 1 so object 2 is the LRU victim.
+  ASSERT_NE(cache.Get("LVC", 1, 1), nullptr);
+  ASSERT_TRUE(cache.Put("LVC", 3, 1, Payload("c"), {}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lru_evictions(), 1u);
+  EXPECT_EQ(cache.Get("LVC", 2, 1), nullptr);
+  EXPECT_NE(cache.Get("LVC", 1, 1), nullptr);
+  EXPECT_NE(cache.Get("LVC", 3, 1), nullptr);
+}
+
+TEST(PopPayloadCacheTest, AddDecisionsMergesForLaterViewers) {
+  PopPayloadCache cache(4);
+  ASSERT_TRUE(cache.Put("LVC", 7, 1, Payload("v1"), {{100, true}}));
+  cache.AddDecisions("LVC", 7, 1, {{101, false}});
+  const PopPayloadCache::Entry* entry = cache.Get("LVC", 7, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->decisions.at(100));
+  EXPECT_FALSE(entry->decisions.at(101));
+}
+
+TEST(PopPayloadCacheTest, ZeroCapacityDisablesCaching) {
+  PopPayloadCache cache(0);
+  EXPECT_FALSE(cache.Put("LVC", 7, 1, Payload("v1"), {{100, true}}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- end-to-end placement through the full stack ----
+
+class PopPlacementTest : public ::testing::Test {
+ protected:
+  void Build(BrassPlacement placement, bool placement_enabled, double min_quality = 0.0) {
+    ClusterConfig config;
+    config.seed = 4242;
+    config.burst.pop_placement_enabled = placement_enabled;
+    config.apps.lvc.placement = placement;
+    // Deterministic delivery: no quality / friend / language gate, and a
+    // short pacing gap so a single RunFor covers several push slots.
+    config.apps.lvc.min_quality = min_quality;
+    config.apps.lvc.non_friend_quality = 0.0;
+    config.apps.lvc.filter_language = false;
+    config.apps.lvc.push_interval = Seconds(1);
+    cluster_ = std::make_unique<BladerunnerCluster>(config);
+    SocialGraphConfig graph_config;
+    graph_config.num_users = 30;
+    graph_config.num_videos = 1;
+    graph_ = GenerateSocialGraph(cluster_->tao(), cluster_->sim().rng(), graph_config);
+    cluster_->sim().RunFor(Seconds(2));
+  }
+
+  std::unique_ptr<DeviceAgent> MakeDevice(size_t user_index) {
+    return std::make_unique<DeviceAgent>(cluster_.get(), graph_.users[user_index], 0,
+                                         DeviceProfile::kWifi);
+  }
+
+  int64_t Counter(const std::string& name) {
+    return cluster_->metrics().GetCounter(name).value();
+  }
+
+  std::unique_ptr<BladerunnerCluster> cluster_;
+  SocialGraph graph_;
+};
+
+TEST_F(PopPlacementTest, PopPlacedStreamDeliversThroughTheEdge) {
+  Build(BrassPlacement::kPopFilterConflate, /*placement_enabled=*/true);
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  poster->PostComment(video, "hello", "en");
+  cluster_->sim().RunFor(Seconds(15));
+
+  // The host sent envelopes, never payloads; the POP resolved and pushed.
+  EXPECT_GE(Counter("brass.envelopes"), 1);
+  EXPECT_GE(Counter("burst.pop_envelopes"), 1);
+  EXPECT_GE(Counter("burst.pop_deliveries"), 1);
+  EXPECT_GE(Counter("burst.pop_fetches"), 1);
+  EXPECT_GE(Counter("brass.pop_fetch_serves"), 1);
+  EXPECT_EQ(Counter("brass.deliveries"), 0);
+  EXPECT_GE(viewer->payloads_received(), 1u);
+}
+
+TEST_F(PopPlacementTest, PlacementKnobsOffKeepsEverythingRegional) {
+  Build(BrassPlacement::kRegional, /*placement_enabled=*/false);
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  poster->PostComment(video, "hello", "en");
+  cluster_->sim().RunFor(Seconds(15));
+
+  EXPECT_GE(viewer->payloads_received(), 1u);
+  EXPECT_GE(Counter("brass.deliveries"), 1);
+  EXPECT_EQ(Counter("brass.envelopes"), 0);
+  EXPECT_EQ(Counter("burst.pop_envelopes"), 0);
+  EXPECT_EQ(Counter("burst.pop_deliveries"), 0);
+}
+
+// The app asks for POP placement but the deployment has not enabled POPs:
+// the POP clears the header stamp at Subscribe and the host runs regional.
+TEST_F(PopPlacementTest, AppPolicyWithoutCapablePopsFallsBackRegional) {
+  Build(BrassPlacement::kPopFilterConflate, /*placement_enabled=*/false);
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  poster->PostComment(video, "hello", "en");
+  cluster_->sim().RunFor(Seconds(15));
+
+  EXPECT_GE(viewer->payloads_received(), 1u);
+  EXPECT_GE(Counter("brass.deliveries"), 1);
+  EXPECT_EQ(Counter("brass.envelopes"), 0);
+}
+
+TEST_F(PopPlacementTest, CoarseFilterDropsLowQualityAtThePop) {
+  // min_quality above the whole quality range: every comment survives the
+  // regional residual (it is viewer-independent-clean) but dies at the POP.
+  Build(BrassPlacement::kPopFilterConflate, /*placement_enabled=*/true,
+        /*min_quality=*/2.0);
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  for (int i = 0; i < 5; ++i) {
+    poster->PostComment(video, "spam", "en");
+    cluster_->sim().RunFor(Seconds(1));
+  }
+  cluster_->sim().RunFor(Seconds(15));
+
+  EXPECT_GE(Counter("burst.pop_filtered"), 1);
+  EXPECT_EQ(Counter("burst.pop_deliveries"), 0);
+  EXPECT_EQ(viewer->payloads_received(), 0u);
+  // The filtered events never triggered a regional payload fetch.
+  EXPECT_EQ(Counter("burst.pop_fetches"), 0);
+}
+
+TEST_F(PopPlacementTest, EditStormConflatesAtThePopNewestVersionWins) {
+  Build(BrassPlacement::kPopFilterConflate, /*placement_enabled=*/true);
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  ObjectId comment = 0;
+  poster->Mutate("mutation { postComment(video: " + std::to_string(video) +
+                     ", text: \"hot\", language: \"en\") { id } }",
+                 [&comment](bool ok, Value data) {
+                   if (ok) {
+                     comment = data.Get("postComment").Get("id").AsInt(0);
+                   }
+                 });
+  cluster_->sim().RunFor(Seconds(10));
+  ASSERT_NE(comment, 0);
+
+  // Burst of edits inside one pacing gap: the POP's per-stream queue must
+  // conflate them down (newest version supersedes) instead of queueing all.
+  for (int i = 0; i < 10; ++i) {
+    poster->EditComment(comment, "edit " + std::to_string(i));
+    cluster_->sim().RunFor(Millis(100));
+  }
+  cluster_->sim().RunFor(Seconds(20));
+
+  EXPECT_GE(Counter("burst.pop_conflated"), 1);
+  // Pacing held: far fewer pushes than events.
+  EXPECT_LT(Counter("burst.pop_deliveries"), Counter("burst.pop_envelopes"));
+  EXPECT_GE(viewer->payloads_received(), 2u);  // original + a conflated edit
+}
+
+TEST_F(PopPlacementTest, PopFailureMidStreamFallsBackToRegional) {
+  Build(BrassPlacement::kPopFilterConflate, /*placement_enabled=*/true);
+  // Region 0 has two POPs; devices attach to the first alive one. Make the
+  // second one placement-incapable so the failover exercises the fallback.
+  ASSERT_GE(cluster_->NumPops(), 2u);
+  cluster_->pop(1).set_placement_enabled(false);
+
+  auto viewer = MakeDevice(0);
+  auto poster = MakeDevice(1);
+  ObjectId video = graph_.videos[0];
+  viewer->SubscribeLvc(video);
+  cluster_->sim().RunFor(Seconds(3));
+
+  poster->PostComment(video, "before failover", "en");
+  cluster_->sim().RunFor(Seconds(15));
+  ASSERT_GE(Counter("burst.pop_deliveries"), 1);
+  ASSERT_EQ(Counter("brass.deliveries"), 0);
+  uint64_t delivered_before = viewer->payloads_received();
+  int64_t pop_deliveries_before = Counter("burst.pop_deliveries");
+
+  // The capable POP dies mid-stream. The device reconnects through the
+  // incapable one, which clears the placement stamp on the resubscribe, so
+  // the host resumes fully regional processing for the same stream.
+  cluster_->pop(0).FailPop();
+  cluster_->sim().RunFor(Seconds(10));
+
+  poster->PostComment(video, "after failover", "en");
+  cluster_->sim().RunFor(Seconds(15));
+
+  EXPECT_GT(viewer->payloads_received(), delivered_before);
+  EXPECT_GE(Counter("brass.deliveries"), 1);  // regional path took over
+  EXPECT_EQ(Counter("burst.pop_deliveries"), pop_deliveries_before);
+}
+
+}  // namespace
+}  // namespace bladerunner
