@@ -24,6 +24,7 @@
 #include "bench/bench_util.h"
 #include "src/core/cluster.h"
 #include "src/core/device.h"
+#include "src/workload/scenario_lib.h"
 #include "src/workload/social_gen.h"
 
 using namespace bladerunner;
@@ -145,39 +146,29 @@ Result RunSpike(const SpikeShape& shape, uint64_t seed) {
   }
   cluster.sim().RunFor(Seconds(5));  // subscriptions settle
 
-  auto post_comments = [&](int per_second, SimTime duration) {
-    const int total = static_cast<int>(duration / Seconds(1)) * per_second;
-    const SimTime gap = Seconds(1) / per_second;
-    for (int i = 0; i < total; ++i) {
-      DeviceAgent& c = *commenters[workload_rng.Index(commenters.size())];
-      c.PostComment(video, "comment", "en");
-      cluster.sim().RunFor(gap);
-    }
-  };
-
-  // Phase 1: baseline load, pre-spike latency.
+  // Phase 1: baseline load, pre-spike latency (shared flash-crowd driver,
+  // src/workload/scenario_lib.h).
   phase = Phase::kPre;
-  post_comments(shape.baseline_comments_per_sec, shape.pre_phase);
+  DriveCommentLoad(cluster, commenters, video, shape.baseline_comments_per_sec, shape.pre_phase,
+                   workload_rng, "comment");
   cluster.sim().RunFor(Seconds(8));  // drain in-flight pre-phase deliveries
   phase = Phase::kIdle;
 
-  // Phase 2: the 10x spike, with typing toggles riding along.
-  const int spike_seconds = static_cast<int>(shape.spike_phase / Seconds(1));
-  for (int s = 0; s < spike_seconds; ++s) {
-    for (int k = 0; k < shape.spike_comments_per_sec; ++k) {
-      DeviceAgent& c = *commenters[workload_rng.Index(commenters.size())];
-      c.PostComment(video, "spike comment", "en");
-      typist->SetTyping(thread, k % 2 == 0);
-      cluster.sim().RunFor(Seconds(1) / shape.spike_comments_per_sec);
-    }
-  }
+  // Phase 2: the 10x spike, with typing toggles riding along on the
+  // driver's per-comment hook (same call order as the old inline loop:
+  // post, toggle, pacing wait).
+  DriveCommentLoad(cluster, commenters, video, shape.spike_comments_per_sec, shape.spike_phase,
+                   workload_rng, "spike comment", [&](int i) {
+                     typist->SetTyping(thread, (i % shape.spike_comments_per_sec) % 2 == 0);
+                   });
 
   // Phase 3: quiet settle — offered load subsides, streams resume.
   cluster.sim().RunFor(shape.settle);
 
   // Phase 4: baseline load again, post-spike latency.
   phase = Phase::kPost;
-  post_comments(shape.baseline_comments_per_sec, shape.post_phase);
+  DriveCommentLoad(cluster, commenters, video, shape.baseline_comments_per_sec, shape.post_phase,
+                   workload_rng, "comment");
   cluster.sim().RunFor(Seconds(8));
   phase = Phase::kIdle;
 

@@ -25,6 +25,7 @@
 #include "src/core/cluster.h"
 #include "src/core/daily.h"
 #include "src/pylon/failure_injector.h"
+#include "src/workload/scenario_lib.h"
 #include "src/workload/social_gen.h"
 
 using namespace bladerunner;
@@ -49,15 +50,10 @@ int main(int argc, char** argv) {
   SocialGraph graph = GenerateSocialGraph(cluster.tao(), cluster.sim().rng(), graph_config);
   cluster.sim().RunFor(Seconds(3));
 
-  KvFailureInjectorConfig injector_config;
-  injector_config.seed = 1010;
-  injector_config.mean_time_between_failures = Hours(3);
-  injector_config.mean_outage = Minutes(8);
-  injector_config.min_outage = Minutes(1);
-  injector_config.state_loss_probability = 0.5;
-  injector_config.correlated_failure_probability = 0.25;
-  injector_config.duration = Hours(23);
-  KvFailureInjector injector(cluster.pylon(), injector_config);
+  // The shared Fig. 10 campaign shape (src/workload/scenario_lib.h): 3h
+  // MTBF, 8m mean outages over a 23h horizon.
+  KvFailureInjector injector(cluster.pylon(),
+                             MakeKvCampaignConfig(1010, Hours(23), Hours(3), Minutes(8)));
   injector.Start();
 
   DailyScenarioConfig daily;
@@ -91,17 +87,12 @@ int main(int argc, char** argv) {
   }
 
   // The injected campaign, as actually executed (precomputed from the seed).
-  size_t state_losses = 0;
-  size_t correlated = 0;
-  const auto& outages = injector.outages();
-  for (size_t i = 0; i < outages.size(); ++i) {
-    state_losses += outages[i].state_loss ? 1 : 0;
-    correlated += (i > 0 && outages[i].at == outages[i - 1].at) ? 1 : 0;
-  }
+  KvCampaignStats campaign = SummarizeKvCampaign(injector);
+  size_t correlated = campaign.correlated;
 
   PrintSection("KV crash/recovery campaign");
   PrintRow("%-44s %zu (%zu with state loss, %zu correlated 2-node incidents)",
-           "node crashes injected", outages.size(), state_losses, correlated);
+           "node crashes injected", campaign.crashes, campaign.state_losses, correlated);
   PrintRow("%-44s %lld", "anti-entropy recovery passes",
            static_cast<long long>(
                cluster.metrics().GetCounter("pylon.kv_anti_entropy_runs").value()));
@@ -117,25 +108,11 @@ int main(int argc, char** argv) {
 
   // Durability audit: a subscription a live host believes it holds but no
   // current replica stores is permanently lost — publishes can never reach
-  // that host again. With anti-entropy on, this must be zero.
-  size_t audited = 0;
-  size_t lost = 0;
-  for (size_t h = 0; h < cluster.NumBrassHosts(); ++h) {
-    BrassHost& host = cluster.brass_host(h);
-    if (!host.alive()) {
-      continue;
-    }
-    for (const Topic& topic : host.PylonSubscribedTopics()) {
-      ++audited;
-      RegionId home = cluster.pylon()->RouteServer(topic)->region();
-      bool present = false;
-      for (KvNode* node : cluster.pylon()->ReplicasFor(topic, home)) {
-        const std::set<int64_t>* subs = node->Find(topic);
-        present |= subs != nullptr && subs->count(host.host_id()) > 0;
-      }
-      lost += present ? 0 : 1;
-    }
-  }
+  // that host again. With anti-entropy on, this must be zero. (Shared with
+  // the scenario matrix's per-row audit.)
+  SubscriptionAudit sub_audit = AuditSubscriptionDurability(cluster);
+  size_t audited = sub_audit.audited;
+  size_t lost = sub_audit.lost;
 
   int64_t quorum_failures = cluster.metrics().GetCounter("pylon.quorum_failures").value();
   int64_t host_drains = cluster.metrics().GetCounter("brass.host_drains").value();

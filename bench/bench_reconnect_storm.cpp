@@ -25,6 +25,7 @@
 #include "bench/bench_util.h"
 #include "src/burst/durable_log.h"
 #include "src/pylon/topic.h"
+#include "src/workload/scenario_lib.h"
 
 namespace bladerunner {
 namespace {
@@ -58,7 +59,7 @@ StormShape SmokeShape() {
 struct Audit {
   // Per device, per channel: every _seq the payload hook saw (multiset so
   // duplicates are visible even though the client should suppress them).
-  std::map<int, std::map<int64_t, std::multiset<uint64_t>>> seen;
+  TickerSeqsSeen seen;
   Histogram pre_latency;        // publish -> device, ticks created pre-storm
   Histogram post_latency;      // same, for ticks created after the storm hit
   std::map<int, SimTime> caught_up_at;  // device -> catch-up completion time
@@ -111,8 +112,7 @@ Result RunStorm(const StormShape& shape, bool durable) {
 
   // Publish bookkeeping shared with the hooks below.
   int64_t hook_deliveries = 0;
-  int64_t published_total = 0;
-  std::map<int64_t, int64_t> published_per_channel;
+  TickerPublishState published;
   SimTime storm_at = 0;  // set when the POP fails
   std::map<int64_t, uint64_t> published_at_storm;  // channel -> count at failure
 
@@ -151,20 +151,9 @@ Result RunStorm(const StormShape& shape, bool durable) {
   cluster.sim().RunFor(shape.warmup);
 
   // The publish schedule: every channel ticks every tick_gap, staggered so
-  // publishes spread evenly inside the gap.
-  for (int64_t c = 1; c <= shape.num_channels; ++c) {
-    for (int t = 0; t < shape.ticks_per_channel; ++t) {
-      SimTime at = shape.tick_gap * t + (shape.tick_gap * (c - 1)) / shape.num_channels;
-      cluster.sim().Schedule(at, [&cluster, &published_total, &published_per_channel, c]() {
-        PublishSpec spec;
-        spec.topic = TickerTopic(c);
-        spec.metadata.Set("tick", published_per_channel[c] + 1);
-        cluster.was(0).PublishNow(spec, cluster.sim().Now());
-        published_total += 1;
-        published_per_channel[c] += 1;
-      });
-    }
-  }
+  // publishes spread evenly inside the gap (shared phase library).
+  ScheduleTickerTicks(cluster, shape.num_channels, shape.ticks_per_channel, shape.tick_gap,
+                      /*start=*/0, &published);
 
   // Pre-storm steady state, then the POP catastrophically fails: every
   // device connection drops at once and the whole fleet reconnects
@@ -173,7 +162,7 @@ Result RunStorm(const StormShape& shape, bool durable) {
   int64_t reconnects_before =
       cluster.metrics().GetCounter("burst.device_reconnect_attempts").value();
   storm_at = cluster.sim().Now();
-  for (auto& [channel, count] : published_per_channel) {
+  for (auto& [channel, count] : published.per_channel) {
     published_at_storm[channel] = static_cast<uint64_t>(count);
   }
   cluster.pop(0).FailPop();
@@ -183,21 +172,20 @@ Result RunStorm(const StormShape& shape, bool durable) {
   // ---- audit ----
   Result result;
   result.streams = static_cast<int64_t>(shape.num_devices) * shape.subs_per_device;
-  result.published = published_total;
+  result.published = published.total;
   result.reconnects =
       cluster.metrics().GetCounter("burst.device_reconnect_attempts").value() - reconnects_before;
   result.replayed = cluster.metrics().GetCounter("brass.durable_replayed").value();
   result.client_dedup = cluster.metrics().GetCounter("burst.client_duplicates_dropped").value();
   result.delivered = hook_deliveries;
   if (durable) {
-    for (auto& [d, channels] : audit.seen) {
-      for (auto& [channel, seqs] : channels) {
-        int64_t expected = published_per_channel[channel];
-        std::set<uint64_t> distinct(seqs.begin(), seqs.end());
-        result.duplicates += static_cast<int64_t>(seqs.size() - distinct.size());
-        result.lost += expected - static_cast<int64_t>(distinct.size());
-      }
-    }
+    // Exactly-once audit + log-head ground truth via the shared phase
+    // library (the same audit composed scenarios report in their rows).
+    DurableTickerAudit durable_audit =
+        AuditDurableTicker(cluster, shape.num_channels, published.per_channel, audit.seen);
+    result.duplicates = durable_audit.duplicates;
+    result.lost = durable_audit.lost;
+    result.log_matches_publishes = durable_audit.log_matches_publishes;
   } else {
     // No sequence numbers on the wire: loss is the shortfall between
     // expected deliveries (each stream should see its channel's publishes)
@@ -205,21 +193,10 @@ Result RunStorm(const StormShape& shape, bool durable) {
     int64_t expected_total = 0;
     for (auto& [d, channels] : audit.seen) {
       for (auto& [channel, seqs] : channels) {
-        expected_total += published_per_channel[channel];
+        expected_total += published.per_channel[channel];
       }
     }
     result.lost = expected_total - hook_deliveries;
-  }
-  if (durable) {
-    // The shared log is the ground truth: every publish must have been
-    // appended exactly once, across all the hosts the events fanned out to.
-    for (int64_t c = 1; c <= shape.num_channels; ++c) {
-      const DurableTopicLog* log = cluster.durable_logs().Find(TickerTopic(c));
-      uint64_t last = log == nullptr ? 0 : log->last_seq();
-      if (static_cast<int64_t>(last) != published_per_channel[c]) {
-        result.log_matches_publishes = false;
-      }
-    }
   }
   result.pre_p99_ms = audit.pre_latency.Quantile(0.99) / 1e3;
   result.post_p99_ms = audit.post_latency.Quantile(0.99) / 1e3;

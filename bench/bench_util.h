@@ -6,6 +6,7 @@
 #ifndef BLADERUNNER_BENCH_BENCH_UTIL_H_
 #define BLADERUNNER_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,8 @@ namespace bladerunner {
 //                      --threads 8 produce identical results)
 //   --fleet N          override the bench's device-fleet size where it
 //                      honours one
+//   --cell NAME        restrict a matrix bench (bench_scenario_matrix) to
+//                      the named cell; repeatable
 struct BenchOptions {
   bool smoke = false;
   bool perf = false;
@@ -52,6 +55,7 @@ struct BenchOptions {
   int threads = 1;
   int lp_groups = -1;  // -1 = derive from threads
   long fleet = 0;      // 0 = bench default
+  std::vector<std::string> cells;  // empty = run every cell
 
   // The cluster-facing translation of --threads/--lp-groups. Sequential
   // (all defaults) when threads == 1 and no explicit --lp-groups, so every
@@ -77,28 +81,118 @@ inline BenchOptions& MutableBenchOptions() {
 }
 inline const BenchOptions& bench_options() { return MutableBenchOptions(); }
 
+// Strict parser: every bench errors out on unrecognized flags, missing
+// values, and non-numeric values instead of silently ignoring them. (A
+// typo'd `--lp-gruops=8` used to run the sequential kernel and "pass" a
+// parallel-kernel check.) Both `--flag value` and `--flag=value` spellings
+// are accepted; flags starting with `--benchmark` pass through untouched
+// for benches that hand argv on to google-benchmark (bench_micro).
+//
+// This non-exiting variant exists so the unit test (bench_options_test) can
+// exercise rejection paths; benches call ParseBenchOptions below, which
+// prints the error and exits 2.
+inline bool ParseBenchOptionsInto(int argc, char** argv, BenchOptions* opts,
+                                  std::string* error) {
+  auto parse_long = [error](const std::string& flag, const std::string& text, long* out) {
+    char* end = nullptr;
+    errno = 0;
+    long value = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || errno != 0 || end == nullptr || *end != '\0') {
+      *error = flag + " expects an integer, got '" + text + "'";
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  auto parse_double = [error](const std::string& flag, const std::string& text, double* out) {
+    char* end = nullptr;
+    errno = 0;
+    double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || errno != 0 || end == nullptr || *end != '\0') {
+      *error = flag + " expects a number, got '" + text + "'";
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--benchmark", 0) == 0) {
+      continue;  // google-benchmark's own flags (bench_micro forwards argv)
+    }
+    std::string flag = arg;
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flag = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const bool is_bool = flag == "--smoke" || flag == "--perf";
+    const bool is_known = is_bool || flag == "--out" || flag == "--check" ||
+                          flag == "--tolerance" || flag == "--threads" ||
+                          flag == "--lp-groups" || flag == "--fleet" || flag == "--cell";
+    if (!is_known) {
+      *error = "unrecognized flag '" + arg +
+               "' (shared bench flags: --smoke --perf --out --check --tolerance "
+               "--threads --lp-groups --fleet --cell)";
+      return false;
+    }
+    if (is_bool) {
+      if (has_value) {
+        *error = flag + " takes no value";
+        return false;
+      }
+      opts->smoke = opts->smoke || flag == "--smoke";
+      opts->perf = true;  // --smoke implies --perf in harness benches
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        *error = flag + " expects a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (flag == "--out") {
+      opts->out_path = value;
+    } else if (flag == "--check") {
+      opts->check_path = value;
+    } else if (flag == "--cell") {
+      opts->cells.push_back(value);
+    } else if (flag == "--tolerance") {
+      if (!parse_double(flag, value, &opts->tolerance)) {
+        return false;
+      }
+    } else if (flag == "--threads") {
+      long threads = 0;
+      if (!parse_long(flag, value, &threads)) {
+        return false;
+      }
+      opts->threads = static_cast<int>(threads);
+      if (opts->threads < 1) opts->threads = 1;
+    } else if (flag == "--lp-groups") {
+      long groups = 0;
+      if (!parse_long(flag, value, &groups)) {
+        return false;
+      }
+      opts->lp_groups = static_cast<int>(groups);
+    } else {  // --fleet
+      if (!parse_long(flag, value, &opts->fleet)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opts.smoke = true;
-      opts.perf = true;
-    } else if (std::strcmp(argv[i], "--perf") == 0) {
-      opts.perf = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      opts.out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      opts.check_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
-      opts.tolerance = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      opts.threads = std::atoi(argv[++i]);
-      if (opts.threads < 1) opts.threads = 1;
-    } else if (std::strcmp(argv[i], "--lp-groups") == 0 && i + 1 < argc) {
-      opts.lp_groups = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
-      opts.fleet = std::atol(argv[++i]);
-    }
+  std::string error;
+  if (!ParseBenchOptionsInto(argc, argv, &opts, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "bench", error.c_str());
+    std::exit(2);
   }
   MutableBenchOptions() = opts;
   return opts;

@@ -128,6 +128,46 @@ struct BrassAppDescriptor {
   size_t pop_max_pending_per_stream = 0;
 };
 
+// Registration-time validation (docs/BURST.md "Descriptor validation").
+// Rejects flag combinations that are mutually contradictory: each of these
+// used to be accepted and then silently ignored by whichever layer hit the
+// contradiction first, so a misconfigured app looked healthy while one of
+// its declared policies never fired.
+//
+//   durable + degrade_to_poll — durable deliveries bypass the conflating
+//     delivery queue entirely, so the shed-rate trigger behind
+//     degrade-to-poll can never fire; and a durable stream that *did*
+//     degrade would trade its gap-free replayable sequence for lossy
+//     polling.
+//   durable + conflatable — conflation coalesces versions newest-wins; a
+//     durable sequence must deliver every appended entry exactly once.
+//
+// Returns false and describes the contradiction in *error (which may be
+// null when the caller only needs the verdict).
+inline bool ValidateBrassAppDescriptor(const BrassAppDescriptor& descriptor,
+                                       std::string* error) {
+  auto reject = [&descriptor, error](const char* why) {
+    if (error != nullptr) {
+      *error = "app '" + descriptor.name + "': " + why;
+    }
+    return false;
+  };
+  if (descriptor.durable && descriptor.degrade_to_poll) {
+    return reject(
+        "durable=true contradicts degrade_to_poll=true — durable deliveries "
+        "bypass the conflation queue, so the shed-based degrade trigger can "
+        "never fire, and a degraded durable stream would lose its gap-free "
+        "replay guarantee");
+  }
+  if (descriptor.durable && descriptor.conflatable) {
+    return reject(
+        "durable=true contradicts conflatable=true — conflation coalesces "
+        "queued versions away, but a durable sequence must deliver every "
+        "appended entry exactly once");
+  }
+  return true;
+}
+
 }  // namespace bladerunner
 
 #endif  // BLADERUNNER_SRC_BRASS_APP_DESCRIPTOR_H_

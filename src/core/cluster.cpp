@@ -1,6 +1,8 @@
 #include "src/core/cluster.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/apps/comment_feed.h"
 #include "src/apps/presence_counter.h"
@@ -63,6 +65,15 @@ BladerunnerCluster::BladerunnerCluster(ClusterConfig config, Topology topology)
     auto it = app_registry_.find(app);
     if (it != app_registry_.end()) {
       it->second.descriptor.routing = policy;
+    }
+  }
+  // Contradictory descriptors are rejected here, before any host or POP
+  // consumes the registry — not silently ignored deep in the delivery path.
+  for (const auto& [name, registration] : app_registry_) {
+    std::string descriptor_error;
+    if (!ValidateBrassAppDescriptor(registration.descriptor, &descriptor_error)) {
+      std::fprintf(stderr, "brass app registration rejected: %s\n", descriptor_error.c_str());
+      std::abort();
     }
   }
 

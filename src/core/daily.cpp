@@ -31,8 +31,12 @@ DailyScenario::DailyScenario(BladerunnerCluster* cluster, const SocialGraph* gra
     rate_samplers_.push_back(RateSampler{&m.GetTimeSeries(rate.series, Minutes(15)),
                                          &m.GetCounter(rate.counter), 0});
   }
-  users_.resize(graph_->users.size());
-  for (size_t i = 0; i < graph_->users.size(); ++i) {
+  size_t population = graph_->users.size();
+  if (config_.user_limit > 0 && config_.user_limit < population) {
+    population = config_.user_limit;
+  }
+  users_.resize(population);
+  for (size_t i = 0; i < population; ++i) {
     UserState& state = users_[i];
     state.user = graph_->users[i];
     RegionId region = cluster_->topology().SampleRegion(cluster_->sim().rng());
@@ -52,7 +56,28 @@ DailyScenario::DailyScenario(BladerunnerCluster* cluster, const SocialGraph* gra
   }
 }
 
-DailyScenario::~DailyScenario() = default;
+DailyScenario::~DailyScenario() {
+  // Pending timers capture `this`. Run() only drains the simulator up to the
+  // scenario's end, and a composed scenario (src/workload/scenario.cpp) keeps
+  // running afterwards — so every timer still pending must be cancelled here
+  // or it fires into a destroyed object. Cancel() of an already-fired timer
+  // is a safe no-op, so stale handles need no bookkeeping.
+  *alive_ = false;  // flips every outstanding stream-close timer to a no-op
+  Simulator& sim = cluster_->sim();
+  for (UserState& state : users_) {
+    for (TimerId id : {state.session_timer, state.open_stream_timer, state.activity_timer}) {
+      if (id != kInvalidTimerId) {
+        sim.Cancel(id);
+      }
+    }
+  }
+  for (TimerId id : sampler_timers_) {
+    sim.Cancel(id);
+  }
+  if (upgrade_timer_ != kInvalidTimerId) {
+    sim.Cancel(upgrade_timer_);
+  }
+}
 
 double DailyScenario::OnlineFraction(SimTime t) const { return online_curve_.At(t); }
 
@@ -70,10 +95,11 @@ void DailyScenario::Run() {
   SimTime end = started_at_ + config_.duration;
   for (SimTime t = started_at_ + config_.sample_interval; t <= end;
        t += config_.sample_interval) {
-    cluster_->sim().ScheduleAt(t, [this]() { SamplerTick(); });
+    sampler_timers_.push_back(cluster_->sim().ScheduleAt(t, [this]() { SamplerTick(); }));
   }
   if (config_.host_upgrade_interval > 0) {
-    cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
+    upgrade_timer_ =
+        cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
   }
   cluster_->sim().RunUntil(end);
   // Tear down cleanly so open-stream records have final event counts.
@@ -240,7 +266,13 @@ void DailyScenario::OpenRandomStream(size_t idx) {
     return;  // closed by GoOffline at session end
   }
   SimTime lifetime = lifetimes_.SampleUnbiased(rng);
-  ctx.Schedule(lifetime, [this, idx, sid]() {
+  // Stream-close timers are one-per-open-stream and can land a full
+  // lifetime after the scenario ends, so instead of tracking an unbounded
+  // set of ids they hold the liveness token and no-op once it is cleared.
+  ctx.Schedule(lifetime, [this, idx, sid, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
     UserState& s = users_[idx];
     auto it = std::find(s.open_streams.begin(), s.open_streams.end(), sid);
     if (it == s.open_streams.end()) {
@@ -334,12 +366,16 @@ void DailyScenario::UpgradeTick() {
   if (alive.size() > 1) {
     size_t victim = alive[cluster_->sim().rng().Index(alive.size())];
     cluster_->brass_host(victim).Drain();
-    cluster_->sim().Schedule(Minutes(2), [this, victim]() {
-      cluster_->brass_host(victim).Revive();
+    // The revive must outlive this DailyScenario (it may land after the
+    // scenario's end), so it captures the cluster, not `this`.
+    BladerunnerCluster* cluster = cluster_;
+    cluster_->sim().Schedule(Minutes(2), [cluster, victim]() {
+      cluster->brass_host(victim).Revive();
     });
   }
   if (cluster_->sim().Now() < started_at_ + config_.duration) {
-    cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
+    upgrade_timer_ =
+        cluster_->sim().Schedule(config_.host_upgrade_interval, [this]() { UpgradeTick(); });
   }
 }
 

@@ -73,6 +73,12 @@ struct DailyScenarioConfig {
   // BRASS host upgrade process: every interval, drain one host and revive
   // it two minutes later. 0 disables.
   SimTime host_upgrade_interval = 0;
+
+  // Drive only the first `user_limit` graph users (0 = everyone). Composed
+  // scenarios (src/workload/scenario.h) use this to reserve the graph's
+  // tail users for their own device fleets — two agents for one user would
+  // collide on StreamKey{device, sid}.
+  size_t user_limit = 0;
 };
 
 class DailyScenario {
@@ -142,6 +148,15 @@ class DailyScenario {
   TimeSeries* active_streams_series_ = nullptr;
   std::vector<RateSampler> rate_samplers_;
   SimTime started_at_ = 0;
+  // Every timer scheduled outside UserState (sampler ticks, the upgrade
+  // chain) — the destructor cancels whatever is still pending, because a
+  // composed scenario keeps the simulator running after Run() returns.
+  std::vector<TimerId> sampler_timers_;
+  TimerId upgrade_timer_ = kInvalidTimerId;
+  // Liveness token held by the (unbounded, untracked) stream-close timers;
+  // cleared by the destructor so late closes no-op instead of firing into a
+  // destroyed scenario.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace bladerunner

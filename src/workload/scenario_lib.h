@@ -1,0 +1,120 @@
+// Shared phase library for composed game-day scenarios (docs/SCENARIOS.md).
+//
+// The load, failure, and audit building blocks that used to be inlined in
+// bench_ablation_overload (hot-topic comment spikes), bench_reconnect_storm
+// (staggered ticker publishes + the durable zero-loss audit), and
+// bench_fig10_failure_handling (the seeded KV crash campaign + the
+// subscription durability audit) live here so the scenario-composition
+// layer (src/workload/scenario.h) and the standalone benches drive the
+// exact same phase logic instead of three diverging copies.
+
+#ifndef BLADERUNNER_SRC_WORKLOAD_SCENARIO_LIB_H_
+#define BLADERUNNER_SRC_WORKLOAD_SCENARIO_LIB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/device.h"
+#include "src/pylon/failure_injector.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace bladerunner {
+
+// ---- hot-topic comment load (overload spike / flash crowd) ----
+
+// Blocking driver: posts `per_second` comments per second against `video`
+// for `duration`, each from a commenter drawn via `rng.Index` — the
+// overload bench's baseline/spike loop. `on_comment(i)` (optional) runs
+// after the i-th post and before the pacing wait; the overload bench rides
+// its typing toggles on it. Advances the cluster's simulator.
+void DriveCommentLoad(BladerunnerCluster& cluster,
+                      std::vector<std::unique_ptr<DeviceAgent>>& commenters, ObjectId video,
+                      int per_second, SimTime duration, Rng& rng, const char* text,
+                      const std::function<void(int)>& on_comment = nullptr);
+
+// Non-blocking variant for composed scenarios: pre-schedules the identical
+// comment schedule (same pacing, same rng draw order) as timer events on
+// each commenter's own scheduling context, so a flash crowd can overlap
+// diurnal load and failure phases. `start` is the offset of the first
+// comment from now.
+void ScheduleCommentLoad(BladerunnerCluster& cluster,
+                         std::vector<std::unique_ptr<DeviceAgent>>& commenters, ObjectId video,
+                         int per_second, SimTime start, SimTime duration, Rng& rng,
+                         const char* text);
+
+// ---- staggered ticker publishes (reconnect storm / durable load) ----
+
+// Publish bookkeeping shared between the schedule below and the audits: the
+// scheduled events bump these counts as they fire, so "published" always
+// reflects what actually went out before a failure hit.
+struct TickerPublishState {
+  int64_t total = 0;
+  std::map<int64_t, int64_t> per_channel;
+};
+
+// Schedules the reconnect-storm publish schedule: channels 1..num_channels
+// each tick every `tick_gap`, staggered so publishes spread evenly inside
+// the gap, starting `start` from now. `state` must outlive the run.
+void ScheduleTickerTicks(BladerunnerCluster& cluster, int num_channels, int ticks_per_channel,
+                         SimTime tick_gap, SimTime start, TickerPublishState* state);
+
+// ---- durable zero-loss audit (reconnect storm / scenario rows) ----
+
+// Per device, per channel: every _seq a device's payload hook saw (multiset
+// so duplicates stay visible even though the client should suppress them).
+using TickerSeqsSeen = std::map<int, std::map<int64_t, std::multiset<uint64_t>>>;
+
+struct DurableTickerAudit {
+  int64_t lost = 0;
+  int64_t duplicates = 0;       // device-visible (post client dedup)
+  bool log_matches_publishes = true;  // shared-log head == publishes, per channel
+};
+
+// The durable tier's ground-truth audit: every published tick must be seen
+// exactly once per subscribed stream, and the shared durable log's head
+// must equal the publish count on every channel.
+DurableTickerAudit AuditDurableTicker(BladerunnerCluster& cluster, int num_channels,
+                                      const std::map<int64_t, int64_t>& published_per_channel,
+                                      const TickerSeqsSeen& seen);
+
+// ---- seeded KV crash/recovery campaign (Fig. 10 / scenario phase) ----
+
+// The Fig. 10 campaign shape: crashes at `mtbf` per node with `mean_outage`
+// outages (min 1 minute), half of them losing the node's table, a quarter
+// arriving as correlated two-node incidents. The fig10 bench passes its
+// historical 3h/8m values; composed scenarios compress the campaign into
+// their shorter windows.
+KvFailureInjectorConfig MakeKvCampaignConfig(uint64_t seed, SimTime duration,
+                                             SimTime mtbf = Hours(3),
+                                             SimTime mean_outage = Minutes(8));
+
+struct KvCampaignStats {
+  size_t crashes = 0;
+  size_t state_losses = 0;
+  size_t correlated = 0;  // two-node incidents (outage pairs sharing a timestamp)
+};
+
+// Summarizes a campaign as actually executed (precomputed from its seed).
+KvCampaignStats SummarizeKvCampaign(const KvFailureInjector& injector);
+
+// ---- subscription durability audit (Fig. 10 / scenario rows) ----
+
+struct SubscriptionAudit {
+  size_t audited = 0;
+  size_t lost = 0;  // held by a live host but on no current KV replica
+};
+
+// A subscription a live host believes it holds but no current replica
+// stores is permanently lost — publishes can never reach that host again.
+// With anti-entropy on, `lost` must be zero.
+SubscriptionAudit AuditSubscriptionDurability(BladerunnerCluster& cluster);
+
+}  // namespace bladerunner
+
+#endif  // BLADERUNNER_SRC_WORKLOAD_SCENARIO_LIB_H_

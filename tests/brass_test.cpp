@@ -6,6 +6,8 @@
 
 #include <memory>
 
+#include "src/apps/registry.h"
+#include "src/brass/app_descriptor.h"
 #include "src/core/cluster.h"
 #include "src/core/device.h"
 #include "src/was/resolvers.h"
@@ -243,6 +245,49 @@ TEST_F(BrassTest, EventsForUnsubscribedTopicsAreCounted) {
   // Either the unsubscribe won (event never delivered to the host) or the
   // event was dropped at the host; in no case does a payload reach a.
   EXPECT_EQ(a.payloads_received(), 0u);
+}
+
+// ---- registration-time descriptor validation (docs/BURST.md) ----
+
+TEST(AppDescriptorTest, RejectsDurableDegradeToPollContradiction) {
+  // The motivating misconfiguration: durable deliveries bypass the
+  // conflating delivery queue, so the shed-based degrade trigger can never
+  // fire — this used to register fine and the degrade policy silently never
+  // engaged.
+  BrassAppDescriptor descriptor;
+  descriptor.name = "BadTicker";
+  descriptor.durable = true;
+  descriptor.degrade_to_poll = true;
+  std::string error;
+  EXPECT_FALSE(ValidateBrassAppDescriptor(descriptor, &error));
+  EXPECT_NE(error.find("app 'BadTicker'"), std::string::npos) << error;
+  EXPECT_NE(error.find("degrade_to_poll"), std::string::npos) << error;
+  // A null error pointer is allowed when the caller only wants the verdict.
+  EXPECT_FALSE(ValidateBrassAppDescriptor(descriptor, nullptr));
+}
+
+TEST(AppDescriptorTest, RejectsDurableConflatableContradiction) {
+  BrassAppDescriptor descriptor;
+  descriptor.name = "BadFeed";
+  descriptor.durable = true;
+  descriptor.conflatable = true;
+  std::string error;
+  EXPECT_FALSE(ValidateBrassAppDescriptor(descriptor, &error));
+  EXPECT_NE(error.find("conflatable"), std::string::npos) << error;
+}
+
+TEST(AppDescriptorTest, StockRegistryDescriptorsAllValidate) {
+  // Every descriptor the standard registry ships — including the durable
+  // ticker variant — must pass the registration gate the cluster enforces.
+  for (bool durable_ticker : {false, true}) {
+    AppsConfig apps;
+    apps.ticker.durable = durable_ticker;
+    for (const auto& [name, registration] : BuildStandardAppRegistry(apps)) {
+      std::string error;
+      EXPECT_TRUE(ValidateBrassAppDescriptor(registration.descriptor, &error))
+          << name << ": " << error;
+    }
+  }
 }
 
 }  // namespace

@@ -90,6 +90,82 @@ TEST(DeliveryQueueTest, ShedsOldestAtBound) {
   EXPECT_EQ(queue.PopFront().payload.Get("tag").AsString(), "three");
 }
 
+// Conservation invariant: every offered delivery is accounted for exactly
+// once — offered == drained + conflated + shed. Pinned across the two
+// orderings that are easy to double-count: a conflated entry that is later
+// displaced at the bound (conflate-then-shed), and shedding at the bound
+// with non-conflatable offers.
+TEST(DeliveryQueueTest, EveryOfferAccountedForAcrossOrderings) {
+  struct Tally {
+    int64_t offered = 0;
+    int64_t conflated = 0;
+    int64_t shed = 0;
+
+    void Count(ConflatingDeliveryQueue::Outcome outcome) {
+      offered += 1;
+      if (outcome == ConflatingDeliveryQueue::Outcome::kConflated) conflated += 1;
+      if (outcome == ConflatingDeliveryQueue::Outcome::kShed) shed += 1;
+    }
+  };
+  auto drained = [](ConflatingDeliveryQueue& queue) {
+    int64_t n = 0;
+    while (!queue.empty()) {
+      queue.PopFront();
+      n += 1;
+    }
+    return n;
+  };
+
+  // Conflate-then-shed: k1 absorbs an update, then the (conflated) entry is
+  // itself displaced at the bound. The absorbed update must not resurface as
+  // a second drainable delivery, and the displaced entry counts as shed.
+  {
+    ConflatingDeliveryQueue queue;
+    Tally tally;
+    tally.Count(queue.Offer(Payload("k1v1"), Keyed("k1", 1), true, 2).outcome);
+    tally.Count(queue.Offer(Payload("k1v2"), Keyed("k1", 2), true, 2).outcome);  // conflates
+    tally.Count(queue.Offer(Payload("k2v1"), Keyed("k2", 1), true, 2).outcome);
+    tally.Count(queue.Offer(Payload("k3v1"), Keyed("k3", 1), true, 2).outcome);  // sheds k1
+    tally.Count(queue.Offer(Payload("k3v2"), Keyed("k3", 2), true, 2).outcome);  // conflates
+    EXPECT_EQ(tally.conflated, 2);
+    EXPECT_EQ(tally.shed, 1);
+    EXPECT_EQ(tally.offered, drained(queue) + tally.conflated + tally.shed);
+  }
+
+  // Shed-at-bound: empty keys never conflate, so a bound-1 queue sheds on
+  // every offer after the first.
+  {
+    ConflatingDeliveryQueue queue;
+    Tally tally;
+    for (int i = 0; i < 3; ++i) {
+      tally.Count(queue.Offer(Payload("p"), Keyed("", 1), true, 1).outcome);
+    }
+    EXPECT_EQ(tally.conflated, 0);
+    EXPECT_EQ(tally.shed, 2);
+    EXPECT_EQ(tally.offered, drained(queue) + tally.conflated + tally.shed);
+  }
+
+  // Deterministic mixed sweep: interleaved keys (some empty), occasional
+  // drains, and a tight bound, so conflates and sheds interleave freely.
+  {
+    ConflatingDeliveryQueue queue;
+    Tally tally;
+    int64_t popped = 0;
+    const char* keys[] = {"a", "b", "", "c", "a", "", "b", "a"};
+    for (int i = 0; i < 200; ++i) {
+      tally.Count(
+          queue.Offer(Payload("p"), Keyed(keys[i % 8], 1 + i / 3), i % 5 != 4, 3).outcome);
+      if (i % 7 == 6 && !queue.empty()) {
+        queue.PopFront();
+        popped += 1;
+      }
+    }
+    EXPECT_GT(tally.conflated, 0);
+    EXPECT_GT(tally.shed, 0);
+    EXPECT_EQ(tally.offered, popped + drained(queue) + tally.conflated + tally.shed);
+  }
+}
+
 // ---- cluster-level overload tests ----
 
 struct TestCluster {

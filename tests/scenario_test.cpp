@@ -1,0 +1,111 @@
+// Scenario-composition layer (src/workload/scenario.h): row schema sanity,
+// the audits, and the seed-sweep determinism contract — for a fixed spec +
+// seed the emitted JSON row is byte-identical across worker-thread counts
+// and LP iteration order, given the same LP layout (the PR 8 contract).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/scenario.h"
+
+namespace bladerunner {
+namespace {
+
+// A small composed game-day touching most of the row: flash crowd +
+// catastrophic POP failure over a durable ticker fleet.
+ScenarioSpec SmallComposedSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "test_cell";
+  spec.scale = "test";
+  spec.seed = seed;
+  spec.duration = Seconds(30);
+  spec.drain = Seconds(20);
+  spec.mix.viewers = 40;
+  spec.mix.commenters = 20;
+  spec.mix.ticker_devices = 30;
+  spec.mix.ticker_channels = 5;
+  spec.mix.ticker_ticks_per_channel = 20;
+  spec.mix.ticker_gap = Millis(400);
+
+  ScenarioPhase flash;
+  flash.kind = ScenarioPhaseKind::kFlashCrowd;
+  flash.at = Seconds(2);
+  flash.duration = Seconds(10);
+  flash.comments_per_sec = 15;
+  spec.phases.push_back(flash);
+
+  ScenarioPhase pop;
+  pop.kind = ScenarioPhaseKind::kPopFailure;
+  pop.at = Seconds(6);
+  spec.phases.push_back(pop);
+  return spec;
+}
+
+TEST(ScenarioTest, ComposedRunDeliversAndAuditsClean) {
+  ScenarioRow row = RunScenario(SmallComposedSpec(7));
+  EXPECT_EQ(row.scenario, "test_cell");
+  EXPECT_EQ(row.fleet, 40 + 20 + 30 + 2);  // + the typing pair
+  EXPECT_GT(row.delivered, 0);
+  EXPECT_GT(row.delivery_p99_ms, 0.0);
+  EXPECT_GE(row.delivery_p99_ms, row.delivery_p50_ms);
+  // The durable tier must ride through the POP failure with zero loss.
+  EXPECT_EQ(row.durable_published, 5 * 20);
+  EXPECT_EQ(row.durable_lost, 0);
+  EXPECT_EQ(row.durable_duplicates, 0);
+  EXPECT_TRUE(row.durable_log_ok);
+  EXPECT_TRUE(row.durability_ok);
+  EXPECT_TRUE(row.livequery_ok);  // no live queries in the mix -> vacuous
+  EXPECT_EQ(row.subs_lost, 0);
+  EXPECT_GT(row.backbone_bytes, 0);
+  EXPECT_GT(row.events, 0u);
+}
+
+TEST(ScenarioTest, RowJsonHasFullSchema) {
+  ScenarioRow row = RunScenario(SmallComposedSpec(7));
+  std::string json = row.ToJson();
+  for (const char* key :
+       {"\"scenario\":", "\"scale\":", "\"seed\":", "\"fleet\":", "\"delivered\":",
+        "\"delivery_p50_ms\":", "\"delivery_p99_ms\":", "\"shed_fraction\":",
+        "\"conflated_fraction\":", "\"degraded_fraction\":", "\"degrade_signals\":",
+        "\"durable_published\":", "\"durable_lost\":", "\"durable_duplicates\":",
+        "\"durable_log_ok\":", "\"durability_ok\":", "\"livequery_ok\":",
+        "\"backbone_bytes\":", "\"subs_audited\":", "\"subs_lost\":", "\"events\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing from " << json;
+  }
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "row must be one line";
+}
+
+// The seed sweep: same spec + seed => byte-identical rows across thread
+// counts and LP iteration order, for the same LP layout (16 device-group
+// LPs). Threads only change wall-clock; reverse_lp_order is the kernel's
+// own determinism audit knob.
+TEST(ScenarioTest, RowsByteIdenticalAcrossThreadsAndLpOrder) {
+  for (uint64_t seed : {3u, 11u}) {
+    ScenarioSpec spec = SmallComposedSpec(seed);
+
+    ClusterParallelConfig one_thread;
+    one_thread.threads = 1;
+    one_thread.device_lp_groups = 16;
+    std::string base = RunScenario(spec, one_thread).ToJson();
+
+    ClusterParallelConfig four_threads;
+    four_threads.threads = 4;
+    four_threads.device_lp_groups = 16;
+    EXPECT_EQ(RunScenario(spec, four_threads).ToJson(), base) << "seed " << seed;
+
+    ClusterParallelConfig reversed = four_threads;
+    reversed.reverse_lp_order = true;
+    EXPECT_EQ(RunScenario(spec, reversed).ToJson(), base) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsDiverge) {
+  // The seed must actually reach the workload: two seeds, two rows.
+  EXPECT_NE(RunScenario(SmallComposedSpec(3)).ToJson(),
+            RunScenario(SmallComposedSpec(11)).ToJson());
+}
+
+}  // namespace
+}  // namespace bladerunner
